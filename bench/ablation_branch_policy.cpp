@@ -1,0 +1,56 @@
+// Ablation: the TamaRISC branch-redirect policy. The paper reports 90.1k
+// instructions retiring in 90.2k cycles (CPI ~ 1.001) on a benchmark with
+// a taken branch every ~14 instructions — only possible if taken branches
+// cost zero bubbles. This bench runs the real single-lead benchmark
+// kernel on the explicit pipeline model under the three redirect policies
+// and shows what slower redirect logic would do to throughput (and hence
+// to the minimum voltage/power at a fixed real-time deadline).
+#include <iostream>
+
+#include "app/benchmark.hpp"
+#include "common/table.hpp"
+#include "core/pipeline_core.hpp"
+#include "exp/experiments.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Branch-redirect policy vs CPI on the benchmark kernel",
+                                 "Section III-A (core design discussion)");
+
+    const app::EcgBenchmark bench{};
+    const auto& lay = bench.layout();
+
+    Table t({"policy", "cycles", "instructions", "CPI", "taken branches", "bubbles",
+             "throughput loss"});
+    double zero_cycles = 0;
+    for (const auto policy : {core::BranchPolicy::ZeroPenalty, core::BranchPolicy::OnePenalty,
+                              core::BranchPolicy::TwoPenalty}) {
+        core::FlatMemory mem(lay.shared_words() + app::BenchmarkLayout::kPrivateWords);
+        mem.load(0, bench.program().data);
+        const auto& x = bench.lead_samples(0);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            mem.poke(static_cast<Addr>(lay.x_base() + i), static_cast<Word>(x[i]));
+
+        core::PipelineCore c(bench.program().text, mem, policy);
+        c.state().pc = bench.program().entry;
+        c.run();
+        const auto& s = c.stats();
+        if (policy == core::BranchPolicy::ZeroPenalty) zero_cycles = static_cast<double>(s.cycles);
+
+        const char* name = policy == core::BranchPolicy::ZeroPenalty ? "zero (paper)"
+                           : policy == core::BranchPolicy::OnePenalty ? "one bubble"
+                                                                      : "two bubbles";
+        t.add_row({name, format_count(s.cycles), format_count(s.instret),
+                   format_fixed(s.cpi(), 4), format_count(s.taken_branches),
+                   format_count(s.branch_bubbles),
+                   format_percent(1.0 - zero_cycles / static_cast<double>(s.cycles))});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nPaper anchor: 90.20k cycles for ~90.1k instructions (CPI ~ 1.001) is\n"
+                 "reachable only by the zero-bubble redirect; the same-cycle branch-target\n"
+                 "path is also why the paper's critical path runs through \"the direct\n"
+                 "branch instruction when the branch address is read from the DM\" (§IV-B).\n";
+    return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation: which of the proposed architecture's mechanisms buys what?
+// The paper argues the savings come from the COMBINATION of instruction
+// broadcast, data broadcast, the private/shared DM reorganization and IM
+// power gating. This bench switches each off independently and reports
+// cycles, IM accesses and total power at the Table II operating point —
+// the quantitative version of §IV-C2's qualitative discussion.
+#include <iostream>
+
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+namespace {
+
+struct Variant {
+    const char* name;
+    cluster::ArchKind arch;       // base architecture + power model
+    bool im_broadcast, dm_broadcast, gate, luts_shared, stagger;
+};
+
+} // namespace
+
+int main() {
+    exp::print_experiment_header("Mechanism ablation (broadcast / DM reorg / gating)",
+                                 "Section IV-C2 (discussion)");
+
+    using cluster::ArchKind;
+    const Variant variants[] = {
+        {"mc-ref (baseline)", ArchKind::McRef, false, false, false, false, true},
+        {"proposed, full (ulpmc-bank)", ArchKind::UlpmcBank, true, true, true, false, false},
+        {"  - without IM gating (== ulpmc-int power)", ArchKind::UlpmcInt, true, true, false,
+         false, false},
+        {"  - without I-Xbar broadcast", ArchKind::UlpmcBank, false, true, true, false, false},
+        {"  - without D-Xbar broadcast", ArchKind::UlpmcBank, true, false, true, false, false},
+        {"  - without DM reorg (shared LUTs)", ArchKind::UlpmcBank, true, true, true, true,
+         false},
+    };
+
+    Table t({"variant", "cycles", "IM accesses", "IM acc/op", "power @ 8 MOps/s, 1.2 V",
+             "power @ 5 kOps/s"});
+    for (const auto& v : variants) {
+        app::BenchmarkOptions opt;
+        opt.luts_shared = v.luts_shared;
+        const app::EcgBenchmark bench(opt);
+
+        auto cfg = cluster::make_config(v.arch, bench.layout().dm_layout());
+        cfg.im_broadcast = v.im_broadcast;
+        cfg.dm_broadcast = v.dm_broadcast;
+        cfg.gate_unused_im_banks = v.gate;
+        cfg.stagger_start = v.stagger;
+
+        const auto out = bench.run(cfg);
+        if (!out.verified) {
+            std::cerr << "verification failed for " << v.name << "\n";
+            return 1;
+        }
+        const auto rates = power::EventRates::from_run(out.stats);
+        const power::PowerModel model(v.arch);
+        const double p_dyn = model.dynamic_power(rates, 8e6, power::cal::kVnom).total();
+        const double p_low = model.power_at(rates, 5e3).total;
+
+        t.add_row({v.name, format_count(out.stats.cycles), format_count(out.stats.im_bank_accesses),
+                   format_fixed(rates.im_bank_accesses, 3), format_si(p_dyn, "W"),
+                   format_si(p_low, "W")});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nReading: disabling the I-Xbar broadcast sends IM accesses back toward one\n"
+           "per core-op (the mc-ref pathology); disabling the D-Xbar broadcast makes the\n"
+           "lockstep shared-matrix reads serialize 8-ways, destroying the synchronization\n"
+           "that instruction broadcast depends on; shared LUTs reintroduce the Huffman\n"
+           "conflicts; and only the gated variant keeps its advantage at 5 kOps/s.\n";
+    return 0;
+}

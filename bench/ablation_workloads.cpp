@@ -1,0 +1,93 @@
+// Extension: how workload character changes the architecture ranking.
+// The paper evaluates one application (CS + Huffman, mostly lockstep).
+// This bench runs three workload classes from the paper's own motivation
+// — streaming compression, event detection, plain filtering — on all
+// three architectures and shows that the proposed design's *relative*
+// merit depends on how synchronization-friendly the code is.
+#include <iostream>
+
+#include "app/benchmark.hpp"
+#include "app/ecg.hpp"
+#include "app/fir.hpp"
+#include "app/rpeak.hpp"
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "power/power_model.hpp"
+
+using namespace ulpmc;
+
+namespace {
+
+struct WorkloadResult {
+    cluster::ClusterStats stats;
+};
+
+WorkloadResult run_on(cluster::ArchKind arch, const isa::Program& prog,
+                      const mmu::DmLayout& layout, Addr x_base) {
+    const app::EcgGenerator gen;
+    cluster::Cluster cl(cluster::make_config(arch, layout), prog);
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        const auto x = gen.block(p);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(x_base + i),
+                       static_cast<Word>(x[i]));
+    }
+    cl.run();
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None) {
+            std::cerr << "trap on core " << p << "!\n";
+            std::exit(1);
+        }
+    }
+    return {cl.stats()};
+}
+
+void report(const char* name, const isa::Program& prog, const mmu::DmLayout& layout,
+            Addr x_base) {
+    Table t({"arch", "cycles", "vs mc-ref", "IM acc/op", "dyn power @ 8 MOps/s"});
+    double ref_cycles = 0;
+    for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                            cluster::ArchKind::UlpmcBank}) {
+        const auto r = run_on(arch, prog, layout, x_base);
+        if (arch == cluster::ArchKind::McRef) ref_cycles = static_cast<double>(r.stats.cycles);
+        const auto rates = power::EventRates::from_run(r.stats);
+        const power::PowerModel model(arch);
+        t.add_row({cluster::arch_name(arch), format_count(r.stats.cycles),
+                   format_fixed(static_cast<double>(r.stats.cycles) / ref_cycles, 3),
+                   format_fixed(rates.im_bank_accesses, 3),
+                   format_si(model.dynamic_power(rates, 8e6, 1.2).total(), "W")});
+    }
+    std::cout << "-- " << name << " --\n";
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+    exp::print_experiment_header("Workload-character ablation across the three designs",
+                                 "generalizes the paper's single-benchmark evaluation");
+
+    {
+        const app::EcgBenchmark bench{};
+        report("CS + Huffman (the paper's benchmark: lockstep-friendly)", bench.program(),
+               bench.layout().dm_layout(), bench.layout().x_base());
+    }
+    {
+        const auto fir = app::FirKernel::moving_average(8);
+        report("FIR filtering (branch-light, fully regular)", fir.build_program(512),
+               app::FirLayout::dm_layout(), app::FirLayout::kXBase);
+    }
+    {
+        report("R-peak detection (3 data-dependent branches/sample)",
+               app::build_rpeak_program(), app::RpeakLayout::dm_layout(),
+               app::RpeakLayout::kXBase);
+    }
+
+    std::cout << "Reading: on regular code the banked IM is free (cores never desync) and\n"
+                 "the broadcast merges ~everything; on branchy event-detection code the\n"
+                 "banked organization pays heavily while the interleaved one degrades\n"
+                 "gracefully -- i.e., ulpmc-bank's leakage advantage is bought with a\n"
+                 "throughput tax that only materializes on data-dependent control flow.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+// Reproduces §IV-C2's cycle-count and IM-access-count comparison:
+//
+//   * benchmark execution cycles for mc-ref / ulpmc-int / ulpmc-bank with
+//     the Huffman LUTs in the shared DM section (paper: 90.20k / 90.40k /
+//     101.8k) and in the private section (paper: 90.20k / ~90.20k /
+//     94.00k — the configuration every other experiment uses);
+//   * total IM bank accesses: 8 per-core fetch streams in mc-ref (paper
+//     720,800) vs a mostly-merged broadcast stream in the proposed
+//     designs (paper 90,220), plus the broadcast-only intermediate
+//     configuration without the DM reorganization (paper 428,740).
+//
+// Absolute counts differ from the paper's because our hand-written kernel
+// is smaller than theirs (~67k instructions vs ~90k); the architectural
+// ratios are the reproduction target.
+#include <iostream>
+
+#include "exp/experiments.hpp"
+
+using namespace ulpmc;
+
+namespace {
+
+void run_variant(const char* name, bool luts_shared) {
+    app::BenchmarkOptions opt;
+    opt.luts_shared = luts_shared;
+    const app::EcgBenchmark bench(opt);
+
+    Table t({"arch", "cycles", "vs mc-ref", "IM bank accesses", "IM accesses / op",
+             "stall cycles (all cores)"});
+    double ref_cycles = 0;
+    for (const auto& dp : exp::characterize_all(bench)) {
+        const auto& s = dp.outcome.stats;
+        if (dp.arch == cluster::ArchKind::McRef) ref_cycles = static_cast<double>(s.cycles);
+        std::uint64_t stalls = 0;
+        for (const auto& c : s.core) stalls += c.stall_cycles;
+        t.add_row({cluster::arch_name(dp.arch), format_count(s.cycles),
+                   format_fixed(static_cast<double>(s.cycles) / ref_cycles, 4),
+                   format_count(s.im_bank_accesses),
+                   format_fixed(dp.rates.im_bank_accesses, 4), format_count(stalls)});
+    }
+    std::cout << "-- Huffman LUTs " << name << " --\n";
+    t.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main() {
+    exp::print_experiment_header("Benchmark cycles and instruction-memory accesses",
+                                 "Section IV-C2 (text)");
+
+    std::cout << "Paper, shared LUTs:  cycles 90.20k / 90.40k / 101.8k;  private LUTs: "
+                 "90.20k / ~90.20k / 94.00k\n"
+              << "Paper, IM accesses:  mc-ref 720,800 (8 dedicated streams); proposed "
+                 "90,220 (broadcast + DM reorg)\n\n";
+
+    run_variant("PRIVATE (paper's chosen configuration)", /*luts_shared=*/false);
+    run_variant("SHARED (conflict-prone ablation)", /*luts_shared=*/true);
+    return 0;
+}

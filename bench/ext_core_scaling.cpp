@@ -1,0 +1,86 @@
+// Extension: core-count scaling — the premise the paper inherits from its
+// reference [9] (Dogan et al., PATMOS'11): for a FIXED real-time workload,
+// more cores running slower at a lower voltage beat fewer cores running
+// fast. The paper's architecture supports "up to eight cores"; this bench
+// quantifies why eight. Each active core processes one ECG lead; the
+// real-time deadline is one 512-sample block per lead every 2.048 s.
+#include <iostream>
+
+#include "app/benchmark.hpp"
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Extension: core-count scaling at a fixed real-time job",
+                                 "the paper's premise (ref. [9], PATMOS'11)");
+
+    const app::EcgBenchmark bench{};
+    const double block_period_s = 512.0 / 250.0;
+
+    Table t({"cores", "leads/core", "cycles/job", "f required", "supply", "total power",
+             "vs 1 core"});
+    double p1 = 0;
+    for (const unsigned cores : {1u, 2u, 4u, 8u}) {
+        // The 8-lead job is fixed; with fewer cores each core processes
+        // 8/cores leads sequentially -> cycles scale inversely with cores.
+        auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
+        cfg.cores = cores;
+        const auto out = bench.run(cfg);
+        if (!out.verified) {
+            std::cerr << "verification failed at " << cores << " cores\n";
+            return 1;
+        }
+        const unsigned leads_per_core = kNumCores / cores;
+        const double cycles_job = static_cast<double>(out.stats.cycles) * leads_per_core;
+        const double f_req = cycles_job / block_period_s;
+
+        const auto rates = power::EventRates::from_run(out.stats);
+        const power::PowerModel model(cluster::ArchKind::UlpmcBank);
+        // Workload in ops/s for the full 8-lead job:
+        const double workload =
+            static_cast<double>(out.stats.total_ops()) * leads_per_core / block_period_s;
+        const auto rep = model.power_at(rates, workload);
+        if (cores == 1) p1 = rep.total;
+
+        t.add_row({std::to_string(cores), std::to_string(leads_per_core),
+                   format_count(static_cast<std::uint64_t>(cycles_job)), format_si(f_req, "Hz"),
+                   format_fixed(rep.op.v, 2) + " V", format_si(rep.total, "W"),
+                   cores == 1 ? "-" : format_percent(1.0 - rep.total / p1)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAt this light workload every configuration already sits at the voltage\n"
+                 "floor, so the parallelism dividend is modest -- but at heavier biosignal\n"
+                 "jobs (multiply the lead count or sample rate) the single-core system is\n"
+                 "forced up the V^2 curve while eight cores stay near threshold: the\n"
+                 "near-threshold-computing argument of the paper's introduction.\n";
+
+    // The heavier-job variant: 50x the workload.
+    Table h({"cores", "f required", "supply", "total power", "vs 1 core"});
+    double ph1 = 0;
+    for (const unsigned cores : {1u, 2u, 4u, 8u}) {
+        auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
+        cfg.cores = cores;
+        const auto out = bench.run(cfg);
+        const auto rates = power::EventRates::from_run(out.stats);
+        const power::PowerModel model(cluster::ArchKind::UlpmcBank);
+        const unsigned leads_per_core = kNumCores / cores;
+        const double workload =
+            50.0 * static_cast<double>(out.stats.total_ops()) * leads_per_core / block_period_s;
+        if (workload > model.max_throughput(rates)) {
+            h.add_row({std::to_string(cores), "-", "-", "infeasible", "-"});
+            continue;
+        }
+        const auto rep = model.power_at(rates, workload);
+        if (cores == 1) ph1 = rep.total;
+        h.add_row({std::to_string(cores), format_si(rep.op.f_hz, "Hz"),
+                   format_fixed(rep.op.v, 2) + " V", format_si(rep.total, "W"),
+                   cores == 1 || ph1 == 0 ? "-" : format_percent(1.0 - rep.total / ph1)});
+    }
+    std::cout << "\n50x workload (e.g. high-rate multi-biosignal fusion):\n";
+    h.print(std::cout);
+    return 0;
+}

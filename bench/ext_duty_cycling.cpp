@@ -1,0 +1,53 @@
+// Extension: scheduling policy for periodic biosignal jobs — just-in-time
+// frequency scaling (the paper's implicit policy) vs race-to-idle with a
+// retention sleep state (standard in later ULP platforms). Sweeps the
+// duty cycle and locates the crossover.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+#include "power/governor.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Extension: just-in-time vs race-to-idle scheduling",
+                                 "beyond the paper (its Section IV assumes just-in-time)");
+
+    const app::EcgBenchmark bench{};
+    const auto dp = exp::characterize(cluster::ArchKind::UlpmcBank, bench);
+    const power::PowerModel model(cluster::ArchKind::UlpmcBank);
+    const power::DutyCycleGovernor gov(model, dp.rates);
+
+    const double period = 2.048; // one block period [s]
+    const double job_ops = static_cast<double>(dp.outcome.stats.total_ops());
+
+    Table t({"job intensity", "workload", "JIT power", "race power", "winner", "saving",
+             "race busy/sleep"});
+    for (const double mult : {0.1, 1.0, 5.0, 20.0, 100.0, 400.0, 1000.0}) {
+        const double ops = job_ops * mult;
+        if (ops / period > model.max_throughput(dp.rates)) break;
+        const auto jit = gov.just_in_time(ops, period);
+        const auto race = gov.race_to_idle(ops, period);
+        const bool race_wins = race.energy_per_period < jit.energy_per_period;
+        const double saving = 1.0 - std::min(race.energy_per_period, jit.energy_per_period) /
+                                        std::max(race.energy_per_period, jit.energy_per_period);
+        t.add_row({format_fixed(mult, 1) + "x ECG job", format_si(ops / period, "Ops/s"),
+                   format_si(jit.average_power, "W"), format_si(race.average_power, "W"),
+                   race_wins ? "race-to-idle" : "just-in-time", format_percent(saving),
+                   format_fixed(race.busy_s * 1e3, 1) + " ms / " +
+                       format_fixed(race.sleep_s * 1e3, 1) + " ms"});
+    }
+    t.print(std::cout);
+
+    std::cout
+        << "\nWith a retention sleep state (10% of active leakage) race-to-idle wins at\n"
+           "light duty cycles -- the cluster computes at the voltage floor, then gates\n"
+           "nearly all leakage. Once the deadline forces the supply above the floor the\n"
+           "V^2 dynamic penalty flips the verdict to the paper's just-in-time policy.\n"
+           "This refines, not contradicts, the paper: its Fig. 7 assumes the cluster\n"
+           "has no sleep state, which its own leakage numbers make costly below\n"
+           "~50 kOps/s.\n";
+    return 0;
+}

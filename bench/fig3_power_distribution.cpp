@@ -1,0 +1,43 @@
+// Reproduces Fig. 3: the power distribution of the mc-ref architecture
+// while executing the ECG benchmark — the observation that motivates the
+// whole paper (54% of the power burns in the instruction memory because
+// every core reads the same instructions from its own dedicated bank).
+#include <iostream>
+
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Power distribution in the mc-ref architecture", "Figure 3");
+
+    const app::EcgBenchmark bench{};
+    const auto dp = exp::characterize(cluster::ArchKind::McRef, bench);
+
+    const power::PowerModel model(cluster::ArchKind::McRef);
+    // Any dynamic operating point gives the same split; use Table II's.
+    const auto p = model.dynamic_power(dp.rates, 8e6, power::cal::kVnom);
+    const double total = p.total();
+
+    struct Row {
+        const char* name;
+        double ours;
+        double paper;
+    };
+    const Row rows[] = {
+        {"Instruction memory", p.im / total, 54.0}, {"Cores", p.cores / total, 27.0},
+        {"Data memory", p.dm / total, 11.0},        {"Data crossbar", p.dxbar / total, 3.0},
+        {"Clock", p.clock / total, 5.0},
+    };
+
+    Table t({"component", "share (measured)", "share (paper)"});
+    for (const auto& r : rows)
+        t.add_row({r.name, format_percent(r.ours), format_fixed(r.paper, 0) + "%"});
+    t.print(std::cout);
+
+    std::cout << "\nThe IM dominates because all " << kNumCores
+              << " dedicated banks are read every cycle with identical contents --\n"
+                 "the waste the proposed I-Xbar broadcast eliminates (Sections III-C, IV-C2).\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces Fig. 7: total power of the three designs across the workload
+// range 5 kOps/s ... ~637 MOps/s, normalized to mc-ref. Voltage and
+// frequency scaling are applied above the ~10 MOps/s reachable at the
+// voltage floor; below it only the frequency scales (as in the paper).
+//
+// Headline claims reproduced here:
+//   * at the highest common workload (~637 MOps/s): ulpmc-int saves
+//     ~29.6%, ulpmc-bank ~39.5% vs mc-ref;
+//   * around 10 MOps/s: ulpmc-bank saves ~40.5%;
+//   * at 5 kOps/s (leakage-dominated): ulpmc-int's advantage vanishes
+//     (its curve meets mc-ref's) while ulpmc-bank keeps 38.8% thanks to
+//     IM power gating.
+//
+// NOTE on absolute numbers: our model is calibrated to Table II
+// (80 pJ/op at 1.2 V); Fig. 7's own mW annotations imply ~624 pJ/op — a
+// ~7.8x internal inconsistency of the paper (DESIGN.md §4). The
+// normalized curves, i.e. everything Fig. 7 actually plots, match.
+#include <algorithm>
+#include <iostream>
+#include <vector>
+
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Normalized power consumption at various workloads", "Figure 7");
+
+    const app::EcgBenchmark bench{};
+    const auto designs = exp::characterize_all(bench);
+
+    std::vector<power::PowerModel> models;
+    double common_max = 1e18;
+    for (const auto& dp : designs) {
+        models.emplace_back(dp.arch);
+        common_max = std::min(common_max, models.back().max_throughput(dp.rates));
+    }
+
+    std::vector<double> workloads = {5e3, 5e4, 1e5, 5e5, 5e6, 1e7, 5e7, 5e8, common_max};
+
+    Table t({"workload [Ops/s]", "mc-ref", "ulpmc-int", "ulpmc-bank", "norm int", "norm bank",
+             "supply [V]"});
+    for (const double w : workloads) {
+        std::vector<double> p;
+        double v = 0;
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            const auto rep = models[i].power_at(designs[i].rates, w);
+            p.push_back(rep.total);
+            if (i == 0) v = rep.op.v;
+        }
+        t.add_row({format_si(w, "Ops/s"), format_si(p[0], "W"), format_si(p[1], "W"),
+                   format_si(p[2], "W"), format_fixed(p[1] / p[0], 3), format_fixed(p[2] / p[0], 3),
+                   format_fixed(v, 2)});
+    }
+    t.print(std::cout);
+
+    const auto saving = [&](std::size_t i, double w) {
+        return 1.0 - models[i].power_at(designs[i].rates, w).total /
+                         models[0].power_at(designs[0].rates, w).total;
+    };
+
+    std::cout << "\nHeadline savings vs mc-ref:\n"
+              << "  at " << format_si(common_max, "Ops/s") << " (max workload):  ulpmc-int "
+              << exp::vs_paper_percent(saving(1, common_max), 29.6) << ",  ulpmc-bank "
+              << exp::vs_paper_percent(saving(2, common_max), 39.5) << '\n'
+              << "  at 10 MOps/s:                ulpmc-bank "
+              << exp::vs_paper_percent(saving(2, 1e7), 40.5) << '\n'
+              << "  at 5 kOps/s (leak-dominated): ulpmc-bank "
+              << exp::vs_paper_percent(saving(2, 5e3), 38.8) << ",  ulpmc-int "
+              << exp::vs_paper_percent(saving(1, 5e3), 0.0) << " (paper: \"almost equal\")\n";
+
+    std::cout << "\nAbsolute scale note: our model is calibrated to Table II; Fig. 7's mW\n"
+                 "annotations (397.4/279.8/240.4 mW at the top point, 1.11/0.79/0.66 mW at\n"
+                 "10 MOps/s) are ~7.8x larger than Table II implies -- see EXPERIMENTS.md.\n";
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 8: dynamic vs leakage power of the circuit logic and the
+// memories for light workloads (40..100 kOps/s, supply at the floor).
+//
+// Reproduced claims:
+//   * mc-ref and ulpmc-int leak almost the same; ulpmc-bank leaks 38.8%
+//     less thanks to power gating 7 of 8 IM banks;
+//   * leakage becomes comparable to dynamic power around 50 kOps/s;
+//   * ulpmc-int's total-power advantage therefore collapses at low
+//     workloads while ulpmc-bank keeps its edge.
+#include <iostream>
+
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Dynamic vs leakage power at light workloads", "Figure 8");
+
+    const app::EcgBenchmark bench{};
+    const auto designs = exp::characterize_all(bench);
+
+    Table t({"workload", "arch", "logic dyn", "mem dyn", "logic leak", "mem leak", "total"});
+    for (const double w : {100e3, 70e3, 50e3, 40e3}) {
+        for (const auto& dp : designs) {
+            const power::PowerModel model(dp.arch);
+            const auto rep = model.power_at(dp.rates, w);
+            t.add_row({format_si(w, "Ops/s"), cluster::arch_name(dp.arch),
+                       format_si(rep.dynamic.logic(), "W"), format_si(rep.dynamic.memories(), "W"),
+                       format_si(rep.leakage.logic(), "W"), format_si(rep.leakage.memories(), "W"),
+                       format_si(rep.total, "W")});
+        }
+        t.add_separator();
+    }
+    t.print(std::cout);
+
+    // Leakage ratios (workload-independent at the voltage floor).
+    const power::PowerModel mref(cluster::ArchKind::McRef);
+    const power::PowerModel mint(cluster::ArchKind::UlpmcInt);
+    const power::PowerModel mbank(cluster::ArchKind::UlpmcBank);
+    const double lref = mref.leakage_power(designs[0].rates, power::cal::kVmin).total();
+    const double lint = mint.leakage_power(designs[1].rates, power::cal::kVmin).total();
+    const double lbank = mbank.leakage_power(designs[2].rates, power::cal::kVmin).total();
+
+    std::cout << "\nLeakage vs mc-ref:\n"
+              << "  ulpmc-int : " << exp::vs_paper_percent(1.0 - lint / lref, 0.0)
+              << " (paper: \"almost the same\")\n"
+              << "  ulpmc-bank: " << exp::vs_paper_percent(1.0 - lbank / lref, 38.8)
+              << "  <- IM power gating, " << designs[2].rates.im_banks_gated << "/" << kImBanks
+              << " banks off\n";
+
+    // Locate the dynamic/leakage crossover for mc-ref.
+    double lo = 1e3;
+    double hi = 1e6;
+    for (int i = 0; i < 50; ++i) {
+        const double mid = std::sqrt(lo * hi);
+        const auto rep = mref.power_at(designs[0].rates, mid);
+        (rep.dynamic.total() < rep.leakage.total() ? lo : hi) = mid;
+    }
+    std::cout << "\nmc-ref dynamic == leakage at ~" << format_si(lo, "Ops/s")
+              << " (paper: ~50 kOps/s)\n";
+    return 0;
+}

@@ -1,0 +1,110 @@
+// Simulator micro-benchmarks (google-benchmark): throughput of the hot
+// paths — instruction decode, ALU, crossbar arbitration, single-core ISS
+// stepping and whole-cluster cycle stepping. These guard the simulator's
+// usability for large design-space sweeps; they reproduce no paper figure.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "app/benchmark.hpp"
+#include "cluster/cluster.hpp"
+#include "core/alu.hpp"
+#include "core/functional_core.hpp"
+#include "isa/assembler.hpp"
+#include "isa/encoding.hpp"
+#include "xbar/crossbar.hpp"
+
+using namespace ulpmc;
+
+namespace {
+
+void BM_Decode(benchmark::State& state) {
+    const InstrWord w = isa::encode(isa::make_alu(isa::Opcode::ADD, isa::dreg(1), isa::spostinc(2),
+                                                  isa::sreg(3)));
+    for (auto _ : state) {
+        auto d = isa::decode(w);
+        benchmark::DoNotOptimize(d);
+    }
+}
+BENCHMARK(BM_Decode);
+
+void BM_Alu(benchmark::State& state) {
+    Word a = 0x1234;
+    Word b = 0x0F0F;
+    for (auto _ : state) {
+        const auto r = core::alu_exec(isa::Opcode::ADD, a, b);
+        a = r.value;
+        benchmark::DoNotOptimize(a);
+        b ^= 0x2401;
+    }
+}
+BENCHMARK(BM_Alu);
+
+void BM_XbarArbitrate(benchmark::State& state) {
+    xbar::Crossbar xb(16, 16, true);
+    std::vector<xbar::Request> reqs(16);
+    std::vector<xbar::Grant> grants(16);
+    for (unsigned m = 0; m < 16; ++m)
+        reqs[m] = {.active = true, .is_write = (m % 3 == 0), .bank = static_cast<BankId>(m % 5),
+                   .offset = m % 7u};
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        xb.arbitrate_into(reqs, ++cycle, grants);
+        benchmark::DoNotOptimize(grants.data());
+    }
+}
+BENCHMARK(BM_XbarArbitrate);
+
+void BM_FunctionalCoreStep(benchmark::State& state) {
+    const auto prog = isa::assemble(R"(
+            movi r1, 0
+            movi r2, 1000
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+            movi r1, 0
+            movi r2, 1000
+            bra  al, loop
+    )");
+    core::FlatMemory mem;
+    core::FunctionalCore c(prog.text, mem);
+    for (auto _ : state) {
+        c.step();
+        benchmark::DoNotOptimize(c.state().pc);
+    }
+}
+BENCHMARK(BM_FunctionalCoreStep);
+
+void BM_ClusterCycle(benchmark::State& state) {
+    const app::EcgBenchmark bench{};
+    const auto cfg =
+        cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
+    auto cl = std::make_unique<cluster::Cluster>(cfg, bench.program());
+    for (auto _ : state) {
+        if (!cl->step()) {
+            // The benchmark ran to completion: restart on a fresh cluster
+            // (construction cost excluded from timing).
+            state.PauseTiming();
+            cl = std::make_unique<cluster::Cluster>(cfg, bench.program());
+            state.ResumeTiming();
+            cl->step();
+        }
+        benchmark::DoNotOptimize(cl->stats().cycles);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kNumCores);
+}
+BENCHMARK(BM_ClusterCycle);
+
+void BM_FullBenchmarkRun(benchmark::State& state) {
+    const app::EcgBenchmark bench{};
+    for (auto _ : state) {
+        const auto out = bench.run(cluster::ArchKind::UlpmcBank);
+        benchmark::DoNotOptimize(out.stats.cycles);
+    }
+}
+BENCHMARK(BM_FullBenchmarkRun)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+// Reproduces Table I: component areas of the reference and the proposed
+// architectures in kGE (1 GE = 3.136 um^2). The proposed design pays
+// ~20% more logic area (I-Xbar + broadcast + MMUs) but less than 2% more
+// total area, because the memories dominate (~90%).
+#include <iostream>
+
+#include "exp/experiments.hpp"
+#include "power/area.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Area results of the architectures", "Table I");
+
+    const auto ref = power::area_of(cluster::ArchKind::McRef);
+    const auto prop = power::area_of(cluster::ArchKind::UlpmcBank); // == UlpmcInt
+
+    const auto cell = [](double kge, double paper) {
+        return format_fixed(kge, 1) + " (paper " + format_fixed(paper, 1) + ")";
+    };
+
+    Table t({"component [kGE]", "mc-ref", "ulpmc-int / ulpmc-bank"});
+    t.add_row({"Total", cell(ref.total(), 1108.1), cell(prop.total(), 1128.8)});
+    t.add_separator();
+    t.add_row({"Cores", cell(ref.cores, 81.5), cell(prop.cores, 87.3)});
+    t.add_row({"IMs", cell(ref.im, 429.4), cell(prop.im, 429.4)});
+    t.add_row({"DMs", cell(ref.dm, 576.7), cell(prop.dm, 576.7)});
+    t.add_row({"D-Xbar", cell(ref.dxbar, 20.5), cell(prop.dxbar, 23.0)});
+    t.add_row({"I-Xbar", "-", cell(prop.ixbar, 12.4)});
+    t.print(std::cout);
+
+    std::cout << "\nLogic area increase:  "
+              << format_percent(prop.logic() / ref.logic() - 1.0)
+              << "  (paper: ~20%, \"notably due to the I-Xbar and broadcasting\")\n"
+              << "Total area increase:  "
+              << format_percent(prop.total() / ref.total() - 1.0) << "  (paper: <2%)\n"
+              << "Memory share of total: " << format_percent(prop.memories() / prop.total())
+              << "  (paper: ~90%)\n"
+              << "Total silicon area:    " << format_fixed(prop.total_um2() / 1e6, 3)
+              << " mm^2 (proposed), " << format_fixed(ref.total_um2() / 1e6, 3) << " mm^2 (mc-ref)\n";
+    return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Table II: dynamic power distributions at 8 MOps/s and 1.2 V
+// for the three designs, and the proposed designs' active-power savings
+// (paper: ulpmc-int 29.7%, ulpmc-bank 40.6% vs mc-ref).
+//
+// Method identical to the paper: run the ECG benchmark cycle-accurately,
+// convert event counts to power with the calibrated per-event energies,
+// evaluate at the Table II operating point (8 MOps/s aggregate, nominal
+// 1.2 V supply, dynamic power only).
+#include <iostream>
+
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    exp::print_experiment_header("Dynamic power distribution at 8 MOps/s and 1.2 V", "Table II");
+
+    const app::EcgBenchmark bench{};
+    const auto designs = exp::characterize_all(bench);
+
+    constexpr double kWorkload = 8e6; // ops/s, the table's operating point
+    const double v = power::cal::kVnom;
+
+    // Paper's Table II rows [mW].
+    struct PaperCol {
+        double total, cores, im, dm, dxbar, ixbar, clock;
+    };
+    const PaperCol paper[] = {{0.64, 0.18, 0.36, 0.07, 0.02, 0.0, 0.03},
+                              {0.45, 0.25, 0.05, 0.06, 0.03, 0.03, 0.04},
+                              {0.38, 0.21, 0.05, 0.06, 0.02, 0.01, 0.04}};
+
+    Table t({"component", "mc-ref", "ulpmc-int", "ulpmc-bank"});
+    std::vector<power::PowerBreakdown> p;
+    for (const auto& dp : designs) {
+        const power::PowerModel model(dp.arch);
+        p.push_back(model.dynamic_power(dp.rates, kWorkload, v));
+    }
+
+    const auto row = [&](const char* name, auto get, auto getp) {
+        t.add_row({name,
+                   format_si(get(p[0]), "W") + "  (paper " + format_fixed(getp(paper[0]), 2) + " mW)",
+                   format_si(get(p[1]), "W") + "  (paper " + format_fixed(getp(paper[1]), 2) + " mW)",
+                   format_si(get(p[2]), "W") + "  (paper " + format_fixed(getp(paper[2]), 2) + " mW)"});
+    };
+
+    row("Total", [](const auto& b) { return b.total(); }, [](const auto& c) { return c.total; });
+    t.add_separator();
+    row("Cores", [](const auto& b) { return b.cores; }, [](const auto& c) { return c.cores; });
+    row("IM", [](const auto& b) { return b.im; }, [](const auto& c) { return c.im; });
+    row("DM", [](const auto& b) { return b.dm; }, [](const auto& c) { return c.dm; });
+    row("D-Xbar", [](const auto& b) { return b.dxbar; }, [](const auto& c) { return c.dxbar; });
+    row("I-Xbar", [](const auto& b) { return b.ixbar; }, [](const auto& c) { return c.ixbar; });
+    row("Clock tree", [](const auto& b) { return b.clock; }, [](const auto& c) { return c.clock; });
+    t.print(std::cout);
+
+    std::cout << "\nActive power savings vs mc-ref:\n"
+              << "  ulpmc-int : "
+              << exp::vs_paper_percent(1.0 - p[1].total() / p[0].total(), 29.7) << '\n'
+              << "  ulpmc-bank: "
+              << exp::vs_paper_percent(1.0 - p[2].total() / p[0].total(), 40.6) << '\n';
+
+    std::cout << "\nMeasured per-op event rates (model inputs):\n";
+    Table r({"arch", "IM acc/op", "DM acc/op", "D-Xbar req/op", "I-Xbar req/op", "ops/cycle"});
+    for (const auto& dp : designs) {
+        r.add_row({cluster::arch_name(dp.arch), format_fixed(dp.rates.im_bank_accesses, 4),
+                   format_fixed(dp.rates.dm_bank_accesses, 4),
+                   format_fixed(dp.rates.dxbar_requests, 4),
+                   format_fixed(dp.rates.ixbar_requests, 4), format_fixed(dp.rates.ops_per_cycle, 3)});
+    }
+    r.print(std::cout);
+    return 0;
+}

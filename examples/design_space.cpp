@@ -1,0 +1,87 @@
+// Design-space exploration: for a range of biosignal workloads — from a
+// duty-cycled single-lead monitor to a saturated multi-biosignal hub —
+// pick the best architecture and operating point. Reproduces the paper's
+// engineering takeaway: ulpmc-bank wins everywhere, ulpmc-int only while
+// dynamic power dominates, and voltage scaling stops at the floor.
+//
+//   $ ./build/examples/design_space
+#include <iostream>
+#include <vector>
+
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+using namespace ulpmc;
+
+namespace {
+
+struct Scenario {
+    const char* name;
+    double workload; // Ops/s
+};
+
+} // namespace
+
+int main() {
+    const app::EcgBenchmark bench{};
+    const auto designs = exp::characterize_all(bench);
+
+    const std::vector<Scenario> scenarios = {
+        {"pulse oximetry, duty-cycled", 5e3},
+        {"single-lead ECG R-peak", 50e3},
+        {"3-lead ECG delineation", 500e3},
+        {"8-lead ECG CS+Huffman (this paper)", 2.7e5},
+        {"EEG seizure detection, 32 ch", 5e6},
+        {"multi-biosignal fusion", 50e6},
+        {"peak: imaging burst", 500e6},
+    };
+
+    Table t({"scenario", "workload", "best arch", "supply", "clock", "power",
+             "vs worst arch"});
+    for (const auto& sc : scenarios) {
+        double best_p = 1e9;
+        double worst_p = 0;
+        std::size_t best_i = 0;
+        std::vector<double> totals;
+        for (std::size_t i = 0; i < designs.size(); ++i) {
+            const power::PowerModel model(designs[i].arch);
+            if (sc.workload > model.max_throughput(designs[i].rates)) {
+                totals.push_back(-1);
+                continue;
+            }
+            const double p = model.power_at(designs[i].rates, sc.workload).total;
+            totals.push_back(p);
+            if (p < best_p) {
+                best_p = p;
+                best_i = i;
+            }
+            worst_p = std::max(worst_p, p);
+        }
+        const power::PowerModel model(designs[best_i].arch);
+        const auto rep = model.power_at(designs[best_i].rates, sc.workload);
+        t.add_row({sc.name, format_si(sc.workload, "Ops/s"),
+                   cluster::arch_name(designs[best_i].arch), format_fixed(rep.op.v, 2) + " V",
+                   format_si(rep.op.f_hz, "Hz"), format_si(best_p, "W"),
+                   format_percent(1.0 - best_p / worst_p)});
+    }
+    t.print(std::cout);
+
+    // Where does ulpmc-int stop being better than mc-ref? (Fig. 7's
+    // low-workload crossover story.)
+    const power::PowerModel mref(cluster::ArchKind::McRef);
+    const power::PowerModel mint(cluster::ArchKind::UlpmcInt);
+    double lo = 1e2;
+    double hi = 1e6;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = std::sqrt(lo * hi);
+        const double d = mint.power_at(designs[1].rates, mid).total -
+                         mref.power_at(designs[0].rates, mid).total;
+        (d > 0 ? lo : hi) = mid;
+    }
+    std::cout << "\nulpmc-int's dynamic-power advantage dies below ~" << format_si(hi, "Ops/s")
+              << " (leakage parity with mc-ref; the paper places this near 5 kOps/s).\n"
+              << "ulpmc-bank never crosses: gated IM banks cut leakage by "
+              << format_percent(0.388) << ".\n";
+    return 0;
+}

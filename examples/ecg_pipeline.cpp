@@ -1,0 +1,83 @@
+// The paper's motivating scenario, end to end: an 8-lead wearable ECG
+// node samples at 250 Hz, compresses every 512-sample block with CS,
+// entropy-codes it with Huffman on the ulpmc-bank cluster, and the host
+// (the "base station") decodes the received bitstream. The example then
+// asks the power model what this real-time workload costs on each
+// architecture — the numbers a system designer actually wants.
+//
+//   $ ./build/examples/ecg_pipeline
+#include <iostream>
+
+#include "app/benchmark.hpp"
+#include "app/reconstruct.hpp"
+#include "common/table.hpp"
+#include "exp/experiments.hpp"
+#include "power/power_model.hpp"
+
+using namespace ulpmc;
+
+int main() {
+    const app::EcgBenchmark bench{};
+
+    std::cout << "8-lead ECG node: 250 Hz, 512-sample blocks, CS 50% + Huffman\n"
+              << "Program: " << bench.program().text.size() << " instructions, CS matrix "
+              << bench.matrix().bytes() << " B, Huffman LUTs 2x1024 B\n\n";
+
+    // --- run the block on the proposed architecture -------------------------
+    const auto out = bench.run(cluster::ArchKind::UlpmcBank);
+    std::cout << "Cluster run: " << out.stats.cycles << " cycles, outputs "
+              << (out.verified ? "VERIFIED bit-exact against the host pipeline"
+                               : "MISMATCH (bug!)")
+              << "\n";
+
+    // --- base-station decode -------------------------------------------------
+    std::size_t decoded_ok = 0;
+    for (unsigned lead = 0; lead < app::kEcgLeads; ++lead) {
+        const auto symbols =
+            app::huffman_decode(bench.table(), out.bitstreams[lead], app::kCsOutputLen);
+        if (symbols && *symbols == bench.golden_symbols(lead)) ++decoded_ok;
+    }
+    std::cout << "Host decode: " << decoded_ok << "/" << app::kEcgLeads
+              << " lead bitstreams decoded to the exact symbol streams\n";
+    std::cout << "Compression: " << format_fixed(out.bits_per_sample, 2)
+              << " bits/sample (raw ADC: 16 bits/sample)\n";
+
+    // Full receive chain: dequantize the transmitted symbols and run the
+    // OMP/Haar compressed-sensing reconstruction (lead 0).
+    {
+        const auto y = app::dequantize_symbols(bench.golden_symbols(0));
+        const auto recon = app::cs_reconstruct(bench.matrix(), y);
+        std::cout << "Reconstruction (OMP, Haar basis): "
+                  << format_fixed(app::prd_percent(bench.lead_samples(0), recon), 1)
+                  << "% PRD on lead 0\n\n";
+    }
+
+    // --- what does real-time monitoring cost? --------------------------------
+    // One block per lead every 512/250 s; the whole-cluster work per block
+    // is out.stats.total_ops() operations.
+    const double block_period_s = 512.0 / 250.0;
+    const double workload = static_cast<double>(out.stats.total_ops()) / block_period_s;
+    std::cout << "Real-time workload: " << format_si(workload, "Ops/s")
+              << " (duty cycling between blocks)\n\n";
+
+    Table t({"architecture", "supply", "clock", "power", "energy/day", "saving"});
+    double p_ref = 0;
+    for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                            cluster::ArchKind::UlpmcBank}) {
+        const auto dp = exp::characterize(arch, bench);
+        const power::PowerModel model(arch);
+        const auto rep = model.power_at(dp.rates, workload);
+        if (arch == cluster::ArchKind::McRef) p_ref = rep.total;
+        t.add_row({cluster::arch_name(arch), format_fixed(rep.op.v, 2) + " V",
+                   format_si(rep.op.f_hz, "Hz"), format_si(rep.total, "W"),
+                   format_si(rep.total * 86400.0, "J"),
+                   arch == cluster::ArchKind::McRef ? "-"
+                                                    : format_percent(1.0 - rep.total / p_ref)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nAt this near-idle duty cycle the node is leakage-dominated: the\n"
+                 "ulpmc-bank design's IM power gating is what extends battery life\n"
+                 "(the paper's low-workload headline, Figs. 7/8).\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+#include "app/cs.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::app {
+
+CsMatrix::CsMatrix(std::uint64_t seed, std::size_t rows, std::size_t cols, std::size_t taps)
+    : rows_(rows), cols_(cols), taps_(taps) {
+    ULPMC_EXPECTS(rows > 0 && cols > 0);
+    ULPMC_EXPECTS(taps > 0 && taps <= cols);
+    ULPMC_EXPECTS(cols <= kCsIndexMask + 1u);
+
+    Rng rng(seed);
+    entries_.reserve(rows * taps);
+    std::vector<std::uint32_t> columns(cols);
+    for (std::size_t c = 0; c < cols; ++c) columns[c] = static_cast<std::uint32_t>(c);
+
+    for (std::size_t r = 0; r < rows; ++r) {
+        // Partial Fisher-Yates: pick `taps` distinct columns for this row.
+        for (std::size_t t = 0; t < taps; ++t) {
+            const std::size_t j = t + rng.below(static_cast<std::uint32_t>(cols - t));
+            std::swap(columns[t], columns[j]);
+            const Word sign = (rng.next_u32() & 1u) ? kCsSignBit : 0;
+            entries_.push_back(static_cast<Word>(columns[t]) | sign);
+        }
+        // Sort the row's taps by column so the x[] accesses stride forward
+        // (friendlier to real memories; irrelevant to correctness).
+        std::sort(entries_.end() - static_cast<std::ptrdiff_t>(taps), entries_.end(),
+                  [](Word a, Word b) { return (a & kCsIndexMask) < (b & kCsIndexMask); });
+    }
+}
+
+Word CsMatrix::entry(std::size_t r, std::size_t t) const {
+    ULPMC_EXPECTS(r < rows_ && t < taps_);
+    return entries_[r * taps_ + t];
+}
+
+std::vector<Word> cs_compress(const CsMatrix& m, std::span<const std::int16_t> x) {
+    ULPMC_EXPECTS(x.size() == m.cols());
+    std::vector<Word> y(m.rows());
+    std::size_t p = 0;
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        Word acc = 0; // wrap-around 16-bit, exactly like the kernel
+        for (std::size_t t = 0; t < m.taps(); ++t) {
+            const Word e = m.entries()[p++];
+            const Word sample = static_cast<Word>(x[e & kCsIndexMask]);
+            acc = (e & kCsSignBit) ? static_cast<Word>(acc - sample)
+                                   : static_cast<Word>(acc + sample);
+        }
+        y[r] = acc;
+    }
+    return y;
+}
+
+Word cs_quantize_symbol(Word y) {
+    const auto sy = static_cast<SWord>(y);
+    return static_cast<Word>((sy >> kCsSymbolShift) & static_cast<int>(kCsSymbolCount - 1));
+}
+
+std::vector<Word> cs_quantize(std::span<const Word> y) {
+    std::vector<Word> out(y.size());
+    for (std::size_t i = 0; i < y.size(); ++i) out[i] = cs_quantize_symbol(y[i]);
+    return out;
+}
+
+} // namespace ulpmc::app

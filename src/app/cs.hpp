@@ -1,0 +1,73 @@
+// Compressed sensing front end (paper §II, after Mamaghanian et al.,
+// TBME'11): y = Phi * x with a sparse random +-1 sensing matrix achieving
+// 50% compression of 512-sample blocks.
+//
+// The sensing matrix is stored exactly the way the TamaRISC kernel
+// consumes it — a flat "random vector" of m*d 16-bit entries, each packing
+// a column index (low 9 bits) and a sign (bit 15), read with a strictly
+// linear access pattern. At the paper's dimensions (m=256, d=24) the
+// vector is 6144 words = 12288 bytes, matching §II's footprint to the byte.
+//
+// The golden compressor here replicates the kernel's wrap-around 16-bit
+// arithmetic bit-exactly, so host and cluster outputs can be compared
+// word for word.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace ulpmc::app {
+
+/// Sensing matrix dimensions used by the paper's benchmark.
+inline constexpr std::size_t kCsInputLen = 512;  ///< n: samples per block
+inline constexpr std::size_t kCsOutputLen = 256; ///< m: measurements (50%)
+inline constexpr std::size_t kCsTapsPerRow = 24; ///< d: nonzeros per row
+
+/// Bit layout of one matrix entry.
+inline constexpr Word kCsIndexMask = 0x01FF; ///< column index (0..511)
+inline constexpr Word kCsSignBit = 0x8000;   ///< 1 => subtract the sample
+
+/// Sparse random +-1 sensing matrix.
+class CsMatrix {
+public:
+    /// Draws a fresh matrix: per row, `taps` distinct column indices with
+    /// independent random signs. Deterministic in `seed`.
+    CsMatrix(std::uint64_t seed, std::size_t rows = kCsOutputLen,
+             std::size_t cols = kCsInputLen, std::size_t taps = kCsTapsPerRow);
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+    std::size_t taps() const { return taps_; }
+
+    /// The flat entry stream, row-major (what the kernel walks linearly).
+    std::span<const Word> entries() const { return entries_; }
+
+    /// Entry of row r, tap t.
+    Word entry(std::size_t r, std::size_t t) const;
+
+    /// Footprint in bytes (paper: 12288).
+    std::size_t bytes() const { return entries_.size() * 2; }
+
+private:
+    std::size_t rows_, cols_, taps_;
+    std::vector<Word> entries_;
+};
+
+/// Golden compression: y[r] = sum over taps of +-x[index], computed in
+/// wrap-around 16-bit arithmetic exactly like the TamaRISC kernel.
+std::vector<Word> cs_compress(const CsMatrix& m, std::span<const std::int16_t> x);
+
+/// The benchmark's measurement-to-symbol quantizer: arithmetic shift right
+/// by 6, masked to 9 bits (512 Huffman symbols).
+inline constexpr int kCsSymbolShift = 6;
+inline constexpr unsigned kCsSymbolCount = 512;
+Word cs_quantize_symbol(Word y);
+
+/// Quantizes a whole measurement vector.
+std::vector<Word> cs_quantize(std::span<const Word> y);
+
+} // namespace ulpmc::app

@@ -1,0 +1,85 @@
+#include "app/fir.hpp"
+
+#include "common/assert.hpp"
+#include "core/alu.hpp"
+#include "isa/asm_builder.hpp"
+
+namespace ulpmc::app {
+
+FirKernel::FirKernel(std::vector<std::int16_t> coeffs) : coeffs_(std::move(coeffs)) {
+    ULPMC_EXPECTS(!coeffs_.empty());
+    ULPMC_EXPECTS(coeffs_.size() <= FirLayout::kMaxTaps);
+}
+
+FirKernel FirKernel::moving_average(unsigned taps) {
+    ULPMC_EXPECTS(taps >= 1 && taps <= FirLayout::kMaxTaps);
+    // Q16 (MULH >>16): DC gain = taps * c / 65536, so c = 65536 / taps
+    // gives unity; c fits int16 for taps >= 3 (clamped to ~0.5 below).
+    const int c = std::min(32767, static_cast<int>(65536 / taps));
+    return FirKernel(std::vector<std::int16_t>(taps, static_cast<std::int16_t>(c)));
+}
+
+std::vector<Word> FirKernel::apply(std::span<const std::int16_t> x) const {
+    ULPMC_EXPECTS(x.size() <= FirLayout::kMaxSamples);
+    const std::size_t taps = coeffs_.size();
+    std::vector<Word> y(x.size(), 0);
+    for (std::size_t n = taps - 1; n < x.size(); ++n) {
+        Word acc = 0;
+        for (std::size_t k = 0; k < taps; ++k) {
+            const Word prod = core::alu_exec(isa::Opcode::MULH,
+                                             static_cast<Word>(coeffs_[k]),
+                                             static_cast<Word>(x[n - k]))
+                                  .value;
+            acc = static_cast<Word>(acc + prod);
+        }
+        y[n] = acc;
+    }
+    return y;
+}
+
+isa::Program FirKernel::build_program(std::size_t n_samples) const {
+    using namespace ulpmc::isa;
+    ULPMC_EXPECTS(n_samples >= coeffs_.size());
+    ULPMC_EXPECTS(n_samples <= FirLayout::kMaxSamples);
+    const std::size_t taps = coeffs_.size();
+
+    AsmBuilder b;
+    // r1 = &x[n], r2 = &y[n], r3 = tap counter, r4 = acc, r5 = sample
+    // cursor (walks backwards), r6/r7 = temps, r8 = coeff cursor,
+    // r11 = samples left.
+    b.label("entry");
+    b.movi(1, static_cast<Word>(FirLayout::kXBase + taps - 1));
+    b.movi(2, static_cast<Word>(FirLayout::kYBase + taps - 1));
+    b.movi(11, static_cast<Word>(n_samples - (taps - 1)));
+
+    b.label("sample");
+    b.mov(dreg(5), sreg(1)); // cursor = &x[n]
+    b.movi(8, FirLayout::kCoeffBase);
+    b.movi(3, static_cast<Word>(taps));
+    b.mov(dreg(4), sreg(0)); // acc = 0
+
+    b.label("tap");
+    b.mov(dreg(6), spostdec(5));       // x[n-k], cursor walks back
+    b.mov(dreg(7), spostinc(8));       // c[k]
+    b.mulh(dreg(7), sreg(7), sreg(6)); // (c * x) >> 16
+    b.add(dreg(4), sreg(4), sreg(7));
+    b.sub(dreg(3), sreg(3), simm(1));
+    b.bra(Cond::NE, "tap");
+
+    b.mov(dpostinc(2), sreg(4)); // y[n] = acc
+    b.add(dreg(1), sreg(1), simm(1));
+    b.sub(dreg(11), sreg(11), simm(1));
+    b.bra(Cond::NE, "sample");
+    b.hlt();
+
+    // Coefficient ROM in the private template.
+    b.space(FirLayout::kCoeffBase - b.data_here());
+    b.data_label("coeffs");
+    for (const std::int16_t c : coeffs_) b.word(static_cast<Word>(c));
+
+    isa::Program p = b.finish();
+    p.entry = p.text_addr("entry");
+    return p;
+}
+
+} // namespace ulpmc::app

@@ -1,0 +1,59 @@
+// Generic FIR filtering kernel for TamaRISC — the "mostly signal
+// filtering" workload class the paper's introduction attributes to
+// commercial monitoring nodes (Sensium, PiiX). Provided as a reusable
+// kernel builder: coefficients are Q16 fixed point (65536 would be +1.0,
+// so a single coefficient reaches at most ~0.5), the multiply uses MULH
+// (the signed high half): each tap contributes (c * x) >> 16 — the
+// idiomatic 16-bit DSP MAC on this ISA.
+//
+// As with every kernel in this repository, the host golden filter is
+// bit-exact with the generated TamaRISC code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "mmu/mmu.hpp"
+
+namespace ulpmc::app {
+
+/// Data layout of the FIR kernel (all per-core private).
+struct FirLayout {
+    static constexpr Addr kXBase = 0;      ///< input samples
+    static constexpr Addr kYBase = 1024;   ///< output samples
+    static constexpr Addr kCoeffBase = 2048; ///< Q16 coefficients
+    static constexpr std::size_t kMaxSamples = 1024;
+    static constexpr std::size_t kMaxTaps = 64;
+
+    static mmu::DmLayout dm_layout() { return {0, 2368}; }
+};
+
+/// A Q16 FIR filter.
+class FirKernel {
+public:
+    /// `coeffs` are Q16 (32767 ~= +0.5). 1..kMaxTaps entries.
+    explicit FirKernel(std::vector<std::int16_t> coeffs);
+
+    /// Symmetric moving-average lowpass of `taps` points (DC gain ~1).
+    static FirKernel moving_average(unsigned taps);
+
+    const std::vector<std::int16_t>& coeffs() const { return coeffs_; }
+
+    /// Golden filter, bit-exact with the kernel: for n >= taps-1,
+    /// y[n] = sum_k mulh(c[k], x[n-k]) in wrap-around Word arithmetic;
+    /// the first taps-1 outputs are 0 (no history).
+    std::vector<Word> apply(std::span<const std::int16_t> x) const;
+
+    /// Emits the TamaRISC program filtering `n_samples` from the layout's
+    /// x buffer into its y buffer (coefficients are linked into the data
+    /// image).
+    isa::Program build_program(std::size_t n_samples) const;
+
+private:
+    std::vector<std::int16_t> coeffs_;
+};
+
+} // namespace ulpmc::app

@@ -1,0 +1,193 @@
+#include "app/huffman.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::app {
+
+namespace {
+
+/// Package-merge: optimal code lengths under a hard length limit
+/// (Larmore & Hirschberg's coin-collector formulation).
+std::vector<std::uint8_t> package_merge(std::span<const std::uint64_t> freqs, unsigned max_len) {
+    const std::size_t n = freqs.size();
+    ULPMC_EXPECTS(n >= 2);
+    ULPMC_EXPECTS((1ull << max_len) >= n); // limit must be feasible
+
+    struct Item {
+        std::uint64_t weight;
+        std::vector<std::uint32_t> syms; // leaves contained in the package
+    };
+
+    // Leaves sorted by weight (stable on symbol index for determinism).
+    std::vector<Item> leaves;
+    leaves.reserve(n);
+    for (std::size_t s = 0; s < n; ++s)
+        leaves.push_back({std::max<std::uint64_t>(freqs[s], 1), {static_cast<std::uint32_t>(s)}});
+    std::stable_sort(leaves.begin(), leaves.end(),
+                     [](const Item& a, const Item& b) { return a.weight < b.weight; });
+
+    std::vector<Item> prev; // the list for the previous level
+    for (unsigned level = 0; level < max_len; ++level) {
+        // Package pairs from the previous level...
+        std::vector<Item> packages;
+        for (std::size_t i = 0; i + 1 < prev.size(); i += 2) {
+            Item pkg;
+            pkg.weight = prev[i].weight + prev[i + 1].weight;
+            pkg.syms = prev[i].syms;
+            pkg.syms.insert(pkg.syms.end(), prev[i + 1].syms.begin(), prev[i + 1].syms.end());
+            packages.push_back(std::move(pkg));
+        }
+        // ...and merge with the fresh leaves.
+        std::vector<Item> merged;
+        merged.reserve(leaves.size() + packages.size());
+        std::merge(leaves.begin(), leaves.end(), std::make_move_iterator(packages.begin()),
+                   std::make_move_iterator(packages.end()), std::back_inserter(merged),
+                   [](const Item& a, const Item& b) { return a.weight < b.weight; });
+        prev = std::move(merged);
+    }
+
+    // The first 2n-2 items of the final list define the code: each leaf
+    // occurrence adds one to the symbol's code length.
+    std::vector<std::uint8_t> lens(n, 0);
+    const std::size_t take = 2 * n - 2;
+    ULPMC_ASSERT(prev.size() >= take);
+    for (std::size_t i = 0; i < take; ++i)
+        for (const std::uint32_t s : prev[i].syms) ++lens[s];
+
+    for (const auto l : lens) ULPMC_ENSURES(l >= 1 && l <= max_len);
+    return lens;
+}
+
+} // namespace
+
+HuffmanTable::HuffmanTable(std::span<const std::uint64_t> freqs, unsigned max_len) {
+    ULPMC_EXPECTS(max_len >= 1 && max_len <= kHuffMaxLen);
+    len_ = package_merge(freqs, max_len);
+
+    // Canonical code assignment: symbols ordered by (length, index).
+    const std::size_t n = len_.size();
+    std::vector<std::uint32_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return len_[a] != len_[b] ? len_[a] < len_[b] : a < b;
+    });
+
+    code_.assign(n, 0);
+    std::uint32_t code = 0;
+    unsigned prev_len = len_[order[0]];
+    for (const std::uint32_t s : order) {
+        code <<= (len_[s] - prev_len);
+        prev_len = len_[s];
+        ULPMC_ASSERT(code < (1u << len_[s]));
+        code_[s] = static_cast<Word>(code);
+        ++code;
+    }
+}
+
+Word HuffmanTable::code(std::size_t sym) const {
+    ULPMC_EXPECTS(sym < code_.size());
+    return code_[sym];
+}
+
+unsigned HuffmanTable::length(std::size_t sym) const {
+    ULPMC_EXPECTS(sym < len_.size());
+    return len_[sym];
+}
+
+std::vector<Word> HuffmanTable::len_lut() const {
+    std::vector<Word> lut(len_.size());
+    for (std::size_t s = 0; s < len_.size(); ++s) lut[s] = len_[s];
+    return lut;
+}
+
+std::uint64_t HuffmanTable::kraft_scaled(unsigned max_len) const {
+    std::uint64_t sum = 0;
+    for (const auto l : len_) sum += 1ull << (max_len - l);
+    return sum;
+}
+
+BitStream huffman_encode(const HuffmanTable& t, std::span<const Word> symbols) {
+    BitStream bs;
+    Word buffer = 0;   // current word, filled from the MSB
+    unsigned free = 16; // free bits remaining in `buffer`
+    for (const Word sym : symbols) {
+        const Word code = t.code(sym);
+        const unsigned len = t.length(sym);
+        bs.bits += len;
+        if (len <= free) {
+            buffer = static_cast<Word>(buffer | static_cast<Word>(code << (free - len)));
+            free -= len;
+            if (free == 0) {
+                bs.words.push_back(buffer);
+                buffer = 0;
+                free = 16;
+            }
+        } else {
+            const unsigned spill = len - free; // low bits for the next word
+            buffer = static_cast<Word>(buffer | static_cast<Word>(code >> spill));
+            bs.words.push_back(buffer);
+            buffer = static_cast<Word>(code << (16 - spill));
+            free = 16 - spill;
+        }
+    }
+    if (free != 16) bs.words.push_back(buffer);
+    return bs;
+}
+
+std::optional<std::vector<Word>> huffman_decode(const HuffmanTable& t, const BitStream& bs,
+                                                std::size_t count) {
+    // Canonical decode via per-length first-code boundaries.
+    std::vector<std::uint32_t> first_code(kHuffMaxLen + 2, 0);
+    std::vector<std::uint32_t> first_index(kHuffMaxLen + 2, 0);
+    std::vector<std::uint32_t> order;
+    order.resize(t.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+        return t.length(a) != t.length(b) ? t.length(a) < t.length(b) : a < b;
+    });
+    std::vector<std::uint32_t> count_by_len(kHuffMaxLen + 1, 0);
+    for (std::size_t s = 0; s < t.size(); ++s) ++count_by_len[t.length(s)];
+    {
+        std::uint32_t code = 0;
+        std::uint32_t index = 0;
+        for (unsigned l = 1; l <= kHuffMaxLen; ++l) {
+            first_code[l] = code;
+            first_index[l] = index;
+            code = (code + count_by_len[l]) << 1;
+            index += count_by_len[l];
+        }
+    }
+
+    const auto bit_at = [&](std::size_t i) -> int {
+        const std::size_t w = i / 16;
+        if (w >= bs.words.size()) return -1;
+        return (bs.words[w] >> (15 - (i % 16))) & 1;
+    };
+
+    std::vector<Word> out;
+    out.reserve(count);
+    std::size_t pos = 0;
+    while (out.size() < count) {
+        std::uint32_t code = 0;
+        unsigned len = 0;
+        while (true) {
+            const int b = bit_at(pos);
+            if (b < 0 || pos >= bs.bits) return std::nullopt;
+            ++pos;
+            code = (code << 1) | static_cast<std::uint32_t>(b);
+            ++len;
+            if (len > kHuffMaxLen) return std::nullopt;
+            if (count_by_len[len] != 0 &&
+                code - first_code[len] < count_by_len[len]) {
+                out.push_back(static_cast<Word>(order[first_index[len] + (code - first_code[len])]));
+                break;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace ulpmc::app

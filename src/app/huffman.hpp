@@ -1,0 +1,71 @@
+// Huffman coding stage (paper §II): entropy-codes the quantized CS
+// measurements for wireless transmission.
+//
+// The code is canonical and length-limited to 15 bits (so a code always
+// fits a 16-bit word with bit 15 clear — a property the TamaRISC packer
+// exploits for its arithmetic-shift trick). It is materialized as the two
+// 512-entry lookup tables the paper describes — a code LUT and a length
+// LUT, 1024 bytes each — which are linked into either the shared or the
+// private DM section depending on the experiment (§IV-C2).
+//
+// The host-side encoder is bit-exact with the TamaRISC kernel (MSB-first
+// packing into 16-bit words); the decoder exists for end-to-end
+// verification of the cluster's output bitstream.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ulpmc::app {
+
+/// Maximum code length: keeps bit 15 of every code word zero.
+inline constexpr unsigned kHuffMaxLen = 15;
+
+/// A canonical, length-limited Huffman code over `size()` symbols.
+class HuffmanTable {
+public:
+    /// Builds the optimal length-limited code for `freqs` (package-merge).
+    /// Zero frequencies are floored to 1 so every symbol stays encodable.
+    explicit HuffmanTable(std::span<const std::uint64_t> freqs,
+                          unsigned max_len = kHuffMaxLen);
+
+    std::size_t size() const { return code_.size(); }
+
+    /// Right-aligned code bits of `sym`.
+    Word code(std::size_t sym) const;
+    /// Code length in bits (1..max_len).
+    unsigned length(std::size_t sym) const;
+
+    /// The two ROM images the benchmark links into data memory.
+    std::span<const Word> code_lut() const { return code_; }
+    std::vector<Word> len_lut() const;
+
+    /// Kraft sum numerator scaled by 2^max_len (== 2^max_len for a
+    /// complete code); exposed for property tests.
+    std::uint64_t kraft_scaled(unsigned max_len = kHuffMaxLen) const;
+
+private:
+    std::vector<Word> code_;
+    std::vector<std::uint8_t> len_;
+};
+
+/// An encoded bitstream: 16-bit words, MSB-first fill, plus the exact bit
+/// count (the last word is zero-padded).
+struct BitStream {
+    std::vector<Word> words;
+    std::size_t bits = 0;
+};
+
+/// Encodes `symbols` — bit-exact with the TamaRISC packer.
+BitStream huffman_encode(const HuffmanTable& t, std::span<const Word> symbols);
+
+/// Decodes exactly `count` symbols; std::nullopt if the stream is invalid
+/// or too short.
+std::optional<std::vector<Word>> huffman_decode(const HuffmanTable& t, const BitStream& bs,
+                                                std::size_t count);
+
+} // namespace ulpmc::app

@@ -1,0 +1,240 @@
+#include "app/kernels.hpp"
+
+#include "cluster/config.hpp"
+#include "common/assert.hpp"
+#include "isa/asm_builder.hpp"
+
+namespace ulpmc::app {
+
+using namespace ulpmc::isa;
+
+namespace {
+
+/// Emits the compressed-sensing kernel.
+///
+/// Register use: r0=0, r1=matrix ptr, r2=x base, r3=y ptr, r4=tap counter,
+/// r5=accumulator, r6=matrix entry, r7=sample/temp, r8=index mask,
+/// r9=sign mask, r10=row counter, r12=-15 (sign-extract shift),
+/// r15=frame pointer (compiler-spill variant).
+///
+/// The inner loop has exactly one shared-memory read (the linear matrix
+/// walk) and a period >= 8 instructions, so a 1-cycle start stagger makes
+/// eight cores' shared reads hit disjoint cycles — mc-ref's conflict-free
+/// schedule — while lockstep cores merge the read via broadcast on the
+/// proposed designs. Control flow is fully input-independent (sign
+/// handling is branchless), as the paper requires of the CS part.
+///
+/// In the default compiler-spill variant the loop counter lives in frame
+/// slot 0 and the accumulator is written through to frame slot 1 every
+/// iteration, mimicking the code the paper's CoSy-based C compiler emits;
+/// this reproduces the paper's dynamic instruction count and its
+/// private-dominated DM access mix (76% private / 24% shared, §III-D).
+void emit_cs_kernel(AsmBuilder& b, const BenchmarkLayout& lay) {
+    b.movi(8, kCsIndexMask);
+    b.movi(12, 0xFFF1); // -15
+    b.movi(1, lay.kMatrixBase);
+    b.movi(2, lay.x_base());
+    b.movi(3, lay.y_base());
+    b.movi(10, static_cast<Word>(kCsOutputLen));
+    if (lay.compiler_spills) b.movi(15, lay.frame_base());
+
+    b.label("cs_row");
+    b.movi(4, static_cast<Word>(kCsTapsPerRow));
+    b.mov(dreg(5), sreg(0)); // acc = 0
+    if (lay.compiler_spills) {
+        b.mov(dind(15), sreg(4));    // frame[0] = tap counter
+        b.mov(doff(15), sreg(0), 1); // frame[1] = acc
+    }
+
+    b.label("cs_tap");
+    b.mov(dreg(6), spostinc(1));       // entry = *mat++          (shared)
+    b.and_(dreg(7), sreg(6), sreg(8)); // column index
+    b.add(dreg(7), sreg(7), sreg(2));  // &x[index]
+    b.mov(dreg(7), sind(7));           // sample                  (private)
+    b.sft(dreg(9), sreg(6), sreg(12)); // sign mask: 0 or 0xFFFF
+    b.xor_(dreg(7), sreg(7), sreg(9)); // conditional negate...
+    b.sub(dreg(7), sreg(7), sreg(9));  // ...(x ^ m) - m
+    b.add(dreg(5), sreg(5), sreg(7));  // acc += value
+    if (lay.compiler_spills) {
+        b.mov(doff(15), sreg(5), 1); // write acc through to frame[1]
+        b.mov(dreg(4), sind(15));    // reload tap counter
+        b.sub(dreg(4), sreg(4), simm(1));
+        b.mov(dind(15), sreg(4)); // spill tap counter
+    } else {
+        b.sub(dreg(4), sreg(4), simm(1));
+    }
+    b.bra(Cond::NE, "cs_tap");
+
+    b.mov(dpostinc(3), sreg(5)); // y[row] = acc                  (private)
+    b.sub(dreg(10), sreg(10), simm(1));
+    b.bra(Cond::NE, "cs_row");
+}
+
+/// Emits the Huffman packer.
+///
+/// Register use: r0=0, r1=y ptr, r2=code LUT base, r3=len LUT base,
+/// r4=symbol counter, r5=bit buffer (MSB-filled), r6=free bits,
+/// r7=out ptr, r8=symbol, r9=0x1FF, r10=code, r11=len, r12/r14=temps,
+/// r13=-6 (quantizer shift).
+///
+/// The fit/spill/flush decisions depend on the code lengths — the paper's
+/// "short section of data-dependent program flow" that desynchronizes the
+/// cores and exposes the IM organizations' different conflict behavior.
+void emit_huffman_kernel(AsmBuilder& b, const BenchmarkLayout& lay) {
+    b.movi(1, lay.y_base());
+    b.movi(2, lay.code_lut());
+    b.movi(3, lay.len_lut());
+    b.movi(7, lay.out_base());
+    b.movi(4, static_cast<Word>(kCsOutputLen));
+    b.mov(dreg(5), sreg(0)); // bit buffer = 0
+    b.movi(6, 16);           // free bits
+    b.movi(9, kCsIndexMask);
+    b.movi(13, 0xFFFA); // -6
+
+    b.label("hf_sym");
+    b.mov(dreg(8), spostinc(1));       // y value
+    b.sft(dreg(8), sreg(8), sreg(13)); // >> 6 (arithmetic)
+    b.and_(dreg(8), sreg(8), sreg(9)); // 9-bit symbol
+    b.add(dreg(12), sreg(8), sreg(2));
+    b.mov(dreg(10), sind(12)); // code = code_lut[sym]
+    b.add(dreg(12), sreg(8), sreg(3));
+    b.mov(dreg(11), sind(12)); // len = len_lut[sym]
+
+    b.sub(dreg(12), sreg(6), sreg(11)); // free - len
+    b.bra(Cond::LT, "hf_spill");
+    // Fit: buffer |= code << (free - len).
+    b.sft(dreg(14), sreg(10), sreg(12));
+    b.or_(dreg(5), sreg(5), sreg(14));
+    b.or_(dreg(6), sreg(12), simm(0)); // free -= len (sets Z)
+    b.bra(Cond::NE, "hf_next");
+    b.mov(dpostinc(7), sreg(5)); // word full: emit
+    b.mov(dreg(5), sreg(0));
+    b.movi(6, 16);
+    b.bra(Cond::AL, "hf_next");
+
+    b.label("hf_spill");
+    // Spill: emit the word topped up with the code's high bits, then
+    // start the next word with the remaining low bits, left-aligned.
+    b.sft(dreg(14), sreg(10), sreg(12)); // code >> (len - free)
+    b.or_(dreg(5), sreg(5), sreg(14));
+    b.mov(dpostinc(7), sreg(5));
+    b.movi(14, 16);
+    b.add(dreg(6), sreg(14), sreg(12)); // free' = 16 + (free - len)
+    b.sft(dreg(5), sreg(10), sreg(6));  // remainder << free'
+
+    b.label("hf_next");
+    b.sub(dreg(4), sreg(4), simm(1));
+    b.bra(Cond::NE, "hf_sym");
+
+    // Flush the partial tail word, if any.
+    b.movi(14, 16);
+    b.sub(dreg(12), sreg(6), sreg(14));
+    b.bra(Cond::EQ, "hf_fin");
+    b.mov(dpostinc(7), sreg(5));
+
+    b.label("hf_fin");
+    // Publish the produced word count for the radio/host.
+    b.movi(14, lay.out_base());
+    b.sub(dreg(12), sreg(7), sreg(14));
+    b.movi(14, lay.out_count());
+    b.mov(dind(14), sreg(12));
+}
+
+/// Emits the data image (shared matrix + LUTs, private template) common to
+/// the single-shot and streaming programs.
+void emit_common_data(AsmBuilder& b, const CsMatrix& matrix, const HuffmanTable& table,
+                      const BenchmarkLayout& lay) {
+    b.data_label("cs_matrix");
+    b.words(matrix.entries());
+    if (lay.luts_shared) {
+        b.data_label("code_lut");
+        b.words(table.code_lut());
+        b.data_label("len_lut");
+        const auto lens = table.len_lut();
+        b.words(lens);
+    }
+    ULPMC_ASSERT(b.data_here() == lay.shared_words());
+
+    // Private template: working buffers stay zero; in the private-LUT
+    // variant the LUT images are linked at their private spot (the loader
+    // replicates this template into every core's private banks).
+    if (!lay.luts_shared) {
+        b.space(lay.private_code_lut() - b.data_here());
+        b.data_label("code_lut");
+        b.words(table.code_lut());
+        b.data_label("len_lut");
+        const auto lens = table.len_lut();
+        b.words(lens);
+    }
+}
+
+/// Barrier arrival (store to the cluster's barrier register).
+void emit_barrier(AsmBuilder& b) {
+    b.movi(14, cluster::kBarrierAddr);
+    b.mov(dind(14), sreg(0));
+}
+
+} // namespace
+
+isa::Program build_ecg_program(const CsMatrix& matrix, const HuffmanTable& table,
+                               const BenchmarkLayout& lay) {
+    ULPMC_EXPECTS(matrix.entries().size() == BenchmarkLayout::kMatrixWords);
+    ULPMC_EXPECTS(table.size() == kCsSymbolCount);
+
+    AsmBuilder b;
+
+    // ---- text --------------------------------------------------------------
+    b.label("entry");
+    emit_cs_kernel(b, lay);
+    if (lay.use_barrier) {
+        // Extension: hardware barrier resynchronizes the cores before the
+        // data-dependent Huffman phase.
+        emit_barrier(b);
+    }
+    emit_huffman_kernel(b, lay);
+    b.hlt();
+
+    emit_common_data(b, matrix, table, lay);
+
+    isa::Program p = b.finish();
+    p.entry = p.text_addr("entry");
+    return p;
+}
+
+isa::Program build_streaming_program(const CsMatrix& matrix, const HuffmanTable& table,
+                                     const BenchmarkLayout& lay, unsigned n_blocks) {
+    ULPMC_EXPECTS(matrix.entries().size() == BenchmarkLayout::kMatrixWords);
+    ULPMC_EXPECTS(table.size() == kCsSymbolCount);
+    ULPMC_EXPECTS(n_blocks >= 1);
+
+    AsmBuilder b;
+    const Addr block_counter = static_cast<Addr>(lay.frame_base() + 2);
+
+    b.label("entry");
+    b.movi(14, block_counter);
+    b.movi(13, static_cast<Word>(n_blocks));
+    b.mov(dind(14), sreg(13));
+
+    b.label("block");
+    if (lay.use_barrier) emit_barrier(b); // resync at every block boundary
+    emit_cs_kernel(b, lay);
+    if (lay.use_barrier) emit_barrier(b);
+    emit_huffman_kernel(b, lay);
+
+    // Next block (the sensor DMA refreshing x[] between blocks is
+    // abstracted: the kernel re-reads the same buffer).
+    b.movi(14, block_counter);
+    b.mov(dreg(13), sind(14));
+    b.sub(dreg(13), sreg(13), simm(1));
+    b.mov(dind(14), sreg(13));
+    b.bra(Cond::NE, "block");
+    b.hlt();
+
+    emit_common_data(b, matrix, table, lay);
+
+    isa::Program p = b.finish();
+    p.entry = p.text_addr("entry");
+    return p;
+}
+
+} // namespace ulpmc::app

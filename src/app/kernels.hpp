@@ -1,0 +1,83 @@
+// The ECG benchmark program for TamaRISC: the compressed-sensing kernel
+// followed by the Huffman packer, emitted through the AsmBuilder as one
+// program image that every core executes (working addresses are virtual;
+// the per-core MMU redirects them into each core's private banks).
+//
+// Data layout (virtual word addresses):
+//   shared section:   [0, 6144)            CS matrix entry stream
+//                     [6144, 7168)         Huffman LUTs (shared variant)
+//   private section:  x[512] y[256] out[512] out_count pad LUTs[1024]
+//
+// The LUT placement is the paper's §IV-C2 experiment knob: shared LUTs
+// suffer data-dependent bank conflicts from 8 cores indexing different
+// symbols; private LUTs (the paper's chosen configuration) avoid them at
+// the cost of replicated storage.
+#pragma once
+
+#include "app/cs.hpp"
+#include "app/huffman.hpp"
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "mmu/mmu.hpp"
+
+namespace ulpmc::app {
+
+/// Address map of the benchmark (all sizes in 16-bit words).
+struct BenchmarkLayout {
+    bool luts_shared = false; ///< link LUTs into the shared section
+    bool use_barrier = false; ///< resync cores between CS and Huffman (ext.)
+
+    /// Emit the CS loop the way the paper's CoSy-based C compiler would —
+    /// the inner-loop counter and the accumulator live in a stack-frame
+    /// slot. This reproduces the paper's ~90k dynamic instructions per
+    /// core and its private-heavy DM access mix; switching it off gives
+    /// the hand-optimal register-allocated kernel (ablation).
+    bool compiler_spills = true;
+
+    static constexpr Addr kMatrixBase = 0;
+    static constexpr Addr kMatrixWords = kCsOutputLen * kCsTapsPerRow; // 6144
+    static constexpr Addr kPrivateWords = 3072;
+
+    Addr shared_words() const {
+        return kMatrixWords + (luts_shared ? 2 * kCsSymbolCount : 0);
+    }
+    Addr private_base() const { return shared_words(); }
+
+    // Private-section objects (offsets chosen once, see header comment).
+    Addr x_base() const { return private_base() + 0; }
+    Addr y_base() const { return private_base() + 512; }
+    Addr out_base() const { return private_base() + 768; }
+    Addr out_count() const { return private_base() + 1280; }
+    Addr frame_base() const { return private_base() + 1288; } ///< spill slots
+    Addr private_code_lut() const { return private_base() + 1296; }
+    Addr private_len_lut() const { return private_base() + 1808; }
+
+    Addr code_lut() const {
+        return luts_shared ? static_cast<Addr>(kMatrixWords) : private_code_lut();
+    }
+    Addr len_lut() const {
+        return luts_shared ? static_cast<Addr>(kMatrixWords + kCsSymbolCount)
+                           : private_len_lut();
+    }
+
+    /// The DmLayout handed to the cluster's MMUs.
+    mmu::DmLayout dm_layout() const { return {shared_words(), kPrivateWords}; }
+};
+
+/// Emits the complete benchmark program (text + data image with the matrix
+/// and the LUTs linked at their configured addresses).
+isa::Program build_ecg_program(const CsMatrix& matrix, const HuffmanTable& table,
+                               const BenchmarkLayout& layout);
+
+/// Streaming variant (extension, DESIGN.md §7): processes `n_blocks`
+/// consecutive blocks in a loop. With layout.use_barrier the cores
+/// re-synchronize at every block boundary, so the broadcast win of the
+/// proposed architectures survives the data-dependent Huffman section
+/// block after block; without it, desynchronization accumulates.
+/// The block counter lives in private frame slot 2; the sensor DMA
+/// refreshing the x buffer between blocks is abstracted (the kernel
+/// re-reads the same buffer, which is timing-equivalent).
+isa::Program build_streaming_program(const CsMatrix& matrix, const HuffmanTable& table,
+                                     const BenchmarkLayout& layout, unsigned n_blocks);
+
+} // namespace ulpmc::app

@@ -1,0 +1,117 @@
+#include "app/rpeak.hpp"
+
+#include "common/assert.hpp"
+#include "isa/asm_builder.hpp"
+
+namespace ulpmc::app {
+
+namespace {
+
+/// 16-bit arithmetic right shift with the kernel's SFT semantics.
+Word asr(Word v, int k) { return static_cast<Word>(static_cast<SWord>(v) >> k); }
+
+} // namespace
+
+std::vector<Word> rpeak_detect(std::span<const std::int16_t> x, const RpeakParams& p) {
+    ULPMC_EXPECTS((p.window & (p.window - 1)) == 0); // power of two
+    std::vector<Word> win(p.window, 0);
+    std::vector<Word> peaks;
+    Word prev = 0;
+    Word acc = 0;
+    Word thr = 0;
+    Word refr = 0;
+    unsigned wi = 0;
+
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        const Word xn = static_cast<Word>(x[n]);
+        const Word d = static_cast<Word>(xn - prev);
+        prev = xn;
+        const Word d2 = asr(d, p.derivative_shift);
+        const Word e = asr(static_cast<Word>(d2 * d2), p.energy_shift);
+        acc = static_cast<Word>(acc + e - win[wi]);
+        win[wi] = e;
+        wi = (wi + 1) % p.window;
+
+        if (refr > 0) {
+            refr = static_cast<Word>(refr - 1);
+        } else if (acc > thr && acc > p.min_threshold) {
+            if (peaks.size() < RpeakLayout::kOutIdxMax) peaks.push_back(static_cast<Word>(n));
+            thr = acc;
+            refr = p.refractory;
+        }
+        thr = static_cast<Word>(thr - asr(thr, p.decay_shift));
+    }
+    return peaks;
+}
+
+isa::Program build_rpeak_program(const RpeakParams& p) {
+    using namespace ulpmc::isa;
+    ULPMC_EXPECTS(p.window == 16); // the kernel hard-codes the wrap check
+    ULPMC_EXPECTS(p.derivative_shift <= 8 && p.energy_shift <= 8 && p.decay_shift <= 8);
+
+    AsmBuilder b;
+    // r1=x ptr, r2=prev, r3=acc, r4=thr, r5=refr, r6=n, r7=count,
+    // r8=window ptr, r9/r10=temps, r11=samples left, r12=index out ptr.
+    b.label("entry");
+    b.movi(1, RpeakLayout::kXBase);
+    b.movi(2, 0);
+    b.movi(3, 0);
+    b.movi(4, 0);
+    b.movi(5, 0);
+    b.movi(6, 0);
+    b.movi(7, 0);
+    b.movi(8, RpeakLayout::kWinBase);
+    b.movi(12, RpeakLayout::kOutIdx);
+    b.movi(11, static_cast<Word>(RpeakLayout::kSamples));
+
+    b.label("loop");
+    b.mov(dreg(9), spostinc(1));                // xn
+    b.sub(dreg(10), sreg(9), sreg(2));          // d = xn - prev
+    b.mov(dreg(2), sreg(9));                    // prev = xn
+    b.sft(dreg(10), sreg(10), simm(-p.derivative_shift));
+    b.mull(dreg(10), sreg(10), sreg(10));       // d2*d2 (fits 15 bits)
+    b.sft(dreg(10), sreg(10), simm(-p.energy_shift)); // e
+    b.add(dreg(3), sreg(3), sreg(10));          // acc += e
+    b.sub(dreg(3), sreg(3), sind(8));           // acc -= win[wi]
+    b.mov(dind(8), sreg(10));                   // win[wi] = e
+    b.add(dreg(8), sreg(8), simm(1));
+    b.movi(9, static_cast<Word>(RpeakLayout::kWinBase + 16));
+    b.sub(dreg(9), sreg(9), sreg(8));           // window wrap?
+    b.bra(Cond::NE, "nowrap");
+    b.movi(8, RpeakLayout::kWinBase);
+    b.label("nowrap");
+
+    b.or_(dreg(5), sreg(5), simm(0)); // refractory active?
+    b.bra(Cond::EQ, "armed");
+    b.sub(dreg(5), sreg(5), simm(1));
+    b.bra(Cond::AL, "decay");
+
+    b.label("armed");
+    b.sub(dreg(9), sreg(3), sreg(4)); // acc vs thr (unsigned)
+    b.bra(Cond::LS, "decay");         // acc <= thr
+    b.movi(9, p.min_threshold);
+    b.sub(dreg(9), sreg(3), sreg(9));
+    b.bra(Cond::LS, "decay"); // acc <= floor
+    // Peak detected.
+    b.mov(dpostinc(12), sreg(6)); // record the sample index
+    b.add(dreg(7), sreg(7), simm(1));
+    b.mov(dreg(4), sreg(3)); // thr = acc
+    b.movi(5, p.refractory);
+
+    b.label("decay");
+    b.sft(dreg(9), sreg(4), simm(-p.decay_shift));
+    b.sub(dreg(4), sreg(4), sreg(9)); // thr -= thr >> k
+    b.add(dreg(6), sreg(6), simm(1)); // ++n
+    b.sub(dreg(11), sreg(11), simm(1));
+    b.bra(Cond::NE, "loop");
+
+    b.movi(9, RpeakLayout::kOutCount);
+    b.mov(dind(9), sreg(7));
+    b.hlt();
+
+    Program prog = b.finish();
+    prog.entry = prog.text_addr("entry");
+    return prog;
+}
+
+} // namespace ulpmc::app

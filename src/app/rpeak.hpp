@@ -1,0 +1,58 @@
+// Second biosignal application: real-time R-peak detection (heart-rate
+// monitoring), an integer Pan-Tompkins-style pipeline:
+//
+//   derivative -> scale -> square -> 16-sample moving-window integration
+//   -> adaptive threshold (peak-tracking with exponential decay) with a
+//   160 ms refractory period.
+//
+// The paper's intro motivates exactly this class of "simple signal
+// analysis" workloads; architecturally it is the antithesis of the CS
+// kernel — three data-dependent branches per sample — so it stresses the
+// instruction-memory organizations where the ECG benchmark is gentle
+// (see bench/ablation_workloads and examples/rpeak_monitor).
+//
+// As everywhere: the host golden detector is bit-exact with the TamaRISC
+// kernel (wrap-around 16-bit arithmetic, identical shifts/thresholds).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+#include "mmu/mmu.hpp"
+
+namespace ulpmc::app {
+
+/// Detector tuning (defaults chosen for 250 Hz ECG).
+struct RpeakParams {
+    unsigned window = 16;       ///< integration window (power of two)
+    int derivative_shift = 2;   ///< d >>= 2 before squaring
+    int energy_shift = 4;       ///< e >>= 4 after squaring
+    int decay_shift = 6;        ///< thr -= thr >> 6 per sample (~256 ms)
+    Word min_threshold = 64;    ///< absolute noise floor
+    Word refractory = 40;       ///< samples (~160 ms at 250 Hz)
+};
+
+/// Golden host detector; returns the sample indices of detected peaks.
+std::vector<Word> rpeak_detect(std::span<const std::int16_t> x,
+                               const RpeakParams& p = {});
+
+/// Data layout of the R-peak kernel. Everything is per-core private
+/// (there is no shared data in this application).
+struct RpeakLayout {
+    static constexpr Addr kXBase = 0;       ///< x[512]
+    static constexpr Addr kWinBase = 512;   ///< win[16]
+    static constexpr Addr kOutCount = 528;  ///< number of peaks found
+    static constexpr Addr kOutIdx = 529;    ///< peak indices
+    static constexpr Addr kOutIdxMax = 64;  ///< capacity
+    static constexpr std::size_t kSamples = 512;
+
+    static mmu::DmLayout dm_layout() { return {0, 1024}; }
+};
+
+/// Emits the TamaRISC R-peak kernel for one 512-sample block.
+isa::Program build_rpeak_program(const RpeakParams& p = {});
+
+} // namespace ulpmc::app

@@ -1,0 +1,67 @@
+#include "app/streaming.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::app {
+
+StreamingBenchmark::StreamingBenchmark(const BenchmarkOptions& opt, unsigned n_blocks)
+    : base_(opt), n_blocks_(n_blocks),
+      program_(build_streaming_program(base_.matrix(), base_.table(), base_.layout(), n_blocks)) {
+    ULPMC_EXPECTS(n_blocks >= 1);
+}
+
+StreamingBenchmark::Outcome StreamingBenchmark::run(cluster::ArchKind arch) const {
+    return run(cluster::make_config(arch, base_.layout().dm_layout()));
+}
+
+StreamingBenchmark::Outcome StreamingBenchmark::run(const cluster::ClusterConfig& cfg_in) const {
+    cluster::ClusterConfig cfg = cfg_in;
+    cfg.barrier_enabled = base_.layout().use_barrier;
+
+    cluster::Cluster cl(cfg, program_);
+    const auto& lay = base_.layout();
+    for (unsigned p = 0; p < cfg.cores; ++p) {
+        const auto& x = base_.lead_samples(p);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(lay.x_base() + i),
+                       static_cast<Word>(x[i]));
+        }
+    }
+
+    cl.run(static_cast<Cycle>(n_blocks_) * 400'000);
+
+    Outcome out;
+    out.stats = cl.stats();
+    out.verified = true;
+    for (unsigned p = 0; p < cfg.cores; ++p) {
+        if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None ||
+            !cl.core_halted(static_cast<CoreId>(p))) {
+            out.verified = false;
+            continue;
+        }
+        // Every block recomputes the same outputs; verify the final state.
+        const auto& golden = base_.golden_bitstream(p);
+        const Word n_words = cl.dm_peek(static_cast<CoreId>(p), lay.out_count());
+        if (n_words != golden.words.size()) {
+            out.verified = false;
+            continue;
+        }
+        for (Word i = 0; i < n_words; ++i) {
+            if (cl.dm_peek(static_cast<CoreId>(p), static_cast<Addr>(lay.out_base() + i)) !=
+                golden.words[i]) {
+                out.verified = false;
+                break;
+            }
+        }
+    }
+
+    out.cycles_per_block = static_cast<double>(out.stats.cycles) / n_blocks_;
+    const std::uint64_t served = out.stats.ixbar.grants;
+    out.fetch_merge_ratio =
+        served == 0 ? 0.0
+                    : static_cast<double>(out.stats.ixbar.broadcast_riders) /
+                          static_cast<double>(served);
+    return out;
+}
+
+} // namespace ulpmc::app

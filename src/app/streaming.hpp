@@ -1,0 +1,42 @@
+// Streaming workload (extension): the realistic continuous-monitoring
+// mode, where the node processes block after block indefinitely. The key
+// architectural question it answers: does the broadcast advantage of the
+// shared instruction memory survive once the data-dependent Huffman
+// section has desynchronized the cores — and how much does the barrier
+// (our hardware extension) help re-establish lockstep at every block
+// boundary?
+#pragma once
+
+#include "app/benchmark.hpp"
+
+namespace ulpmc::app {
+
+/// Multi-block streaming run built on top of the single-block benchmark's
+/// deterministic inputs and golden pipeline.
+class StreamingBenchmark {
+public:
+    StreamingBenchmark(const BenchmarkOptions& opt, unsigned n_blocks);
+
+    unsigned n_blocks() const { return n_blocks_; }
+    const EcgBenchmark& base() const { return base_; }
+    const isa::Program& program() const { return program_; }
+
+    struct Outcome {
+        cluster::ClusterStats stats;
+        bool verified = false;    ///< last block's outputs bit-exact
+        double cycles_per_block = 0;
+        /// Fraction of instruction fetches served without their own bank
+        /// access (broadcast efficiency; 7/8 = perfect lockstep).
+        double fetch_merge_ratio = 0;
+    };
+
+    Outcome run(cluster::ArchKind arch) const;
+    Outcome run(const cluster::ClusterConfig& cfg) const;
+
+private:
+    EcgBenchmark base_;
+    unsigned n_blocks_;
+    isa::Program program_;
+};
+
+} // namespace ulpmc::app

@@ -1,0 +1,336 @@
+#include "cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::cluster {
+
+// The data crossbar sees two master ports per core — the core's data-read
+// and data-write ports (paper §III-A: three memory ports usable in the
+// same cycle; the third is the instruction port on the I-Xbar).
+static unsigned read_port(unsigned pid) { return 2 * pid; }
+static unsigned write_port(unsigned pid) { return 2 * pid + 1; }
+
+Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
+    : cfg_(cfg), im_map_(cfg.im_policy, cfg.im_banks, cfg.im_bank_words),
+      ixbar_(cfg.cores, cfg.im_banks, cfg.im_broadcast),
+      dxbar_(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast),
+      dm_req_(2 * cfg.cores), dm_grant_(2 * cfg.cores), im_req_(cfg.cores), im_grant_(cfg.cores),
+      fetch_pc_(cfg.cores, 0) {
+    ULPMC_EXPECTS(cfg.cores > 0 && cfg.cores <= kNumCores);
+    ULPMC_EXPECTS(!prog.text.empty());
+
+    // --- construct memories -------------------------------------------------
+    im_banks_.reserve(cfg.im_banks);
+    for (unsigned b = 0; b < cfg.im_banks; ++b) im_banks_.emplace_back(cfg.im_bank_words, 24);
+    dm_banks_.reserve(cfg.dm_banks);
+    for (unsigned b = 0; b < cfg.dm_banks; ++b) dm_banks_.emplace_back(cfg.dm_bank_words, 16);
+
+    // --- construct cores ----------------------------------------------------
+    cores_.reserve(cfg.cores);
+    for (unsigned p = 0; p < cfg.cores; ++p) {
+        CoreCtx c{.state = {}, .mmu = mmu::DataMmu(cfg.dm_layout, static_cast<CoreId>(p),
+                                                    cfg.dm_banks, cfg.dm_bank_words)};
+        c.start_cycle = cfg.stagger_start ? static_cast<Cycle>(p) : 0;
+        c.state.pc = prog.entry;
+        cores_.push_back(std::move(c));
+    }
+    stats_.core.resize(cfg.cores);
+
+    // --- load text ----------------------------------------------------------
+    if (cfg.im_policy == mmu::ImPolicy::Dedicated) {
+        ULPMC_EXPECTS(prog.text.size() <= cfg.im_bank_words);
+        for (unsigned b = 0; b < cfg.im_banks; ++b)
+            for (std::size_t i = 0; i < prog.text.size(); ++i)
+                im_banks_[b].poke(i, prog.text[i]);
+    } else {
+        for (std::size_t i = 0; i < prog.text.size(); ++i) {
+            const auto pa = im_map_.translate(static_cast<PAddr>(i), 0);
+            ULPMC_EXPECTS(pa.has_value());
+            im_banks_[pa->bank].poke(pa->offset, prog.text[i]);
+        }
+    }
+    stats_.im_banks_used = im_map_.banks_used(prog.text.size());
+    if (cfg.gate_unused_im_banks) {
+        for (unsigned b = stats_.im_banks_used; b < cfg.im_banks; ++b)
+            im_banks_[b].set_power_gated(true);
+        stats_.im_banks_gated = cfg.im_banks - stats_.im_banks_used;
+    }
+    stats_.im_banks_total = cfg.im_banks;
+
+    // --- load data image ----------------------------------------------------
+    ULPMC_EXPECTS(prog.data.size() <= cfg.dm_layout.limit());
+    const std::size_t shared_end =
+        std::min<std::size_t>(prog.data.size(), cfg.dm_layout.shared_words);
+    for (std::size_t v = 0; v < shared_end; ++v) {
+        const auto pa = cores_[0].mmu.translate(static_cast<Addr>(v));
+        ULPMC_ASSERT(pa.has_value());
+        dm_banks_[pa->bank].poke(pa->offset, prog.data[v]);
+    }
+    for (std::size_t v = cfg.dm_layout.shared_words; v < prog.data.size(); ++v) {
+        for (auto& c : cores_) {
+            const auto pa = c.mmu.translate(static_cast<Addr>(v));
+            ULPMC_ASSERT(pa.has_value());
+            dm_banks_[pa->bank].poke(pa->offset, prog.data[v]);
+        }
+    }
+}
+
+const core::CoreState& Cluster::core_state(CoreId pid) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    return cores_[pid].state;
+}
+
+bool Cluster::core_halted(CoreId pid) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    return cores_[pid].halted;
+}
+
+core::Trap Cluster::core_trap(CoreId pid) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    return cores_[pid].trap;
+}
+
+Word Cluster::dm_peek(CoreId pid, Addr vaddr) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    const auto pa = cores_[pid].mmu.translate(vaddr);
+    ULPMC_EXPECTS(pa.has_value());
+    return static_cast<Word>(dm_banks_[pa->bank].peek(pa->offset));
+}
+
+void Cluster::dm_poke(CoreId pid, Addr vaddr, Word value) {
+    ULPMC_EXPECTS(pid < cores_.size());
+    const auto pa = cores_[pid].mmu.translate(vaddr);
+    ULPMC_EXPECTS(pa.has_value());
+    dm_banks_[pa->bank].poke(pa->offset, value);
+}
+
+void Cluster::raise_trap(CoreCtx& c, core::Trap t) {
+    c.trap = t;
+    c.ex.reset();
+    const auto pid = static_cast<std::size_t>(&c - cores_.data());
+    emit(static_cast<CoreId>(pid), EventKind::Trap, static_cast<std::uint32_t>(t));
+    stats_.core[pid].trap = t;
+    stats_.core[pid].halted_at = cycle_;
+    stats_.cycles = std::max(stats_.cycles, cycle_);
+}
+
+bool Cluster::step() {
+    bool any_active = false;
+    for (const auto& c : cores_)
+        if (!core_done(c)) any_active = true;
+    if (!any_active) return false;
+
+    ++cycle_;
+    execute_phase();
+    fetch_phase();
+
+    stats_.ixbar = ixbar_.stats();
+    stats_.dxbar = dxbar_.stats();
+    return true;
+}
+
+Cycle Cluster::run(Cycle max_cycles) {
+    while (cycle_ < max_cycles && step()) {
+    }
+    return stats_.cycles;
+}
+
+void Cluster::execute_phase() {
+    // Raise data-memory requests for every core with an instruction in EX.
+    // The read port goes first logically (within the cycle, the loaded
+    // value feeds the ALU and the write happens with the result), but both
+    // ports arbitrate in the same cycle, as in the hardware.
+    for (unsigned p = 0; p < cores_.size(); ++p) {
+        CoreCtx& c = cores_[p];
+        dm_req_[read_port(p)] = {};
+        dm_req_[write_port(p)] = {};
+        if (core_done(c) || c.in_barrier || !c.ex) continue;
+
+        if (c.load_pa && !c.load_done) {
+            dm_req_[read_port(p)] = {.active = true,
+                                     .is_write = false,
+                                     .bank = c.load_pa->bank,
+                                     .offset = c.load_pa->offset};
+        }
+        if (c.store_pa) {
+            dm_req_[write_port(p)] = {.active = true,
+                                      .is_write = true,
+                                      .bank = c.store_pa->bank,
+                                      .offset = c.store_pa->offset};
+        }
+    }
+
+    dxbar_.arbitrate_into(dm_req_, cycle_, dm_grant_);
+
+    for (unsigned p = 0; p < cores_.size(); ++p) {
+        CoreCtx& c = cores_[p];
+        if (core_done(c) || c.in_barrier || !c.ex) continue;
+
+        if (dm_req_[read_port(p)].active && dm_grant_[read_port(p)].granted) {
+            const auto& rq = dm_req_[read_port(p)];
+            auto& bank = dm_banks_[rq.bank];
+            c.loaded = dm_grant_[read_port(p)].broadcast
+                           ? static_cast<Word>(bank.peek(rq.offset))
+                           : static_cast<Word>(bank.read(rq.offset));
+            if (!dm_grant_[read_port(p)].broadcast) ++stats_.dm_bank_reads;
+            c.load_done = true;
+        }
+
+        const bool load_ok = !c.load_pa || c.load_done;
+        // A granted write is only usable once the loaded value is in hand
+        // (this cycle's read grant counts); otherwise the grant is wasted
+        // and the store retries.
+        const bool store_ok =
+            !c.store_pa ||
+            (dm_req_[write_port(p)].active && dm_grant_[write_port(p)].granted && load_ok);
+
+        if (load_ok && store_ok) {
+            commit(c, static_cast<CoreId>(p));
+        } else {
+            ++stats_.core[p].stall_cycles;
+            emit(static_cast<CoreId>(p), EventKind::DataStall, c.state.pc);
+        }
+    }
+
+    release_barrier_if_complete();
+}
+
+void Cluster::commit(CoreCtx& c, CoreId pid) {
+    const core::StepEffects fx = core::execute(*c.ex, c.state, c.loaded);
+
+    if (c.store_pa) {
+        ULPMC_ASSERT(fx.store_value.has_value());
+        dm_banks_[c.store_pa->bank].write(c.store_pa->offset, *fx.store_value);
+        ++stats_.dm_bank_writes;
+        ++stats_.core[pid].dm_stores;
+    }
+    if (c.load_pa) ++stats_.core[pid].dm_loads;
+
+    const bool is_barrier =
+        cfg_.barrier_enabled && c.plan.store && *c.plan.store == kBarrierAddr;
+
+    emit(pid, EventKind::Commit, c.state.pc);
+    c.state = fx.next;
+    c.ex.reset();
+    c.load_pa.reset();
+    c.store_pa.reset();
+    c.load_done = false;
+    c.loaded.reset();
+    ++stats_.core[pid].instret;
+
+    if (fx.halt) {
+        c.halted = true;
+        stats_.core[pid].halted_at = cycle_;
+        stats_.cycles = std::max(stats_.cycles, cycle_);
+        emit(pid, EventKind::Halt);
+    } else if (is_barrier) {
+        c.in_barrier = true;
+        emit(pid, EventKind::BarrierArrive);
+    }
+}
+
+void Cluster::release_barrier_if_complete() {
+    if (!cfg_.barrier_enabled) return;
+    bool any_waiting = false;
+    for (const auto& c : cores_) {
+        if (core_done(c)) continue;
+        if (!c.in_barrier) return; // someone still running: keep waiting
+        any_waiting = true;
+    }
+    if (!any_waiting) return;
+    // All arrived: release everyone in the same cycle, so the subsequent
+    // fetches happen in lockstep again (this is what re-synchronizes the
+    // cores after a data-dependent section).
+    for (auto& c : cores_)
+        if (!core_done(c)) c.in_barrier = false;
+    emit(0xFF, EventKind::BarrierRelease);
+}
+
+void Cluster::fetch_phase() {
+    for (unsigned p = 0; p < cores_.size(); ++p) {
+        CoreCtx& c = cores_[p];
+        im_req_[p] = {};
+        if (core_done(c) || c.in_barrier || c.ex) continue;
+        if (cycle_ < c.start_cycle + 1) continue; // staggered start
+
+        const auto pa = im_map_.translate(c.state.pc, static_cast<CoreId>(p));
+        if (!pa) {
+            raise_trap(c, core::Trap::FetchFault);
+            continue;
+        }
+        fetch_pc_[p] = c.state.pc;
+        im_req_[p] = {.active = true, .is_write = false, .bank = pa->bank, .offset = pa->offset};
+    }
+
+    ixbar_.arbitrate_into(im_req_, cycle_, im_grant_);
+
+    for (unsigned p = 0; p < cores_.size(); ++p) {
+        CoreCtx& c = cores_[p];
+        if (!im_req_[p].active) {
+            if (!core_done(c) && !c.in_barrier && cycle_ >= c.start_cycle + 1 && !c.ex)
+                ++stats_.core[p].bubble_cycles;
+            continue;
+        }
+        if (!im_grant_[p].granted) {
+            ++stats_.core[p].stall_cycles;
+            emit(static_cast<CoreId>(p), EventKind::FetchStall, fetch_pc_[p], im_req_[p].bank);
+            continue;
+        }
+
+        auto& bank = im_banks_[im_req_[p].bank];
+        if (bank.power_gated()) {
+            raise_trap(c, core::Trap::FetchFault);
+            continue;
+        }
+        const InstrWord w = im_grant_[p].broadcast
+                                ? static_cast<InstrWord>(bank.peek(im_req_[p].offset))
+                                : static_cast<InstrWord>(bank.read(im_req_[p].offset));
+        if (!im_grant_[p].broadcast) ++stats_.im_bank_accesses;
+        ++stats_.core[p].im_fetches;
+        emit(static_cast<CoreId>(p),
+             im_grant_[p].broadcast ? EventKind::FetchBroadcast : EventKind::Fetch, fetch_pc_[p],
+             im_req_[p].bank);
+
+        const auto decoded = isa::decode(w);
+        if (!decoded) {
+            raise_trap(c, core::Trap::IllegalInstruction);
+            continue;
+        }
+        c.ex = *decoded;
+
+        // Pre-compute the data-access plan; architectural state cannot
+        // change between this fetch and the execute phase (in-order,
+        // single issue), so the plan stays valid across stall cycles.
+        c.plan = core::plan_memory(*decoded, c.state);
+        c.load_pa.reset();
+        c.store_pa.reset();
+        c.load_done = false;
+        c.loaded.reset();
+        if (c.plan.load) {
+            const auto lpa = c.mmu.translate(*c.plan.load);
+            if (!lpa) {
+                raise_trap(c, core::Trap::MemoryFault);
+                continue;
+            }
+            c.load_pa = lpa;
+        }
+        if (c.plan.store) {
+            if (cfg_.barrier_enabled && *c.plan.store == kBarrierAddr) {
+                // Barrier register (extension): the store completes without
+                // touching the data memory; commit() parks the core.
+            } else {
+                const auto spa = c.mmu.translate(*c.plan.store);
+                if (!spa) {
+                    raise_trap(c, core::Trap::MemoryFault);
+                    continue;
+                }
+                c.store_pa = spa;
+            }
+        }
+    }
+}
+
+} // namespace ulpmc::cluster

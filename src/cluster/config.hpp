@@ -1,0 +1,63 @@
+// Cluster architecture configurations: the paper's reference design and
+// the two proposed variants, plus the individual feature switches so the
+// benches can run ablations (broadcast on/off, gating on/off, stagger).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "mmu/mmu.hpp"
+
+namespace ulpmc::cluster {
+
+/// The three architectures compared throughout the paper's §IV.
+enum class ArchKind : std::uint8_t {
+    McRef,    ///< reference: dedicated IM banks, no broadcast (PATMOS'11)
+    UlpmcInt, ///< proposed, interleaved IM bank selection
+    UlpmcBank ///< proposed, packed IM banks + power gating
+};
+
+/// Display name used in every reproduced table ("mc-ref", ...).
+std::string arch_name(ArchKind k);
+
+/// Full cluster parameterization. Use make_config() for the paper's three
+/// designs; individual fields exist so ablation benches can deviate.
+struct ClusterConfig {
+    ArchKind arch = ArchKind::UlpmcBank;
+    unsigned cores = kNumCores;
+
+    mmu::DmLayout dm_layout;
+    mmu::ImPolicy im_policy = mmu::ImPolicy::Banked;
+
+    /// Memory geometry. Defaults are the paper's (16x4kB DM, 8x12kB IM);
+    /// the bank-sweep extension (bench/ext_bank_sweep) varies them.
+    unsigned im_banks = kImBanks;
+    unsigned dm_banks = kDmBanks;
+    std::size_t im_bank_words = kImWordsPerBank;
+    std::size_t dm_bank_words = kDmWordsPerBank;
+
+    /// Read broadcast in the data / instruction crossbars (§III-B).
+    bool dm_broadcast = true;
+    bool im_broadcast = true;
+
+    /// Power-gate IM banks that hold no program content (§III-C;
+    /// meaningful for the Banked policy only).
+    bool gate_unused_im_banks = false;
+
+    /// Start core p at cycle p. Our reconstruction of how mc-ref avoids
+    /// lockstep same-address conflicts on the shared CS vector without
+    /// broadcast support (DESIGN.md §2, substitution 5).
+    bool stagger_start = false;
+
+    /// Extension (not in the paper): memory-mapped barrier register at
+    /// virtual address 0xFFFF that resynchronizes the cores.
+    bool barrier_enabled = false;
+};
+
+/// Virtual data address of the barrier register (extension).
+inline constexpr Addr kBarrierAddr = 0xFFFF;
+
+/// The paper's three designs with a given data layout.
+ClusterConfig make_config(ArchKind k, mmu::DmLayout layout);
+
+} // namespace ulpmc::cluster

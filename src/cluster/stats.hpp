@@ -1,0 +1,61 @@
+// Run statistics collected by the cycle-accurate cluster. These counts are
+// the only inputs the energy model needs (power = calibrated energy per
+// event x event rate), and they directly feed the paper's §IV-C2
+// cycle-count / IM-access-count comparison.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/state.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace ulpmc::cluster {
+
+/// Per-core counters.
+struct CoreRunStats {
+    std::uint64_t instret = 0;       ///< committed instructions ("ops")
+    std::uint64_t stall_cycles = 0;  ///< cycles stalled on a denied grant
+    std::uint64_t bubble_cycles = 0; ///< cycles with no instruction in EX
+    std::uint64_t dm_loads = 0;      ///< committed data reads
+    std::uint64_t dm_stores = 0;     ///< committed data writes
+    std::uint64_t im_fetches = 0;    ///< instruction fetches served
+    Cycle halted_at = 0;             ///< cycle the core halted (0 if never)
+    core::Trap trap = core::Trap::None;
+};
+
+/// Whole-cluster counters.
+struct ClusterStats {
+    Cycle cycles = 0; ///< total cycles until the last core halted
+    std::vector<CoreRunStats> core;
+
+    xbar::XbarStats ixbar; ///< instruction-side interconnect
+    xbar::XbarStats dxbar; ///< data-side interconnect
+
+    std::uint64_t im_bank_accesses = 0; ///< physical IM bank activations
+    std::uint64_t dm_bank_reads = 0;
+    std::uint64_t dm_bank_writes = 0;
+
+    unsigned im_banks_used = 0;  ///< banks holding program content
+    unsigned im_banks_gated = 0; ///< banks power gated for the whole run
+    unsigned im_banks_total = kImBanks;
+
+    /// Total committed instructions over all cores (the paper's "Ops").
+    std::uint64_t total_ops() const {
+        std::uint64_t n = 0;
+        for (const auto& c : core) n += c.instret;
+        return n;
+    }
+
+    /// Aggregate useful throughput in operations per cycle, the quantity
+    /// that converts a workload requirement [Ops/s] into a clock frequency.
+    double ops_per_cycle() const {
+        return cycles == 0 ? 0.0 : static_cast<double>(total_ops()) / static_cast<double>(cycles);
+    }
+
+    std::uint64_t dm_bank_accesses() const { return dm_bank_reads + dm_bank_writes; }
+};
+
+} // namespace ulpmc::cluster

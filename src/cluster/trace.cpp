@@ -1,0 +1,95 @@
+#include "cluster/trace.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::cluster {
+
+const char* event_kind_name(EventKind k) {
+    switch (k) {
+    case EventKind::Fetch:
+        return "fetch";
+    case EventKind::FetchBroadcast:
+        return "fetch-bcast";
+    case EventKind::FetchStall:
+        return "fetch-stall";
+    case EventKind::Commit:
+        return "commit";
+    case EventKind::DataStall:
+        return "data-stall";
+    case EventKind::BarrierArrive:
+        return "barrier-arrive";
+    case EventKind::BarrierRelease:
+        return "barrier-release";
+    case EventKind::Halt:
+        return "halt";
+    case EventKind::Trap:
+        return "trap";
+    }
+    return "?";
+}
+
+RingTrace::RingTrace(std::size_t capacity) : capacity_(capacity) {
+    ULPMC_EXPECTS(capacity > 0);
+    ring_.reserve(capacity);
+}
+
+void RingTrace::on_event(const TraceEvent& e) {
+    if (ring_.size() < capacity_) {
+        ring_.push_back(e);
+    } else {
+        ring_[head_] = e;
+        head_ = (head_ + 1) % capacity_;
+    }
+    ++total_;
+}
+
+std::vector<TraceEvent> RingTrace::events() const {
+    std::vector<TraceEvent> out;
+    out.reserve(ring_.size());
+    for (std::size_t i = 0; i < ring_.size(); ++i)
+        out.push_back(ring_[(head_ + i) % ring_.size()]);
+    return out;
+}
+
+std::string RingTrace::render(const TraceEvent& e) {
+    std::ostringstream ss;
+    ss << '[' << e.cycle << "] ";
+    if (e.kind == EventKind::BarrierRelease) {
+        ss << "all    ";
+    } else {
+        ss << "core" << static_cast<int>(e.core) << ' ';
+    }
+    ss << event_kind_name(e.kind);
+    switch (e.kind) {
+    case EventKind::Fetch:
+    case EventKind::FetchBroadcast:
+    case EventKind::FetchStall:
+        ss << " pc=" << e.a << " bank=" << e.b;
+        break;
+    case EventKind::Commit:
+    case EventKind::DataStall:
+        ss << " pc=" << e.a;
+        break;
+    case EventKind::Trap:
+        ss << " code=" << e.a;
+        break;
+    default:
+        break;
+    }
+    return ss.str();
+}
+
+void RingTrace::print(std::ostream& os) const {
+    for (const auto& e : events()) os << render(e) << '\n';
+}
+
+void CountingTrace::on_event(const TraceEvent& e) { ++counts_[static_cast<unsigned>(e.kind)]; }
+
+std::uint64_t CountingTrace::count(EventKind k) const {
+    return counts_[static_cast<unsigned>(k)];
+}
+
+} // namespace ulpmc::cluster

@@ -1,0 +1,88 @@
+// Cluster event tracing: a structured log of the microarchitectural
+// events (fetches, commits, stalls, broadcast merges, barrier traffic,
+// traps) for debugging kernels and for teaching — the textual analogue of
+// the waveforms the paper's RTL flow would produce.
+//
+// Tracing is opt-in (a null sink costs one pointer test per event) and
+// the bundled RingTrace keeps the most recent N events, so attaching it
+// to a million-cycle run is safe.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ulpmc::cluster {
+
+/// What happened.
+enum class EventKind : std::uint8_t {
+    Fetch,          ///< instruction fetch granted (a = pc, b = bank)
+    FetchBroadcast, ///< fetch served as a broadcast rider (a = pc, b = bank)
+    FetchStall,     ///< fetch denied by an IM conflict (a = pc, b = bank)
+    Commit,         ///< instruction retired (a = pc)
+    DataStall,      ///< execute stalled on a DM conflict (a = pc)
+    BarrierArrive,  ///< core parked at the barrier
+    BarrierRelease, ///< all cores released (core = 0xFF)
+    Halt,           ///< core executed the idle idiom
+    Trap            ///< abnormal termination (a = trap code)
+};
+
+/// Human-readable event-kind name.
+const char* event_kind_name(EventKind k);
+
+/// One trace record.
+struct TraceEvent {
+    Cycle cycle = 0;
+    CoreId core = 0;
+    EventKind kind = EventKind::Fetch;
+    std::uint32_t a = 0;
+    std::uint32_t b = 0;
+};
+
+/// Receiver interface; implement to stream events elsewhere.
+class TraceSink {
+public:
+    virtual ~TraceSink() = default;
+    virtual void on_event(const TraceEvent& e) = 0;
+};
+
+/// Keeps the most recent `capacity` events.
+class RingTrace final : public TraceSink {
+public:
+    explicit RingTrace(std::size_t capacity = 4096);
+
+    void on_event(const TraceEvent& e) override;
+
+    /// Events in chronological order (oldest first).
+    std::vector<TraceEvent> events() const;
+
+    /// Total events observed (including evicted ones).
+    std::uint64_t total() const { return total_; }
+
+    /// Renders one event as text, e.g. "[123] core2 commit pc=45".
+    static std::string render(const TraceEvent& e);
+
+    /// Dumps the retained window.
+    void print(std::ostream& os) const;
+
+private:
+    std::vector<TraceEvent> ring_;
+    std::size_t capacity_;
+    std::size_t head_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/// Counts events per kind (cheap aggregate checks in tests).
+class CountingTrace final : public TraceSink {
+public:
+    void on_event(const TraceEvent& e) override;
+    std::uint64_t count(EventKind k) const;
+
+private:
+    std::uint64_t counts_[9] = {};
+};
+
+} // namespace ulpmc::cluster

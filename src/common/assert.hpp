@@ -1,0 +1,46 @@
+// Contract-checking support in the spirit of the C++ Core Guidelines
+// (I.5/I.7: state preconditions and postconditions; P.7: catch run-time
+// errors early). Violations throw, so tests can assert on them and the
+// simulator never silently corrupts architectural state.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace ulpmc {
+
+/// Thrown when a precondition, postcondition or internal invariant of the
+/// simulator is violated. Carries the failing expression and location.
+class contract_violation : public std::logic_error {
+public:
+    contract_violation(const char* kind, const char* expr, const char* file, int line)
+        : std::logic_error(std::string(kind) + " failed: " + expr + " at " + file + ":" +
+                           std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr, const char* file,
+                                       int line) {
+    throw contract_violation{kind, expr, file, line};
+}
+} // namespace detail
+
+} // namespace ulpmc
+
+/// Precondition check: argument/state requirements at function entry.
+#define ULPMC_EXPECTS(cond)                                                                        \
+    do {                                                                                           \
+        if (!(cond)) ::ulpmc::detail::contract_fail("precondition", #cond, __FILE__, __LINE__);    \
+    } while (false)
+
+/// Postcondition / invariant check.
+#define ULPMC_ENSURES(cond)                                                                        \
+    do {                                                                                           \
+        if (!(cond)) ::ulpmc::detail::contract_fail("postcondition", #cond, __FILE__, __LINE__);   \
+    } while (false)
+
+/// Internal invariant ("this cannot happen" states of the simulator).
+#define ULPMC_ASSERT(cond)                                                                         \
+    do {                                                                                           \
+        if (!(cond)) ::ulpmc::detail::contract_fail("invariant", #cond, __FILE__, __LINE__);       \
+    } while (false)

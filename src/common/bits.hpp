@@ -1,0 +1,52 @@
+// Small bit-manipulation helpers used by the instruction encoder/decoder.
+// All helpers are constexpr and operate on unsigned values only
+// (Core Guidelines ES.101: use unsigned types for bit manipulation).
+#pragma once
+
+#include <cstdint>
+
+#include "common/assert.hpp"
+
+namespace ulpmc {
+
+/// Extract bits [lo, lo+width) of `v`.
+constexpr std::uint32_t bits(std::uint32_t v, unsigned lo, unsigned width) {
+    return (v >> lo) & ((width >= 32) ? 0xFFFF'FFFFu : ((1u << width) - 1u));
+}
+
+/// Insert the low `width` bits of `field` into bits [lo, lo+width) of `v`.
+constexpr std::uint32_t insert_bits(std::uint32_t v, unsigned lo, unsigned width,
+                                    std::uint32_t field) {
+    const std::uint32_t mask = ((width >= 32) ? 0xFFFF'FFFFu : ((1u << width) - 1u));
+    return (v & ~(mask << lo)) | ((field & mask) << lo);
+}
+
+/// Sign-extend the low `width` bits of `v` to a signed 32-bit value.
+constexpr std::int32_t sign_extend(std::uint32_t v, unsigned width) {
+    const std::uint32_t m = 1u << (width - 1);
+    const std::uint32_t x = v & ((1u << width) - 1u);
+    return static_cast<std::int32_t>((x ^ m) - m);
+}
+
+/// True if `v` fits in `width` bits as an unsigned value.
+constexpr bool fits_unsigned(std::uint32_t v, unsigned width) {
+    return width >= 32 || v < (1u << width);
+}
+
+/// True if `v` fits in `width` bits as a signed (two's complement) value.
+constexpr bool fits_signed(std::int32_t v, unsigned width) {
+    const std::int32_t lo = -(1 << (width - 1));
+    const std::int32_t hi = (1 << (width - 1)) - 1;
+    return v >= lo && v <= hi;
+}
+
+/// Checked narrowing (Core Guidelines ES.46): aborts the operation with a
+/// contract violation instead of silently truncating.
+template <typename To, typename From>
+constexpr To narrow(From v) {
+    const To r = static_cast<To>(v);
+    ULPMC_ENSURES(static_cast<From>(r) == v);
+    return r;
+}
+
+} // namespace ulpmc

@@ -1,0 +1,82 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ulpmc {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+    x += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::uint32_t rotl(std::uint32_t x, int k) { return (x << k) | (x >> (32 - k)); }
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed) {
+    std::uint64_t sm = seed;
+    const std::uint64_t a = splitmix64(sm);
+    const std::uint64_t b = splitmix64(sm);
+    s_[0] = static_cast<std::uint32_t>(a);
+    s_[1] = static_cast<std::uint32_t>(a >> 32);
+    s_[2] = static_cast<std::uint32_t>(b);
+    s_[3] = static_cast<std::uint32_t>(b >> 32);
+    // xoshiro must not be seeded with all zeroes.
+    if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint32_t Rng::next_u32() {
+    const std::uint32_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint32_t t = s_[1] << 9;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 11);
+    return result;
+}
+
+std::uint32_t Rng::below(std::uint32_t bound) {
+    ULPMC_EXPECTS(bound > 0);
+    // Lemire-style rejection-free mapping is overkill; simple modulo bias is
+    // acceptable for workload synthesis, but we debias cheaply anyway.
+    const std::uint64_t m = static_cast<std::uint64_t>(next_u32()) * bound;
+    return static_cast<std::uint32_t>(m >> 32);
+}
+
+std::int32_t Rng::range(std::int32_t lo, std::int32_t hi) {
+    ULPMC_EXPECTS(lo <= hi);
+    const std::uint32_t span = static_cast<std::uint32_t>(hi - lo) + 1u;
+    return lo + static_cast<std::int32_t>(below(span));
+}
+
+double Rng::uniform() { return next_u32() * (1.0 / 4294967296.0); }
+
+double Rng::gaussian() {
+    if (have_spare_) {
+        have_spare_ = false;
+        return spare_;
+    }
+    double u = 0.0;
+    double v = 0.0;
+    double s = 0.0;
+    do {
+        u = 2.0 * uniform() - 1.0;
+        v = 2.0 * uniform() - 1.0;
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double mul = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * mul;
+    have_spare_ = true;
+    return u * mul;
+}
+
+} // namespace ulpmc

@@ -1,0 +1,40 @@
+// Deterministic pseudo-random number generator for workload synthesis.
+//
+// Reproducibility matters more than statistical perfection here: every
+// experiment in EXPERIMENTS.md must print identical numbers on every run,
+// so all randomness flows through this seeded generator (xoshiro128**)
+// rather than std::random_device.
+#pragma once
+
+#include <cstdint>
+
+namespace ulpmc {
+
+/// Small, fast, seedable PRNG (xoshiro128**).
+class Rng {
+public:
+    /// Seeds the four lanes from a single 64-bit seed via splitmix64.
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+    /// Next raw 32-bit value.
+    std::uint32_t next_u32();
+
+    /// Uniform integer in [0, bound) — bound must be > 0.
+    std::uint32_t below(std::uint32_t bound);
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int32_t range(std::int32_t lo, std::int32_t hi);
+
+    /// Uniform double in [0, 1).
+    double uniform();
+
+    /// Standard normal variate (Box-Muller, deterministic).
+    double gaussian();
+
+private:
+    std::uint32_t s_[4];
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace ulpmc

@@ -1,0 +1,114 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ulpmc {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+    ULPMC_EXPECTS(!header_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+    ULPMC_EXPECTS(cells.size() == header_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+std::size_t Table::rows() const {
+    std::size_t n = 0;
+    for (const auto& r : rows_)
+        if (!r.empty()) ++n;
+    return n;
+}
+
+void Table::print(std::ostream& os) const {
+    std::vector<std::size_t> width(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+
+    const auto print_sep = [&] {
+        os << '+';
+        for (const std::size_t w : width) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+    const auto print_cells = [&](const std::vector<std::string>& cells) {
+        os << '|';
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << ' ' << cells[c] << std::string(width[c] - cells[c].size(), ' ') << " |";
+        }
+        os << '\n';
+    };
+
+    print_sep();
+    print_cells(header_);
+    print_sep();
+    for (const auto& row : rows_) {
+        if (row.empty()) {
+            print_sep();
+        } else {
+            print_cells(row);
+        }
+    }
+    print_sep();
+}
+
+std::string format_fixed(double v, int prec) {
+    std::ostringstream ss;
+    ss.setf(std::ios::fixed);
+    ss.precision(prec);
+    ss << v;
+    return ss.str();
+}
+
+std::string format_si(double v, const char* unit, int prec) {
+    struct Prefix {
+        double scale;
+        const char* name;
+    };
+    static constexpr Prefix prefixes[] = {
+        {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"},
+        {1e-12, "p"},
+    };
+    if (v == 0.0) return std::string("0 ") + unit;
+    const double mag = std::fabs(v);
+    for (const auto& p : prefixes) {
+        if (mag >= p.scale) {
+            std::ostringstream ss;
+            ss.precision(prec);
+            ss << (v / p.scale) << ' ' << p.name << unit;
+            return ss.str();
+        }
+    }
+    std::ostringstream ss;
+    ss.precision(prec);
+    ss << (v / 1e-12) << " p" << unit;
+    return ss.str();
+}
+
+std::string format_percent(double ratio, int prec) { return format_fixed(ratio * 100.0, prec) + "%"; }
+
+std::string format_count(std::uint64_t v) {
+    std::string digits = std::to_string(v);
+    std::string out;
+    int group = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (group == 3) {
+            out.push_back(',');
+            group = 0;
+        }
+        out.push_back(*it);
+        ++group;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace ulpmc

@@ -1,0 +1,52 @@
+// Fixed-width ASCII table printer shared by the experiment benches so that
+// every reproduced table/figure prints in one consistent, paper-like style.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ulpmc {
+
+/// Accumulates rows of string cells and prints them column-aligned.
+///
+/// Usage:
+///   Table t({"arch", "power [mW]", "saving"});
+///   t.add_row({"mc-ref", format_si(1.1e-3, "W"), "-"});
+///   t.print(std::cout);
+class Table {
+public:
+    explicit Table(std::vector<std::string> header);
+
+    /// Appends a data row; must have as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Appends a horizontal separator line.
+    void add_separator();
+
+    /// Renders the table.
+    void print(std::ostream& os) const;
+
+    /// Number of data rows added so far (separators excluded).
+    std::size_t rows() const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_; // empty vector == separator
+};
+
+/// Formats `v` with `prec` digits after the decimal point.
+std::string format_fixed(double v, int prec);
+
+/// Formats a physical quantity with an SI prefix, e.g. 3.97e-6, "W" ->
+/// "3.97 uW". Chooses from p, n, u, m, (none), k, M, G.
+std::string format_si(double v, const char* unit, int prec = 3);
+
+/// Formats a ratio as a percentage, e.g. 0.395 -> "39.5%".
+std::string format_percent(double ratio, int prec = 1);
+
+/// Formats a count with thousands separators, e.g. 720800 -> "720,800".
+std::string format_count(std::uint64_t v);
+
+} // namespace ulpmc

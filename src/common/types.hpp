@@ -1,0 +1,60 @@
+// Fundamental architectural types shared by every subsystem.
+//
+// TamaRISC is a 16-bit machine with 24-bit instruction words. Data
+// addresses are 16-bit *word* addresses (one address names one 16-bit
+// word), program addresses are instruction indices. Using distinct
+// aliases keeps interfaces explicit (Core Guidelines I.4).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace ulpmc {
+
+/// One 16-bit data word — the machine's only data type.
+using Word = std::uint16_t;
+
+/// Signed view of a data word (for arithmetic semantics).
+using SWord = std::int16_t;
+
+/// A 24-bit instruction word, stored in the low bits of a uint32.
+using InstrWord = std::uint32_t;
+
+/// Mask selecting the 24 valid bits of an InstrWord.
+inline constexpr InstrWord kInstrWordMask = 0x00FF'FFFFu;
+
+/// Number of bytes one instruction occupies in the paper's byte accounting.
+inline constexpr std::size_t kInstrBytes = 3;
+
+/// 16-bit data-memory word address.
+using Addr = std::uint16_t;
+
+/// Program address: index of an instruction in the instruction space.
+using PAddr = std::uint16_t;
+
+/// Identifies one of the cluster's cores (the paper's PID).
+using CoreId = std::uint8_t;
+
+/// Identifies one memory bank behind a crossbar.
+using BankId = std::uint8_t;
+
+/// Simulation time in clock cycles.
+using Cycle = std::uint64_t;
+
+/// Number of general-purpose registers in a TamaRISC core.
+inline constexpr unsigned kNumRegisters = 16;
+
+/// Number of cores in the cluster studied by the paper.
+inline constexpr unsigned kNumCores = 8;
+
+/// Data memory: 64 kB total = 32768 16-bit words in 16 banks.
+inline constexpr unsigned kDmBanks = 16;
+inline constexpr std::size_t kDmWordsTotal = 32768;
+inline constexpr std::size_t kDmWordsPerBank = kDmWordsTotal / kDmBanks; // 2048
+
+/// Instruction memory: 96 kB total = 32768 24-bit instructions in 8 banks.
+inline constexpr unsigned kImBanks = 8;
+inline constexpr std::size_t kImWordsTotal = 32768;
+inline constexpr std::size_t kImWordsPerBank = kImWordsTotal / kImBanks; // 4096
+
+} // namespace ulpmc

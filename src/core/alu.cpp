@@ -1,0 +1,105 @@
+#include "core/alu.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::core {
+
+namespace {
+
+Flags zn_flags(Word r) {
+    Flags f;
+    f.z = r == 0;
+    f.n = (r & 0x8000u) != 0;
+    return f;
+}
+
+AluOut shift(Word a, Word b) {
+    const auto amt = static_cast<SWord>(b);
+    AluOut out;
+    if (amt == 0) {
+        out.value = a;
+    } else if (amt > 0) {
+        // Logical left shift. C holds the last bit shifted out.
+        if (amt >= 16) {
+            out.value = 0;
+            out.flags.c = amt == 16 && (a & 0x0001u);
+        } else {
+            out.value = static_cast<Word>(a << amt);
+            out.flags.c = (a >> (16 - amt)) & 1u;
+        }
+    } else {
+        // Arithmetic right shift.
+        const int k = -static_cast<int>(amt);
+        const auto sa = static_cast<SWord>(a);
+        if (k >= 16) {
+            out.value = static_cast<Word>(sa < 0 ? -1 : 0);
+            out.flags.c = k == 16 && sa < 0;
+        } else {
+            out.value = static_cast<Word>(sa >> k);
+            out.flags.c = (a >> (k - 1)) & 1u;
+        }
+    }
+    const Flags zn = zn_flags(out.value);
+    out.flags.z = zn.z;
+    out.flags.n = zn.n;
+    out.flags.v = false;
+    return out;
+}
+
+} // namespace
+
+AluOut alu_exec(isa::Opcode op, Word a, Word b) {
+    using isa::Opcode;
+    ULPMC_EXPECTS(isa::is_alu(op));
+
+    AluOut out;
+    switch (op) {
+    case Opcode::ADD: {
+        const std::uint32_t wide = static_cast<std::uint32_t>(a) + b;
+        out.value = static_cast<Word>(wide);
+        out.flags = zn_flags(out.value);
+        out.flags.c = wide > 0xFFFFu;
+        // Signed overflow: operands share a sign the result does not.
+        out.flags.v = (~(a ^ b) & (a ^ out.value) & 0x8000u) != 0;
+        return out;
+    }
+    case Opcode::SUB: {
+        out.value = static_cast<Word>(a - b);
+        out.flags = zn_flags(out.value);
+        out.flags.c = a >= b; // no-borrow convention
+        out.flags.v = ((a ^ b) & (a ^ out.value) & 0x8000u) != 0;
+        return out;
+    }
+    case Opcode::SFT:
+        return shift(a, b);
+    case Opcode::AND:
+        out.value = a & b;
+        out.flags = zn_flags(out.value);
+        return out;
+    case Opcode::OR:
+        out.value = a | b;
+        out.flags = zn_flags(out.value);
+        return out;
+    case Opcode::XOR:
+        out.value = a ^ b;
+        out.flags = zn_flags(out.value);
+        return out;
+    case Opcode::MULL: {
+        const std::uint32_t wide = static_cast<std::uint32_t>(a) * b;
+        out.value = static_cast<Word>(wide);
+        out.flags = zn_flags(out.value);
+        return out;
+    }
+    case Opcode::MULH: {
+        const std::int32_t wide =
+            static_cast<std::int32_t>(static_cast<SWord>(a)) * static_cast<SWord>(b);
+        out.value = static_cast<Word>(static_cast<std::uint32_t>(wide) >> 16);
+        out.flags = zn_flags(out.value);
+        return out;
+    }
+    default:
+        ULPMC_ASSERT(false);
+    }
+}
+
+} // namespace ulpmc::core

@@ -1,0 +1,31 @@
+// The TamaRISC arithmetic-logic unit: the eight ALU operations of the ISA
+// (paper §III-A) with their flag semantics.
+//
+//   ADD   a + b            C = carry out, V = signed overflow
+//   SUB   a - b            C = 1 when no borrow (a >= b unsigned)
+//   SFT   shift            amount > 0: logical left; < 0: arithmetic right
+//   AND/OR/XOR  logical    C = V = 0
+//   MULL  low 16 of a*b    (identical for signed/unsigned operands)
+//   MULH  high 16 of signed a*b
+//
+// MULL+MULH together realize the paper's "full 16-bit by 16-bit
+// multiplications". All operations set Z and N from the 16-bit result.
+#pragma once
+
+#include "common/types.hpp"
+#include "core/flags.hpp"
+#include "isa/instruction.hpp"
+
+namespace ulpmc::core {
+
+/// Result of one ALU operation.
+struct AluOut {
+    Word value = 0;
+    Flags flags;
+};
+
+/// Executes one of the eight ALU opcodes. Precondition: is_alu(op).
+/// For SFT, `b` is interpreted as a signed shift amount.
+AluOut alu_exec(isa::Opcode op, Word a, Word b);
+
+} // namespace ulpmc::core

@@ -1,0 +1,193 @@
+#include "core/exec.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "core/alu.hpp"
+
+namespace ulpmc::core {
+
+namespace {
+
+using isa::DstMode;
+using isa::Instruction;
+using isa::Opcode;
+using isa::SrcMode;
+using isa::SrcOperand;
+
+/// Effective address of a memory-mode source operand; applies the
+/// pre/post increment/decrement to `regs` (sequential semantics).
+Addr src_ea(const SrcOperand& s, std::array<Word, kNumRegisters>& regs, int moff) {
+    switch (s.mode) {
+    case SrcMode::Ind:
+        return regs[s.reg];
+    case SrcMode::IndPostInc: {
+        const Addr ea = regs[s.reg];
+        regs[s.reg] = static_cast<Word>(regs[s.reg] + 1);
+        return ea;
+    }
+    case SrcMode::IndPostDec: {
+        const Addr ea = regs[s.reg];
+        regs[s.reg] = static_cast<Word>(regs[s.reg] - 1);
+        return ea;
+    }
+    case SrcMode::IndPreInc:
+        regs[s.reg] = static_cast<Word>(regs[s.reg] + 1);
+        return regs[s.reg];
+    case SrcMode::IndPreDec:
+        regs[s.reg] = static_cast<Word>(regs[s.reg] - 1);
+        return regs[s.reg];
+    case SrcMode::IndOff:
+        return static_cast<Addr>(regs[s.reg] + static_cast<Word>(static_cast<SWord>(moff)));
+    case SrcMode::Reg:
+    case SrcMode::Imm4:
+        break;
+    }
+    ULPMC_ASSERT(false);
+}
+
+/// Effective address of a memory-mode destination; applies post-increment.
+Addr dst_ea(const isa::DstOperand& d, std::array<Word, kNumRegisters>& regs, int moff) {
+    switch (d.mode) {
+    case DstMode::Ind:
+        return regs[d.reg];
+    case DstMode::IndPostInc: {
+        const Addr ea = regs[d.reg];
+        regs[d.reg] = static_cast<Word>(regs[d.reg] + 1);
+        return ea;
+    }
+    case DstMode::IndOff:
+        return static_cast<Addr>(regs[d.reg] + static_cast<Word>(static_cast<SWord>(moff)));
+    case DstMode::Reg:
+        break;
+    }
+    ULPMC_ASSERT(false);
+}
+
+/// True when the SFT srcB immediate must be sign-extended (-8..7).
+bool signed_imm(const Instruction& in, bool is_srcb) { return in.op == Opcode::SFT && is_srcb; }
+
+} // namespace
+
+MemPlan plan_memory(const Instruction& in, const CoreState& s) {
+    MemPlan plan;
+    std::array<Word, kNumRegisters> regs = s.regs; // scratch: side effects discarded
+
+    switch (in.op) {
+    case Opcode::BRA:
+    case Opcode::JAL:
+    case Opcode::MOVI:
+        return plan;
+    case Opcode::MOV:
+        if (reads_memory(in.srca)) plan.load = src_ea(in.srca, regs, in.moff);
+        if (writes_memory(in.dst)) plan.store = dst_ea(in.dst, regs, in.moff);
+        return plan;
+    default: // ALU
+        if (reads_memory(in.srca)) plan.load = src_ea(in.srca, regs, in.moff);
+        if (reads_memory(in.srcb)) {
+            ULPMC_ASSERT(!plan.load); // validated: at most one memory source
+            plan.load = src_ea(in.srcb, regs, in.moff);
+        }
+        if (writes_memory(in.dst)) plan.store = dst_ea(in.dst, regs, 0);
+        return plan;
+    }
+}
+
+StepEffects execute(const Instruction& in, const CoreState& s, std::optional<Word> loaded) {
+    StepEffects fx;
+    fx.next = s;
+    auto& regs = fx.next.regs;
+
+    const auto src_value = [&](const SrcOperand& src, bool is_srcb) -> Word {
+        switch (src.mode) {
+        case SrcMode::Reg:
+            return regs[src.reg];
+        case SrcMode::Imm4:
+            return signed_imm(in, is_srcb)
+                       ? static_cast<Word>(static_cast<SWord>(sign_extend(src.reg, 4)))
+                       : static_cast<Word>(src.reg);
+        default:
+            (void)src_ea(src, regs, in.moff); // apply addressing side effect
+            ULPMC_EXPECTS(loaded.has_value());
+            return *loaded;
+        }
+    };
+
+    const auto write_dst = [&](Word value) {
+        if (in.dst.mode == DstMode::Reg) {
+            regs[in.dst.reg] = value;
+        } else {
+            (void)dst_ea(in.dst, regs, in.op == Opcode::MOV ? in.moff : 0);
+            fx.store_value = value;
+        }
+    };
+
+    switch (in.op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::SFT:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::MULL:
+    case Opcode::MULH: {
+        const Word a = src_value(in.srca, /*is_srcb=*/false);
+        const Word b = src_value(in.srcb, /*is_srcb=*/true);
+        const AluOut out = alu_exec(in.op, a, b);
+        write_dst(out.value);
+        fx.next.flags = out.flags;
+        fx.next.pc = static_cast<PAddr>(s.pc + 1);
+        return fx;
+    }
+    case Opcode::MOV: {
+        const Word v = src_value(in.srca, /*is_srcb=*/false);
+        write_dst(v);
+        fx.next.pc = static_cast<PAddr>(s.pc + 1);
+        return fx;
+    }
+    case Opcode::MOVI:
+        regs[in.dst.reg] = in.imm16;
+        fx.next.pc = static_cast<PAddr>(s.pc + 1);
+        return fx;
+    case Opcode::BRA: {
+        if (!cond_holds(in.cond, s.flags)) {
+            fx.next.pc = static_cast<PAddr>(s.pc + 1);
+            return fx;
+        }
+        PAddr target = 0;
+        switch (in.bmode) {
+        case isa::BraMode::Rel:
+            target = static_cast<PAddr>(static_cast<std::int32_t>(s.pc) + in.target);
+            break;
+        case isa::BraMode::Abs:
+            target = static_cast<PAddr>(in.target);
+            break;
+        case isa::BraMode::RegInd:
+            target = static_cast<PAddr>(regs[in.treg]);
+            break;
+        }
+        fx.next.pc = target;
+        // The canonical idle idiom: unconditional branch to self. The core
+        // reports halt so the cluster can clock-gate it (paper §III-A).
+        fx.halt = in.cond == isa::Cond::AL && target == s.pc;
+        return fx;
+    }
+    case Opcode::JAL: {
+        regs[in.link] = static_cast<Word>(s.pc + 1);
+        switch (in.bmode) {
+        case isa::BraMode::Rel:
+            fx.next.pc = static_cast<PAddr>(static_cast<std::int32_t>(s.pc) + in.target);
+            break;
+        case isa::BraMode::Abs:
+            fx.next.pc = static_cast<PAddr>(in.target);
+            break;
+        case isa::BraMode::RegInd:
+            fx.next.pc = static_cast<PAddr>(s.regs[in.treg]);
+            break;
+        }
+        return fx;
+    }
+    }
+    ULPMC_ASSERT(false);
+}
+
+} // namespace ulpmc::core

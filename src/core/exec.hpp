@@ -1,0 +1,46 @@
+// Shared instruction semantics, split into two phases so both core models
+// agree by construction:
+//
+//   plan_memory() — computes the data addresses an instruction will touch,
+//                   WITHOUT changing any state. The cycle-accurate core
+//                   uses this to raise crossbar requests; grants may take
+//                   several cycles under bank conflicts.
+//   execute()     — applies the full architectural effect given the loaded
+//                   value (if the instruction reads memory). Returns the
+//                   next state plus the value to store (if it writes).
+//
+// Operand evaluation order is architectural: srcA, then srcB, then the
+// destination; pre/post increment/decrement side effects are visible to
+// later operands of the same instruction.
+#pragma once
+
+#include <optional>
+
+#include "common/types.hpp"
+#include "core/state.hpp"
+#include "isa/instruction.hpp"
+
+namespace ulpmc::core {
+
+/// Data-memory addresses an instruction will access (virtual addresses,
+/// before MMU translation). At most one load and one store (port budget).
+struct MemPlan {
+    std::optional<Addr> load;
+    std::optional<Addr> store;
+};
+
+/// Computes the memory plan without side effects.
+MemPlan plan_memory(const isa::Instruction& in, const CoreState& s);
+
+/// Result of executing one instruction.
+struct StepEffects {
+    CoreState next;                  ///< complete post-instruction state
+    std::optional<Word> store_value; ///< value for MemPlan::store, if any
+    bool halt = false;               ///< unconditional branch-to-self seen
+};
+
+/// Applies the instruction. `loaded` must carry the memory word when
+/// plan_memory() reported a load (contract-checked).
+StepEffects execute(const isa::Instruction& in, const CoreState& s, std::optional<Word> loaded);
+
+} // namespace ulpmc::core

@@ -1,0 +1,46 @@
+#include "core/flags.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::core {
+
+bool cond_holds(isa::Cond cond, const Flags& f) {
+    using isa::Cond;
+    switch (cond) {
+    case Cond::AL:
+        return true;
+    case Cond::EQ:
+        return f.z;
+    case Cond::NE:
+        return !f.z;
+    case Cond::CS:
+        return f.c;
+    case Cond::CC:
+        return !f.c;
+    case Cond::MI:
+        return f.n;
+    case Cond::PL:
+        return !f.n;
+    case Cond::VS:
+        return f.v;
+    case Cond::VC:
+        return !f.v;
+    case Cond::HI:
+        return f.c && !f.z;
+    case Cond::LS:
+        return !f.c || f.z;
+    case Cond::GE:
+        return f.n == f.v;
+    case Cond::LT:
+        return f.n != f.v;
+    case Cond::GT:
+        return !f.z && f.n == f.v;
+    case Cond::LE:
+        return f.z || f.n != f.v;
+    case Cond::NV:
+        return false;
+    }
+    ULPMC_ASSERT(false);
+}
+
+} // namespace ulpmc::core

@@ -1,0 +1,25 @@
+// Processor status flags and branch-condition evaluation.
+//
+// TamaRISC exposes four status flags — carry, zero, negative, overflow —
+// and the paper's "15 different condition modes" (plus 'always') are
+// boolean functions of them, evaluated by cond_holds().
+#pragma once
+
+#include "isa/instruction.hpp"
+
+namespace ulpmc::core {
+
+/// The C/Z/N/V status flags.
+struct Flags {
+    bool c = false; ///< carry (SUB: no-borrow convention)
+    bool z = false; ///< zero
+    bool n = false; ///< negative (bit 15 of the result)
+    bool v = false; ///< signed overflow
+
+    friend bool operator==(const Flags&, const Flags&) = default;
+};
+
+/// Evaluates a branch condition against the current flags.
+bool cond_holds(isa::Cond cond, const Flags& f);
+
+} // namespace ulpmc::core

@@ -1,0 +1,103 @@
+#include "core/functional_core.hpp"
+
+#include "common/assert.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::core {
+
+FlatMemory::FlatMemory(std::size_t size_words) : mem_(size_words, 0) {}
+
+bool FlatMemory::read(Addr addr, Word& out) {
+    if (addr >= mem_.size()) return false;
+    out = mem_[addr];
+    return true;
+}
+
+bool FlatMemory::write(Addr addr, Word value) {
+    if (addr >= mem_.size()) return false;
+    mem_[addr] = value;
+    return true;
+}
+
+Word FlatMemory::peek(Addr addr) const {
+    ULPMC_EXPECTS(addr < mem_.size());
+    return mem_[addr];
+}
+
+void FlatMemory::poke(Addr addr, Word value) {
+    ULPMC_EXPECTS(addr < mem_.size());
+    mem_[addr] = value;
+}
+
+void FlatMemory::load(Addr base, std::span<const Word> image) {
+    ULPMC_EXPECTS(base + image.size() <= mem_.size());
+    for (std::size_t i = 0; i < image.size(); ++i) mem_[base + i] = image[i];
+}
+
+FunctionalCore::FunctionalCore(std::span<const InstrWord> text, DataMemory& mem)
+    : text_(text), mem_(mem) {}
+
+void FunctionalCore::set_tracer(std::function<void(const TraceEntry&)> tracer) {
+    tracer_ = std::move(tracer);
+}
+
+Trap FunctionalCore::step() {
+    if (halted_ || trap_ != Trap::None) return trap_;
+
+    if (state_.pc >= text_.size()) {
+        trap_ = Trap::FetchFault;
+        return trap_;
+    }
+    const auto decoded = isa::decode(text_[state_.pc]);
+    if (!decoded) {
+        trap_ = Trap::IllegalInstruction;
+        return trap_;
+    }
+
+    const MemPlan plan = plan_memory(*decoded, state_);
+    std::optional<Word> loaded;
+    if (plan.load) {
+        Word v = 0;
+        if (!mem_.read(*plan.load, v)) {
+            trap_ = Trap::MemoryFault;
+            return trap_;
+        }
+        loaded = v;
+    }
+
+    const StepEffects fx = execute(*decoded, state_, loaded);
+    if (plan.store) {
+        ULPMC_ASSERT(fx.store_value.has_value());
+        if (!mem_.write(*plan.store, *fx.store_value)) {
+            trap_ = Trap::MemoryFault;
+            return trap_;
+        }
+    }
+
+    const PAddr pc_before = state_.pc;
+    state_ = fx.next;
+    halted_ = fx.halt;
+    ++instret_;
+
+    if (tracer_) tracer_(TraceEntry{instret_ - 1, pc_before, *decoded, state_});
+    return Trap::None;
+}
+
+Trap FunctionalCore::run(std::uint64_t max_steps) {
+    for (std::uint64_t i = 0; i < max_steps && !halted_ && trap_ == Trap::None; ++i) step();
+    return trap_;
+}
+
+RunResult run_program(const isa::Program& prog, std::uint64_t max_steps) {
+    RunResult r;
+    r.memory.load(0, prog.data);
+    FunctionalCore core(prog.text, r.memory);
+    core.state().pc = prog.entry;
+    core.run(max_steps);
+    r.state = core.state();
+    r.trap = core.trap();
+    r.instret = core.instret();
+    return r;
+}
+
+} // namespace ulpmc::core

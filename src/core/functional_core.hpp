@@ -1,0 +1,106 @@
+// Functional instruction-set simulator for one TamaRISC core.
+//
+// Executes one instruction per step() against a flat virtual data memory,
+// with no timing model — the reference semantics. The cycle-accurate
+// cluster model (src/cluster) is checked against this ISS in lockstep
+// co-simulation tests, mirroring the paper's LISA-vs-HDL regression flow.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/exec.hpp"
+#include "core/state.hpp"
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace ulpmc::core {
+
+/// Virtual data memory the functional core runs against. Kept abstract so
+/// tests can inject fault-on-access or MMU-backed memories.
+class DataMemory {
+public:
+    virtual ~DataMemory() = default;
+
+    /// Reads the word at `addr`; returns false on fault.
+    virtual bool read(Addr addr, Word& out) = 0;
+
+    /// Writes the word at `addr`; returns false on fault.
+    virtual bool write(Addr addr, Word value) = 0;
+};
+
+/// Simple flat memory covering [0, size) words.
+class FlatMemory final : public DataMemory {
+public:
+    explicit FlatMemory(std::size_t size_words = kDmWordsTotal);
+
+    bool read(Addr addr, Word& out) override;
+    bool write(Addr addr, Word value) override;
+
+    /// Direct (non-faulting) accessors for loading and inspecting images.
+    Word peek(Addr addr) const;
+    void poke(Addr addr, Word value);
+    std::size_t size() const { return mem_.size(); }
+
+    /// Copies `image` to address `base`.
+    void load(Addr base, std::span<const Word> image);
+
+private:
+    std::vector<Word> mem_;
+};
+
+/// Executed-instruction record handed to trace sinks.
+struct TraceEntry {
+    std::uint64_t instret = 0; ///< index of this instruction (0-based)
+    PAddr pc = 0;
+    isa::Instruction in;
+    CoreState after;
+};
+
+/// The functional ISS.
+class FunctionalCore {
+public:
+    /// The core fetches from `text` (not owned; must outlive the core) and
+    /// accesses data through `mem` (not owned).
+    FunctionalCore(std::span<const InstrWord> text, DataMemory& mem);
+
+    /// Executes one instruction. Returns the trap raised (None if fine).
+    /// No-op once halted or trapped.
+    Trap step();
+
+    /// Runs until halt, trap, or `max_steps` instructions.
+    Trap run(std::uint64_t max_steps = 100'000'000);
+
+    const CoreState& state() const { return state_; }
+    CoreState& state() { return state_; }
+    bool halted() const { return halted_; }
+    Trap trap() const { return trap_; }
+    std::uint64_t instret() const { return instret_; }
+
+    /// Installs an optional per-instruction trace sink.
+    void set_tracer(std::function<void(const TraceEntry&)> tracer);
+
+private:
+    std::span<const InstrWord> text_;
+    DataMemory& mem_;
+    CoreState state_;
+    bool halted_ = false;
+    Trap trap_ = Trap::None;
+    std::uint64_t instret_ = 0;
+    std::function<void(const TraceEntry&)> tracer_;
+};
+
+/// Convenience: run `prog` to completion on a fresh flat memory (with the
+/// program's data image loaded at address 0) and return the final core.
+/// Used heavily by ISA and application unit tests.
+struct RunResult {
+    CoreState state;
+    Trap trap = Trap::None;
+    std::uint64_t instret = 0;
+    FlatMemory memory;
+};
+RunResult run_program(const isa::Program& prog, std::uint64_t max_steps = 100'000'000);
+
+} // namespace ulpmc::core

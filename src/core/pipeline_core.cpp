@@ -1,0 +1,152 @@
+#include "core/pipeline_core.hpp"
+
+#include "common/assert.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::core {
+
+PipelineCore::PipelineCore(std::span<const InstrWord> text, DataMemory& mem, BranchPolicy policy)
+    : text_(text), mem_(mem), policy_(policy) {}
+
+bool PipelineCore::step() {
+    if (halted_ || trap_ != Trap::None) return false;
+    ++stats_.cycles;
+
+    stage_execute();
+    if (halted_ || trap_ != Trap::None) return false;
+
+    if (fetch_hold_ > 0) {
+        // A pending redirect has not reached the fetcher yet: bubble.
+        --fetch_hold_;
+        ++stats_.branch_bubbles;
+    } else {
+        stage_fetch_decode();
+    }
+    return trap_ == Trap::None;
+}
+
+Trap PipelineCore::run(Cycle max_cycles) {
+    while (stats_.cycles < max_cycles && step()) {
+    }
+    return trap_;
+}
+
+unsigned PipelineCore::count_bypasses(const isa::Instruction& in) const {
+    if (!last_ex_dst_) return 0;
+    const std::uint8_t d = *last_ex_dst_;
+    unsigned n = 0;
+    const auto src_uses = [&](const isa::SrcOperand& s) {
+        return s.mode != isa::SrcMode::Imm4 && s.reg == d;
+    };
+    switch (in.op) {
+    case isa::Opcode::MOVI:
+        return 0;
+    case isa::Opcode::BRA:
+    case isa::Opcode::JAL:
+        return in.bmode == isa::BraMode::RegInd && in.treg == d ? 1u : 0u;
+    case isa::Opcode::MOV:
+        if (src_uses(in.srca)) ++n;
+        if (in.dst.mode != isa::DstMode::Reg && in.dst.reg == d) ++n;
+        return n;
+    default:
+        if (src_uses(in.srca)) ++n;
+        if (src_uses(in.srcb)) ++n;
+        if (in.dst.mode != isa::DstMode::Reg && in.dst.reg == d) ++n;
+        return n;
+    }
+}
+
+void PipelineCore::stage_execute() {
+    if (!ex_.valid) return;
+    ex_.valid = false;
+
+    if (ex_.oob) {
+        trap_ = Trap::FetchFault;
+        return;
+    }
+    const isa::Instruction& in = ex_.decoded;
+    stats_.bypasses += count_bypasses(in);
+
+    state_.pc = ex_.pc;
+    const MemPlan plan = plan_memory(in, state_);
+    std::optional<Word> loaded;
+    if (plan.load) {
+        Word v = 0;
+        if (!mem_.read(*plan.load, v)) {
+            trap_ = Trap::MemoryFault;
+            return;
+        }
+        loaded = v;
+    }
+    const StepEffects fx = execute(in, state_, loaded);
+    if (plan.store) {
+        ULPMC_ASSERT(fx.store_value.has_value());
+        if (!mem_.write(*plan.store, *fx.store_value)) {
+            trap_ = Trap::MemoryFault;
+            return;
+        }
+    }
+
+    const PAddr sequential = static_cast<PAddr>(ex_.pc + 1);
+    state_ = fx.next;
+    ++stats_.instret;
+
+    // Bypass bookkeeping: which register the execute stage just produced.
+    last_ex_dst_ = std::nullopt;
+    if (in.op == isa::Opcode::MOVI || (in.op != isa::Opcode::BRA && in.op != isa::Opcode::JAL &&
+                                       in.dst.mode == isa::DstMode::Reg)) {
+        last_ex_dst_ = in.dst.reg;
+    } else if (in.op == isa::Opcode::JAL) {
+        last_ex_dst_ = in.link;
+    }
+
+    if (fx.halt) {
+        halted_ = true;
+        return;
+    }
+    if (fx.next.pc != sequential) {
+        // Taken branch: steer the fetcher. Under ZeroPenalty the redirect
+        // is combinational into this cycle's fetch (no bubble); slower
+        // policies pay their latency as fetch-hold bubbles.
+        ++stats_.taken_branches;
+        fetch_pc_ = fx.next.pc;
+        switch (policy_) {
+        case BranchPolicy::ZeroPenalty:
+            break;
+        case BranchPolicy::OnePenalty:
+            fetch_hold_ = 1;
+            break;
+        case BranchPolicy::TwoPenalty:
+            fetch_hold_ = 2;
+            break;
+        }
+    } else {
+        fetch_pc_ = sequential;
+    }
+}
+
+void PipelineCore::stage_fetch_decode() {
+    ULPMC_ASSERT(!ex_.valid); // the execute stage always drains
+    if (!started_) {
+        // First fetch targets whatever entry point the user installed.
+        fetch_pc_ = state_.pc;
+        started_ = true;
+    }
+    ex_.valid = true;
+    ex_.pc = fetch_pc_;
+    if (fetch_pc_ >= text_.size()) {
+        ex_.oob = true;
+        return;
+    }
+    ex_.oob = false;
+    ++stats_.fetches;
+    const auto decoded = isa::decode(text_[fetch_pc_]);
+    if (!decoded) {
+        trap_ = Trap::IllegalInstruction;
+        ex_.valid = false;
+        return;
+    }
+    ex_.decoded = *decoded;
+}
+
+} // namespace ulpmc::core

@@ -1,0 +1,19 @@
+#include "core/state.hpp"
+
+namespace ulpmc::core {
+
+const char* trap_name(Trap t) {
+    switch (t) {
+    case Trap::None:
+        return "none";
+    case Trap::IllegalInstruction:
+        return "illegal-instruction";
+    case Trap::MemoryFault:
+        return "memory-fault";
+    case Trap::FetchFault:
+        return "fetch-fault";
+    }
+    return "?";
+}
+
+} // namespace ulpmc::core

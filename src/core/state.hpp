@@ -1,0 +1,35 @@
+// Architectural state of one TamaRISC core, and the trap conditions the
+// simulator can raise. The state is deliberately a plain aggregate so the
+// functional and the cycle-accurate core models can be compared field by
+// field in co-simulation tests (DESIGN.md §2, substitution 4).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "core/flags.hpp"
+
+namespace ulpmc::core {
+
+/// Everything software can observe about a core.
+struct CoreState {
+    std::array<Word, kNumRegisters> regs{};
+    PAddr pc = 0;
+    Flags flags;
+
+    friend bool operator==(const CoreState&, const CoreState&) = default;
+};
+
+/// Abnormal conditions; None means normal execution.
+enum class Trap : std::uint8_t {
+    None = 0,
+    IllegalInstruction, ///< reserved opcode / malformed encoding
+    MemoryFault,        ///< data access outside the mapped address space
+    FetchFault          ///< PC outside the loaded program
+};
+
+/// Human-readable trap name (for diagnostics and tests).
+const char* trap_name(Trap t);
+
+} // namespace ulpmc::core

@@ -1,0 +1,21 @@
+// Shared implementation of the Figs. 5/6 clock-constraint exploration:
+// one design, several synthesis clock constraints, power vs throughput
+// with voltage scaling down to the floor.
+#pragma once
+
+#include <vector>
+
+#include "cluster/config.hpp"
+
+namespace ulpmc::exp {
+
+/// Prints the Fig. 5/6 style exploration for `arch`.
+/// `clocks` — the synthesis constraints [ns], fastest first;
+/// `paper_floor_mw` — the paper's annotations at the voltage floor
+/// (same order), used for ratio comparison;
+/// `paper_saving_pct` — the paper's quoted saving of the 12 ns design
+/// vs the speed-optimized one.
+void clock_constraint_figure(cluster::ArchKind arch, const std::vector<double>& clocks,
+                             const std::vector<double>& paper_floor_mw, double paper_saving_pct);
+
+} // namespace ulpmc::exp

@@ -1,0 +1,38 @@
+#include "exp/experiments.hpp"
+
+#include <iostream>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::exp {
+
+DesignPoint characterize(cluster::ArchKind arch, const app::EcgBenchmark& bench) {
+    DesignPoint dp{.arch = arch, .outcome = bench.run(arch), .rates = {}};
+    ULPMC_ENSURES(dp.outcome.verified); // power numbers require correct runs
+    dp.rates = power::EventRates::from_run(dp.outcome.stats);
+    return dp;
+}
+
+std::vector<DesignPoint> characterize_all(const app::EcgBenchmark& bench) {
+    std::vector<DesignPoint> v;
+    v.push_back(characterize(cluster::ArchKind::McRef, bench));
+    v.push_back(characterize(cluster::ArchKind::UlpmcInt, bench));
+    v.push_back(characterize(cluster::ArchKind::UlpmcBank, bench));
+    return v;
+}
+
+std::string vs_paper_percent(double measured_ratio, double paper_percent) {
+    return format_percent(measured_ratio) + " (paper " + format_fixed(paper_percent, 1) + "%)";
+}
+
+std::string vs_paper_count(std::uint64_t measured, double paper_value) {
+    return format_count(measured) + " (paper " + format_count(static_cast<std::uint64_t>(paper_value)) +
+           ")";
+}
+
+void print_experiment_header(const std::string& title, const std::string& paper_ref) {
+    std::cout << "\n=== " << title << " ===\n"
+              << "Reproduces: " << paper_ref << " of Dogan et al., DATE 2012\n\n";
+}
+
+} // namespace ulpmc::exp

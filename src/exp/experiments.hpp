@@ -1,0 +1,42 @@
+// Shared experiment harness glue: standard benchmark runs, per-design
+// power-model construction, and paper-vs-measured row formatting used by
+// every bench binary (one binary per table/figure, see DESIGN.md §5).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "app/benchmark.hpp"
+#include "cluster/config.hpp"
+#include "common/table.hpp"
+#include "power/power_model.hpp"
+
+namespace ulpmc::exp {
+
+/// A fully characterized design point: the architecture, its benchmark
+/// execution, and the condensed event rates driving the power model.
+struct DesignPoint {
+    cluster::ArchKind arch;
+    app::EcgBenchmark::Outcome outcome;
+    power::EventRates rates;
+};
+
+/// Runs the paper's default benchmark configuration (private Huffman
+/// LUTs, no barrier) on one architecture. Contract-checks that the
+/// cluster's outputs verified bit-exactly against the golden pipeline —
+/// every power number in the repo is backed by a correct execution.
+DesignPoint characterize(cluster::ArchKind arch, const app::EcgBenchmark& bench);
+
+/// The three paper designs characterized on the same benchmark instance.
+std::vector<DesignPoint> characterize_all(const app::EcgBenchmark& bench);
+
+/// "measured vs paper" cell, e.g. "39.4% (paper 39.5%)".
+std::string vs_paper_percent(double measured_ratio, double paper_percent);
+
+/// "measured vs paper" cell for counts, e.g. "90,180 (paper 90,200)".
+std::string vs_paper_count(std::uint64_t measured, double paper_value);
+
+/// Standard header printed by every bench binary.
+void print_experiment_header(const std::string& title, const std::string& paper_ref);
+
+} // namespace ulpmc::exp

@@ -1,0 +1,135 @@
+#include "isa/asm_builder.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::isa {
+
+void AsmBuilder::label(const std::string& name) {
+    ULPMC_EXPECTS(!finished_);
+    ULPMC_EXPECTS(!prog_.symbol(name).has_value());
+    prog_.set_symbol(name, Symbol{Symbol::Space::Text, static_cast<std::uint32_t>(prog_.text.size())});
+}
+
+PAddr AsmBuilder::here() const { return narrow<PAddr>(prog_.text.size()); }
+
+void AsmBuilder::emit(const Instruction& in) {
+    ULPMC_EXPECTS(!finished_);
+    ULPMC_EXPECTS(prog_.text.size() < kImWordsTotal);
+    prog_.text.push_back(encode(in));
+}
+
+void AsmBuilder::alu(Opcode op, DstOperand dst, SrcOperand a, SrcOperand b) {
+    emit(make_alu(op, dst, a, b));
+}
+void AsmBuilder::add(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::ADD, dst, a, b); }
+void AsmBuilder::sub(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::SUB, dst, a, b); }
+void AsmBuilder::sft(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::SFT, dst, a, b); }
+void AsmBuilder::and_(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::AND, dst, a, b); }
+void AsmBuilder::or_(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::OR, dst, a, b); }
+void AsmBuilder::xor_(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::XOR, dst, a, b); }
+void AsmBuilder::mull(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::MULL, dst, a, b); }
+void AsmBuilder::mulh(DstOperand dst, SrcOperand a, SrcOperand b) { alu(Opcode::MULH, dst, a, b); }
+void AsmBuilder::mov(DstOperand dst, SrcOperand src, int off) { emit(make_mov(dst, src, off)); }
+void AsmBuilder::movi(unsigned rd, Word imm) { emit(make_movi(rd, imm)); }
+
+void AsmBuilder::movi_data(unsigned rd, const std::string& data_symbol) {
+    fixups_.push_back({FixKind::MoviData, prog_.text.size(), data_symbol});
+    emit(make_movi(rd, 0));
+}
+
+void AsmBuilder::movi_text(unsigned rd, const std::string& text_label) {
+    fixups_.push_back({FixKind::MoviText, prog_.text.size(), text_label});
+    emit(make_movi(rd, 0));
+}
+
+void AsmBuilder::movi_symbol_any(unsigned rd, const std::string& symbol) {
+    fixups_.push_back({FixKind::MoviAny, prog_.text.size(), symbol});
+    emit(make_movi(rd, 0));
+}
+
+void AsmBuilder::bra(Cond c, const std::string& text_label) {
+    fixups_.push_back({FixKind::BraRel, prog_.text.size(), text_label});
+    emit(make_bra(c, BraMode::Rel, 0));
+}
+
+void AsmBuilder::bra_reg(Cond c, unsigned reg) {
+    emit(make_bra(c, BraMode::RegInd, static_cast<std::int32_t>(reg)));
+}
+
+void AsmBuilder::jal(unsigned link, const std::string& text_label) {
+    fixups_.push_back({FixKind::JalAbs, prog_.text.size(), text_label});
+    emit(make_jal(link, BraMode::Abs, 0));
+}
+
+void AsmBuilder::ret(unsigned link_reg) { bra_reg(Cond::AL, link_reg); }
+
+void AsmBuilder::hlt() { emit(make_hlt()); }
+void AsmBuilder::nop() { emit(make_nop()); }
+
+void AsmBuilder::data_label(const std::string& name) {
+    ULPMC_EXPECTS(!finished_);
+    ULPMC_EXPECTS(!prog_.symbol(name).has_value());
+    prog_.set_symbol(name, Symbol{Symbol::Space::Data, static_cast<std::uint32_t>(prog_.data.size())});
+}
+
+Addr AsmBuilder::data_here() const { return narrow<Addr>(prog_.data.size()); }
+
+void AsmBuilder::word(Word w) {
+    ULPMC_EXPECTS(!finished_);
+    ULPMC_EXPECTS(prog_.data.size() < kDmWordsTotal);
+    prog_.data.push_back(w);
+}
+
+void AsmBuilder::words(std::span<const Word> ws) {
+    for (const Word w : ws) word(w);
+}
+
+void AsmBuilder::space(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) word(0);
+}
+
+void AsmBuilder::align_data(std::size_t n) {
+    ULPMC_EXPECTS(n > 0);
+    while (prog_.data.size() % n != 0) word(0);
+}
+
+Program AsmBuilder::finish() {
+    ULPMC_EXPECTS(!finished_);
+    for (const Fixup& f : fixups_) {
+        const auto sym = prog_.symbol(f.symbol);
+        ULPMC_EXPECTS(sym.has_value()); // undefined label is a kernel bug
+
+        auto patched = decode(prog_.text.at(f.text_index));
+        ULPMC_ASSERT(patched.has_value());
+        switch (f.kind) {
+        case FixKind::BraRel:
+            ULPMC_EXPECTS(sym->space == Symbol::Space::Text);
+            patched->target =
+                static_cast<std::int32_t>(sym->value) - static_cast<std::int32_t>(f.text_index);
+            break;
+        case FixKind::JalAbs:
+            ULPMC_EXPECTS(sym->space == Symbol::Space::Text);
+            patched->target = static_cast<std::int32_t>(sym->value);
+            break;
+        case FixKind::MoviData:
+            ULPMC_EXPECTS(sym->space == Symbol::Space::Data);
+            patched->imm16 = narrow<Word>(sym->value);
+            break;
+        case FixKind::MoviText:
+            ULPMC_EXPECTS(sym->space == Symbol::Space::Text);
+            patched->imm16 = narrow<Word>(sym->value);
+            break;
+        case FixKind::MoviAny:
+            patched->imm16 = narrow<Word>(sym->value);
+            break;
+        }
+        prog_.text.at(f.text_index) = encode(*patched);
+    }
+    fixups_.clear();
+    finished_ = true;
+    return std::move(prog_);
+}
+
+} // namespace ulpmc::isa

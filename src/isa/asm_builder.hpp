@@ -1,0 +1,108 @@
+// Programmatic assembler: the type-safe way application kernels emit
+// TamaRISC code (the text assembler in assembler.hpp wraps the same
+// facility for human-written sources). Supports forward references to
+// text labels and data symbols via fixups resolved in finish().
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+#include "isa/program.hpp"
+
+namespace ulpmc::isa {
+
+/// Incrementally builds a Program. All emit helpers validate their
+/// instruction; errors are contract violations (programming errors in the
+/// kernel generator, not runtime conditions).
+class AsmBuilder {
+public:
+    // ---- text section ----------------------------------------------------
+
+    /// Defines `name` at the current text position.
+    void label(const std::string& name);
+
+    /// Current text position (address of the next emitted instruction).
+    PAddr here() const;
+
+    /// Emits a validated instruction.
+    void emit(const Instruction& in);
+
+    void alu(Opcode op, DstOperand dst, SrcOperand a, SrcOperand b);
+    void add(DstOperand dst, SrcOperand a, SrcOperand b);
+    void sub(DstOperand dst, SrcOperand a, SrcOperand b);
+    void sft(DstOperand dst, SrcOperand a, SrcOperand b);
+    void and_(DstOperand dst, SrcOperand a, SrcOperand b);
+    void or_(DstOperand dst, SrcOperand a, SrcOperand b);
+    void xor_(DstOperand dst, SrcOperand a, SrcOperand b);
+    void mull(DstOperand dst, SrcOperand a, SrcOperand b);
+    void mulh(DstOperand dst, SrcOperand a, SrcOperand b);
+    void mov(DstOperand dst, SrcOperand src, int off = 0);
+    void movi(unsigned rd, Word imm);
+
+    /// movi of a (possibly forward) data symbol's address.
+    void movi_data(unsigned rd, const std::string& data_symbol);
+
+    /// movi of a (possibly forward) text symbol's address.
+    void movi_text(unsigned rd, const std::string& text_label);
+
+    /// movi of a symbol living in either space (used by the text assembler,
+    /// where the space of a forward reference is unknown at parse time).
+    void movi_symbol_any(unsigned rd, const std::string& symbol);
+
+    /// PC-relative conditional branch to a (possibly forward) label.
+    void bra(Cond c, const std::string& text_label);
+
+    /// Register-indirect branch.
+    void bra_reg(Cond c, unsigned reg);
+
+    /// Jump-and-link to a (possibly forward) label (absolute mode).
+    void jal(unsigned link, const std::string& text_label);
+
+    /// Return from subroutine: unconditional register-indirect branch.
+    void ret(unsigned link_reg);
+
+    void hlt();
+    void nop();
+
+    // ---- data section ----------------------------------------------------
+
+    /// Defines a data symbol at the current data position.
+    void data_label(const std::string& name);
+
+    /// Current data position (virtual word address of the next data word).
+    Addr data_here() const;
+
+    void word(Word w);
+    void words(std::span<const Word> ws);
+
+    /// Reserves `n` zero-initialized words.
+    void space(std::size_t n);
+
+    /// Aligns the data cursor up to a multiple of `n` words.
+    void align_data(std::size_t n);
+
+    // ---- finalize ----------------------------------------------------------
+
+    /// Resolves all fixups and returns the finished program.
+    /// Contract violation if any referenced label stays undefined.
+    Program finish();
+
+private:
+    enum class FixKind { BraRel, JalAbs, MoviData, MoviText, MoviAny };
+    struct Fixup {
+        FixKind kind;
+        std::size_t text_index;
+        std::string symbol;
+    };
+
+    Program prog_;
+    std::vector<Fixup> fixups_;
+    bool finished_ = false;
+};
+
+} // namespace ulpmc::isa

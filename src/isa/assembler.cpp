@@ -1,0 +1,415 @@
+#include "isa/assembler.hpp"
+
+#include <cctype>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+#include "isa/asm_builder.hpp"
+#include "isa/encoding.hpp"
+#include "isa/mnemonics.hpp"
+
+namespace ulpmc::isa {
+
+namespace {
+
+// ---- lexical helpers -------------------------------------------------------
+
+std::string_view trim(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) s.remove_suffix(1);
+    return s;
+}
+
+std::string to_lower(std::string_view sv) {
+    std::string s(sv);
+    for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool is_ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+bool is_ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.'; }
+
+bool is_identifier(std::string_view s) {
+    if (s.empty() || !is_ident_start(s.front())) return false;
+    for (const char c : s)
+        if (!is_ident_char(c)) return false;
+    return true;
+}
+
+/// Splits a comma-separated operand list, honoring no nesting (the syntax
+/// has none).
+std::vector<std::string> split_operands(std::string_view s) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    const std::string str(s);
+    for (std::size_t i = 0; i <= str.size(); ++i) {
+        if (i == str.size() || str[i] == ',') {
+            const auto piece = trim(std::string_view(str).substr(start, i - start));
+            if (!piece.empty()) out.emplace_back(piece);
+            start = i + 1;
+        }
+    }
+    return out;
+}
+
+// ---- the assembler ---------------------------------------------------------
+
+class TextAssembler {
+public:
+    explicit TextAssembler(std::string_view source) : source_(source) {}
+
+    Program run() {
+        unsigned lineno = 0;
+        std::istringstream in{std::string(source_)};
+        std::string raw;
+        while (std::getline(in, raw)) {
+            ++lineno;
+            line_ = lineno;
+            process_line(raw);
+        }
+        Program p = [&] {
+            try {
+                return builder_.finish();
+            } catch (const contract_violation&) {
+                throw AssemblyError(line_, "undefined label referenced in program");
+            }
+        }();
+        if (!entry_label_.empty()) {
+            const auto s = p.symbol(entry_label_);
+            if (!s || s->space != Symbol::Space::Text)
+                throw AssemblyError(entry_line_, "entry label '" + entry_label_ + "' undefined");
+            p.entry = narrow<PAddr>(s->value);
+        }
+        return p;
+    }
+
+private:
+    [[noreturn]] void fail(const std::string& msg) const { throw AssemblyError(line_, msg); }
+
+    void process_line(std::string_view raw) {
+        // Strip comment.
+        const auto semi = raw.find(';');
+        std::string_view s = trim(raw.substr(0, semi));
+        if (s.empty()) return;
+
+        // Leading label(s).
+        while (true) {
+            const auto colon = s.find(':');
+            if (colon == std::string_view::npos) break;
+            const std::string_view name = trim(s.substr(0, colon));
+            if (!is_identifier(name)) fail("invalid label name '" + std::string(name) + "'");
+            define_label(std::string(name));
+            s = trim(s.substr(colon + 1));
+            if (s.empty()) return;
+        }
+
+        // Split mnemonic / operands.
+        std::size_t sp = 0;
+        while (sp < s.size() && !std::isspace(static_cast<unsigned char>(s[sp]))) ++sp;
+        const std::string mnemonic = to_lower(s.substr(0, sp));
+        const std::string_view rest = trim(s.substr(sp));
+
+        if (mnemonic.front() == '.') {
+            directive(mnemonic, rest);
+        } else {
+            instruction(mnemonic, rest);
+        }
+    }
+
+    void define_label(const std::string& name) {
+        if (equs_.count(name)) fail("label '" + name + "' collides with .equ constant");
+        try {
+            if (in_text_) {
+                builder_.label(name);
+            } else {
+                builder_.data_label(name);
+            }
+        } catch (const contract_violation&) {
+            fail("duplicate label '" + name + "'");
+        }
+    }
+
+    void directive(const std::string& d, std::string_view rest) {
+        if (d == ".text") {
+            require_empty(rest);
+            in_text_ = true;
+        } else if (d == ".data") {
+            require_empty(rest);
+            in_text_ = false;
+        } else if (d == ".entry") {
+            const auto ops = split_operands(rest);
+            if (ops.size() != 1 || !is_identifier(ops[0])) fail(".entry expects one label");
+            entry_label_ = ops[0];
+            entry_line_ = line_;
+        } else if (d == ".equ") {
+            const auto ops = split_operands(rest);
+            if (ops.size() != 2 || !is_identifier(ops[0])) fail(".equ expects: name, value");
+            if (equs_.count(ops[0])) fail("duplicate .equ '" + ops[0] + "'");
+            equs_[ops[0]] = expect_number(ops[1]);
+        } else if (d == ".word") {
+            if (in_text_) fail(".word is only valid in the data section");
+            const auto ops = split_operands(rest);
+            if (ops.empty()) fail(".word expects at least one value");
+            for (const auto& o : ops) builder_.word(static_cast<Word>(expect_number(o) & 0xFFFF));
+        } else if (d == ".space") {
+            if (in_text_) fail(".space is only valid in the data section");
+            const auto ops = split_operands(rest);
+            if (ops.size() != 1) fail(".space expects one count");
+            const std::int64_t n = expect_number(ops[0]);
+            if (n < 0) fail(".space count must be non-negative");
+            builder_.space(static_cast<std::size_t>(n));
+        } else if (d == ".align") {
+            if (in_text_) fail(".align is only valid in the data section");
+            const auto ops = split_operands(rest);
+            if (ops.size() != 1) fail(".align expects one alignment");
+            const std::int64_t n = expect_number(ops[0]);
+            if (n <= 0) fail(".align must be positive");
+            builder_.align_data(static_cast<std::size_t>(n));
+        } else {
+            fail("unknown directive '" + d + "'");
+        }
+    }
+
+    void require_empty(std::string_view rest) const {
+        if (!rest.empty()) fail("unexpected operands");
+    }
+
+    void instruction(const std::string& mnemonic, std::string_view rest) {
+        if (mnemonic == "hlt") {
+            require_empty(rest);
+            builder_.hlt();
+            return;
+        }
+        if (mnemonic == "nop") {
+            require_empty(rest);
+            builder_.nop();
+            return;
+        }
+        if (mnemonic == "ret") {
+            const auto ops = split_operands(rest);
+            if (ops.size() != 1) fail("ret expects one link register");
+            builder_.ret(expect_reg(ops[0]));
+            return;
+        }
+
+        const auto op = parse_opcode(mnemonic);
+        if (!op) fail("unknown mnemonic '" + mnemonic + "'");
+        const auto ops = split_operands(rest);
+
+        try {
+            dispatch(*op, ops);
+        } catch (const contract_violation& cv) {
+            fail(std::string("invalid instruction: ") + cv.what());
+        }
+    }
+
+    void dispatch(Opcode op, const std::vector<std::string>& ops) {
+        switch (op) {
+        case Opcode::ADD:
+        case Opcode::SUB:
+        case Opcode::SFT:
+        case Opcode::AND:
+        case Opcode::OR:
+        case Opcode::XOR:
+        case Opcode::MULL:
+        case Opcode::MULH: {
+            if (ops.size() != 3) fail("ALU instructions expect: dst, srcA, srcB");
+            int moff = 0;
+            const DstOperand d = parse_dst(ops[0], moff);
+            if (moff != 0 || d.mode == DstMode::IndOff)
+                fail("@rN+imm destination is only available in mov");
+            const SrcOperand a = parse_src(ops[1], moff, /*allow_off=*/false);
+            const SrcOperand b = parse_src(ops[2], moff, /*allow_off=*/false);
+            builder_.alu(op, d, a, b);
+            return;
+        }
+        case Opcode::MOV: {
+            if (ops.size() != 2) fail("mov expects: dst, src");
+            int moff = 0;
+            const DstOperand d = parse_dst(ops[0], moff);
+            const SrcOperand s = parse_src(ops[1], moff, /*allow_off=*/true);
+            builder_.mov(d, s, moff);
+            return;
+        }
+        case Opcode::MOVI: {
+            if (ops.size() != 2) fail("movi expects: rd, imm16|symbol");
+            const unsigned rd = expect_reg(ops[0]);
+            if (is_identifier(ops[1]) && !equs_.count(ops[1])) {
+                // Forward/backward reference to a label; space decided at
+                // fixup time — try data first, fall back to text.
+                builder_.movi_symbol_any(rd, ops[1]);
+            } else {
+                builder_.movi(rd, static_cast<Word>(expect_number(ops[1]) & 0xFFFF));
+            }
+            return;
+        }
+        case Opcode::BRA: {
+            std::string cond = "al";
+            std::string target;
+            if (ops.size() == 2) {
+                cond = to_lower(ops[0]);
+                target = ops[1];
+            } else if (ops.size() == 1) {
+                target = ops[0];
+            } else {
+                fail("bra expects: [cond,] target");
+            }
+            const auto c = parse_cond(cond);
+            if (!c) fail("unknown condition '" + cond + "'");
+            branch(*c, target);
+            return;
+        }
+        case Opcode::JAL: {
+            if (ops.size() != 2) fail("jal expects: rlink, target");
+            const unsigned link = expect_reg(ops[0]);
+            const std::string& target = ops[1];
+            if (target.front() == '@') {
+                builder_.emit(make_jal(link, BraMode::RegInd,
+                                       static_cast<std::int32_t>(expect_reg(target.substr(1)))));
+            } else if (target.front() == '=') {
+                builder_.emit(make_jal(
+                    link, BraMode::Abs, static_cast<std::int32_t>(expect_number(target.substr(1)))));
+            } else if (is_identifier(target) && !equs_.count(target)) {
+                builder_.jal(link, target);
+            } else {
+                builder_.emit(
+                    make_jal(link, BraMode::Rel, static_cast<std::int32_t>(expect_number(target))));
+            }
+            return;
+        }
+        }
+        fail("unsupported instruction");
+    }
+
+    void branch(Cond c, const std::string& target) {
+        if (target.front() == '@') {
+            builder_.bra_reg(c, expect_reg(target.substr(1)));
+        } else if (target.front() == '=') {
+            builder_.emit(make_bra(c, BraMode::Abs,
+                                   static_cast<std::int32_t>(expect_number(target.substr(1)))));
+        } else if (is_identifier(target) && !equs_.count(target)) {
+            builder_.bra(c, target);
+        } else {
+            // Numeric relative offset.
+            builder_.emit(make_bra(c, BraMode::Rel, static_cast<std::int32_t>(expect_number(target))));
+        }
+    }
+
+    // ---- operand parsing ---------------------------------------------------
+
+    unsigned expect_reg(std::string_view s) const {
+        const std::string t = to_lower(trim(s));
+        if (t.size() < 2 || t[0] != 'r') fail("expected register, got '" + std::string(s) + "'");
+        unsigned v = 0;
+        for (std::size_t i = 1; i < t.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(t[i])))
+                fail("expected register, got '" + std::string(s) + "'");
+            v = v * 10 + static_cast<unsigned>(t[i] - '0');
+        }
+        if (v >= kNumRegisters) fail("register index out of range: '" + std::string(s) + "'");
+        return v;
+    }
+
+    std::int64_t expect_number(std::string_view sv) const {
+        const std::string t(trim(sv));
+        if (const auto it = equs_.find(t); it != equs_.end()) return it->second;
+        bool neg = false;
+        std::size_t i = 0;
+        if (i < t.size() && (t[i] == '-' || t[i] == '+')) {
+            neg = t[i] == '-';
+            ++i;
+        }
+        int base = 10;
+        if (t.size() >= i + 2 && t[i] == '0' && (t[i + 1] == 'x' || t[i + 1] == 'X')) {
+            base = 16;
+            i += 2;
+        } else if (t.size() >= i + 2 && t[i] == '0' && (t[i + 1] == 'b' || t[i + 1] == 'B')) {
+            base = 2;
+            i += 2;
+        }
+        if (i >= t.size()) fail("expected number, got '" + t + "'");
+        std::int64_t v = 0;
+        for (; i < t.size(); ++i) {
+            const char c = static_cast<char>(std::tolower(static_cast<unsigned char>(t[i])));
+            int digit = -1;
+            if (c >= '0' && c <= '9') digit = c - '0';
+            else if (c >= 'a' && c <= 'f') digit = 10 + (c - 'a');
+            if (digit < 0 || digit >= base) fail("expected number, got '" + t + "'");
+            v = v * base + digit;
+            if (v > 0xFFFFFF) fail("number out of range: '" + t + "'");
+        }
+        return neg ? -v : v;
+    }
+
+    /// Parses "@rN", "@rN+", "@rN-", "@+rN", "@-rN", "@rN+imm", "@rN-imm".
+    /// Returns mode + register; writes the offset (if any) to `moff`.
+    SrcOperand parse_indirect(std::string_view body, int& moff, bool allow_off) const {
+        // body excludes the leading '@'.
+        if (body.empty()) fail("empty indirect operand");
+        if (body.front() == '+') return spreinc(expect_reg(body.substr(1)));
+        if (body.front() == '-') return spredec(expect_reg(body.substr(1)));
+        // Find the end of the register name.
+        std::size_t i = 0;
+        while (i < body.size() && body[i] != '+' && body[i] != '-') ++i;
+        const unsigned reg = expect_reg(body.substr(0, i));
+        if (i == body.size()) return sind(reg);
+        const char sign = body[i];
+        const std::string_view tail = body.substr(i + 1);
+        if (tail.empty()) return sign == '+' ? spostinc(reg) : spostdec(reg);
+        // "@rN+imm" / "@rN-imm" offset form.
+        if (!allow_off) fail("@rN+imm operands are only available in mov");
+        const std::int64_t off = expect_number(tail);
+        const std::int64_t signed_off = sign == '+' ? off : -off;
+        if (!fits_signed(static_cast<std::int32_t>(signed_off), 7))
+            fail("mov offset out of signed 7-bit range");
+        moff = static_cast<int>(signed_off);
+        return soff(reg);
+    }
+
+    SrcOperand parse_src(std::string_view sv, int& moff, bool allow_off) const {
+        const std::string t(trim(sv));
+        if (t.empty()) fail("empty operand");
+        if (t.front() == '#') {
+            const std::int64_t v = expect_number(std::string_view(t).substr(1));
+            if (v < -8 || v > 15) fail("immediate out of imm4 range: '" + t + "'");
+            return simm(static_cast<int>(v));
+        }
+        if (t.front() == '@') return parse_indirect(std::string_view(t).substr(1), moff, allow_off);
+        return sreg(expect_reg(t));
+    }
+
+    DstOperand parse_dst(std::string_view sv, int& moff) const {
+        const std::string t(trim(sv));
+        if (t.empty()) fail("empty operand");
+        if (t.front() != '@') return dreg(expect_reg(t));
+        const SrcOperand s = parse_indirect(std::string_view(t).substr(1), moff, /*allow_off=*/true);
+        switch (s.mode) {
+        case SrcMode::Ind:
+            return dind(s.reg);
+        case SrcMode::IndPostInc:
+            return dpostinc(s.reg);
+        case SrcMode::IndOff:
+            return doff(s.reg);
+        default:
+            fail("unsupported destination addressing mode '" + t + "'");
+        }
+    }
+
+    std::string_view source_;
+    AsmBuilder builder_;
+    std::map<std::string, std::int64_t> equs_;
+    bool in_text_ = true;
+    unsigned line_ = 0;
+    std::string entry_label_;
+    unsigned entry_line_ = 0;
+};
+
+} // namespace
+
+Program assemble(std::string_view source) { return TextAssembler(source).run(); }
+
+} // namespace ulpmc::isa

@@ -1,0 +1,53 @@
+// Two-pass text assembler for TamaRISC.
+//
+// Syntax (one statement per line, ';' starts a comment):
+//
+//   .text                  switch to the text section (default)
+//   .data                  switch to the data section
+//   .entry label           set the program entry point
+//   .equ name, expr        define an assembly-time constant
+//   .word v [, v ...]      emit initialized data words
+//   .space n               reserve n zero words
+//   .align n               align the data cursor to n words
+//   label:                 define a label in the current section
+//
+//   add  rD, srcA, srcB    (also sub/sft/and/or/xor/mull/mulh)
+//   mov  dst, src          data move, incl. "@rN+imm" offset operands
+//   movi rD, imm16|symbol  load 16-bit immediate or symbol address
+//   bra  [cond,] target    target: label (relative), =expr (absolute),
+//                          @rN (register indirect); cond defaults to al
+//   jal  rL, label         call (absolute)
+//   ret  rL                return (bra al, @rL)
+//   hlt / nop
+//
+//   operands:  rN | @rN | @rN+ | @rN- | @+rN | @-rN | @rN+imm | #imm
+//   numbers:   decimal, 0x hex, 0b binary, optionally negative
+//
+// Errors are reported with line numbers via AssemblyError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "isa/program.hpp"
+
+namespace ulpmc::isa {
+
+/// Reported for any syntactic or semantic error in the source.
+class AssemblyError : public std::runtime_error {
+public:
+    AssemblyError(unsigned line, const std::string& message)
+        : std::runtime_error("line " + std::to_string(line) + ": " + message), line_(line) {}
+
+    unsigned line() const { return line_; }
+
+private:
+    unsigned line_;
+};
+
+/// Assembles a complete source text into a Program.
+/// Throws AssemblyError on the first error.
+Program assemble(std::string_view source);
+
+} // namespace ulpmc::isa

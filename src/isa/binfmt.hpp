@@ -1,0 +1,41 @@
+// Binary program-image format ("UPMC" format): a compact container for
+// linked TamaRISC programs, so firmware images can be stored, shipped and
+// reloaded without re-assembling — the artifact a sensor-node flashing
+// flow would consume.
+//
+// Layout (all little-endian):
+//   magic   "UPMC"              4 B
+//   version u16                 2 B
+//   entry   u16                 2 B
+//   text    u32 count, then count x 3 B (24-bit words)
+//   data    u32 count, then count x 2 B
+//   symbols u32 count, then per symbol:
+//             u8 space | u32 value | u16 name length | name bytes
+//   crc32   u32 over everything before it
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace ulpmc::isa {
+
+inline constexpr std::uint16_t kBinFormatVersion = 1;
+
+/// Serializes a program image.
+std::vector<std::uint8_t> save_program(const Program& p);
+
+/// Parses a program image. Returns std::nullopt and an explanation via
+/// `error` for malformed input (bad magic/version/bounds/CRC).
+std::optional<Program> load_program(const std::vector<std::uint8_t>& bytes, std::string& error);
+
+/// Convenience overload swallowing the error text.
+std::optional<Program> load_program(const std::vector<std::uint8_t>& bytes);
+
+/// The CRC-32 (IEEE 802.3, reflected) used by the container.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t n);
+
+} // namespace ulpmc::isa

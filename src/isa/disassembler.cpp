@@ -1,0 +1,65 @@
+#include "isa/disassembler.hpp"
+
+#include <cstdio>
+
+#include "isa/encoding.hpp"
+#include "isa/mnemonics.hpp"
+
+namespace ulpmc::isa {
+
+namespace {
+
+std::string branch_operands(const Instruction& in, PAddr pc) {
+    switch (in.bmode) {
+    case BraMode::Rel: {
+        std::string s;
+        if (in.target >= 0) s += '+';
+        s += std::to_string(in.target);
+        s += "  ; -> ";
+        s += std::to_string(static_cast<std::int32_t>(pc) + in.target);
+        return s;
+    }
+    case BraMode::Abs:
+        return "=" + std::to_string(in.target);
+    case BraMode::RegInd:
+        return "@r" + std::to_string(in.treg);
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string disassemble(const Instruction& in, PAddr pc) {
+    switch (in.op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::SFT:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::MULL:
+    case Opcode::MULH:
+        return std::string(opcode_name(in.op)) + " " + dst_to_string(in.dst) + ", " +
+               src_to_string(in.srca) + ", " + src_to_string(in.srcb);
+    case Opcode::MOV:
+        return "mov " + dst_to_string(in.dst, in.moff) + ", " + src_to_string(in.srca, in.moff);
+    case Opcode::MOVI:
+        return "movi r" + std::to_string(in.dst.reg) + ", " + std::to_string(in.imm16);
+    case Opcode::BRA:
+        if (in.cond == Cond::AL && in.bmode == BraMode::Rel && in.target == 0) return "hlt";
+        if (in.cond == Cond::NV && in.bmode == BraMode::Rel && in.target == 0) return "nop";
+        return "bra " + std::string(cond_name(in.cond)) + ", " + branch_operands(in, pc);
+    case Opcode::JAL:
+        return "jal r" + std::to_string(in.link) + ", " + branch_operands(in, pc);
+    }
+    return "?";
+}
+
+std::string disassemble_word(InstrWord w, PAddr pc) {
+    if (const auto in = decode(w)) return disassemble(*in, pc);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ".word 0x%06X", w & kInstrWordMask);
+    return buf;
+}
+
+} // namespace ulpmc::isa

@@ -1,0 +1,20 @@
+// Disassembler: renders decoded instructions (or raw 24-bit words) back
+// into the assembler's textual syntax. Round-trips with the assembler:
+//   assemble(disassemble(w)) == w   for every legal word (tested).
+#pragma once
+
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace ulpmc::isa {
+
+/// Renders a decoded instruction. `pc` is used to print PC-relative branch
+/// targets as absolute addresses in a trailing comment.
+std::string disassemble(const Instruction& in, PAddr pc = 0);
+
+/// Decodes and renders a raw word; illegal words render as ".word 0x...".
+std::string disassemble_word(InstrWord w, PAddr pc = 0);
+
+} // namespace ulpmc::isa

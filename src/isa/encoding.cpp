@@ -1,0 +1,160 @@
+#include "isa/encoding.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ulpmc::isa {
+
+namespace {
+
+constexpr unsigned kOpcodeLo = 20;
+constexpr unsigned kDstModeLo = 18;
+constexpr unsigned kDstRegLo = 14;
+constexpr unsigned kSrcAModeLo = 11;
+constexpr unsigned kSrcARegLo = 7;
+constexpr unsigned kSrcBModeLo = 4;
+constexpr unsigned kSrcBRegLo = 0;
+constexpr unsigned kCondLo = 16;
+constexpr unsigned kBModeLo = 14;
+
+InstrWord encode_src(InstrWord w, const SrcOperand& s, unsigned mode_lo, unsigned reg_lo) {
+    w = insert_bits(w, mode_lo, 3, static_cast<std::uint32_t>(s.mode));
+    w = insert_bits(w, reg_lo, 4, s.reg);
+    return w;
+}
+
+SrcOperand decode_src(InstrWord w, unsigned mode_lo, unsigned reg_lo) {
+    SrcOperand s;
+    s.mode = static_cast<SrcMode>(bits(w, mode_lo, 3));
+    s.reg = static_cast<std::uint8_t>(bits(w, reg_lo, 4));
+    return s;
+}
+
+} // namespace
+
+InstrWord encode(const Instruction& in) {
+    ULPMC_EXPECTS(!validate(in));
+    InstrWord w = 0;
+    w = insert_bits(w, kOpcodeLo, 4, static_cast<std::uint32_t>(in.op));
+    switch (in.op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::SFT:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::MULL:
+    case Opcode::MULH:
+        w = insert_bits(w, kDstModeLo, 2, static_cast<std::uint32_t>(in.dst.mode));
+        w = insert_bits(w, kDstRegLo, 4, in.dst.reg);
+        w = encode_src(w, in.srca, kSrcAModeLo, kSrcARegLo);
+        w = encode_src(w, in.srcb, kSrcBModeLo, kSrcBRegLo);
+        break;
+    case Opcode::MOV:
+        w = insert_bits(w, kDstModeLo, 2, static_cast<std::uint32_t>(in.dst.mode));
+        w = insert_bits(w, kDstRegLo, 4, in.dst.reg);
+        w = encode_src(w, in.srca, kSrcAModeLo, kSrcARegLo);
+        w = insert_bits(w, 0, 7, static_cast<std::uint32_t>(in.moff) & 0x7Fu);
+        break;
+    case Opcode::MOVI:
+        w = insert_bits(w, 16, 4, in.dst.reg);
+        w = insert_bits(w, 0, 16, in.imm16);
+        break;
+    case Opcode::BRA:
+    case Opcode::JAL:
+        w = insert_bits(w, kCondLo, 4,
+                        in.op == Opcode::BRA ? static_cast<std::uint32_t>(in.cond)
+                                             : static_cast<std::uint32_t>(in.link));
+        w = insert_bits(w, kBModeLo, 2, static_cast<std::uint32_t>(in.bmode));
+        if (in.bmode == BraMode::RegInd) {
+            w = insert_bits(w, 0, 4, in.treg);
+        } else {
+            w = insert_bits(w, 0, 14, static_cast<std::uint32_t>(in.target) & 0x3FFFu);
+        }
+        break;
+    }
+    ULPMC_ENSURES((w & ~kInstrWordMask) == 0);
+    return w;
+}
+
+std::optional<Instruction> decode(InstrWord w) {
+    std::string ignored;
+    return decode(w, ignored);
+}
+
+std::optional<Instruction> decode(InstrWord w, std::string& error) {
+    if ((w & ~kInstrWordMask) != 0) {
+        error = "instruction word exceeds 24 bits";
+        return std::nullopt;
+    }
+    const std::uint32_t opfield = bits(w, kOpcodeLo, 4);
+    if (opfield > static_cast<std::uint32_t>(Opcode::MOVI)) {
+        error = "reserved opcode " + std::to_string(opfield);
+        return std::nullopt;
+    }
+
+    Instruction in;
+    in.op = static_cast<Opcode>(opfield);
+    switch (in.op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::SFT:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::MULL:
+    case Opcode::MULH:
+        in.dst.mode = static_cast<DstMode>(bits(w, kDstModeLo, 2));
+        in.dst.reg = static_cast<std::uint8_t>(bits(w, kDstRegLo, 4));
+        in.srca = decode_src(w, kSrcAModeLo, kSrcARegLo);
+        in.srcb = decode_src(w, kSrcBModeLo, kSrcBRegLo);
+        break;
+    case Opcode::MOV:
+        in.dst.mode = static_cast<DstMode>(bits(w, kDstModeLo, 2));
+        in.dst.reg = static_cast<std::uint8_t>(bits(w, kDstRegLo, 4));
+        in.srca = decode_src(w, kSrcAModeLo, kSrcARegLo);
+        in.moff = static_cast<std::int8_t>(sign_extend(bits(w, 0, 7), 7));
+        break;
+    case Opcode::MOVI:
+        in.dst = dreg(bits(w, 16, 4));
+        in.imm16 = static_cast<Word>(bits(w, 0, 16));
+        break;
+    case Opcode::BRA:
+    case Opcode::JAL: {
+        const std::uint32_t aux = bits(w, kCondLo, 4);
+        if (in.op == Opcode::BRA) {
+            in.cond = static_cast<Cond>(aux);
+        } else {
+            in.link = static_cast<std::uint8_t>(aux);
+        }
+        const std::uint32_t bm = bits(w, kBModeLo, 2);
+        if (bm > static_cast<std::uint32_t>(BraMode::RegInd)) {
+            error = "reserved branch mode";
+            return std::nullopt;
+        }
+        in.bmode = static_cast<BraMode>(bm);
+        if (in.bmode == BraMode::RegInd) {
+            if (bits(w, 4, 10) != 0) {
+                // Strict decoding: don't-care bits must be zero so the
+                // 24-bit encoding stays a bijection (tested exhaustively).
+                error = "nonzero padding in register-indirect branch";
+                return std::nullopt;
+            }
+            in.treg = static_cast<std::uint8_t>(bits(w, 0, 4));
+        } else if (in.bmode == BraMode::Rel) {
+            in.target = sign_extend(bits(w, 0, 14), 14);
+        } else {
+            in.target = static_cast<std::int32_t>(bits(w, 0, 14));
+        }
+        break;
+    }
+    }
+
+    if (auto e = validate(in)) {
+        error = *e;
+        return std::nullopt;
+    }
+    return in;
+}
+
+} // namespace ulpmc::isa

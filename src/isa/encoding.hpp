@@ -1,0 +1,29 @@
+// 24-bit binary encoding/decoding of TamaRISC instructions.
+//
+// The encoding is regular and fixed-position (a design point the paper
+// stresses for cheap decode): the opcode always sits in [23:20] and
+// operand fields at fixed offsets. encode() accepts only valid
+// instructions; decode() reports malformed words so the core can raise an
+// illegal-instruction trap.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+#include "isa/instruction.hpp"
+
+namespace ulpmc::isa {
+
+/// Encodes a validated instruction into a 24-bit word.
+/// Precondition: validate(in) == nullopt.
+InstrWord encode(const Instruction& in);
+
+/// Decodes a 24-bit word. Returns std::nullopt for illegal encodings
+/// (reserved opcodes, out-of-range modes); the core turns that into a trap.
+std::optional<Instruction> decode(InstrWord w);
+
+/// Like decode() but also reports why the word is illegal (for tools).
+std::optional<Instruction> decode(InstrWord w, std::string& error);
+
+} // namespace ulpmc::isa

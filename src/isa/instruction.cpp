@@ -1,0 +1,214 @@
+#include "isa/instruction.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ulpmc::isa {
+
+unsigned data_reads(const Instruction& in) {
+    switch (in.op) {
+    case Opcode::MOVI:
+    case Opcode::BRA:
+    case Opcode::JAL:
+        return 0;
+    case Opcode::MOV:
+        return reads_memory(in.srca) ? 1u : 0u;
+    default:
+        return (reads_memory(in.srca) ? 1u : 0u) + (reads_memory(in.srcb) ? 1u : 0u);
+    }
+}
+
+unsigned data_writes(const Instruction& in) {
+    switch (in.op) {
+    case Opcode::BRA:
+    case Opcode::JAL:
+        return 0;
+    case Opcode::MOVI:
+        return 0; // MOVI writes a register only
+    default:
+        return writes_memory(in.dst) ? 1u : 0u;
+    }
+}
+
+namespace {
+
+std::optional<std::string> validate_src(const SrcOperand& s, bool allow_off) {
+    if (s.reg >= kNumRegisters) return "source register index out of range";
+    if (s.mode == SrcMode::IndOff && !allow_off)
+        return "@Rn+off source mode is only available in MOV";
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<std::string> validate(const Instruction& in) {
+    switch (in.op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::SFT:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::MULL:
+    case Opcode::MULH: {
+        if (in.dst.reg >= kNumRegisters) return "destination register index out of range";
+        if (in.dst.mode == DstMode::IndOff) return "@Rn+off destination is only available in MOV";
+        if (auto e = validate_src(in.srca, /*allow_off=*/false)) return e;
+        if (auto e = validate_src(in.srcb, /*allow_off=*/false)) return e;
+        if (data_reads(in) > 1)
+            return "at most one source operand may access memory (single data-read port)";
+        return std::nullopt;
+    }
+    case Opcode::MOV: {
+        if (in.dst.reg >= kNumRegisters) return "destination register index out of range";
+        if (auto e = validate_src(in.srca, /*allow_off=*/true)) return e;
+        const bool src_off = in.srca.mode == SrcMode::IndOff;
+        const bool dst_off = in.dst.mode == DstMode::IndOff;
+        if (src_off && dst_off) return "only one MOV operand may use the offset mode";
+        if (!fits_signed(in.moff, 7)) return "MOV offset out of signed 7-bit range";
+        if (!src_off && !dst_off && in.moff != 0)
+            return "MOV offset given but no operand uses the offset mode";
+        return std::nullopt;
+    }
+    case Opcode::MOVI: {
+        if (in.dst.mode != DstMode::Reg) return "MOVI destination must be a register";
+        if (in.dst.reg >= kNumRegisters) return "destination register index out of range";
+        return std::nullopt;
+    }
+    case Opcode::BRA:
+    case Opcode::JAL: {
+        if (in.op == Opcode::JAL && in.link >= kNumRegisters)
+            return "link register index out of range";
+        switch (in.bmode) {
+        case BraMode::Rel:
+            if (!fits_signed(in.target, 14)) return "branch offset out of signed 14-bit range";
+            return std::nullopt;
+        case BraMode::Abs:
+            if (in.target < 0 || !fits_unsigned(static_cast<std::uint32_t>(in.target), 14))
+                return "branch address out of 14-bit range";
+            return std::nullopt;
+        case BraMode::RegInd:
+            if (in.treg >= kNumRegisters) return "branch target register index out of range";
+            return std::nullopt;
+        }
+        return "invalid branch mode";
+    }
+    }
+    return "invalid opcode";
+}
+
+SrcOperand sreg(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::Reg, static_cast<std::uint8_t>(r)};
+}
+SrcOperand sind(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::Ind, static_cast<std::uint8_t>(r)};
+}
+SrcOperand spostinc(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::IndPostInc, static_cast<std::uint8_t>(r)};
+}
+SrcOperand spostdec(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::IndPostDec, static_cast<std::uint8_t>(r)};
+}
+SrcOperand spreinc(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::IndPreInc, static_cast<std::uint8_t>(r)};
+}
+SrcOperand spredec(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::IndPreDec, static_cast<std::uint8_t>(r)};
+}
+SrcOperand simm(int v) {
+    // The raw field is 4 bits; SFT interprets it as signed (-8..7), every
+    // other consumer as unsigned (0..15). Accept both ranges here and let
+    // the execution unit interpret per-opcode.
+    ULPMC_EXPECTS(v >= -8 && v <= 15);
+    return {SrcMode::Imm4, static_cast<std::uint8_t>(v & 0xF)};
+}
+SrcOperand soff(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {SrcMode::IndOff, static_cast<std::uint8_t>(r)};
+}
+DstOperand dreg(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {DstMode::Reg, static_cast<std::uint8_t>(r)};
+}
+DstOperand dind(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {DstMode::Ind, static_cast<std::uint8_t>(r)};
+}
+DstOperand dpostinc(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {DstMode::IndPostInc, static_cast<std::uint8_t>(r)};
+}
+DstOperand doff(unsigned r) {
+    ULPMC_EXPECTS(r < kNumRegisters);
+    return {DstMode::IndOff, static_cast<std::uint8_t>(r)};
+}
+
+Instruction make_alu(Opcode op, DstOperand dst, SrcOperand a, SrcOperand b) {
+    ULPMC_EXPECTS(is_alu(op));
+    Instruction in;
+    in.op = op;
+    in.dst = dst;
+    in.srca = a;
+    in.srcb = b;
+    ULPMC_ENSURES(!validate(in));
+    return in;
+}
+
+Instruction make_mov(DstOperand dst, SrcOperand src, int off) {
+    Instruction in;
+    in.op = Opcode::MOV;
+    in.dst = dst;
+    in.srca = src;
+    in.moff = static_cast<std::int8_t>(off);
+    ULPMC_ENSURES(!validate(in));
+    return in;
+}
+
+Instruction make_movi(unsigned rd, Word imm) {
+    Instruction in;
+    in.op = Opcode::MOVI;
+    in.dst = dreg(rd);
+    in.imm16 = imm;
+    ULPMC_ENSURES(!validate(in));
+    return in;
+}
+
+Instruction make_bra(Cond c, BraMode m, std::int32_t target_or_reg) {
+    Instruction in;
+    in.op = Opcode::BRA;
+    in.cond = c;
+    in.bmode = m;
+    if (m == BraMode::RegInd) {
+        in.treg = static_cast<std::uint8_t>(target_or_reg);
+    } else {
+        in.target = target_or_reg;
+    }
+    ULPMC_ENSURES(!validate(in));
+    return in;
+}
+
+Instruction make_jal(unsigned link, BraMode m, std::int32_t target_or_reg) {
+    Instruction in;
+    in.op = Opcode::JAL;
+    in.link = static_cast<std::uint8_t>(link);
+    in.bmode = m;
+    if (m == BraMode::RegInd) {
+        in.treg = static_cast<std::uint8_t>(target_or_reg);
+    } else {
+        in.target = target_or_reg;
+    }
+    ULPMC_ENSURES(!validate(in));
+    return in;
+}
+
+Instruction make_hlt() { return make_bra(Cond::AL, BraMode::Rel, 0); }
+
+Instruction make_nop() { return make_bra(Cond::NV, BraMode::Rel, 0); }
+
+} // namespace ulpmc::isa

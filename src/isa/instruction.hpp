@@ -1,0 +1,184 @@
+// TamaRISC instruction model.
+//
+// The DATE'12 paper fixes the ISA's envelope — 24-bit single-word
+// instructions, 16 registers, 11 instructions (8 ALU + 2 program flow +
+// 1 data move), three-operand ALU ops with identical addressing-mode
+// options, register-direct / register-indirect (pre/post inc/dec) /
+// register-indirect-with-offset addressing, branches in direct, register
+// indirect and offset mode with 15 condition modes — but not the bit-level
+// encoding. This header documents our reconstruction (see DESIGN.md §3).
+//
+// Encoding layout (24 bits):
+//   ALU/MOV : [23:20] opcode | [19:18] dst mode | [17:14] dst reg
+//             | [13:11] srcA mode | [10:7] srcA reg/imm4
+//             | [6:4] srcB mode | [3:0] srcB reg/imm4   (ALU)
+//             | [6:0] signed 7-bit offset               (MOV)
+//   MOVI    : [23:20] opcode | [19:16] rd | [15:0] imm16
+//   BRA     : [23:20] opcode | [19:16] cond | [15:14] mode | [13:0] target
+//   JAL     : [23:20] opcode | [19:16] link | [15:14] mode | [13:0] target
+//
+// Hardware port budget (paper §III-A): one instruction fetch, one data
+// read, one data write per cycle. Hence at most ONE source operand of any
+// instruction may be a memory mode; the destination may independently be a
+// memory mode. `validate()` enforces this.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace ulpmc::isa {
+
+/// The 11 TamaRISC instructions. MOVI is an encoding form of MOV (both are
+/// the paper's single "general data-move instruction").
+enum class Opcode : std::uint8_t {
+    ADD = 0,  ///< dst = srcA + srcB; sets CZNV
+    SUB = 1,  ///< dst = srcA - srcB; C = no-borrow; sets CZNV
+    SFT = 2,  ///< shift: amount > 0 left logical, < 0 arithmetic right
+    AND = 3,  ///< bitwise and; sets ZN, clears CV
+    OR = 4,   ///< bitwise or; sets ZN, clears CV
+    XOR = 5,  ///< bitwise xor; sets ZN, clears CV
+    MULL = 6, ///< low 16 bits of 16x16 product; sets ZN, clears CV
+    MULH = 7, ///< high 16 bits of signed 16x16 product; sets ZN, clears CV
+    BRA = 8,  ///< conditional branch (15 condition modes + always)
+    JAL = 9,  ///< jump and link (subroutine call)
+    MOV = 10, ///< data move with full addressing incl. indirect+offset
+    MOVI = 11 ///< MOV encoding form carrying a 16-bit immediate
+};
+
+/// True for the eight ALU opcodes.
+constexpr bool is_alu(Opcode op) { return static_cast<std::uint8_t>(op) <= 7; }
+
+/// Source-operand addressing modes (3 bits).
+enum class SrcMode : std::uint8_t {
+    Reg = 0,        ///< Rn
+    Ind = 1,        ///< @Rn
+    IndPostInc = 2, ///< @Rn+  (use, then Rn += 1)
+    IndPostDec = 3, ///< @Rn-  (use, then Rn -= 1)
+    IndPreInc = 4,  ///< @+Rn  (Rn += 1, then use)
+    IndPreDec = 5,  ///< @-Rn  (Rn -= 1, then use)
+    Imm4 = 6,       ///< 4-bit inline immediate (unsigned; signed for SFT)
+    IndOff = 7      ///< @Rn+off (MOV only; offset from the MOV offset field)
+};
+
+/// Destination-operand addressing modes (2 bits).
+enum class DstMode : std::uint8_t {
+    Reg = 0,        ///< Rn
+    Ind = 1,        ///< @Rn
+    IndPostInc = 2, ///< @Rn+
+    IndOff = 3      ///< @Rn+off (MOV only)
+};
+
+/// Branch condition modes: ALWAYS plus the paper's 15 condition modes,
+/// evaluated on the C/Z/N/V status flags.
+enum class Cond : std::uint8_t {
+    AL = 0,  ///< always
+    EQ = 1,  ///< Z
+    NE = 2,  ///< !Z
+    CS = 3,  ///< C
+    CC = 4,  ///< !C
+    MI = 5,  ///< N
+    PL = 6,  ///< !N
+    VS = 7,  ///< V
+    VC = 8,  ///< !V
+    HI = 9,  ///< C && !Z (unsigned >)
+    LS = 10, ///< !C || Z (unsigned <=)
+    GE = 11, ///< N == V (signed >=)
+    LT = 12, ///< N != V (signed <)
+    GT = 13, ///< !Z && N == V (signed >)
+    LE = 14, ///< Z || N != V (signed <=)
+    NV = 15  ///< never (canonical NOP predicate)
+};
+
+/// Branch / jump target modes (paper: "direct and register indirect mode,
+/// as well as by an offset").
+enum class BraMode : std::uint8_t {
+    Rel = 0,   ///< PC-relative signed 14-bit offset
+    Abs = 1,   ///< absolute 14-bit instruction address
+    RegInd = 2 ///< target instruction address read from a register
+};
+
+/// One source operand.
+struct SrcOperand {
+    SrcMode mode = SrcMode::Reg;
+    std::uint8_t reg = 0; ///< register index, or raw imm4 field for Imm4
+
+    friend bool operator==(const SrcOperand&, const SrcOperand&) = default;
+};
+
+/// The destination operand.
+struct DstOperand {
+    DstMode mode = DstMode::Reg;
+    std::uint8_t reg = 0;
+
+    friend bool operator==(const DstOperand&, const DstOperand&) = default;
+};
+
+/// A fully decoded TamaRISC instruction. Fields not used by the opcode are
+/// value-initialized and ignored by encode/execute.
+struct Instruction {
+    Opcode op = Opcode::ADD;
+
+    DstOperand dst;  ///< ALU, MOV, MOVI (MOVI: register only)
+    SrcOperand srca; ///< ALU, MOV
+    SrcOperand srcb; ///< ALU only
+
+    std::int8_t moff = 0; ///< MOV: signed 7-bit offset for IndOff operands
+
+    Cond cond = Cond::AL;         ///< BRA
+    BraMode bmode = BraMode::Rel; ///< BRA, JAL
+    std::int32_t target = 0;      ///< Rel: signed offset; Abs: address
+    std::uint8_t treg = 0;        ///< RegInd target register
+    std::uint8_t link = 0;        ///< JAL link register
+
+    Word imm16 = 0; ///< MOVI immediate
+
+    friend bool operator==(const Instruction&, const Instruction&) = default;
+};
+
+/// True if the operand reads data memory.
+constexpr bool reads_memory(const SrcOperand& s) {
+    return s.mode != SrcMode::Reg && s.mode != SrcMode::Imm4;
+}
+
+/// True if the destination writes data memory.
+constexpr bool writes_memory(const DstOperand& d) { return d.mode != DstMode::Reg; }
+
+/// Number of data-memory read accesses the instruction performs (0 or 1).
+unsigned data_reads(const Instruction& in);
+
+/// Number of data-memory write accesses the instruction performs (0 or 1).
+unsigned data_writes(const Instruction& in);
+
+/// Checks all ISA constraints (port budget, field ranges, mode legality).
+/// Returns an explanatory message on failure, std::nullopt when valid.
+std::optional<std::string> validate(const Instruction& in);
+
+// ---- Factory helpers (keep call sites short and validated) --------------
+
+SrcOperand sreg(unsigned r);              ///< Rn
+SrcOperand sind(unsigned r);              ///< @Rn
+SrcOperand spostinc(unsigned r);          ///< @Rn+
+SrcOperand spostdec(unsigned r);          ///< @Rn-
+SrcOperand spreinc(unsigned r);           ///< @+Rn
+SrcOperand spredec(unsigned r);           ///< @-Rn
+SrcOperand simm(int v);                   ///< imm4 (0..15, or -8..7 for SFT)
+SrcOperand soff(unsigned r);              ///< @Rn+off (MOV)
+DstOperand dreg(unsigned r);              ///< Rn
+DstOperand dind(unsigned r);              ///< @Rn
+DstOperand dpostinc(unsigned r);          ///< @Rn+
+DstOperand doff(unsigned r);              ///< @Rn+off (MOV)
+
+Instruction make_alu(Opcode op, DstOperand dst, SrcOperand a, SrcOperand b);
+Instruction make_mov(DstOperand dst, SrcOperand src, int off = 0);
+Instruction make_movi(unsigned rd, Word imm);
+Instruction make_bra(Cond c, BraMode m, std::int32_t target_or_reg);
+Instruction make_jal(unsigned link, BraMode m, std::int32_t target_or_reg);
+/// Canonical halt: BRA AL to self (offset 0); detected by the core.
+Instruction make_hlt();
+/// Canonical NOP: BRA NV (never taken).
+Instruction make_nop();
+
+} // namespace ulpmc::isa

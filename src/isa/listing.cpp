@@ -1,0 +1,58 @@
+#include "isa/listing.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "isa/disassembler.hpp"
+
+namespace ulpmc::isa {
+
+std::string format_listing(const Program& p, const ListingOptions& opt) {
+    std::ostringstream os;
+    char buf[128];
+
+    std::snprintf(buf, sizeof buf, "; %zu instructions (%zu bytes), %zu data words, entry %u\n",
+                  p.text.size(), p.text_bytes(), p.data.size(), p.entry);
+    os << buf;
+
+    // Labels per text address.
+    std::multimap<std::uint32_t, std::string> text_labels;
+    for (const auto& [name, sym] : p.symbols())
+        if (sym.space == Symbol::Space::Text) text_labels.emplace(sym.value, name);
+
+    for (std::size_t pc = 0; pc < p.text.size(); ++pc) {
+        for (auto [it, end] = text_labels.equal_range(static_cast<std::uint32_t>(pc)); it != end;
+             ++it)
+            os << it->second << ":\n";
+        std::snprintf(buf, sizeof buf, "  %04zu  %06X  %s\n", pc, p.text[pc],
+                      disassemble_word(p.text[pc], static_cast<PAddr>(pc)).c_str());
+        os << buf;
+    }
+
+    if (opt.with_symbols && !p.symbols().empty()) {
+        os << "\n; symbols\n";
+        for (const auto& [name, sym] : p.symbols()) {
+            std::snprintf(buf, sizeof buf, ";   %-24s %5u  (%s)\n", name.c_str(), sym.value,
+                          sym.space == Symbol::Space::Text ? "text" : "data");
+            os << buf;
+        }
+    }
+
+    if (opt.with_data && !p.data.empty()) {
+        os << "\n; data (hex words)\n";
+        for (std::size_t i = 0; i < p.data.size(); i += 8) {
+            std::snprintf(buf, sizeof buf, ";   %04zu:", i);
+            os << buf;
+            for (std::size_t j = i; j < std::min(i + 8, p.data.size()); ++j) {
+                std::snprintf(buf, sizeof buf, " %04X", p.data[j]);
+                os << buf;
+            }
+            os << '\n';
+        }
+    }
+    return os.str();
+}
+
+} // namespace ulpmc::isa

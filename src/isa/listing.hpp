@@ -1,0 +1,21 @@
+// Program listing generation: the assembler's human-facing output
+// (addresses, encodings, disassembly, interleaved labels, symbol table),
+// shared by ulpmc-asm, asm_explorer and the tests.
+#pragma once
+
+#include <string>
+
+#include "isa/program.hpp"
+
+namespace ulpmc::isa {
+
+/// Options for format_listing.
+struct ListingOptions {
+    bool with_symbols = true; ///< append the symbol table
+    bool with_data = false;   ///< append a data-section hex dump
+};
+
+/// Renders a full listing of `p`.
+std::string format_listing(const Program& p, const ListingOptions& opt = {});
+
+} // namespace ulpmc::isa

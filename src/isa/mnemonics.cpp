@@ -1,0 +1,95 @@
+#include "isa/mnemonics.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::isa {
+
+namespace {
+
+constexpr std::array<std::string_view, 12> kOpcodeNames = {
+    "add", "sub", "sft", "and", "or", "xor", "mull", "mulh", "bra", "jal", "mov", "movi"};
+
+constexpr std::array<std::string_view, 16> kCondNames = {"al", "eq", "ne", "cs", "cc", "mi",
+                                                         "pl", "vs", "vc", "hi", "ls", "ge",
+                                                         "lt", "gt", "le", "nv"};
+
+std::string to_lower(std::string_view sv) {
+    std::string s(sv);
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+    return s;
+}
+
+} // namespace
+
+std::string_view opcode_name(Opcode op) {
+    const auto i = static_cast<std::size_t>(op);
+    ULPMC_EXPECTS(i < kOpcodeNames.size());
+    return kOpcodeNames[i];
+}
+
+std::string_view cond_name(Cond c) {
+    const auto i = static_cast<std::size_t>(c);
+    ULPMC_EXPECTS(i < kCondNames.size());
+    return kCondNames[i];
+}
+
+std::optional<Opcode> parse_opcode(std::string_view name) {
+    const std::string lower = to_lower(name);
+    for (std::size_t i = 0; i < kOpcodeNames.size(); ++i) {
+        if (lower == kOpcodeNames[i]) return static_cast<Opcode>(i);
+    }
+    return std::nullopt;
+}
+
+std::optional<Cond> parse_cond(std::string_view name) {
+    const std::string lower = to_lower(name);
+    for (std::size_t i = 0; i < kCondNames.size(); ++i) {
+        if (lower == kCondNames[i]) return static_cast<Cond>(i);
+    }
+    return std::nullopt;
+}
+
+std::string src_to_string(const SrcOperand& s, int moff) {
+    const std::string r = "r" + std::to_string(s.reg);
+    switch (s.mode) {
+    case SrcMode::Reg:
+        return r;
+    case SrcMode::Ind:
+        return "@" + r;
+    case SrcMode::IndPostInc:
+        return "@" + r + "+";
+    case SrcMode::IndPostDec:
+        return "@" + r + "-";
+    case SrcMode::IndPreInc:
+        return "@+" + r;
+    case SrcMode::IndPreDec:
+        return "@-" + r;
+    case SrcMode::Imm4:
+        return "#" + std::to_string(s.reg);
+    case SrcMode::IndOff:
+        return "@" + r + (moff >= 0 ? "+" : "") + std::to_string(moff);
+    }
+    return "?";
+}
+
+std::string dst_to_string(const DstOperand& d, int moff) {
+    const std::string r = "r" + std::to_string(d.reg);
+    switch (d.mode) {
+    case DstMode::Reg:
+        return r;
+    case DstMode::Ind:
+        return "@" + r;
+    case DstMode::IndPostInc:
+        return "@" + r + "+";
+    case DstMode::IndOff:
+        return "@" + r + (moff >= 0 ? "+" : "") + std::to_string(moff);
+    }
+    return "?";
+}
+
+} // namespace ulpmc::isa

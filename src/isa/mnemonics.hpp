@@ -1,0 +1,31 @@
+// Textual names for opcodes, conditions and operand syntax, shared by the
+// assembler and the disassembler so the two always agree.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "isa/instruction.hpp"
+
+namespace ulpmc::isa {
+
+/// Lower-case mnemonic for an opcode ("add", "bra", ...).
+std::string_view opcode_name(Opcode op);
+
+/// Lower-case condition name ("al", "eq", ..., "nv").
+std::string_view cond_name(Cond c);
+
+/// Parses a mnemonic; accepts any case. std::nullopt when unknown.
+std::optional<Opcode> parse_opcode(std::string_view name);
+
+/// Parses a condition name; accepts any case. std::nullopt when unknown.
+std::optional<Cond> parse_cond(std::string_view name);
+
+/// Renders a source operand in assembler syntax (e.g. "@r3+", "#5").
+std::string src_to_string(const SrcOperand& s, int moff = 0);
+
+/// Renders a destination operand in assembler syntax.
+std::string dst_to_string(const DstOperand& d, int moff = 0);
+
+} // namespace ulpmc::isa

@@ -1,0 +1,33 @@
+#include "isa/program.hpp"
+
+#include "common/assert.hpp"
+#include "common/bits.hpp"
+
+namespace ulpmc::isa {
+
+void Program::set_symbol(const std::string& name, Symbol s) {
+    ULPMC_EXPECTS(!name.empty());
+    symbols_[name] = s;
+}
+
+std::optional<Symbol> Program::symbol(const std::string& name) const {
+    const auto it = symbols_.find(name);
+    if (it == symbols_.end()) return std::nullopt;
+    return it->second;
+}
+
+Addr Program::data_addr(const std::string& name) const {
+    const auto s = symbol(name);
+    ULPMC_EXPECTS(s.has_value());
+    ULPMC_EXPECTS(s->space == Symbol::Space::Data);
+    return narrow<Addr>(s->value);
+}
+
+PAddr Program::text_addr(const std::string& name) const {
+    const auto s = symbol(name);
+    ULPMC_EXPECTS(s.has_value());
+    ULPMC_EXPECTS(s->space == Symbol::Space::Text);
+    return narrow<PAddr>(s->value);
+}
+
+} // namespace ulpmc::isa

@@ -1,0 +1,64 @@
+// A linked TamaRISC program image: text (24-bit instruction words), an
+// optional initialized data image (16-bit words) and a symbol table.
+// Placement into physical IM/DM banks is the cluster loader's job
+// (src/cluster/loader.*): the same Program runs on every architecture
+// variant, exactly as the paper requires ("a single instance of a compiled
+// application executed by all the cores").
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ulpmc::isa {
+
+/// One named address (label) in text or data space.
+struct Symbol {
+    enum class Space { Text, Data };
+    Space space = Space::Text;
+    std::uint32_t value = 0;
+};
+
+/// A complete program image.
+class Program {
+public:
+    /// Instruction words, index == program address of the instruction.
+    std::vector<InstrWord> text;
+
+    /// Initialized data image. Index == *virtual* data word address as seen
+    /// by the program before MMU translation.
+    std::vector<Word> data;
+
+    /// Entry point (program address of the first executed instruction).
+    PAddr entry = 0;
+
+    /// Adds/overwrites a symbol.
+    void set_symbol(const std::string& name, Symbol s);
+
+    /// Looks up a symbol by name.
+    std::optional<Symbol> symbol(const std::string& name) const;
+
+    /// Address of a data symbol; contract violation if absent/wrong space.
+    Addr data_addr(const std::string& name) const;
+
+    /// Address of a text symbol; contract violation if absent/wrong space.
+    PAddr text_addr(const std::string& name) const;
+
+    /// All symbols (for listings and tests).
+    const std::map<std::string, Symbol>& symbols() const { return symbols_; }
+
+    /// Program footprint in bytes, as the paper counts it (3 B/instruction).
+    std::size_t text_bytes() const { return text.size() * kInstrBytes; }
+
+    /// Data footprint in bytes (2 B/word).
+    std::size_t data_bytes() const { return data.size() * 2; }
+
+private:
+    std::map<std::string, Symbol> symbols_;
+};
+
+} // namespace ulpmc::isa

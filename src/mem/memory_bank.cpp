@@ -1,0 +1,46 @@
+#include "mem/memory_bank.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::mem {
+
+MemoryBank::MemoryBank(std::size_t size, unsigned cell_bits)
+    : cells_(size, 0), cell_bits_(cell_bits) {
+    ULPMC_EXPECTS(size > 0);
+    ULPMC_EXPECTS(cell_bits > 0 && cell_bits <= 32);
+}
+
+std::uint32_t MemoryBank::read(std::size_t offset) {
+    ULPMC_EXPECTS(offset < cells_.size());
+    ULPMC_EXPECTS(!gated_);
+    ++stats_.reads;
+    return cells_[offset];
+}
+
+void MemoryBank::write(std::size_t offset, std::uint32_t value) {
+    ULPMC_EXPECTS(offset < cells_.size());
+    ULPMC_EXPECTS(!gated_);
+    ++stats_.writes;
+    cells_[offset] = value;
+}
+
+std::uint32_t MemoryBank::peek(std::size_t offset) const {
+    ULPMC_EXPECTS(offset < cells_.size());
+    return cells_[offset];
+}
+
+void MemoryBank::poke(std::size_t offset, std::uint32_t value) {
+    ULPMC_EXPECTS(offset < cells_.size());
+    ULPMC_EXPECTS(!gated_);
+    cells_[offset] = value;
+}
+
+void MemoryBank::set_power_gated(bool gated) {
+    if (gated && !gated_) {
+        // Gating drops state: make any stale-data bug loud, not silent.
+        for (auto& c : cells_) c = 0xDEADBEEFu;
+    }
+    gated_ = gated;
+}
+
+} // namespace ulpmc::mem

@@ -1,0 +1,61 @@
+// One physical SRAM bank of the multi-banked memory hierarchy.
+//
+// Banks are the unit of arbitration (one access per cycle each), of
+// energy accounting (every granted access is counted), and of power
+// gating (the paper's ulpmc-bank organization gates unused IM banks to
+// cut leakage — §III-C). A bank stores generic 32-bit cells so the same
+// class backs 16-bit data banks and 24-bit instruction banks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ulpmc::mem {
+
+/// Per-bank access statistics (inputs to the energy model).
+struct BankStats {
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    std::uint64_t accesses() const { return reads + writes; }
+};
+
+/// A single SRAM bank.
+class MemoryBank {
+public:
+    /// Creates a bank of `size` cells of `cell_bits` each (bookkeeping for
+    /// area/energy; storage is uint32 regardless).
+    MemoryBank(std::size_t size, unsigned cell_bits);
+
+    std::size_t size() const { return cells_.size(); }
+    unsigned cell_bits() const { return cell_bits_; }
+
+    /// Reads one cell. Precondition: offset in range, bank powered.
+    std::uint32_t read(std::size_t offset);
+
+    /// Writes one cell. Precondition: offset in range, bank powered.
+    void write(std::size_t offset, std::uint32_t value);
+
+    /// Non-counting accessors for loaders and tests.
+    std::uint32_t peek(std::size_t offset) const;
+    void poke(std::size_t offset, std::uint32_t value);
+
+    /// Power gating (retention is NOT modeled: gating wipes contents, so
+    /// the simulator faults on any access to a gated bank — matching the
+    /// hardware reality that only *unused* banks may be gated).
+    void set_power_gated(bool gated);
+    bool power_gated() const { return gated_; }
+
+    const BankStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+private:
+    std::vector<std::uint32_t> cells_;
+    unsigned cell_bits_;
+    bool gated_ = false;
+    BankStats stats_;
+};
+
+} // namespace ulpmc::mem

@@ -1,0 +1,82 @@
+#include "mmu/mmu.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::mmu {
+
+DataMmu::DataMmu(DmLayout layout, CoreId pid, unsigned banks, std::size_t words_per_bank)
+    : layout_(layout), pid_(pid), banks_(banks), words_per_bank_(words_per_bank) {
+    ULPMC_EXPECTS(pid < kNumCores);
+    ULPMC_EXPECTS(banks >= 2 * kNumCores); // at least two private banks per core
+    ULPMC_EXPECTS(banks % kNumCores == 0);
+    // Each core owns banks [B*p, B*(p+1)) with B = banks/cores (the paper's
+    // geometry: two). Its private section is split evenly among them and
+    // placed at the TOP of each bank, below the interleaved shared section
+    // growing from offset 0.
+    banks_per_core_ = banks / kNumCores;
+    priv_per_bank_ =
+        (layout.private_words_per_core + banks_per_core_ - 1) / banks_per_core_;
+    const std::size_t shared_per_bank = (layout.shared_words + banks - 1) / banks;
+    ULPMC_EXPECTS(shared_per_bank + priv_per_bank_ <= words_per_bank);
+}
+
+std::optional<BankedAddr> DataMmu::translate(Addr vaddr) const {
+    if (vaddr < layout_.shared_words) {
+        // Shared section: word-interleaved so linear walks rotate through
+        // the banks ("shared data is interleaved across the memory banks
+        // to minimize conflicts" — §III-D).
+        return BankedAddr{static_cast<BankId>(vaddr % banks_),
+                          static_cast<std::uint32_t>(vaddr / banks_)};
+    }
+    const std::uint32_t v = static_cast<std::uint32_t>(vaddr) - layout_.shared_words;
+    if (v >= layout_.private_words_per_core) return std::nullopt;
+    // Private section: PID-based translation into the core's own banks.
+    const std::uint32_t per_bank = static_cast<std::uint32_t>(priv_per_bank_);
+    const BankId bank =
+        static_cast<BankId>(banks_per_core_ * pid_ + v / per_bank);
+    const std::uint32_t within = v % per_bank;
+    const std::uint32_t offset = static_cast<std::uint32_t>(words_per_bank_) - per_bank + within;
+    return BankedAddr{bank, offset};
+}
+
+ImMap::ImMap(ImPolicy policy, unsigned banks, std::size_t words_per_bank)
+    : policy_(policy), banks_(banks), words_per_bank_(words_per_bank) {
+    ULPMC_EXPECTS(banks > 0);
+    ULPMC_EXPECTS(words_per_bank > 0);
+}
+
+std::optional<BankedAddr> ImMap::translate(PAddr pc, CoreId pid) const {
+    switch (policy_) {
+    case ImPolicy::Dedicated:
+        // mc-ref: the program is replicated into every core's own bank.
+        if (pc >= words_per_bank_) return std::nullopt;
+        return BankedAddr{static_cast<BankId>(pid), pc};
+    case ImPolicy::Interleaved:
+        if (pc >= banks_ * words_per_bank_) return std::nullopt;
+        return BankedAddr{static_cast<BankId>(pc % banks_),
+                          static_cast<std::uint32_t>(pc / banks_)};
+    case ImPolicy::Banked:
+        if (pc >= banks_ * words_per_bank_) return std::nullopt;
+        return BankedAddr{static_cast<BankId>(pc / words_per_bank_),
+                          static_cast<std::uint32_t>(pc % words_per_bank_)};
+    }
+    ULPMC_ASSERT(false);
+}
+
+unsigned ImMap::banks_used(std::size_t text_words) const {
+    if (text_words == 0) return 0;
+    switch (policy_) {
+    case ImPolicy::Dedicated:
+        return banks_; // one copy per core: every bank holds the program
+    case ImPolicy::Interleaved:
+        // Instructions are spread across all banks from word 0 on.
+        return static_cast<unsigned>(std::min<std::size_t>(banks_, text_words));
+    case ImPolicy::Banked:
+        return static_cast<unsigned>((text_words + words_per_bank_ - 1) / words_per_bank_);
+    }
+    ULPMC_ASSERT(false);
+}
+
+} // namespace ulpmc::mmu

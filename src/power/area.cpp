@@ -1,0 +1,36 @@
+#include "power/area.hpp"
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+
+double AreaBreakdown::total_um2() const { return total() * 1000.0 * cal::kUm2PerGe; }
+
+AreaBreakdown area_of(cluster::ArchKind arch) {
+    AreaBreakdown a;
+    a.im = cal::kAreaImBank * kImBanks;
+    a.dm = cal::kAreaDmBank * kDmBanks;
+    switch (arch) {
+    case cluster::ArchKind::McRef:
+        a.cores = cal::kAreaCorePerCore * kNumCores;
+        a.dxbar = cal::kAreaDXbarRef;
+        a.ixbar = 0.0;
+        break;
+    case cluster::ArchKind::UlpmcInt:
+    case cluster::ArchKind::UlpmcBank:
+        a.cores = (cal::kAreaCorePerCore + cal::kAreaMmuPerCore) * kNumCores;
+        a.dxbar = cal::kAreaDXbarProposed;
+        a.ixbar = cal::kAreaIXbar;
+        break;
+    }
+    return a;
+}
+
+double sram_bank_area_kge(std::size_t bytes) {
+    ULPMC_EXPECTS(bytes > 0);
+    return (cal::kSramBankOverheadGe + cal::kSramBankCellGePerByte * static_cast<double>(bytes)) /
+           1000.0;
+}
+
+} // namespace ulpmc::power

@@ -1,0 +1,33 @@
+// Area model reproducing the paper's Table I, plus a generic SRAM-bank
+// estimator for exploring other memory organizations (extension).
+#pragma once
+
+#include <cstddef>
+
+#include "cluster/config.hpp"
+
+namespace ulpmc::power {
+
+/// Component areas in kGE (1 GE = 3.136 um^2).
+struct AreaBreakdown {
+    double cores = 0;
+    double im = 0;
+    double dm = 0;
+    double dxbar = 0;
+    double ixbar = 0;
+
+    double total() const { return cores + im + dm + dxbar + ixbar; }
+    double logic() const { return cores + dxbar + ixbar; }
+    double memories() const { return im + dm; }
+    double total_um2() const;
+};
+
+/// Areas of one of the paper's three designs (ulpmc-int and ulpmc-bank are
+/// identical in area — only the bank-select wiring differs, §III-C).
+AreaBreakdown area_of(cluster::ArchKind arch);
+
+/// Generic SRAM bank-area estimate: overhead + cells (two-point fit
+/// through the paper's IM and DM banks; see calibration.hpp).
+double sram_bank_area_kge(std::size_t bytes);
+
+} // namespace ulpmc::power

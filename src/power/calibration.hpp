@@ -1,0 +1,131 @@
+// Calibration constants of the 90 nm low-leakage power/area/timing model.
+//
+// The paper measures power from post-layout simulation; we replace that
+// flow with an event-energy model whose constants are calibrated to the
+// paper's own published aggregates (DESIGN.md §4). Every constant below
+// carries its derivation. Voltages in volts, energies in joules, powers
+// in watts, areas in kGE (1 GE = 3.136 um^2).
+//
+// Primary calibration anchors:
+//  * Table II  — dynamic power breakdown at 8 MOps/s, 1.2 V;
+//  * §IV-C1    — TamaRISC 15.6 pJ/op at 1.0 V (= 22.5 pJ at 1.2 V);
+//  * Fig. 7    — 664.5 MOps/s at 1.2 V vs ~10 MOps/s at the voltage floor;
+//  * Fig. 8    — leakage == dynamic at ~50 kOps/s; ulpmc-bank leaks 38.8%
+//                less than mc-ref with 7/8 IM banks gated;
+//  * Table I   — component areas;
+//  * Figs. 5/6 — per-clock-constraint power ratios.
+#pragma once
+
+#include <cmath>
+
+namespace ulpmc::power::cal {
+
+// ---- voltage / frequency ----------------------------------------------------
+
+inline constexpr double kVnom = 1.2; ///< nominal supply [V]
+inline constexpr double kVmin = 0.5; ///< scaling floor ("threshold level")
+inline constexpr double kVt = 0.4;   ///< alpha-power-law threshold voltage
+
+/// Throughput ratio between nominal and floor voltage: the paper's designs
+/// deliver 664.5 MOps/s at 1.2 V and "around 10 MOps/s" at the floor.
+inline constexpr double kFreqRatioNomToMin = 664.5 / 10.0;
+
+/// Alpha-power-law exponent, solved from
+///   f(V) ~ (V - Vt)^alpha / V  with  f(kVnom)/f(kVmin) = kFreqRatioNomToMin.
+inline const double kAlpha =
+    std::log(kFreqRatioNomToMin * (kVnom / kVmin)) / std::log((kVnom - kVt) / (kVmin - kVt));
+
+/// Both designs are synthesized for this clock constraint in all headline
+/// experiments (the paper's chosen energy/throughput sweet spot, Figs. 5/6).
+inline constexpr double kDefaultClockNs = 12.0;
+
+// ---- dynamic event energies at 1.2 V ---------------------------------------
+// Table II at 8 MOps/s: mc-ref components {cores 0.18, IM 0.36, DM 0.07,
+// D-Xbar 0.02, clock 0.03} mW => per-op energies = P / 8e6.
+
+/// Core datapath energy per executed instruction (0.18 mW / 8 MOps).
+/// Cross-check (§IV-C1): 22.5 pJ x (1.0/1.2)^2 = 15.6 pJ/op at 1.0 V.
+inline constexpr double kCoreEnergyPerOp = 22.5e-12;
+
+/// Extra instruction-path toggling per op when fetch flows through the
+/// I-Xbar (Table II cores row: 0.25 / 0.21 mW vs 0.18 mW):
+inline constexpr double kIPathExtraInterleaved = 8.75e-12; // (0.25-0.18)mW / 8 MOps
+inline constexpr double kIPathExtraBanked = 3.75e-12;      // (0.21-0.18)mW / 8 MOps
+
+/// IM bank access energy (0.36 mW / 8 MOps; one dedicated-bank fetch per
+/// op in mc-ref). Cross-check: the proposed design's ~1 broadcast access
+/// per cycle then yields 45 pJ/op x ~0.125 access/op ~= 0.05 mW (Table II).
+inline constexpr double kImAccessEnergy = 45.0e-12;
+
+/// DM bank access energy. Table II: 0.07 mW / 8 MOps = 8.75 pJ/op; the
+/// ECG benchmark performs 0.3772 DM bank accesses per instruction on
+/// mc-ref (measured by bench/table2_dynamic_power), giving 23.2 pJ per
+/// access. Cross-check: the proposed designs' broadcast-merged 0.3145
+/// accesses/op then yield 0.058 mW, matching Table II's 0.06 mW.
+inline constexpr double kDmAccessEnergy = 8.75e-12 / 0.3772;
+
+/// D-Xbar routing energy per served request (0.02 mW / 8 MOps / 0.3772
+/// requests/op). The proposed design's broadcast/compare logic adds ~25%
+/// (Table II: 0.03 mW for ulpmc-int).
+inline constexpr double kDXbarEnergyPerReq = 2.5e-12 / 0.3772;
+inline constexpr double kDXbarBroadcastFactor = 1.25;
+
+/// I-Xbar routing energy per served fetch. Reading from a single packed
+/// bank toggles far fewer output nets than reading from rotating banks
+/// (paper §IV-C2), hence the banked organization's smaller value.
+inline constexpr double kIXbarEnergyPerReqInterleaved = 3.75e-12; // 0.03 mW/8MOps
+inline constexpr double kIXbarEnergyPerReqBanked = 1.25e-12;      // 0.01 mW/8MOps
+
+/// Clock-tree energy per active core-cycle (stalled/halted cores are clock
+/// gated). mc-ref 0.03 mW / 8 MOps; the proposed designs' deeper tree
+/// (crossbar pipeline registers) costs 0.04 mW.
+inline constexpr double kClockEnergyRef = 3.75e-12;
+inline constexpr double kClockEnergyProposed = 5.0e-12;
+
+// ---- areas (Table I), kGE ---------------------------------------------------
+
+inline constexpr double kAreaCorePerCore = 81.5 / 8.0;         ///< TamaRISC core
+inline constexpr double kAreaMmuPerCore = (87.3 - 81.5) / 8.0; ///< + MMU (proposed)
+inline constexpr double kAreaImBank = 429.4 / 8.0;  ///< 12 kB IM bank
+inline constexpr double kAreaDmBank = 576.7 / 16.0; ///< 4 kB DM bank
+inline constexpr double kAreaDXbarRef = 20.5;
+inline constexpr double kAreaDXbarProposed = 23.0; ///< + broadcast logic
+inline constexpr double kAreaIXbar = 12.4;
+inline constexpr double kUm2PerGe = 3.136;
+
+/// Two-point SRAM bank-area fit through the paper's IM (12 kB -> 53.675
+/// kGE) and DM (4 kB -> 36.044 kGE) banks: area = o + c * bytes.
+inline constexpr double kSramBankCellGePerByte = (53.675 - 36.044) * 1000.0 / (12288.0 - 4096.0);
+inline constexpr double kSramBankOverheadGe = 36.044 * 1000.0 - kSramBankCellGePerByte * 4096.0;
+
+// ---- leakage at 1.2 V -------------------------------------------------------
+// Density ratios are the unique solution (DESIGN.md §4) that makes
+// ulpmc-bank with 7/8 IM banks gated leak exactly 38.8% less than mc-ref
+// while ulpmc-int leaks ~= mc-ref (+1.1%). Absolute scale: mc-ref leakage
+// at kVmin equals its dynamic power at a 50 kOps/s workload (Fig. 8's
+// crossover): 80 pJ/op x (0.5/1.2)^2 x 50 kOps/s = 0.694 uW
+// => 4.00 uW at 1.2 V => lambda_IM = 4.00 uW / 941.76 kGE-equivalents.
+inline constexpr double kLeakLogicDensityRatio = 0.5; ///< logic vs IM SRAM
+inline constexpr double kLeakDmDensityRatio = 0.8;    ///< DM SRAM vs IM SRAM
+inline constexpr double kLeakImPerKge = 4.00e-6 / 941.76; ///< W/kGE at 1.2 V
+
+// ---- synthesis clock-constraint factors (Figs. 5/6) -------------------------
+// Power multipliers fitted from the papers' curve annotations at the
+// voltage floor, normalized to the 12 ns designs everything else is
+// calibrated on. mc-ref: {7.1: 1.03, 12: 0.87, 16: 0.86, 20: 0.85} mW;
+// proposed: {8.9: 0.54, 12: 0.41, 16: 0.39, 20: 0.38} mW.
+struct ClockConstraintFactor {
+    double clock_ns;
+    double factor; ///< power multiplier relative to the 12 ns design
+};
+inline constexpr ClockConstraintFactor kKappaMcRef[] = {
+    {7.1, 1.03 / 0.87}, {12.0, 1.0}, {16.0, 0.86 / 0.87}, {20.0, 0.85 / 0.87}};
+inline constexpr ClockConstraintFactor kKappaProposed[] = {
+    {8.9, 0.54 / 0.41}, {12.0, 1.0}, {16.0, 0.39 / 0.41}, {20.0, 0.38 / 0.41}};
+
+/// The I-Xbar adds ~1.8 ns to the proposed design's critical path, so its
+/// fastest synthesizable clock is 8.9 ns vs mc-ref's 7.1 ns (§IV-B).
+inline constexpr double kMinClockNsMcRef = 7.1;
+inline constexpr double kMinClockNsProposed = 8.9;
+
+} // namespace ulpmc::power::cal

@@ -1,0 +1,57 @@
+#include "power/dvfs.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+
+double VfModel::f_floor() { return (1e9 / cal::kDefaultClockNs) / cal::kFreqRatioNomToMin; }
+
+VfModel::VfModel(double clock_ns) : clock_ns_(clock_ns) {
+    ULPMC_EXPECTS(clock_ns > 0.0);
+    // Solve (V-Vt)^a / V for `a` such that f(Vnom)/f(Vmin) equals this
+    // design's nominal-to-floor ratio (floor frequency is common to all
+    // synthesized variants; see the header comment).
+    const double ratio = f_nominal() / f_floor();
+    ULPMC_EXPECTS(ratio > 1.0);
+    alpha_ = std::log(ratio * (cal::kVnom / cal::kVmin)) /
+             std::log((cal::kVnom - cal::kVt) / (cal::kVmin - cal::kVt));
+}
+
+double VfModel::g(double v) const { return std::pow(v - cal::kVt, alpha_) / v; }
+
+double VfModel::f_nominal() const { return 1e9 / clock_ns_; }
+
+double VfModel::f_max(double v) const {
+    ULPMC_EXPECTS(v >= cal::kVmin && v <= cal::kVnom);
+    return f_nominal() * g(v) / g(cal::kVnom);
+}
+
+double VfModel::v_for_f(double f_hz) const {
+    ULPMC_EXPECTS(f_hz >= 0.0);
+    if (f_hz <= f_max(cal::kVmin)) return cal::kVmin;
+    if (f_hz > f_max(cal::kVnom) * (1.0 + 1e-12))
+        return std::numeric_limits<double>::quiet_NaN();
+    // g is strictly increasing on [Vmin, Vnom]: bisect.
+    double lo = cal::kVmin;
+    double hi = cal::kVnom;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (f_max(mid) < f_hz) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return hi;
+}
+
+double VfModel::energy_scale(double v) {
+    ULPMC_EXPECTS(v > 0.0);
+    return (v / cal::kVnom) * (v / cal::kVnom);
+}
+
+} // namespace ulpmc::power

@@ -1,0 +1,52 @@
+// Voltage/frequency scaling model (paper §IV): alpha-power-law delay
+// scaling with the supply limited to the threshold-region floor, and the
+// paper's simplification that power scales with the square of the supply.
+//
+// Calibration detail (Figs. 5/6): the paper reports that ALL synthesized
+// variants — from the speed-optimized 7.1 ns design to the area-optimized
+// 20 ns one — deliver "around 10 MOps/s" once the supply reaches the
+// threshold floor. Speed-optimized synthesis buys nominal-voltage speed
+// but not near-threshold speed. We model this by giving each design its
+// own alpha-power exponent, solved so that f(Vnom) = 1/clock_ns while
+// f(Vmin) equals the common floor frequency of the 12 ns calibration
+// design (83.3 MHz / 66.45).
+#pragma once
+
+namespace ulpmc::power {
+
+/// The V/f model for one synthesized design (characterized by the clock
+/// constraint it was synthesized for).
+class VfModel {
+public:
+    /// `clock_ns` — the synthesis clock constraint; the design runs at
+    /// 1/clock_ns at nominal voltage.
+    explicit VfModel(double clock_ns);
+
+    /// Maximum clock frequency [Hz] at supply `v` (clamped to the model's
+    /// validity range [Vmin, Vnom]).
+    double f_max(double v) const;
+
+    /// Minimum supply able to sustain `f_hz`. Returns Vmin when the floor
+    /// frequency already suffices (below it only frequency scaling is
+    /// applied, per the paper), and NaN when f_hz exceeds f_max(Vnom).
+    double v_for_f(double f_hz) const;
+
+    /// Dynamic-energy / leakage scaling factor at supply `v`:
+    /// (v / Vnom)^2 — the paper's stated square-law.
+    static double energy_scale(double v);
+
+    double clock_ns() const { return clock_ns_; }
+    double f_nominal() const; ///< f_max at nominal voltage
+
+    /// The common near-threshold floor frequency shared by all designs.
+    static double f_floor();
+
+    double alpha() const { return alpha_; }
+
+private:
+    double g(double v) const; ///< alpha-power law kernel (V-Vt)^a / V
+    double clock_ns_;
+    double alpha_;
+};
+
+} // namespace ulpmc::power

@@ -1,0 +1,75 @@
+#include "power/governor.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+
+DutyCycleGovernor::DutyCycleGovernor(const PowerModel& model, const EventRates& rates,
+                                     const SleepModel& sleep)
+    : model_(model), rates_(rates), sleep_(sleep) {
+    ULPMC_EXPECTS(sleep.retention_leakage_fraction >= 0.0 &&
+                  sleep.retention_leakage_fraction <= 1.0);
+}
+
+Schedule DutyCycleGovernor::just_in_time(double ops_per_period, double period_s) const {
+    ULPMC_EXPECTS(ops_per_period > 0 && period_s > 0);
+    Schedule s;
+    s.kind = Schedule::Kind::JustInTime;
+    const double workload = ops_per_period / period_s;
+    const auto rep = model_.power_at(rates_, workload);
+    s.op = rep.op;
+    s.busy_s = period_s;
+    s.sleep_s = 0;
+    s.energy_per_period = rep.total * period_s;
+    s.average_power = rep.total;
+    return s;
+}
+
+Schedule DutyCycleGovernor::race_to_idle(double ops_per_period, double period_s) const {
+    ULPMC_EXPECTS(ops_per_period > 0 && period_s > 0);
+    Schedule s;
+    s.kind = Schedule::Kind::RaceToIdle;
+
+    // Race at the fastest operating point that does not raise the supply:
+    // above the floor the V^2 penalty always loses, so the optimal racing
+    // point is f_max(Vmin) (or the deadline-required frequency if higher).
+    const VfModel& vf = model_.vf();
+    const double f_floor = vf.f_max(cal::kVmin);
+    const double f_deadline = (ops_per_period / period_s) / rates_.ops_per_cycle;
+    const double f = std::max(f_floor, f_deadline);
+    s.op.f_hz = f;
+    s.op.v = vf.v_for_f(f);
+
+    s.busy_s = ops_per_period / (f * rates_.ops_per_cycle);
+    const double idle_s = period_s - s.busy_s;
+    ULPMC_ASSERT(idle_s >= -1e-12);
+
+    const double busy_power = model_.dynamic_power(rates_, f * rates_.ops_per_cycle, s.op.v).total() +
+                              model_.leakage_power(rates_, s.op.v).total();
+    const double idle_leak = model_.leakage_power(rates_, cal::kVmin).total();
+
+    double idle_energy = 0;
+    if (idle_s > sleep_.min_sleep_s) {
+        s.sleep_s = idle_s;
+        idle_energy = idle_leak * sleep_.retention_leakage_fraction * idle_s +
+                      sleep_.transition_energy;
+    } else {
+        s.sleep_s = 0;
+        idle_energy = idle_leak * std::max(idle_s, 0.0);
+    }
+
+    s.energy_per_period = busy_power * s.busy_s + idle_energy;
+    s.average_power = s.energy_per_period / period_s;
+    return s;
+}
+
+Schedule DutyCycleGovernor::best(double ops_per_period, double period_s) const {
+    const Schedule jit = just_in_time(ops_per_period, period_s);
+    const Schedule race = race_to_idle(ops_per_period, period_s);
+    return race.energy_per_period < jit.energy_per_period ? race : jit;
+}
+
+} // namespace ulpmc::power

@@ -1,0 +1,67 @@
+// Duty-cycle governor (extension): how should a periodic biosignal job be
+// scheduled on the cluster?
+//
+// The paper's sweep implicitly uses JUST-IN-TIME scheduling: stretch the
+// job across its whole period with frequency scaling (below the voltage
+// floor) so the cluster never idles. The alternative is RACE-TO-IDLE:
+// run at some higher operating point, finish early, and drop into an idle
+// state for the remainder of the period.
+//
+// With the paper's power model the comparison is sharp:
+//  * while both points sit at the voltage floor, dynamic energy per op is
+//    identical, so the split only moves leakage-time around — idling in
+//    ACTIVE leakage makes race-to-idle pointless;
+//  * but give the chip a RETENTION SLEEP state (state-preserving power
+//    gating, a standard ULP feature the paper does not model) and
+//    race-to-idle + sleep beats just-in-time at light duty cycles.
+//
+// The governor quantifies this trade-off; bench/ext_duty_cycling prints it.
+#pragma once
+
+#include "power/power_model.hpp"
+
+namespace ulpmc::power {
+
+/// Idle-state model.
+struct SleepModel {
+    /// Leakage in retention sleep, as a fraction of active leakage at the
+    /// same supply (state-retentive power gating; ~0.1 is typical).
+    double retention_leakage_fraction = 0.10;
+    /// Energy to enter+exit sleep once (PMU sequencing, rail settling).
+    double transition_energy = 50e-9; // 50 nJ
+    /// Minimum useful sleep interval; shorter gaps stay active-idle.
+    double min_sleep_s = 100e-6;
+};
+
+/// One scheduling decision for a periodic job.
+struct Schedule {
+    enum class Kind { JustInTime, RaceToIdle } kind = Kind::JustInTime;
+    OperatingPoint op;        ///< operating point while computing
+    double busy_s = 0;        ///< compute time per period
+    double sleep_s = 0;       ///< retention-sleep time per period
+    double energy_per_period = 0;
+    double average_power = 0;
+};
+
+/// Plans a periodic job: `ops_per_period` operations every `period_s`.
+class DutyCycleGovernor {
+public:
+    DutyCycleGovernor(const PowerModel& model, const EventRates& rates,
+                      const SleepModel& sleep = {});
+
+    /// The paper's implicit policy: stretch the work across the period.
+    Schedule just_in_time(double ops_per_period, double period_s) const;
+
+    /// Run at the voltage floor's max frequency, then sleep.
+    Schedule race_to_idle(double ops_per_period, double period_s) const;
+
+    /// Whichever costs less energy per period.
+    Schedule best(double ops_per_period, double period_s) const;
+
+private:
+    const PowerModel& model_;
+    EventRates rates_;
+    SleepModel sleep_;
+};
+
+} // namespace ulpmc::power

@@ -1,0 +1,163 @@
+#include "power/power_model.hpp"
+
+#include <cmath>
+#include <span>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+
+namespace {
+
+using cluster::ArchKind;
+
+bool is_proposed(ArchKind a) { return a != ArchKind::McRef; }
+
+double ipath_extra(ArchKind a, const EnergyConstants& c) {
+    switch (a) {
+    case ArchKind::McRef:
+        return 0.0;
+    case ArchKind::UlpmcInt:
+        return c.ipath_interleaved;
+    case ArchKind::UlpmcBank:
+        return c.ipath_banked;
+    }
+    ULPMC_ASSERT(false);
+}
+
+double ixbar_energy_per_req(ArchKind a, const EnergyConstants& c) {
+    switch (a) {
+    case ArchKind::McRef:
+        return 0.0; // no I-Xbar in the reference design
+    case ArchKind::UlpmcInt:
+        return c.ixbar_interleaved;
+    case ArchKind::UlpmcBank:
+        return c.ixbar_banked;
+    }
+    ULPMC_ASSERT(false);
+}
+
+double lookup_kappa(ArchKind a, double clock_ns) {
+    const std::span<const cal::ClockConstraintFactor> table =
+        is_proposed(a) ? std::span<const cal::ClockConstraintFactor>(cal::kKappaProposed)
+                       : std::span<const cal::ClockConstraintFactor>(cal::kKappaMcRef);
+    for (const auto& e : table) {
+        if (std::abs(e.clock_ns - clock_ns) < 1e-9) return e.factor;
+    }
+    ULPMC_EXPECTS(!"clock constraint not in the synthesized set (Figs. 5/6)");
+    return 1.0;
+}
+
+} // namespace
+
+EventRates EventRates::from_run(const cluster::ClusterStats& s) {
+    const double ops = static_cast<double>(s.total_ops());
+    ULPMC_EXPECTS(ops > 0.0);
+    EventRates r;
+    r.im_bank_accesses = static_cast<double>(s.im_bank_accesses) / ops;
+    r.ixbar_requests = static_cast<double>(s.ixbar.grants) / ops;
+    r.dm_bank_accesses = static_cast<double>(s.dm_bank_accesses()) / ops;
+    r.dxbar_requests = static_cast<double>(s.dxbar.grants) / ops;
+    r.ops_per_cycle = s.ops_per_cycle();
+    r.im_banks_used = s.im_banks_used;
+    r.im_banks_gated = s.im_banks_gated;
+    r.im_banks_total = s.im_banks_total;
+    return r;
+}
+
+EnergyConstants EnergyConstants::calibrated() {
+    return {cal::kCoreEnergyPerOp,
+            cal::kIPathExtraInterleaved,
+            cal::kIPathExtraBanked,
+            cal::kImAccessEnergy,
+            cal::kDmAccessEnergy,
+            cal::kDXbarEnergyPerReq,
+            cal::kDXbarBroadcastFactor,
+            cal::kIXbarEnergyPerReqInterleaved,
+            cal::kIXbarEnergyPerReqBanked,
+            cal::kClockEnergyRef,
+            cal::kClockEnergyProposed,
+            cal::kLeakImPerKge,
+            cal::kLeakLogicDensityRatio,
+            cal::kLeakDmDensityRatio};
+}
+
+PowerModel::PowerModel(cluster::ArchKind arch, double clock_ns)
+    : PowerModel(arch, EnergyConstants::calibrated(), clock_ns) {}
+
+PowerModel::PowerModel(cluster::ArchKind arch, const EnergyConstants& consts, double clock_ns)
+    : arch_(arch), vf_(clock_ns), kappa_(lookup_kappa(arch, clock_ns)), c_(consts) {
+    const double min_ns = is_proposed(arch) ? cal::kMinClockNsProposed : cal::kMinClockNsMcRef;
+    ULPMC_EXPECTS(clock_ns >= min_ns - 1e-9);
+}
+
+PowerBreakdown PowerModel::energy_per_op(const EventRates& r) const {
+    PowerBreakdown e;
+    e.cores = c_.core_per_op + ipath_extra(arch_, c_);
+    e.im = c_.im_access * r.im_bank_accesses;
+    e.dm = c_.dm_access * r.dm_bank_accesses;
+    e.dxbar = c_.dxbar_per_req * r.dxbar_requests *
+              (is_proposed(arch_) ? c_.dxbar_broadcast_mult : 1.0);
+    e.ixbar = ixbar_energy_per_req(arch_, c_) * r.ixbar_requests;
+    e.clock = is_proposed(arch_) ? c_.clock_proposed : c_.clock_ref;
+    return e;
+}
+
+double PowerModel::max_throughput(const EventRates& r) const {
+    return vf_.f_nominal() * r.ops_per_cycle;
+}
+
+OperatingPoint PowerModel::operating_point(const EventRates& r, double workload) const {
+    ULPMC_EXPECTS(workload >= 0.0);
+    ULPMC_EXPECTS(r.ops_per_cycle > 0.0);
+    OperatingPoint op;
+    op.f_hz = workload / r.ops_per_cycle;
+    op.v = vf_.v_for_f(op.f_hz);
+    ULPMC_ENSURES(!std::isnan(op.v)); // workload beyond the design's reach
+    return op;
+}
+
+PowerBreakdown PowerModel::dynamic_power(const EventRates& r, double workload, double v) const {
+    const PowerBreakdown e = energy_per_op(r);
+    const double s = VfModel::energy_scale(v) * kappa_ * workload;
+    PowerBreakdown p;
+    p.cores = e.cores * s;
+    p.im = e.im * s;
+    p.dm = e.dm * s;
+    p.dxbar = e.dxbar * s;
+    p.ixbar = e.ixbar * s;
+    p.clock = e.clock * s;
+    return p;
+}
+
+PowerBreakdown PowerModel::leakage_power(const EventRates& r, double v) const {
+    const AreaBreakdown a = area_of(arch_);
+    const double lam_im = c_.leak_im_per_kge;
+    const double lam_dm = lam_im * c_.leak_dm_ratio;
+    const double lam_logic = lam_im * c_.leak_logic_ratio;
+    const double s = VfModel::energy_scale(v) * kappa_;
+
+    const double im_alive = static_cast<double>(r.im_banks_total - r.im_banks_gated) /
+                            static_cast<double>(r.im_banks_total);
+
+    PowerBreakdown p;
+    p.cores = lam_logic * a.cores * s;
+    p.im = lam_im * a.im * im_alive * s;
+    p.dm = lam_dm * a.dm * s;
+    p.dxbar = lam_logic * a.dxbar * s;
+    p.ixbar = lam_logic * a.ixbar * s;
+    p.clock = 0.0; // the clock tree's leakage is part of the logic above
+    return p;
+}
+
+PowerModel::Report PowerModel::power_at(const EventRates& r, double workload) const {
+    Report rep;
+    rep.op = operating_point(r, workload);
+    rep.dynamic = dynamic_power(r, workload, rep.op.v);
+    rep.leakage = leakage_power(r, rep.op.v);
+    rep.total = rep.dynamic.total() + rep.leakage.total();
+    return rep;
+}
+
+} // namespace ulpmc::power

@@ -1,0 +1,130 @@
+// The system power model: combines event counts from a cycle-accurate run
+// with the calibrated per-event energies, the leakage/area model, the
+// V/f scaling model and the synthesis-constraint factors to produce the
+// component power breakdowns every §IV experiment reports.
+//
+// Usage pattern (identical to the paper's methodology):
+//   1. simulate the benchmark once on an architecture -> ClusterStats;
+//   2. EventRates::from_run() condenses the run into per-operation rates;
+//   3. PowerModel::power_at() answers "what does this design draw at
+//      workload W?" by choosing the minimum (V, f) operating point and
+//      scaling dynamic + leakage power accordingly.
+#pragma once
+
+#include "cluster/config.hpp"
+#include "cluster/stats.hpp"
+#include "power/area.hpp"
+#include "power/dvfs.hpp"
+
+namespace ulpmc::power {
+
+/// Per-operation event rates measured from one benchmark execution.
+struct EventRates {
+    double im_bank_accesses = 0; ///< IM bank activations per op
+    double ixbar_requests = 0;   ///< fetches served via the I-Xbar per op
+    double dm_bank_accesses = 0; ///< DM bank activations per op
+    double dxbar_requests = 0;   ///< DM requests served per op
+    double ops_per_cycle = 0;    ///< aggregate throughput [ops/cycle]
+    unsigned im_banks_used = kImBanks;
+    unsigned im_banks_gated = 0;
+    unsigned im_banks_total = kImBanks;
+
+    /// Condenses a finished run. Precondition: at least one op committed.
+    static EventRates from_run(const cluster::ClusterStats& s);
+};
+
+/// Power split by the paper's components (Fig. 3 / Table II rows).
+struct PowerBreakdown {
+    double cores = 0;
+    double im = 0;
+    double dm = 0;
+    double dxbar = 0;
+    double ixbar = 0;
+    double clock = 0;
+
+    double total() const { return cores + im + dm + dxbar + ixbar + clock; }
+    /// Fig. 8 groups: circuit logic vs memories.
+    double logic() const { return cores + dxbar + ixbar + clock; }
+    double memories() const { return im + dm; }
+};
+
+/// A chosen voltage/frequency operating point.
+struct OperatingPoint {
+    double f_hz = 0;
+    double v = 0;
+};
+
+/// The calibrated per-event energies (defaults from calibration.hpp).
+/// Exposed as data so sensitivity studies can perturb each constant
+/// (bench/sensitivity_analysis) — the model formulas stay fixed.
+struct EnergyConstants {
+    double core_per_op;          ///< J per executed instruction
+    double ipath_interleaved;    ///< extra J/op, interleaved IM fetch path
+    double ipath_banked;         ///< extra J/op, banked IM fetch path
+    double im_access;            ///< J per IM bank activation
+    double dm_access;            ///< J per DM bank activation
+    double dxbar_per_req;        ///< J per routed D-Xbar request
+    double dxbar_broadcast_mult; ///< broadcast-logic toggling multiplier
+    double ixbar_interleaved;    ///< J per I-Xbar request (interleaved)
+    double ixbar_banked;         ///< J per I-Xbar request (banked)
+    double clock_ref;            ///< J per active core-cycle (mc-ref)
+    double clock_proposed;       ///< J per active core-cycle (proposed)
+    double leak_im_per_kge;      ///< W/kGE of IM SRAM at nominal voltage
+    double leak_logic_ratio;     ///< logic leakage density vs IM SRAM
+    double leak_dm_ratio;        ///< DM SRAM leakage density vs IM SRAM
+
+    /// The calibrated defaults (DESIGN.md §4).
+    static EnergyConstants calibrated();
+};
+
+/// Power model for one design (architecture x synthesis clock constraint).
+class PowerModel {
+public:
+    /// `clock_ns` must be one of the synthesis points of Figs. 5/6 for the
+    /// given architecture (contract-checked); defaults to the 12 ns design
+    /// used by every other experiment.
+    explicit PowerModel(cluster::ArchKind arch, double clock_ns = 12.0);
+
+    /// Sensitivity-study variant with perturbed constants.
+    PowerModel(cluster::ArchKind arch, const EnergyConstants& consts, double clock_ns = 12.0);
+
+    cluster::ArchKind arch() const { return arch_; }
+    const VfModel& vf() const { return vf_; }
+    /// Synthesis power factor relative to the 12 ns design.
+    double kappa() const { return kappa_; }
+
+    /// Energy per operation at nominal voltage, split by component.
+    PowerBreakdown energy_per_op(const EventRates& r) const;
+
+    /// Highest sustainable workload [ops/s] at nominal voltage.
+    double max_throughput(const EventRates& r) const;
+
+    /// Minimum-power operating point for `workload` ops/s. Voltage scaling
+    /// down to the floor, then frequency-only scaling (paper §IV-C2).
+    /// Contract violation if the workload exceeds max_throughput().
+    OperatingPoint operating_point(const EventRates& r, double workload) const;
+
+    /// Dynamic power at the given workload and supply.
+    PowerBreakdown dynamic_power(const EventRates& r, double workload, double v) const;
+
+    /// Leakage power at the given supply, honoring IM bank gating.
+    PowerBreakdown leakage_power(const EventRates& r, double v) const;
+
+    /// Everything at once: the minimum-power operating point plus both
+    /// power contributions for `workload`.
+    struct Report {
+        OperatingPoint op;
+        PowerBreakdown dynamic;
+        PowerBreakdown leakage;
+        double total = 0;
+    };
+    Report power_at(const EventRates& r, double workload) const;
+
+private:
+    cluster::ArchKind arch_;
+    VfModel vf_;
+    double kappa_;
+    EnergyConstants c_;
+};
+
+} // namespace ulpmc::power

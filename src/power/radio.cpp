@@ -1,0 +1,18 @@
+#include "power/radio.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::power {
+
+std::size_t RadioModel::packets(std::size_t bits) const {
+    ULPMC_EXPECTS(packet_payload_bits > 0);
+    if (bits == 0) return 0;
+    return (bits + packet_payload_bits - 1) / packet_payload_bits;
+}
+
+double RadioModel::tx_energy(std::size_t bits) const {
+    return energy_per_bit * static_cast<double>(bits) +
+           packet_overhead * static_cast<double>(packets(bits));
+}
+
+} // namespace ulpmc::power

@@ -1,0 +1,81 @@
+#include "xbar/crossbar.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::xbar {
+
+Crossbar::Crossbar(unsigned masters, unsigned banks, bool broadcast)
+    : masters_(masters), banks_(banks), broadcast_(broadcast), bank_taken_(banks, 0),
+      winner_(banks, 0) {
+    ULPMC_EXPECTS(masters > 0);
+    ULPMC_EXPECTS(banks > 0);
+}
+
+std::vector<Grant> Crossbar::arbitrate(std::span<const Request> reqs, Cycle cycle) {
+    std::vector<Grant> out(masters_);
+    arbitrate_into(reqs, cycle, out);
+    return out;
+}
+
+void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out) {
+    ULPMC_EXPECTS(reqs.size() == masters_);
+    ULPMC_EXPECTS(out.size() == masters_);
+
+    for (unsigned m = 0; m < masters_; ++m) out[m] = Grant{};
+    for (auto& t : bank_taken_) t = 0;
+
+    bool any_denied = false;
+
+    // Pass 1: pick one winner per bank, scanning masters from the rotating
+    // priority head. The head advances every cycle, which yields
+    // round-robin fairness over time and — because one master is globally
+    // top priority each cycle — guarantees that multi-port instructions
+    // eventually receive all their grants in a single cycle.
+    const unsigned head = static_cast<unsigned>(cycle % masters_);
+    for (unsigned i = 0; i < masters_; ++i) {
+        const unsigned m = (head + i) % masters_;
+        const Request& r = reqs[m];
+        if (!r.active) continue;
+        ++stats_.requests;
+        ULPMC_EXPECTS(r.bank < banks_);
+        if (!bank_taken_[r.bank]) {
+            bank_taken_[r.bank] = 1;
+            winner_[r.bank] = static_cast<std::uint8_t>(m);
+            out[m].granted = true;
+            ++stats_.grants;
+            ++stats_.bank_accesses;
+        }
+    }
+
+    // Pass 2: read broadcast — same-bank same-offset reads ride along with
+    // the winner's access for free (no extra bank activation, no extra
+    // cycle: paper §III-B).
+    for (unsigned m = 0; m < masters_; ++m) {
+        const Request& r = reqs[m];
+        if (!r.active || out[m].granted) continue;
+        const Request& w = reqs[winner_[r.bank]];
+        if (broadcast_ && !r.is_write && !w.is_write && w.offset == r.offset) {
+            out[m].granted = true;
+            out[m].broadcast = true;
+            ++stats_.grants;
+            ++stats_.broadcast_riders;
+        } else {
+            ++stats_.denied;
+            any_denied = true;
+        }
+    }
+
+    if (any_denied) ++stats_.conflict_cycles;
+}
+
+unsigned mot_levels(unsigned fanout) {
+    unsigned levels = 0;
+    unsigned n = 1;
+    while (n < fanout) {
+        n *= 2;
+        ++levels;
+    }
+    return levels;
+}
+
+} // namespace ulpmc::xbar

@@ -1,0 +1,86 @@
+// Mesh-of-Trees crossbar interconnect (paper §III-B, after Rahimi et al.,
+// DATE'11): connects N processor ports to M memory banks with one-cycle
+// access, per-bank round-robin arbitration under conflicts, and an
+// optional read-broadcast that serves all same-address readers with a
+// single bank access (the paper's key energy feature).
+//
+// The class is purely combinational-per-cycle: callers present one request
+// per master and call arbitrate(); granted accesses are then applied to
+// the banks by the caller (the cluster). Fairness is implemented as a
+// rotating-priority scheme — the highest-priority master index advances
+// every cycle — which distributes grants round-robin over time while
+// guaranteeing forward progress for multi-port instructions.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace ulpmc::xbar {
+
+/// What a master asks of the interconnect this cycle.
+struct Request {
+    bool active = false;
+    bool is_write = false;
+    BankId bank = 0;
+    std::uint32_t offset = 0; ///< cell offset within the bank
+};
+
+/// Per-master outcome of one arbitration round.
+struct Grant {
+    bool granted = false;
+    /// True when this grant rode along on another master's bank access
+    /// (read broadcast) instead of occupying the bank port itself.
+    bool broadcast = false;
+};
+
+/// Aggregate statistics over the run (inputs to the energy model and the
+/// §IV-C2 access-count experiment).
+struct XbarStats {
+    std::uint64_t requests = 0;       ///< master-cycles with an active request
+    std::uint64_t grants = 0;         ///< requests served (incl. broadcast riders)
+    std::uint64_t bank_accesses = 0;  ///< physical bank port activations
+    std::uint64_t broadcast_riders = 0; ///< grants served without a bank access
+    std::uint64_t denied = 0;         ///< master-cycles stalled by a conflict
+    std::uint64_t conflict_cycles = 0; ///< cycles in which >=1 master was denied
+};
+
+/// One crossbar instance (I-Xbar: 8x8, D-Xbar: 8x16 in the paper).
+class Crossbar {
+public:
+    /// `broadcast` enables same-address read merging (the proposed
+    /// architecture); the mc-ref baseline interconnect disables it.
+    Crossbar(unsigned masters, unsigned banks, bool broadcast);
+
+    unsigned masters() const { return masters_; }
+    unsigned banks() const { return static_cast<unsigned>(banks_); }
+    bool broadcast_enabled() const { return broadcast_; }
+
+    /// Arbitrates one cycle. `reqs.size()` must equal masters().
+    /// `cycle` drives the rotating round-robin priority.
+    /// Returns one Grant per master.
+    std::vector<Grant> arbitrate(std::span<const Request> reqs, Cycle cycle);
+
+    /// In-place variant that avoids per-cycle allocation (hot path).
+    void arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out);
+
+    const XbarStats& stats() const { return stats_; }
+    void reset_stats() { stats_ = {}; }
+
+private:
+    unsigned masters_;
+    std::uint32_t banks_;
+    bool broadcast_;
+    XbarStats stats_;
+    std::vector<std::uint8_t> bank_taken_; // scratch, sized banks_
+    std::vector<std::uint8_t> winner_;     // scratch: winning master per bank
+};
+
+/// Pipeline depth of a Mesh-of-Trees routing network (levels of 2:1
+/// switches); used by the area model and documented for completeness —
+/// the paper's network still completes an access in a single cycle.
+unsigned mot_levels(unsigned fanout);
+
+} // namespace ulpmc::xbar

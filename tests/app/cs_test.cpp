@@ -1,0 +1,129 @@
+#include "app/cs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "app/ecg.hpp"
+#include "common/assert.hpp"
+
+namespace ulpmc::app {
+namespace {
+
+TEST(CsMatrix, PaperFootprint) {
+    const CsMatrix m(1);
+    EXPECT_EQ(m.rows(), 256u);
+    EXPECT_EQ(m.cols(), 512u);
+    EXPECT_EQ(m.taps(), 24u);
+    EXPECT_EQ(m.entries().size(), 6144u);
+    EXPECT_EQ(m.bytes(), 12288u); // the paper's "random vector" size
+}
+
+TEST(CsMatrix, Deterministic) {
+    const CsMatrix a(7);
+    const CsMatrix b(7);
+    EXPECT_TRUE(std::equal(a.entries().begin(), a.entries().end(), b.entries().begin()));
+    const CsMatrix c(8);
+    EXPECT_FALSE(std::equal(a.entries().begin(), a.entries().end(), c.entries().begin()));
+}
+
+TEST(CsMatrix, IndicesInRangeAndDistinctPerRow) {
+    const CsMatrix m(3);
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        std::set<Word> cols;
+        for (std::size_t t = 0; t < m.taps(); ++t) {
+            const Word idx = m.entry(r, t) & kCsIndexMask;
+            EXPECT_LT(idx, m.cols());
+            EXPECT_TRUE(cols.insert(idx).second) << "dup col in row " << r;
+        }
+    }
+}
+
+TEST(CsMatrix, RowsSortedByColumn) {
+    const CsMatrix m(3);
+    for (std::size_t r = 0; r < m.rows(); ++r)
+        for (std::size_t t = 1; t < m.taps(); ++t)
+            EXPECT_LT(m.entry(r, t - 1) & kCsIndexMask, m.entry(r, t) & kCsIndexMask);
+}
+
+TEST(CsMatrix, SignsRoughlyBalanced) {
+    const CsMatrix m(5);
+    int neg = 0;
+    for (const Word e : m.entries()) neg += (e & kCsSignBit) != 0;
+    EXPECT_NEAR(static_cast<double>(neg) / m.entries().size(), 0.5, 0.05);
+}
+
+TEST(CsMatrix, EntryOnlyUsesDefinedBits) {
+    const CsMatrix m(5);
+    for (const Word e : m.entries()) EXPECT_EQ(e & ~(kCsIndexMask | kCsSignBit), 0u);
+}
+
+TEST(CsCompress, MatchesNaiveReference) {
+    const CsMatrix m(11);
+    const EcgGenerator gen;
+    const auto x = gen.block(0);
+    const auto y = cs_compress(m, x);
+    ASSERT_EQ(y.size(), m.rows());
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        std::int32_t acc32 = 0; // independent wide reference, wrapped at end
+        Word acc16 = 0;
+        for (std::size_t t = 0; t < m.taps(); ++t) {
+            const Word e = m.entry(r, t);
+            const auto v = x[e & kCsIndexMask];
+            acc32 += (e & kCsSignBit) ? -v : v;
+            acc16 = (e & kCsSignBit) ? static_cast<Word>(acc16 - static_cast<Word>(v))
+                                     : static_cast<Word>(acc16 + static_cast<Word>(v));
+        }
+        EXPECT_EQ(y[r], acc16);
+        EXPECT_EQ(y[r], static_cast<Word>(acc32)); // wrap-equivalence
+    }
+}
+
+TEST(CsCompress, LinearityProperty) {
+    // y(x) computed on 2x equals 2*y(x) in wrap arithmetic when amplitudes
+    // stay small; verifies the operator is linear as CS requires.
+    const CsMatrix m(13, 32, 64, 4);
+    std::vector<std::int16_t> x(64);
+    for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<std::int16_t>((i % 17) - 8);
+    std::vector<std::int16_t> x2(64);
+    for (std::size_t i = 0; i < x.size(); ++i) x2[i] = static_cast<std::int16_t>(2 * x[i]);
+    const auto y1 = cs_compress(m, x);
+    const auto y2 = cs_compress(m, x2);
+    for (std::size_t r = 0; r < y1.size(); ++r)
+        EXPECT_EQ(y2[r], static_cast<Word>(2 * y1[r]));
+}
+
+TEST(CsCompress, FiftyPercentCompression) {
+    const CsMatrix m(1);
+    EXPECT_EQ(m.rows() * 2, m.cols()); // the paper's 50% block compression
+}
+
+TEST(CsCompress, WrongInputSizeIsContractViolation) {
+    const CsMatrix m(1);
+    std::vector<std::int16_t> x(100);
+    EXPECT_THROW(cs_compress(m, x), contract_violation);
+}
+
+TEST(CsQuantize, SymbolRangeAndShift) {
+    EXPECT_LT(cs_quantize_symbol(0xFFFF), kCsSymbolCount);
+    EXPECT_EQ(cs_quantize_symbol(0), 0u);
+    EXPECT_EQ(cs_quantize_symbol(64), 1u);             // 64 >> 6 = 1
+    EXPECT_EQ(cs_quantize_symbol(static_cast<Word>(-64)), 511u); // -1 & 0x1FF
+    for (std::uint32_t y = 0; y <= 0xFFFF; y += 97)
+        EXPECT_LT(cs_quantize_symbol(static_cast<Word>(y)), kCsSymbolCount);
+}
+
+TEST(CsQuantize, VectorForm) {
+    const std::vector<Word> y = {0, 64, 128, static_cast<Word>(-64)};
+    const auto s = cs_quantize(y);
+    EXPECT_EQ(s, (std::vector<Word>{0, 1, 2, 511}));
+}
+
+TEST(CsMatrix, CustomDimensionsValidated) {
+    EXPECT_THROW(CsMatrix(1, 4, 8, 9), contract_violation);  // taps > cols
+    EXPECT_THROW(CsMatrix(1, 4, 1024, 2), contract_violation); // cols > index space
+    EXPECT_NO_THROW(CsMatrix(1, 4, 8, 8));
+}
+
+} // namespace
+} // namespace ulpmc::app

@@ -1,0 +1,124 @@
+#include "app/fir.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "app/ecg.hpp"
+#include "cluster/cluster.hpp"
+#include "common/assert.hpp"
+#include "core/functional_core.hpp"
+
+namespace ulpmc::app {
+namespace {
+
+std::vector<Word> run_kernel(const FirKernel& k, std::span<const std::int16_t> x) {
+    const auto prog = k.build_program(x.size());
+    core::FlatMemory mem(FirLayout::dm_layout().limit());
+    mem.load(0, prog.data);
+    for (std::size_t i = 0; i < x.size(); ++i)
+        mem.poke(static_cast<Addr>(FirLayout::kXBase + i), static_cast<Word>(x[i]));
+    core::FunctionalCore core(prog.text, mem);
+    core.state().pc = prog.entry;
+    core.run();
+    EXPECT_EQ(core.trap(), core::Trap::None);
+    std::vector<Word> y(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        y[i] = mem.peek(static_cast<Addr>(FirLayout::kYBase + i));
+    return y;
+}
+
+TEST(Fir, KernelMatchesGoldenOnEcg) {
+    const EcgGenerator gen;
+    const auto x = gen.block(0);
+    for (const unsigned taps : {1u, 4u, 8u, 16u}) {
+        const auto k = FirKernel::moving_average(taps);
+        EXPECT_EQ(run_kernel(k, x), k.apply(x)) << taps << " taps";
+    }
+}
+
+TEST(Fir, KernelMatchesGoldenWithArbitraryCoefficients) {
+    const EcgGenerator gen;
+    const auto x = gen.block(5);
+    const FirKernel k({12000, -4000, 700, -30000, 32767});
+    EXPECT_EQ(run_kernel(k, x), k.apply(x));
+}
+
+TEST(Fir, SingleTapIsHalfGain) {
+    // Q16 convention: one tap of 32767 is a gain of 32767/65536 ~= 0.5
+    // (plus the per-term truncation toward -inf).
+    const EcgGenerator gen;
+    const auto x = gen.block(1);
+    const auto y = FirKernel({32767}).apply(x);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        const auto yy = static_cast<SWord>(y[n]);
+        EXPECT_NEAR(yy, x[n] * 0.5, std::abs(x[n]) * 0.01 + 1.5) << n;
+    }
+}
+
+TEST(Fir, MovingAverageSmooths) {
+    // High-frequency noise energy must drop; the slow wave must survive.
+    std::vector<std::int16_t> x(512);
+    for (std::size_t n = 0; n < x.size(); ++n) {
+        x[n] = static_cast<std::int16_t>(200.0 * std::sin(2 * 3.14159 * n / 128.0) +
+                                         ((n & 1) ? 50 : -50)); // Nyquist noise
+    }
+    const auto k = FirKernel::moving_average(8);
+    const auto y = k.apply(x);
+    // Alternating-sample energy after the filter:
+    double rough_in = 0;
+    double rough_out = 0;
+    for (std::size_t n = 65; n < 500; ++n) {
+        rough_in += std::abs(x[n] - x[n - 1]);
+        rough_out += std::abs(static_cast<SWord>(y[n]) - static_cast<SWord>(y[n - 1]));
+    }
+    EXPECT_LT(rough_out, 0.25 * rough_in);
+    // DC gain ~1: mid-band amplitude preserved within ~20%.
+    double max_out = 0;
+    for (std::size_t n = 64; n < 500; ++n)
+        max_out = std::max(max_out, std::fabs(static_cast<double>(static_cast<SWord>(y[n]))));
+    EXPECT_GT(max_out, 120.0);
+    EXPECT_LT(max_out, 240.0);
+}
+
+TEST(Fir, FirstOutputsAreZeroHistory) {
+    const auto k = FirKernel::moving_average(8);
+    std::vector<std::int16_t> x(32, 100);
+    const auto y = k.apply(x);
+    for (std::size_t n = 0; n < 7; ++n) EXPECT_EQ(y[n], 0u);
+    EXPECT_NE(y[7], 0u);
+}
+
+TEST(Fir, RunsOnTheCluster) {
+    const EcgGenerator gen;
+    const auto k = FirKernel::moving_average(8);
+    const auto prog = k.build_program(512);
+    cluster::Cluster cl(cluster::make_config(cluster::ArchKind::UlpmcBank, FirLayout::dm_layout()),
+                        prog);
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        const auto x = gen.block(p);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(FirLayout::kXBase + i),
+                       static_cast<Word>(x[i]));
+    }
+    cl.run();
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        ASSERT_EQ(cl.core_trap(static_cast<CoreId>(p)), core::Trap::None);
+        const auto golden = k.apply(gen.block(p));
+        for (std::size_t i = 0; i < golden.size(); i += 31)
+            EXPECT_EQ(cl.dm_peek(static_cast<CoreId>(p), static_cast<Addr>(FirLayout::kYBase + i)),
+                      golden[i]);
+    }
+}
+
+TEST(Fir, Validation) {
+    EXPECT_THROW(FirKernel({}), contract_violation);
+    EXPECT_THROW(FirKernel::moving_average(0), contract_violation);
+    EXPECT_THROW(FirKernel::moving_average(65), contract_violation);
+    const auto k = FirKernel::moving_average(8);
+    EXPECT_THROW(k.build_program(4), contract_violation);    // fewer than taps
+    EXPECT_THROW(k.build_program(2000), contract_violation); // beyond buffer
+}
+
+} // namespace
+} // namespace ulpmc::app

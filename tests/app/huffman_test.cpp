@@ -1,0 +1,185 @@
+#include "app/huffman.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ulpmc::app {
+namespace {
+
+std::vector<std::uint64_t> geometric_freqs(std::size_t n, double ratio = 0.97) {
+    std::vector<std::uint64_t> f(n);
+    double w = 1e6;
+    for (std::size_t i = 0; i < n; ++i) {
+        f[i] = static_cast<std::uint64_t>(w) + 1;
+        w *= ratio;
+    }
+    return f;
+}
+
+TEST(Huffman, KraftEqualityProperty) {
+    // A complete prefix code has Kraft sum exactly 1 (scaled: 2^max_len).
+    for (const std::size_t n : {2u, 3u, 17u, 100u, 512u}) {
+        const HuffmanTable t(geometric_freqs(n));
+        EXPECT_EQ(t.kraft_scaled(), 1ull << kHuffMaxLen) << "n=" << n;
+    }
+}
+
+TEST(Huffman, LengthLimitHonored) {
+    // Extremely skewed distribution would want >15-bit codes unlimited.
+    std::vector<std::uint64_t> f(512, 1);
+    f[0] = 1ull << 40;
+    const HuffmanTable t(f);
+    for (std::size_t s = 0; s < t.size(); ++s) {
+        EXPECT_GE(t.length(s), 1u);
+        EXPECT_LE(t.length(s), kHuffMaxLen);
+    }
+}
+
+TEST(Huffman, CodesArePrefixFree) {
+    const HuffmanTable t(geometric_freqs(64));
+    for (std::size_t a = 0; a < t.size(); ++a) {
+        for (std::size_t b = 0; b < t.size(); ++b) {
+            if (a == b) continue;
+            const unsigned la = t.length(a);
+            const unsigned lb = t.length(b);
+            if (la > lb) continue;
+            // a's code must not prefix b's code.
+            EXPECT_NE(t.code(b) >> (lb - la), t.code(a)) << a << " prefixes " << b;
+        }
+    }
+}
+
+TEST(Huffman, FrequentSymbolsGetShortCodes) {
+    const HuffmanTable t(geometric_freqs(512));
+    EXPECT_LE(t.length(0), t.length(511));
+    EXPECT_LT(t.length(0), 8u);
+}
+
+TEST(Huffman, CodeFitsBitFifteenClear) {
+    // The TamaRISC packer's arithmetic-shift trick needs bit 15 == 0.
+    const HuffmanTable t(geometric_freqs(512));
+    for (std::size_t s = 0; s < t.size(); ++s) {
+        EXPECT_EQ(t.code(s) & 0x8000u, 0u);
+        EXPECT_LT(t.code(s), 1u << t.length(s));
+    }
+}
+
+TEST(Huffman, LutImagesMatchAccessors) {
+    const HuffmanTable t(geometric_freqs(512));
+    const auto code = t.code_lut();
+    const auto len = t.len_lut();
+    ASSERT_EQ(code.size(), 512u);
+    ASSERT_EQ(len.size(), 512u);
+    for (std::size_t s = 0; s < 512; ++s) {
+        EXPECT_EQ(code[s], t.code(s));
+        EXPECT_EQ(len[s], t.length(s));
+    }
+}
+
+TEST(Huffman, EncodeKnownSmallCase) {
+    // Two symbols -> 1-bit codes; canonical: sym0 -> 0, sym1 -> 1.
+    const std::vector<std::uint64_t> f = {10, 1};
+    const HuffmanTable t(f);
+    EXPECT_EQ(t.length(0), 1u);
+    EXPECT_EQ(t.code(0), 0u);
+    EXPECT_EQ(t.code(1), 1u);
+    const std::vector<Word> syms = {0, 1, 1, 0};
+    const auto bs = huffman_encode(t, syms);
+    EXPECT_EQ(bs.bits, 4u);
+    ASSERT_EQ(bs.words.size(), 1u);
+    EXPECT_EQ(bs.words[0], 0b0110u << 12); // MSB-first fill
+}
+
+TEST(Huffman, RoundTripProperty) {
+    Rng rng(31);
+    const auto freqs = geometric_freqs(512);
+    const HuffmanTable t(freqs);
+    for (int iter = 0; iter < 50; ++iter) {
+        std::vector<Word> syms(256);
+        for (auto& s : syms) s = static_cast<Word>(rng.below(512));
+        const auto bs = huffman_encode(t, syms);
+        const auto back = huffman_decode(t, bs, syms.size());
+        ASSERT_TRUE(back.has_value()) << "iter " << iter;
+        EXPECT_EQ(*back, syms);
+    }
+}
+
+class HuffmanAlphabetRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HuffmanAlphabetRoundTrip, AllSymbolsSurvive) {
+    const std::size_t n = GetParam();
+    const HuffmanTable t(geometric_freqs(n));
+    std::vector<Word> syms(n);
+    std::iota(syms.begin(), syms.end(), 0);
+    const auto bs = huffman_encode(t, syms);
+    const auto back = huffman_decode(t, bs, n);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, syms);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphabets, HuffmanAlphabetRoundTrip,
+                         ::testing::Values(2, 3, 5, 16, 64, 257, 512));
+
+TEST(Huffman, CompressionBeatsFixedWidthOnSkewedData) {
+    Rng rng(5);
+    const auto freqs = geometric_freqs(512, 0.9);
+    const HuffmanTable t(freqs);
+    // Draw symbols from (roughly) the training distribution.
+    std::vector<Word> syms;
+    for (int i = 0; i < 4096; ++i)
+        syms.push_back(static_cast<Word>(std::min<std::uint32_t>(511, rng.below(64))));
+    const auto bs = huffman_encode(t, syms);
+    EXPECT_LT(bs.bits, syms.size() * 9); // better than 9-bit fixed width
+}
+
+TEST(Huffman, DecodeTruncatedStreamFails) {
+    const HuffmanTable t(geometric_freqs(512));
+    const std::vector<Word> syms = {1, 2, 3, 4, 5};
+    auto bs = huffman_encode(t, syms);
+    bs.bits /= 2;
+    bs.words.resize((bs.bits + 15) / 16);
+    EXPECT_FALSE(huffman_decode(t, bs, syms.size()).has_value());
+}
+
+TEST(Huffman, EncodeEmptyInput) {
+    const HuffmanTable t(geometric_freqs(16));
+    const auto bs = huffman_encode(t, {});
+    EXPECT_EQ(bs.bits, 0u);
+    EXPECT_TRUE(bs.words.empty());
+    const auto back = huffman_decode(t, bs, 0);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_TRUE(back->empty());
+}
+
+TEST(Huffman, ZeroFrequenciesStayEncodable) {
+    std::vector<std::uint64_t> f(512, 0);
+    f[3] = 100;
+    const HuffmanTable t(f);
+    const std::vector<Word> syms = {511, 0, 3};
+    const auto back = huffman_decode(t, huffman_encode(t, syms), 3);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, syms);
+}
+
+TEST(Huffman, PaperLutFootprint) {
+    const HuffmanTable t(geometric_freqs(512));
+    // Two LUTs of 512 x 16-bit entries = 1024 bytes each (paper §II).
+    EXPECT_EQ(t.code_lut().size() * 2, 1024u);
+    EXPECT_EQ(t.len_lut().size() * 2, 1024u);
+}
+
+TEST(Huffman, InvalidConstruction) {
+    const std::vector<std::uint64_t> one = {5};
+    EXPECT_THROW(HuffmanTable{one}, contract_violation);
+    const std::vector<std::uint64_t> many(512, 1);
+    EXPECT_THROW(HuffmanTable(many, 8), contract_violation); // 2^8 < 512
+    EXPECT_THROW(HuffmanTable(many, 16), contract_violation); // > kHuffMaxLen
+}
+
+} // namespace
+} // namespace ulpmc::app

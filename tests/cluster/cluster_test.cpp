@@ -1,0 +1,245 @@
+#include "cluster/cluster.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "core/functional_core.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc::cluster {
+namespace {
+
+constexpr mmu::DmLayout kTinyLayout{.shared_words = 64, .private_words_per_core = 128};
+
+/// A program exercising every instruction class; reads shared word 0,
+/// works in its private scratch at 64.., and halts.
+const char* kMiniProgram = R"(
+        .equ PRIV, 64
+        movi r1, PRIV
+        movi r2, 0          ; shared base
+        mov  r3, @r2        ; shared read
+        add  r4, r3, #5
+        mull r5, r4, r4
+        mulh r6, r4, r4
+        sft  r7, r5, #-3
+        xor  r8, r5, r6
+        mov  @r1+, r4       ; private writes
+        mov  @r1+, r5
+        mov  r9, @r1-2      ; read back with offset
+        jal  r14, sub1
+        hlt
+sub1:   or   r10, r9, #1
+        ret  r14
+)";
+
+ClusterConfig tiny_config(ArchKind k) { return make_config(k, kTinyLayout); }
+
+class ClusterArchTest : public ::testing::TestWithParam<ArchKind> {};
+
+TEST_P(ClusterArchTest, MiniProgramMatchesFunctionalISS) {
+    const auto prog = isa::assemble(kMiniProgram);
+
+    // Golden: the functional ISS on a flat view of the virtual space.
+    core::FlatMemory flat(kTinyLayout.limit());
+    flat.poke(0, 1234); // the shared word
+    core::FunctionalCore gold(prog.text, flat);
+    gold.state().pc = prog.entry;
+    gold.run();
+    ASSERT_TRUE(gold.halted());
+
+    Cluster cl(tiny_config(GetParam()), prog);
+    for (unsigned p = 0; p < kNumCores; ++p) cl.dm_poke(static_cast<CoreId>(p), 0, 1234);
+    cl.run();
+
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        ASSERT_EQ(cl.core_trap(static_cast<CoreId>(p)), core::Trap::None);
+        ASSERT_TRUE(cl.core_halted(static_cast<CoreId>(p)));
+        const auto& st = cl.core_state(static_cast<CoreId>(p));
+        EXPECT_EQ(st.regs, gold.state().regs) << "core " << p;
+        EXPECT_EQ(st.pc, gold.state().pc);
+        EXPECT_EQ(cl.dm_peek(static_cast<CoreId>(p), 64), flat.peek(64));
+        EXPECT_EQ(cl.dm_peek(static_cast<CoreId>(p), 65), flat.peek(65));
+        EXPECT_EQ(cl.stats().core[p].instret, gold.instret());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, ClusterArchTest,
+                         ::testing::Values(ArchKind::McRef, ArchKind::UlpmcInt,
+                                           ArchKind::UlpmcBank),
+                         [](const auto& info) {
+                             std::string n = arch_name(info.param);
+                             n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+                             return n;
+                         });
+
+TEST(Cluster, PrivateSectionsAreIsolatedPerCore) {
+    const auto prog = isa::assemble("hlt");
+    Cluster cl(tiny_config(ArchKind::UlpmcBank), prog);
+    for (unsigned p = 0; p < kNumCores; ++p)
+        cl.dm_poke(static_cast<CoreId>(p), 100, static_cast<Word>(p * 11));
+    for (unsigned p = 0; p < kNumCores; ++p)
+        EXPECT_EQ(cl.dm_peek(static_cast<CoreId>(p), 100), p * 11);
+}
+
+TEST(Cluster, SharedSectionIsCommon) {
+    const auto prog = isa::assemble("hlt");
+    Cluster cl(tiny_config(ArchKind::UlpmcBank), prog);
+    cl.dm_poke(0, 5, 999);
+    for (unsigned p = 0; p < kNumCores; ++p) EXPECT_EQ(cl.dm_peek(static_cast<CoreId>(p), 5), 999);
+}
+
+TEST(Cluster, StaggeredStartOffsetsHaltTimes) {
+    // Conflict-free program => core p halts exactly p cycles after core 0.
+    const auto prog = isa::assemble(R"(
+        movi r1, 10
+    l:  sub r1, r1, #1
+        bra ne, l
+        hlt
+    )");
+    auto cfg = tiny_config(ArchKind::McRef);
+    ASSERT_TRUE(cfg.stagger_start);
+    Cluster cl(cfg, prog);
+    cl.run();
+    const Cycle base = cl.stats().core[0].halted_at;
+    for (unsigned p = 0; p < kNumCores; ++p)
+        EXPECT_EQ(cl.stats().core[p].halted_at, base + p) << "core " << p;
+}
+
+TEST(Cluster, LockstepStartWithoutStagger) {
+    const auto prog = isa::assemble("nop\nnop\nhlt\n");
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    cl.run();
+    for (unsigned p = 1; p < kNumCores; ++p)
+        EXPECT_EQ(cl.stats().core[p].halted_at, cl.stats().core[0].halted_at);
+}
+
+TEST(Cluster, DedicatedImCountsPerCoreStreams) {
+    const auto prog = isa::assemble("nop\nnop\nnop\nhlt\n");
+    Cluster cl(tiny_config(ArchKind::McRef), prog);
+    cl.run();
+    std::uint64_t fetches = 0;
+    for (const auto& c : cl.stats().core) fetches += c.im_fetches;
+    // Every fetch in mc-ref is a physical access to the core's own bank.
+    EXPECT_EQ(cl.stats().im_bank_accesses, fetches);
+    EXPECT_EQ(fetches, 4u * kNumCores);
+}
+
+TEST(Cluster, BroadcastMergesLockstepFetches) {
+    const auto prog = isa::assemble("nop\nnop\nnop\nnop\nhlt\n");
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    cl.run();
+    // All 8 cores fetch the same PC each cycle: one bank access per cycle.
+    EXPECT_EQ(cl.stats().im_bank_accesses, 5u);
+    EXPECT_EQ(cl.stats().ixbar.broadcast_riders, 5u * (kNumCores - 1));
+}
+
+TEST(Cluster, UlpmcBankGatesUnusedImBanks) {
+    const auto prog = isa::assemble("hlt");
+    Cluster cl(tiny_config(ArchKind::UlpmcBank), prog);
+    EXPECT_EQ(cl.stats().im_banks_used, 1u);
+    EXPECT_EQ(cl.stats().im_banks_gated, 7u);
+}
+
+TEST(Cluster, UlpmcIntCannotGate) {
+    const auto prog = isa::assemble("nop\nnop\nhlt\n");
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    EXPECT_EQ(cl.stats().im_banks_gated, 0u);
+}
+
+TEST(Cluster, JumpIntoGatedBankTraps) {
+    // ulpmc-bank gates banks 1..7; branching to address 4096 (bank 1)
+    // must fault rather than silently fetch garbage.
+    const auto prog = isa::assemble("bra al, =4096\nhlt\n");
+    Cluster cl(tiny_config(ArchKind::UlpmcBank), prog);
+    cl.run();
+    for (unsigned p = 0; p < kNumCores; ++p)
+        EXPECT_EQ(cl.core_trap(static_cast<CoreId>(p)), core::Trap::FetchFault);
+}
+
+TEST(Cluster, MemoryFaultOnUnmappedAddress) {
+    const auto prog = isa::assemble(R"(
+        movi r1, 0x4000     ; far beyond shared+private
+        mov  r2, @r1
+        hlt
+    )");
+    Cluster cl(tiny_config(ArchKind::UlpmcBank), prog);
+    cl.run();
+    EXPECT_EQ(cl.core_trap(0), core::Trap::MemoryFault);
+}
+
+TEST(Cluster, IllegalInstructionTraps) {
+    isa::Program prog;
+    prog.text = {0xF00000u};
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    cl.run();
+    EXPECT_EQ(cl.core_trap(0), core::Trap::IllegalInstruction);
+    EXPECT_EQ(cl.stats().core[0].trap, core::Trap::IllegalInstruction);
+}
+
+TEST(Cluster, RunIsIdempotentAfterQuiescence) {
+    const auto prog = isa::assemble("hlt");
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    const Cycle c1 = cl.run();
+    const Cycle c2 = cl.run();
+    EXPECT_EQ(c1, c2);
+    EXPECT_FALSE(cl.step());
+}
+
+TEST(Cluster, TotalOpsSumsCores) {
+    const auto prog = isa::assemble("nop\nnop\nhlt\n");
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    cl.run();
+    EXPECT_EQ(cl.stats().total_ops(), 3u * kNumCores);
+}
+
+TEST(Cluster, RunsWithNonPaperGeometry) {
+    // 32 small DM banks, 16 small IM banks: everything still verifies.
+    const auto prog = isa::assemble(kMiniProgram);
+    auto cfg = tiny_config(ArchKind::UlpmcBank);
+    cfg.dm_banks = 32;
+    cfg.dm_bank_words = kDmWordsTotal / 32;
+    cfg.im_banks = 16;
+    cfg.im_bank_words = kImWordsTotal / 16;
+    Cluster cl(cfg, prog);
+    for (unsigned p = 0; p < kNumCores; ++p) cl.dm_poke(static_cast<CoreId>(p), 0, 1234);
+    cl.run();
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        EXPECT_EQ(cl.core_trap(static_cast<CoreId>(p)), core::Trap::None);
+        EXPECT_TRUE(cl.core_halted(static_cast<CoreId>(p)));
+    }
+    EXPECT_EQ(cl.stats().im_banks_total, 16u);
+    EXPECT_EQ(cl.stats().im_banks_gated, 15u);
+}
+
+TEST(Cluster, SharedLoadContendedWithoutBroadcastSerializes) {
+    // All cores read shared word 0 in lockstep; without broadcast (and
+    // without stagger) they serialize 8-ways on the bank.
+    const auto prog = isa::assemble(R"(
+        movi r1, 0
+        mov  r2, @r1
+        hlt
+    )");
+    auto cfg = tiny_config(ArchKind::McRef);
+    cfg.stagger_start = false; // force the pathological case
+    Cluster cl(cfg, prog);
+    cl.run();
+    EXPECT_GT(cl.stats().dxbar.denied, 20u); // 7+6+...+1 = 28 denials
+    std::uint64_t stalls = 0;
+    for (const auto& c : cl.stats().core) stalls += c.stall_cycles;
+    EXPECT_GE(stalls, 28u);
+}
+
+TEST(Cluster, BroadcastEliminatesThatContention) {
+    const auto prog = isa::assemble(R"(
+        movi r1, 0
+        mov  r2, @r1
+        hlt
+    )");
+    Cluster cl(tiny_config(ArchKind::UlpmcInt), prog);
+    cl.run();
+    EXPECT_EQ(cl.stats().dxbar.denied, 0u);
+    EXPECT_EQ(cl.stats().dxbar.broadcast_riders, kNumCores - 1u);
+}
+
+} // namespace
+} // namespace ulpmc::cluster

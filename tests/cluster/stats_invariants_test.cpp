@@ -1,0 +1,138 @@
+// Randomized cross-counter invariants: the cluster's statistics are the
+// power model's only input, so their internal consistency is checked over
+// random programs and all architectures. Any accounting bug (double
+// counting, missed riders, grant/access mismatch) trips these.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "isa/asm_builder.hpp"
+
+namespace ulpmc::cluster {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 128, .private_words_per_core = 256};
+
+/// Small random terminating program (reads shared, writes private).
+isa::Program random_program(Rng& rng) {
+    using namespace ulpmc::isa;
+    AsmBuilder b;
+    b.movi(12, static_cast<Word>(rng.below(64)));                  // shared base
+    b.movi(13, static_cast<Word>(128 + 64 + rng.below(32)));       // private base
+    for (unsigned r = 0; r < 8; ++r) b.movi(r, static_cast<Word>(rng.next_u32()));
+    const unsigned len = 10 + rng.below(30);
+    for (unsigned i = 0; i < len; ++i) {
+        switch (rng.below(5)) {
+        case 0:
+            b.mov(dreg(rng.below(8)), spostinc(12));
+            break;
+        case 1:
+            b.mov(dpostinc(13), sreg(rng.below(8)));
+            break;
+        case 2:
+            b.alu(static_cast<Opcode>(rng.below(8)), dreg(rng.below(8)), sreg(rng.below(8)),
+                  simm(static_cast<int>(rng.below(16))));
+            break;
+        case 3:
+            b.mov(dreg(rng.below(8)), sind(13));
+            break;
+        default:
+            b.alu(Opcode::ADD, dreg(rng.below(8)), sind(12), sreg(rng.below(8)));
+            break;
+        }
+    }
+    b.hlt();
+    return b.finish();
+}
+
+void check_invariants(const ClusterStats& s, ArchKind arch) {
+    // 1. Fetches served == I-Xbar grants (every fetch routes through it).
+    std::uint64_t fetches = 0;
+    std::uint64_t instret = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    for (const auto& c : s.core) {
+        fetches += c.im_fetches;
+        instret += c.instret;
+        loads += c.dm_loads;
+        stores += c.dm_stores;
+    }
+    EXPECT_EQ(fetches, s.ixbar.grants);
+
+    // 2. Physical IM accesses + broadcast riders == fetches served.
+    EXPECT_EQ(s.im_bank_accesses + s.ixbar.broadcast_riders, fetches);
+
+    // 3. One fetch per committed instruction (no wrong-path fetches).
+    EXPECT_EQ(fetches, instret);
+
+    // 4. DM bank write count equals committed stores exactly; reads can
+    //    only be saved by broadcast, never created.
+    EXPECT_EQ(s.dm_bank_writes, stores);
+    EXPECT_LE(s.dm_bank_reads, loads);
+    EXPECT_EQ(s.dm_bank_reads + s.dxbar.broadcast_riders, loads);
+
+    // 5. Grants + denials == requests on both interconnects.
+    EXPECT_EQ(s.ixbar.grants + s.ixbar.denied, s.ixbar.requests);
+    EXPECT_EQ(s.dxbar.grants + s.dxbar.denied, s.dxbar.requests);
+
+    // 6. mc-ref has no broadcast anywhere.
+    if (arch == ArchKind::McRef) {
+        EXPECT_EQ(s.ixbar.broadcast_riders, 0u);
+        EXPECT_EQ(s.dxbar.broadcast_riders, 0u);
+    }
+
+    // 7. Cycle count bounds: at least the per-core instruction count, at
+    //    most instret summed (full serialization) plus slack.
+    for (const auto& c : s.core) EXPECT_GE(s.cycles, c.instret);
+    EXPECT_LE(s.cycles, instret + 16);
+}
+
+TEST(StatsInvariants, HoldOverRandomProgramsAndArchitectures) {
+    Rng rng(4242);
+    for (int iter = 0; iter < 60; ++iter) {
+        const isa::Program prog = random_program(rng);
+        for (const ArchKind arch : {ArchKind::McRef, ArchKind::UlpmcInt, ArchKind::UlpmcBank}) {
+            Cluster cl(make_config(arch, kLayout), prog);
+            cl.run();
+            for (unsigned p = 0; p < kNumCores; ++p)
+                ASSERT_EQ(cl.core_trap(static_cast<CoreId>(p)), core::Trap::None)
+                    << "iter " << iter << " " << arch_name(arch);
+            check_invariants(cl.stats(), arch);
+        }
+    }
+}
+
+TEST(StatsInvariants, HoldUnderHeavyContention) {
+    // The worst case: lockstep cores hammering one shared bank without
+    // broadcast (denials dominate) — the counters must still balance,
+    // except the cycle upper bound, which serialization legitimately
+    // breaks.
+    using namespace ulpmc::isa;
+    AsmBuilder b;
+    b.movi(12, 0);
+    for (int i = 0; i < 20; ++i) b.mov(dreg(1), sind(12)); // same shared word
+    b.hlt();
+    const Program prog = b.finish();
+
+    auto cfg = make_config(ArchKind::McRef, kLayout);
+    cfg.stagger_start = false;
+    Cluster cl(cfg, prog);
+    cl.run();
+
+    const auto& s = cl.stats();
+    EXPECT_GT(s.dxbar.denied, 100u); // contention actually happened
+    std::uint64_t fetches = 0;
+    std::uint64_t instret = 0;
+    std::uint64_t loads = 0;
+    for (const auto& c : s.core) {
+        fetches += c.im_fetches;
+        instret += c.instret;
+        loads += c.dm_loads;
+    }
+    EXPECT_EQ(fetches, instret);
+    EXPECT_EQ(s.dm_bank_reads, loads); // no broadcast: every load is physical
+    EXPECT_EQ(s.dxbar.grants + s.dxbar.denied, s.dxbar.requests);
+}
+
+} // namespace
+} // namespace ulpmc::cluster

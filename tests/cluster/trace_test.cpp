@@ -1,0 +1,128 @@
+#include "cluster/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cluster/cluster.hpp"
+#include "common/assert.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc::cluster {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 64, .private_words_per_core = 128};
+
+TEST(RingTraceTest, KeepsChronologicalOrder) {
+    RingTrace t(8);
+    for (Cycle c = 1; c <= 5; ++c) t.on_event({c, 0, EventKind::Commit, 0, 0});
+    const auto ev = t.events();
+    ASSERT_EQ(ev.size(), 5u);
+    for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(ev[i].cycle, i + 1);
+}
+
+TEST(RingTraceTest, EvictsOldestBeyondCapacity) {
+    RingTrace t(4);
+    for (Cycle c = 1; c <= 10; ++c) t.on_event({c, 0, EventKind::Commit, 0, 0});
+    const auto ev = t.events();
+    ASSERT_EQ(ev.size(), 4u);
+    EXPECT_EQ(ev.front().cycle, 7u);
+    EXPECT_EQ(ev.back().cycle, 10u);
+    EXPECT_EQ(t.total(), 10u);
+}
+
+TEST(RingTraceTest, RendersReadably) {
+    EXPECT_EQ(RingTrace::render({12, 3, EventKind::Commit, 45, 0}), "[12] core3 commit pc=45");
+    EXPECT_EQ(RingTrace::render({7, 1, EventKind::Fetch, 5, 2}), "[7] core1 fetch pc=5 bank=2");
+    EXPECT_EQ(RingTrace::render({9, 0xFF, EventKind::BarrierRelease, 0, 0}),
+              "[9] all    barrier-release");
+}
+
+TEST(RingTraceTest, ZeroCapacityIsContractViolation) {
+    EXPECT_THROW(RingTrace(0), contract_violation);
+}
+
+TEST(ClusterTrace, CapturesCommitsAndFetches) {
+    const auto prog = isa::assemble("nop\nnop\nhlt\n");
+    Cluster cl(make_config(ArchKind::UlpmcInt, kLayout), prog);
+    CountingTrace counts;
+    cl.set_trace(&counts);
+    cl.run();
+    // 3 instructions x 8 cores, fetches merged: 3 owners + 21 riders.
+    EXPECT_EQ(counts.count(EventKind::Commit), 3u * kNumCores);
+    EXPECT_EQ(counts.count(EventKind::Fetch), 3u);
+    EXPECT_EQ(counts.count(EventKind::FetchBroadcast), 3u * (kNumCores - 1));
+    EXPECT_EQ(counts.count(EventKind::Halt), kNumCores);
+    EXPECT_EQ(counts.count(EventKind::Trap), 0u);
+}
+
+TEST(ClusterTrace, CapturesStallsUnderContention) {
+    const auto prog = isa::assemble(R"(
+        movi r1, 0
+        mov  r2, @r1
+        hlt
+    )");
+    auto cfg = make_config(ArchKind::McRef, kLayout);
+    cfg.stagger_start = false; // force the 8-way shared-read conflict
+    Cluster cl(cfg, prog);
+    CountingTrace counts;
+    cl.set_trace(&counts);
+    cl.run();
+    EXPECT_GE(counts.count(EventKind::DataStall), 28u);
+}
+
+TEST(ClusterTrace, CapturesBarrierProtocol) {
+    const auto prog = isa::assemble(R"(
+        movi r3, 0xFFFF
+        mov  @r3, r0
+        hlt
+    )");
+    auto cfg = make_config(ArchKind::UlpmcInt, kLayout);
+    cfg.barrier_enabled = true;
+    Cluster cl(cfg, prog);
+    CountingTrace counts;
+    cl.set_trace(&counts);
+    cl.run();
+    EXPECT_EQ(counts.count(EventKind::BarrierArrive), kNumCores);
+    EXPECT_EQ(counts.count(EventKind::BarrierRelease), 1u);
+}
+
+TEST(ClusterTrace, CapturesTraps) {
+    isa::Program prog;
+    prog.text = {0xF00000u};
+    Cluster cl(make_config(ArchKind::UlpmcInt, kLayout), prog);
+    RingTrace ring(64);
+    cl.set_trace(&ring);
+    cl.run();
+    bool saw_trap = false;
+    for (const auto& e : ring.events())
+        if (e.kind == EventKind::Trap) saw_trap = true;
+    EXPECT_TRUE(saw_trap);
+}
+
+TEST(ClusterTrace, PrintProducesOneLinePerEvent) {
+    RingTrace t(8);
+    t.on_event({1, 0, EventKind::Fetch, 0, 0});
+    t.on_event({1, 0, EventKind::Commit, 0, 0});
+    std::ostringstream os;
+    t.print(os);
+    int lines = 0;
+    for (const char ch : os.str())
+        if (ch == '\n') ++lines;
+    EXPECT_EQ(lines, 2);
+}
+
+TEST(ClusterTrace, DetachedSinkCostsNothingObservable) {
+    const auto prog = isa::assemble("nop\nhlt\n");
+    Cluster a(make_config(ArchKind::UlpmcBank, kLayout), prog);
+    Cluster b(make_config(ArchKind::UlpmcBank, kLayout), prog);
+    CountingTrace counts;
+    a.set_trace(&counts);
+    a.run();
+    b.run();
+    EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+    EXPECT_EQ(a.stats().im_bank_accesses, b.stats().im_bank_accesses);
+}
+
+} // namespace
+} // namespace ulpmc::cluster

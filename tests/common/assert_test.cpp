@@ -1,0 +1,34 @@
+#include "common/assert.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulpmc {
+namespace {
+
+TEST(Contracts, ExpectsPassesOnTrue) { EXPECT_NO_THROW(ULPMC_EXPECTS(1 + 1 == 2)); }
+
+TEST(Contracts, ExpectsThrowsOnFalse) { EXPECT_THROW(ULPMC_EXPECTS(false), contract_violation); }
+
+TEST(Contracts, MessageNamesKindExpressionAndLocation) {
+    try {
+        ULPMC_ENSURES(2 > 3);
+        FAIL() << "should have thrown";
+    } catch (const contract_violation& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("postcondition"), std::string::npos);
+        EXPECT_NE(msg.find("2 > 3"), std::string::npos);
+        EXPECT_NE(msg.find("assert_test.cpp"), std::string::npos);
+    }
+}
+
+TEST(Contracts, AssertIsInvariantKind) {
+    try {
+        ULPMC_ASSERT(false);
+        FAIL() << "should have thrown";
+    } catch (const contract_violation& e) {
+        EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+    }
+}
+
+} // namespace
+} // namespace ulpmc

@@ -1,0 +1,69 @@
+#include "common/bits.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulpmc {
+namespace {
+
+TEST(Bits, ExtractBasic) {
+    EXPECT_EQ(bits(0xABCDEFu, 0, 4), 0xFu);
+    EXPECT_EQ(bits(0xABCDEFu, 4, 4), 0xEu);
+    EXPECT_EQ(bits(0xABCDEFu, 20, 4), 0xAu);
+    EXPECT_EQ(bits(0xFFFFFFFFu, 0, 32), 0xFFFFFFFFu);
+}
+
+TEST(Bits, InsertBasic) {
+    EXPECT_EQ(insert_bits(0, 0, 4, 0xF), 0xFu);
+    EXPECT_EQ(insert_bits(0, 20, 4, 0xA), 0xA00000u);
+    EXPECT_EQ(insert_bits(0xFFFFFFu, 8, 8, 0x00), 0xFF00FFu);
+}
+
+TEST(Bits, InsertMasksExcessFieldBits) {
+    // Field wider than `width` must be truncated, not smeared.
+    EXPECT_EQ(insert_bits(0, 0, 4, 0x123), 0x3u);
+}
+
+TEST(Bits, InsertExtractRoundTrip) {
+    for (unsigned lo : {0u, 3u, 7u, 14u, 20u}) {
+        for (unsigned width : {1u, 3u, 4u, 7u}) {
+            const std::uint32_t v = insert_bits(0xDEADBEEFu, lo, width, 0x5u);
+            EXPECT_EQ(bits(v, lo, width), 0x5u & ((1u << width) - 1));
+        }
+    }
+}
+
+TEST(Bits, SignExtend) {
+    EXPECT_EQ(sign_extend(0x7, 4), 7);
+    EXPECT_EQ(sign_extend(0x8, 4), -8);
+    EXPECT_EQ(sign_extend(0xF, 4), -1);
+    EXPECT_EQ(sign_extend(0x1FFF, 14), 8191);
+    EXPECT_EQ(sign_extend(0x2000, 14), -8192);
+    EXPECT_EQ(sign_extend(0x3FFF, 14), -1);
+    EXPECT_EQ(sign_extend(0x0, 14), 0);
+}
+
+TEST(Bits, FitsUnsigned) {
+    EXPECT_TRUE(fits_unsigned(15, 4));
+    EXPECT_FALSE(fits_unsigned(16, 4));
+    EXPECT_TRUE(fits_unsigned(0, 1));
+    EXPECT_TRUE(fits_unsigned(0xFFFFFFFF, 32));
+}
+
+TEST(Bits, FitsSigned) {
+    EXPECT_TRUE(fits_signed(7, 4));
+    EXPECT_TRUE(fits_signed(-8, 4));
+    EXPECT_FALSE(fits_signed(8, 4));
+    EXPECT_FALSE(fits_signed(-9, 4));
+    EXPECT_TRUE(fits_signed(8191, 14));
+    EXPECT_FALSE(fits_signed(8192, 14));
+}
+
+TEST(Bits, NarrowOk) { EXPECT_EQ(narrow<std::uint16_t>(65535u), 65535u); }
+
+TEST(Bits, NarrowThrowsOnLoss) {
+    EXPECT_THROW(narrow<std::uint16_t>(65536u), contract_violation);
+    EXPECT_THROW(narrow<std::uint8_t>(-1), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc

@@ -1,0 +1,90 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace ulpmc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+    Rng a(42);
+    Rng b(42);
+    for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+    Rng a(1);
+    Rng b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next_u32() == b.next_u32()) ++same;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange) {
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.below(17);
+        EXPECT_LT(v, 17u);
+    }
+}
+
+TEST(Rng, BelowCoversRange) {
+    Rng r(7);
+    std::array<int, 8> hits{};
+    for (int i = 0; i < 8000; ++i) ++hits[r.below(8)];
+    for (const int h : hits) EXPECT_GT(h, 700); // roughly uniform
+}
+
+TEST(Rng, RangeInclusive) {
+    Rng r(3);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+    Rng r(5);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, GaussianMoments) {
+    Rng r(11);
+    double sum = 0;
+    double sq = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const double g = r.gaussian();
+        sum += g;
+        sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.05);
+    EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(Rng, BelowZeroBoundIsContractViolation) {
+    Rng r(1);
+    EXPECT_THROW(r.below(0), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc

@@ -1,0 +1,62 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ulpmc {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+    Table t({"a", "bb"});
+    t.add_row({"xxxx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("| a    | bb |"), std::string::npos);
+    EXPECT_NE(s.find("| xxxx | y  |"), std::string::npos);
+}
+
+TEST(Table, RowCountExcludesSeparators) {
+    Table t({"a"});
+    t.add_row({"1"});
+    t.add_separator();
+    t.add_row({"2"});
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, WrongArityIsContractViolation) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), contract_violation);
+}
+
+TEST(Format, Fixed) {
+    EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+    EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+TEST(Format, SiPrefixes) {
+    EXPECT_EQ(format_si(0.397, "W"), "397 mW");
+    EXPECT_EQ(format_si(3.97e-6, "W"), "3.97 uW");
+    EXPECT_EQ(format_si(1.5e9, "Ops/s"), "1.5 GOps/s");
+    EXPECT_EQ(format_si(15.6e-12, "J"), "15.6 pJ");
+    EXPECT_EQ(format_si(0.0, "W"), "0 W");
+}
+
+TEST(Format, Percent) {
+    EXPECT_EQ(format_percent(0.395), "39.5%");
+    EXPECT_EQ(format_percent(1.0, 0), "100%");
+}
+
+TEST(Format, CountGrouping) {
+    EXPECT_EQ(format_count(0), "0");
+    EXPECT_EQ(format_count(999), "999");
+    EXPECT_EQ(format_count(1000), "1,000");
+    EXPECT_EQ(format_count(720800), "720,800");
+    EXPECT_EQ(format_count(1234567890ull), "1,234,567,890");
+}
+
+} // namespace
+} // namespace ulpmc

@@ -1,0 +1,131 @@
+// Parameterized algebraic property sweeps over the ALU (TEST_P style, as
+// hardware verification would script them): commutativity, identities,
+// annihilators, involution, and flag consistency — each checked across a
+// randomized operand cloud per opcode.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/alu.hpp"
+#include "isa/mnemonics.hpp"
+
+namespace ulpmc::core {
+namespace {
+
+using isa::Opcode;
+
+class CommutativeOps : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(CommutativeOps, OrderIrrelevantIncludingFlags) {
+    Rng rng(100 + static_cast<int>(GetParam()));
+    for (int i = 0; i < 5000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        const Word b = static_cast<Word>(rng.next_u32());
+        const auto ab = alu_exec(GetParam(), a, b);
+        const auto ba = alu_exec(GetParam(), b, a);
+        EXPECT_EQ(ab.value, ba.value);
+        EXPECT_EQ(ab.flags, ba.flags);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CommutativeOps,
+                         ::testing::Values(Opcode::ADD, Opcode::AND, Opcode::OR, Opcode::XOR,
+                                           Opcode::MULL, Opcode::MULH),
+                         [](const auto& info) {
+                             return std::string(isa::opcode_name(info.param));
+                         });
+
+struct IdentityCase {
+    Opcode op;
+    Word identity;
+};
+
+class IdentityOps : public ::testing::TestWithParam<IdentityCase> {};
+
+TEST_P(IdentityOps, RightIdentityPreservesValue) {
+    Rng rng(7);
+    for (int i = 0; i < 2000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        EXPECT_EQ(alu_exec(GetParam().op, a, GetParam().identity).value, a);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IdentityOps,
+                         ::testing::Values(IdentityCase{Opcode::ADD, 0},
+                                           IdentityCase{Opcode::SUB, 0},
+                                           IdentityCase{Opcode::OR, 0},
+                                           IdentityCase{Opcode::XOR, 0},
+                                           IdentityCase{Opcode::AND, 0xFFFF},
+                                           IdentityCase{Opcode::MULL, 1},
+                                           IdentityCase{Opcode::SFT, 0}),
+                         [](const auto& info) {
+                             return std::string(isa::opcode_name(info.param.op));
+                         });
+
+TEST(AluProperties, AnnihilatorsAndAbsorbers) {
+    Rng rng(11);
+    for (int i = 0; i < 2000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        EXPECT_EQ(alu_exec(Opcode::AND, a, 0).value, 0);
+        EXPECT_EQ(alu_exec(Opcode::MULL, a, 0).value, 0);
+        EXPECT_EQ(alu_exec(Opcode::MULH, a, 0).value, 0);
+        EXPECT_EQ(alu_exec(Opcode::OR, a, 0xFFFF).value, 0xFFFF);
+        EXPECT_EQ(alu_exec(Opcode::XOR, a, a).value, 0);
+        EXPECT_TRUE(alu_exec(Opcode::XOR, a, a).flags.z);
+        EXPECT_TRUE(alu_exec(Opcode::SUB, a, a).flags.z);
+    }
+}
+
+TEST(AluProperties, XorIsInvolutionAddSubInverse) {
+    Rng rng(13);
+    for (int i = 0; i < 5000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        const Word b = static_cast<Word>(rng.next_u32());
+        EXPECT_EQ(alu_exec(Opcode::XOR, alu_exec(Opcode::XOR, a, b).value, b).value, a);
+        EXPECT_EQ(alu_exec(Opcode::SUB, alu_exec(Opcode::ADD, a, b).value, b).value, a);
+    }
+}
+
+TEST(AluProperties, ShiftComposesWithinRange) {
+    // sft(sft(a, i), j) == sft(a, i+j) for left shifts within 16 bits.
+    Rng rng(17);
+    for (int i = 0; i < 3000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        const int s1 = static_cast<int>(rng.below(8));
+        const int s2 = static_cast<int>(rng.below(8));
+        const Word once =
+            alu_exec(Opcode::SFT, a, static_cast<Word>(s1 + s2)).value;
+        const Word twice = alu_exec(Opcode::SFT, alu_exec(Opcode::SFT, a, static_cast<Word>(s1)).value,
+                                    static_cast<Word>(s2))
+                               .value;
+        EXPECT_EQ(once, twice);
+    }
+}
+
+TEST(AluProperties, ZnFlagsAlwaysDescribeResult) {
+    Rng rng(19);
+    for (int i = 0; i < 5000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        const Word b = static_cast<Word>(rng.next_u32());
+        for (int op = 0; op < 8; ++op) {
+            const auto r = alu_exec(static_cast<Opcode>(op), a, b);
+            EXPECT_EQ(r.flags.z, r.value == 0);
+            EXPECT_EQ(r.flags.n, (r.value & 0x8000) != 0);
+        }
+    }
+}
+
+TEST(AluProperties, LogicOpsNeverSetCarryOrOverflow) {
+    Rng rng(23);
+    for (int i = 0; i < 3000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        const Word b = static_cast<Word>(rng.next_u32());
+        for (const Opcode op : {Opcode::AND, Opcode::OR, Opcode::XOR, Opcode::MULL, Opcode::MULH}) {
+            const auto r = alu_exec(op, a, b);
+            EXPECT_FALSE(r.flags.c);
+            EXPECT_FALSE(r.flags.v);
+        }
+    }
+}
+
+} // namespace
+} // namespace ulpmc::core

@@ -1,0 +1,160 @@
+#include "core/alu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ulpmc::core {
+namespace {
+
+using isa::Opcode;
+
+TEST(Alu, AddBasicAndFlags) {
+    auto r = alu_exec(Opcode::ADD, 1, 2);
+    EXPECT_EQ(r.value, 3);
+    EXPECT_FALSE(r.flags.c);
+    EXPECT_FALSE(r.flags.z);
+    EXPECT_FALSE(r.flags.n);
+    EXPECT_FALSE(r.flags.v);
+
+    r = alu_exec(Opcode::ADD, 0xFFFF, 1);
+    EXPECT_EQ(r.value, 0);
+    EXPECT_TRUE(r.flags.c);
+    EXPECT_TRUE(r.flags.z);
+    EXPECT_FALSE(r.flags.v); // -1 + 1 = 0: no signed overflow
+
+    r = alu_exec(Opcode::ADD, 0x7FFF, 1);
+    EXPECT_EQ(r.value, 0x8000);
+    EXPECT_TRUE(r.flags.v); // positive + positive -> negative
+    EXPECT_TRUE(r.flags.n);
+}
+
+TEST(Alu, SubBorrowConvention) {
+    auto r = alu_exec(Opcode::SUB, 5, 3);
+    EXPECT_EQ(r.value, 2);
+    EXPECT_TRUE(r.flags.c); // no borrow
+
+    r = alu_exec(Opcode::SUB, 3, 5);
+    EXPECT_EQ(r.value, 0xFFFE);
+    EXPECT_FALSE(r.flags.c); // borrow
+    EXPECT_TRUE(r.flags.n);
+
+    r = alu_exec(Opcode::SUB, 0x8000, 1);
+    EXPECT_TRUE(r.flags.v); // negative - positive -> positive overflow
+}
+
+TEST(Alu, SubEqualGivesZero) {
+    const auto r = alu_exec(Opcode::SUB, 0xABCD, 0xABCD);
+    EXPECT_TRUE(r.flags.z);
+    EXPECT_TRUE(r.flags.c);
+}
+
+TEST(Alu, ShiftLeft) {
+    auto r = alu_exec(Opcode::SFT, 0x0001, 3);
+    EXPECT_EQ(r.value, 8);
+    r = alu_exec(Opcode::SFT, 0x8001, 1);
+    EXPECT_EQ(r.value, 0x0002);
+    EXPECT_TRUE(r.flags.c); // bit 15 shifted out
+}
+
+TEST(Alu, ShiftRightIsArithmetic) {
+    auto r = alu_exec(Opcode::SFT, 0x8000, static_cast<Word>(-3));
+    EXPECT_EQ(r.value, 0xF000);
+    r = alu_exec(Opcode::SFT, 0x4000, static_cast<Word>(-3));
+    EXPECT_EQ(r.value, 0x0800);
+    r = alu_exec(Opcode::SFT, 0x0005, static_cast<Word>(-1));
+    EXPECT_EQ(r.value, 2);
+    EXPECT_TRUE(r.flags.c); // last bit out was 1
+}
+
+TEST(Alu, ShiftByZeroIsIdentity) {
+    const auto r = alu_exec(Opcode::SFT, 0xBEEF, 0);
+    EXPECT_EQ(r.value, 0xBEEF);
+    EXPECT_FALSE(r.flags.c);
+}
+
+TEST(Alu, ShiftSaturatesBeyond16) {
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0xFFFF, 16).value, 0);
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0xFFFF, 100).value, 0);
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0x8000, static_cast<Word>(-16)).value, 0xFFFF);
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0x7FFF, static_cast<Word>(-16)).value, 0);
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0x8000, static_cast<Word>(-100)).value, 0xFFFF);
+}
+
+TEST(Alu, SignExtractIdiom) {
+    // The CS kernel's sign trick: sft(x, -15) is 0xFFFF for negative x.
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0x8123, static_cast<Word>(-15)).value, 0xFFFF);
+    EXPECT_EQ(alu_exec(Opcode::SFT, 0x7123, static_cast<Word>(-15)).value, 0x0000);
+}
+
+TEST(Alu, Logic) {
+    EXPECT_EQ(alu_exec(Opcode::AND, 0xF0F0, 0xFF00).value, 0xF000);
+    EXPECT_EQ(alu_exec(Opcode::OR, 0xF0F0, 0x0F00).value, 0xFFF0);
+    EXPECT_EQ(alu_exec(Opcode::XOR, 0xFFFF, 0x00FF).value, 0xFF00);
+    EXPECT_TRUE(alu_exec(Opcode::AND, 0xAAAA, 0x5555).flags.z);
+    EXPECT_TRUE(alu_exec(Opcode::OR, 0x8000, 0).flags.n);
+}
+
+TEST(Alu, MullIsLow16) {
+    EXPECT_EQ(alu_exec(Opcode::MULL, 3, 5).value, 15);
+    EXPECT_EQ(alu_exec(Opcode::MULL, 0x1234, 0x5678).value,
+              static_cast<Word>(0x1234u * 0x5678u));
+}
+
+TEST(Alu, MulhIsSignedHigh16) {
+    // -2 * 3 = -6 -> high word 0xFFFF.
+    EXPECT_EQ(alu_exec(Opcode::MULH, 0xFFFE, 3).value, 0xFFFF);
+    // 0x4000 * 0x4000 = 0x10000000 -> high 0x1000.
+    EXPECT_EQ(alu_exec(Opcode::MULH, 0x4000, 0x4000).value, 0x1000);
+    // Full product reconstruction: (hi << 16) | lo == signed product.
+    const std::int32_t a = -12345;
+    const std::int32_t b = 321;
+    const Word lo = alu_exec(Opcode::MULL, static_cast<Word>(a), static_cast<Word>(b)).value;
+    const Word hi = alu_exec(Opcode::MULH, static_cast<Word>(a), static_cast<Word>(b)).value;
+    EXPECT_EQ((static_cast<std::int32_t>(static_cast<std::int16_t>(hi)) << 16) | lo, a * b);
+}
+
+/// Property: MULL/MULH always reconstruct the exact 32-bit signed product.
+TEST(Alu, FullMultiplyProperty) {
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const auto a = static_cast<SWord>(rng.next_u32());
+        const auto b = static_cast<SWord>(rng.next_u32());
+        const Word lo = alu_exec(Opcode::MULL, static_cast<Word>(a), static_cast<Word>(b)).value;
+        const Word hi = alu_exec(Opcode::MULH, static_cast<Word>(a), static_cast<Word>(b)).value;
+        const std::int32_t expect = static_cast<std::int32_t>(a) * b;
+        const std::int32_t got =
+            static_cast<std::int32_t>((static_cast<std::uint32_t>(hi) << 16) | lo);
+        EXPECT_EQ(got, expect) << a << " * " << b;
+    }
+}
+
+/// Property: ADD/SUB agree with 32-bit reference arithmetic including
+/// carry and overflow flags.
+TEST(Alu, AddSubFlagProperty) {
+    Rng rng(23);
+    for (int i = 0; i < 20000; ++i) {
+        const Word a = static_cast<Word>(rng.next_u32());
+        const Word b = static_cast<Word>(rng.next_u32());
+
+        const auto add = alu_exec(Opcode::ADD, a, b);
+        EXPECT_EQ(add.value, static_cast<Word>(a + b));
+        EXPECT_EQ(add.flags.c, static_cast<std::uint32_t>(a) + b > 0xFFFF);
+        const std::int32_t sadd = static_cast<SWord>(a) + static_cast<SWord>(b);
+        EXPECT_EQ(add.flags.v, sadd > 32767 || sadd < -32768);
+
+        const auto sub = alu_exec(Opcode::SUB, a, b);
+        EXPECT_EQ(sub.value, static_cast<Word>(a - b));
+        EXPECT_EQ(sub.flags.c, a >= b);
+        const std::int32_t ssub = static_cast<SWord>(a) - static_cast<SWord>(b);
+        EXPECT_EQ(sub.flags.v, ssub > 32767 || ssub < -32768);
+    }
+}
+
+TEST(Alu, NonAluOpcodeIsContractViolation) {
+    EXPECT_THROW(alu_exec(Opcode::BRA, 1, 2), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc::core

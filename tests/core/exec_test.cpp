@@ -1,0 +1,204 @@
+#include "core/exec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::core {
+namespace {
+
+using namespace ulpmc::isa;
+
+CoreState state_with(std::initializer_list<std::pair<int, Word>> regs, PAddr pc = 0) {
+    CoreState s;
+    s.pc = pc;
+    for (const auto& [r, v] : regs) s.regs[static_cast<std::size_t>(r)] = v;
+    return s;
+}
+
+// ---- plan_memory ------------------------------------------------------------
+
+TEST(PlanMemory, RegisterOnlyHasNoAccesses) {
+    const auto plan = plan_memory(make_alu(Opcode::ADD, dreg(0), sreg(1), sreg(2)), CoreState{});
+    EXPECT_FALSE(plan.load);
+    EXPECT_FALSE(plan.store);
+}
+
+TEST(PlanMemory, IndirectModes) {
+    const auto s = state_with({{1, 100}, {2, 200}});
+    EXPECT_EQ(plan_memory(make_alu(Opcode::ADD, dreg(0), sind(1), sreg(2)), s).load, 100);
+    EXPECT_EQ(plan_memory(make_alu(Opcode::ADD, dreg(0), spostinc(1), sreg(2)), s).load, 100);
+    EXPECT_EQ(plan_memory(make_alu(Opcode::ADD, dreg(0), spostdec(1), sreg(2)), s).load, 100);
+    EXPECT_EQ(plan_memory(make_alu(Opcode::ADD, dreg(0), spreinc(1), sreg(2)), s).load, 101);
+    EXPECT_EQ(plan_memory(make_alu(Opcode::ADD, dreg(0), spredec(1), sreg(2)), s).load, 99);
+}
+
+TEST(PlanMemory, MovOffset) {
+    const auto s = state_with({{2, 500}});
+    EXPECT_EQ(plan_memory(make_mov(dreg(1), soff(2), 7), s).load, 507);
+    EXPECT_EQ(plan_memory(make_mov(dreg(1), soff(2), -7), s).load, 493);
+    EXPECT_EQ(plan_memory(make_mov(doff(2), sreg(1), 3), s).store, 503);
+}
+
+TEST(PlanMemory, HasNoSideEffects) {
+    const auto s = state_with({{1, 100}});
+    const auto in = make_alu(Opcode::ADD, dreg(0), spostinc(1), sreg(2));
+    (void)plan_memory(in, s);
+    EXPECT_EQ(s.regs[1], 100); // const: the point is plan is pure
+    // And two consecutive plans agree.
+    EXPECT_EQ(plan_memory(in, s).load, plan_memory(in, s).load);
+}
+
+TEST(PlanMemory, SequentialSideEffectsAcrossOperands) {
+    // dst @r1+ with srcA @r1+: srcA EA = r1, dst EA = r1 + 1.
+    const auto s = state_with({{1, 10}});
+    const auto in = make_mov(dpostinc(1), spostinc(1));
+    const auto plan = plan_memory(in, s);
+    EXPECT_EQ(plan.load, 10);
+    EXPECT_EQ(plan.store, 11);
+}
+
+TEST(PlanMemory, BranchesAndMoviPlanNothing) {
+    EXPECT_FALSE(plan_memory(make_bra(Cond::AL, BraMode::Rel, 2), CoreState{}).load);
+    EXPECT_FALSE(plan_memory(make_movi(1, 99), CoreState{}).load);
+    EXPECT_FALSE(plan_memory(make_jal(14, BraMode::Abs, 3), CoreState{}).store);
+}
+
+// ---- execute ----------------------------------------------------------------
+
+TEST(Execute, AluRegisterForm) {
+    const auto s = state_with({{1, 7}, {2, 5}});
+    const auto fx = execute(make_alu(Opcode::SUB, dreg(3), sreg(1), sreg(2)), s, std::nullopt);
+    EXPECT_EQ(fx.next.regs[3], 2);
+    EXPECT_EQ(fx.next.pc, 1);
+    EXPECT_TRUE(fx.next.flags.c);
+    EXPECT_FALSE(fx.halt);
+}
+
+TEST(Execute, LoadedValueFeedsMemoryOperand) {
+    const auto s = state_with({{1, 100}, {2, 1}});
+    const auto fx = execute(make_alu(Opcode::ADD, dreg(3), sind(1), sreg(2)), s, Word{41});
+    EXPECT_EQ(fx.next.regs[3], 42);
+}
+
+TEST(Execute, MissingLoadIsContractViolation) {
+    const auto s = state_with({{1, 100}});
+    EXPECT_THROW(execute(make_alu(Opcode::ADD, dreg(3), sind(1), sreg(2)), s, std::nullopt),
+                 contract_violation);
+}
+
+TEST(Execute, PostIncrementUpdatesRegister) {
+    const auto s = state_with({{1, 100}});
+    const auto fx = execute(make_mov(dreg(3), spostinc(1)), s, Word{5});
+    EXPECT_EQ(fx.next.regs[1], 101);
+    EXPECT_EQ(fx.next.regs[3], 5);
+}
+
+TEST(Execute, PreDecrementUpdatesRegister) {
+    const auto s = state_with({{1, 100}});
+    const auto fx = execute(make_mov(dreg(3), spredec(1)), s, Word{5});
+    EXPECT_EQ(fx.next.regs[1], 99);
+}
+
+TEST(Execute, StoreValueProduced) {
+    const auto s = state_with({{1, 7}, {2, 200}});
+    const auto fx = execute(make_mov(dpostinc(2), sreg(1)), s, std::nullopt);
+    ASSERT_TRUE(fx.store_value.has_value());
+    EXPECT_EQ(*fx.store_value, 7);
+    EXPECT_EQ(fx.next.regs[2], 201);
+}
+
+TEST(Execute, AluCanStoreToMemory) {
+    const auto s = state_with({{1, 3}, {2, 4}, {5, 300}});
+    const auto fx = execute(make_alu(Opcode::MULL, dind(5), sreg(1), sreg(2)), s, std::nullopt);
+    ASSERT_TRUE(fx.store_value.has_value());
+    EXPECT_EQ(*fx.store_value, 12);
+}
+
+TEST(Execute, SideEffectVisibleToLaterOperand) {
+    // srcB reads r1 AFTER srcA's post-increment (sequential semantics).
+    const auto s = state_with({{1, 10}});
+    const auto fx = execute(make_alu(Opcode::ADD, dreg(2), spostinc(1), sreg(1)), s, Word{100});
+    EXPECT_EQ(fx.next.regs[2], 111); // 100 + (10+1)
+}
+
+TEST(Execute, ResultWriteWinsOverAddressSideEffect) {
+    // dst r1 while srcA post-increments r1: the ALU result lands last.
+    const auto s = state_with({{1, 10}});
+    const auto fx = execute(make_alu(Opcode::ADD, dreg(1), spostinc(1), simm(1)), s, Word{5});
+    EXPECT_EQ(fx.next.regs[1], 6);
+}
+
+TEST(Execute, MovDoesNotTouchFlags) {
+    auto s = state_with({{1, 0}});
+    s.flags.z = true;
+    s.flags.c = true;
+    const auto fx = execute(make_mov(dreg(2), sreg(1)), s, std::nullopt);
+    EXPECT_TRUE(fx.next.flags.z);
+    EXPECT_TRUE(fx.next.flags.c);
+}
+
+TEST(Execute, MoviLoadsImmediate) {
+    const auto fx = execute(make_movi(4, 0xCAFE), CoreState{}, std::nullopt);
+    EXPECT_EQ(fx.next.regs[4], 0xCAFE);
+}
+
+TEST(Execute, SftImmediateIsSigned) {
+    const auto s = state_with({{1, 0x00F0}});
+    // simm(-2) in srcB of SFT means arithmetic right by 2.
+    const auto fx = execute(make_alu(Opcode::SFT, dreg(2), sreg(1), simm(-2)), s, std::nullopt);
+    EXPECT_EQ(fx.next.regs[2], 0x003C);
+    // The same 4-bit pattern (0xE) in an ADD is unsigned 14.
+    const auto fx2 = execute(make_alu(Opcode::ADD, dreg(2), sreg(0), simm(14)), s, std::nullopt);
+    EXPECT_EQ(fx2.next.regs[2], 14);
+}
+
+TEST(Execute, BranchTakenAndNotTaken) {
+    auto s = state_with({}, 10);
+    s.flags.z = true;
+    EXPECT_EQ(execute(make_bra(Cond::EQ, BraMode::Rel, 5), s, std::nullopt).next.pc, 15);
+    EXPECT_EQ(execute(make_bra(Cond::NE, BraMode::Rel, 5), s, std::nullopt).next.pc, 11);
+}
+
+TEST(Execute, BranchModes) {
+    auto s = state_with({{3, 123}}, 10);
+    EXPECT_EQ(execute(make_bra(Cond::AL, BraMode::Abs, 77), s, std::nullopt).next.pc, 77);
+    EXPECT_EQ(execute(make_bra(Cond::AL, BraMode::RegInd, 3), s, std::nullopt).next.pc, 123);
+}
+
+TEST(Execute, HaltDetection) {
+    const auto s = state_with({}, 10);
+    EXPECT_TRUE(execute(make_bra(Cond::AL, BraMode::Rel, 0), s, std::nullopt).halt);
+    // A conditional self-branch is a spin, not an architectural halt.
+    auto sz = s;
+    sz.flags.z = true;
+    EXPECT_FALSE(execute(make_bra(Cond::EQ, BraMode::Rel, 0), sz, std::nullopt).halt);
+    // An absolute branch to the own address also halts.
+    EXPECT_TRUE(execute(make_bra(Cond::AL, BraMode::Abs, 10), s, std::nullopt).halt);
+}
+
+TEST(Execute, JalLinksReturnAddress) {
+    const auto s = state_with({}, 10);
+    const auto fx = execute(make_jal(14, BraMode::Abs, 100), s, std::nullopt);
+    EXPECT_EQ(fx.next.regs[14], 11);
+    EXPECT_EQ(fx.next.pc, 100);
+}
+
+TEST(Execute, JalRegIndUsesPreLinkValue) {
+    // jal r3, @r3 — the target is read before the link write.
+    const auto s = state_with({{3, 50}}, 10);
+    const auto fx = execute(make_jal(3, BraMode::RegInd, 3), s, std::nullopt);
+    EXPECT_EQ(fx.next.pc, 50);
+    EXPECT_EQ(fx.next.regs[3], 11);
+}
+
+TEST(Execute, NopChangesOnlyPc) {
+    const auto s = state_with({{1, 5}}, 3);
+    const auto fx = execute(make_nop(), s, std::nullopt);
+    EXPECT_EQ(fx.next.pc, 4);
+    EXPECT_EQ(fx.next.regs, s.regs);
+    EXPECT_EQ(fx.next.flags, s.flags);
+}
+
+} // namespace
+} // namespace ulpmc::core

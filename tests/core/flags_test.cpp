@@ -1,0 +1,73 @@
+#include "core/flags.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulpmc::core {
+namespace {
+
+using isa::Cond;
+
+/// Exhaustive truth table over all 16 flag states for every condition
+/// (TEST_P sweep — the "15 condition modes" of the paper plus AL).
+struct CondCase {
+    Cond cond;
+    /// expected(c, z, n, v)
+    bool (*expected)(bool, bool, bool, bool);
+};
+
+class CondTruthTable : public ::testing::TestWithParam<CondCase> {};
+
+TEST_P(CondTruthTable, MatchesDefinition) {
+    const auto& tc = GetParam();
+    for (int bitsv = 0; bitsv < 16; ++bitsv) {
+        Flags f;
+        f.c = bitsv & 1;
+        f.z = bitsv & 2;
+        f.n = bitsv & 4;
+        f.v = bitsv & 8;
+        EXPECT_EQ(cond_holds(tc.cond, f), tc.expected(f.c, f.z, f.n, f.v))
+            << "cond " << static_cast<int>(tc.cond) << " flags " << bitsv;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConditions, CondTruthTable,
+    ::testing::Values(
+        CondCase{Cond::AL, [](bool, bool, bool, bool) { return true; }},
+        CondCase{Cond::EQ, [](bool, bool z, bool, bool) { return z; }},
+        CondCase{Cond::NE, [](bool, bool z, bool, bool) { return !z; }},
+        CondCase{Cond::CS, [](bool c, bool, bool, bool) { return c; }},
+        CondCase{Cond::CC, [](bool c, bool, bool, bool) { return !c; }},
+        CondCase{Cond::MI, [](bool, bool, bool n, bool) { return n; }},
+        CondCase{Cond::PL, [](bool, bool, bool n, bool) { return !n; }},
+        CondCase{Cond::VS, [](bool, bool, bool, bool v) { return v; }},
+        CondCase{Cond::VC, [](bool, bool, bool, bool v) { return !v; }},
+        CondCase{Cond::HI, [](bool c, bool z, bool, bool) { return c && !z; }},
+        CondCase{Cond::LS, [](bool c, bool z, bool, bool) { return !c || z; }},
+        CondCase{Cond::GE, [](bool, bool, bool n, bool v) { return n == v; }},
+        CondCase{Cond::LT, [](bool, bool, bool n, bool v) { return n != v; }},
+        CondCase{Cond::GT, [](bool, bool z, bool n, bool v) { return !z && n == v; }},
+        CondCase{Cond::LE, [](bool, bool z, bool n, bool v) { return z || n != v; }},
+        CondCase{Cond::NV, [](bool, bool, bool, bool) { return false; }}));
+
+TEST(Flags, ComplementaryPairs) {
+    // Every condition 1..14 has its complement; NV complements AL.
+    for (int bitsv = 0; bitsv < 16; ++bitsv) {
+        Flags f;
+        f.c = bitsv & 1;
+        f.z = bitsv & 2;
+        f.n = bitsv & 4;
+        f.v = bitsv & 8;
+        EXPECT_NE(cond_holds(Cond::EQ, f), cond_holds(Cond::NE, f));
+        EXPECT_NE(cond_holds(Cond::CS, f), cond_holds(Cond::CC, f));
+        EXPECT_NE(cond_holds(Cond::MI, f), cond_holds(Cond::PL, f));
+        EXPECT_NE(cond_holds(Cond::VS, f), cond_holds(Cond::VC, f));
+        EXPECT_NE(cond_holds(Cond::HI, f), cond_holds(Cond::LS, f));
+        EXPECT_NE(cond_holds(Cond::GE, f), cond_holds(Cond::LT, f));
+        EXPECT_NE(cond_holds(Cond::GT, f), cond_holds(Cond::LE, f));
+        EXPECT_NE(cond_holds(Cond::AL, f), cond_holds(Cond::NV, f));
+    }
+}
+
+} // namespace
+} // namespace ulpmc::core

@@ -1,0 +1,177 @@
+#include "core/functional_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace ulpmc::core {
+namespace {
+
+TEST(FunctionalCore, RunsToHalt) {
+    const auto p = isa::assemble(R"(
+        movi r1, 41
+        add  r1, r1, #1
+        hlt
+    )");
+    const auto r = run_program(p);
+    EXPECT_EQ(r.trap, Trap::None);
+    EXPECT_EQ(r.state.regs[1], 42);
+    EXPECT_EQ(r.instret, 3u);
+}
+
+TEST(FunctionalCore, SumLoop) {
+    // Sum 1..100 into r2.
+    const auto p = isa::assemble(R"(
+        movi r1, 100
+        movi r2, 0
+    loop:
+        add  r2, r2, r1
+        sub  r1, r1, #1
+        bra  ne, loop
+        hlt
+    )");
+    const auto r = run_program(p);
+    EXPECT_EQ(r.state.regs[2], 5050);
+}
+
+TEST(FunctionalCore, MemoryCopyWithPostIncrement) {
+    const auto p = isa::assemble(R"(
+        movi r1, src
+        movi r2, dst
+        movi r3, 4
+    loop:
+        mov  @r2+, @r1+
+        sub  r3, r3, #1
+        bra  ne, loop
+        hlt
+        .data
+    src:  .word 10, 20, 30, 40
+    dst:  .space 4
+    )");
+    const auto r = run_program(p);
+    const Addr dst = p.data_addr("dst");
+    EXPECT_EQ(r.memory.peek(dst), 10);
+    EXPECT_EQ(r.memory.peek(dst + 3), 40);
+}
+
+TEST(FunctionalCore, SubroutineCallAndReturn) {
+    const auto p = isa::assemble(R"(
+        movi r1, 5
+        jal  r14, double
+        jal  r14, double
+        hlt
+    double:
+        add  r1, r1, r1
+        ret  r14
+    )");
+    const auto r = run_program(p);
+    EXPECT_EQ(r.state.regs[1], 20);
+}
+
+TEST(FunctionalCore, Fibonacci) {
+    // fib(16) = 987 via iteration.
+    const auto p = isa::assemble(R"(
+        movi r1, 0
+        movi r2, 1
+        movi r3, 15
+    loop:
+        add  r4, r1, r2
+        mov  r1, r2
+        mov  r2, r4
+        sub  r3, r3, #1
+        bra  ne, loop
+        hlt
+    )");
+    const auto r = run_program(p);
+    EXPECT_EQ(r.state.regs[2], 987);
+}
+
+TEST(FunctionalCore, LoadWithOffsetAddressing) {
+    const auto p = isa::assemble(R"(
+        movi r1, table
+        mov  r2, @r1+2
+        mov  r3, @r1+0
+        hlt
+        .data
+    table: .word 7, 8, 9
+    )");
+    const auto r = run_program(p);
+    EXPECT_EQ(r.state.regs[2], 9);
+    EXPECT_EQ(r.state.regs[3], 7);
+}
+
+TEST(FunctionalCore, IllegalInstructionTraps) {
+    isa::Program p;
+    p.text = {0xF00000u}; // reserved opcode 15
+    FlatMemory mem;
+    FunctionalCore c(p.text, mem);
+    EXPECT_EQ(c.step(), Trap::IllegalInstruction);
+    EXPECT_EQ(c.trap(), Trap::IllegalInstruction);
+    // Further steps stay trapped and execute nothing.
+    EXPECT_EQ(c.step(), Trap::IllegalInstruction);
+    EXPECT_EQ(c.instret(), 0u);
+}
+
+TEST(FunctionalCore, FetchBeyondProgramTraps) {
+    const auto p = isa::assemble("nop"); // falls off the end
+    const auto r = run_program(p);
+    EXPECT_EQ(r.trap, Trap::FetchFault);
+}
+
+TEST(FunctionalCore, MemoryFaultOnOutOfRangeAccess) {
+    const auto p = isa::assemble(R"(
+        movi r1, 0xFFFF
+        mov  r2, @r1
+        hlt
+    )");
+    // Flat memory is 32768 words; 0xFFFF faults.
+    const auto r = run_program(p);
+    EXPECT_EQ(r.trap, Trap::MemoryFault);
+}
+
+TEST(FunctionalCore, HaltStopsCounting) {
+    const auto p = isa::assemble("hlt");
+    const auto r = run_program(p, 1000);
+    EXPECT_EQ(r.instret, 1u);
+    EXPECT_EQ(r.trap, Trap::None);
+}
+
+TEST(FunctionalCore, TracerSeesEveryInstruction) {
+    const auto p = isa::assemble(R"(
+        movi r1, 1
+        movi r2, 2
+        hlt
+    )");
+    FlatMemory mem;
+    FunctionalCore c(p.text, mem);
+    std::vector<PAddr> pcs;
+    c.set_tracer([&](const TraceEntry& e) { pcs.push_back(e.pc); });
+    c.run();
+    EXPECT_EQ(pcs, (std::vector<PAddr>{0, 1, 2}));
+}
+
+TEST(FunctionalCore, EntryPointRespected) {
+    const auto p = isa::assemble(R"(
+        .entry main
+        movi r1, 111
+        hlt
+    main:
+        movi r1, 222
+        hlt
+    )");
+    const auto r = run_program(p);
+    EXPECT_EQ(r.state.regs[1], 222);
+}
+
+TEST(FlatMemoryTest, ReadWriteAndBounds) {
+    FlatMemory m(16);
+    EXPECT_TRUE(m.write(3, 99));
+    Word v = 0;
+    EXPECT_TRUE(m.read(3, v));
+    EXPECT_EQ(v, 99);
+    EXPECT_FALSE(m.read(16, v));
+    EXPECT_FALSE(m.write(16, 1));
+}
+
+} // namespace
+} // namespace ulpmc::core

@@ -1,0 +1,93 @@
+// End-to-end integration: the full 8-lead ECG benchmark on all three
+// architectures, verified bit-exactly against the golden host pipeline,
+// plus the barrier extension and both LUT placements.
+#include <gtest/gtest.h>
+
+#include "app/benchmark.hpp"
+
+namespace ulpmc::app {
+namespace {
+
+using cluster::ArchKind;
+
+class BenchmarkOnArch : public ::testing::TestWithParam<ArchKind> {};
+
+TEST_P(BenchmarkOnArch, VerifiesBitExactly) {
+    const EcgBenchmark bench{};
+    const auto out = bench.run(GetParam());
+    EXPECT_TRUE(out.verified);
+    EXPECT_EQ(out.bitstreams.size(), kEcgLeads);
+    for (unsigned p = 0; p < kEcgLeads; ++p)
+        EXPECT_EQ(out.bitstreams[p].words, bench.golden_bitstream(p).words) << "lead " << p;
+}
+
+TEST_P(BenchmarkOnArch, SharedLutVariantVerifies) {
+    BenchmarkOptions opt;
+    opt.luts_shared = true;
+    const EcgBenchmark bench(opt);
+    EXPECT_TRUE(bench.run(GetParam()).verified);
+}
+
+TEST_P(BenchmarkOnArch, BarrierVariantVerifies) {
+    BenchmarkOptions opt;
+    opt.use_barrier = true;
+    const EcgBenchmark bench(opt);
+    EXPECT_TRUE(bench.run(GetParam()).verified);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, BenchmarkOnArch,
+                         ::testing::Values(ArchKind::McRef, ArchKind::UlpmcInt,
+                                           ArchKind::UlpmcBank),
+                         [](const auto& info) {
+                             std::string n = cluster::arch_name(info.param);
+                             n.erase(std::remove(n.begin(), n.end(), '-'), n.end());
+                             return n;
+                         });
+
+TEST(Benchmark, CompressionIsUseful) {
+    const EcgBenchmark bench{};
+    const auto out = bench.run(ArchKind::UlpmcBank);
+    // CS halves the block; Huffman squeezes the 9-bit symbols further:
+    // well under 8 bits per original sample, and nonzero.
+    EXPECT_GT(out.bits_per_sample, 1.0);
+    EXPECT_LT(out.bits_per_sample, 8.0);
+}
+
+TEST(Benchmark, DifferentSeedsProduceDifferentStreamsButVerify) {
+    BenchmarkOptions opt;
+    opt.seed = 99;
+    const EcgBenchmark bench(opt);
+    const EcgBenchmark base{};
+    EXPECT_NE(bench.golden_bitstream(0).words, base.golden_bitstream(0).words);
+    EXPECT_TRUE(bench.run(ArchKind::UlpmcInt).verified);
+}
+
+TEST(Benchmark, LeadsProduceDistinctStreams) {
+    const EcgBenchmark bench{};
+    const auto out = bench.run(ArchKind::UlpmcBank);
+    EXPECT_NE(out.bitstreams[0].words, out.bitstreams[1].words);
+}
+
+TEST(Benchmark, DeterministicAcrossRuns) {
+    const EcgBenchmark bench{};
+    const auto a = bench.run(ArchKind::UlpmcBank);
+    const auto b = bench.run(ArchKind::UlpmcBank);
+    EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+    EXPECT_EQ(a.stats.im_bank_accesses, b.stats.im_bank_accesses);
+}
+
+TEST(Benchmark, BarrierKeepsCyclesComparable) {
+    // The barrier is one extra lockstep store: it must not change the
+    // cycle count by more than a sliver, while guaranteeing resync.
+    const EcgBenchmark plain{};
+    BenchmarkOptions opt;
+    opt.use_barrier = true;
+    const EcgBenchmark barrier(opt);
+    const auto a = plain.run(ArchKind::UlpmcBank);
+    const auto b = barrier.run(ArchKind::UlpmcBank);
+    EXPECT_NEAR(static_cast<double>(b.stats.cycles), static_cast<double>(a.stats.cycles),
+                0.01 * static_cast<double>(a.stats.cycles));
+}
+
+} // namespace
+} // namespace ulpmc::app

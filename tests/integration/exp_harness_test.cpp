@@ -1,0 +1,53 @@
+// Tests for the shared experiment harness: every bench binary leans on
+// characterize()'s verified-run contract and the comparison formatters.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/assert.hpp"
+#include <iostream>
+
+#include "exp/experiments.hpp"
+
+namespace ulpmc::exp {
+namespace {
+
+TEST(ExpHarness, CharacterizeProducesConsistentRates) {
+    const app::EcgBenchmark bench{};
+    const auto dp = characterize(cluster::ArchKind::UlpmcBank, bench);
+    EXPECT_TRUE(dp.outcome.verified);
+    EXPECT_GT(dp.rates.ops_per_cycle, 1.0);
+    EXPECT_LE(dp.rates.ops_per_cycle, 8.0);
+    EXPECT_GT(dp.rates.im_bank_accesses, 0.0);
+    EXPECT_LT(dp.rates.im_bank_accesses, 1.0); // broadcast must merge
+    EXPECT_EQ(dp.rates.im_banks_gated, 7u);
+}
+
+TEST(ExpHarness, CharacterizeAllReturnsPaperOrder) {
+    const app::EcgBenchmark bench{};
+    const auto all = characterize_all(bench);
+    ASSERT_EQ(all.size(), 3u);
+    EXPECT_EQ(all[0].arch, cluster::ArchKind::McRef);
+    EXPECT_EQ(all[1].arch, cluster::ArchKind::UlpmcInt);
+    EXPECT_EQ(all[2].arch, cluster::ArchKind::UlpmcBank);
+    // The architectural ordering of IM traffic is invariant.
+    EXPECT_GT(all[0].rates.im_bank_accesses, 5 * all[1].rates.im_bank_accesses);
+    EXPECT_GE(all[1].rates.im_bank_accesses, all[2].rates.im_bank_accesses);
+}
+
+TEST(ExpHarness, VsPaperFormatting) {
+    EXPECT_EQ(vs_paper_percent(0.394, 39.5), "39.4% (paper 39.5%)");
+    EXPECT_EQ(vs_paper_count(90180, 90200.0), "90,180 (paper 90,200)");
+}
+
+TEST(ExpHarness, HeaderNamesThePaper) {
+    std::ostringstream captured;
+    auto* old = std::cout.rdbuf(captured.rdbuf());
+    print_experiment_header("T", "Figure 9");
+    std::cout.rdbuf(old);
+    EXPECT_NE(captured.str().find("Figure 9"), std::string::npos);
+    EXPECT_NE(captured.str().find("DATE 2012"), std::string::npos);
+}
+
+} // namespace
+} // namespace ulpmc::exp

@@ -1,0 +1,118 @@
+// Failure injection: corrupting state that real silicon could corrupt
+// (soft errors in instruction/data SRAM) must never be silently accepted —
+// either the core traps or the end-to-end verification catches the wrong
+// output. This test guards the verification harness itself.
+#include <gtest/gtest.h>
+
+#include "app/benchmark.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+#include "isa/disassembler.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::app {
+namespace {
+
+using cluster::ArchKind;
+
+TEST(FaultInjection, CorruptedInstructionNeverVerifiesSilently) {
+    const EcgBenchmark bench{};
+    Rng rng(515);
+    int traps_or_mismatch = 0;
+    constexpr int kTrials = 6;
+    for (int trial = 0; trial < kTrials; ++trial) {
+        // Flip one random bit in one random instruction of the image.
+        isa::Program prog = bench.program();
+        const std::size_t idx = rng.below(static_cast<std::uint32_t>(prog.text.size()));
+        prog.text[idx] ^= 1u << rng.below(24);
+
+        cluster::Cluster cl(cluster::make_config(ArchKind::UlpmcBank, bench.layout().dm_layout()),
+                            prog);
+        for (unsigned p = 0; p < kNumCores; ++p) {
+            const auto& x = bench.lead_samples(p);
+            for (std::size_t i = 0; i < x.size(); ++i)
+                cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(bench.layout().x_base() + i),
+                           static_cast<Word>(x[i]));
+        }
+        cl.run(2'000'000);
+
+        bool anomaly = false;
+        for (unsigned p = 0; p < kNumCores; ++p) {
+            if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None) anomaly = true;
+            if (!cl.core_halted(static_cast<CoreId>(p))) anomaly = true; // hang/livelock
+        }
+        if (!anomaly) {
+            // Ran to completion: outputs must differ from golden somewhere
+            // (a bit flip in a live instruction cannot be a no-op for this
+            // program — every instruction contributes), so compare.
+            bool any_diff = false;
+            for (unsigned p = 0; p < kNumCores && !any_diff; ++p) {
+                const auto& golden = bench.golden_bitstream(p).words;
+                const Word n = cl.dm_peek(static_cast<CoreId>(p), bench.layout().out_count());
+                if (n != golden.size()) {
+                    any_diff = true;
+                    break;
+                }
+                for (Word i = 0; i < n; ++i) {
+                    if (cl.dm_peek(static_cast<CoreId>(p),
+                                   static_cast<Addr>(bench.layout().out_base() + i)) !=
+                        golden[i]) {
+                        any_diff = true;
+                        break;
+                    }
+                }
+            }
+            anomaly = any_diff;
+        }
+        traps_or_mismatch += anomaly;
+    }
+    // Nearly every injected fault must be observable; one silent survivor
+    // is tolerated because the kernel contains one architecturally dead
+    // store (the compiler-style acc write-through) whose addressing bits
+    // a flip can change without affecting any output.
+    EXPECT_GE(traps_or_mismatch, kTrials - 1);
+}
+
+TEST(FaultInjection, CorruptedSharedMatrixIsCaughtByVerification) {
+    const EcgBenchmark bench{};
+    isa::Program prog = bench.program();
+    prog.data[1234] ^= 0x0100; // one bit of the CS matrix
+    cluster::Cluster cl(cluster::make_config(ArchKind::UlpmcInt, bench.layout().dm_layout()),
+                        prog);
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        const auto& x = bench.lead_samples(p);
+        for (std::size_t i = 0; i < x.size(); ++i)
+            cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(bench.layout().x_base() + i),
+                       static_cast<Word>(x[i]));
+    }
+    cl.run();
+    bool diff = false;
+    for (unsigned p = 0; p < kNumCores && !diff; ++p) {
+        for (std::size_t i = 0; i < kCsOutputLen; ++i) {
+            if (cl.dm_peek(static_cast<CoreId>(p), static_cast<Addr>(bench.layout().y_base() + i)) !=
+                bench.golden_measurements(p)[i]) {
+                diff = true;
+                break;
+            }
+        }
+    }
+    EXPECT_TRUE(diff);
+}
+
+TEST(FaultInjection, WholeProgramDisassemblyReassemblesIdentically) {
+    // Toolchain stress: disassemble the full benchmark image and push it
+    // back through the text assembler — every word must survive.
+    const EcgBenchmark bench{};
+    std::string source;
+    for (std::size_t pc = 0; pc < bench.program().text.size(); ++pc) {
+        const auto in = isa::decode(bench.program().text[pc]);
+        ASSERT_TRUE(in.has_value());
+        source += isa::disassemble(*in, static_cast<PAddr>(pc));
+        source += '\n';
+    }
+    const isa::Program back = isa::assemble(source);
+    EXPECT_EQ(back.text, bench.program().text);
+}
+
+} // namespace
+} // namespace ulpmc::app

@@ -1,0 +1,143 @@
+// Regression-pins the paper's headline claims (EXPERIMENTS.md): if a
+// refactor of the simulator or the power model breaks any reproduced
+// number beyond its documented tolerance, these tests fail.
+//
+// One benchmark instance is shared across all tests (it is the expensive
+// part); tolerances mirror the "paper vs measured" gaps recorded in
+// EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "exp/experiments.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::exp {
+namespace {
+
+using cluster::ArchKind;
+
+class PaperClaims : public ::testing::Test {
+protected:
+    static void SetUpTestSuite() {
+        bench_ = new app::EcgBenchmark{};
+        designs_ = new std::vector<DesignPoint>(characterize_all(*bench_));
+    }
+    static void TearDownTestSuite() {
+        delete designs_;
+        delete bench_;
+        designs_ = nullptr;
+        bench_ = nullptr;
+    }
+
+    static const DesignPoint& ref() { return (*designs_)[0]; }
+    static const DesignPoint& ulpint() { return (*designs_)[1]; }
+    static const DesignPoint& ulpbank() { return (*designs_)[2]; }
+
+    static app::EcgBenchmark* bench_;
+    static std::vector<DesignPoint>* designs_;
+};
+
+app::EcgBenchmark* PaperClaims::bench_ = nullptr;
+std::vector<DesignPoint>* PaperClaims::designs_ = nullptr;
+
+TEST_F(PaperClaims, CycleCountRatios) {
+    // §IV-C2: ulpmc-int ~= mc-ref; ulpmc-bank ~+4% (paper 94.0k/90.2k).
+    const double c_ref = static_cast<double>(ref().outcome.stats.cycles);
+    const double c_int = static_cast<double>(ulpint().outcome.stats.cycles);
+    const double c_bank = static_cast<double>(ulpbank().outcome.stats.cycles);
+    EXPECT_NEAR(c_int / c_ref, 1.0, 0.02);
+    EXPECT_GT(c_bank / c_ref, 1.01); // banked IM serializes after desync
+    EXPECT_LT(c_bank / c_ref, 1.08);
+}
+
+TEST_F(PaperClaims, InstructionMemoryAccessReduction) {
+    // mc-ref reads every instruction from all 8 dedicated banks; the
+    // proposed designs broadcast: ~87% fewer accesses (720,800 -> 90,220).
+    const auto& s_ref = ref().outcome.stats;
+    const auto& s_int = ulpint().outcome.stats;
+    std::uint64_t fetches = 0;
+    for (const auto& c : s_ref.core) fetches += c.im_fetches;
+    EXPECT_EQ(s_ref.im_bank_accesses, fetches); // one stream per core
+    const double reduction =
+        1.0 - static_cast<double>(s_int.im_bank_accesses) / static_cast<double>(s_ref.im_bank_accesses);
+    EXPECT_NEAR(reduction, 0.87, 0.03);
+}
+
+TEST_F(PaperClaims, TableTwoActivePowerSavings) {
+    // Table II: ulpmc-int 29.7%, ulpmc-bank 40.6% dynamic savings.
+    const double w = 8e6;
+    const power::PowerModel mref(ArchKind::McRef);
+    const power::PowerModel mint(ArchKind::UlpmcInt);
+    const power::PowerModel mbank(ArchKind::UlpmcBank);
+    const double pr = mref.dynamic_power(ref().rates, w, power::cal::kVnom).total();
+    const double pi = mint.dynamic_power(ulpint().rates, w, power::cal::kVnom).total();
+    const double pb = mbank.dynamic_power(ulpbank().rates, w, power::cal::kVnom).total();
+    EXPECT_NEAR(1.0 - pi / pr, 0.297, 0.03);
+    EXPECT_NEAR(1.0 - pb / pr, 0.406, 0.03);
+}
+
+TEST_F(PaperClaims, FigThreePowerDistribution) {
+    const power::PowerModel m(ArchKind::McRef);
+    const auto p = m.dynamic_power(ref().rates, 8e6, power::cal::kVnom);
+    EXPECT_NEAR(p.im / p.total(), 0.54, 0.02);
+    EXPECT_NEAR(p.cores / p.total(), 0.27, 0.02);
+    EXPECT_NEAR(p.dm / p.total(), 0.11, 0.02);
+}
+
+TEST_F(PaperClaims, FigSevenHighWorkloadSavings) {
+    // 39.5% (bank) / 29.6% (int) at the highest common workload.
+    const power::PowerModel mref(ArchKind::McRef);
+    const power::PowerModel mint(ArchKind::UlpmcInt);
+    const power::PowerModel mbank(ArchKind::UlpmcBank);
+    const double w = std::min({mref.max_throughput(ref().rates),
+                               mint.max_throughput(ulpint().rates),
+                               mbank.max_throughput(ulpbank().rates)});
+    const double pr = mref.power_at(ref().rates, w).total;
+    EXPECT_NEAR(1.0 - mbank.power_at(ulpbank().rates, w).total / pr, 0.395, 0.025);
+    EXPECT_NEAR(1.0 - mint.power_at(ulpint().rates, w).total / pr, 0.296, 0.025);
+}
+
+TEST_F(PaperClaims, FigSevenLowWorkloadSavings) {
+    // At 5 kOps/s the cluster almost only leaks: bank keeps 38.8%,
+    // int degenerates to ~mc-ref.
+    const power::PowerModel mref(ArchKind::McRef);
+    const power::PowerModel mint(ArchKind::UlpmcInt);
+    const power::PowerModel mbank(ArchKind::UlpmcBank);
+    const double pr = mref.power_at(ref().rates, 5e3).total;
+    EXPECT_NEAR(1.0 - mbank.power_at(ulpbank().rates, 5e3).total / pr, 0.388, 0.03);
+    EXPECT_NEAR(1.0 - mint.power_at(ulpint().rates, 5e3).total / pr, 0.0, 0.05);
+}
+
+TEST_F(PaperClaims, MaxThroughputsMatchPaper) {
+    // 664.5 / 662.3 / 636.9 MOps/s at nominal voltage.
+    const power::PowerModel m12ref(ArchKind::McRef);
+    const power::PowerModel m12int(ArchKind::UlpmcInt);
+    const power::PowerModel m12bank(ArchKind::UlpmcBank);
+    EXPECT_NEAR(m12ref.max_throughput(ref().rates) / 1e6, 664.5, 8.0);
+    EXPECT_NEAR(m12int.max_throughput(ulpint().rates) / 1e6, 662.3, 8.0);
+    EXPECT_NEAR(m12bank.max_throughput(ulpbank().rates) / 1e6, 636.9, 8.0);
+}
+
+TEST_F(PaperClaims, FloorThroughputAroundTenMops) {
+    const power::PowerModel m(ArchKind::McRef);
+    const double floor = m.vf().f_max(power::cal::kVmin) * ref().rates.ops_per_cycle;
+    EXPECT_NEAR(floor / 1e6, 10.0, 0.5);
+}
+
+TEST_F(PaperClaims, SharedAccessMixMatchesProfiling) {
+    // §III-D: "76% private versus 24% shared" DM accesses. Our kernel
+    // measures ~80/20 (documented in EXPERIMENTS.md).
+    const auto& s = ref().outcome.stats;
+    // Shared accesses = broadcastable matrix reads: approximate via the
+    // known per-lead counts: 6144 shared reads of 6144+N total.
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    for (const auto& c : s.core) {
+        loads += c.dm_loads;
+        stores += c.dm_stores;
+    }
+    const double shared_fraction = 8.0 * 6144.0 / static_cast<double>(loads + stores);
+    EXPECT_NEAR(shared_fraction, 0.24, 0.06);
+}
+
+} // namespace
+} // namespace ulpmc::exp

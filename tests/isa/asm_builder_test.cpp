@@ -1,0 +1,112 @@
+#include "isa/asm_builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+TEST(AsmBuilder, ForwardBranchFixup) {
+    AsmBuilder b;
+    b.bra(Cond::AL, "end");
+    b.nop();
+    b.label("end");
+    b.hlt();
+    const Program p = b.finish();
+    const auto in = decode(p.text[0]);
+    ASSERT_TRUE(in);
+    EXPECT_EQ(in->target, 2);
+}
+
+TEST(AsmBuilder, BackwardBranchFixup) {
+    AsmBuilder b;
+    b.label("top");
+    b.nop();
+    b.bra(Cond::NE, "top");
+    const Program p = b.finish();
+    const auto in = decode(p.text[1]);
+    ASSERT_TRUE(in);
+    EXPECT_EQ(in->target, -1);
+}
+
+TEST(AsmBuilder, MoviDataFixup) {
+    AsmBuilder b;
+    b.movi_data(3, "tbl");
+    b.hlt();
+    b.space(10);
+    b.data_label("tbl");
+    b.word(42);
+    const Program p = b.finish();
+    const auto in = decode(p.text[0]);
+    ASSERT_TRUE(in);
+    EXPECT_EQ(in->imm16, 10);
+    EXPECT_EQ(p.data.at(10), 42);
+}
+
+TEST(AsmBuilder, MoviTextFixup) {
+    AsmBuilder b;
+    b.movi_text(2, "fn");
+    b.hlt();
+    b.label("fn");
+    b.ret(2);
+    const Program p = b.finish();
+    const auto in = decode(p.text[0]);
+    ASSERT_TRUE(in);
+    EXPECT_EQ(in->imm16, 2);
+}
+
+TEST(AsmBuilder, JalFixupIsAbsolute) {
+    AsmBuilder b;
+    b.jal(14, "fn");
+    b.hlt();
+    b.label("fn");
+    b.ret(14);
+    const Program p = b.finish();
+    const auto in = decode(p.text[0]);
+    ASSERT_TRUE(in);
+    EXPECT_EQ(in->bmode, BraMode::Abs);
+    EXPECT_EQ(in->target, 2);
+}
+
+TEST(AsmBuilder, UndefinedLabelFailsAtFinish) {
+    AsmBuilder b;
+    b.bra(Cond::AL, "nowhere");
+    EXPECT_THROW(b.finish(), contract_violation);
+}
+
+TEST(AsmBuilder, DuplicateLabelRejected) {
+    AsmBuilder b;
+    b.label("x");
+    b.nop();
+    EXPECT_THROW(b.label("x"), contract_violation);
+}
+
+TEST(AsmBuilder, WrongSymbolSpaceRejected) {
+    AsmBuilder b;
+    b.movi_data(1, "code"); // "code" is a TEXT label
+    b.label("code");
+    b.hlt();
+    EXPECT_THROW(b.finish(), contract_violation);
+}
+
+TEST(AsmBuilder, AlignAndSpace) {
+    AsmBuilder b;
+    b.word(1);
+    b.align_data(4);
+    EXPECT_EQ(b.data_here(), 4);
+    b.space(3);
+    EXPECT_EQ(b.data_here(), 7);
+}
+
+TEST(AsmBuilder, HereTracksText) {
+    AsmBuilder b;
+    EXPECT_EQ(b.here(), 0);
+    b.nop();
+    b.nop();
+    EXPECT_EQ(b.here(), 2);
+}
+
+} // namespace
+} // namespace ulpmc::isa

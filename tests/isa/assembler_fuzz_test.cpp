@@ -1,0 +1,87 @@
+// Assembler robustness fuzzing: arbitrary byte soup must either assemble
+// (if it happens to be valid) or raise AssemblyError with a line number —
+// never crash, hang, or corrupt state. Runs a deterministic corpus of
+// random printable garbage, structured near-miss programs, and torture
+// whitespace/comment cases.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+TEST(AssemblerFuzz, RandomPrintableGarbageNeverCrashes) {
+    Rng rng(2718);
+    const char alphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789 ,.@#+-:;\n\trx()=";
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string src;
+        const unsigned len = rng.below(200);
+        for (unsigned i = 0; i < len; ++i)
+            src.push_back(alphabet[rng.below(sizeof(alphabet) - 1)]);
+        try {
+            const Program p = assemble(src);
+            // If it assembled, the output must be structurally sane.
+            EXPECT_LE(p.entry, p.text.size());
+        } catch (const AssemblyError& e) {
+            EXPECT_GE(e.line(), 1u);
+        }
+        // Anything else escaping is a bug (caught by the test framework).
+    }
+}
+
+TEST(AssemblerFuzz, NearMissPrograms) {
+    Rng rng(3141);
+    const char* fragments[] = {
+        "add", "r1", "r16", "#5", "#16", "@r2", "@r2+", "@+r2", "@r2+99", "movi", "bra",
+        "ne", "loop", "loop:", ".data", ".text", ".word", ".space", "0x", "0xFFFF", "-1",
+        "hlt", "jal", "r14", ",", ",,", ";x", "mov", "=5", "@", "mull",
+    };
+    for (int iter = 0; iter < 500; ++iter) {
+        std::string src;
+        const unsigned parts = 2 + rng.below(12);
+        for (unsigned i = 0; i < parts; ++i) {
+            src += fragments[rng.below(std::size(fragments))];
+            src += rng.below(4) == 0 ? "\n" : " ";
+        }
+        try {
+            (void)assemble(src);
+        } catch (const AssemblyError&) {
+            // expected for most inputs
+        }
+    }
+}
+
+TEST(AssemblerFuzz, WhitespaceAndCommentTorture) {
+    const Program p = assemble("\t\t  add\tr1 ,   r2,r3   ; trailing ;; comment\n"
+                               "\n\n;\n;;;\n"
+                               "   x:\ty:  hlt\n");
+    EXPECT_EQ(p.text.size(), 2u);
+    EXPECT_EQ(p.text_addr("x"), 1u);
+    EXPECT_EQ(p.text_addr("y"), 1u);
+}
+
+TEST(AssemblerFuzz, HugeNumbersRejectedNotWrapped) {
+    EXPECT_THROW(assemble("movi r1, 99999999999999999"), AssemblyError);
+    EXPECT_THROW(assemble("bra al, =99999999"), AssemblyError);
+}
+
+TEST(AssemblerFuzz, EmptyOperandsRejected) {
+    EXPECT_THROW(assemble("add r1,, r2"), AssemblyError);
+    EXPECT_THROW(assemble("mov , r2"), AssemblyError);
+    EXPECT_THROW(assemble("movi r1,"), AssemblyError);
+}
+
+TEST(AssemblerFuzz, DeeplyNestedLabelsChains) {
+    std::string src;
+    for (int i = 0; i < 100; ++i) src += "l" + std::to_string(i) + ":";
+    src += " hlt\n";
+    const Program p = assemble(src);
+    EXPECT_EQ(p.symbols().size(), 100u);
+    EXPECT_EQ(p.text.size(), 1u);
+}
+
+} // namespace
+} // namespace ulpmc::isa

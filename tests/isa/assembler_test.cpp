@@ -1,0 +1,223 @@
+#include "isa/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/encoding.hpp"
+#include "isa/instruction.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+Instruction first_instr(const Program& p, std::size_t i = 0) {
+    const auto in = decode(p.text.at(i));
+    EXPECT_TRUE(in.has_value());
+    return *in;
+}
+
+TEST(Assembler, EmptySourceGivesEmptyProgram) {
+    const Program p = assemble("; nothing here\n\n   \n");
+    EXPECT_TRUE(p.text.empty());
+    EXPECT_TRUE(p.data.empty());
+}
+
+TEST(Assembler, AluThreeOperands) {
+    const Program p = assemble("add r1, r2, r3");
+    EXPECT_EQ(first_instr(p), make_alu(Opcode::ADD, dreg(1), sreg(2), sreg(3)));
+}
+
+TEST(Assembler, AllAluMnemonics) {
+    const Program p = assemble(R"(
+        add r1, r2, r3
+        sub r1, r2, r3
+        sft r1, r2, r3
+        and r1, r2, r3
+        or  r1, r2, r3
+        xor r1, r2, r3
+        mull r1, r2, r3
+        mulh r1, r2, r3
+    )");
+    ASSERT_EQ(p.text.size(), 8u);
+    for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(static_cast<Opcode>(i), first_instr(p, i).op);
+}
+
+TEST(Assembler, AddressingModes) {
+    const Program p = assemble(R"(
+        add r1, @r2, r3
+        add r1, @r2+, r3
+        add r1, @r2-, r3
+        add r1, @+r2, r3
+        add r1, @-r2, r3
+        add r1, #7, r3
+        add @r1, r2, r3
+        add @r1+, r2, r3
+    )");
+    EXPECT_EQ(first_instr(p, 0).srca.mode, SrcMode::Ind);
+    EXPECT_EQ(first_instr(p, 1).srca.mode, SrcMode::IndPostInc);
+    EXPECT_EQ(first_instr(p, 2).srca.mode, SrcMode::IndPostDec);
+    EXPECT_EQ(first_instr(p, 3).srca.mode, SrcMode::IndPreInc);
+    EXPECT_EQ(first_instr(p, 4).srca.mode, SrcMode::IndPreDec);
+    EXPECT_EQ(first_instr(p, 5).srca.mode, SrcMode::Imm4);
+    EXPECT_EQ(first_instr(p, 5).srca.reg, 7);
+    EXPECT_EQ(first_instr(p, 6).dst.mode, DstMode::Ind);
+    EXPECT_EQ(first_instr(p, 7).dst.mode, DstMode::IndPostInc);
+}
+
+TEST(Assembler, MovWithOffsets) {
+    const Program p = assemble(R"(
+        mov r1, @r2+5
+        mov r1, @r2-5
+        mov @r3+1, r4
+    )");
+    EXPECT_EQ(first_instr(p, 0).srca.mode, SrcMode::IndOff);
+    EXPECT_EQ(first_instr(p, 0).moff, 5);
+    EXPECT_EQ(first_instr(p, 1).moff, -5);
+    EXPECT_EQ(first_instr(p, 2).dst.mode, DstMode::IndOff);
+    EXPECT_EQ(first_instr(p, 2).moff, 1);
+}
+
+TEST(Assembler, OffsetOutsideMovFails) {
+    EXPECT_THROW(assemble("add r1, @r2+5, r3"), AssemblyError);
+}
+
+TEST(Assembler, MoviNumberFormats) {
+    const Program p = assemble(R"(
+        movi r1, 1234
+        movi r2, 0xBEEF
+        movi r3, 0b1010
+        movi r4, -1
+    )");
+    EXPECT_EQ(first_instr(p, 0).imm16, 1234);
+    EXPECT_EQ(first_instr(p, 1).imm16, 0xBEEF);
+    EXPECT_EQ(first_instr(p, 2).imm16, 10);
+    EXPECT_EQ(first_instr(p, 3).imm16, 0xFFFF);
+}
+
+TEST(Assembler, BranchesAndConditions) {
+    const Program p = assemble(R"(
+    top:  nop
+          bra ne, top
+          bra top
+          bra lt, @r5
+          bra al, =100
+    )");
+    EXPECT_EQ(first_instr(p, 1).cond, Cond::NE);
+    EXPECT_EQ(first_instr(p, 1).target, -1);
+    EXPECT_EQ(first_instr(p, 2).cond, Cond::AL);
+    EXPECT_EQ(first_instr(p, 2).target, -2);
+    EXPECT_EQ(first_instr(p, 3).bmode, BraMode::RegInd);
+    EXPECT_EQ(first_instr(p, 3).treg, 5);
+    EXPECT_EQ(first_instr(p, 4).bmode, BraMode::Abs);
+    EXPECT_EQ(first_instr(p, 4).target, 100);
+}
+
+TEST(Assembler, ForwardReferences) {
+    const Program p = assemble(R"(
+          bra al, fwd
+          nop
+    fwd:  hlt
+    )");
+    EXPECT_EQ(first_instr(p, 0).target, 2);
+}
+
+TEST(Assembler, JalAndRet) {
+    const Program p = assemble(R"(
+          jal r14, func
+          hlt
+    func: ret r14
+    )");
+    EXPECT_EQ(first_instr(p, 0).op, Opcode::JAL);
+    EXPECT_EQ(first_instr(p, 0).link, 14);
+    EXPECT_EQ(first_instr(p, 0).bmode, BraMode::Abs);
+    EXPECT_EQ(first_instr(p, 0).target, 2);
+    EXPECT_EQ(first_instr(p, 2).bmode, BraMode::RegInd);
+    EXPECT_EQ(first_instr(p, 2).treg, 14);
+}
+
+TEST(Assembler, DataSectionAndSymbols) {
+    const Program p = assemble(R"(
+            movi r1, buf
+            hlt
+            .data
+            .word 1, 2, 3
+    buf:    .word 0xAAAA
+            .space 4
+            .align 8
+    tail:   .word 7
+    )");
+    EXPECT_EQ(p.data_addr("buf"), 3);
+    EXPECT_EQ(p.data.at(3), 0xAAAA);
+    EXPECT_EQ(p.data_addr("tail"), 8); // aligned up
+    EXPECT_EQ(first_instr(p, 0).imm16, 3);
+}
+
+TEST(Assembler, EquConstants) {
+    const Program p = assemble(R"(
+            .equ BASE, 0x100
+            .equ COUNT, 12
+            movi r1, BASE
+            add  r2, r2, #3
+            movi r3, COUNT
+    )");
+    EXPECT_EQ(first_instr(p, 0).imm16, 0x100);
+    EXPECT_EQ(first_instr(p, 2).imm16, 12);
+}
+
+TEST(Assembler, EntryDirective) {
+    const Program p = assemble(R"(
+            .entry main
+            nop
+    main:   hlt
+    )");
+    EXPECT_EQ(p.entry, 1);
+}
+
+TEST(Assembler, HltNopEncodings) {
+    const Program p = assemble("hlt\nnop\n");
+    EXPECT_EQ(first_instr(p, 0), make_hlt());
+    EXPECT_EQ(first_instr(p, 1), make_nop());
+}
+
+struct BadSource {
+    const char* src;
+    const char* why;
+};
+
+class AssemblerErrors : public ::testing::TestWithParam<BadSource> {};
+
+TEST_P(AssemblerErrors, Rejects) {
+    EXPECT_THROW(assemble(GetParam().src), AssemblyError) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BadSources, AssemblerErrors,
+    ::testing::Values(
+        BadSource{"frobnicate r1, r2", "unknown mnemonic"},
+        BadSource{"add r1, r2", "arity"},
+        BadSource{"add r16, r2, r3", "register range"},
+        BadSource{"add r1, #16, r2", "imm4 range"},
+        BadSource{"add r1, @r2, @r3", "two memory sources"},
+        BadSource{"mov r1, @r2+100", "offset range"},
+        BadSource{"bra xx, somewhere", "unknown condition"},
+        BadSource{"bra al, nowhere", "undefined label"},
+        BadSource{"movi r1", "movi arity"},
+        BadSource{".word 1", ".word in text section"},
+        BadSource{".data\n.word", ".word without values"},
+        BadSource{".space 2", ".space in text section"},
+        BadSource{".frob 1", "unknown directive"},
+        BadSource{"x: nop\nx: nop", "duplicate label"},
+        BadSource{".equ a, 1\n.equ a, 2", "duplicate equ"},
+        BadSource{".entry nowhere\nnop", "undefined entry"},
+        BadSource{"add @r1-, r2, r3", "postdec store dest unsupported"},
+        BadSource{"9bad: nop", "invalid label"}));
+
+TEST(Assembler, ErrorCarriesLineNumber) {
+    try {
+        assemble("nop\nnop\nbogus r1\n");
+        FAIL();
+    } catch (const AssemblyError& e) {
+        EXPECT_EQ(e.line(), 3u);
+    }
+}
+
+} // namespace
+} // namespace ulpmc::isa

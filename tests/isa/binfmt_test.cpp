@@ -1,0 +1,106 @@
+#include "isa/binfmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+Program sample_program() {
+    return assemble(R"(
+        .entry main
+        nop
+    main:
+        movi r1, tbl
+        mov  r2, @r1+
+        hlt
+        .data
+        .word 1
+    tbl:  .word 0xBEEF, 0xCAFE
+    )");
+}
+
+TEST(BinFmt, RoundTripPreservesEverything) {
+    const Program p = sample_program();
+    const auto bytes = save_program(p);
+    const auto back = load_program(bytes);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->text, p.text);
+    EXPECT_EQ(back->data, p.data);
+    EXPECT_EQ(back->entry, p.entry);
+    EXPECT_EQ(back->symbols().size(), p.symbols().size());
+    EXPECT_EQ(back->data_addr("tbl"), p.data_addr("tbl"));
+    EXPECT_EQ(back->text_addr("main"), p.text_addr("main"));
+}
+
+TEST(BinFmt, RoundTripOfEmptyProgram) {
+    Program p;
+    p.text.push_back(0x800000u); // hlt
+    const auto back = load_program(save_program(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->text, p.text);
+    EXPECT_TRUE(back->data.empty());
+}
+
+TEST(BinFmt, DetectsBadMagic) {
+    auto bytes = save_program(sample_program());
+    bytes[0] = 'X';
+    std::string err;
+    EXPECT_FALSE(load_program(bytes, err).has_value());
+    EXPECT_EQ(err, "bad magic");
+}
+
+TEST(BinFmt, DetectsCorruptionAnywhere) {
+    const auto pristine = save_program(sample_program());
+    // Flip one bit in several positions: CRC must catch each.
+    for (const std::size_t pos : {std::size_t{8}, std::size_t{15}, std::size_t{20},
+                                  pristine.size() / 2, pristine.size() - 6}) {
+        auto bytes = pristine;
+        bytes[pos] ^= 0x40;
+        std::string err;
+        EXPECT_FALSE(load_program(bytes, err).has_value()) << "pos " << pos;
+    }
+}
+
+TEST(BinFmt, DetectsTruncation) {
+    const auto pristine = save_program(sample_program());
+    for (std::size_t keep = 0; keep < pristine.size(); keep += 7) {
+        const std::vector<std::uint8_t> cut(pristine.begin(),
+                                            pristine.begin() + static_cast<std::ptrdiff_t>(keep));
+        EXPECT_FALSE(load_program(cut).has_value()) << "kept " << keep;
+    }
+}
+
+TEST(BinFmt, DetectsBadVersion) {
+    auto bytes = save_program(sample_program());
+    bytes[4] ^= 0xFF; // version low byte
+    std::string err;
+    EXPECT_FALSE(load_program(bytes, err).has_value());
+}
+
+TEST(BinFmt, Crc32KnownVector) {
+    // The classic test vector: CRC-32("123456789") = 0xCBF43926.
+    const char* s = "123456789";
+    EXPECT_EQ(crc32(reinterpret_cast<const std::uint8_t*>(s), 9), 0xCBF43926u);
+    EXPECT_EQ(crc32(nullptr, 0), 0u);
+}
+
+TEST(BinFmt, TextWordsAre24Bit) {
+    const auto bytes = save_program(sample_program());
+    const auto back = load_program(bytes);
+    ASSERT_TRUE(back.has_value());
+    for (const InstrWord w : back->text) EXPECT_EQ(w & ~kInstrWordMask, 0u);
+}
+
+TEST(BinFmt, LoadedImageExecutesIdentically) {
+    const Program p = sample_program();
+    const auto back = load_program(save_program(p));
+    ASSERT_TRUE(back.has_value());
+    // (Decoding is covered elsewhere; here: the images are bytewise equal,
+    // so a second save must reproduce the same bytes.)
+    EXPECT_EQ(save_program(*back), save_program(p));
+}
+
+} // namespace
+} // namespace ulpmc::isa

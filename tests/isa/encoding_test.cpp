@@ -1,0 +1,161 @@
+#include "isa/encoding.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+/// Draws a random VALID instruction (used for round-trip property tests).
+Instruction random_instruction(Rng& rng) {
+    while (true) {
+        Instruction in;
+        in.op = static_cast<Opcode>(rng.below(12));
+        switch (in.op) {
+        case Opcode::MOVI:
+            in.dst = dreg(rng.below(16));
+            in.imm16 = static_cast<Word>(rng.next_u32());
+            break;
+        case Opcode::BRA:
+        case Opcode::JAL: {
+            // Only populate fields the opcode actually encodes: unused
+            // fields stay value-initialized, as decode() leaves them.
+            if (in.op == Opcode::BRA) {
+                in.cond = static_cast<Cond>(rng.below(16));
+            } else {
+                in.link = static_cast<std::uint8_t>(rng.below(16));
+            }
+            in.bmode = static_cast<BraMode>(rng.below(3));
+            if (in.bmode == BraMode::RegInd) {
+                in.treg = static_cast<std::uint8_t>(rng.below(16));
+            } else if (in.bmode == BraMode::Rel) {
+                in.target = rng.range(-8192, 8191);
+            } else {
+                in.target = rng.range(0, 16383);
+            }
+            break;
+        }
+        case Opcode::MOV: {
+            in.dst.mode = static_cast<DstMode>(rng.below(4));
+            in.dst.reg = static_cast<std::uint8_t>(rng.below(16));
+            in.srca.mode = static_cast<SrcMode>(rng.below(8));
+            in.srca.reg = static_cast<std::uint8_t>(rng.below(16));
+            const bool off = in.dst.mode == DstMode::IndOff || in.srca.mode == SrcMode::IndOff;
+            in.moff = off ? static_cast<std::int8_t>(rng.range(-64, 63)) : 0;
+            break;
+        }
+        default: // ALU
+            in.dst.mode = static_cast<DstMode>(rng.below(3)); // no IndOff
+            in.dst.reg = static_cast<std::uint8_t>(rng.below(16));
+            in.srca.mode = static_cast<SrcMode>(rng.below(7)); // no IndOff
+            in.srca.reg = static_cast<std::uint8_t>(rng.below(16));
+            in.srcb.mode = static_cast<SrcMode>(rng.below(7));
+            in.srcb.reg = static_cast<std::uint8_t>(rng.below(16));
+            break;
+        }
+        if (!validate(in)) return in;
+    }
+}
+
+TEST(Encoding, EncodesInto24Bits) {
+    Rng rng(1);
+    for (int i = 0; i < 5000; ++i) {
+        const InstrWord w = encode(random_instruction(rng));
+        EXPECT_EQ(w & ~kInstrWordMask, 0u);
+    }
+}
+
+TEST(Encoding, RoundTripProperty) {
+    Rng rng(2);
+    for (int i = 0; i < 20000; ++i) {
+        const Instruction in = random_instruction(rng);
+        const auto back = decode(encode(in));
+        ASSERT_TRUE(back.has_value());
+        EXPECT_EQ(*back, in) << "iteration " << i;
+    }
+}
+
+TEST(Encoding, OpcodeFieldPosition) {
+    // The paper stresses fixed field positions; the opcode is [23:20].
+    EXPECT_EQ(encode(make_movi(0, 0)) >> 20, static_cast<InstrWord>(Opcode::MOVI));
+    EXPECT_EQ(encode(make_hlt()) >> 20, static_cast<InstrWord>(Opcode::BRA));
+    EXPECT_EQ(encode(make_alu(Opcode::XOR, dreg(0), sreg(0), sreg(0))) >> 20,
+              static_cast<InstrWord>(Opcode::XOR));
+}
+
+TEST(Encoding, MoviFieldLayout) {
+    const InstrWord w = encode(make_movi(0xA, 0xBEEF));
+    EXPECT_EQ(w, (static_cast<InstrWord>(Opcode::MOVI) << 20) | (0xAu << 16) | 0xBEEFu);
+}
+
+TEST(Encoding, RejectsReservedOpcodes) {
+    for (std::uint32_t op = 12; op < 16; ++op) {
+        std::string err;
+        EXPECT_FALSE(decode(op << 20, err).has_value());
+        EXPECT_NE(err.find("reserved opcode"), std::string::npos);
+    }
+}
+
+TEST(Encoding, RejectsOver24BitWords) {
+    std::string err;
+    EXPECT_FALSE(decode(0x01000000u, err).has_value());
+}
+
+TEST(Encoding, RejectsReservedBranchMode) {
+    // BRA with bmode field == 3.
+    const InstrWord w = (static_cast<InstrWord>(Opcode::BRA) << 20) | (3u << 14);
+    std::string err;
+    EXPECT_FALSE(decode(w, err).has_value());
+    EXPECT_NE(err.find("branch mode"), std::string::npos);
+}
+
+TEST(Encoding, RejectsIllegalOperandCombos) {
+    // Two memory sources violate the port budget and must not decode.
+    InstrWord w = static_cast<InstrWord>(Opcode::ADD) << 20;
+    // srcA mode = Ind (1), srcB mode = Ind (1)
+    w |= 1u << 11;
+    w |= 1u << 4;
+    EXPECT_FALSE(decode(w).has_value());
+}
+
+TEST(Encoding, NegativeBranchOffsetsSurvive) {
+    const auto in = make_bra(Cond::LT, BraMode::Rel, -1);
+    const auto back = decode(encode(in));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->target, -1);
+}
+
+TEST(Encoding, NegativeMovOffsetsSurvive) {
+    const auto in = make_mov(dreg(3), soff(4), -64);
+    const auto back = decode(encode(in));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->moff, -64);
+}
+
+TEST(Encoding, EncodeInvalidInstructionIsContractViolation) {
+    Instruction in;
+    in.op = Opcode::ADD;
+    in.srca = sind(1);
+    in.srcb = sind(2); // two memory sources
+    EXPECT_THROW(encode(in), contract_violation);
+}
+
+/// Exhaustive sweep: every 24-bit word either fails to decode or
+/// round-trips through encode() to the identical word. This pins the
+/// encoding bijection on its entire domain (16.7M words).
+TEST(Encoding, ExhaustiveDecodeEncodeConsistency) {
+    std::uint64_t legal = 0;
+    for (InstrWord w = 0; w <= kInstrWordMask; ++w) {
+        const auto in = decode(w);
+        if (!in) continue;
+        ++legal;
+        ASSERT_EQ(encode(*in), w) << "word 0x" << std::hex << w;
+    }
+    // Sanity: a healthy fraction of the space decodes.
+    EXPECT_GT(legal, 1'000'000u);
+}
+
+} // namespace
+} // namespace ulpmc::isa

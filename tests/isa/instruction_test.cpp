@@ -1,0 +1,143 @@
+#include "isa/instruction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+TEST(InstructionValidate, AcceptsSimpleAlu) {
+    const auto in = make_alu(Opcode::ADD, dreg(1), sreg(2), sreg(3));
+    EXPECT_FALSE(validate(in).has_value());
+}
+
+TEST(InstructionValidate, RejectsTwoMemorySources) {
+    Instruction in;
+    in.op = Opcode::ADD;
+    in.dst = dreg(1);
+    in.srca = sind(2);
+    in.srcb = spostinc(3);
+    const auto err = validate(in);
+    ASSERT_TRUE(err.has_value());
+    EXPECT_NE(err->find("data-read port"), std::string::npos);
+}
+
+TEST(InstructionValidate, AllowsOneMemorySourcePlusMemoryDest) {
+    // One read + one write: within the 3-port budget.
+    const auto in = make_alu(Opcode::ADD, dpostinc(1), spostinc(2), sreg(3));
+    EXPECT_FALSE(validate(in).has_value());
+    EXPECT_EQ(data_reads(in), 1u);
+    EXPECT_EQ(data_writes(in), 1u);
+}
+
+TEST(InstructionValidate, RejectsOffsetModeOutsideMov) {
+    Instruction in;
+    in.op = Opcode::ADD;
+    in.dst = dreg(1);
+    in.srca = soff(2);
+    in.srcb = sreg(3);
+    EXPECT_TRUE(validate(in).has_value());
+
+    Instruction st;
+    st.op = Opcode::XOR;
+    st.dst = {DstMode::IndOff, 1};
+    st.srca = sreg(2);
+    st.srcb = sreg(3);
+    EXPECT_TRUE(validate(st).has_value());
+}
+
+TEST(InstructionValidate, MovAllowsOffsetOnExactlyOneOperand) {
+    EXPECT_FALSE(validate(make_mov(dreg(1), soff(2), 5)).has_value());
+    EXPECT_FALSE(validate(make_mov(doff(1), sreg(2), -3)).has_value());
+
+    Instruction both;
+    both.op = Opcode::MOV;
+    both.dst = {DstMode::IndOff, 1};
+    both.srca = soff(2);
+    both.moff = 1;
+    EXPECT_TRUE(validate(both).has_value());
+}
+
+TEST(InstructionValidate, MovOffsetRange) {
+    Instruction in;
+    in.op = Opcode::MOV;
+    in.dst = dreg(1);
+    in.srca = soff(2);
+    in.moff = 63;
+    EXPECT_FALSE(validate(in).has_value());
+    in.moff = -64;
+    EXPECT_FALSE(validate(in).has_value());
+}
+
+TEST(InstructionValidate, MovStrayOffsetRejected) {
+    Instruction in;
+    in.op = Opcode::MOV;
+    in.dst = dreg(1);
+    in.srca = sreg(2);
+    in.moff = 3; // no operand consumes it
+    EXPECT_TRUE(validate(in).has_value());
+}
+
+TEST(InstructionValidate, BranchOffsetRange) {
+    EXPECT_FALSE(validate(make_bra(Cond::AL, BraMode::Rel, 8191)).has_value());
+    EXPECT_FALSE(validate(make_bra(Cond::AL, BraMode::Rel, -8192)).has_value());
+    Instruction in = make_bra(Cond::AL, BraMode::Rel, 0);
+    in.target = 8192;
+    EXPECT_TRUE(validate(in).has_value());
+    in.target = -8193;
+    EXPECT_TRUE(validate(in).has_value());
+}
+
+TEST(InstructionValidate, AbsBranchRange) {
+    EXPECT_FALSE(validate(make_bra(Cond::NE, BraMode::Abs, 16383)).has_value());
+    Instruction in = make_bra(Cond::NE, BraMode::Abs, 0);
+    in.target = 16384;
+    EXPECT_TRUE(validate(in).has_value());
+    in.target = -1;
+    EXPECT_TRUE(validate(in).has_value());
+}
+
+TEST(InstructionValidate, MoviMustTargetRegister) {
+    Instruction in = make_movi(3, 0x1234);
+    in.dst.mode = DstMode::Ind;
+    EXPECT_TRUE(validate(in).has_value());
+}
+
+TEST(InstructionFactories, RejectBadRegisterIndices) {
+    EXPECT_THROW(sreg(16), contract_violation);
+    EXPECT_THROW(dreg(16), contract_violation);
+    EXPECT_THROW(simm(16), contract_violation);
+    EXPECT_THROW(simm(-9), contract_violation);
+}
+
+TEST(InstructionPorts, CountsPerOpcode) {
+    EXPECT_EQ(data_reads(make_movi(0, 1)), 0u);
+    EXPECT_EQ(data_writes(make_movi(0, 1)), 0u);
+    EXPECT_EQ(data_reads(make_bra(Cond::AL, BraMode::Rel, 1)), 0u);
+    EXPECT_EQ(data_reads(make_mov(dreg(0), sind(1))), 1u);
+    EXPECT_EQ(data_writes(make_mov(dind(0), sreg(1))), 1u);
+    EXPECT_EQ(data_reads(make_mov(dind(0), sind(1))), 1u);
+    EXPECT_EQ(data_writes(make_mov(dind(0), sind(1))), 1u);
+}
+
+TEST(InstructionHelpers, HltAndNopShapes) {
+    const auto h = make_hlt();
+    EXPECT_EQ(h.op, Opcode::BRA);
+    EXPECT_EQ(h.cond, Cond::AL);
+    EXPECT_EQ(h.target, 0);
+    const auto n = make_nop();
+    EXPECT_EQ(n.cond, Cond::NV);
+}
+
+TEST(InstructionHelpers, IsAluCoversExactlyEight) {
+    int count = 0;
+    for (int op = 0; op <= static_cast<int>(Opcode::MOVI); ++op)
+        if (is_alu(static_cast<Opcode>(op))) ++count;
+    EXPECT_EQ(count, 8);
+    EXPECT_FALSE(is_alu(Opcode::BRA));
+    EXPECT_FALSE(is_alu(Opcode::MOV));
+}
+
+} // namespace
+} // namespace ulpmc::isa

@@ -1,0 +1,62 @@
+#include "isa/listing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+Program sample() {
+    return assemble(R"(
+        .entry main
+main:   movi r1, tbl
+loop:   sub  r1, r1, #1
+        bra  ne, loop
+        hlt
+        .data
+tbl:    .word 0xBEEF, 2, 3
+    )");
+}
+
+TEST(Listing, ContainsHeaderAddressesAndLabels) {
+    const std::string lst = format_listing(sample());
+    EXPECT_NE(lst.find("; 4 instructions (12 bytes), 3 data words, entry 0"), std::string::npos);
+    EXPECT_NE(lst.find("main:"), std::string::npos);
+    EXPECT_NE(lst.find("loop:"), std::string::npos);
+    EXPECT_NE(lst.find("0000"), std::string::npos);
+    EXPECT_NE(lst.find("hlt"), std::string::npos);
+}
+
+TEST(Listing, SymbolTableOptional) {
+    ListingOptions no_syms;
+    no_syms.with_symbols = false;
+    const std::string with = format_listing(sample());
+    const std::string without = format_listing(sample(), no_syms);
+    EXPECT_NE(with.find("; symbols"), std::string::npos);
+    EXPECT_EQ(without.find("; symbols"), std::string::npos);
+    EXPECT_NE(with.find("tbl"), std::string::npos);
+}
+
+TEST(Listing, DataDumpOptional) {
+    ListingOptions with_data;
+    with_data.with_data = true;
+    const std::string lst = format_listing(sample(), with_data);
+    EXPECT_NE(lst.find("; data (hex words)"), std::string::npos);
+    EXPECT_NE(lst.find("BEEF"), std::string::npos);
+}
+
+TEST(Listing, EveryInstructionGetsOneLine) {
+    const Program p = sample();
+    ListingOptions bare;
+    bare.with_symbols = false;
+    const std::string lst = format_listing(p, bare);
+    std::size_t lines = 0;
+    for (const char c : lst)
+        if (c == '\n') ++lines;
+    // header + one line per instruction + labels (main, loop).
+    EXPECT_EQ(lines, 1 + p.text.size() + 2);
+}
+
+} // namespace
+} // namespace ulpmc::isa

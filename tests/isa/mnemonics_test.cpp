@@ -1,0 +1,57 @@
+#include "isa/mnemonics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ulpmc::isa {
+namespace {
+
+TEST(Mnemonics, OpcodeNamesRoundTrip) {
+    for (int op = 0; op <= static_cast<int>(Opcode::MOVI); ++op) {
+        const auto name = opcode_name(static_cast<Opcode>(op));
+        const auto back = parse_opcode(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, static_cast<Opcode>(op));
+    }
+}
+
+TEST(Mnemonics, CondNamesRoundTrip) {
+    for (int c = 0; c <= static_cast<int>(Cond::NV); ++c) {
+        const auto name = cond_name(static_cast<Cond>(c));
+        const auto back = parse_cond(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, static_cast<Cond>(c));
+    }
+}
+
+TEST(Mnemonics, ParsingIsCaseInsensitive) {
+    EXPECT_EQ(parse_opcode("ADD"), Opcode::ADD);
+    EXPECT_EQ(parse_opcode("MuLl"), Opcode::MULL);
+    EXPECT_EQ(parse_cond("NE"), Cond::NE);
+    EXPECT_EQ(parse_cond("Al"), Cond::AL);
+}
+
+TEST(Mnemonics, UnknownNamesRejected) {
+    EXPECT_FALSE(parse_opcode("madd").has_value());
+    EXPECT_FALSE(parse_opcode("").has_value());
+    EXPECT_FALSE(parse_cond("zz").has_value());
+    EXPECT_FALSE(parse_cond("always").has_value());
+}
+
+TEST(Mnemonics, OperandRendering) {
+    EXPECT_EQ(src_to_string(sreg(3)), "r3");
+    EXPECT_EQ(src_to_string(sind(4)), "@r4");
+    EXPECT_EQ(src_to_string(spostinc(5)), "@r5+");
+    EXPECT_EQ(src_to_string(spostdec(6)), "@r6-");
+    EXPECT_EQ(src_to_string(spreinc(7)), "@+r7");
+    EXPECT_EQ(src_to_string(spredec(8)), "@-r8");
+    EXPECT_EQ(src_to_string(simm(9)), "#9");
+    EXPECT_EQ(src_to_string(soff(2), 5), "@r2+5");
+    EXPECT_EQ(src_to_string(soff(2), -5), "@r2-5");
+    EXPECT_EQ(dst_to_string(dreg(1)), "r1");
+    EXPECT_EQ(dst_to_string(dind(2)), "@r2");
+    EXPECT_EQ(dst_to_string(dpostinc(3)), "@r3+");
+    EXPECT_EQ(dst_to_string(doff(4), -1), "@r4-1");
+}
+
+} // namespace
+} // namespace ulpmc::isa

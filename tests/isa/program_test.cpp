@@ -1,0 +1,42 @@
+#include "isa/program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+TEST(Program, SymbolLookup) {
+    Program p;
+    p.set_symbol("a", {Symbol::Space::Text, 5});
+    p.set_symbol("b", {Symbol::Space::Data, 9});
+    EXPECT_EQ(p.text_addr("a"), 5);
+    EXPECT_EQ(p.data_addr("b"), 9);
+    EXPECT_FALSE(p.symbol("c").has_value());
+}
+
+TEST(Program, WrongSpaceAccessIsContractViolation) {
+    Program p;
+    p.set_symbol("a", {Symbol::Space::Text, 5});
+    EXPECT_THROW(p.data_addr("a"), contract_violation);
+    EXPECT_THROW(p.text_addr("missing"), contract_violation);
+}
+
+TEST(Program, FootprintAccounting) {
+    Program p;
+    p.text.resize(184); // the paper's 552-byte program
+    p.data.resize(8461);
+    EXPECT_EQ(p.text_bytes(), 552u);
+    EXPECT_EQ(p.data_bytes(), 16922u); // the paper's per-lead data footprint
+}
+
+TEST(Program, SymbolOverwrite) {
+    Program p;
+    p.set_symbol("a", {Symbol::Space::Text, 1});
+    p.set_symbol("a", {Symbol::Space::Data, 2});
+    EXPECT_EQ(p.data_addr("a"), 2);
+}
+
+} // namespace
+} // namespace ulpmc::isa

@@ -1,0 +1,76 @@
+#include "mem/memory_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::mem {
+namespace {
+
+TEST(MemoryBank, ReadWriteAndCounters) {
+    MemoryBank b(8, 16);
+    b.write(2, 0xABCD);
+    EXPECT_EQ(b.read(2), 0xABCDu);
+    EXPECT_EQ(b.stats().reads, 1u);
+    EXPECT_EQ(b.stats().writes, 1u);
+    EXPECT_EQ(b.stats().accesses(), 2u);
+}
+
+TEST(MemoryBank, PeekPokeDoNotCount) {
+    MemoryBank b(8, 16);
+    b.poke(1, 42);
+    EXPECT_EQ(b.peek(1), 42u);
+    EXPECT_EQ(b.stats().accesses(), 0u);
+}
+
+TEST(MemoryBank, ResetStats) {
+    MemoryBank b(8, 16);
+    b.write(0, 1);
+    b.reset_stats();
+    EXPECT_EQ(b.stats().accesses(), 0u);
+}
+
+TEST(MemoryBank, OutOfRangeIsContractViolation) {
+    MemoryBank b(8, 16);
+    EXPECT_THROW(b.read(8), contract_violation);
+    EXPECT_THROW(b.write(8, 0), contract_violation);
+    EXPECT_THROW(b.peek(8), contract_violation);
+}
+
+TEST(MemoryBank, GatingBlocksAccess) {
+    MemoryBank b(8, 24);
+    b.poke(0, 7);
+    b.set_power_gated(true);
+    EXPECT_TRUE(b.power_gated());
+    EXPECT_THROW(b.read(0), contract_violation);
+    EXPECT_THROW(b.write(0, 1), contract_violation);
+    EXPECT_THROW(b.poke(0, 1), contract_violation);
+}
+
+TEST(MemoryBank, GatingWipesContents) {
+    // Power gating is not state-retentive: contents must not survive so
+    // a stale-read bug is loud.
+    MemoryBank b(4, 16);
+    b.poke(0, 0x1234);
+    b.set_power_gated(true);
+    b.set_power_gated(false);
+    EXPECT_NE(b.peek(0), 0x1234u);
+}
+
+TEST(MemoryBank, CellBitsBookkeeping) {
+    MemoryBank im(kImWordsPerBank, 24);
+    MemoryBank dm(kDmWordsPerBank, 16);
+    EXPECT_EQ(im.cell_bits(), 24u);
+    EXPECT_EQ(dm.cell_bits(), 16u);
+    EXPECT_EQ(im.size(), 4096u);
+    EXPECT_EQ(dm.size(), 2048u);
+}
+
+TEST(MemoryBank, InvalidConstruction) {
+    EXPECT_THROW(MemoryBank(0, 16), contract_violation);
+    EXPECT_THROW(MemoryBank(8, 0), contract_violation);
+    EXPECT_THROW(MemoryBank(8, 33), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc::mem

@@ -1,0 +1,71 @@
+// Geometry-generalization tests: the MMU with non-paper bank counts
+// (the ext_bank_sweep design space) keeps all its invariants.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+#include "mmu/mmu.hpp"
+
+namespace ulpmc::mmu {
+namespace {
+
+constexpr DmLayout kLayout{.shared_words = 6144, .private_words_per_core = 3072};
+
+TEST(MmuGeometry, FourBanksPerCoreAt32Banks) {
+    const DataMmu m(kLayout, 2, 32, 1024);
+    EXPECT_EQ(m.banks_per_core(), 4u);
+    EXPECT_EQ(m.private_words_per_bank(), 768u);
+}
+
+TEST(MmuGeometry, PrivateDisjointnessHoldsAt32Banks) {
+    std::vector<std::set<BankId>> banks(kNumCores);
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        const DataMmu m(kLayout, static_cast<CoreId>(p), 32, 1024);
+        for (std::uint32_t v = 0; v < kLayout.private_words_per_core; v += 5) {
+            const auto pa = m.translate(static_cast<Addr>(kLayout.private_base() + v));
+            ASSERT_TRUE(pa.has_value());
+            EXPECT_LT(pa->bank, 32);
+            banks[p].insert(pa->bank);
+        }
+    }
+    for (unsigned a = 0; a < kNumCores; ++a)
+        for (unsigned b = a + 1; b < kNumCores; ++b)
+            for (const BankId bank : banks[a]) EXPECT_EQ(banks[b].count(bank), 0u);
+}
+
+TEST(MmuGeometry, InjectiveAt32Banks) {
+    const DataMmu m(kLayout, 7, 32, 1024);
+    std::set<std::pair<BankId, std::uint32_t>> seen;
+    for (std::uint32_t v = 0; v < kLayout.private_words_per_core; ++v) {
+        const auto pa = m.translate(static_cast<Addr>(kLayout.private_base() + v));
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_TRUE(seen.emplace(pa->bank, pa->offset).second);
+        EXPECT_LT(pa->offset, 1024u);
+    }
+}
+
+TEST(MmuGeometry, SharedInterleaveUsesAllBanks) {
+    const DataMmu m(kLayout, 0, 32, 1024);
+    std::set<BankId> seen;
+    for (Addr v = 0; v < 64; ++v) seen.insert(m.translate(v)->bank);
+    EXPECT_EQ(seen.size(), 32u);
+}
+
+TEST(MmuGeometry, RejectsNonDivisibleBankCounts) {
+    EXPECT_THROW(DataMmu(kLayout, 0, 20, 1638), contract_violation);
+    EXPECT_THROW(DataMmu(kLayout, 0, 8, 4096), contract_violation); // < 2/core
+}
+
+TEST(MmuGeometry, ImMapWithSixteenSmallBanks) {
+    const ImMap m(ImPolicy::Banked, 16, 2048);
+    EXPECT_EQ(m.translate(0, 0)->bank, 0);
+    EXPECT_EQ(m.translate(2047, 0)->bank, 0);
+    EXPECT_EQ(m.translate(2048, 0)->bank, 1);
+    EXPECT_EQ(m.banks_used(184), 1u);
+    EXPECT_EQ(m.banks_used(4096), 2u);
+    EXPECT_FALSE(m.translate(static_cast<PAddr>(16 * 2048), 0).has_value());
+}
+
+} // namespace
+} // namespace ulpmc::mmu

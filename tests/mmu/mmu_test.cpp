@@ -1,0 +1,144 @@
+#include "mmu/mmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::mmu {
+namespace {
+
+constexpr DmLayout kLayout{.shared_words = 6144, .private_words_per_core = 3072};
+
+TEST(DataMmu, SharedSectionIsWordInterleaved) {
+    const DataMmu m(kLayout, 0);
+    for (Addr v = 0; v < 64; ++v) {
+        const auto pa = m.translate(v);
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_EQ(pa->bank, v % kDmBanks);
+        EXPECT_EQ(pa->offset, v / kDmBanks);
+        EXPECT_TRUE(m.is_shared(v));
+    }
+}
+
+TEST(DataMmu, SharedIdenticalAcrossCores) {
+    const DataMmu m0(kLayout, 0);
+    const DataMmu m7(kLayout, 7);
+    for (Addr v = 0; v < kLayout.shared_words; v += 97)
+        EXPECT_EQ(m0.translate(v), m7.translate(v));
+}
+
+TEST(DataMmu, PrivateTranslationDependsOnPid) {
+    const DataMmu m0(kLayout, 0);
+    const DataMmu m1(kLayout, 1);
+    const Addr v = kLayout.private_base();
+    const auto p0 = m0.translate(v);
+    const auto p1 = m1.translate(v);
+    ASSERT_TRUE(p0 && p1);
+    EXPECT_NE(p0->bank, p1->bank);
+    EXPECT_EQ(p0->offset, p1->offset); // same slot, different bank
+}
+
+TEST(DataMmu, PrivateBanksDisjointAcrossCoresProperty) {
+    // No two cores' private sections may ever share a bank — this is what
+    // makes private traffic conflict-free by construction (§III-D).
+    std::vector<std::set<BankId>> banks(kNumCores);
+    for (unsigned p = 0; p < kNumCores; ++p) {
+        const DataMmu m(kLayout, static_cast<CoreId>(p));
+        for (std::uint32_t v = 0; v < kLayout.private_words_per_core; ++v) {
+            const auto pa = m.translate(static_cast<Addr>(kLayout.private_base() + v));
+            ASSERT_TRUE(pa.has_value());
+            banks[p].insert(pa->bank);
+        }
+    }
+    for (unsigned a = 0; a < kNumCores; ++a)
+        for (unsigned b = a + 1; b < kNumCores; ++b)
+            for (const BankId bank : banks[a]) EXPECT_EQ(banks[b].count(bank), 0u);
+}
+
+TEST(DataMmu, PrivateDoesNotOverlapSharedRegionInBank) {
+    // Shared words occupy the bottom of each bank; private the top.
+    const DataMmu m(kLayout, 3);
+    const std::uint32_t shared_per_bank = (kLayout.shared_words + kDmBanks - 1) / kDmBanks;
+    for (std::uint32_t v = 0; v < kLayout.private_words_per_core; v += 13) {
+        const auto pa = m.translate(static_cast<Addr>(kLayout.private_base() + v));
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_GE(pa->offset, shared_per_bank);
+        EXPECT_LT(pa->offset, kDmWordsPerBank);
+    }
+}
+
+TEST(DataMmu, PrivateMappingIsInjective) {
+    const DataMmu m(kLayout, 5);
+    std::set<std::pair<BankId, std::uint32_t>> seen;
+    for (std::uint32_t v = 0; v < kLayout.private_words_per_core; ++v) {
+        const auto pa = m.translate(static_cast<Addr>(kLayout.private_base() + v));
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_TRUE(seen.emplace(pa->bank, pa->offset).second) << "collision at v=" << v;
+    }
+}
+
+TEST(DataMmu, OutOfRangeFaults) {
+    const DataMmu m(kLayout, 0);
+    EXPECT_FALSE(m.translate(static_cast<Addr>(kLayout.limit())).has_value());
+    EXPECT_FALSE(m.translate(0xFFFF).has_value());
+}
+
+TEST(DataMmu, OversizedLayoutIsContractViolation) {
+    // 16 banks x 2048 words; shared 8192 -> 512/bank + private 3072+
+    // -> 1536+... pushing past the bank must be rejected.
+    EXPECT_THROW(DataMmu(DmLayout{8192, 3136}, 0), contract_violation);
+    EXPECT_NO_THROW(DataMmu(DmLayout{8192, 3072}, 0));
+}
+
+TEST(ImMap, DedicatedRoutesToOwnBank) {
+    const ImMap m(ImPolicy::Dedicated);
+    for (CoreId p = 0; p < kNumCores; ++p) {
+        const auto pa = m.translate(100, p);
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_EQ(pa->bank, p);
+        EXPECT_EQ(pa->offset, 100u);
+    }
+    EXPECT_FALSE(m.translate(static_cast<PAddr>(kImWordsPerBank), 0).has_value());
+}
+
+TEST(ImMap, InterleavedUsesLsbs) {
+    const ImMap m(ImPolicy::Interleaved);
+    for (PAddr pc = 0; pc < 64; ++pc) {
+        const auto pa = m.translate(pc, 3); // PID must not matter
+        ASSERT_TRUE(pa.has_value());
+        EXPECT_EQ(pa->bank, pc % kImBanks);
+        EXPECT_EQ(pa->offset, pc / kImBanks);
+    }
+}
+
+TEST(ImMap, BankedUsesMsbs) {
+    const ImMap m(ImPolicy::Banked);
+    EXPECT_EQ(m.translate(0, 0)->bank, 0);
+    EXPECT_EQ(m.translate(4095, 0)->bank, 0);
+    EXPECT_EQ(m.translate(4096, 0)->bank, 1);
+    EXPECT_EQ(m.translate(4096, 0)->offset, 0u);
+    EXPECT_EQ(m.translate(32767, 0)->bank, 7);
+}
+
+TEST(ImMap, SharedPoliciesSeeWholeImSpace) {
+    const ImMap mi(ImPolicy::Interleaved);
+    const ImMap mb(ImPolicy::Banked);
+    EXPECT_TRUE(mi.translate(static_cast<PAddr>(kImWordsTotal - 1), 0).has_value());
+    EXPECT_TRUE(mb.translate(static_cast<PAddr>(kImWordsTotal - 1), 0).has_value());
+}
+
+TEST(ImMap, BanksUsedDrivesGating) {
+    // 184-instruction program (the paper's 552 bytes):
+    EXPECT_EQ(ImMap(ImPolicy::Banked).banks_used(184), 1u);  // gate 7 of 8
+    EXPECT_EQ(ImMap(ImPolicy::Interleaved).banks_used(184), 8u); // nothing gateable
+    EXPECT_EQ(ImMap(ImPolicy::Dedicated).banks_used(184), 8u);
+    EXPECT_EQ(ImMap(ImPolicy::Banked).banks_used(4096), 1u);
+    EXPECT_EQ(ImMap(ImPolicy::Banked).banks_used(4097), 2u);
+    EXPECT_EQ(ImMap(ImPolicy::Banked).banks_used(0), 0u);
+    EXPECT_EQ(ImMap(ImPolicy::Interleaved).banks_used(3), 3u);
+}
+
+} // namespace
+} // namespace ulpmc::mmu

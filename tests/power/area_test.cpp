@@ -1,0 +1,75 @@
+#include "power/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+namespace {
+
+using cluster::ArchKind;
+
+TEST(Area, TableOneReference) {
+    const auto a = area_of(ArchKind::McRef);
+    EXPECT_NEAR(a.cores, 81.5, 0.05);
+    EXPECT_NEAR(a.im, 429.4, 0.05);
+    EXPECT_NEAR(a.dm, 576.7, 0.05);
+    EXPECT_NEAR(a.dxbar, 20.5, 0.01);
+    EXPECT_DOUBLE_EQ(a.ixbar, 0.0);
+    EXPECT_NEAR(a.total(), 1108.1, 0.2);
+}
+
+TEST(Area, TableOneProposed) {
+    for (const auto k : {ArchKind::UlpmcInt, ArchKind::UlpmcBank}) {
+        const auto a = area_of(k);
+        EXPECT_NEAR(a.cores, 87.3, 0.05);
+        EXPECT_NEAR(a.dxbar, 23.0, 0.01);
+        EXPECT_NEAR(a.ixbar, 12.4, 0.01);
+        EXPECT_NEAR(a.total(), 1128.8, 0.2);
+    }
+}
+
+TEST(Area, ProposedVariantsIdentical) {
+    const auto i = area_of(ArchKind::UlpmcInt);
+    const auto b = area_of(ArchKind::UlpmcBank);
+    EXPECT_DOUBLE_EQ(i.total(), b.total()); // only bank-select bits differ
+}
+
+TEST(Area, PaperHeadlines) {
+    const auto ref = area_of(ArchKind::McRef);
+    const auto prop = area_of(ArchKind::UlpmcBank);
+    // "logic area increases almost 20%"
+    EXPECT_NEAR(prop.logic() / ref.logic(), 1.20, 0.02);
+    // "area difference ... less than 2%"
+    EXPECT_LT(prop.total() / ref.total(), 1.02);
+    // "memories occupy ... almost 90% of the total area"
+    EXPECT_NEAR(prop.memories() / prop.total(), 0.90, 0.02);
+}
+
+TEST(Area, SramFitHitsBothCalibrationPoints) {
+    EXPECT_NEAR(sram_bank_area_kge(12288), cal::kAreaImBank, 0.01);
+    EXPECT_NEAR(sram_bank_area_kge(4096), cal::kAreaDmBank, 0.01);
+}
+
+TEST(Area, SramFitMonotone) {
+    double prev = 0;
+    for (std::size_t bytes = 1024; bytes <= 65536; bytes *= 2) {
+        const double a = sram_bank_area_kge(bytes);
+        EXPECT_GT(a, prev);
+        prev = a;
+    }
+}
+
+TEST(Area, SramFitRejectsZero) { EXPECT_THROW(sram_bank_area_kge(0), contract_violation); }
+
+TEST(Area, SiliconAreaConversion) {
+    const auto a = area_of(ArchKind::McRef);
+    EXPECT_NEAR(a.total_um2(), a.total() * 1000.0 * 3.136, 1.0);
+    // ~3.5 mm^2 in 90 nm — a plausible sensor-node die.
+    EXPECT_GT(a.total_um2(), 3.0e6);
+    EXPECT_LT(a.total_um2(), 4.0e6);
+}
+
+} // namespace
+} // namespace ulpmc::power

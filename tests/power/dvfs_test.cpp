@@ -1,0 +1,80 @@
+#include "power/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+namespace {
+
+TEST(Dvfs, NominalFrequencyFromConstraint) {
+    EXPECT_NEAR(VfModel(12.0).f_nominal(), 83.33e6, 1e5);
+    EXPECT_NEAR(VfModel(20.0).f_nominal(), 50.0e6, 1e3);
+}
+
+TEST(Dvfs, CalibratedNomToFloorRatio) {
+    // The paper: 664.5 MOps/s at 1.2 V vs ~10 MOps/s at the floor.
+    const VfModel m(12.0);
+    EXPECT_NEAR(m.f_max(cal::kVnom) / m.f_max(cal::kVmin), cal::kFreqRatioNomToMin, 1e-6);
+}
+
+TEST(Dvfs, AllConstraintsShareTheFloorFrequency) {
+    // Figs. 5/6: every synthesized variant reaches ~the same throughput
+    // at the voltage floor.
+    const double f12 = VfModel(12.0).f_max(cal::kVmin);
+    for (const double c : {7.1, 8.9, 16.0, 20.0})
+        EXPECT_NEAR(VfModel(c).f_max(cal::kVmin), f12, f12 * 1e-9) << c;
+}
+
+TEST(Dvfs, FrequencyMonotoneInVoltage) {
+    const VfModel m(12.0);
+    double prev = 0;
+    for (double v = cal::kVmin; v <= cal::kVnom + 1e-9; v += 0.01) {
+        const double f = m.f_max(std::min(v, cal::kVnom));
+        EXPECT_GT(f, prev);
+        prev = f;
+    }
+}
+
+TEST(Dvfs, VForFInvertsFMax) {
+    const VfModel m(12.0);
+    for (double v = cal::kVmin + 0.01; v <= cal::kVnom; v += 0.05) {
+        const double f = m.f_max(v);
+        EXPECT_NEAR(m.v_for_f(f), v, 1e-6);
+    }
+}
+
+TEST(Dvfs, BelowFloorFrequencyOnlyScalesFrequency) {
+    const VfModel m(12.0);
+    EXPECT_EQ(m.v_for_f(0.0), cal::kVmin);
+    EXPECT_EQ(m.v_for_f(m.f_max(cal::kVmin) * 0.01), cal::kVmin);
+}
+
+TEST(Dvfs, AboveNominalIsNaN) {
+    const VfModel m(12.0);
+    EXPECT_TRUE(std::isnan(m.v_for_f(m.f_nominal() * 1.01)));
+}
+
+TEST(Dvfs, EnergyScaleIsSquareLaw) {
+    EXPECT_DOUBLE_EQ(VfModel::energy_scale(cal::kVnom), 1.0);
+    EXPECT_NEAR(VfModel::energy_scale(0.6), 0.25, 1e-12);
+    // The paper's §IV-C1 cross-check: 22.5 pJ at 1.2 V -> 15.6 pJ at 1.0 V.
+    EXPECT_NEAR(22.5 * VfModel::energy_scale(1.0), 15.6, 0.05);
+}
+
+TEST(Dvfs, VoltageRangeContractChecked) {
+    const VfModel m(12.0);
+    EXPECT_THROW(m.f_max(0.3), contract_violation);
+    EXPECT_THROW(m.f_max(1.3), contract_violation);
+    EXPECT_THROW(VfModel(-1.0), contract_violation);
+}
+
+TEST(Dvfs, SpeedOptimizedDesignsKeepNominalAdvantage) {
+    EXPECT_NEAR(VfModel(7.1).f_nominal() / VfModel(12.0).f_nominal(), 12.0 / 7.1, 1e-9);
+}
+
+} // namespace
+} // namespace ulpmc::power

@@ -1,0 +1,111 @@
+#include "power/governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+namespace {
+
+EventRates bank_rates() {
+    EventRates r;
+    r.im_bank_accesses = 0.131;
+    r.ixbar_requests = 1.0;
+    r.dm_bank_accesses = 0.3145;
+    r.dxbar_requests = 0.3772;
+    r.ops_per_cycle = 7.62;
+    r.im_banks_used = 1;
+    r.im_banks_gated = 7;
+    return r;
+}
+
+// The ECG job: ~690k ops every 2.048 s.
+constexpr double kOps = 690e3;
+constexpr double kPeriod = 2.048;
+
+TEST(Governor, JustInTimeMatchesPowerModel) {
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const EventRates r = bank_rates();
+    const DutyCycleGovernor gov(m, r);
+    const auto s = gov.just_in_time(kOps, kPeriod);
+    EXPECT_EQ(s.kind, Schedule::Kind::JustInTime);
+    EXPECT_NEAR(s.average_power, m.power_at(r, kOps / kPeriod).total, 1e-12);
+    EXPECT_DOUBLE_EQ(s.busy_s, kPeriod);
+}
+
+TEST(Governor, RaceToIdleMeetsTheDeadline) {
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates());
+    const auto s = gov.race_to_idle(kOps, kPeriod);
+    EXPECT_LE(s.busy_s, kPeriod);
+    EXPECT_GT(s.sleep_s, 0.0);
+    EXPECT_NEAR(s.busy_s + s.sleep_s, kPeriod, 1e-9);
+}
+
+TEST(Governor, RacingStaysAtTheVoltageFloorWhenPossible) {
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates());
+    const auto s = gov.race_to_idle(kOps, kPeriod);
+    EXPECT_DOUBLE_EQ(s.op.v, cal::kVmin);
+}
+
+TEST(Governor, SleepStateMakesRacingWinAtLightLoad) {
+    // The extension's headline: with retention sleep, race-to-idle beats
+    // the paper's just-in-time policy at light duty cycles.
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates());
+    const auto best = gov.best(kOps, kPeriod);
+    EXPECT_EQ(best.kind, Schedule::Kind::RaceToIdle);
+    const auto jit = gov.just_in_time(kOps, kPeriod);
+    EXPECT_LT(best.energy_per_period, jit.energy_per_period);
+}
+
+TEST(Governor, WithoutRetentionSleepJustInTimeWins) {
+    // retention_fraction == 1 models a chip with no sleep state: idling
+    // leaks fully and racing buys nothing (dynamic energy is equal at the
+    // floor), so just-in-time is never worse.
+    SleepModel no_sleep;
+    no_sleep.retention_leakage_fraction = 1.0;
+    no_sleep.transition_energy = 0.0;
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates(), no_sleep);
+    const auto jit = gov.just_in_time(kOps, kPeriod);
+    const auto race = gov.race_to_idle(kOps, kPeriod);
+    EXPECT_LE(jit.energy_per_period, race.energy_per_period * (1.0 + 1e-9));
+}
+
+TEST(Governor, HeavyJobForcesVoltageUpForBothPolicies) {
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates());
+    const double heavy_ops = 400e6 * kPeriod; // 400 MOps/s sustained
+    const auto jit = gov.just_in_time(heavy_ops, kPeriod);
+    const auto race = gov.race_to_idle(heavy_ops, kPeriod);
+    EXPECT_GT(jit.op.v, cal::kVmin);
+    // Racing can't go below the deadline frequency either.
+    EXPECT_GE(race.op.f_hz, jit.op.f_hz - 1.0);
+    // And just-in-time wins: racing above the floor pays V^2.
+    EXPECT_LE(jit.energy_per_period, race.energy_per_period * (1.0 + 1e-9));
+}
+
+TEST(Governor, TinyGapsDoNotSleep) {
+    SleepModel s;
+    s.min_sleep_s = 10.0; // absurdly high: sleeping never allowed
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates(), s);
+    const auto race = gov.race_to_idle(kOps, kPeriod);
+    EXPECT_DOUBLE_EQ(race.sleep_s, 0.0);
+}
+
+TEST(Governor, InvalidInputsAreContractViolations) {
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    const DutyCycleGovernor gov(m, bank_rates());
+    EXPECT_THROW(gov.just_in_time(0, 1.0), contract_violation);
+    EXPECT_THROW(gov.race_to_idle(1.0, 0), contract_violation);
+    SleepModel bad;
+    bad.retention_leakage_fraction = 1.5;
+    EXPECT_THROW(DutyCycleGovernor(m, bank_rates(), bad), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc::power

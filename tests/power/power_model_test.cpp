@@ -1,0 +1,184 @@
+#include "power/power_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+#include "power/calibration.hpp"
+
+namespace ulpmc::power {
+namespace {
+
+using cluster::ArchKind;
+
+/// Synthetic event rates shaped like the measured ECG benchmark (see
+/// bench/table2_dynamic_power); unit tests must not depend on the full
+/// application, so the rates are pinned here.
+EventRates ref_rates() {
+    EventRates r;
+    r.im_bank_accesses = 1.0; // dedicated banks: one access per op
+    r.ixbar_requests = 1.0;
+    r.dm_bank_accesses = 0.3772;
+    r.dxbar_requests = 0.3772;
+    r.ops_per_cycle = 7.91;
+    r.im_banks_used = 8;
+    r.im_banks_gated = 0;
+    return r;
+}
+
+EventRates bank_rates() {
+    EventRates r = ref_rates();
+    r.im_bank_accesses = 0.131;
+    r.dm_bank_accesses = 0.3145;
+    r.ops_per_cycle = 7.62;
+    r.im_banks_used = 1;
+    r.im_banks_gated = 7;
+    return r;
+}
+
+TEST(PowerModel, TableTwoReferenceBreakdown) {
+    const PowerModel m(ArchKind::McRef);
+    const auto p = m.dynamic_power(ref_rates(), 8e6, cal::kVnom);
+    EXPECT_NEAR(p.cores, 0.18e-3, 0.005e-3);
+    EXPECT_NEAR(p.im, 0.36e-3, 0.005e-3);
+    EXPECT_NEAR(p.dm, 0.07e-3, 0.005e-3);
+    EXPECT_NEAR(p.dxbar, 0.02e-3, 0.003e-3);
+    EXPECT_DOUBLE_EQ(p.ixbar, 0.0);
+    EXPECT_NEAR(p.clock, 0.03e-3, 0.002e-3);
+    EXPECT_NEAR(p.total(), 0.66e-3, 0.02e-3);
+}
+
+TEST(PowerModel, DynamicPowerLinearInWorkload) {
+    const PowerModel m(ArchKind::McRef);
+    const auto p1 = m.dynamic_power(ref_rates(), 1e6, cal::kVnom);
+    const auto p8 = m.dynamic_power(ref_rates(), 8e6, cal::kVnom);
+    EXPECT_NEAR(p8.total() / p1.total(), 8.0, 1e-9);
+}
+
+TEST(PowerModel, DynamicPowerSquareInVoltage) {
+    const PowerModel m(ArchKind::McRef);
+    const auto hi = m.dynamic_power(ref_rates(), 1e6, 1.2);
+    const auto lo = m.dynamic_power(ref_rates(), 1e6, 0.6);
+    EXPECT_NEAR(hi.total() / lo.total(), 4.0, 1e-9);
+}
+
+TEST(PowerModel, CoreEnergyCrossCheck) {
+    // §IV-C1: 15.6 pJ/op at 1.0 V for the core alone.
+    const PowerModel m(ArchKind::McRef);
+    const auto e = m.energy_per_op(ref_rates());
+    EXPECT_NEAR(e.cores * VfModel::energy_scale(1.0), 15.6e-12, 0.1e-12);
+}
+
+TEST(PowerModel, LeakageGatingSavesThirtyEightPointEight) {
+    const PowerModel ref(ArchKind::McRef);
+    const PowerModel bank(ArchKind::UlpmcBank);
+    const double lref = ref.leakage_power(ref_rates(), cal::kVmin).total();
+    const double lbank = bank.leakage_power(bank_rates(), cal::kVmin).total();
+    EXPECT_NEAR(1.0 - lbank / lref, 0.388, 0.005); // the Fig. 8 headline
+}
+
+TEST(PowerModel, UngatedProposedLeaksLikeReference) {
+    const PowerModel ref(ArchKind::McRef);
+    const PowerModel inter(ArchKind::UlpmcInt);
+    EventRates r = ref_rates();
+    r.im_banks_gated = 0;
+    const double lref = ref.leakage_power(ref_rates(), cal::kVmin).total();
+    const double lint = inter.leakage_power(r, cal::kVmin).total();
+    EXPECT_NEAR(lint / lref, 1.011, 0.01); // "almost the same" (+1.1%)
+}
+
+TEST(PowerModel, LeakageCrossoverNearFiftyKops) {
+    // Fig. 8: mc-ref leakage equals dynamic power around 50 kOps/s.
+    const PowerModel m(ArchKind::McRef);
+    const double dyn = m.dynamic_power(ref_rates(), 50e3, cal::kVmin).total();
+    const double leak = m.leakage_power(ref_rates(), cal::kVmin).total();
+    EXPECT_NEAR(dyn / leak, 1.0, 0.1);
+}
+
+TEST(PowerModel, OperatingPointPicksFloorAtLowWorkload) {
+    const PowerModel m(ArchKind::McRef);
+    const auto op = m.operating_point(ref_rates(), 5e3);
+    EXPECT_EQ(op.v, cal::kVmin);
+    EXPECT_NEAR(op.f_hz, 5e3 / 7.91, 1.0);
+}
+
+TEST(PowerModel, OperatingPointScalesVoltageAtHighWorkload) {
+    const PowerModel m(ArchKind::McRef);
+    const auto op = m.operating_point(ref_rates(), 500e6);
+    EXPECT_GT(op.v, 1.0);
+    EXPECT_LE(op.v, cal::kVnom);
+}
+
+TEST(PowerModel, MaxThroughputMatchesPaperScale) {
+    // mc-ref achieves 664.5 MOps/s at nominal voltage (paper §IV-C2).
+    const PowerModel m(ArchKind::McRef);
+    EXPECT_NEAR(m.max_throughput(ref_rates()) / 1e6, 659.2, 1.0);
+}
+
+TEST(PowerModel, WorkloadBeyondReachIsContractViolation) {
+    const PowerModel m(ArchKind::McRef);
+    EXPECT_THROW(m.operating_point(ref_rates(), 2e9), contract_violation);
+}
+
+TEST(PowerModel, TotalPowerMonotoneInWorkload) {
+    const PowerModel m(ArchKind::UlpmcBank);
+    double prev = 0;
+    for (double w = 1e3; w < 600e6; w *= 3) {
+        const double p = m.power_at(bank_rates(), w).total;
+        EXPECT_GT(p, prev);
+        prev = p;
+    }
+}
+
+TEST(PowerModel, KappaLookup) {
+    EXPECT_DOUBLE_EQ(PowerModel(ArchKind::McRef, 12.0).kappa(), 1.0);
+    EXPECT_NEAR(PowerModel(ArchKind::McRef, 7.1).kappa(), 1.03 / 0.87, 1e-12);
+    EXPECT_NEAR(PowerModel(ArchKind::UlpmcBank, 8.9).kappa(), 0.54 / 0.41, 1e-12);
+    EXPECT_THROW(PowerModel(ArchKind::McRef, 13.0), contract_violation);
+}
+
+TEST(PowerModel, ProposedCannotBeSynthesizedAtSevenPointOne) {
+    // The I-Xbar's ~1.8 ns path addition forbids the 7.1 ns constraint.
+    EXPECT_THROW(PowerModel(ArchKind::UlpmcBank, 7.1), contract_violation);
+    EXPECT_NO_THROW(PowerModel(ArchKind::UlpmcBank, 8.9));
+    EXPECT_NO_THROW(PowerModel(ArchKind::McRef, 7.1));
+}
+
+TEST(PowerModel, FigFiveSavingsEmergeFromKappa) {
+    // 12 ns vs speed-optimized at the voltage floor: 15.5% / 24.1%.
+    const EventRates r = ref_rates();
+    const PowerModel fast(ArchKind::McRef, 7.1);
+    const PowerModel sweet(ArchKind::McRef, 12.0);
+    const double w = sweet.vf().f_max(cal::kVmin) * r.ops_per_cycle;
+    const double saving = 1.0 - sweet.power_at(r, w).total / fast.power_at(r, w).total;
+    EXPECT_NEAR(saving, 0.155, 0.01);
+}
+
+TEST(EventRatesTest, FromRunCondensesStats) {
+    cluster::ClusterStats s;
+    s.cycles = 100;
+    s.core.resize(2);
+    s.core[0].instret = 400;
+    s.core[1].instret = 400;
+    s.im_bank_accesses = 800;
+    s.ixbar.grants = 800;
+    s.dm_bank_reads = 100;
+    s.dm_bank_writes = 60;
+    s.dxbar.grants = 160;
+    s.im_banks_used = 1;
+    s.im_banks_gated = 7;
+    const auto r = EventRates::from_run(s);
+    EXPECT_DOUBLE_EQ(r.im_bank_accesses, 1.0);
+    EXPECT_DOUBLE_EQ(r.dm_bank_accesses, 0.2);
+    EXPECT_DOUBLE_EQ(r.dxbar_requests, 0.2);
+    EXPECT_DOUBLE_EQ(r.ops_per_cycle, 8.0);
+    EXPECT_EQ(r.im_banks_gated, 7u);
+}
+
+TEST(EventRatesTest, EmptyRunIsContractViolation) {
+    cluster::ClusterStats s;
+    s.core.resize(1);
+    EXPECT_THROW(EventRates::from_run(s), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc::power

@@ -1,0 +1,53 @@
+#include "power/radio.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::power {
+namespace {
+
+TEST(Radio, PacketCounting) {
+    RadioModel r;
+    r.packet_payload_bits = 100;
+    EXPECT_EQ(r.packets(0), 0u);
+    EXPECT_EQ(r.packets(1), 1u);
+    EXPECT_EQ(r.packets(100), 1u);
+    EXPECT_EQ(r.packets(101), 2u);
+    EXPECT_EQ(r.packets(1000), 10u);
+}
+
+TEST(Radio, EnergyScalesWithBits) {
+    RadioModel r;
+    r.energy_per_bit = 1e-9;
+    r.packet_overhead = 0;
+    EXPECT_NEAR(r.tx_energy(1000), 1e-6, 1e-15);
+    EXPECT_NEAR(r.tx_energy(2000), 2e-6, 1e-15);
+}
+
+TEST(Radio, OverheadPerPacket) {
+    RadioModel r;
+    r.energy_per_bit = 0;
+    r.packet_overhead = 5e-6;
+    r.packet_payload_bits = 64;
+    EXPECT_NEAR(r.tx_energy(64), 5e-6, 1e-15);
+    EXPECT_NEAR(r.tx_energy(65), 10e-6, 1e-15);
+    EXPECT_EQ(r.tx_energy(0), 0.0);
+}
+
+TEST(Radio, DefaultsAreBleClass) {
+    const RadioModel r;
+    // A full raw 8-lead block: 8 x 512 x 16 bits = 65536 bits ~ 1.5 mJ.
+    const double e = r.tx_energy(65536);
+    EXPECT_GT(e, 1e-3);
+    EXPECT_LT(e, 3e-3);
+}
+
+TEST(Radio, ZeroPayloadCapIsContractViolation) {
+    RadioModel r;
+    r.packet_payload_bits = 0;
+    EXPECT_THROW(r.packets(10), contract_violation);
+}
+
+} // namespace
+} // namespace ulpmc::power

@@ -1,0 +1,174 @@
+// ulpmc-run: execute a TamaRISC program image on the cycle-accurate
+// cluster and report what happened.
+//
+//   ulpmc-run prog.upmc [options]
+//     --arch mc-ref|ulpmc-int|ulpmc-bank   (default ulpmc-bank)
+//     --cores N                            (default 8)
+//     --shared W --private W               DM layout in words
+//                                          (default 64 / 1024)
+//     --trace N                            print the last N trace events
+//     --dump ADDR LEN                      dump core 0's memory after run
+//     --max-cycles N                       safety limit (default 10M)
+//
+// Assembly sources are also accepted directly (detected by extension).
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/table.hpp"
+#include "isa/assembler.hpp"
+#include "isa/binfmt.hpp"
+
+using namespace ulpmc;
+
+namespace {
+
+int usage() {
+    std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
+                 "                 [--shared W] [--private W] [--trace N]\n"
+                 "                 [--dump ADDR LEN] [--max-cycles N]\n";
+    return 2;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string input;
+    std::string arch_name = "ulpmc-bank";
+    unsigned cores = kNumCores;
+    Addr shared_words = 64;
+    Addr private_words = 1024;
+    std::size_t trace_n = 0;
+    long dump_addr = -1;
+    unsigned dump_len = 0;
+    Cycle max_cycles = 10'000'000;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto next = [&](const char* what) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << arg << " needs " << what << '\n';
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--arch") {
+            arch_name = next("a name");
+        } else if (arg == "--cores") {
+            cores = static_cast<unsigned>(std::stoul(next("a count")));
+        } else if (arg == "--shared") {
+            shared_words = static_cast<Addr>(std::stoul(next("words")));
+        } else if (arg == "--private") {
+            private_words = static_cast<Addr>(std::stoul(next("words")));
+        } else if (arg == "--trace") {
+            trace_n = std::stoul(next("a count"));
+        } else if (arg == "--dump") {
+            dump_addr = std::stol(next("an address"));
+            dump_len = static_cast<unsigned>(std::stoul(next("a length")));
+        } else if (arg == "--max-cycles") {
+            max_cycles = std::stoull(next("a count"));
+        } else if (!arg.empty() && arg[0] == '-') {
+            return usage();
+        } else {
+            input = arg;
+        }
+    }
+    if (input.empty()) return usage();
+
+    // --- load the program ----------------------------------------------------
+    isa::Program prog;
+    if (input.size() > 4 && input.substr(input.size() - 4) == ".asm") {
+        std::ifstream in(input);
+        if (!in) {
+            std::cerr << "cannot open " << input << '\n';
+            return 1;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        try {
+            prog = isa::assemble(ss.str());
+        } catch (const isa::AssemblyError& e) {
+            std::cerr << input << ":" << e.what() << '\n';
+            return 1;
+        }
+    } else {
+        std::ifstream in(input, std::ios::binary);
+        if (!in) {
+            std::cerr << "cannot open " << input << '\n';
+            return 1;
+        }
+        const std::vector<std::uint8_t> bytes{std::istreambuf_iterator<char>(in),
+                                              std::istreambuf_iterator<char>()};
+        std::string err;
+        const auto loaded = isa::load_program(bytes, err);
+        if (!loaded) {
+            std::cerr << input << ": " << err << '\n';
+            return 1;
+        }
+        prog = *loaded;
+    }
+
+    // --- configure the cluster ----------------------------------------------
+    cluster::ArchKind kind = cluster::ArchKind::UlpmcBank;
+    if (arch_name == "mc-ref") {
+        kind = cluster::ArchKind::McRef;
+    } else if (arch_name == "ulpmc-int") {
+        kind = cluster::ArchKind::UlpmcInt;
+    } else if (arch_name != "ulpmc-bank") {
+        std::cerr << "unknown architecture " << arch_name << '\n';
+        return 2;
+    }
+    auto cfg = cluster::make_config(kind, {shared_words, private_words});
+    cfg.cores = cores;
+    cfg.barrier_enabled = true; // harmless if unused
+
+    cluster::Cluster cl(cfg, prog);
+    cluster::RingTrace ring(trace_n ? trace_n : 1);
+    if (trace_n) cl.set_trace(&ring);
+
+    cl.run(max_cycles);
+
+    // --- report --------------------------------------------------------------
+    const auto& s = cl.stats();
+    std::cout << "arch " << cluster::arch_name(kind) << ", " << cores << " cores: " << s.cycles
+              << " cycles, " << s.total_ops() << " ops (" << format_fixed(s.ops_per_cycle(), 3)
+              << " ops/cycle)\n"
+              << "IM bank accesses " << format_count(s.im_bank_accesses) << " ("
+              << format_count(s.ixbar.broadcast_riders) << " broadcast riders), DM accesses "
+              << format_count(s.dm_bank_accesses()) << ", conflicts denied "
+              << format_count(s.ixbar.denied + s.dxbar.denied) << '\n';
+
+    int rc = 0;
+    Table t({"core", "state", "instructions", "r0..r3"});
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto& st = cl.core_state(static_cast<CoreId>(p));
+        std::string state = "running";
+        if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None) {
+            state = std::string("TRAP:") + core::trap_name(cl.core_trap(static_cast<CoreId>(p)));
+            rc = 3;
+        } else if (cl.core_halted(static_cast<CoreId>(p))) {
+            state = "halted";
+        } else {
+            rc = 4; // hit max-cycles
+        }
+        t.add_row({std::to_string(p), state, std::to_string(s.core[p].instret),
+                   std::to_string(st.regs[0]) + " " + std::to_string(st.regs[1]) + " " +
+                       std::to_string(st.regs[2]) + " " + std::to_string(st.regs[3])});
+    }
+    t.print(std::cout);
+
+    if (dump_addr >= 0) {
+        std::cout << "\ncore 0 memory @" << dump_addr << ":\n ";
+        for (unsigned i = 0; i < dump_len; ++i)
+            std::cout << ' ' << cl.dm_peek(0, static_cast<Addr>(dump_addr + i));
+        std::cout << '\n';
+    }
+    if (trace_n) {
+        std::cout << "\nlast " << trace_n << " trace events (of " << ring.total() << "):\n";
+        ring.print(std::cout);
+    }
+    return rc;
+}
