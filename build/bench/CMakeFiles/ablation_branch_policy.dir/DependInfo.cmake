@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_branch_policy.cpp" "bench/CMakeFiles/ablation_branch_policy.dir/ablation_branch_policy.cpp.o" "gcc" "bench/CMakeFiles/ablation_branch_policy.dir/ablation_branch_policy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ulpmc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ulpmc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ulpmc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ulpmc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulpmc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulpmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulpmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ulpmc_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/ulpmc_xbar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_branch_policy.dir/ablation_branch_policy.cpp.o"
+  "CMakeFiles/ablation_branch_policy.dir/ablation_branch_policy.cpp.o.d"
+  "ablation_branch_policy"
+  "ablation_branch_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_branch_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

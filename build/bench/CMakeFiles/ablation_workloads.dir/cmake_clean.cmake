@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workloads.dir/ablation_workloads.cpp.o"
+  "CMakeFiles/ablation_workloads.dir/ablation_workloads.cpp.o.d"
+  "ablation_workloads"
+  "ablation_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

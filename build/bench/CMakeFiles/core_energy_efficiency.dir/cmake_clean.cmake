@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_energy_efficiency.dir/core_energy_efficiency.cpp.o"
+  "CMakeFiles/core_energy_efficiency.dir/core_energy_efficiency.cpp.o.d"
+  "core_energy_efficiency"
+  "core_energy_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_energy_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

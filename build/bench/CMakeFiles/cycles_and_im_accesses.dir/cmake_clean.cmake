@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cycles_and_im_accesses.dir/cycles_and_im_accesses.cpp.o"
+  "CMakeFiles/cycles_and_im_accesses.dir/cycles_and_im_accesses.cpp.o.d"
+  "cycles_and_im_accesses"
+  "cycles_and_im_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cycles_and_im_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

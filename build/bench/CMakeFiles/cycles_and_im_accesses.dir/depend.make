@@ -1,0 +1,2 @@
+# Empty dependencies file for cycles_and_im_accesses.
+# This may be replaced when dependencies are built.

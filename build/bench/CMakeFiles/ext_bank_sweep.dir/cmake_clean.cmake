@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_bank_sweep.dir/ext_bank_sweep.cpp.o"
+  "CMakeFiles/ext_bank_sweep.dir/ext_bank_sweep.cpp.o.d"
+  "ext_bank_sweep"
+  "ext_bank_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_bank_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

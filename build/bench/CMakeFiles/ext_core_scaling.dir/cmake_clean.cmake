@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_core_scaling.dir/ext_core_scaling.cpp.o"
+  "CMakeFiles/ext_core_scaling.dir/ext_core_scaling.cpp.o.d"
+  "ext_core_scaling"
+  "ext_core_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_core_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_duty_cycling.dir/ext_duty_cycling.cpp.o"
+  "CMakeFiles/ext_duty_cycling.dir/ext_duty_cycling.cpp.o.d"
+  "ext_duty_cycling"
+  "ext_duty_cycling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_duty_cycling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

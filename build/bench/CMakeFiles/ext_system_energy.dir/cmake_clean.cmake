@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_system_energy.dir/ext_system_energy.cpp.o"
+  "CMakeFiles/ext_system_energy.dir/ext_system_energy.cpp.o.d"
+  "ext_system_energy"
+  "ext_system_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_system_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

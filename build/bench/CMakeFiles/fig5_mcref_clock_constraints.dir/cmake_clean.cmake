@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_mcref_clock_constraints.dir/fig5_mcref_clock_constraints.cpp.o"
+  "CMakeFiles/fig5_mcref_clock_constraints.dir/fig5_mcref_clock_constraints.cpp.o.d"
+  "fig5_mcref_clock_constraints"
+  "fig5_mcref_clock_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_mcref_clock_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_proposed_clock_constraints.dir/fig6_proposed_clock_constraints.cpp.o"
+  "CMakeFiles/fig6_proposed_clock_constraints.dir/fig6_proposed_clock_constraints.cpp.o.d"
+  "fig6_proposed_clock_constraints"
+  "fig6_proposed_clock_constraints.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_proposed_clock_constraints.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

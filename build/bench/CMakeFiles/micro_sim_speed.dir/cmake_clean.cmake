@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sim_speed.dir/micro_sim_speed.cpp.o"
+  "CMakeFiles/micro_sim_speed.dir/micro_sim_speed.cpp.o.d"
+  "micro_sim_speed"
+  "micro_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

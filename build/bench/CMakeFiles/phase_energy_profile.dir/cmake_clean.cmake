@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_energy_profile.dir/phase_energy_profile.cpp.o"
+  "CMakeFiles/phase_energy_profile.dir/phase_energy_profile.cpp.o.d"
+  "phase_energy_profile"
+  "phase_energy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_energy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asm_explorer.dir/asm_explorer.cpp.o"
+  "CMakeFiles/asm_explorer.dir/asm_explorer.cpp.o.d"
+  "asm_explorer"
+  "asm_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asm_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

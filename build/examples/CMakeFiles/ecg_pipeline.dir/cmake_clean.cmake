@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecg_pipeline.dir/ecg_pipeline.cpp.o"
+  "CMakeFiles/ecg_pipeline.dir/ecg_pipeline.cpp.o.d"
+  "ecg_pipeline"
+  "ecg_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecg_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpeak_monitor.dir/rpeak_monitor.cpp.o"
+  "CMakeFiles/rpeak_monitor.dir/rpeak_monitor.cpp.o.d"
+  "rpeak_monitor"
+  "rpeak_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpeak_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

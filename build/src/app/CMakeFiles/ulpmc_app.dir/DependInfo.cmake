@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/benchmark.cpp" "src/app/CMakeFiles/ulpmc_app.dir/benchmark.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/benchmark.cpp.o.d"
+  "/root/repo/src/app/cs.cpp" "src/app/CMakeFiles/ulpmc_app.dir/cs.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/cs.cpp.o.d"
+  "/root/repo/src/app/ecg.cpp" "src/app/CMakeFiles/ulpmc_app.dir/ecg.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/ecg.cpp.o.d"
+  "/root/repo/src/app/fir.cpp" "src/app/CMakeFiles/ulpmc_app.dir/fir.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/fir.cpp.o.d"
+  "/root/repo/src/app/huffman.cpp" "src/app/CMakeFiles/ulpmc_app.dir/huffman.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/huffman.cpp.o.d"
+  "/root/repo/src/app/kernels.cpp" "src/app/CMakeFiles/ulpmc_app.dir/kernels.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/kernels.cpp.o.d"
+  "/root/repo/src/app/reconstruct.cpp" "src/app/CMakeFiles/ulpmc_app.dir/reconstruct.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/reconstruct.cpp.o.d"
+  "/root/repo/src/app/rpeak.cpp" "src/app/CMakeFiles/ulpmc_app.dir/rpeak.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/rpeak.cpp.o.d"
+  "/root/repo/src/app/streaming.cpp" "src/app/CMakeFiles/ulpmc_app.dir/streaming.cpp.o" "gcc" "src/app/CMakeFiles/ulpmc_app.dir/streaming.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ulpmc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulpmc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulpmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulpmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ulpmc_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/ulpmc_xbar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

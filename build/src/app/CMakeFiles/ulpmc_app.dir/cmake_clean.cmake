@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_app.dir/benchmark.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/benchmark.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/cs.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/cs.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/ecg.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/ecg.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/fir.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/fir.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/huffman.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/huffman.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/kernels.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/kernels.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/reconstruct.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/reconstruct.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/rpeak.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/rpeak.cpp.o.d"
+  "CMakeFiles/ulpmc_app.dir/streaming.cpp.o"
+  "CMakeFiles/ulpmc_app.dir/streaming.cpp.o.d"
+  "libulpmc_app.a"
+  "libulpmc_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

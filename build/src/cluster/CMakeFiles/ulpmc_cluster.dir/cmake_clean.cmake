@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/ulpmc_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/ulpmc_cluster.dir/config.cpp.o"
+  "CMakeFiles/ulpmc_cluster.dir/config.cpp.o.d"
+  "CMakeFiles/ulpmc_cluster.dir/trace.cpp.o"
+  "CMakeFiles/ulpmc_cluster.dir/trace.cpp.o.d"
+  "libulpmc_cluster.a"
+  "libulpmc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

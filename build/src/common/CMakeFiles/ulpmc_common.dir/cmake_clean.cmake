@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_common.dir/rng.cpp.o"
+  "CMakeFiles/ulpmc_common.dir/rng.cpp.o.d"
+  "CMakeFiles/ulpmc_common.dir/table.cpp.o"
+  "CMakeFiles/ulpmc_common.dir/table.cpp.o.d"
+  "libulpmc_common.a"
+  "libulpmc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alu.cpp" "src/core/CMakeFiles/ulpmc_core.dir/alu.cpp.o" "gcc" "src/core/CMakeFiles/ulpmc_core.dir/alu.cpp.o.d"
+  "/root/repo/src/core/exec.cpp" "src/core/CMakeFiles/ulpmc_core.dir/exec.cpp.o" "gcc" "src/core/CMakeFiles/ulpmc_core.dir/exec.cpp.o.d"
+  "/root/repo/src/core/flags.cpp" "src/core/CMakeFiles/ulpmc_core.dir/flags.cpp.o" "gcc" "src/core/CMakeFiles/ulpmc_core.dir/flags.cpp.o.d"
+  "/root/repo/src/core/functional_core.cpp" "src/core/CMakeFiles/ulpmc_core.dir/functional_core.cpp.o" "gcc" "src/core/CMakeFiles/ulpmc_core.dir/functional_core.cpp.o.d"
+  "/root/repo/src/core/pipeline_core.cpp" "src/core/CMakeFiles/ulpmc_core.dir/pipeline_core.cpp.o" "gcc" "src/core/CMakeFiles/ulpmc_core.dir/pipeline_core.cpp.o.d"
+  "/root/repo/src/core/state.cpp" "src/core/CMakeFiles/ulpmc_core.dir/state.cpp.o" "gcc" "src/core/CMakeFiles/ulpmc_core.dir/state.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ulpmc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

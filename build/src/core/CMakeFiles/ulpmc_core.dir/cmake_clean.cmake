@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_core.dir/alu.cpp.o"
+  "CMakeFiles/ulpmc_core.dir/alu.cpp.o.d"
+  "CMakeFiles/ulpmc_core.dir/exec.cpp.o"
+  "CMakeFiles/ulpmc_core.dir/exec.cpp.o.d"
+  "CMakeFiles/ulpmc_core.dir/flags.cpp.o"
+  "CMakeFiles/ulpmc_core.dir/flags.cpp.o.d"
+  "CMakeFiles/ulpmc_core.dir/functional_core.cpp.o"
+  "CMakeFiles/ulpmc_core.dir/functional_core.cpp.o.d"
+  "CMakeFiles/ulpmc_core.dir/pipeline_core.cpp.o"
+  "CMakeFiles/ulpmc_core.dir/pipeline_core.cpp.o.d"
+  "CMakeFiles/ulpmc_core.dir/state.cpp.o"
+  "CMakeFiles/ulpmc_core.dir/state.cpp.o.d"
+  "libulpmc_core.a"
+  "libulpmc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_exp.dir/clock_constraint_figure.cpp.o"
+  "CMakeFiles/ulpmc_exp.dir/clock_constraint_figure.cpp.o.d"
+  "CMakeFiles/ulpmc_exp.dir/experiments.cpp.o"
+  "CMakeFiles/ulpmc_exp.dir/experiments.cpp.o.d"
+  "libulpmc_exp.a"
+  "libulpmc_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

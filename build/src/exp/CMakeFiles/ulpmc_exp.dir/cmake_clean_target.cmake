@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libulpmc_exp.a"
+)

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_isa.dir/asm_builder.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/asm_builder.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/assembler.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/binfmt.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/binfmt.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/disassembler.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/disassembler.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/encoding.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/encoding.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/instruction.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/instruction.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/listing.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/listing.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/mnemonics.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/mnemonics.cpp.o.d"
+  "CMakeFiles/ulpmc_isa.dir/program.cpp.o"
+  "CMakeFiles/ulpmc_isa.dir/program.cpp.o.d"
+  "libulpmc_isa.a"
+  "libulpmc_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

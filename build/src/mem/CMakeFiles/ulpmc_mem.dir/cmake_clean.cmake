@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_mem.dir/memory_bank.cpp.o"
+  "CMakeFiles/ulpmc_mem.dir/memory_bank.cpp.o.d"
+  "libulpmc_mem.a"
+  "libulpmc_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ulpmc_mem.
+# This may be replaced when dependencies are built.

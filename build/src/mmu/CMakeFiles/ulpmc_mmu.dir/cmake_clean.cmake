@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_mmu.dir/mmu.cpp.o"
+  "CMakeFiles/ulpmc_mmu.dir/mmu.cpp.o.d"
+  "libulpmc_mmu.a"
+  "libulpmc_mmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_mmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

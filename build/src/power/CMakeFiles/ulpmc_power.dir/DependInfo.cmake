@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/area.cpp" "src/power/CMakeFiles/ulpmc_power.dir/area.cpp.o" "gcc" "src/power/CMakeFiles/ulpmc_power.dir/area.cpp.o.d"
+  "/root/repo/src/power/dvfs.cpp" "src/power/CMakeFiles/ulpmc_power.dir/dvfs.cpp.o" "gcc" "src/power/CMakeFiles/ulpmc_power.dir/dvfs.cpp.o.d"
+  "/root/repo/src/power/governor.cpp" "src/power/CMakeFiles/ulpmc_power.dir/governor.cpp.o" "gcc" "src/power/CMakeFiles/ulpmc_power.dir/governor.cpp.o.d"
+  "/root/repo/src/power/power_model.cpp" "src/power/CMakeFiles/ulpmc_power.dir/power_model.cpp.o" "gcc" "src/power/CMakeFiles/ulpmc_power.dir/power_model.cpp.o.d"
+  "/root/repo/src/power/radio.cpp" "src/power/CMakeFiles/ulpmc_power.dir/radio.cpp.o" "gcc" "src/power/CMakeFiles/ulpmc_power.dir/radio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/ulpmc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpmc_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulpmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulpmc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulpmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ulpmc_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/ulpmc_xbar.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

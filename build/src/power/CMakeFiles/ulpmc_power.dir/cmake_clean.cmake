@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_power.dir/area.cpp.o"
+  "CMakeFiles/ulpmc_power.dir/area.cpp.o.d"
+  "CMakeFiles/ulpmc_power.dir/dvfs.cpp.o"
+  "CMakeFiles/ulpmc_power.dir/dvfs.cpp.o.d"
+  "CMakeFiles/ulpmc_power.dir/governor.cpp.o"
+  "CMakeFiles/ulpmc_power.dir/governor.cpp.o.d"
+  "CMakeFiles/ulpmc_power.dir/power_model.cpp.o"
+  "CMakeFiles/ulpmc_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/ulpmc_power.dir/radio.cpp.o"
+  "CMakeFiles/ulpmc_power.dir/radio.cpp.o.d"
+  "libulpmc_power.a"
+  "libulpmc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc_xbar.dir/crossbar.cpp.o"
+  "CMakeFiles/ulpmc_xbar.dir/crossbar.cpp.o.d"
+  "libulpmc_xbar.a"
+  "libulpmc_xbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc_xbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

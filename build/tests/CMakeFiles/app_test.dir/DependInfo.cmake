@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/cs_test.cpp" "tests/CMakeFiles/app_test.dir/app/cs_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/cs_test.cpp.o.d"
+  "/root/repo/tests/app/ecg_test.cpp" "tests/CMakeFiles/app_test.dir/app/ecg_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/ecg_test.cpp.o.d"
+  "/root/repo/tests/app/fir_test.cpp" "tests/CMakeFiles/app_test.dir/app/fir_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/fir_test.cpp.o.d"
+  "/root/repo/tests/app/huffman_test.cpp" "tests/CMakeFiles/app_test.dir/app/huffman_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/huffman_test.cpp.o.d"
+  "/root/repo/tests/app/kernels_test.cpp" "tests/CMakeFiles/app_test.dir/app/kernels_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/kernels_test.cpp.o.d"
+  "/root/repo/tests/app/reconstruct_test.cpp" "tests/CMakeFiles/app_test.dir/app/reconstruct_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/reconstruct_test.cpp.o.d"
+  "/root/repo/tests/app/rpeak_test.cpp" "tests/CMakeFiles/app_test.dir/app/rpeak_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/rpeak_test.cpp.o.d"
+  "/root/repo/tests/app/streaming_test.cpp" "tests/CMakeFiles/app_test.dir/app/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/app_test.dir/app/streaming_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/ulpmc_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/ulpmc_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/ulpmc_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/ulpmc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/mmu/CMakeFiles/ulpmc_mmu.dir/DependInfo.cmake"
+  "/root/repo/build/src/xbar/CMakeFiles/ulpmc_xbar.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/ulpmc_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ulpmc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ulpmc_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ulpmc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

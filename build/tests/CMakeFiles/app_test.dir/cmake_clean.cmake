@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_test.dir/app/cs_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/cs_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/ecg_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/ecg_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/fir_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/fir_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/huffman_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/huffman_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/kernels_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/kernels_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/reconstruct_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/reconstruct_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/rpeak_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/rpeak_test.cpp.o.d"
+  "CMakeFiles/app_test.dir/app/streaming_test.cpp.o"
+  "CMakeFiles/app_test.dir/app/streaming_test.cpp.o.d"
+  "app_test"
+  "app_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

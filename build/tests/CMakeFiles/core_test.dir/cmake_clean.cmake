@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/alu_property_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/alu_property_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/alu_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/alu_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/exec_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/exec_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/flags_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/flags_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/functional_core_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/functional_core_test.cpp.o.d"
+  "CMakeFiles/core_test.dir/core/pipeline_core_test.cpp.o"
+  "CMakeFiles/core_test.dir/core/pipeline_core_test.cpp.o.d"
+  "core_test"
+  "core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

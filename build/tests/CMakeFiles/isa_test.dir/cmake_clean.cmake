@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_test.dir/isa/asm_builder_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/asm_builder_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/assembler_fuzz_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/assembler_fuzz_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/assembler_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/assembler_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/binfmt_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/binfmt_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/disassembler_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/disassembler_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/encoding_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/encoding_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/instruction_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/instruction_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/listing_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/listing_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/mnemonics_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/mnemonics_test.cpp.o.d"
+  "CMakeFiles/isa_test.dir/isa/program_test.cpp.o"
+  "CMakeFiles/isa_test.dir/isa/program_test.cpp.o.d"
+  "isa_test"
+  "isa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

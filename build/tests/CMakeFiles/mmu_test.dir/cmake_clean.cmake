@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmu_test.dir/mmu/mmu_geometry_test.cpp.o"
+  "CMakeFiles/mmu_test.dir/mmu/mmu_geometry_test.cpp.o.d"
+  "CMakeFiles/mmu_test.dir/mmu/mmu_test.cpp.o"
+  "CMakeFiles/mmu_test.dir/mmu/mmu_test.cpp.o.d"
+  "mmu_test"
+  "mmu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_test.dir/power/area_test.cpp.o"
+  "CMakeFiles/power_test.dir/power/area_test.cpp.o.d"
+  "CMakeFiles/power_test.dir/power/dvfs_test.cpp.o"
+  "CMakeFiles/power_test.dir/power/dvfs_test.cpp.o.d"
+  "CMakeFiles/power_test.dir/power/governor_test.cpp.o"
+  "CMakeFiles/power_test.dir/power/governor_test.cpp.o.d"
+  "CMakeFiles/power_test.dir/power/power_model_test.cpp.o"
+  "CMakeFiles/power_test.dir/power/power_model_test.cpp.o.d"
+  "CMakeFiles/power_test.dir/power/radio_test.cpp.o"
+  "CMakeFiles/power_test.dir/power/radio_test.cpp.o.d"
+  "power_test"
+  "power_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(common_test "/root/repo/build/tests/common_test")
+set_tests_properties(common_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;10;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(isa_test "/root/repo/build/tests/isa_test")
+set_tests_properties(isa_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;16;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(core_test "/root/repo/build/tests/core_test")
+set_tests_properties(core_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;28;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mem_test "/root/repo/build/tests/mem_test")
+set_tests_properties(mem_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;36;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(xbar_test "/root/repo/build/tests/xbar_test")
+set_tests_properties(xbar_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;39;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(mmu_test "/root/repo/build/tests/mmu_test")
+set_tests_properties(mmu_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;42;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(cluster_test "/root/repo/build/tests/cluster_test")
+set_tests_properties(cluster_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;46;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(power_test "/root/repo/build/tests/power_test")
+set_tests_properties(power_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;53;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(app_test "/root/repo/build/tests/app_test")
+set_tests_properties(app_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;60;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(integration_test "/root/repo/build/tests/integration_test")
+set_tests_properties(integration_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;7;add_test;/root/repo/tests/CMakeLists.txt;70;ulpmc_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc-asm.dir/ulpmc_asm.cpp.o"
+  "CMakeFiles/ulpmc-asm.dir/ulpmc_asm.cpp.o.d"
+  "ulpmc-asm"
+  "ulpmc-asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc-asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

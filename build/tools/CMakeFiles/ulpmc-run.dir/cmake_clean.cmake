@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ulpmc-run.dir/ulpmc_run.cpp.o"
+  "CMakeFiles/ulpmc-run.dir/ulpmc_run.cpp.o.d"
+  "ulpmc-run"
+  "ulpmc-run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ulpmc-run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
