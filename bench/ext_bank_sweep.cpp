@@ -6,6 +6,7 @@
 // Energy note: per-access SRAM energy grows with bank size (fewer, larger
 // banks), modeled linearly through the same two-point fit as the area
 // model; absolute numbers are indicative, the trend is the point.
+#include <array>
 #include <iostream>
 
 #include "app/benchmark.hpp"
@@ -13,6 +14,7 @@
 #include "exp/experiments.hpp"
 #include "power/area.hpp"
 #include "power/calibration.hpp"
+#include "sweep/sweep.hpp"
 
 using namespace ulpmc;
 
@@ -33,15 +35,23 @@ int main() {
                                  "beyond the paper (its Section III choices)");
 
     const app::EcgBenchmark bench{};
+    sweep::SweepRunner pool;
 
     std::cout << "-- Data-memory banks (64 kB total, ulpmc-bank, benchmark run) --\n";
     Table dm({"DM banks", "bank size", "cycles", "DM conflicts", "bank accesses", "DM area [kGE]",
               "DM energy/op"});
-    for (const unsigned banks : {16u, 32u}) {
-        auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
-        cfg.dm_banks = banks;
-        cfg.dm_bank_words = kDmWordsTotal / banks;
-        const auto out = bench.run(cfg);
+    static constexpr std::array dm_bank_counts = {16u, 32u};
+    const auto dm_runs =
+        pool.map(std::span<const unsigned>(dm_bank_counts), [&](unsigned banks) {
+            auto cfg =
+                cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
+            cfg.dm_banks = banks;
+            cfg.dm_bank_words = kDmWordsTotal / banks;
+            return std::make_pair(cfg, bench.run(cfg));
+        });
+    for (std::size_t i = 0; i < dm_runs.size(); ++i) {
+        const unsigned banks = dm_bank_counts[i];
+        const auto& [cfg, out] = dm_runs[i];
         if (!out.verified) {
             std::cerr << "verification failed at " << banks << " banks\n";
             return 1;
@@ -62,11 +72,18 @@ int main() {
 
     std::cout << "-- Instruction-memory banks (96 kB total, ulpmc-bank + gating) --\n";
     Table im({"IM banks", "bank size", "cycles", "banks gated", "leakage alive", "IM area [kGE]"});
-    for (const unsigned banks : {4u, 8u, 16u, 32u}) {
-        auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
-        cfg.im_banks = banks;
-        cfg.im_bank_words = kImWordsTotal / banks;
-        const auto out = bench.run(cfg);
+    static constexpr std::array im_bank_counts = {4u, 8u, 16u, 32u};
+    const auto im_runs =
+        pool.map(std::span<const unsigned>(im_bank_counts), [&](unsigned banks) {
+            auto cfg =
+                cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
+            cfg.im_banks = banks;
+            cfg.im_bank_words = kImWordsTotal / banks;
+            return std::make_pair(cfg, bench.run(cfg));
+        });
+    for (std::size_t i = 0; i < im_runs.size(); ++i) {
+        const unsigned banks = im_bank_counts[i];
+        const auto& [cfg, out] = im_runs[i];
         if (!out.verified) {
             std::cerr << "verification failed at " << banks << " IM banks\n";
             return 1;

@@ -12,6 +12,7 @@
 #include "core/functional_core.hpp"
 #include "isa/assembler.hpp"
 #include "isa/encoding.hpp"
+#include "sweep/sweep.hpp"
 #include "xbar/crossbar.hpp"
 
 using namespace ulpmc;
@@ -55,6 +56,27 @@ void BM_XbarArbitrate(benchmark::State& state) {
 }
 BENCHMARK(BM_XbarArbitrate);
 
+// The crossbar's common case: every master claims a different bank (private
+// data traffic, interleaved fetch with diverged PCs). `fast` exercises the
+// claim-bitmask fast path, `slow` forces the reference round-robin arbiter
+// on identical inputs.
+void BM_XbarArbitrateConflictFree(benchmark::State& state, bool fast) {
+    xbar::Crossbar xb(16, 16, true);
+    xb.set_fast_path(fast);
+    std::vector<xbar::Request> reqs(16);
+    std::vector<xbar::Grant> grants(16);
+    for (unsigned m = 0; m < 16; ++m)
+        reqs[m] = {.active = true, .is_write = (m % 3 == 0), .bank = static_cast<BankId>(m),
+                   .offset = m % 7u};
+    Cycle cycle = 0;
+    for (auto _ : state) {
+        xb.arbitrate_into(reqs, ++cycle, grants);
+        benchmark::DoNotOptimize(grants.data());
+    }
+}
+BENCHMARK_CAPTURE(BM_XbarArbitrateConflictFree, fast, true);
+BENCHMARK_CAPTURE(BM_XbarArbitrateConflictFree, slow, false);
+
 void BM_FunctionalCoreStep(benchmark::State& state) {
     const auto prog = isa::assemble(R"(
             movi r1, 0
@@ -76,25 +98,106 @@ void BM_FunctionalCoreStep(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalCoreStep);
 
+// The acceptance workload for the simulation fast path: an 8-core
+// ulpmc-int cluster on an endless store/loop kernel. With staggered starts
+// the PCs spread over the interleaved IM banks, so fetch and private-data
+// traffic are conflict-free — the case the pre-decoded IM and the
+// claim-bitmask arbiter are built for. `fast` and `slow` run the identical
+// configuration with the fast path on/off (the slow path IS the old
+// engine), so the ratio of the two is the measured speedup.
+void BM_ClusterStep(benchmark::State& state, bool fast, bool stagger) {
+    const auto prog = isa::assemble(R"(
+            movi r1, 512
+            movi r2, 1000
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+            movi r1, 512
+            movi r2, 1000
+            bra  al, loop
+    )");
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcInt,
+                                    {.shared_words = 512, .private_words_per_core = 2048});
+    cfg.sim_fast_path = fast;
+    cfg.stagger_start = stagger;
+    cluster::Cluster cl(cfg, prog);
+    for (auto _ : state) {
+        bool alive = cl.step(); // the program never halts: one cycle per iteration
+        benchmark::DoNotOptimize(alive);
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kNumCores);
+    std::uint64_t fetches = 0;
+    for (const auto& c : cl.stats().core) fetches += c.im_fetches;
+    state.counters["cycles/s"] =
+        benchmark::Counter(static_cast<double>(state.iterations()), benchmark::Counter::kIsRate);
+    state.counters["fetches/s"] =
+        benchmark::Counter(static_cast<double>(fetches), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_fast, true, true);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_slow, false, true);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_lockstep_fast, true, false);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_lockstep_slow, false, false);
+
 void BM_ClusterCycle(benchmark::State& state) {
     const app::EcgBenchmark bench{};
     const auto cfg =
         cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
     auto cl = std::make_unique<cluster::Cluster>(cfg, bench.program());
     for (auto _ : state) {
-        if (!cl->step()) {
+        bool alive = cl->step();
+        if (!alive) {
             // The benchmark ran to completion: restart on a fresh cluster
             // (construction cost excluded from timing).
             state.PauseTiming();
             cl = std::make_unique<cluster::Cluster>(cfg, bench.program());
             state.ResumeTiming();
-            cl->step();
+            alive = cl->step();
         }
-        benchmark::DoNotOptimize(cl->stats().cycles);
+        benchmark::DoNotOptimize(alive);
     }
     state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kNumCores);
 }
 BENCHMARK(BM_ClusterCycle);
+
+// Design-space sweep throughput: six architecture points simulated to
+// completion per iteration. `pool1` is the sequential reference (no pool
+// threads), `pool_hw` uses the hardware concurrency — on a multi-core
+// host the ratio shows the sweep-runner scaling, on a single-core CI
+// container both degenerate to the same work.
+void BM_Sweep(benchmark::State& state, unsigned threads) {
+    const auto prog = isa::assemble(R"(
+            movi r1, 512
+            movi r2, 200
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    std::vector<sweep::SweepPoint> points;
+    for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                            cluster::ArchKind::UlpmcBank}) {
+        for (const bool stagger : {false, true}) {
+            auto cfg = cluster::make_config(arch,
+                                            {.shared_words = 512, .private_words_per_core = 2048});
+            cfg.stagger_start = stagger;
+            points.push_back({.label = std::string(cluster::arch_name(arch)),
+                              .cfg = cfg,
+                              .max_cycles = 100'000});
+        }
+    }
+    sweep::SweepRunner pool(threads);
+    for (auto _ : state) {
+        auto out = pool.run(prog, points);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.counters["points/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * static_cast<double>(points.size()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_Sweep, pool1, 1u);
+BENCHMARK_CAPTURE(BM_Sweep, pool_hw, 0u);
 
 void BM_FullBenchmarkRun(benchmark::State& state) {
     const app::EcgBenchmark bench{};

@@ -17,10 +17,13 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
     : cfg_(cfg), im_map_(cfg.im_policy, cfg.im_banks, cfg.im_bank_words),
       ixbar_(cfg.cores, cfg.im_banks, cfg.im_broadcast),
       dxbar_(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast),
+      predecoded_(cfg.im_banks, cfg.im_bank_words),
       dm_req_(2 * cfg.cores), dm_grant_(2 * cfg.cores), im_req_(cfg.cores), im_grant_(cfg.cores),
       fetch_pc_(cfg.cores, 0) {
     ULPMC_EXPECTS(cfg.cores > 0 && cfg.cores <= kNumCores);
     ULPMC_EXPECTS(!prog.text.empty());
+    ixbar_.set_fast_path(cfg.sim_fast_path);
+    dxbar_.set_fast_path(cfg.sim_fast_path);
 
     // --- construct memories -------------------------------------------------
     im_banks_.reserve(cfg.im_banks);
@@ -38,20 +41,49 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
         cores_.push_back(std::move(c));
     }
     stats_.core.resize(cfg.cores);
+    active_cores_.reserve(cfg.cores);
+    for (unsigned p = 0; p < cfg.cores; ++p) active_cores_.push_back(static_cast<CoreId>(p));
 
     // --- load text ----------------------------------------------------------
+    // Every loaded word is also decoded once into the pre-decoded side
+    // array; fetches then pull ready-made instructions instead of decoding
+    // every cycle.
     if (cfg.im_policy == mmu::ImPolicy::Dedicated) {
         ULPMC_EXPECTS(prog.text.size() <= cfg.im_bank_words);
-        for (unsigned b = 0; b < cfg.im_banks; ++b)
+        for (unsigned b = 0; b < cfg.im_banks; ++b) {
             for (std::size_t i = 0; i < prog.text.size(); ++i)
                 im_banks_[b].poke(i, prog.text[i]);
+            predecoded_.refresh_bank(static_cast<BankId>(b),
+                                     im_banks_[b].cells().first(prog.text.size()));
+        }
     } else {
         for (std::size_t i = 0; i < prog.text.size(); ++i) {
             const auto pa = im_map_.translate(static_cast<PAddr>(i), 0);
             ULPMC_EXPECTS(pa.has_value());
             im_banks_[pa->bank].poke(pa->offset, prog.text[i]);
+            predecoded_.refresh(pa->bank, pa->offset, prog.text[i]);
         }
     }
+
+    // --- PC-indexed fetch table ---------------------------------------------
+    // For PID-independent policies, resolve every reachable PC once:
+    // translate + predecode-lookup collapse into a single indexed read on
+    // the per-cycle fetch path. Built via the ImMap itself, so the mapping
+    // (and the set of faulting PCs) is identical by construction.
+    if (cfg_.sim_fast_path && cfg_.im_policy != mmu::ImPolicy::Dedicated) {
+        const std::size_t words = std::min<std::size_t>(
+            static_cast<std::size_t>(cfg_.im_banks) * cfg_.im_bank_words,
+            std::size_t{1} << (8 * sizeof(PAddr)));
+        fetch_table_.resize(words);
+        for (std::size_t pc = 0; pc < words; ++pc) {
+            const auto pa = im_map_.translate(static_cast<PAddr>(pc), 0);
+            ULPMC_ASSERT(pa.has_value());
+            fetch_table_[pc] = {.pre = predecoded_.lookup(pa->bank, pa->offset),
+                                .bank = pa->bank,
+                                .offset = pa->offset};
+        }
+    }
+
     stats_.im_banks_used = im_map_.banks_used(prog.text.size());
     if (cfg.gate_unused_im_banks) {
         for (unsigned b = stats_.im_banks_used; b < cfg.im_banks; ++b)
@@ -107,28 +139,73 @@ void Cluster::dm_poke(CoreId pid, Addr vaddr, Word value) {
     dm_banks_[pa->bank].poke(pa->offset, value);
 }
 
+InstrWord Cluster::im_peek(PAddr pc, CoreId pid) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    const auto pa = im_map_.translate(pc, pid);
+    ULPMC_EXPECTS(pa.has_value());
+    return static_cast<InstrWord>(im_banks_[pa->bank].peek(pa->offset));
+}
+
+void Cluster::im_poke(PAddr pc, InstrWord word) {
+    // Mirrors the loader: the Dedicated policy replicates text per core,
+    // so a patch must reach every replica. Each poke re-decodes exactly
+    // the poked word, keeping the fast path coherent.
+    const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+    for (unsigned p = 0; p < replicas; ++p) {
+        const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
+        ULPMC_EXPECTS(pa.has_value());
+        // A core whose EX slot aliases the refreshed entry keeps the
+        // instruction it latched at fetch (what the hardware — and the
+        // slow path, which copies at decode — would execute).
+        const isa::DecodedInstr& old = predecoded_.entry(pa->bank, pa->offset);
+        for (auto& c : cores_) {
+            if (c.ex == &old.instr) {
+                c.ex_buf = old.instr;
+                c.ex = &c.ex_buf;
+            }
+        }
+        im_banks_[pa->bank].poke(pa->offset, word);
+        predecoded_.refresh(pa->bank, pa->offset, word);
+        if (pc < fetch_table_.size())
+            fetch_table_[pc].pre = predecoded_.lookup(pa->bank, pa->offset);
+    }
+}
+
 void Cluster::raise_trap(CoreCtx& c, core::Trap t) {
     c.trap = t;
-    c.ex.reset();
+    c.ex = nullptr;
     const auto pid = static_cast<std::size_t>(&c - cores_.data());
     emit(static_cast<CoreId>(pid), EventKind::Trap, static_cast<std::uint32_t>(t));
     stats_.core[pid].trap = t;
     stats_.core[pid].halted_at = cycle_;
     stats_.cycles = std::max(stats_.cycles, cycle_);
+    retire_core(static_cast<CoreId>(pid));
+}
+
+void Cluster::retire_core(CoreId pid) {
+    im_req_[pid] = {};
+    dm_req_[read_port(pid)] = {};
+    dm_req_[write_port(pid)] = {};
+    active_dirty_ = true;
 }
 
 bool Cluster::step() {
-    bool any_active = false;
-    for (const auto& c : cores_)
-        if (!core_done(c)) any_active = true;
-    if (!any_active) return false;
+    if (active_dirty_) {
+        std::erase_if(active_cores_, [this](CoreId p) { return core_done(cores_[p]); });
+        active_dirty_ = false;
+    }
+    if (active_cores_.empty()) return false;
 
     ++cycle_;
     execute_phase();
     fetch_phase();
 
-    stats_.ixbar = ixbar_.stats();
-    stats_.dxbar = dxbar_.stats();
+    // Keep the cycle counter live every cycle, so a run that hits its
+    // max_cycles bound while cores still execute reports the cycles it
+    // actually simulated (not the last halt/trap bookkeeping point). The
+    // crossbar aggregates are synced lazily in stats() instead of copied
+    // here every cycle.
+    stats_.cycles = cycle_;
     return true;
 }
 
@@ -143,29 +220,39 @@ void Cluster::execute_phase() {
     // The read port goes first logically (within the cycle, the loaded
     // value feeds the ALU and the write happens with the result), but both
     // ports arbitrate in the same cycle, as in the hardware.
-    for (unsigned p = 0; p < cores_.size(); ++p) {
+    std::uint32_t req_mask = 0; ///< bit per D-Xbar master port with a request
+    for (const CoreId p : active_cores_) {
         CoreCtx& c = cores_[p];
-        dm_req_[read_port(p)] = {};
-        dm_req_[write_port(p)] = {};
+        // Deactivating the slots is enough: arbitration and the grant
+        // checks below read bank/offset only behind the `active` flag.
+        dm_req_[read_port(p)].active = false;
+        dm_req_[write_port(p)].active = false;
         if (core_done(c) || c.in_barrier || !c.ex) continue;
 
-        if (c.load_pa && !c.load_done) {
+        if (c.has_load && !c.load_done) {
             dm_req_[read_port(p)] = {.active = true,
                                      .is_write = false,
-                                     .bank = c.load_pa->bank,
-                                     .offset = c.load_pa->offset};
+                                     .bank = c.load_pa.bank,
+                                     .offset = c.load_pa.offset};
+            req_mask |= std::uint32_t{1} << read_port(p);
         }
-        if (c.store_pa) {
+        if (c.has_store) {
             dm_req_[write_port(p)] = {.active = true,
                                       .is_write = true,
-                                      .bank = c.store_pa->bank,
-                                      .offset = c.store_pa->offset};
+                                      .bank = c.store_pa.bank,
+                                      .offset = c.store_pa.offset};
+            req_mask |= std::uint32_t{1} << write_port(p);
         }
     }
 
-    dxbar_.arbitrate_into(dm_req_, cycle_, dm_grant_);
+    // With no request raised, arbitration is a no-op on stats and every
+    // grant slot is guarded by its request's `active` flag, so the fast
+    // path skips the crossbar entirely. The mask of raised ports lets the
+    // arbiter visit only them.
+    if (req_mask || !cfg_.sim_fast_path)
+        dxbar_.arbitrate_into(dm_req_, cycle_, dm_grant_, req_mask);
 
-    for (unsigned p = 0; p < cores_.size(); ++p) {
+    for (const CoreId p : active_cores_) {
         CoreCtx& c = cores_[p];
         if (core_done(c) || c.in_barrier || !c.ex) continue;
 
@@ -179,12 +266,12 @@ void Cluster::execute_phase() {
             c.load_done = true;
         }
 
-        const bool load_ok = !c.load_pa || c.load_done;
+        const bool load_ok = !c.has_load || c.load_done;
         // A granted write is only usable once the loaded value is in hand
         // (this cycle's read grant counts); otherwise the grant is wasted
         // and the store retries.
         const bool store_ok =
-            !c.store_pa ||
+            !c.has_store ||
             (dm_req_[write_port(p)].active && dm_grant_[write_port(p)].granted && load_ok);
 
         if (load_ok && store_ok) {
@@ -199,33 +286,48 @@ void Cluster::execute_phase() {
 }
 
 void Cluster::commit(CoreCtx& c, CoreId pid) {
-    const core::StepEffects fx = core::execute(*c.ex, c.state, c.loaded);
+    const PAddr pc_before = c.state.pc;
+    std::optional<Word> store_value;
+    bool halt = false;
+    if (cfg_.sim_fast_path) {
+        // In-place semantics: identical architectural effect, without the
+        // two CoreState copies the functional execute() implies (measurably
+        // the hottest part of commit).
+        const core::InplaceEffects fx = core::execute_inplace(*c.ex, c.state, c.loaded);
+        store_value = fx.store_value;
+        halt = fx.halt;
+    } else {
+        const core::StepEffects fx = core::execute(*c.ex, c.state, c.loaded);
+        store_value = fx.store_value;
+        halt = fx.halt;
+        c.state = fx.next;
+    }
 
-    if (c.store_pa) {
-        ULPMC_ASSERT(fx.store_value.has_value());
-        dm_banks_[c.store_pa->bank].write(c.store_pa->offset, *fx.store_value);
+    if (c.has_store) {
+        ULPMC_ASSERT(store_value.has_value());
+        dm_banks_[c.store_pa.bank].write(c.store_pa.offset, *store_value);
         ++stats_.dm_bank_writes;
         ++stats_.core[pid].dm_stores;
     }
-    if (c.load_pa) ++stats_.core[pid].dm_loads;
+    if (c.has_load) ++stats_.core[pid].dm_loads;
 
     const bool is_barrier =
         cfg_.barrier_enabled && c.plan.store && *c.plan.store == kBarrierAddr;
 
-    emit(pid, EventKind::Commit, c.state.pc);
-    c.state = fx.next;
-    c.ex.reset();
-    c.load_pa.reset();
-    c.store_pa.reset();
+    emit(pid, EventKind::Commit, pc_before);
+    c.ex = nullptr;
+    c.has_load = false;
+    c.has_store = false;
     c.load_done = false;
     c.loaded.reset();
     ++stats_.core[pid].instret;
 
-    if (fx.halt) {
+    if (halt) {
         c.halted = true;
         stats_.core[pid].halted_at = cycle_;
         stats_.cycles = std::max(stats_.cycles, cycle_);
         emit(pid, EventKind::Halt);
+        retire_core(pid);
     } else if (is_barrier) {
         c.in_barrier = true;
         emit(pid, EventKind::BarrierArrive);
@@ -250,24 +352,39 @@ void Cluster::release_barrier_if_complete() {
 }
 
 void Cluster::fetch_phase() {
-    for (unsigned p = 0; p < cores_.size(); ++p) {
+    const bool use_table = !fetch_table_.empty();
+    std::uint32_t req_mask = 0; ///< bit per core with a fetch request
+    for (const CoreId p : active_cores_) {
         CoreCtx& c = cores_[p];
-        im_req_[p] = {};
+        im_req_[p].active = false;
         if (core_done(c) || c.in_barrier || c.ex) continue;
         if (cycle_ < c.start_cycle + 1) continue; // staggered start
 
-        const auto pa = im_map_.translate(c.state.pc, static_cast<CoreId>(p));
-        if (!pa) {
-            raise_trap(c, core::Trap::FetchFault);
-            continue;
+        if (use_table) {
+            if (c.state.pc >= fetch_table_.size()) {
+                raise_trap(c, core::Trap::FetchFault);
+                continue;
+            }
+            const FetchSlot& fs = fetch_table_[c.state.pc];
+            fetch_pc_[p] = c.state.pc;
+            im_req_[p] = {.active = true, .is_write = false, .bank = fs.bank, .offset = fs.offset};
+        } else {
+            const auto pa = im_map_.translate(c.state.pc, static_cast<CoreId>(p));
+            if (!pa) {
+                raise_trap(c, core::Trap::FetchFault);
+                continue;
+            }
+            fetch_pc_[p] = c.state.pc;
+            im_req_[p] = {
+                .active = true, .is_write = false, .bank = pa->bank, .offset = pa->offset};
         }
-        fetch_pc_[p] = c.state.pc;
-        im_req_[p] = {.active = true, .is_write = false, .bank = pa->bank, .offset = pa->offset};
+        req_mask |= std::uint32_t{1} << p;
     }
 
-    ixbar_.arbitrate_into(im_req_, cycle_, im_grant_);
+    if (req_mask || !cfg_.sim_fast_path)
+        ixbar_.arbitrate_into(im_req_, cycle_, im_grant_, req_mask);
 
-    for (unsigned p = 0; p < cores_.size(); ++p) {
+    for (const CoreId p : active_cores_) {
         CoreCtx& c = cores_[p];
         if (!im_req_[p].active) {
             if (!core_done(c) && !c.in_barrier && cycle_ >= c.start_cycle + 1 && !c.ex)
@@ -294,28 +411,52 @@ void Cluster::fetch_phase() {
              im_grant_[p].broadcast ? EventKind::FetchBroadcast : EventKind::Fetch, fetch_pc_[p],
              im_req_[p].bank);
 
-        const auto decoded = isa::decode(w);
-        if (!decoded) {
-            raise_trap(c, core::Trap::IllegalInstruction);
-            continue;
+        // `needs_plan` is a fast-path-only shortcut: for an instruction
+        // with no memory operand the plan below is the empty plan, so the
+        // address computation and MMU translations can be skipped outright.
+        bool needs_plan = true;
+        if (cfg_.sim_fast_path) {
+            // Fast path: the decode happened once at load; `w` was still
+            // read above so the bank/crossbar statistics stay identical.
+            const isa::DecodedInstr* pre =
+                use_table ? fetch_table_[fetch_pc_[p]].pre
+                          : predecoded_.lookup(im_req_[p].bank, im_req_[p].offset);
+            if (!pre) {
+                raise_trap(c, core::Trap::IllegalInstruction);
+                continue;
+            }
+            c.ex = &pre->instr;
+            needs_plan = pre->has_mem;
+        } else {
+            const auto decoded = isa::decode(w);
+            if (!decoded) {
+                raise_trap(c, core::Trap::IllegalInstruction);
+                continue;
+            }
+            c.ex_buf = *decoded;
+            c.ex = &c.ex_buf;
         }
-        c.ex = *decoded;
 
         // Pre-compute the data-access plan; architectural state cannot
         // change between this fetch and the execute phase (in-order,
         // single issue), so the plan stays valid across stall cycles.
-        c.plan = core::plan_memory(*decoded, c.state);
-        c.load_pa.reset();
-        c.store_pa.reset();
+        c.has_load = false;
+        c.has_store = false;
         c.load_done = false;
         c.loaded.reset();
+        if (!needs_plan) {
+            c.plan = {};
+            continue;
+        }
+        c.plan = core::plan_memory(*c.ex, c.state);
         if (c.plan.load) {
             const auto lpa = c.mmu.translate(*c.plan.load);
             if (!lpa) {
                 raise_trap(c, core::Trap::MemoryFault);
                 continue;
             }
-            c.load_pa = lpa;
+            c.load_pa = *lpa;
+            c.has_load = true;
         }
         if (c.plan.store) {
             if (cfg_.barrier_enabled && *c.plan.store == kBarrierAddr) {
@@ -327,7 +468,8 @@ void Cluster::fetch_phase() {
                     raise_trap(c, core::Trap::MemoryFault);
                     continue;
                 }
-                c.store_pa = spa;
+                c.store_pa = *spa;
+                c.has_store = true;
             }
         }
     }

@@ -33,6 +33,7 @@
 #include "common/types.hpp"
 #include "core/exec.hpp"
 #include "core/state.hpp"
+#include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "mem/memory_bank.hpp"
 #include "mmu/mmu.hpp"
@@ -57,7 +58,14 @@ public:
     Cycle run(Cycle max_cycles = 50'000'000);
 
     const ClusterConfig& config() const { return cfg_; }
-    const ClusterStats& stats() const { return stats_; }
+
+    /// Run statistics. The crossbar aggregates are synced on access
+    /// rather than every cycle (they accumulate inside the crossbars).
+    const ClusterStats& stats() const {
+        stats_.ixbar = ixbar_.stats();
+        stats_.dxbar = dxbar_.stats();
+        return stats_;
+    }
 
     const core::CoreState& core_state(CoreId pid) const;
     bool core_halted(CoreId pid) const;
@@ -72,6 +80,13 @@ public:
     Word dm_peek(CoreId pid, Addr vaddr) const;
     void dm_poke(CoreId pid, Addr vaddr, Word value);
 
+    /// Reads/patches the instruction at program address `pc` without
+    /// touching statistics (debuggers, self-test tools). A poke updates
+    /// every replica under the Dedicated policy and keeps the pre-decoded
+    /// side array coherent (per-word invalidation).
+    InstrWord im_peek(PAddr pc, CoreId pid = 0) const;
+    void im_poke(PAddr pc, InstrWord word);
+
 private:
     struct CoreCtx {
         core::CoreState state;
@@ -79,10 +94,17 @@ private:
         Cycle start_cycle = 0;
 
         // EX slot: decoded instruction awaiting/performing data access.
-        std::optional<isa::Instruction> ex = std::nullopt;
-        core::MemPlan plan = {};                               // virtual addresses
-        std::optional<mmu::BankedAddr> load_pa = std::nullopt;  // translated load
-        std::optional<mmu::BankedAddr> store_pa = std::nullopt; // translated store
+        // On the fast path `ex` points into the pre-decode array (stable
+        // storage; im_poke re-latches an aliased EX into ex_buf so the
+        // instruction latched at fetch is what executes, exactly as on the
+        // slow path). The slow path decodes into ex_buf.
+        const isa::Instruction* ex = nullptr;
+        isa::Instruction ex_buf{};
+        core::MemPlan plan = {};          // virtual addresses
+        bool has_load = false;            // translated load/store, valid
+        bool has_store = false;           // when the flag is set
+        mmu::BankedAddr load_pa{};
+        mmu::BankedAddr store_pa{};
         bool load_done = false;
         std::optional<Word> loaded = std::nullopt;
 
@@ -97,6 +119,20 @@ private:
     void raise_trap(CoreCtx& c, core::Trap t);
     bool core_done(const CoreCtx& c) const { return c.halted || c.trap != core::Trap::None; }
     void release_barrier_if_complete();
+    /// Takes a finished core off the active list (lazily, at the next
+    /// step()) and clears its request slots so the crossbars never see a
+    /// stale claim from it.
+    void retire_core(CoreId pid);
+
+    /// One PC's fetch fully resolved: physical IM location plus the
+    /// pre-decoded entry stored there (nullptr = illegal word). Built once
+    /// at load for PID-independent IM policies; the fetch path then costs
+    /// one indexed read instead of an MMU translate plus a decode lookup.
+    struct FetchSlot {
+        const isa::DecodedInstr* pre = nullptr;
+        BankId bank = 0;
+        std::uint32_t offset = 0;
+    };
 
     ClusterConfig cfg_;
     mmu::ImMap im_map_;
@@ -105,9 +141,21 @@ private:
     std::vector<mem::MemoryBank> dm_banks_;
     xbar::Crossbar ixbar_;
     xbar::Crossbar dxbar_;
-    ClusterStats stats_;
+    isa::PredecodedIm predecoded_; ///< side array mirroring im_banks_
+    /// PC-indexed fetch table (fast path, Interleaved/Banked policies —
+    /// their PC->bank mapping is the same for every core). Empty when the
+    /// slow path or the Dedicated policy is in use; im_poke keeps it
+    /// coherent. Indexing it beyond size() is exactly the set of PCs the
+    /// ImMap refuses, so a miss raises the same FetchFault.
+    std::vector<FetchSlot> fetch_table_;
+    mutable ClusterStats stats_;   ///< mutable: stats() syncs xbar aggregates
     Cycle cycle_ = 0;
     TraceSink* trace_ = nullptr;
+
+    /// Cores that are neither halted nor trapped: the per-cycle phases
+    /// iterate only these, so finished cores cost zero work per cycle.
+    std::vector<CoreId> active_cores_;
+    bool active_dirty_ = false; ///< a core finished since the last compaction
 
     void emit(CoreId core, EventKind kind, std::uint32_t a = 0, std::uint32_t b = 0) {
         if (trace_) trace_->on_event(TraceEvent{cycle_, core, kind, a, b});

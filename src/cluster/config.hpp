@@ -52,6 +52,12 @@ struct ClusterConfig {
     /// Extension (not in the paper): memory-mapped barrier register at
     /// virtual address 0xFFFF that resynchronizes the cores.
     bool barrier_enabled = false;
+
+    /// Simulator-only switch (no architectural meaning): enables the
+    /// pre-decoded IM and the crossbars' conflict-free fast path. Results
+    /// and statistics are cycle-for-cycle identical either way — turning
+    /// it off forces the reference slow path for differential testing.
+    bool sim_fast_path = true;
 };
 
 /// Virtual data address of the barrier register (extension).

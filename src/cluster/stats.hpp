@@ -24,6 +24,8 @@ struct CoreRunStats {
     std::uint64_t im_fetches = 0;    ///< instruction fetches served
     Cycle halted_at = 0;             ///< cycle the core halted (0 if never)
     core::Trap trap = core::Trap::None;
+
+    friend bool operator==(const CoreRunStats&, const CoreRunStats&) = default;
 };
 
 /// Whole-cluster counters.
@@ -56,6 +58,8 @@ struct ClusterStats {
     }
 
     std::uint64_t dm_bank_accesses() const { return dm_bank_reads + dm_bank_writes; }
+
+    friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
 };
 
 } // namespace ulpmc::cluster

@@ -70,26 +70,135 @@ bool signed_imm(const Instruction& in, bool is_srcb) { return in.op == Opcode::S
 
 MemPlan plan_memory(const Instruction& in, const CoreState& s) {
     MemPlan plan;
-    std::array<Word, kNumRegisters> regs = s.regs; // scratch: side effects discarded
-
     switch (in.op) {
     case Opcode::BRA:
     case Opcode::JAL:
     case Opcode::MOVI:
         return plan;
     case Opcode::MOV:
+        if (!reads_memory(in.srca) && !writes_memory(in.dst)) return plan;
+        break;
+    default: // ALU
+        if (!reads_memory(in.srca) && !reads_memory(in.srcb) && !writes_memory(in.dst))
+            return plan;
+        break;
+    }
+
+    // Only instructions with a memory operand reach the scratch register
+    // copy (addressing-mode side effects are discarded).
+    std::array<Word, kNumRegisters> regs = s.regs;
+    if (in.op == Opcode::MOV) {
         if (reads_memory(in.srca)) plan.load = src_ea(in.srca, regs, in.moff);
         if (writes_memory(in.dst)) plan.store = dst_ea(in.dst, regs, in.moff);
-        return plan;
-    default: // ALU
+    } else {
         if (reads_memory(in.srca)) plan.load = src_ea(in.srca, regs, in.moff);
         if (reads_memory(in.srcb)) {
             ULPMC_ASSERT(!plan.load); // validated: at most one memory source
             plan.load = src_ea(in.srcb, regs, in.moff);
         }
         if (writes_memory(in.dst)) plan.store = dst_ea(in.dst, regs, 0);
-        return plan;
     }
+    return plan;
+}
+
+InplaceEffects execute_inplace(const Instruction& in, CoreState& s, std::optional<Word> loaded) {
+    InplaceEffects fx;
+    auto& regs = s.regs;
+
+    // Mirrors execute()'s operand evaluation exactly; regs here plays the
+    // role of fx.next.regs there (identical starting contents).
+    const auto src_value = [&](const SrcOperand& src, bool is_srcb) -> Word {
+        switch (src.mode) {
+        case SrcMode::Reg:
+            return regs[src.reg];
+        case SrcMode::Imm4:
+            return signed_imm(in, is_srcb)
+                       ? static_cast<Word>(static_cast<SWord>(sign_extend(src.reg, 4)))
+                       : static_cast<Word>(src.reg);
+        default:
+            (void)src_ea(src, regs, in.moff); // apply addressing side effect
+            ULPMC_EXPECTS(loaded.has_value());
+            return *loaded;
+        }
+    };
+
+    const auto write_dst = [&](Word value) {
+        if (in.dst.mode == DstMode::Reg) {
+            regs[in.dst.reg] = value;
+        } else {
+            (void)dst_ea(in.dst, regs, in.op == Opcode::MOV ? in.moff : 0);
+            fx.store_value = value;
+        }
+    };
+
+    switch (in.op) {
+    case Opcode::ADD:
+    case Opcode::SUB:
+    case Opcode::SFT:
+    case Opcode::AND:
+    case Opcode::OR:
+    case Opcode::XOR:
+    case Opcode::MULL:
+    case Opcode::MULH: {
+        const Word a = src_value(in.srca, /*is_srcb=*/false);
+        const Word b = src_value(in.srcb, /*is_srcb=*/true);
+        const AluOut out = alu_exec(in.op, a, b);
+        write_dst(out.value);
+        s.flags = out.flags;
+        s.pc = static_cast<PAddr>(s.pc + 1);
+        return fx;
+    }
+    case Opcode::MOV:
+        write_dst(src_value(in.srca, /*is_srcb=*/false));
+        s.pc = static_cast<PAddr>(s.pc + 1);
+        return fx;
+    case Opcode::MOVI:
+        regs[in.dst.reg] = in.imm16;
+        s.pc = static_cast<PAddr>(s.pc + 1);
+        return fx;
+    case Opcode::BRA: {
+        if (!cond_holds(in.cond, s.flags)) {
+            s.pc = static_cast<PAddr>(s.pc + 1);
+            return fx;
+        }
+        PAddr target = 0;
+        switch (in.bmode) {
+        case isa::BraMode::Rel:
+            target = static_cast<PAddr>(static_cast<std::int32_t>(s.pc) + in.target);
+            break;
+        case isa::BraMode::Abs:
+            target = static_cast<PAddr>(in.target);
+            break;
+        case isa::BraMode::RegInd:
+            target = static_cast<PAddr>(regs[in.treg]);
+            break;
+        }
+        // Halt (branch-to-self) compares against the pre-branch PC, so
+        // test before the in-place update.
+        fx.halt = in.cond == isa::Cond::AL && target == s.pc;
+        s.pc = target;
+        return fx;
+    }
+    case Opcode::JAL: {
+        // execute() resolves a RegInd target from the PRE-link register
+        // file; capture it before the link write to preserve link==treg.
+        const Word treg_old = regs[in.treg];
+        regs[in.link] = static_cast<Word>(s.pc + 1);
+        switch (in.bmode) {
+        case isa::BraMode::Rel:
+            s.pc = static_cast<PAddr>(static_cast<std::int32_t>(s.pc) + in.target);
+            break;
+        case isa::BraMode::Abs:
+            s.pc = static_cast<PAddr>(in.target);
+            break;
+        case isa::BraMode::RegInd:
+            s.pc = static_cast<PAddr>(treg_old);
+            break;
+        }
+        return fx;
+    }
+    }
+    ULPMC_ASSERT(false);
 }
 
 StepEffects execute(const Instruction& in, const CoreState& s, std::optional<Word> loaded) {

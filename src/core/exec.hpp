@@ -43,4 +43,17 @@ struct StepEffects {
 /// plan_memory() reported a load (contract-checked).
 StepEffects execute(const isa::Instruction& in, const CoreState& s, std::optional<Word> loaded);
 
+/// Non-state effects of an in-place execution.
+struct InplaceEffects {
+    std::optional<Word> store_value; ///< value for MemPlan::store, if any
+    bool halt = false;               ///< unconditional branch-to-self seen
+};
+
+/// In-place variant of execute(): mutates `s` directly instead of
+/// returning a state copy. Architecturally identical by construction (the
+/// differential test runs both engines); it exists because the simulator's
+/// commit path is dominated by the two CoreState copies execute() implies.
+InplaceEffects execute_inplace(const isa::Instruction& in, CoreState& s,
+                               std::optional<Word> loaded);
+
 } // namespace ulpmc::core

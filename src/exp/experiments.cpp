@@ -1,8 +1,10 @@
 #include "exp/experiments.hpp"
 
+#include <array>
 #include <iostream>
 
 #include "common/assert.hpp"
+#include "sweep/sweep.hpp"
 
 namespace ulpmc::exp {
 
@@ -14,11 +16,13 @@ DesignPoint characterize(cluster::ArchKind arch, const app::EcgBenchmark& bench)
 }
 
 std::vector<DesignPoint> characterize_all(const app::EcgBenchmark& bench) {
-    std::vector<DesignPoint> v;
-    v.push_back(characterize(cluster::ArchKind::McRef, bench));
-    v.push_back(characterize(cluster::ArchKind::UlpmcInt, bench));
-    v.push_back(characterize(cluster::ArchKind::UlpmcBank, bench));
-    return v;
+    // The three designs are independent full-benchmark simulations — fan
+    // them out over the sweep pool (sequential when single-core).
+    static constexpr std::array archs = {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                                         cluster::ArchKind::UlpmcBank};
+    sweep::SweepRunner pool;
+    return pool.map(std::span<const cluster::ArchKind>(archs),
+                    [&](cluster::ArchKind a) { return characterize(a, bench); });
 }
 
 std::string vs_paper_percent(double measured_ratio, double paper_percent) {

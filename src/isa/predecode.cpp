@@ -1,0 +1,51 @@
+#include "isa/predecode.hpp"
+
+#include "common/assert.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::isa {
+
+PredecodedIm::PredecodedIm(unsigned banks, std::size_t words_per_bank)
+    : entries_(static_cast<std::size_t>(banks) * words_per_bank), banks_(banks),
+      words_per_bank_(words_per_bank) {
+    ULPMC_EXPECTS(banks > 0);
+    ULPMC_EXPECTS(words_per_bank > 0);
+    // An IM bank powers up all-zero; decode that image once so lookups are
+    // valid even for never-written words (fetching them behaves exactly
+    // like decoding the zero word at fetch time).
+    DecodedInstr zero;
+    if (const auto d = decode(0)) {
+        zero.instr = *d;
+        zero.illegal = false;
+        zero.has_mem = data_reads(*d) + data_writes(*d) > 0;
+    }
+    for (auto& e : entries_) e = zero;
+}
+
+void PredecodedIm::refresh(BankId bank, std::uint32_t offset, InstrWord word) {
+    ULPMC_EXPECTS(bank < banks_);
+    ULPMC_EXPECTS(offset < words_per_bank_);
+    DecodedInstr& e = entries_[bank * words_per_bank_ + offset];
+    if (const auto d = decode(word)) {
+        e.instr = *d;
+        e.illegal = false;
+        e.has_mem = data_reads(*d) + data_writes(*d) > 0;
+    } else {
+        e = DecodedInstr{};
+    }
+}
+
+void PredecodedIm::refresh_bank(BankId bank, std::span<const std::uint32_t> cells) {
+    ULPMC_EXPECTS(bank < banks_);
+    ULPMC_EXPECTS(cells.size() <= words_per_bank_);
+    for (std::uint32_t i = 0; i < cells.size(); ++i)
+        refresh(bank, i, static_cast<InstrWord>(cells[i]));
+}
+
+const DecodedInstr& PredecodedIm::entry(BankId bank, std::uint32_t offset) const {
+    ULPMC_EXPECTS(bank < banks_);
+    ULPMC_EXPECTS(offset < words_per_bank_);
+    return entries_[bank * words_per_bank_ + offset];
+}
+
+} // namespace ulpmc::isa

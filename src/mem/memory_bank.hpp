@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/types.hpp"
@@ -41,6 +42,10 @@ public:
     /// Non-counting accessors for loaders and tests.
     std::uint32_t peek(std::size_t offset) const;
     void poke(std::size_t offset, std::uint32_t value);
+
+    /// Whole-array view for bulk consumers (the pre-decode pass); does not
+    /// count as an access.
+    std::span<const std::uint32_t> cells() const { return cells_; }
 
     /// Power gating (retention is NOT modeled: gating wipes contents, so
     /// the simulator faults on any access to a gated bank — matching the

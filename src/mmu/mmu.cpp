@@ -1,6 +1,7 @@
 #include "mmu/mmu.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.hpp"
 
@@ -20,6 +21,9 @@ DataMmu::DataMmu(DmLayout layout, CoreId pid, unsigned banks, std::size_t words_
         (layout.private_words_per_core + banks_per_core_ - 1) / banks_per_core_;
     const std::size_t shared_per_bank = (layout.shared_words + banks - 1) / banks;
     ULPMC_EXPECTS(shared_per_bank + priv_per_bank_ <= words_per_bank);
+    if (std::has_single_bit(banks_)) bank_shift_ = std::countr_zero(banks_);
+    if (priv_per_bank_ > 0 && std::has_single_bit(priv_per_bank_))
+        priv_shift_ = std::countr_zero(priv_per_bank_);
 }
 
 std::optional<BankedAddr> DataMmu::translate(Addr vaddr) const {
@@ -27,6 +31,9 @@ std::optional<BankedAddr> DataMmu::translate(Addr vaddr) const {
         // Shared section: word-interleaved so linear walks rotate through
         // the banks ("shared data is interleaved across the memory banks
         // to minimize conflicts" — §III-D).
+        if (bank_shift_ >= 0)
+            return BankedAddr{static_cast<BankId>(vaddr & (banks_ - 1)),
+                              static_cast<std::uint32_t>(vaddr) >> bank_shift_};
         return BankedAddr{static_cast<BankId>(vaddr % banks_),
                           static_cast<std::uint32_t>(vaddr / banks_)};
     }
@@ -34,17 +41,21 @@ std::optional<BankedAddr> DataMmu::translate(Addr vaddr) const {
     if (v >= layout_.private_words_per_core) return std::nullopt;
     // Private section: PID-based translation into the core's own banks.
     const std::uint32_t per_bank = static_cast<std::uint32_t>(priv_per_bank_);
-    const BankId bank =
-        static_cast<BankId>(banks_per_core_ * pid_ + v / per_bank);
-    const std::uint32_t within = v % per_bank;
+    const std::uint32_t in_bank = priv_shift_ >= 0 ? v >> priv_shift_ : v / per_bank;
+    const std::uint32_t within = priv_shift_ >= 0 ? v & (per_bank - 1) : v % per_bank;
+    const BankId bank = static_cast<BankId>(banks_per_core_ * pid_ + in_bank);
     const std::uint32_t offset = static_cast<std::uint32_t>(words_per_bank_) - per_bank + within;
     return BankedAddr{bank, offset};
 }
 
 ImMap::ImMap(ImPolicy policy, unsigned banks, std::size_t words_per_bank)
-    : policy_(policy), banks_(banks), words_per_bank_(words_per_bank) {
+    : policy_(policy), banks_(banks), words_per_bank_(words_per_bank),
+      limit_(static_cast<std::uint32_t>(banks * words_per_bank)) {
     ULPMC_EXPECTS(banks > 0);
     ULPMC_EXPECTS(words_per_bank > 0);
+    if (std::has_single_bit(banks_)) bank_shift_ = std::countr_zero(banks_);
+    if (std::has_single_bit(words_per_bank_))
+        word_shift_ = std::countr_zero(words_per_bank_);
 }
 
 std::optional<BankedAddr> ImMap::translate(PAddr pc, CoreId pid) const {
@@ -54,11 +65,16 @@ std::optional<BankedAddr> ImMap::translate(PAddr pc, CoreId pid) const {
         if (pc >= words_per_bank_) return std::nullopt;
         return BankedAddr{static_cast<BankId>(pid), pc};
     case ImPolicy::Interleaved:
-        if (pc >= banks_ * words_per_bank_) return std::nullopt;
+        if (pc >= limit_) return std::nullopt;
+        if (bank_shift_ >= 0)
+            return BankedAddr{static_cast<BankId>(pc & (banks_ - 1)), pc >> bank_shift_};
         return BankedAddr{static_cast<BankId>(pc % banks_),
                           static_cast<std::uint32_t>(pc / banks_)};
     case ImPolicy::Banked:
-        if (pc >= banks_ * words_per_bank_) return std::nullopt;
+        if (pc >= limit_) return std::nullopt;
+        if (word_shift_ >= 0)
+            return BankedAddr{static_cast<BankId>(pc >> word_shift_),
+                              pc & (static_cast<std::uint32_t>(words_per_bank_) - 1)};
         return BankedAddr{static_cast<BankId>(pc / words_per_bank_),
                           static_cast<std::uint32_t>(pc % words_per_bank_)};
     }

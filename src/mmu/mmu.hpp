@@ -79,6 +79,10 @@ private:
     std::size_t words_per_bank_;
     std::size_t priv_per_bank_;
     unsigned banks_per_core_;
+    // Shift forms of the divisions in translate(), valid when the divisor
+    // is a power of two (every paper geometry); -1 otherwise.
+    int bank_shift_ = -1;
+    int priv_shift_ = -1;
 };
 
 /// Instruction-side bank selection.
@@ -108,6 +112,10 @@ private:
     ImPolicy policy_;
     unsigned banks_;
     std::size_t words_per_bank_;
+    std::uint32_t limit_; ///< banks_ * words_per_bank_
+    // Shift forms of the translate() divisions (power-of-two geometries).
+    int bank_shift_ = -1;
+    int word_shift_ = -1;
 };
 
 } // namespace ulpmc::mmu

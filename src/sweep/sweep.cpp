@@ -1,0 +1,110 @@
+#include "sweep/sweep.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::sweep {
+
+SweepRunner::SweepRunner(unsigned threads) {
+    if (threads == 0) threads = std::max(1u, std::thread::hardware_concurrency());
+    // The caller participates in every batch, so spawn one fewer.
+    workers_.reserve(threads - 1);
+    for (unsigned t = 0; t + 1 < threads; ++t)
+        workers_.emplace_back([this] { worker_loop(); });
+}
+
+SweepRunner::~SweepRunner() {
+    {
+        std::lock_guard lk(m_);
+        stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+void SweepRunner::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        Batch* b = nullptr;
+        {
+            std::unique_lock lk(m_);
+            work_cv_.wait(lk, [&] { return stop_ || (current_ && batch_id_ != seen); });
+            if (stop_) return;
+            seen = batch_id_;
+            b = current_;
+            ++b->attached;
+        }
+        drain(*b);
+    }
+}
+
+void SweepRunner::drain(Batch& b) {
+    for (;;) {
+        const std::size_t i = b.next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= b.count) break;
+        std::exception_ptr err;
+        try {
+            (*b.fn)(i);
+        } catch (...) {
+            err = std::current_exception();
+        }
+        std::lock_guard lk(m_);
+        if (err && !b.error) b.error = err;
+        ++b.done;
+    }
+    std::lock_guard lk(m_);
+    ULPMC_ASSERT(b.attached > 0);
+    --b.attached;
+    if (b.done == b.count && b.attached == 0) done_cv_.notify_all();
+}
+
+void SweepRunner::for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn) {
+    if (n == 0) return;
+    Batch b;
+    b.fn = &fn;
+    b.count = n;
+    {
+        std::lock_guard lk(m_);
+        ULPMC_EXPECTS(current_ == nullptr); // not reentrant
+        current_ = &b;
+        ++batch_id_;
+        ++b.attached; // the caller drains too
+    }
+    work_cv_.notify_all();
+    drain(b);
+    {
+        // Wait for stragglers: a worker may still be inside its last
+        // iteration (or between claiming the batch and finding it empty).
+        // `attached == 0` guarantees no thread still touches `b`, which
+        // lives on this stack frame.
+        std::unique_lock lk(m_);
+        done_cv_.wait(lk, [&] { return b.done == b.count && b.attached == 0; });
+        current_ = nullptr;
+    }
+    if (b.error) std::rethrow_exception(b.error);
+}
+
+std::vector<SweepOutcome> SweepRunner::run(const isa::Program& prog,
+                                           std::span<const SweepPoint> points) {
+    std::vector<SweepOutcome> out(points.size());
+    for_each_index(points.size(), [&](std::size_t i) {
+        const SweepPoint& p = points[i];
+        cluster::Cluster cl(p.cfg, prog);
+        const Cycle cycles = cl.run(p.max_cycles);
+
+        SweepOutcome& o = out[i];
+        o.label = p.label;
+        o.cfg = p.cfg;
+        o.stats = cl.stats();
+        o.cycles = cycles;
+        o.final_states.reserve(p.cfg.cores);
+        bool all = true;
+        for (unsigned c = 0; c < p.cfg.cores; ++c) {
+            o.final_states.push_back(cl.core_state(static_cast<CoreId>(c)));
+            all = all && cl.core_halted(static_cast<CoreId>(c));
+        }
+        o.all_halted = all;
+    });
+    return out;
+}
+
+} // namespace ulpmc::sweep

@@ -1,5 +1,7 @@
 #include "xbar/crossbar.hpp"
 
+#include <bit>
+
 #include "common/assert.hpp"
 
 namespace ulpmc::xbar {
@@ -9,6 +11,7 @@ Crossbar::Crossbar(unsigned masters, unsigned banks, bool broadcast)
       winner_(banks, 0) {
     ULPMC_EXPECTS(masters > 0);
     ULPMC_EXPECTS(banks > 0);
+    if (std::has_single_bit(masters_)) master_mask_ = masters_ - 1;
 }
 
 std::vector<Grant> Crossbar::arbitrate(std::span<const Request> reqs, Cycle cycle) {
@@ -17,10 +20,85 @@ std::vector<Grant> Crossbar::arbitrate(std::span<const Request> reqs, Cycle cycl
     return out;
 }
 
-void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out) {
+void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out,
+                              std::uint32_t active_hint) {
     ULPMC_EXPECTS(reqs.size() == masters_);
     ULPMC_EXPECTS(out.size() == masters_);
 
+    // Fast path: one pass over the hinted masters from the rotating
+    // priority head, with a per-bank claim bitmask (no scratch-array
+    // clearing, no grant pre-clearing — every served master's grant is
+    // written whole). It serves every cycle in which no request is denied
+    // — conflict-free private traffic, the lockstep-SPMD broadcast case,
+    // and mixed cycles where each bank's contenders are same-word reads
+    // (staggered SPMD: cores a loop-length apart fetch the same PC).
+    // Winner choice, broadcast flags, and every statistic are identical to
+    // the full arbiter by construction — splitting the hint mask at the
+    // head visits masters in exactly the rotated order, so the first
+    // claimant of a bank IS pass 1's winner, and a ride-along that would
+    // lose pass 1 wins pass 2. Any would-be denial bails to the full
+    // arbiter, which alone updates denied/conflict_cycles. The bitmasks
+    // bound it to 32 banks/masters; larger geometries (not used by any
+    // configuration here) always take the full path.
+    if (fast_path_ && !last_denied_ && banks_ <= 32 && masters_ <= 32) {
+        std::uint32_t pending = active_hint;
+        if (masters_ < 32) pending &= (std::uint32_t{1} << masters_) - 1;
+        std::uint32_t claimed = 0;
+        unsigned active = 0;
+        unsigned winners = 0;
+        unsigned riders = 0;
+        bool denial = false;
+        // The rotating head without the 64-bit division (masters counts
+        // are powers of two in every configuration).
+        const unsigned head = master_mask_ ? static_cast<unsigned>(cycle & master_mask_)
+                                           : static_cast<unsigned>(cycle % masters_);
+        // Visit hinted masters m >= head first, then those below the head:
+        // ascending within each part = the rotated priority order.
+        const std::uint32_t below = (std::uint32_t{1} << head) - 1;
+        std::uint32_t part = pending & ~below;
+        std::uint32_t rest = pending & below;
+        while (part | rest) {
+            if (!part) {
+                part = rest;
+                rest = 0;
+                continue;
+            }
+            const unsigned m = static_cast<unsigned>(std::countr_zero(part));
+            part &= part - 1;
+            const Request& r = reqs[m];
+            if (!r.active) continue; // the hint may overestimate
+            ULPMC_EXPECTS(r.bank < banks_);
+            ++active;
+            const std::uint32_t bit = std::uint32_t{1} << r.bank;
+            if (!(claimed & bit)) {
+                claimed |= bit;
+                winner_[r.bank] = static_cast<std::uint8_t>(m);
+                out[m] = Grant{.granted = true, .broadcast = false};
+                ++winners;
+            } else {
+                const Request& w = reqs[winner_[r.bank]];
+                if (broadcast_ && !r.is_write && !w.is_write && w.offset == r.offset) {
+                    out[m] = Grant{.granted = true, .broadcast = true};
+                    ++riders;
+                } else {
+                    denial = true;
+                    break;
+                }
+            }
+        }
+        if (!denial) {
+            stats_.requests += active;
+            stats_.grants += active;
+            stats_.bank_accesses += winners;
+            stats_.broadcast_riders += riders;
+            return;
+        }
+    }
+
+    last_denied_ = arbitrate_full(reqs, cycle, out);
+}
+
+bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out) {
     for (unsigned m = 0; m < masters_; ++m) out[m] = Grant{};
     for (auto& t : bank_taken_) t = 0;
 
@@ -66,6 +144,7 @@ void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::s
     }
 
     if (any_denied) ++stats_.conflict_cycles;
+    return any_denied;
 }
 
 unsigned mot_levels(unsigned fanout) {

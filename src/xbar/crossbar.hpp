@@ -45,6 +45,8 @@ struct XbarStats {
     std::uint64_t broadcast_riders = 0; ///< grants served without a bank access
     std::uint64_t denied = 0;         ///< master-cycles stalled by a conflict
     std::uint64_t conflict_cycles = 0; ///< cycles in which >=1 master was denied
+
+    friend bool operator==(const XbarStats&, const XbarStats&) = default;
 };
 
 /// One crossbar instance (I-Xbar: 8x8, D-Xbar: 8x16 in the paper).
@@ -64,15 +66,43 @@ public:
     std::vector<Grant> arbitrate(std::span<const Request> reqs, Cycle cycle);
 
     /// In-place variant that avoids per-cycle allocation (hot path).
-    void arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out);
+    /// `active_hint` is an optional bitmask of masters that MAY have an
+    /// active request (bit m = master m); it lets the fast path skip idle
+    /// masters without touching their request slots. It may overestimate
+    /// (the default claims everyone) but must never omit an active master.
+    /// Postcondition: grant slots of masters without an active request are
+    /// left unmodified on the fast path — read a grant only behind its
+    /// request's `active` flag, or use arbitrate(), which starts from
+    /// default-initialized slots.
+    void arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out,
+                        std::uint32_t active_hint = 0xFFFFFFFFu);
+
+    /// Enables/disables the conflict-free fast path (default on). The fast
+    /// path is exactly result- and statistics-equivalent to the full
+    /// round-robin arbiter; turning it off forces the reference arbiter on
+    /// every cycle (differential testing).
+    void set_fast_path(bool on) { fast_path_ = on; }
+    bool fast_path() const { return fast_path_; }
 
     const XbarStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 
 private:
+    /// The original full arbiter: rotating-priority winner per bank, then
+    /// the read-broadcast ride-along pass. Also the conflict fallback.
+    /// Returns true when at least one master was denied.
+    bool arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out);
+
     unsigned masters_;
     std::uint32_t banks_;
     bool broadcast_;
+    bool fast_path_ = true;
+    /// Denial hysteresis: after a conflict cycle the fast attempt is
+    /// skipped once (conflicts cluster in time; attempting and bailing
+    /// pays for both arbiters). Purely a tier-selection hint — grants and
+    /// statistics are identical whichever tier runs.
+    bool last_denied_ = false;
+    std::uint32_t master_mask_ = 0; ///< masters_-1 when a power of two, else 0
     XbarStats stats_;
     std::vector<std::uint8_t> bank_taken_; // scratch, sized banks_
     std::vector<std::uint8_t> winner_;     // scratch: winning master per bank

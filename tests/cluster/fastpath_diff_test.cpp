@@ -1,0 +1,178 @@
+// Differential test of the simulation fast path. The optimized engine
+// (pre-decoded IM, PC-indexed fetch table, claim-bitmask crossbar
+// arbitration, in-place execute) must be cycle-for-cycle identical to the
+// reference slow path: same ClusterStats, same architectural core state,
+// same data-memory contents — for every IM policy and core count, on
+// randomized SPMD programs that mix private/shared loads and stores (so
+// broadcast rides, bank conflicts, stalls, and denials all occur).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "common/rng.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 512, .private_words_per_core = 2048};
+
+/// A random but well-formed SPMD kernel: pointer setup, a loop of
+/// ALU/load/store work, and a branch-to-self halt. Addresses stay inside
+/// the layout by construction (worst case: every body slot a post-inc
+/// private store).
+std::string random_program(Rng& rng) {
+    const int priv = 512 + static_cast<int>(rng.range(0, 800));
+    const int shared = static_cast<int>(rng.range(0, 400));
+    const int iters = static_cast<int>(rng.range(8, 50));
+    std::string s;
+    s += "        movi r1, " + std::to_string(priv) + "\n";
+    s += "        movi r2, " + std::to_string(shared) + "\n";
+    s += "        movi r4, " + std::to_string(iters) + "\n";
+    s += "loop:\n";
+    const int body = static_cast<int>(rng.range(3, 8));
+    for (int i = 0; i < body; ++i) {
+        switch (rng.below(8)) {
+        case 0:
+            s += "        add r3, r3, #" + std::to_string(rng.range(1, 7)) + "\n";
+            break;
+        case 1:
+            s += "        sub r3, r3, #" + std::to_string(rng.range(1, 7)) + "\n";
+            break;
+        case 2:
+            s += "        xor r3, r3, r5\n";
+            break;
+        case 3:
+            s += "        mov @r1+, r3\n"; // private store (conflict-free)
+            break;
+        case 4:
+            s += "        mov r5, @r2\n"; // shared load: broadcast / conflicts
+            break;
+        case 5:
+            s += "        mov r6, @r1\n"; // private load
+            break;
+        case 6:
+            s += "        mov @r2, r3\n"; // shared store: write conflicts
+            break;
+        case 7:
+            s += "        sft r3, r3, #1\n";
+            break;
+        }
+    }
+    s += "        sub r4, r4, #1\n";
+    s += "        bra ne, loop\n";
+    s += "done:   bra al, done\n";
+    return s;
+}
+
+/// Runs `prog` under `cfg` with the fast path on and off and asserts the
+/// two engines are observably identical.
+void expect_engines_identical(cluster::ClusterConfig cfg, const isa::Program& prog,
+                              Cycle max_cycles, const std::string& context) {
+    cfg.sim_fast_path = true;
+    cluster::Cluster fast(cfg, prog);
+    cfg.sim_fast_path = false;
+    cluster::Cluster slow(cfg, prog);
+
+    const Cycle cycles_fast = fast.run(max_cycles);
+    const Cycle cycles_slow = slow.run(max_cycles);
+    ASSERT_EQ(cycles_fast, cycles_slow) << context;
+    ASSERT_EQ(fast.stats(), slow.stats()) << context;
+
+    for (unsigned p = 0; p < cfg.cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        ASSERT_EQ(fast.core_state(pid), slow.core_state(pid)) << context << " core " << p;
+        ASSERT_EQ(fast.core_halted(pid), slow.core_halted(pid)) << context << " core " << p;
+        ASSERT_EQ(fast.core_trap(pid), slow.core_trap(pid)) << context << " core " << p;
+        for (Addr v = 0; v < kLayout.limit(); ++v) {
+            ASSERT_EQ(fast.dm_peek(pid, v), slow.dm_peek(pid, v))
+                << context << " core " << p << " vaddr " << v;
+        }
+    }
+}
+
+TEST(FastpathDiff, RandomProgramsAllPoliciesAllCoreCounts) {
+    Rng rng(0xD1FFu);
+    const cluster::ArchKind archs[] = {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                                       cluster::ArchKind::UlpmcBank};
+    const unsigned core_counts[] = {1, 2, 4, 8};
+    for (const auto arch : archs) {
+        for (const unsigned n : core_counts) {
+            for (int i = 0; i < 3; ++i) {
+                const auto prog = isa::assemble(random_program(rng));
+                auto cfg = cluster::make_config(arch, kLayout);
+                cfg.cores = n;
+                cfg.stagger_start = (i % 2) == 1;
+                const std::string context = cluster::arch_name(arch) + " cores=" +
+                                            std::to_string(n) + " prog=" + std::to_string(i);
+                expect_engines_identical(cfg, prog, 200'000, context);
+            }
+        }
+    }
+}
+
+TEST(FastpathDiff, MaxCyclesTimeoutReportsIdenticalLiveCycleCount) {
+    // A program that never halts: the run is bounded by max_cycles while
+    // every core still executes, and both engines must report the bound
+    // (the cycle counter stays live, not stuck at the last halt/trap).
+    const auto prog = isa::assemble(R"(
+            movi r1, 512
+    loop:   add  r3, r3, #1
+            mov  @r1, r3
+            bra  al, loop
+    )");
+    for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt}) {
+        auto cfg = cluster::make_config(arch, kLayout);
+        cfg.stagger_start = true;
+        cfg.sim_fast_path = true;
+        cluster::Cluster fast(cfg, prog);
+        cfg.sim_fast_path = false;
+        cluster::Cluster slow(cfg, prog);
+        EXPECT_EQ(fast.run(5'000), 5'000u);
+        EXPECT_EQ(slow.run(5'000), 5'000u);
+        EXPECT_EQ(fast.stats(), slow.stats()) << cluster::arch_name(arch);
+    }
+}
+
+TEST(FastpathDiff, ImPokeRefreshesPredecodedEntry) {
+    // Patching IM must re-decode exactly the patched word, so the next
+    // fetch executes the new instruction on the fast path too.
+    const auto prog = isa::assemble("        movi r1, 5\ndone:   bra al, done\n");
+    const auto patched = isa::assemble("        movi r1, 7\ndone:   bra al, done\n");
+    for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                            cluster::ArchKind::UlpmcBank}) {
+        auto cfg = cluster::make_config(arch, kLayout);
+        cluster::Cluster cl(cfg, prog);
+        cl.im_poke(0, patched.text[0]);
+        cl.run(1'000);
+        for (unsigned p = 0; p < cfg.cores; ++p) {
+            const auto pid = static_cast<CoreId>(p);
+            EXPECT_EQ(cl.im_peek(0, pid), patched.text[0]) << cluster::arch_name(arch);
+            EXPECT_EQ(cl.core_state(pid).regs[1], 7) << cluster::arch_name(arch);
+        }
+    }
+}
+
+TEST(FastpathDiff, ImPokeAfterFetchExecutesLatchedInstruction) {
+    // A word already fetched into EX executes as latched, even if IM is
+    // patched between the fetch and the commit — on both engines (the
+    // hardware latches the fetched word; the fast path must not observe
+    // the patch through its pre-decode pointer).
+    const auto prog = isa::assemble("        movi r1, 5\ndone:   bra al, done\n");
+    const auto patched = isa::assemble("        movi r1, 7\ndone:   bra al, done\n");
+    for (const bool fast : {true, false}) {
+        auto cfg = cluster::make_config(cluster::ArchKind::UlpmcInt, kLayout);
+        cfg.cores = 1;
+        cfg.sim_fast_path = fast;
+        cluster::Cluster cl(cfg, prog);
+        ASSERT_TRUE(cl.step()); // cycle 1: the movi is fetched into EX
+        cl.im_poke(0, patched.text[0]);
+        cl.run(1'000);
+        EXPECT_EQ(cl.core_state(0).regs[1], 5) << (fast ? "fast" : "slow");
+    }
+}
+
+} // namespace
+} // namespace ulpmc
