@@ -64,4 +64,99 @@ StreamingBenchmark::Outcome StreamingBenchmark::run(const cluster::ClusterConfig
     return out;
 }
 
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_resilient(cluster::ArchKind arch, const BlockFaultHook& hook) const {
+    return run_resilient(cluster::make_config(arch, base_.layout().dm_layout()), hook);
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
+                                  const BlockFaultHook& hook) const {
+    cluster::ClusterConfig cfg = cfg_in;
+    cfg.barrier_enabled = base_.layout().use_barrier;
+    const auto& lay = base_.layout();
+
+    // One block = one checkpoint interval, executed on the single-block
+    // program; re-initializing the cluster from the program image IS the
+    // rollback (block inputs are replayed from the sensor FIFO).
+    const auto launch_block = [&]() {
+        cluster::Cluster cl(cfg, base_.program());
+        for (unsigned p = 0; p < cfg.cores; ++p) {
+            const auto& x = base_.lead_samples(p);
+            for (std::size_t i = 0; i < x.size(); ++i) {
+                cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(lay.x_base() + i),
+                           static_cast<Word>(x[i]));
+            }
+        }
+        return cl;
+    };
+    const auto lead_ok = [&](const cluster::Cluster& cl, unsigned p) {
+        if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None ||
+            !cl.core_halted(static_cast<CoreId>(p))) {
+            return false;
+        }
+        const auto& golden = base_.golden_bitstream(p);
+        if (cl.dm_peek(static_cast<CoreId>(p), lay.out_count()) != golden.words.size())
+            return false;
+        for (std::size_t i = 0; i < golden.words.size(); ++i) {
+            if (cl.dm_peek(static_cast<CoreId>(p), static_cast<Addr>(lay.out_base() + i)) !=
+                golden.words[i]) {
+                return false;
+            }
+        }
+        return true;
+    };
+
+    ResilientOutcome out;
+    out.lead_alive.assign(cfg.cores, 1);
+
+    { // fault-free reference block: calibrates the per-attempt cycle budget
+        cluster::Cluster cl = launch_block();
+        out.clean_block_cycles = cl.run();
+        for (unsigned p = 0; p < cfg.cores; ++p) ULPMC_EXPECTS(lead_ok(cl, p));
+    }
+    // A wedged attempt must terminate: 4x the clean block plus the
+    // watchdog window bounds every legitimate execution.
+    const Cycle budget = 4 * out.clean_block_cycles + cfg.watchdog_cycles + 1000;
+
+    for (unsigned block = 0; block < n_blocks_; ++block) {
+        for (unsigned attempt = 0; attempt < 2; ++attempt) {
+            cluster::Cluster cl = launch_block();
+            if (hook) hook(cl, block, attempt);
+            cl.run(budget);
+
+            const auto& st = cl.stats();
+            out.total_cycles += st.cycles;
+            out.ecc_corrected += st.ecc_corrected();
+            out.watchdog_trips += st.watchdog_trips;
+
+            std::vector<unsigned> corrupted;
+            for (unsigned p = 0; p < cfg.cores; ++p) {
+                if (out.lead_alive[p] && !lead_ok(cl, p)) corrupted.push_back(p);
+            }
+            if (corrupted.empty()) break; // block verified: commit checkpoint
+            if (attempt == 0) {
+                ++out.rollbacks; // roll back to the checkpoint, re-execute
+                continue;
+            }
+            // Retry failed too: the corruption is persistent — degrade by
+            // dropping the broken leads, keep monitoring the rest.
+            for (const unsigned p : corrupted) {
+                out.lead_alive[p] = 0;
+                ++out.leads_dropped;
+            }
+        }
+        ++out.blocks;
+    }
+
+    // The final committed state must be bit-exact on every surviving lead;
+    // re-verify via the last attempt's semantics: any lead still alive had
+    // lead_ok() true when its block committed, so corruption can only show
+    // as zero survivors.
+    bool any_alive = false;
+    for (const auto a : out.lead_alive) any_alive = any_alive || a != 0;
+    out.all_surviving_verified = any_alive;
+    return out;
+}
+
 } // namespace ulpmc::app

@@ -7,6 +7,10 @@
 // boundary?
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "app/benchmark.hpp"
 
 namespace ulpmc::app {
@@ -32,6 +36,42 @@ public:
 
     Outcome run(cluster::ArchKind arch) const;
     Outcome run(const cluster::ClusterConfig& cfg) const;
+
+    // ---- resilient mode (DESIGN.md §9) -------------------------------------
+    // Block-boundary checkpoint/rollback: each ECG block is one recovery
+    // unit. The monitor runs a block, verifies every live lead's output
+    // against the golden pipeline (the role a firmware CRC over the block
+    // result plays on silicon), and on corruption re-executes the block
+    // from the checkpoint — the inputs are still in the sensor FIFO, so
+    // "rollback" is simply re-running the block on a re-initialized
+    // cluster. A lead that fails its retry too is treated as persistently
+    // broken and dropped: the monitor degrades to the surviving leads
+    // instead of dying (drop-one-lead graceful degradation).
+
+    /// Injects faults into one block attempt. Called after the block's
+    /// inputs are loaded and before it executes; it may advance the
+    /// cluster partially (cl.run(cycle)) and deposit upsets through the
+    /// cluster's injection hooks. `attempt` is 0 for the first execution,
+    /// 1 for the rollback retry.
+    using BlockFaultHook = std::function<void(cluster::Cluster& cl, unsigned block, unsigned attempt)>;
+
+    struct ResilientOutcome {
+        unsigned blocks = 0;          ///< blocks committed (all of n_blocks)
+        unsigned rollbacks = 0;       ///< block re-executions from checkpoint
+        unsigned leads_dropped = 0;
+        std::vector<std::uint8_t> lead_alive; ///< per lead, 1 = still monitored
+        bool all_surviving_verified = true;   ///< every committed block bit-exact
+        Cycle total_cycles = 0;       ///< including rolled-back attempts
+        Cycle clean_block_cycles = 0; ///< fault-free reference block
+        std::uint64_t ecc_corrected = 0;
+        std::uint64_t watchdog_trips = 0;
+    };
+
+    /// Runs all blocks in resilient mode under `cfg`, invoking `hook` (if
+    /// set) on every block attempt.
+    ResilientOutcome run_resilient(const cluster::ClusterConfig& cfg,
+                                   const BlockFaultHook& hook = {}) const;
+    ResilientOutcome run_resilient(cluster::ArchKind arch, const BlockFaultHook& hook = {}) const;
 
 private:
     EcgBenchmark base_;

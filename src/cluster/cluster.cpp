@@ -22,6 +22,7 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
       fetch_pc_(cfg.cores, 0) {
     ULPMC_EXPECTS(cfg.cores > 0 && cfg.cores <= kNumCores);
     ULPMC_EXPECTS(!prog.text.empty());
+    text_size_ = static_cast<std::uint32_t>(prog.text.size());
     ixbar_.set_fast_path(cfg.sim_fast_path);
     dxbar_.set_fast_path(cfg.sim_fast_path);
 
@@ -30,6 +31,11 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
     for (unsigned b = 0; b < cfg.im_banks; ++b) im_banks_.emplace_back(cfg.im_bank_words, 24);
     dm_banks_.reserve(cfg.dm_banks);
     for (unsigned b = 0; b < cfg.dm_banks; ++b) dm_banks_.emplace_back(cfg.dm_bank_words, 16);
+    if (cfg.ecc_enabled) {
+        for (auto& b : im_banks_) b.set_ecc(true);
+        for (auto& b : dm_banks_) b.set_ecc(true);
+        stats_.ecc_enabled = true;
+    }
 
     // --- construct cores ----------------------------------------------------
     cores_.reserve(cfg.cores);
@@ -171,6 +177,69 @@ void Cluster::im_poke(PAddr pc, InstrWord word) {
     }
 }
 
+void Cluster::inject_dm_fault(CoreId pid, Addr vaddr, Word flip_mask) {
+    ULPMC_EXPECTS(pid < cores_.size());
+    const auto pa = cores_[pid].mmu.translate(vaddr);
+    ULPMC_EXPECTS(pa.has_value());
+    dm_banks_[pa->bank].corrupt(pa->offset, flip_mask);
+}
+
+void Cluster::inject_im_fault(PAddr pc, InstrWord flip_mask) {
+    // Same structure as im_poke — the strike reaches every replica under
+    // the Dedicated policy — but the bank cell is corrupted in place
+    // (check bits untouched) and the pre-decoded side array is refreshed
+    // from the bank's *readback* view: the corrected word when ECC heals
+    // the flip, the corrupted word when it doesn't.
+    const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+    for (unsigned p = 0; p < replicas; ++p) {
+        const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
+        ULPMC_EXPECTS(pa.has_value());
+        const isa::DecodedInstr& old = predecoded_.entry(pa->bank, pa->offset);
+        for (auto& c : cores_) {
+            if (c.ex == &old.instr) {
+                c.ex_buf = old.instr;
+                c.ex = &c.ex_buf;
+            }
+        }
+        im_banks_[pa->bank].corrupt(pa->offset, flip_mask & kInstrWordMask);
+        const InstrWord readback =
+            static_cast<InstrWord>(im_banks_[pa->bank].peek(pa->offset)) & kInstrWordMask;
+        predecoded_.refresh(pa->bank, pa->offset, readback);
+        if (pc < fetch_table_.size())
+            fetch_table_[pc].pre = predecoded_.lookup(pa->bank, pa->offset);
+    }
+}
+
+void Cluster::inject_reg_fault(CoreId pid, unsigned reg, Word flip_mask) {
+    ULPMC_EXPECTS(pid < cores_.size());
+    ULPMC_EXPECTS(reg < kNumRegisters);
+    cores_[pid].state.regs[reg] ^= flip_mask;
+    ++direct_faults_;
+}
+
+void Cluster::inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g) {
+    (instruction_side ? ixbar_ : dxbar_).inject_glitch(g);
+    ++direct_faults_;
+}
+
+void Cluster::sync_resilience_stats() const {
+    std::uint64_t im_corr = 0, dm_corr = 0, uncorr = 0, injected = direct_faults_;
+    for (const auto& b : im_banks_) {
+        im_corr += b.stats().ecc_corrected;
+        uncorr += b.stats().ecc_uncorrectable;
+        injected += b.stats().faults_injected;
+    }
+    for (const auto& b : dm_banks_) {
+        dm_corr += b.stats().ecc_corrected;
+        uncorr += b.stats().ecc_uncorrectable;
+        injected += b.stats().faults_injected;
+    }
+    stats_.ecc_im_corrected = im_corr;
+    stats_.ecc_dm_corrected = dm_corr;
+    stats_.ecc_uncorrectable = uncorr;
+    stats_.faults_injected = injected;
+}
+
 void Cluster::raise_trap(CoreCtx& c, core::Trap t) {
     c.trap = t;
     c.ex = nullptr;
@@ -199,6 +268,7 @@ bool Cluster::step() {
     ++cycle_;
     execute_phase();
     fetch_phase();
+    if (cfg_.watchdog_cycles > 0) watchdog_phase();
 
     // Keep the cycle counter live every cycle, so a run that hits its
     // max_cycles bound while cores still execute reports the cycles it
@@ -213,6 +283,26 @@ Cycle Cluster::run(Cycle max_cycles) {
     while (cycle_ < max_cycles && step()) {
     }
     return stats_.cycles;
+}
+
+void Cluster::watchdog_phase() {
+    // Progress means a committed instruction. A core parked at the barrier
+    // is deliberately NOT exempt: legitimate barrier waits are bounded by
+    // one block's desynchronization (hundreds of cycles), so a watchdog
+    // window orders of magnitude above that only fires when a peer is
+    // wedged — stopping the parked core is what lets the rest of the
+    // cluster degrade gracefully instead of hanging with it.
+    for (const CoreId p : active_cores_) {
+        CoreCtx& c = cores_[p];
+        if (core_done(c)) continue;
+        // A staggered core that has not started yet cannot make progress
+        // by definition; its window opens at start_cycle.
+        const Cycle anchor = std::max(c.last_commit, c.start_cycle);
+        if (cycle_ >= anchor && cycle_ - anchor >= cfg_.watchdog_cycles) {
+            ++stats_.watchdog_trips;
+            raise_trap(c, core::Trap::Watchdog);
+        }
+    }
 }
 
 void Cluster::execute_phase() {
@@ -262,7 +352,16 @@ void Cluster::execute_phase() {
             c.loaded = dm_grant_[read_port(p)].broadcast
                            ? static_cast<Word>(bank.peek(rq.offset))
                            : static_cast<Word>(bank.read(rq.offset));
-            if (!dm_grant_[read_port(p)].broadcast) ++stats_.dm_bank_reads;
+            if (!dm_grant_[read_port(p)].broadcast) {
+                ++stats_.dm_bank_reads;
+                // A double-bit upset is detected by the bank's SEC-DED
+                // check but cannot be healed: escalate to a trap instead
+                // of letting the corrupted word flow into the datapath.
+                if (cfg_.ecc_enabled && bank.take_uncorrectable()) {
+                    raise_trap(c, core::Trap::EccFault);
+                    continue;
+                }
+            }
             c.load_done = true;
         }
 
@@ -315,6 +414,7 @@ void Cluster::commit(CoreCtx& c, CoreId pid) {
         cfg_.barrier_enabled && c.plan.store && *c.plan.store == kBarrierAddr;
 
     emit(pid, EventKind::Commit, pc_before);
+    c.last_commit = cycle_;
     c.ex = nullptr;
     c.has_load = false;
     c.has_store = false;
@@ -360,6 +460,13 @@ void Cluster::fetch_phase() {
         if (core_done(c) || c.in_barrier || c.ex) continue;
         if (cycle_ < c.start_cycle + 1) continue; // staggered start
 
+        if (c.state.pc >= text_size_) {
+            // Off the end of the loaded program (or a wild branch): fault
+            // at the text boundary like the functional ISS, instead of
+            // executing the zero-filled remainder of the bank.
+            raise_trap(c, core::Trap::FetchFault);
+            continue;
+        }
         if (use_table) {
             if (c.state.pc >= fetch_table_.size()) {
                 raise_trap(c, core::Trap::FetchFault);
@@ -405,7 +512,13 @@ void Cluster::fetch_phase() {
         const InstrWord w = im_grant_[p].broadcast
                                 ? static_cast<InstrWord>(bank.peek(im_req_[p].offset))
                                 : static_cast<InstrWord>(bank.read(im_req_[p].offset));
-        if (!im_grant_[p].broadcast) ++stats_.im_bank_accesses;
+        if (!im_grant_[p].broadcast) {
+            ++stats_.im_bank_accesses;
+            if (cfg_.ecc_enabled && bank.take_uncorrectable()) {
+                raise_trap(c, core::Trap::EccFault);
+                continue;
+            }
+        }
         ++stats_.core[p].im_fetches;
         emit(static_cast<CoreId>(p),
              im_grant_[p].broadcast ? EventKind::FetchBroadcast : EventKind::Fetch, fetch_pc_[p],

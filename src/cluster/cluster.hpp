@@ -59,11 +59,13 @@ public:
 
     const ClusterConfig& config() const { return cfg_; }
 
-    /// Run statistics. The crossbar aggregates are synced on access
-    /// rather than every cycle (they accumulate inside the crossbars).
+    /// Run statistics. The crossbar and bank aggregates are synced on
+    /// access rather than every cycle (they accumulate inside the
+    /// crossbars / banks).
     const ClusterStats& stats() const {
         stats_.ixbar = ixbar_.stats();
         stats_.dxbar = dxbar_.stats();
+        sync_resilience_stats();
         return stats_;
     }
 
@@ -86,6 +88,29 @@ public:
     /// side array coherent (per-word invalidation).
     InstrWord im_peek(PAddr pc, CoreId pid = 0) const;
     void im_poke(PAddr pc, InstrWord word);
+
+    // ---- fault-injection hooks (src/fault, DESIGN.md §9) -------------------
+    // All hooks model single-event upsets: they flip stored/architectural
+    // bits without re-encoding ECC check bits, so the protection layer sees
+    // exactly what a particle strike would leave behind.
+
+    /// Flips `flip_mask` bits of the DM word at core `pid`'s virtual
+    /// address `vaddr` (the fault lands in the physical bank cell).
+    void inject_dm_fault(CoreId pid, Addr vaddr, Word flip_mask);
+
+    /// Flips bits of the instruction word at `pc` — every replica under
+    /// the Dedicated policy, mirroring a strike on each copy's bank cell —
+    /// and keeps the pre-decoded side array / fetch table coherent with
+    /// what a fetch would now return (the ECC-corrected view when ECC is
+    /// on).
+    void inject_im_fault(PAddr pc, InstrWord flip_mask);
+
+    /// Flips bits of architectural register `reg` of core `pid`.
+    void inject_reg_fault(CoreId pid, unsigned reg, Word flip_mask);
+
+    /// Arms a one-shot arbitration glitch on the I-Xbar (instruction_side)
+    /// or D-Xbar for the next arbitration cycle.
+    void inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g);
 
 private:
     struct CoreCtx {
@@ -111,12 +136,15 @@ private:
         bool halted = false;
         bool in_barrier = false;
         core::Trap trap = core::Trap::None;
+        Cycle last_commit = 0; ///< watchdog progress marker
     };
 
     void execute_phase();
     void fetch_phase();
+    void watchdog_phase();
     void commit(CoreCtx& c, CoreId pid);
     void raise_trap(CoreCtx& c, core::Trap t);
+    void sync_resilience_stats() const;
     bool core_done(const CoreCtx& c) const { return c.halted || c.trap != core::Trap::None; }
     void release_barrier_if_complete();
     /// Takes a finished core off the active list (lazily, at the next
@@ -149,8 +177,13 @@ private:
     /// ImMap refuses, so a miss raises the same FetchFault.
     std::vector<FetchSlot> fetch_table_;
     mutable ClusterStats stats_;   ///< mutable: stats() syncs xbar aggregates
+    /// Loaded program length: fetching at or beyond it is a FetchFault
+    /// (same boundary as the functional ISS), not a walk through the
+    /// zero-filled remainder of the bank.
+    std::uint32_t text_size_ = 0;
     Cycle cycle_ = 0;
     TraceSink* trace_ = nullptr;
+    std::uint64_t direct_faults_ = 0; ///< reg/xbar injections (banks count their own)
 
     /// Cores that are neither halted nor trapped: the per-cycle phases
     /// iterate only these, so finished cores cost zero work per cycle.

@@ -53,6 +53,20 @@ struct ClusterConfig {
     /// virtual address 0xFFFF that resynchronizes the cores.
     bool barrier_enabled = false;
 
+    /// Resilience extension (DESIGN.md §9): SEC-DED ECC on every IM and DM
+    /// bank. Single-bit upsets are corrected on read (and scrubbed),
+    /// double-bit upsets raise Trap::EccFault on the consuming core. The
+    /// encode/check energy is charged by the power model (calibration.hpp
+    /// ECC constants).
+    bool ecc_enabled = false;
+
+    /// Resilience extension: watchdog window in cycles. A core that
+    /// commits no instruction for this many consecutive cycles (barrier
+    /// parking included — legitimate waits are orders of magnitude
+    /// shorter) is stopped with Trap::Watchdog so the cluster degrades
+    /// instead of hanging. 0 disables the watchdog.
+    Cycle watchdog_cycles = 0;
+
     /// Simulator-only switch (no architectural meaning): enables the
     /// pre-decoded IM and the crossbars' conflict-free fast path. Results
     /// and statistics are cycle-for-cycle identical either way — turning

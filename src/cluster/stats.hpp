@@ -6,6 +6,8 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
@@ -44,6 +46,15 @@ struct ClusterStats {
     unsigned im_banks_gated = 0; ///< banks power gated for the whole run
     unsigned im_banks_total = kImBanks;
 
+    // Resilience counters (DESIGN.md §9). Zero on every run without ECC /
+    // injected faults, so the paper-reproduction statistics are unchanged.
+    bool ecc_enabled = false;
+    std::uint64_t ecc_im_corrected = 0;   ///< IM single-bit upsets fixed on read
+    std::uint64_t ecc_dm_corrected = 0;   ///< DM single-bit upsets fixed on read
+    std::uint64_t ecc_uncorrectable = 0;  ///< double-bit upsets detected (trap)
+    std::uint64_t faults_injected = 0;    ///< SEU/glitch injections applied
+    std::uint64_t watchdog_trips = 0;     ///< cores stopped by the watchdog
+
     /// Total committed instructions over all cores (the paper's "Ops").
     std::uint64_t total_ops() const {
         std::uint64_t n = 0;
@@ -59,7 +70,27 @@ struct ClusterStats {
 
     std::uint64_t dm_bank_accesses() const { return dm_bank_reads + dm_bank_writes; }
 
+    /// Cores that ended in a trap (any kind). Nonzero means the run must
+    /// not be reported as a success.
+    unsigned cores_trapped() const {
+        unsigned n = 0;
+        for (const auto& c : core) n += c.trap != core::Trap::None;
+        return n;
+    }
+
+    std::uint64_t ecc_corrected() const { return ecc_im_corrected + ecc_dm_corrected; }
+
     friend bool operator==(const ClusterStats&, const ClusterStats&) = default;
 };
+
+/// One-word status of core p: "halted", "running" (hit the cycle bound),
+/// or "TRAP:<name>" — used by every bench/example summary so trapped runs
+/// are impossible to miss.
+std::string core_status(const CoreRunStats& c);
+
+/// Prints the standard per-core run summary table (state, instructions,
+/// stalls) plus one line of cluster-level resilience counters when any are
+/// nonzero. Shared by the tools, examples and benches.
+void print_run_summary(std::ostream& os, const ClusterStats& s);
 
 } // namespace ulpmc::cluster

@@ -12,6 +12,10 @@ const char* trap_name(Trap t) {
         return "memory-fault";
     case Trap::FetchFault:
         return "fetch-fault";
+    case Trap::EccFault:
+        return "ecc-fault";
+    case Trap::Watchdog:
+        return "watchdog";
     }
     return "?";
 }

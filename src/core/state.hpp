@@ -26,7 +26,9 @@ enum class Trap : std::uint8_t {
     None = 0,
     IllegalInstruction, ///< reserved opcode / malformed encoding
     MemoryFault,        ///< data access outside the mapped address space
-    FetchFault          ///< PC outside the loaded program
+    FetchFault,         ///< PC outside the loaded program
+    EccFault,           ///< uncorrectable (double-bit) memory upset detected
+    Watchdog            ///< no forward progress for the watchdog window
 };
 
 /// Human-readable trap name (for diagnostics and tests).

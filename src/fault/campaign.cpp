@@ -1,0 +1,217 @@
+#include "fault/campaign.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+#include "power/power_model.hpp"
+
+namespace ulpmc::fault {
+
+const char* outcome_name(Outcome o) {
+    switch (o) {
+    case Outcome::Masked: return "masked";
+    case Outcome::Corrected: return "corrected";
+    case Outcome::RolledBack: return "rolled-back";
+    case Outcome::LeadDropped: return "lead-dropped";
+    case Outcome::Trapped: return "trapped";
+    case Outcome::Hang: return "hang";
+    case Outcome::Sdc: return "SDC";
+    }
+    return "?";
+}
+
+double CampaignResult::coverage() const {
+    if (runs.empty()) return 1.0;
+    return 1.0 - static_cast<double>(count(Outcome::Sdc)) / static_cast<double>(runs.size());
+}
+
+namespace {
+
+cluster::ClusterConfig resilient_config(const app::EcgBenchmark& bench, cluster::ArchKind arch,
+                                        const CampaignConfig& cfg) {
+    cluster::ClusterConfig c = cluster::make_config(arch, bench.layout().dm_layout());
+    c.barrier_enabled = bench.layout().use_barrier;
+    c.ecc_enabled = cfg.ecc;
+    c.watchdog_cycles = cfg.watchdog_cycles;
+    return c;
+}
+
+void load_inputs(cluster::Cluster& cl, const app::EcgBenchmark& bench, unsigned cores) {
+    const auto& lay = bench.layout();
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto& x = bench.lead_samples(p);
+        for (std::size_t i = 0; i < x.size(); ++i) {
+            cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(lay.x_base() + i),
+                       static_cast<Word>(x[i]));
+        }
+    }
+}
+
+/// Mirrors EcgBenchmark::run()'s end-of-run verification (we cannot reuse
+/// run() itself because the campaign pauses the simulation mid-flight to
+/// deposit the fault).
+bool outputs_verified(const cluster::Cluster& cl, const app::EcgBenchmark& bench,
+                      unsigned cores) {
+    const auto& lay = bench.layout();
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        if (cl.core_trap(pid) != core::Trap::None || !cl.core_halted(pid)) return false;
+        const auto& y = bench.golden_measurements(p);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            if (cl.dm_peek(pid, static_cast<Addr>(lay.y_base() + i)) != y[i]) return false;
+        }
+        const auto& bits = bench.golden_bitstream(p);
+        if (cl.dm_peek(pid, lay.out_count()) != bits.words.size()) return false;
+        for (std::size_t i = 0; i < bits.words.size(); ++i) {
+            if (cl.dm_peek(pid, static_cast<Addr>(lay.out_base() + i)) != bits.words[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+double clean_energy_per_op(cluster::ArchKind arch, const cluster::ClusterStats& stats) {
+    const power::PowerModel model(arch);
+    return model.energy_per_op(power::EventRates::from_run(stats)).total();
+}
+
+} // namespace
+
+CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind arch,
+                            const CampaignConfig& cfg, sweep::SweepRunner& pool) {
+    ULPMC_EXPECTS(cfg.injections >= 1);
+    CampaignResult res;
+    res.arch = arch;
+    res.cfg = cfg;
+
+    const cluster::ClusterConfig ccfg = resilient_config(bench, arch, cfg);
+
+    { // fault-free reference: cycle count, energy, and injection window
+        cluster::Cluster cl(ccfg, bench.program());
+        load_inputs(cl, bench, ccfg.cores);
+        res.clean_cycles = cl.run();
+        ULPMC_EXPECTS(outputs_verified(cl, bench, ccfg.cores));
+        res.energy_per_op = clean_energy_per_op(arch, cl.stats());
+    }
+
+    FaultUniverse universe;
+    universe.text_words = bench.program().text.size();
+    universe.dm_words = bench.layout().dm_layout().limit();
+    universe.cores = ccfg.cores;
+    universe.window = res.clean_cycles;
+    universe.kinds = cfg.kinds;
+    universe.flip_bits = cfg.flip_bits;
+
+    const auto bound =
+        static_cast<Cycle>(cfg.max_cycles_factor * static_cast<double>(res.clean_cycles)) +
+        cfg.watchdog_cycles + 1000;
+
+    res.runs.resize(cfg.injections);
+    pool.for_each_index(cfg.injections, [&](std::size_t i) {
+        FaultInjector inj(mix_seed(cfg.seed, i));
+        InjectionRecord rec;
+        rec.fault = inj.draw(universe);
+
+        cluster::Cluster cl(ccfg, bench.program());
+        load_inputs(cl, bench, ccfg.cores);
+        rec.cycles = FaultInjector::run_with_fault(cl, rec.fault, bound);
+
+        const auto& st = cl.stats();
+        rec.ecc_corrected = st.ecc_corrected();
+        bool any_running = false;
+        for (unsigned p = 0; p < ccfg.cores; ++p) {
+            const auto pid = static_cast<CoreId>(p);
+            const core::Trap t = cl.core_trap(pid);
+            if (t != core::Trap::None && rec.trap == core::Trap::None) rec.trap = t;
+            if (t == core::Trap::None && !cl.core_halted(pid)) any_running = true;
+        }
+
+        if (any_running) {
+            rec.outcome = Outcome::Hang;
+        } else if (rec.trap != core::Trap::None) {
+            rec.outcome = Outcome::Trapped;
+        } else if (outputs_verified(cl, bench, ccfg.cores)) {
+            rec.outcome = rec.ecc_corrected > 0 ? Outcome::Corrected : Outcome::Masked;
+        } else {
+            rec.outcome = Outcome::Sdc;
+        }
+        res.runs[i] = std::move(rec);
+    });
+
+    for (const auto& r : res.runs) ++res.counts[static_cast<unsigned>(r.outcome)];
+    return res;
+}
+
+CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
+                                      cluster::ArchKind arch, const CampaignConfig& cfg,
+                                      sweep::SweepRunner& pool) {
+    ULPMC_EXPECTS(cfg.injections >= 1);
+    CampaignResult res;
+    res.arch = arch;
+    res.cfg = cfg;
+
+    const cluster::ClusterConfig ccfg = resilient_config(bench.base(), arch, cfg);
+
+    Cycle clean_block = 0;
+    { // fault-free resilient reference
+        const auto clean = bench.run_resilient(ccfg);
+        ULPMC_EXPECTS(clean.rollbacks == 0 && clean.leads_dropped == 0);
+        res.clean_cycles = clean.total_cycles;
+        clean_block = clean.clean_block_cycles;
+    }
+    { // energy from the one-shot benchmark (same firmware inner loop)
+        cluster::Cluster cl(ccfg, bench.base().program());
+        load_inputs(cl, bench.base(), ccfg.cores);
+        cl.run();
+        res.energy_per_op = clean_energy_per_op(arch, cl.stats());
+    }
+
+    FaultUniverse universe;
+    universe.text_words = bench.base().program().text.size();
+    universe.dm_words = bench.base().layout().dm_layout().limit();
+    universe.cores = ccfg.cores;
+    universe.window = clean_block; // within-block strike cycle
+    universe.kinds = cfg.kinds;
+    universe.flip_bits = cfg.flip_bits;
+
+    res.runs.resize(cfg.injections);
+    pool.for_each_index(cfg.injections, [&](std::size_t i) {
+        FaultInjector inj(mix_seed(cfg.seed, i));
+        InjectionRecord rec;
+        rec.fault = inj.draw(universe);
+        const unsigned target_block = inj.rng().below(bench.n_blocks());
+        // A quarter of the memory strikes model latched (hard) upsets: the
+        // rollback retry re-hits them, which is what exercises lead-drop.
+        const bool memory_fault = rec.fault.kind == FaultKind::ImBitFlip ||
+                                  rec.fault.kind == FaultKind::DmBitFlip;
+        const bool persistent = memory_fault && inj.rng().below(4) == 0;
+
+        const auto hook = [&](cluster::Cluster& cl, unsigned block, unsigned attempt) {
+            const bool struck_block = block == target_block;
+            if (!(struck_block && attempt == 0) && !(persistent && block >= target_block)) return;
+            cl.run(rec.fault.cycle);
+            FaultInjector::apply(cl, rec.fault);
+        };
+        const auto ro = bench.run_resilient(ccfg, hook);
+
+        rec.cycles = ro.total_cycles;
+        rec.ecc_corrected = ro.ecc_corrected;
+        if (!ro.all_surviving_verified) {
+            rec.outcome = Outcome::Sdc;
+        } else if (ro.leads_dropped > 0) {
+            rec.outcome = Outcome::LeadDropped;
+        } else if (ro.rollbacks > 0) {
+            rec.outcome = Outcome::RolledBack;
+        } else if (rec.ecc_corrected > 0) {
+            rec.outcome = Outcome::Corrected;
+        } else {
+            rec.outcome = Outcome::Masked;
+        }
+        res.runs[i] = std::move(rec);
+    });
+
+    for (const auto& r : res.runs) ++res.counts[static_cast<unsigned>(r.outcome)];
+    return res;
+}
+
+} // namespace ulpmc::fault

@@ -1,0 +1,92 @@
+// Seeded fault-injection campaigns (DESIGN.md §9).
+//
+// A campaign runs thousands of independent, seeded injections of the ECG
+// benchmark, one simulated particle strike each, and classifies every run
+// by how the architecture absorbed the upset. The classification follows
+// the standard dependability taxonomy:
+//
+//   Masked      — outputs bit-exact, no protection mechanism fired;
+//   Corrected   — outputs bit-exact, SEC-DED corrected >= 1 single-bit upset;
+//   RolledBack  — streaming monitor re-executed the struck block from its
+//                 checkpoint and the retry verified (streaming campaigns);
+//   LeadDropped — a persistently-corrupted lead was dropped; the surviving
+//                 leads stayed bit-exact (streaming campaigns);
+//   Trapped     — a core detected the upset and fail-stopped (ECC
+//                 double-bit trap, illegal fetch, watchdog, ...);
+//   Hang        — cores still running at the cycle bound (silent livelock);
+//   Sdc         — silent data corruption: run completed, outputs wrong.
+//
+// Reproducibility contract: the per-injection RNG seed is
+// mix_seed(cfg.seed, i), so the i-th injection of a campaign is the same
+// fault with the same classification on every run, every thread count,
+// every platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "app/benchmark.hpp"
+#include "app/streaming.hpp"
+#include "cluster/config.hpp"
+#include "core/state.hpp"
+#include "fault/fault.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ulpmc::fault {
+
+enum class Outcome : std::uint8_t { Masked, Corrected, RolledBack, LeadDropped, Trapped, Hang, Sdc };
+inline constexpr unsigned kOutcomeCount = 7;
+
+const char* outcome_name(Outcome o);
+
+struct CampaignConfig {
+    std::uint64_t seed = 1;
+    unsigned injections = 256;
+    bool ecc = false;               ///< SEC-DED on every IM/DM bank
+    Cycle watchdog_cycles = 20'000; ///< 0 disables stuck-core detection
+    unsigned kinds = kAllFaultKinds;
+    unsigned flip_bits = 1;         ///< 1 = SEU; 2 exercises double-bit detection
+    /// Hang bound as a multiple of the fault-free run's cycle count.
+    double max_cycles_factor = 4.0;
+};
+
+/// One injection, fully described and classified.
+struct InjectionRecord {
+    FaultSpec fault;
+    Outcome outcome = Outcome::Masked;
+    core::Trap trap = core::Trap::None; ///< first trap observed when Trapped
+    Cycle cycles = 0;
+    std::uint64_t ecc_corrected = 0;
+};
+
+struct CampaignResult {
+    cluster::ArchKind arch{};
+    CampaignConfig cfg;
+    Cycle clean_cycles = 0;   ///< fault-free reference run
+    double energy_per_op = 0; ///< clean-run J/op under this ECC setting
+    std::vector<InjectionRecord> runs;
+    std::array<unsigned, kOutcomeCount> counts{};
+
+    unsigned count(Outcome o) const { return counts[static_cast<unsigned>(o)]; }
+    /// Fraction of injections that did NOT end in silent data corruption —
+    /// the headline detection/recovery coverage number.
+    double coverage() const;
+};
+
+/// Runs cfg.injections seeded strikes of the single-block ECG benchmark
+/// on `arch`, parallelized over `pool`. Outcomes here are Masked /
+/// Corrected / Trapped / Hang / Sdc (no checkpointing in one-shot mode).
+CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind arch,
+                            const CampaignConfig& cfg, sweep::SweepRunner& pool);
+
+/// Streaming variant: every injection strikes one resilient streaming run
+/// (block-boundary checkpoint/rollback + drop-one-lead, app/streaming) and
+/// is classified by how the monitor recovered. A quarter of the IM/DM
+/// strikes are drawn *persistent* (latched upsets re-deposited on every
+/// attempt), which is what exercises the lead-drop path.
+CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
+                                      cluster::ArchKind arch, const CampaignConfig& cfg,
+                                      sweep::SweepRunner& pool);
+
+} // namespace ulpmc::fault

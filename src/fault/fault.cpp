@@ -1,0 +1,144 @@
+#include "fault/fault.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::fault {
+
+const char* fault_kind_name(FaultKind k) {
+    switch (k) {
+    case FaultKind::ImBitFlip: return "im-bit-flip";
+    case FaultKind::DmBitFlip: return "dm-bit-flip";
+    case FaultKind::RegUpset: return "reg-upset";
+    case FaultKind::IXbarGlitch: return "ixbar-glitch";
+    case FaultKind::DXbarGlitch: return "dxbar-glitch";
+    }
+    return "?";
+}
+
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream) {
+    // One splitmix64 step over seed + odd-constant * (stream + 1): distinct
+    // streams of the same campaign land in well-separated RNG states.
+    std::uint64_t z = seed + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+std::string FaultSpec::describe() const {
+    std::ostringstream os;
+    os << fault_kind_name(kind);
+    switch (kind) {
+    case FaultKind::ImBitFlip:
+        os << " pc=" << pc;
+        break;
+    case FaultKind::DmBitFlip:
+        os << " core" << static_cast<unsigned>(core) << " @" << vaddr;
+        break;
+    case FaultKind::RegUpset:
+        os << " core" << static_cast<unsigned>(core) << " r" << reg;
+        break;
+    case FaultKind::IXbarGlitch:
+    case FaultKind::DXbarGlitch:
+        os << " master" << static_cast<unsigned>(core)
+           << (glitch == xbar::Glitch::Kind::DroppedGrant ? " dropped-grant" : " spurious-denial");
+        break;
+    }
+    if (kind == FaultKind::ImBitFlip || kind == FaultKind::DmBitFlip ||
+        kind == FaultKind::RegUpset) {
+        os << " mask=0x" << std::hex << flip_mask << std::dec;
+    }
+    os << " cycle=" << cycle;
+    return os.str();
+}
+
+namespace {
+
+/// `bits` distinct flipped bits inside a `width`-bit word.
+std::uint32_t draw_mask(Rng& rng, unsigned width, unsigned bits) {
+    std::uint32_t mask = 0;
+    unsigned set = 0;
+    while (set < bits) {
+        const std::uint32_t bit = 1u << rng.below(width);
+        if (mask & bit) continue;
+        mask |= bit;
+        ++set;
+    }
+    return mask;
+}
+
+} // namespace
+
+FaultSpec FaultInjector::draw(const FaultUniverse& u) {
+    ULPMC_EXPECTS(u.kinds != 0);
+    ULPMC_EXPECTS(u.cores >= 1);
+    ULPMC_EXPECTS(u.flip_bits >= 1 && u.flip_bits <= 16);
+
+    FaultKind enabled[5];
+    unsigned n = 0;
+    for (unsigned k = 0; k < 5; ++k) {
+        if (u.kinds & (1u << k)) enabled[n++] = static_cast<FaultKind>(k);
+    }
+
+    FaultSpec f;
+    f.kind = enabled[rng_.below(n)];
+    f.cycle = 1 + rng_.below(static_cast<std::uint32_t>(u.window));
+    switch (f.kind) {
+    case FaultKind::ImBitFlip:
+        ULPMC_EXPECTS(u.text_words > 0);
+        f.pc = static_cast<PAddr>(rng_.below(static_cast<std::uint32_t>(u.text_words)));
+        f.flip_mask = draw_mask(rng_, 24, u.flip_bits);
+        break;
+    case FaultKind::DmBitFlip:
+        ULPMC_EXPECTS(u.dm_words > 0);
+        f.core = static_cast<CoreId>(rng_.below(u.cores));
+        f.vaddr = static_cast<Addr>(rng_.below(u.dm_words));
+        f.flip_mask = draw_mask(rng_, 16, u.flip_bits);
+        break;
+    case FaultKind::RegUpset:
+        f.core = static_cast<CoreId>(rng_.below(u.cores));
+        f.reg = rng_.below(kNumRegisters);
+        f.flip_mask = draw_mask(rng_, 16, u.flip_bits);
+        break;
+    case FaultKind::IXbarGlitch:
+    case FaultKind::DXbarGlitch:
+        f.core = static_cast<CoreId>(rng_.below(u.cores));
+        f.glitch = rng_.below(2) == 0 ? xbar::Glitch::Kind::DroppedGrant
+                                      : xbar::Glitch::Kind::SpuriousDenial;
+        break;
+    }
+    return f;
+}
+
+void FaultInjector::apply(cluster::Cluster& cl, const FaultSpec& f) {
+    switch (f.kind) {
+    case FaultKind::ImBitFlip:
+        cl.inject_im_fault(f.pc, f.flip_mask);
+        break;
+    case FaultKind::DmBitFlip:
+        cl.inject_dm_fault(f.core, f.vaddr, static_cast<Word>(f.flip_mask));
+        break;
+    case FaultKind::RegUpset:
+        cl.inject_reg_fault(f.core, f.reg, static_cast<Word>(f.flip_mask));
+        break;
+    case FaultKind::IXbarGlitch:
+        cl.inject_xbar_glitch(true, xbar::Glitch{f.glitch, f.core});
+        break;
+    case FaultKind::DXbarGlitch:
+        cl.inject_xbar_glitch(false, xbar::Glitch{f.glitch, f.core});
+        break;
+    }
+}
+
+Cycle FaultInjector::run_with_fault(cluster::Cluster& cl, const FaultSpec& f, Cycle max_cycles) {
+    ULPMC_EXPECTS(f.cycle <= max_cycles);
+    // If the cluster quiesces before the strike cycle, the particle hits a
+    // finished machine: the fault is still deposited (state flips) but no
+    // execution consumes it — a masked outcome, as in a real campaign.
+    cl.run(f.cycle);
+    apply(cl, f);
+    return cl.run(max_cycles);
+}
+
+} // namespace ulpmc::fault

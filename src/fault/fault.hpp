@@ -1,0 +1,96 @@
+// Deterministic single-event-upset (SEU) injection for the cluster.
+//
+// The paper operates the cluster near the threshold voltage — exactly the
+// regime where soft-error rates explode — so the reproduction grows a
+// dependability axis (DESIGN.md §9): seeded fault campaigns quantify how
+// the three memory organizations behave under injected upsets, and what
+// SEC-DED protection costs in the calibrated energy model.
+//
+// Everything here is reproducible bit-for-bit: all randomness flows
+// through common/rng (xoshiro128**), and a (seed, stream) pair fully
+// determines every drawn fault. The injector itself is stateless apart
+// from its RNG; faults are applied through the Cluster's injection hooks,
+// which model the physical upset faithfully (stored bits flip, ECC check
+// bits do not re-encode).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "xbar/crossbar.hpp"
+
+namespace ulpmc::fault {
+
+/// Where the upset strikes.
+enum class FaultKind : std::uint8_t {
+    ImBitFlip,  ///< instruction-memory bank cell
+    DmBitFlip,  ///< data-memory bank cell
+    RegUpset,   ///< architectural register of one core
+    IXbarGlitch, ///< I-Xbar arbitration upset (dropped grant / spurious denial)
+    DXbarGlitch  ///< D-Xbar arbitration upset
+};
+
+const char* fault_kind_name(FaultKind k);
+
+/// Bitmask helpers for FaultUniverse::kinds.
+inline constexpr unsigned fault_bit(FaultKind k) { return 1u << static_cast<unsigned>(k); }
+inline constexpr unsigned kAllFaultKinds =
+    fault_bit(FaultKind::ImBitFlip) | fault_bit(FaultKind::DmBitFlip) |
+    fault_bit(FaultKind::RegUpset) | fault_bit(FaultKind::IXbarGlitch) |
+    fault_bit(FaultKind::DXbarGlitch);
+
+/// One fully-resolved injection: kind, strike cycle, target, flipped bits.
+struct FaultSpec {
+    FaultKind kind = FaultKind::DmBitFlip;
+    Cycle cycle = 1;               ///< applied when the simulation reaches it
+    PAddr pc = 0;                  ///< ImBitFlip target
+    CoreId core = 0;               ///< DmBitFlip address space / RegUpset / glitch master
+    Addr vaddr = 0;                ///< DmBitFlip target (virtual, core's view)
+    unsigned reg = 0;              ///< RegUpset target
+    std::uint32_t flip_mask = 1;   ///< XORed into the target
+    xbar::Glitch::Kind glitch = xbar::Glitch::Kind::DroppedGrant;
+
+    /// One-line rendering, e.g. "dm-bit-flip core3 @0x12a bit5 cycle 4711".
+    std::string describe() const;
+};
+
+/// The sampling space one campaign draws from.
+struct FaultUniverse {
+    std::size_t text_words = 0;  ///< IM strikes land in [0, text_words)
+    Addr dm_words = 0;           ///< DM strikes land in [0, dm_words) (virtual)
+    unsigned cores = kNumCores;
+    Cycle window = 100'000;      ///< strike cycle drawn uniform in [1, window]
+    unsigned kinds = kAllFaultKinds; ///< bitmask of fault_bit(FaultKind)
+    unsigned flip_bits = 1;      ///< bits flipped per strike (1 = SEU, 2 = MBU)
+};
+
+/// Derives the per-stream seed of injection `stream` from a campaign seed
+/// (one splitmix64 step — stable across platforms and runs).
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// Draws and applies faults deterministically.
+class FaultInjector {
+public:
+    explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+    /// Draws one fault uniformly from `u`. Consecutive calls on the same
+    /// injector yield a reproducible sequence.
+    FaultSpec draw(const FaultUniverse& u);
+
+    /// Applies `f` to the cluster through its injection hooks.
+    static void apply(cluster::Cluster& cl, const FaultSpec& f);
+
+    /// Runs `cl` until `f.cycle`, applies `f`, then runs to completion
+    /// (bounded by `max_cycles`). Returns the final cycle count.
+    static Cycle run_with_fault(cluster::Cluster& cl, const FaultSpec& f, Cycle max_cycles);
+
+    Rng& rng() { return rng_; }
+
+private:
+    Rng rng_;
+};
+
+} // namespace ulpmc::fault

@@ -5,6 +5,14 @@
 // gating (the paper's ulpmc-bank organization gates unused IM banks to
 // cut leakage — §III-C). A bank stores generic 32-bit cells so the same
 // class backs 16-bit data banks and 24-bit instruction banks.
+//
+// Resilience extension (DESIGN.md §9): a bank can carry a SEC-DED
+// (single-error-correct, double-error-detect) Hamming code over each
+// cell. Check bits are computed on every write/poke; every counted read
+// recomputes the syndrome, silently corrects single-bit upsets in place
+// (write-back scrub) and flags double-bit upsets as uncorrectable. Fault
+// campaigns flip stored bits through corrupt(), which — unlike poke() —
+// does NOT re-encode the check bits, exactly like a particle strike.
 #pragma once
 
 #include <cstdint>
@@ -19,9 +27,27 @@ namespace ulpmc::mem {
 struct BankStats {
     std::uint64_t reads = 0;
     std::uint64_t writes = 0;
+    std::uint64_t ecc_corrected = 0;     ///< single-bit upsets fixed on read
+    std::uint64_t ecc_uncorrectable = 0; ///< double-bit upsets flagged on read
+    std::uint64_t faults_injected = 0;   ///< corrupt() calls
 
     std::uint64_t accesses() const { return reads + writes; }
 };
+
+/// SEC-DED code over one <=26-bit cell: 5 Hamming check bits + 1 overall
+/// parity bit. Exposed for tests and for the predecode coherence path.
+namespace ecc {
+/// Check bits for `data` (the low `data_bits` bits are protected).
+std::uint8_t encode(std::uint32_t data, unsigned data_bits);
+
+/// Outcome of one syndrome decode.
+struct Decode {
+    std::uint32_t corrected;  ///< data with a single-bit error fixed
+    bool had_error = false;   ///< any mismatch between data and check bits
+    bool uncorrectable = false; ///< >=2 bits flipped: detection only
+};
+Decode check(std::uint32_t data, std::uint8_t stored_check, unsigned data_bits);
+} // namespace ecc
 
 /// A single SRAM bank.
 class MemoryBank {
@@ -33,19 +59,42 @@ public:
     std::size_t size() const { return cells_.size(); }
     unsigned cell_bits() const { return cell_bits_; }
 
-    /// Reads one cell. Precondition: offset in range, bank powered.
+    /// Reads one cell. Precondition: offset in range, bank powered. With
+    /// ECC enabled the returned value is syndrome-checked: a single-bit
+    /// upset is corrected (and scrubbed back into the array), a double-bit
+    /// upset raises the sticky uncorrectable flag (take_uncorrectable()).
     std::uint32_t read(std::size_t offset);
 
     /// Writes one cell. Precondition: offset in range, bank powered.
     void write(std::size_t offset, std::uint32_t value);
 
-    /// Non-counting accessors for loaders and tests.
+    /// Non-counting accessors for loaders and tests. With ECC enabled,
+    /// peek() returns the corrected view of a single-bit-upset cell (no
+    /// scrub, no counting) so verification reads what a fetch would.
     std::uint32_t peek(std::size_t offset) const;
     void poke(std::size_t offset, std::uint32_t value);
 
     /// Whole-array view for bulk consumers (the pre-decode pass); does not
-    /// count as an access.
+    /// count as an access. Raw cells: no ECC correction applied.
     std::span<const std::uint32_t> cells() const { return cells_; }
+
+    /// SEC-DED protection. Enabling (re)encodes check bits for the whole
+    /// array; disabling keeps the data but stops checking.
+    void set_ecc(bool enabled);
+    bool ecc_enabled() const { return ecc_; }
+
+    /// Soft-error injection: XORs `flip_mask` into the stored cell without
+    /// touching the check bits (a strike flips cells, not the code).
+    /// Counted in stats().faults_injected.
+    void corrupt(std::size_t offset, std::uint32_t flip_mask);
+
+    /// Returns and clears the uncorrectable-error flag raised by the most
+    /// recent read()s. The caller (the cluster) turns it into a trap.
+    bool take_uncorrectable() {
+        const bool u = uncorrectable_pending_;
+        uncorrectable_pending_ = false;
+        return u;
+    }
 
     /// Power gating (retention is NOT modeled: gating wipes contents, so
     /// the simulator faults on any access to a gated bank — matching the
@@ -58,8 +107,11 @@ public:
 
 private:
     std::vector<std::uint32_t> cells_;
+    std::vector<std::uint8_t> check_; ///< SEC-DED check bits, sized when ECC on
     unsigned cell_bits_;
     bool gated_ = false;
+    bool ecc_ = false;
+    bool uncorrectable_pending_ = false;
     BankStats stats_;
 };
 

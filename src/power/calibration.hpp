@@ -82,6 +82,21 @@ inline constexpr double kIXbarEnergyPerReqBanked = 1.25e-12;      // 0.01 mW/8MO
 inline constexpr double kClockEnergyRef = 3.75e-12;
 inline constexpr double kClockEnergyProposed = 5.0e-12;
 
+// ---- ECC overhead (resilience extension, DESIGN.md §9) ----------------------
+// SEC-DED (31,26) Hamming: 6 check bits per protected cell. Access energy
+// in a word-organized SRAM scales ~linearly with the bits toggled per
+// access, so the per-access factor is the codeword/data bit ratio — (16+6)
+// /16 for DM cells, (24+6)/24 for IM cells. The encode/syndrome XOR trees
+// are a few dozen gates and ride inside the same access, so no separate
+// logic term is charged. A *correction* event additionally fires the
+// write-back scrub (one extra write's worth of energy, approximated by the
+// bank's access energy at the data width).
+
+inline constexpr double kEccDmAccessFactor = 22.0 / 16.0;  ///< 1.375
+inline constexpr double kEccImAccessFactor = 30.0 / 24.0;  ///< 1.25
+/// Energy of one single-bit correction (syndrome decode + scrub write).
+inline constexpr double kEccCorrectionEnergy = 45.0e-12;
+
 // ---- areas (Table I), kGE ---------------------------------------------------
 
 inline constexpr double kAreaCorePerCore = 81.5 / 8.0;         ///< TamaRISC core

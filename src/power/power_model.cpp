@@ -63,6 +63,8 @@ EventRates EventRates::from_run(const cluster::ClusterStats& s) {
     r.im_banks_used = s.im_banks_used;
     r.im_banks_gated = s.im_banks_gated;
     r.im_banks_total = s.im_banks_total;
+    r.ecc = s.ecc_enabled;
+    r.ecc_corrections = static_cast<double>(s.ecc_corrected()) / ops;
     return r;
 }
 
@@ -80,7 +82,10 @@ EnergyConstants EnergyConstants::calibrated() {
             cal::kClockEnergyProposed,
             cal::kLeakImPerKge,
             cal::kLeakLogicDensityRatio,
-            cal::kLeakDmDensityRatio};
+            cal::kLeakDmDensityRatio,
+            cal::kEccImAccessFactor,
+            cal::kEccDmAccessFactor,
+            cal::kEccCorrectionEnergy};
 }
 
 PowerModel::PowerModel(cluster::ArchKind arch, double clock_ns)
@@ -97,6 +102,13 @@ PowerBreakdown PowerModel::energy_per_op(const EventRates& r) const {
     e.cores = c_.core_per_op + ipath_extra(arch_, c_);
     e.im = c_.im_access * r.im_bank_accesses;
     e.dm = c_.dm_access * r.dm_bank_accesses;
+    if (r.ecc) {
+        // SEC-DED widens every bank access to the codeword width and
+        // charges correction events their scrub energy (calibration.hpp).
+        e.im *= c_.ecc_im_factor;
+        e.dm *= c_.ecc_dm_factor;
+        e.dm += c_.ecc_correction * r.ecc_corrections;
+    }
     e.dxbar = c_.dxbar_per_req * r.dxbar_requests *
               (is_proposed(arch_) ? c_.dxbar_broadcast_mult : 1.0);
     e.ixbar = ixbar_energy_per_req(arch_, c_) * r.ixbar_requests;

@@ -28,6 +28,8 @@ struct EventRates {
     unsigned im_banks_used = kImBanks;
     unsigned im_banks_gated = 0;
     unsigned im_banks_total = kImBanks;
+    bool ecc = false;                 ///< SEC-DED banks: access-energy factors apply
+    double ecc_corrections = 0;       ///< single-bit scrub events per op
 
     /// Condenses a finished run. Precondition: at least one op committed.
     static EventRates from_run(const cluster::ClusterStats& s);
@@ -72,6 +74,9 @@ struct EnergyConstants {
     double leak_im_per_kge;      ///< W/kGE of IM SRAM at nominal voltage
     double leak_logic_ratio;     ///< logic leakage density vs IM SRAM
     double leak_dm_ratio;        ///< DM SRAM leakage density vs IM SRAM
+    double ecc_im_factor;        ///< IM access-energy multiplier with ECC on
+    double ecc_dm_factor;        ///< DM access-energy multiplier with ECC on
+    double ecc_correction;       ///< J per single-bit correction (scrub)
 
     /// The calibrated defaults (DESIGN.md §4).
     static EnergyConstants calibrated();

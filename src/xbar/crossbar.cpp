@@ -40,7 +40,7 @@ void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::s
     // arbiter, which alone updates denied/conflict_cycles. The bitmasks
     // bound it to 32 banks/masters; larger geometries (not used by any
     // configuration here) always take the full path.
-    if (fast_path_ && !last_denied_ && banks_ <= 32 && masters_ <= 32) {
+    if (fast_path_ && !last_denied_ && !glitch_armed_ && banks_ <= 32 && masters_ <= 32) {
         std::uint32_t pending = active_hint;
         if (masters_ < 32) pending &= (std::uint32_t{1} << masters_) - 1;
         std::uint32_t claimed = 0;
@@ -98,9 +98,21 @@ void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::s
     last_denied_ = arbitrate_full(reqs, cycle, out);
 }
 
+void Crossbar::inject_glitch(const Glitch& g) {
+    ULPMC_EXPECTS(g.master < masters_);
+    glitch_ = g;
+    glitch_armed_ = true;
+}
+
 bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out) {
     for (unsigned m = 0; m < masters_; ++m) out[m] = Grant{};
     for (auto& t : bank_taken_) t = 0;
+
+    // Consume a pending arbitration glitch (one-shot).
+    const bool glitched = glitch_armed_;
+    const Glitch g = glitch_;
+    glitch_armed_ = false;
+    const bool suppress = glitched && g.kind == Glitch::Kind::SpuriousDenial;
 
     bool any_denied = false;
 
@@ -116,6 +128,7 @@ bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::s
         if (!r.active) continue;
         ++stats_.requests;
         ULPMC_EXPECTS(r.bank < banks_);
+        if (suppress && m == g.master) continue; // request never arrives
         if (!bank_taken_[r.bank]) {
             bank_taken_[r.bank] = 1;
             winner_[r.bank] = static_cast<std::uint8_t>(m);
@@ -132,7 +145,8 @@ bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::s
         const Request& r = reqs[m];
         if (!r.active || out[m].granted) continue;
         const Request& w = reqs[winner_[r.bank]];
-        if (broadcast_ && !r.is_write && !w.is_write && w.offset == r.offset) {
+        if ((!suppress || m != g.master) && bank_taken_[r.bank] && broadcast_ && !r.is_write &&
+            !w.is_write && w.offset == r.offset) {
             out[m].granted = true;
             out[m].broadcast = true;
             ++stats_.grants;
@@ -141,6 +155,18 @@ bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::s
             ++stats_.denied;
             any_denied = true;
         }
+    }
+
+    // A dropped grant revokes the winner's (or rider's) grant after the
+    // fact: the bank port has already fired — the activation energy is
+    // spent — but the master latches nothing and retries next cycle.
+    if (glitched && g.kind == Glitch::Kind::DroppedGrant && reqs[g.master].active &&
+        out[g.master].granted) {
+        --stats_.grants;
+        if (out[g.master].broadcast) --stats_.broadcast_riders;
+        out[g.master] = Grant{};
+        ++stats_.denied;
+        any_denied = true;
     }
 
     if (any_denied) ++stats_.conflict_cycles;

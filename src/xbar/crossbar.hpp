@@ -49,6 +49,23 @@ struct XbarStats {
     friend bool operator==(const XbarStats&, const XbarStats&) = default;
 };
 
+/// A one-shot arbitration upset (fault-injection extension, DESIGN.md §9).
+/// Armed with Crossbar::inject_glitch(), applied to the next arbitration
+/// round, then cleared. Both flavors are absorbed by the stall/retry
+/// protocol — the denied master simply re-arbitrates next cycle — so the
+/// architectural outcome is a stall, never corruption.
+struct Glitch {
+    enum class Kind : std::uint8_t {
+        DroppedGrant,   ///< grant signal glitches low after arbitration:
+                        ///< the bank port fires but the master latches
+                        ///< nothing and must retry
+        SpuriousDenial  ///< the request never reaches the arbiter this
+                        ///< cycle (a competing master may win instead)
+    };
+    Kind kind = Kind::DroppedGrant;
+    unsigned master = 0;
+};
+
 /// One crossbar instance (I-Xbar: 8x8, D-Xbar: 8x16 in the paper).
 class Crossbar {
 public:
@@ -84,6 +101,12 @@ public:
     void set_fast_path(bool on) { fast_path_ = on; }
     bool fast_path() const { return fast_path_; }
 
+    /// Arms a one-shot arbitration glitch for the next cycle. If the
+    /// targeted master raises no request that cycle the glitch dissipates
+    /// without effect (strikes don't wait for traffic).
+    void inject_glitch(const Glitch& g);
+    bool glitch_pending() const { return glitch_armed_; }
+
     const XbarStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 
@@ -102,6 +125,8 @@ private:
     /// pays for both arbiters). Purely a tier-selection hint — grants and
     /// statistics are identical whichever tier runs.
     bool last_denied_ = false;
+    Glitch glitch_;              ///< one-shot upset, valid while armed
+    bool glitch_armed_ = false;
     std::uint32_t master_mask_ = 0; ///< masters_-1 when a power of two, else 0
     XbarStats stats_;
     std::vector<std::uint8_t> bank_taken_; // scratch, sized banks_

@@ -174,5 +174,54 @@ TEST(FastpathDiff, ImPokeAfterFetchExecutesLatchedInstruction) {
     }
 }
 
+TEST(FastpathDiff, InjectedFaultsKeepEnginesCycleIdentical) {
+    // Mid-run SEU injections (IM/DM bit flips, register upsets) go through
+    // the same coherence path as im_poke; both engines must stay
+    // cycle-for-cycle identical afterwards — with and without SEC-DED, on
+    // every IM policy.
+    Rng rng(0xFA17u);
+    const cluster::ArchKind archs[] = {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
+                                       cluster::ArchKind::UlpmcBank};
+    for (const auto arch : archs) {
+        for (const bool ecc : {false, true}) {
+            const auto prog = isa::assemble(random_program(rng));
+            auto cfg = cluster::make_config(arch, kLayout);
+            cfg.ecc_enabled = ecc;
+            cfg.sim_fast_path = true;
+            cluster::Cluster fast(cfg, prog);
+            cfg.sim_fast_path = false;
+            cluster::Cluster slow(cfg, prog);
+            const std::string context =
+                cluster::arch_name(arch) + std::string(ecc ? " ecc" : " raw");
+
+            // Park both engines mid-flight, deposit identical upsets.
+            fast.run(40);
+            slow.run(40);
+            const PAddr pc = rng.below(static_cast<std::uint32_t>(prog.text.size()));
+            const InstrWord im_flip = 1u << rng.below(24);
+            const Addr vaddr = rng.below(kLayout.limit());
+            const Word dm_flip = static_cast<Word>(1u << rng.below(16));
+            for (auto* cl : {&fast, &slow}) {
+                cl->inject_im_fault(pc, im_flip);
+                cl->inject_dm_fault(1, vaddr, dm_flip);
+                cl->inject_reg_fault(0, 3, 0x0010);
+            }
+            const Cycle cycles_fast = fast.run(200'000);
+            const Cycle cycles_slow = slow.run(200'000);
+            ASSERT_EQ(cycles_fast, cycles_slow) << context;
+            ASSERT_EQ(fast.stats(), slow.stats()) << context;
+            for (unsigned p = 0; p < cfg.cores; ++p) {
+                const auto pid = static_cast<CoreId>(p);
+                ASSERT_EQ(fast.core_state(pid), slow.core_state(pid)) << context << " core " << p;
+                ASSERT_EQ(fast.core_trap(pid), slow.core_trap(pid)) << context << " core " << p;
+                for (Addr v = 0; v < kLayout.limit(); ++v) {
+                    ASSERT_EQ(fast.dm_peek(pid, v), slow.dm_peek(pid, v))
+                        << context << " core " << p << " vaddr " << v;
+                }
+            }
+        }
+    }
+}
+
 } // namespace
 } // namespace ulpmc

@@ -6,11 +6,16 @@
 //     --cores N                            (default 8)
 //     --shared W --private W               DM layout in words
 //                                          (default 64 / 1024)
+//     --ecc                                SEC-DED on every memory bank
+//     --watchdog N                         stuck-core trap after N idle cycles
 //     --trace N                            print the last N trace events
 //     --dump ADDR LEN                      dump core 0's memory after run
 //     --max-cycles N                       safety limit (default 10M)
 //
 // Assembly sources are also accepted directly (detected by extension).
+// Exit codes: 0 all cores halted, 1 load error, 2 bad usage, 3 a core
+// trapped (name printed), 4 the max-cycles limit was hit.
+#include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
@@ -28,9 +33,26 @@ namespace {
 
 int usage() {
     std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
-                 "                 [--shared W] [--private W] [--trace N]\n"
-                 "                 [--dump ADDR LEN] [--max-cycles N]\n";
+                 "                 [--shared W] [--private W] [--ecc] [--watchdog N]\n"
+                 "                 [--trace N] [--dump ADDR LEN] [--max-cycles N]\n";
     return 2;
+}
+
+/// Strict decimal parse with range check; exits with a clear message on
+/// anything malformed (no silent wrap, no std::stoul aborts).
+std::uint64_t parse_num(const std::string& arg, const std::string& value, std::uint64_t min,
+                        std::uint64_t max) {
+    std::uint64_t v = 0;
+    const auto [p, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+    if (ec != std::errc{} || p != value.data() + value.size()) {
+        std::cerr << arg << ": '" << value << "' is not a number\n";
+        std::exit(2);
+    }
+    if (v < min || v > max) {
+        std::cerr << arg << ": " << v << " out of range [" << min << ", " << max << "]\n";
+        std::exit(2);
+    }
+    return v;
 }
 
 } // namespace
@@ -41,6 +63,8 @@ int main(int argc, char** argv) {
     unsigned cores = kNumCores;
     Addr shared_words = 64;
     Addr private_words = 1024;
+    bool ecc = false;
+    Cycle watchdog = 0;
     std::size_t trace_n = 0;
     long dump_addr = -1;
     unsigned dump_len = 0;
@@ -58,18 +82,24 @@ int main(int argc, char** argv) {
         if (arg == "--arch") {
             arch_name = next("a name");
         } else if (arg == "--cores") {
-            cores = static_cast<unsigned>(std::stoul(next("a count")));
+            cores = static_cast<unsigned>(parse_num(arg, next("a count"), 1, kNumCores));
         } else if (arg == "--shared") {
-            shared_words = static_cast<Addr>(std::stoul(next("words")));
+            shared_words =
+                static_cast<Addr>(parse_num(arg, next("words"), 0, kDmWordsTotal));
         } else if (arg == "--private") {
-            private_words = static_cast<Addr>(std::stoul(next("words")));
+            private_words =
+                static_cast<Addr>(parse_num(arg, next("words"), 1, kDmWordsTotal));
+        } else if (arg == "--ecc") {
+            ecc = true;
+        } else if (arg == "--watchdog") {
+            watchdog = parse_num(arg, next("a cycle count"), 1, 1'000'000'000);
         } else if (arg == "--trace") {
-            trace_n = std::stoul(next("a count"));
+            trace_n = parse_num(arg, next("a count"), 0, 1'000'000);
         } else if (arg == "--dump") {
-            dump_addr = std::stol(next("an address"));
-            dump_len = static_cast<unsigned>(std::stoul(next("a length")));
+            dump_addr = static_cast<long>(parse_num(arg, next("an address"), 0, kDmWordsTotal));
+            dump_len = static_cast<unsigned>(parse_num(arg, next("a length"), 1, kDmWordsTotal));
         } else if (arg == "--max-cycles") {
-            max_cycles = std::stoull(next("a count"));
+            max_cycles = parse_num(arg, next("a count"), 1, ~0ull);
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
@@ -105,10 +135,19 @@ int main(int argc, char** argv) {
         std::string err;
         const auto loaded = isa::load_program(bytes, err);
         if (!loaded) {
-            std::cerr << input << ": " << err << '\n';
+            std::cerr << input << ": malformed image: " << err << '\n';
             return 1;
         }
         prog = *loaded;
+    }
+    if (prog.text.empty()) {
+        std::cerr << input << ": malformed image: empty text section\n";
+        return 1;
+    }
+    if (prog.text.size() > kImWordsPerBank) {
+        std::cerr << input << ": text section (" << prog.text.size()
+                  << " words) exceeds an IM bank (" << kImWordsPerBank << ")\n";
+        return 1;
     }
 
     // --- configure the cluster ----------------------------------------------
@@ -118,12 +157,31 @@ int main(int argc, char** argv) {
     } else if (arch_name == "ulpmc-int") {
         kind = cluster::ArchKind::UlpmcInt;
     } else if (arch_name != "ulpmc-bank") {
-        std::cerr << "unknown architecture " << arch_name << '\n';
+        std::cerr << "unknown architecture '" << arch_name
+                  << "' (expected mc-ref, ulpmc-int or ulpmc-bank)\n";
+        return 2;
+    }
+    if (shared_words + static_cast<std::size_t>(private_words) * cores > kDmWordsTotal) {
+        std::cerr << "DM layout does not fit: " << shared_words << " shared + " << private_words
+                  << " private x " << cores << " cores > " << kDmWordsTotal << " words\n";
         return 2;
     }
     auto cfg = cluster::make_config(kind, {shared_words, private_words});
     cfg.cores = cores;
     cfg.barrier_enabled = true; // harmless if unused
+    cfg.ecc_enabled = ecc;
+    cfg.watchdog_cycles = watchdog;
+    if (prog.data.size() > cfg.dm_layout.limit()) {
+        std::cerr << input << ": data image (" << prog.data.size()
+                  << " words) exceeds the DM layout (" << cfg.dm_layout.limit() << " words)\n";
+        return 1;
+    }
+    if (dump_addr >= 0 &&
+        static_cast<std::size_t>(dump_addr) + dump_len > cfg.dm_layout.limit()) {
+        std::cerr << "--dump range [" << dump_addr << ", " << dump_addr + dump_len
+                  << ") exceeds the DM layout (" << cfg.dm_layout.limit() << " words)\n";
+        return 2;
+    }
 
     cluster::Cluster cl(cfg, prog);
     cluster::RingTrace ring(trace_n ? trace_n : 1);
@@ -141,24 +199,32 @@ int main(int argc, char** argv) {
               << format_count(s.dm_bank_accesses()) << ", conflicts denied "
               << format_count(s.ixbar.denied + s.dxbar.denied) << '\n';
 
+    cluster::print_run_summary(std::cout, s);
+
     int rc = 0;
-    Table t({"core", "state", "instructions", "r0..r3"});
+    std::cout << "registers (r0..r3):\n";
     for (unsigned p = 0; p < cores; ++p) {
-        const auto& st = cl.core_state(static_cast<CoreId>(p));
-        std::string state = "running";
-        if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None) {
-            state = std::string("TRAP:") + core::trap_name(cl.core_trap(static_cast<CoreId>(p)));
+        const auto pid = static_cast<CoreId>(p);
+        const auto& st = cl.core_state(pid);
+        if (cl.core_trap(pid) != core::Trap::None) {
             rc = 3;
-        } else if (cl.core_halted(static_cast<CoreId>(p))) {
-            state = "halted";
-        } else {
+        } else if (!cl.core_halted(pid)) {
             rc = 4; // hit max-cycles
         }
-        t.add_row({std::to_string(p), state, std::to_string(s.core[p].instret),
-                   std::to_string(st.regs[0]) + " " + std::to_string(st.regs[1]) + " " +
-                       std::to_string(st.regs[2]) + " " + std::to_string(st.regs[3])});
+        std::cout << "  core " << p << ": " << st.regs[0] << ' ' << st.regs[1] << ' '
+                  << st.regs[2] << ' ' << st.regs[3] << '\n';
     }
-    t.print(std::cout);
+    if (rc == 3) {
+        for (unsigned p = 0; p < cores; ++p) {
+            const auto pid = static_cast<CoreId>(p);
+            if (cl.core_trap(pid) != core::Trap::None) {
+                std::cerr << "core " << p << " trapped: " << core::trap_name(cl.core_trap(pid))
+                          << '\n';
+            }
+        }
+    } else if (rc == 4) {
+        std::cerr << "max-cycles limit (" << max_cycles << ") hit with cores still running\n";
+    }
 
     if (dump_addr >= 0) {
         std::cout << "\ncore 0 memory @" << dump_addr << ":\n ";
