@@ -8,6 +8,7 @@
 // model; absolute numbers are indicative, the trend is the point.
 #include <array>
 #include <iostream>
+#include <string>
 
 #include "app/benchmark.hpp"
 #include "common/table.hpp"
@@ -30,7 +31,18 @@ double dm_access_energy(std::size_t bank_words) {
 
 } // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    cluster::SimEngine engine = cluster::SimEngine::Trace;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--engine" && i + 1 < argc &&
+            cluster::parse_engine(argv[i + 1], engine)) {
+            ++i;
+            continue;
+        }
+        std::cerr << "usage: ext_bank_sweep [--engine reference|fast|trace]\n";
+        return 2;
+    }
+
     exp::print_experiment_header("Extension: DM/IM bank-count design space",
                                  "beyond the paper (its Section III choices)");
 
@@ -47,6 +59,7 @@ int main() {
                 cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
             cfg.dm_banks = banks;
             cfg.dm_bank_words = kDmWordsTotal / banks;
+            cfg.engine = engine;
             return std::make_pair(cfg, bench.run(cfg));
         });
     for (std::size_t i = 0; i < dm_runs.size(); ++i) {
@@ -79,6 +92,7 @@ int main() {
                 cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
             cfg.im_banks = banks;
             cfg.im_bank_words = kImWordsTotal / banks;
+            cfg.engine = engine;
             return std::make_pair(cfg, bench.run(cfg));
         });
     for (std::size_t i = 0; i < im_runs.size(); ++i) {

@@ -6,6 +6,7 @@
 // real-time deadline is one 512-sample block per lead every 2.048 s.
 #include <array>
 #include <iostream>
+#include <string>
 
 #include "app/benchmark.hpp"
 #include "common/table.hpp"
@@ -15,7 +16,18 @@
 
 using namespace ulpmc;
 
-int main() {
+int main(int argc, char** argv) {
+    cluster::SimEngine engine = cluster::SimEngine::Trace;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--engine" && i + 1 < argc &&
+            cluster::parse_engine(argv[i + 1], engine)) {
+            ++i;
+            continue;
+        }
+        std::cerr << "usage: ext_core_scaling [--engine reference|fast|trace]\n";
+        return 2;
+    }
+
     exp::print_experiment_header("Extension: core-count scaling at a fixed real-time job",
                                  "the paper's premise (ref. [9], PATMOS'11)");
 
@@ -31,6 +43,7 @@ int main() {
         // 8/cores leads sequentially -> cycles scale inversely with cores.
         auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, bench.layout().dm_layout());
         cfg.cores = cores;
+        cfg.engine = engine;
         return bench.run(cfg);
     });
 

@@ -7,6 +7,7 @@
 // operating point forces.
 //
 // Usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]
+//                           [--engine reference|fast|trace]
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -70,8 +71,15 @@ int main(int argc, char** argv) {
             cfg.seed = v;
         } else if (arg == "--json" && i + 1 < argc) {
             json_path = argv[++i];
+        } else if (arg == "--engine" && i + 1 < argc) {
+            if (!cluster::parse_engine(argv[++i], cfg.engine)) {
+                std::cerr << "unknown engine '" << argv[i]
+                          << "' (expected reference, fast or trace)\n";
+                return 2;
+            }
         } else {
-            std::cerr << "usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]\n";
+            std::cerr << "usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]\n"
+                         "                          [--engine reference|fast|trace]\n";
             return 2;
         }
     }

@@ -2,9 +2,16 @@
 // paths — instruction decode, ALU, crossbar arbitration, single-core ISS
 // stepping and whole-cluster cycle stepping. These guard the simulator's
 // usability for large design-space sweeps; they reproduce no paper figure.
+//
+// `--json FILE` writes the google-benchmark JSON report to FILE (shorthand
+// for --benchmark_out=FILE --benchmark_out_format=json); the CI
+// perf-regression job diffs it against the committed baseline
+// BENCH_sim_speed.json.
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "app/benchmark.hpp"
 #include "cluster/cluster.hpp"
@@ -98,6 +105,34 @@ void BM_FunctionalCoreStep(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalCoreStep);
 
+// The same endless kernel through FunctionalCore::run()'s block-granular
+// dispatcher (pre-decoded superblocks, no per-instruction fetch checks).
+// The ratio against BM_FunctionalCoreStep is the ISS dispatch speedup.
+void BM_FunctionalCoreRunBlocks(benchmark::State& state) {
+    const auto prog = isa::assemble(R"(
+            movi r1, 0
+            movi r2, 1000
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+            movi r1, 0
+            movi r2, 1000
+            bra  al, loop
+    )");
+    core::FlatMemory mem;
+    core::FunctionalCore c(prog.text, mem);
+    constexpr std::uint64_t kChunk = 1024;
+    for (auto _ : state) {
+        c.run(kChunk);
+        benchmark::DoNotOptimize(c.state().pc);
+    }
+    state.counters["instrs/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * static_cast<double>(kChunk),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FunctionalCoreRunBlocks);
+
 // The acceptance workload for the simulation fast path: an 8-core
 // ulpmc-int cluster on an endless store/loop kernel. With staggered starts
 // the PCs spread over the interleaved IM banks, so fetch and private-data
@@ -105,7 +140,7 @@ BENCHMARK(BM_FunctionalCoreStep);
 // claim-bitmask arbiter are built for. `fast` and `slow` run the identical
 // configuration with the fast path on/off (the slow path IS the old
 // engine), so the ratio of the two is the measured speedup.
-void BM_ClusterStep(benchmark::State& state, bool fast, bool stagger) {
+void BM_ClusterStep(benchmark::State& state, cluster::SimEngine engine, bool stagger) {
     const auto prog = isa::assemble(R"(
             movi r1, 512
             movi r2, 1000
@@ -119,7 +154,7 @@ void BM_ClusterStep(benchmark::State& state, bool fast, bool stagger) {
     )");
     auto cfg = cluster::make_config(cluster::ArchKind::UlpmcInt,
                                     {.shared_words = 512, .private_words_per_core = 2048});
-    cfg.sim_fast_path = fast;
+    cfg.engine = engine;
     cfg.stagger_start = stagger;
     cluster::Cluster cl(cfg, prog);
     for (auto _ : state) {
@@ -134,10 +169,57 @@ void BM_ClusterStep(benchmark::State& state, bool fast, bool stagger) {
     state.counters["fetches/s"] =
         benchmark::Counter(static_cast<double>(fetches), benchmark::Counter::kIsRate);
 }
-BENCHMARK_CAPTURE(BM_ClusterStep, int8_fast, true, true);
-BENCHMARK_CAPTURE(BM_ClusterStep, int8_slow, false, true);
-BENCHMARK_CAPTURE(BM_ClusterStep, int8_lockstep_fast, true, false);
-BENCHMARK_CAPTURE(BM_ClusterStep, int8_lockstep_slow, false, false);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_trace, cluster::SimEngine::Trace, true);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_fast, cluster::SimEngine::Fast, true);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_slow, cluster::SimEngine::Reference, true);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_lockstep_fast, cluster::SimEngine::Fast, false);
+BENCHMARK_CAPTURE(BM_ClusterStep, int8_lockstep_slow, cluster::SimEngine::Reference, false);
+
+// The trace engine's acceptance workload (DESIGN.md §10): a single active
+// core on a conflict-free loop, driven through run() so the superblock
+// dispatcher and the timing memo engage (per-cycle step() is the generic
+// path by design). The kernel mirrors the shape of the app's per-lead
+// filter loops — a compute stretch of ALU work, then one streaming store
+// per iteration — so the memo lane sees the mem-free runs real phases
+// have. One iteration = one 4096-cycle burst; the trace/ref cycles/s
+// ratio is the engine-tier speedup on conflict-free phases.
+void BM_ClusterRunConflictFree(benchmark::State& state, cluster::SimEngine engine) {
+    const auto prog = isa::assemble(R"(
+            movi r1, 512
+            movi r2, 1000
+    loop:   add  r3, r3, #1
+            xor  r4, r4, r3
+            add  r5, r4, r3
+            and  r6, r5, r4
+            or   r7, r6, r3
+            sub  r8, r7, r4
+            add  r8, r8, r6
+            mov  @r1+, r8
+            sub  r2, r2, #1
+            bra  ne, loop
+            movi r1, 512
+            movi r2, 1000
+            bra  al, loop
+    )");
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank,
+                                    {.shared_words = 512, .private_words_per_core = 2048});
+    cfg.cores = 1;
+    cfg.engine = engine;
+    cluster::Cluster cl(cfg, prog);
+    constexpr Cycle kBurst = 4096;
+    Cycle target = 0;
+    for (auto _ : state) {
+        target += kBurst;
+        cl.run(target); // the program never halts: exactly kBurst cycles
+        benchmark::DoNotOptimize(cl.stats().cycles);
+    }
+    state.counters["cycles/s"] = benchmark::Counter(
+        static_cast<double>(state.iterations()) * static_cast<double>(kBurst),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_ClusterRunConflictFree, trace, cluster::SimEngine::Trace);
+BENCHMARK_CAPTURE(BM_ClusterRunConflictFree, fast, cluster::SimEngine::Fast);
+BENCHMARK_CAPTURE(BM_ClusterRunConflictFree, reference, cluster::SimEngine::Reference);
 
 void BM_ClusterCycle(benchmark::State& state) {
     const app::EcgBenchmark bench{};
@@ -210,4 +292,31 @@ BENCHMARK(BM_FullBenchmarkRun)->Unit(benchmark::kMillisecond);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Custom main: translate our CI-facing `--json FILE` shorthand into
+// google-benchmark's --benchmark_out pair, forward everything else.
+int main(int argc, char** argv) {
+    std::vector<std::string> fwd;
+    fwd.emplace_back(argv[0]);
+    std::string json;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json" && i + 1 < argc) {
+            json = argv[++i];
+        } else {
+            fwd.push_back(arg);
+        }
+    }
+    if (!json.empty()) {
+        fwd.push_back("--benchmark_out=" + json);
+        fwd.push_back("--benchmark_out_format=json");
+    }
+    std::vector<char*> args;
+    args.reserve(fwd.size());
+    for (auto& s : fwd) args.push_back(s.data());
+    int n = static_cast<int>(args.size());
+    benchmark::Initialize(&n, args.data());
+    if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <array>
 
+#include "cluster/pool.hpp"
 #include "common/assert.hpp"
 
 namespace ulpmc::app {
@@ -84,21 +85,22 @@ EcgBenchmark::Outcome EcgBenchmark::run(cluster::ArchKind arch) const {
     return run(cluster::make_config(arch, layout_.dm_layout()));
 }
 
-EcgBenchmark::Outcome EcgBenchmark::run(const cluster::ClusterConfig& cfg_in) const {
-    cluster::ClusterConfig cfg = cfg_in;
-    cfg.barrier_enabled = layout_.use_barrier; // program and hardware agree
-
-    cluster::Cluster cl(cfg, program_);
-
-    // Sensor front end: inject each lead's block into its core's x buffer.
-    for (unsigned p = 0; p < cfg.cores; ++p) {
+void EcgBenchmark::load_inputs(cluster::Cluster& cl, unsigned cores) const {
+    for (unsigned p = 0; p < cores; ++p) {
         const auto& x = leads_[p];
         for (std::size_t i = 0; i < x.size(); ++i) {
             cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(layout_.x_base() + i),
                        static_cast<Word>(x[i]));
         }
     }
+}
 
+EcgBenchmark::Outcome EcgBenchmark::run(const cluster::ClusterConfig& cfg_in) const {
+    cluster::ClusterConfig cfg = cfg_in;
+    cfg.barrier_enabled = layout_.use_barrier; // program and hardware agree
+
+    cluster::Cluster& cl = cluster::pooled_cluster(cfg, program_);
+    load_inputs(cl, cfg.cores);
     cl.run();
 
     Outcome out;

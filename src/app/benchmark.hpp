@@ -60,6 +60,12 @@ public:
     /// dm_layout and barrier flag must match this benchmark's layout.
     Outcome run(const cluster::ClusterConfig& cfg) const;
 
+    /// Sensor front end: injects each lead's sample block into its core's
+    /// x buffer. Shared by run(), the streaming monitor and the fault
+    /// campaigns (which pause the simulation mid-flight and so drive the
+    /// cluster themselves).
+    void load_inputs(cluster::Cluster& cl, unsigned cores) const;
+
 private:
     BenchmarkOptions opt_;
     BenchmarkLayout layout_;

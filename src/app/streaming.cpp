@@ -1,5 +1,6 @@
 #include "app/streaming.hpp"
 
+#include "cluster/pool.hpp"
 #include "common/assert.hpp"
 
 namespace ulpmc::app {
@@ -18,15 +19,9 @@ StreamingBenchmark::Outcome StreamingBenchmark::run(const cluster::ClusterConfig
     cluster::ClusterConfig cfg = cfg_in;
     cfg.barrier_enabled = base_.layout().use_barrier;
 
-    cluster::Cluster cl(cfg, program_);
+    cluster::Cluster& cl = cluster::pooled_cluster(cfg, program_);
     const auto& lay = base_.layout();
-    for (unsigned p = 0; p < cfg.cores; ++p) {
-        const auto& x = base_.lead_samples(p);
-        for (std::size_t i = 0; i < x.size(); ++i) {
-            cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(lay.x_base() + i),
-                       static_cast<Word>(x[i]));
-        }
-    }
+    base_.load_inputs(cl, cfg.cores);
 
     cl.run(static_cast<Cycle>(n_blocks_) * 400'000);
 
@@ -78,28 +73,27 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
 
     // One block = one checkpoint interval, executed on the single-block
     // program; re-initializing the cluster from the program image IS the
-    // rollback (block inputs are replayed from the sensor FIFO).
-    const auto launch_block = [&]() {
-        cluster::Cluster cl(cfg, base_.program());
-        for (unsigned p = 0; p < cfg.cores; ++p) {
-            const auto& x = base_.lead_samples(p);
-            for (std::size_t i = 0; i < x.size(); ++i) {
-                cl.dm_poke(static_cast<CoreId>(p), static_cast<Addr>(lay.x_base() + i),
-                           static_cast<Word>(x[i]));
-            }
-        }
+    // rollback (block inputs are replayed from the sensor FIFO). One
+    // cluster instance serves every attempt of every block: reset() reuses
+    // its buffers, so the monitor's steady state allocates nothing.
+    cluster::Cluster cl(cfg, base_.program());
+    bool first_launch = true;
+    const auto launch_block = [&]() -> cluster::Cluster& {
+        if (!first_launch) cl.reset(cfg, base_.program());
+        first_launch = false;
+        base_.load_inputs(cl, cfg.cores);
         return cl;
     };
-    const auto lead_ok = [&](const cluster::Cluster& cl, unsigned p) {
-        if (cl.core_trap(static_cast<CoreId>(p)) != core::Trap::None ||
-            !cl.core_halted(static_cast<CoreId>(p))) {
+    const auto lead_ok = [&](const cluster::Cluster& c, unsigned p) {
+        if (c.core_trap(static_cast<CoreId>(p)) != core::Trap::None ||
+            !c.core_halted(static_cast<CoreId>(p))) {
             return false;
         }
         const auto& golden = base_.golden_bitstream(p);
-        if (cl.dm_peek(static_cast<CoreId>(p), lay.out_count()) != golden.words.size())
+        if (c.dm_peek(static_cast<CoreId>(p), lay.out_count()) != golden.words.size())
             return false;
         for (std::size_t i = 0; i < golden.words.size(); ++i) {
-            if (cl.dm_peek(static_cast<CoreId>(p), static_cast<Addr>(lay.out_base() + i)) !=
+            if (c.dm_peek(static_cast<CoreId>(p), static_cast<Addr>(lay.out_base() + i)) !=
                 golden.words[i]) {
                 return false;
             }
@@ -111,9 +105,9 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
     out.lead_alive.assign(cfg.cores, 1);
 
     { // fault-free reference block: calibrates the per-attempt cycle budget
-        cluster::Cluster cl = launch_block();
-        out.clean_block_cycles = cl.run();
-        for (unsigned p = 0; p < cfg.cores; ++p) ULPMC_EXPECTS(lead_ok(cl, p));
+        cluster::Cluster& ref = launch_block();
+        out.clean_block_cycles = ref.run();
+        for (unsigned p = 0; p < cfg.cores; ++p) ULPMC_EXPECTS(lead_ok(ref, p));
     }
     // A wedged attempt must terminate: 4x the clean block plus the
     // watchdog window bounds every legitimate execution.
@@ -121,18 +115,18 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
 
     for (unsigned block = 0; block < n_blocks_; ++block) {
         for (unsigned attempt = 0; attempt < 2; ++attempt) {
-            cluster::Cluster cl = launch_block();
-            if (hook) hook(cl, block, attempt);
-            cl.run(budget);
+            cluster::Cluster& att = launch_block();
+            if (hook) hook(att, block, attempt);
+            att.run(budget);
 
-            const auto& st = cl.stats();
+            const auto& st = att.stats();
             out.total_cycles += st.cycles;
             out.ecc_corrected += st.ecc_corrected();
             out.watchdog_trips += st.watchdog_trips;
 
             std::vector<unsigned> corrupted;
             for (unsigned p = 0; p < cfg.cores; ++p) {
-                if (out.lead_alive[p] && !lead_ok(cl, p)) corrupted.push_back(p);
+                if (out.lead_alive[p] && !lead_ok(att, p)) corrupted.push_back(p);
             }
             if (corrupted.empty()) break; // block verified: commit checkpoint
             if (attempt == 0) {

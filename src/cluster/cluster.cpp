@@ -16,28 +16,43 @@ static unsigned write_port(unsigned pid) { return 2 * pid + 1; }
 Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
     : cfg_(cfg), im_map_(cfg.im_policy, cfg.im_banks, cfg.im_bank_words),
       ixbar_(cfg.cores, cfg.im_banks, cfg.im_broadcast),
-      dxbar_(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast),
-      predecoded_(cfg.im_banks, cfg.im_bank_words),
-      dm_req_(2 * cfg.cores), dm_grant_(2 * cfg.cores), im_req_(cfg.cores), im_grant_(cfg.cores),
-      fetch_pc_(cfg.cores, 0) {
+      dxbar_(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast) {
+    reset(cfg, prog);
+}
+
+void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
     ULPMC_EXPECTS(cfg.cores > 0 && cfg.cores <= kNumCores);
     ULPMC_EXPECTS(!prog.text.empty());
+    cfg_ = cfg;
+    im_map_ = mmu::ImMap(cfg.im_policy, cfg.im_banks, cfg.im_bank_words);
     text_size_ = static_cast<std::uint32_t>(prog.text.size());
-    ixbar_.set_fast_path(cfg.sim_fast_path);
-    dxbar_.set_fast_path(cfg.sim_fast_path);
+    cycle_ = 0;
+    trace_ = nullptr;
+    direct_faults_ = 0;
+    im_dirty_.clear();
+    ixbar_.reset(cfg.cores, cfg.im_banks, cfg.im_broadcast);
+    dxbar_.reset(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast);
+    ixbar_.set_fast_path(cfg.fast_path());
+    dxbar_.set_fast_path(cfg.fast_path());
+    predecoded_.reset(cfg.im_banks, cfg.im_bank_words);
 
-    // --- construct memories -------------------------------------------------
-    im_banks_.reserve(cfg.im_banks);
-    for (unsigned b = 0; b < cfg.im_banks; ++b) im_banks_.emplace_back(cfg.im_bank_words, 24);
-    dm_banks_.reserve(cfg.dm_banks);
-    for (unsigned b = 0; b < cfg.dm_banks; ++b) dm_banks_.emplace_back(cfg.dm_bank_words, 16);
-    if (cfg.ecc_enabled) {
-        for (auto& b : im_banks_) b.set_ecc(true);
-        for (auto& b : dm_banks_) b.set_ecc(true);
-        stats_.ecc_enabled = true;
+    // --- (re)construct memories ---------------------------------------------
+    im_banks_.resize(cfg.im_banks);
+    for (auto& b : im_banks_) b.reset(cfg.im_bank_words, 24, cfg.ecc_enabled);
+    dm_banks_.resize(cfg.dm_banks);
+    for (auto& b : dm_banks_) b.reset(cfg.dm_bank_words, 16, cfg.ecc_enabled);
+
+    // --- statistics (scalar fields reset, per-core vector storage reused) ---
+    {
+        std::vector<CoreRunStats> keep = std::move(stats_.core);
+        stats_ = {};
+        stats_.core = std::move(keep);
+        stats_.core.assign(cfg.cores, {});
+        stats_.ecc_enabled = cfg.ecc_enabled;
     }
 
-    // --- construct cores ----------------------------------------------------
+    // --- (re)construct cores ------------------------------------------------
+    cores_.clear();
     cores_.reserve(cfg.cores);
     for (unsigned p = 0; p < cfg.cores; ++p) {
         CoreCtx c{.state = {}, .mmu = mmu::DataMmu(cfg.dm_layout, static_cast<CoreId>(p),
@@ -46,9 +61,17 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
         c.state.pc = prog.entry;
         cores_.push_back(std::move(c));
     }
-    stats_.core.resize(cfg.cores);
+    active_cores_.clear();
     active_cores_.reserve(cfg.cores);
     for (unsigned p = 0; p < cfg.cores; ++p) active_cores_.push_back(static_cast<CoreId>(p));
+    active_dirty_ = false;
+
+    // --- per-cycle scratch --------------------------------------------------
+    dm_req_.assign(2 * cfg.cores, {});
+    dm_grant_.assign(2 * cfg.cores, {});
+    im_req_.assign(cfg.cores, {});
+    im_grant_.assign(cfg.cores, {});
+    fetch_pc_.assign(cfg.cores, 0);
 
     // --- load text ----------------------------------------------------------
     // Every loaded word is also decoded once into the pre-decoded side
@@ -76,7 +99,7 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
     // translate + predecode-lookup collapse into a single indexed read on
     // the per-cycle fetch path. Built via the ImMap itself, so the mapping
     // (and the set of faulting PCs) is identical by construction.
-    if (cfg_.sim_fast_path && cfg_.im_policy != mmu::ImPolicy::Dedicated) {
+    if (cfg_.fast_path() && cfg_.im_policy != mmu::ImPolicy::Dedicated) {
         const std::size_t words = std::min<std::size_t>(
             static_cast<std::size_t>(cfg_.im_banks) * cfg_.im_bank_words,
             std::size_t{1} << (8 * sizeof(PAddr)));
@@ -88,7 +111,17 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
                                 .bank = pa->bank,
                                 .offset = pa->offset};
         }
+    } else {
+        fetch_table_.clear();
     }
+
+    // --- superblock map (trace engine) --------------------------------------
+    if (cfg_.engine == SimEngine::Trace) {
+        text_image_.assign(prog.text.begin(), prog.text.end());
+    } else {
+        text_image_.clear();
+    }
+    blockmap_.rebuild(text_image_);
 
     stats_.im_banks_used = im_map_.banks_used(prog.text.size());
     if (cfg.gate_unused_im_banks) {
@@ -175,6 +208,80 @@ void Cluster::im_poke(PAddr pc, InstrWord word) {
         if (pc < fetch_table_.size())
             fetch_table_[pc].pre = predecoded_.lookup(pa->bank, pa->offset);
     }
+    refresh_blockmap(pc, word);
+}
+
+void Cluster::refresh_blockmap(PAddr pc, InstrWord readback) {
+    if (std::find(im_dirty_.begin(), im_dirty_.end(), pc) == im_dirty_.end())
+        im_dirty_.push_back(pc);
+    if (cfg_.engine != SimEngine::Trace || pc >= text_image_.size()) return;
+    text_image_[pc] = readback & kInstrWordMask;
+    blockmap_.rebuild(text_image_);
+}
+
+void Cluster::save(Snapshot& out) const {
+    out.cycle = cycle_;
+    out.stats = stats_;
+    out.direct_faults = direct_faults_;
+    out.cores = cores_;
+    out.ex_in_buf.assign(cores_.size(), 0);
+    for (std::size_t p = 0; p < cores_.size(); ++p)
+        out.ex_in_buf[p] = cores_[p].ex == &cores_[p].ex_buf ? 1 : 0;
+    out.im_banks.resize(im_banks_.size());
+    for (std::size_t b = 0; b < im_banks_.size(); ++b) im_banks_[b].save(out.im_banks[b]);
+    out.dm_banks.resize(dm_banks_.size());
+    for (std::size_t b = 0; b < dm_banks_.size(); ++b) dm_banks_[b].save(out.dm_banks[b]);
+    ixbar_.save(out.ixbar);
+    dxbar_.save(out.dxbar);
+}
+
+void Cluster::restore(const Snapshot& s) {
+    ULPMC_EXPECTS(s.cores.size() == cores_.size());
+    ULPMC_EXPECTS(s.im_banks.size() == im_banks_.size());
+    ULPMC_EXPECTS(s.dm_banks.size() == dm_banks_.size());
+    cycle_ = s.cycle;
+    stats_ = s.stats;
+    direct_faults_ = s.direct_faults;
+    cores_ = s.cores;
+    // An EX slot that aliased its own ex_buf at save time must alias the
+    // restored copy (a slot pointing into predecoded_ stays valid as-is:
+    // entry addresses are stable for the lifetime of this instance).
+    for (std::size_t p = 0; p < cores_.size(); ++p)
+        if (s.ex_in_buf[p]) cores_[p].ex = &cores_[p].ex_buf;
+    for (std::size_t b = 0; b < im_banks_.size(); ++b) im_banks_[b].restore(s.im_banks[b]);
+    for (std::size_t b = 0; b < dm_banks_.size(); ++b) dm_banks_[b].restore(s.dm_banks[b]);
+    ixbar_.restore(s.ixbar);
+    dxbar_.restore(s.dxbar);
+
+    // Decode caches: rolling the cells back can strand the cache entries of
+    // words mutated since reset(); re-derive exactly those from the
+    // restored cells (the readback view, as inject_im_fault would).
+    if (!im_dirty_.empty()) {
+        const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+        for (const PAddr pc : im_dirty_) {
+            InstrWord readback = 0;
+            for (unsigned p = 0; p < replicas; ++p) {
+                const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
+                ULPMC_EXPECTS(pa.has_value());
+                readback =
+                    static_cast<InstrWord>(im_banks_[pa->bank].peek(pa->offset)) & kInstrWordMask;
+                predecoded_.refresh(pa->bank, pa->offset, readback);
+                if (pc < fetch_table_.size())
+                    fetch_table_[pc].pre = predecoded_.lookup(pa->bank, pa->offset);
+            }
+            if (cfg_.engine == SimEngine::Trace && pc < text_image_.size())
+                text_image_[pc] = readback;
+        }
+        if (cfg_.engine == SimEngine::Trace) blockmap_.rebuild(text_image_);
+    }
+
+    // Arbitration scratch and the active-core list are derived state.
+    for (auto& r : im_req_) r = {};
+    for (auto& r : dm_req_) r = {};
+    active_cores_.clear();
+    for (unsigned p = 0; p < cores_.size(); ++p)
+        if (!core_done(cores_[p])) active_cores_.push_back(static_cast<CoreId>(p));
+    active_dirty_ = false;
 }
 
 void Cluster::inject_dm_fault(CoreId pid, Addr vaddr, Word flip_mask) {
@@ -191,6 +298,7 @@ void Cluster::inject_im_fault(PAddr pc, InstrWord flip_mask) {
     // from the bank's *readback* view: the corrected word when ECC heals
     // the flip, the corrupted word when it doesn't.
     const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+    InstrWord readback = 0;
     for (unsigned p = 0; p < replicas; ++p) {
         const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
         ULPMC_EXPECTS(pa.has_value());
@@ -202,12 +310,12 @@ void Cluster::inject_im_fault(PAddr pc, InstrWord flip_mask) {
             }
         }
         im_banks_[pa->bank].corrupt(pa->offset, flip_mask & kInstrWordMask);
-        const InstrWord readback =
-            static_cast<InstrWord>(im_banks_[pa->bank].peek(pa->offset)) & kInstrWordMask;
+        readback = static_cast<InstrWord>(im_banks_[pa->bank].peek(pa->offset)) & kInstrWordMask;
         predecoded_.refresh(pa->bank, pa->offset, readback);
         if (pc < fetch_table_.size())
             fetch_table_[pc].pre = predecoded_.lookup(pa->bank, pa->offset);
     }
+    refresh_blockmap(pc, readback);
 }
 
 void Cluster::inject_reg_fault(CoreId pid, unsigned reg, Word flip_mask) {
@@ -280,9 +388,229 @@ bool Cluster::step() {
 }
 
 Cycle Cluster::run(Cycle max_cycles) {
+    if (cfg_.engine == SimEngine::Trace) {
+        // Alternate between superblock bursts (whenever the state is
+        // burst-eligible) and generic cycles (multi-core phases, dual-port
+        // instructions, armed glitches, staggered warm-up).
+        while (cycle_ < max_cycles) {
+            if (trace_burst(max_cycles)) continue;
+            if (!step()) break;
+        }
+        return stats_.cycles;
+    }
     while (cycle_ < max_cycles && step()) {
     }
     return stats_.cycles;
+}
+
+bool Cluster::trace_burst(Cycle max_cycles) {
+    // ---- burst eligibility (DESIGN.md §10: engine-tier legality) -----------
+    // The conflict-free proof needs a sole active core: every crossbar
+    // request is then the only one raised, so each cycle grants fully and
+    // commits in one cycle — no stall, bubble, denial, or broadcast ride
+    // can occur, and the block memo's cycle count is exact.
+    if (trace_ != nullptr) return false; // event sinks need per-cycle phases
+    if (active_dirty_) {
+        std::erase_if(active_cores_, [this](CoreId p) { return core_done(cores_[p]); });
+        active_dirty_ = false;
+    }
+    if (active_cores_.size() != 1) return false;
+    const CoreId p = active_cores_[0];
+    CoreCtx& c = cores_[p];
+    if (c.in_barrier) return false;
+    if (cycle_ < c.start_cycle) return false; // staggered warm-up: generic
+    // A dual-port instruction (load + store in one cycle) can conflict
+    // with itself on the D-Xbar; its timing belongs to the full arbiter.
+    // (load_done can only be pending for such an instruction.)
+    if (c.ex && ((c.has_load && c.has_store) || c.load_done)) return false;
+    // An armed one-shot glitch must be consumed by a real arbitration.
+    if (ixbar_.glitch_pending() || dxbar_.glitch_pending()) return false;
+
+    // ---- batched statistics ------------------------------------------------
+    // Bank reads/writes and per-commit counters go through the same calls
+    // as the generic engine (exact per-bank parity); the per-cycle crossbar
+    // and fetch aggregates are accumulated locally and flushed once.
+    std::uint64_t fetches = 0;   // stats_.core[p].im_fetches
+    std::uint64_t xbar_im = 0;   // uncontended I-Xbar grant cycles
+    std::uint64_t xbar_dm = 0;   // uncontended D-Xbar grant cycles
+    std::uint64_t lane_instret = 0; // commits made by the memo lane
+    std::uint32_t lane = 0;      // mem-free straight-line instructions ahead
+    const bool use_table = !fetch_table_.empty();
+
+    // Fetches the instruction at c.state.pc into EX — the same cycle as
+    // the commit that preceded it, exactly like fetch_phase. Returns false
+    // when the burst must end: a trap was raised here, or the fetched
+    // instruction needs the generic engine (dual-port). Arms the memo lane
+    // when the pc opens a mem-free straight-line run.
+    const auto fetch_step = [&]() -> bool {
+        const PAddr pc = c.state.pc;
+        if (pc >= text_size_) {
+            raise_trap(c, core::Trap::FetchFault);
+            return false;
+        }
+        const isa::DecodedInstr* pre;
+        BankId bank_id;
+        std::uint32_t offset;
+        if (use_table) {
+            const FetchSlot& fs = fetch_table_[pc];
+            pre = fs.pre;
+            bank_id = fs.bank;
+            offset = fs.offset;
+        } else {
+            const auto pa = im_map_.translate(pc, p);
+            if (!pa) {
+                raise_trap(c, core::Trap::FetchFault);
+                return false;
+            }
+            pre = predecoded_.lookup(pa->bank, pa->offset);
+            bank_id = pa->bank;
+            offset = pa->offset;
+        }
+        auto& ibank = im_banks_[bank_id];
+        if (ibank.power_gated()) {
+            raise_trap(c, core::Trap::FetchFault);
+            return false;
+        }
+        (void)ibank.read(offset); // keeps per-bank access stats identical
+        ++stats_.im_bank_accesses;
+        ++xbar_im;
+        if (cfg_.ecc_enabled && ibank.take_uncorrectable()) {
+            raise_trap(c, core::Trap::EccFault);
+            return false;
+        }
+        ++fetches;
+        if (!pre) {
+            raise_trap(c, core::Trap::IllegalInstruction);
+            return false;
+        }
+        c.ex = &pre->instr;
+        c.has_load = false;
+        c.has_store = false;
+        c.load_done = false;
+        c.loaded.reset();
+        if (!pre->has_mem) {
+            c.plan = {};
+            // Memo lane: the block map proved a straight-line memory-free
+            // run ahead of pc (with a fetch-safe word after it) — replay
+            // its timing without per-cycle checks. (Needs the PC-indexed
+            // fetch table, so not under Dedicated.)
+            if (use_table) lane = blockmap_.memo_lane(pc);
+            return true;
+        }
+        c.plan = core::plan_memory(*c.ex, c.state);
+        if (c.plan.load) {
+            const auto lpa = c.mmu.translate(*c.plan.load);
+            if (!lpa) {
+                raise_trap(c, core::Trap::MemoryFault);
+                return false;
+            }
+            c.load_pa = *lpa;
+            c.has_load = true;
+        }
+        if (c.plan.store) {
+            if (cfg_.barrier_enabled && *c.plan.store == kBarrierAddr) {
+                // Barrier register: completes without touching data memory.
+            } else {
+                const auto spa = c.mmu.translate(*c.plan.store);
+                if (!spa) {
+                    raise_trap(c, core::Trap::MemoryFault);
+                    return false;
+                }
+                c.store_pa = *spa;
+                c.has_store = true;
+            }
+        }
+        return !(c.has_load && c.has_store);
+    };
+
+    // ---- prime: cold EX slot — a fetch-only cycle, like the reference ------
+    if (!c.ex) {
+        ++cycle_;
+        const bool ok = fetch_step();
+        // No commit happened this cycle, so the watchdog check is live
+        // (reference: watchdog_phase runs every cycle).
+        if (ok && cfg_.watchdog_cycles > 0) {
+            const Cycle anchor = std::max(c.last_commit, c.start_cycle);
+            if (cycle_ >= anchor && cycle_ - anchor >= cfg_.watchdog_cycles) {
+                ++stats_.watchdog_trips;
+                raise_trap(c, core::Trap::Watchdog);
+            }
+        }
+    }
+
+    // ---- fused commit+fetch cycles -----------------------------------------
+    while (c.ex && cycle_ < max_cycles) {
+        if (lane > 0) {
+            // Memo lane: every instruction ahead is decoded, legal, memory-
+            // free and non-branching (the block terminator is left to the
+            // generic path below), so each cycle is execute + sequential
+            // fetch with nothing to check. `plan` stays empty, set by the
+            // fetch that armed the lane.
+            const Cycle budget = max_cycles - cycle_;
+            std::uint32_t n = lane;
+            if (budget < n) n = static_cast<std::uint32_t>(budget);
+            lane -= n;
+            bool ecc_trap = false;
+            for (std::uint32_t i = 0; i < n; ++i) {
+                ++cycle_;
+                (void)core::execute_inplace(*c.ex, c.state, c.loaded);
+                const FetchSlot& fs = fetch_table_[c.state.pc];
+                (void)im_banks_[fs.bank].read(fs.offset);
+                if (cfg_.ecc_enabled && im_banks_[fs.bank].take_uncorrectable()) {
+                    // i + 1 commits happened; i fetches completed and the
+                    // faulting one still occupied its bank port (the
+                    // reference counts the access before the ECC check).
+                    c.last_commit = cycle_;
+                    lane_instret += i + 1;
+                    stats_.im_bank_accesses += i + 1;
+                    xbar_im += i + 1;
+                    fetches += i;
+                    raise_trap(c, core::Trap::EccFault);
+                    ecc_trap = true;
+                    break;
+                }
+                c.ex = &fs.pre->instr;
+            }
+            if (ecc_trap) break;
+            c.last_commit = cycle_;
+            lane_instret += n;
+            stats_.im_bank_accesses += n;
+            xbar_im += n;
+            fetches += n;
+            continue;
+        }
+
+        ++cycle_;
+        // Execute: the sole master's requests are granted by construction.
+        if (c.has_load) {
+            auto& bank = dm_banks_[c.load_pa.bank];
+            c.loaded = static_cast<Word>(bank.read(c.load_pa.offset));
+            ++stats_.dm_bank_reads;
+            ++xbar_dm;
+            if (cfg_.ecc_enabled && bank.take_uncorrectable()) {
+                raise_trap(c, core::Trap::EccFault);
+                break;
+            }
+            c.load_done = true;
+        }
+        if (c.has_store) ++xbar_dm; // the write grant (commit clears the flag)
+        commit(c, p);
+        if (core_done(c)) break; // halted: bookkeeping done by commit()
+        if (c.in_barrier) {
+            release_barrier_if_complete();
+            if (c.in_barrier) break; // parked: generic phases take over
+        }
+        // Fetch the next instruction in the same cycle as the commit.
+        if (!fetch_step()) break;
+    }
+
+    // ---- flush batched aggregates ------------------------------------------
+    stats_.core[p].im_fetches += fetches;
+    stats_.core[p].instret += lane_instret;
+    ixbar_.account_uncontended(xbar_im);
+    dxbar_.account_uncontended(xbar_dm);
+    stats_.cycles = cycle_;
+    return true;
 }
 
 void Cluster::watchdog_phase() {
@@ -339,7 +667,7 @@ void Cluster::execute_phase() {
     // grant slot is guarded by its request's `active` flag, so the fast
     // path skips the crossbar entirely. The mask of raised ports lets the
     // arbiter visit only them.
-    if (req_mask || !cfg_.sim_fast_path)
+    if (req_mask || !cfg_.fast_path())
         dxbar_.arbitrate_into(dm_req_, cycle_, dm_grant_, req_mask);
 
     for (const CoreId p : active_cores_) {
@@ -388,7 +716,7 @@ void Cluster::commit(CoreCtx& c, CoreId pid) {
     const PAddr pc_before = c.state.pc;
     std::optional<Word> store_value;
     bool halt = false;
-    if (cfg_.sim_fast_path) {
+    if (cfg_.fast_path()) {
         // In-place semantics: identical architectural effect, without the
         // two CoreState copies the functional execute() implies (measurably
         // the hottest part of commit).
@@ -488,7 +816,7 @@ void Cluster::fetch_phase() {
         req_mask |= std::uint32_t{1} << p;
     }
 
-    if (req_mask || !cfg_.sim_fast_path)
+    if (req_mask || !cfg_.fast_path())
         ixbar_.arbitrate_into(im_req_, cycle_, im_grant_, req_mask);
 
     for (const CoreId p : active_cores_) {
@@ -528,7 +856,7 @@ void Cluster::fetch_phase() {
         // with no memory operand the plan below is the empty plan, so the
         // address computation and MMU translations can be skipped outright.
         bool needs_plan = true;
-        if (cfg_.sim_fast_path) {
+        if (cfg_.fast_path()) {
             // Fast path: the decode happened once at load; `w` was still
             // read above so the bank/crossbar statistics stay identical.
             const isa::DecodedInstr* pre =

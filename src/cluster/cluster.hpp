@@ -33,6 +33,7 @@
 #include "common/types.hpp"
 #include "core/exec.hpp"
 #include "core/state.hpp"
+#include "isa/blockmap.hpp"
 #include "isa/predecode.hpp"
 #include "isa/program.hpp"
 #include "mem/memory_bank.hpp"
@@ -49,6 +50,14 @@ public:
     /// data image's shared section once and its private-template section
     /// into every core's private banks.
     Cluster(const ClusterConfig& cfg, const isa::Program& prog);
+
+    /// Re-initializes this instance to the state a freshly constructed
+    /// Cluster(cfg, prog) would have — memories reloaded, statistics and
+    /// cycle counter cleared, any trace sink detached. All internal
+    /// buffers are reused: resetting to the same geometry performs zero
+    /// heap allocations, which is what lets sweep and fault-campaign inner
+    /// loops run allocation-free on pooled instances (DESIGN.md §10).
+    void reset(const ClusterConfig& cfg, const isa::Program& prog);
 
     /// Advances one clock cycle. Returns false once every core has halted
     /// or trapped (the cluster is then quiescent).
@@ -113,6 +122,8 @@ public:
     void inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g);
 
 private:
+    // CoreCtx precedes the public Snapshot class so snapshots can store
+    // core contexts by value.
     struct CoreCtx {
         core::CoreState state;
         mmu::DataMmu mmu;
@@ -139,9 +150,54 @@ private:
         Cycle last_commit = 0; ///< watchdog progress marker
     };
 
+public:
+    /// A saved execution state of THIS cluster instance (fault campaigns
+    /// replay the clean-run prefix from a snapshot ladder instead of
+    /// re-simulating it per injection). Opaque; buffers keep their
+    /// capacity across save() calls, so re-saving into the same snapshot
+    /// allocates nothing.
+    ///
+    /// Contract: a snapshot binds to the Cluster it was saved from, with
+    /// no reset() in between (restore into a different or reset instance
+    /// is undefined). Restoring undoes everything after the save point,
+    /// including injected faults and IM patches.
+    class Snapshot {
+        friend class Cluster;
+        Cycle cycle = 0;
+        ClusterStats stats;
+        std::uint64_t direct_faults = 0;
+        std::vector<CoreCtx> cores;
+        std::vector<std::uint8_t> ex_in_buf; ///< per core: EX aliased its own ex_buf
+        std::vector<mem::BankSnapshot> im_banks;
+        std::vector<mem::BankSnapshot> dm_banks;
+        xbar::XbarSnapshot ixbar;
+        xbar::XbarSnapshot dxbar;
+    };
+
+    /// Copies the full mutable execution state into `out` / back. restore()
+    /// leaves the cluster exactly as it was at save() — cycle counter,
+    /// statistics, memories, decode caches and arbitration state included —
+    /// so continuing the run reproduces the original execution bit-exactly.
+    void save(Snapshot& out) const;
+    void restore(const Snapshot& s);
+
+private:
     void execute_phase();
     void fetch_phase();
     void watchdog_phase();
+    /// Trace-engine burst (DESIGN.md §10): with a single active core the
+    /// cluster's timing is conflict-free by construction, so run() advances
+    /// through whole superblocks here — committing and fetching in a fused
+    /// per-cycle loop and replaying memoized block stats — instead of
+    /// paying the generic two-phase machinery every cycle. Returns true
+    /// when it advanced at least one cycle (it then left the cluster
+    /// exactly where the generic engine would have); false when the
+    /// current state is not burst-eligible.
+    bool trace_burst(Cycle max_cycles);
+    /// Re-derives the trace engine's text image word + block map after an
+    /// IM mutation (im_poke / inject_im_fault): `readback` is what a fetch
+    /// at `pc` now returns. No-op unless the trace engine is active.
+    void refresh_blockmap(PAddr pc, InstrWord readback);
     void commit(CoreCtx& c, CoreId pid);
     void raise_trap(CoreCtx& c, core::Trap t);
     void sync_resilience_stats() const;
@@ -176,6 +232,18 @@ private:
     /// coherent. Indexing it beyond size() is exactly the set of PCs the
     /// ImMap refuses, so a miss raises the same FetchFault.
     std::vector<FetchSlot> fetch_table_;
+    /// Trace engine only: the program text as a fetch would read it back,
+    /// plus its basic-block partition with memoized per-block timing.
+    /// Rebuilt wholesale on every IM mutation (DESIGN.md §10 invalidation
+    /// rule: boundaries are a global property of the text, and pokes are
+    /// orders of magnitude rarer than fetches).
+    std::vector<InstrWord> text_image_;
+    isa::BlockMap blockmap_;
+    /// Every PC whose IM word was mutated (im_poke / inject_im_fault) since
+    /// the last reset(). restore() re-derives the decode caches for exactly
+    /// these words from the restored bank cells — the only words whose
+    /// cache entries can disagree after rolling the cells back.
+    std::vector<PAddr> im_dirty_;
     mutable ClusterStats stats_;   ///< mutable: stats() syncs xbar aggregates
     /// Loaded program length: fetching at or beyond it is a FetchFault
     /// (same boundary as the functional ISS), not a walk through the

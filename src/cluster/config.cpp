@@ -16,6 +16,31 @@ std::string arch_name(ArchKind k) {
     ULPMC_ASSERT(false);
 }
 
+std::string engine_name(SimEngine e) {
+    switch (e) {
+    case SimEngine::Reference:
+        return "reference";
+    case SimEngine::Fast:
+        return "fast";
+    case SimEngine::Trace:
+        return "trace";
+    }
+    ULPMC_ASSERT(false);
+}
+
+bool parse_engine(const std::string& s, SimEngine& out) {
+    if (s == "reference") {
+        out = SimEngine::Reference;
+    } else if (s == "fast") {
+        out = SimEngine::Fast;
+    } else if (s == "trace") {
+        out = SimEngine::Trace;
+    } else {
+        return false;
+    }
+    return true;
+}
+
 ClusterConfig make_config(ArchKind k, mmu::DmLayout layout) {
     ClusterConfig c;
     c.arch = k;

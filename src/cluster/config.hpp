@@ -20,6 +20,21 @@ enum class ArchKind : std::uint8_t {
 /// Display name used in every reproduced table ("mc-ref", ...).
 std::string arch_name(ArchKind k);
 
+/// Simulator engine tiers (DESIGN.md §10). All tiers are cycle-for-cycle
+/// and stat-for-stat identical; they differ only in how much work the
+/// simulator does per simulated cycle.
+enum class SimEngine : std::uint8_t {
+    Reference, ///< decode-every-fetch, full round-robin arbitration
+    Fast,      ///< PR 1: pre-decoded IM + conflict-free crossbar fast path
+    Trace      ///< PR 3: Fast + superblock dispatch with memoized timing
+};
+
+/// Display / CLI name: "reference", "fast", "trace".
+std::string engine_name(SimEngine e);
+
+/// Parse a --engine value. Returns false on unknown names.
+bool parse_engine(const std::string& s, SimEngine& out);
+
 /// Full cluster parameterization. Use make_config() for the paper's three
 /// designs; individual fields exist so ablation benches can deviate.
 struct ClusterConfig {
@@ -67,11 +82,15 @@ struct ClusterConfig {
     /// instead of hanging. 0 disables the watchdog.
     Cycle watchdog_cycles = 0;
 
-    /// Simulator-only switch (no architectural meaning): enables the
-    /// pre-decoded IM and the crossbars' conflict-free fast path. Results
-    /// and statistics are cycle-for-cycle identical either way — turning
-    /// it off forces the reference slow path for differential testing.
-    bool sim_fast_path = true;
+    /// Simulator engine tier (no architectural meaning). Results and
+    /// statistics are cycle-for-cycle identical across all tiers — the
+    /// lower tiers exist so any discrepancy can be bisected from the CLI
+    /// (--engine=reference|fast|trace) and pinned by differential tests.
+    SimEngine engine = SimEngine::Trace;
+
+    /// True for every tier above Reference: pre-decoded IM and the
+    /// crossbars' conflict-free fast path are enabled.
+    bool fast_path() const { return engine != SimEngine::Reference; }
 };
 
 /// Virtual data address of the barrier register (extension).

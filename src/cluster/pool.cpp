@@ -1,0 +1,17 @@
+#include "cluster/pool.hpp"
+
+#include <memory>
+
+namespace ulpmc::cluster {
+
+Cluster& pooled_cluster(const ClusterConfig& cfg, const isa::Program& prog) {
+    thread_local std::unique_ptr<Cluster> instance;
+    if (!instance) {
+        instance = std::make_unique<Cluster>(cfg, prog);
+    } else {
+        instance->reset(cfg, prog);
+    }
+    return *instance;
+}
+
+} // namespace ulpmc::cluster

@@ -1,0 +1,30 @@
+// Thread-local cluster reuse (DESIGN.md §10).
+//
+// Design-space sweeps and fault campaigns simulate thousands of
+// independent points, each of which used to construct (and tear down) a
+// full Cluster — banks, decode caches, fetch table — per point. A
+// persistent worker thread only ever runs one simulation at a time, so
+// one Cluster instance per thread, re-initialized in place with
+// Cluster::reset(), serves every point that thread executes with zero
+// steady-state heap allocation.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "isa/program.hpp"
+
+namespace ulpmc::cluster {
+
+/// Returns this thread's pooled Cluster, re-initialized to the state a
+/// freshly constructed Cluster(cfg, prog) would have. The first call on a
+/// thread constructs the instance; later calls reuse its buffers (a
+/// same-geometry reuse performs no heap allocation).
+///
+/// Contract: the returned reference stays valid for the calling thread's
+/// lifetime, but every call re-initializes the SAME instance — finish with
+/// one simulation before requesting the next, and never interleave two
+/// pooled uses on one thread. Callers needing two live clusters at once
+/// (differential tests) must construct their own.
+Cluster& pooled_cluster(const ClusterConfig& cfg, const isa::Program& prog);
+
+} // namespace ulpmc::cluster

@@ -35,7 +35,14 @@ void FlatMemory::load(Addr base, std::span<const Word> image) {
 }
 
 FunctionalCore::FunctionalCore(std::span<const InstrWord> text, DataMemory& mem)
-    : text_(text), mem_(mem) {}
+    : text_(text), mem_(mem), blocks_(text) {
+    decoded_.resize(text.size());
+    for (std::size_t pc = 0; pc < text.size(); ++pc) {
+        if (const auto d = isa::decode(text[pc])) decoded_[pc] = *d;
+        // Undecodable words keep the default entry: they can only sit in
+        // non-memo blocks, which run() routes through step().
+    }
+}
 
 void FunctionalCore::set_tracer(std::function<void(const TraceEntry&)> tracer) {
     tracer_ = std::move(tracer);
@@ -84,7 +91,58 @@ Trap FunctionalCore::step() {
 }
 
 Trap FunctionalCore::run(std::uint64_t max_steps) {
-    for (std::uint64_t i = 0; i < max_steps && !halted_ && trap_ == Trap::None; ++i) step();
+    if (tracer_) { // sinks need one TraceEntry per instruction
+        for (std::uint64_t i = 0; i < max_steps && !halted_ && trap_ == Trap::None; ++i) step();
+        return trap_;
+    }
+
+    // Block-granular dispatch: within a memo-legal block every word
+    // decodes and only the final instruction may branch, so the inner loop
+    // skips the per-instruction fetch bounds check and re-decode. Blocks
+    // that are not memo-legal (or a pc beyond the map) fall back to the
+    // per-instruction path.
+    std::uint64_t steps = 0;
+    while (steps < max_steps && !halted_ && trap_ == Trap::None) {
+        std::uint32_t n =
+            state_.pc < blocks_.text_size() ? blocks_.run_from(state_.pc) : 0;
+        if (n == 0) {
+            step();
+            ++steps;
+            continue;
+        }
+        if (n > max_steps - steps) n = static_cast<std::uint32_t>(max_steps - steps);
+        for (std::uint32_t i = 0; i < n; ++i) {
+            const isa::Instruction& in = decoded_[state_.pc];
+            const MemPlan plan = plan_memory(in, state_);
+            std::optional<Word> loaded;
+            if (plan.load) {
+                Word v = 0;
+                if (!mem_.read(*plan.load, v)) {
+                    trap_ = Trap::MemoryFault;
+                    break;
+                }
+                loaded = v;
+            }
+            if (plan.store) {
+                // A faulting store must leave the state untouched (as in
+                // step(), which commits only after the write succeeds).
+                const CoreState backup = state_;
+                const InplaceEffects fx = execute_inplace(in, state_, loaded);
+                ULPMC_ASSERT(fx.store_value.has_value());
+                if (!mem_.write(*plan.store, *fx.store_value)) {
+                    state_ = backup;
+                    trap_ = Trap::MemoryFault;
+                    break;
+                }
+                halted_ = fx.halt;
+            } else {
+                halted_ = execute_inplace(in, state_, loaded).halt;
+            }
+            ++instret_;
+            ++steps;
+            if (halted_) break;
+        }
+    }
     return trap_;
 }
 

@@ -13,6 +13,7 @@
 #include "common/types.hpp"
 #include "core/exec.hpp"
 #include "core/state.hpp"
+#include "isa/blockmap.hpp"
 #include "isa/instruction.hpp"
 #include "isa/program.hpp"
 
@@ -63,14 +64,19 @@ struct TraceEntry {
 class FunctionalCore {
 public:
     /// The core fetches from `text` (not owned; must outlive the core) and
-    /// accesses data through `mem` (not owned).
+    /// accesses data through `mem` (not owned). The text contents are
+    /// pre-decoded and block-mapped here, so the caller must not mutate
+    /// them for the lifetime of the core.
     FunctionalCore(std::span<const InstrWord> text, DataMemory& mem);
 
     /// Executes one instruction. Returns the trap raised (None if fine).
     /// No-op once halted or trapped.
     Trap step();
 
-    /// Runs until halt, trap, or `max_steps` instructions.
+    /// Runs until halt, trap, or `max_steps` instructions. Without a trace
+    /// sink, dispatches block-at-a-time over the pre-decoded superblock map
+    /// (same architectural results as step(), pinned by differential test);
+    /// with a sink installed it falls back to per-instruction step().
     Trap run(std::uint64_t max_steps = 100'000'000);
 
     const CoreState& state() const { return state_; }
@@ -85,6 +91,8 @@ public:
 private:
     std::span<const InstrWord> text_;
     DataMemory& mem_;
+    isa::BlockMap blocks_;                 ///< superblock map for run()'s dispatcher
+    std::vector<isa::Instruction> decoded_; ///< per-pc decode cache (memo blocks)
     CoreState state_;
     bool halted_ = false;
     Trap trap_ = Trap::None;

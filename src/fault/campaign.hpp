@@ -49,6 +49,8 @@ struct CampaignConfig {
     unsigned flip_bits = 1;         ///< 1 = SEU; 2 exercises double-bit detection
     /// Hang bound as a multiple of the fault-free run's cycle count.
     double max_cycles_factor = 4.0;
+    /// Simulator tier (no effect on outcomes — differential-tested).
+    cluster::SimEngine engine = cluster::SimEngine::Trace;
 };
 
 /// One injection, fully described and classified.

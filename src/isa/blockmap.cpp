@@ -1,0 +1,83 @@
+#include "isa/blockmap.hpp"
+
+#include "isa/predecode.hpp"
+
+namespace ulpmc::isa {
+
+void BlockMap::rebuild(std::span<const InstrWord> text) {
+    const auto n = static_cast<std::uint32_t>(text.size());
+    blocks_.clear();
+    block_index_.assign(n, 0);
+    lane_.clear();
+    if (n == 0) return;
+
+    // Pass 1: decode every word once and mark block leaders.
+    auto& dec = dec_;
+    auto& leader = leader_;
+    dec.assign(n, {});
+    leader.assign(n, 0);
+    leader[0] = 1;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        fill_entry(dec[i], text[i]);
+        if (dec[i].illegal || !dec[i].is_branch) continue;
+        // The instruction after a branch starts a block (fall-through of a
+        // conditional, or dead code after an unconditional — either way a
+        // potential entry point).
+        if (i + 1 < n) leader[i + 1] = 1;
+        // A static target starts a block. RegInd targets are dynamic; a
+        // jump into the middle of a block through one is served by the
+        // suffix query run_from() instead of a static split.
+        const Instruction& in = dec[i].instr;
+        std::int64_t target = -1;
+        if (in.bmode == BraMode::Rel) {
+            target = static_cast<std::int64_t>(i) + in.target;
+        } else if (in.bmode == BraMode::Abs) {
+            target = in.target;
+        }
+        if (target >= 0 && target < n) leader[static_cast<std::uint32_t>(target)] = 1;
+    }
+
+    // Pass 1b: memo-lane lengths, computed backwards. `run` counts the
+    // consecutive legal, memory-free, non-branch instructions starting at
+    // i; the lane may execute the whole run when the word after it is a
+    // fetch-safe terminator (legal and memory-free — necessarily a branch,
+    // as anything else would extend the run), and must stop one short
+    // otherwise so the last *fetched* word still lies inside the run.
+    lane_.assign(n, 0);
+    std::uint32_t run = 0;
+    for (std::uint32_t i = n; i-- > 0;) {
+        const DecodedInstr& d = dec[i];
+        run = (!d.illegal && !d.has_mem && !d.is_branch) ? run + 1 : 0;
+        if (run == 0) continue;
+        const std::uint32_t end = i + run;
+        const bool term_ok = end < n && !dec[end].illegal && !dec[end].has_mem;
+        lane_[i] = term_ok ? run : run - 1;
+    }
+
+    // Pass 2: emit one block per leader run and aggregate the memo.
+    for (std::uint32_t start = 0; start < n;) {
+        BlockInfo b;
+        b.start = start;
+        b.mem_free = true;
+        b.memo_ok = true;
+        std::uint32_t i = start;
+        for (; i < n; ++i) {
+            if (i != start && leader[i]) break; // next block begins
+            const DecodedInstr& d = dec[i];
+            if (d.illegal || d.dual_mem) b.memo_ok = false;
+            if (d.has_mem) b.mem_free = false;
+            if (d.has_load) ++b.loads;
+            if (d.has_store) ++b.stores;
+            block_index_[i] = static_cast<std::uint32_t>(blocks_.size());
+            if (!d.illegal && d.is_branch) {
+                ++i; // the branch terminates its block (inclusive)
+                break;
+            }
+        }
+        b.len = i - start;
+        blocks_.push_back(b);
+        start = i;
+    }
+}
+
+} // namespace ulpmc::isa

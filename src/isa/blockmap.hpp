@@ -1,0 +1,98 @@
+// Basic-block / superblock map over a program's text image, feeding the
+// trace-compiled execution engine (DESIGN.md §10). Block boundaries sit at
+// branches (BRA/JAL terminate a block) and at static branch targets (a
+// Rel/Abs target starts a new block, so a backward branch into a loop body
+// lands on a block leader). Register-indirect branch targets are dynamic
+// and cannot split blocks statically; entering a block mid-way (only
+// possible through such a branch) is handled by the suffix query
+// `run_from(pc)` instead.
+//
+// Each block carries the memo the trace engine replays instead of
+// re-simulating cycle by cycle: instruction count and the DM-access
+// footprint (loads/stores/mem_free), plus `memo_ok` — true when every word
+// in the block decodes and claims at most one DM port, the precondition
+// for the block's bank-conflict signature to be provably conflict-free
+// with a single active core. Orthogonally, a per-pc memo-lane table
+// (`memo_lane`) records the longest check-free execute+fetch run starting
+// at each pc — memory-free straight-line stretches *inside* blocks that
+// also contain loads or stores, which is where DSP-style kernels spend
+// most of their cycles.
+//
+// The map is rebuilt wholesale whenever the text image changes (im_poke /
+// IM fault injection): block boundaries are a global property of the text
+// — a patched word can create or delete leaders anywhere — and pokes are
+// orders of magnitude rarer than fetches, so per-word incremental
+// invalidation would buy nothing (the invalidation rule is documented in
+// DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+#include "isa/predecode.hpp"
+
+namespace ulpmc::isa {
+
+/// One basic block plus the memoized timing/footprint aggregates.
+struct BlockInfo {
+    std::uint32_t start = 0;  ///< address of the first instruction
+    std::uint32_t len = 0;    ///< instruction count (>= 1)
+    std::uint32_t loads = 0;  ///< DM read accesses across the block
+    std::uint32_t stores = 0; ///< DM write accesses across the block
+    bool mem_free = false;    ///< no instruction touches data memory
+    bool memo_ok = false;     ///< every instr decodes and claims <= 1 DM port
+};
+
+/// Partition of a text image into basic blocks with O(1) pc lookup.
+class BlockMap {
+public:
+    BlockMap() = default;
+    explicit BlockMap(std::span<const InstrWord> text) { rebuild(text); }
+
+    /// Rebuilds the whole map from a new text image. Call after any IM
+    /// mutation (poke, injected bit flip) — see the invalidation rule in
+    /// the header comment.
+    void rebuild(std::span<const InstrWord> text);
+
+    std::uint32_t text_size() const { return static_cast<std::uint32_t>(block_index_.size()); }
+    std::size_t block_count() const { return blocks_.size(); }
+
+    const BlockInfo& block(std::size_t idx) const { return blocks_[idx]; }
+
+    /// The block containing `pc` (pc must be < text_size()).
+    const BlockInfo& block_at(std::uint32_t pc) const { return blocks_[block_index_[pc]]; }
+
+    /// Number of straight-line, memo-legal instructions from `pc`
+    /// (inclusive) to the end of its block; 0 when the block is not
+    /// memo-legal. A mid-block `pc` (register-indirect branch target)
+    /// yields the suffix run — still straight-line by construction.
+    std::uint32_t run_from(std::uint32_t pc) const {
+        const BlockInfo& b = blocks_[block_index_[pc]];
+        return b.memo_ok ? b.start + b.len - pc : 0;
+    }
+
+    /// Memo-lane length when arming at `pc`: the number of fused
+    /// execute+fetch cycles that are provably check-free after the word at
+    /// `pc` has been fetched. Each lane cycle executes the current
+    /// instruction and fetches the next sequential word; the proof is that
+    /// every executed instruction is legal, memory-free and non-branching
+    /// (so the pc advances by exactly one and an empty MemPlan is correct),
+    /// and the final fetched word is in-bounds, legal and memory-free (so
+    /// the empty plan left behind stays correct for the generic engine that
+    /// resumes after the lane). 0 when `pc` itself is not lane-eligible.
+    std::uint32_t memo_lane(std::uint32_t pc) const { return lane_[pc]; }
+
+private:
+    std::vector<BlockInfo> blocks_;
+    std::vector<std::uint32_t> block_index_; ///< pc -> blocks_ index
+    std::vector<std::uint32_t> lane_;        ///< pc -> memo_lane(pc)
+
+    // rebuild() scratch, kept as members so repeated rebuilds (cluster
+    // reuse, pokes) run allocation-free once capacity is warm.
+    std::vector<DecodedInstr> dec_;
+    std::vector<std::uint8_t> leader_;
+};
+
+} // namespace ulpmc::isa

@@ -25,7 +25,15 @@ struct DecodedInstr {
     Instruction instr{}; ///< meaningful only when !illegal
     bool illegal = true; ///< word does not decode to a TamaRISC instruction
     bool has_mem = false; ///< touches data memory (load and/or store)
+    bool has_load = false; ///< reads data memory
+    bool has_store = false; ///< writes data memory
+    bool dual_mem = false; ///< both a load and a store (two DM ports claimed)
+    bool is_branch = false; ///< BRA or JAL: ends a basic block
 };
+
+/// Decodes `word` into `e` (illegal entry when it does not decode) and
+/// fills all decode-time metadata flags.
+void fill_entry(DecodedInstr& e, InstrWord word);
 
 /// Side array of decoded instructions for a banked instruction memory.
 class PredecodedIm {
@@ -35,6 +43,11 @@ public:
     /// Sizes the array for `banks` banks of `words_per_bank` words each;
     /// every entry starts as the decode of an all-zero word.
     PredecodedIm(unsigned banks, std::size_t words_per_bank);
+
+    /// Re-sizes/re-initializes in place to the freshly-constructed state
+    /// of PredecodedIm(banks, words_per_bank), reusing the entry storage
+    /// (no heap allocation on a same-geometry reset).
+    void reset(unsigned banks, std::size_t words_per_bank);
 
     unsigned banks() const { return banks_; }
     std::size_t words_per_bank() const { return words_per_bank_; }

@@ -88,6 +88,41 @@ MemoryBank::MemoryBank(std::size_t size, unsigned cell_bits)
     ULPMC_EXPECTS(cell_bits > 0 && cell_bits <= 32);
 }
 
+void MemoryBank::reset(std::size_t size, unsigned cell_bits, bool ecc) {
+    ULPMC_EXPECTS(size > 0);
+    ULPMC_EXPECTS(cell_bits > 0 && cell_bits <= 32);
+    cells_.assign(size, 0);
+    cell_bits_ = cell_bits;
+    gated_ = false;
+    uncorrectable_pending_ = false;
+    stats_ = {};
+    ecc_ = ecc;
+    if (ecc) {
+        ULPMC_EXPECTS(cell_bits <= 26); // the (31,26) code's capacity
+        check_.assign(size, ecc::encode(0, cell_bits));
+    } else {
+        check_.clear(); // capacity kept for the next ECC-enabled reset
+    }
+}
+
+void MemoryBank::save(BankSnapshot& out) const {
+    out.cells = cells_;
+    out.check = check_;
+    out.stats = stats_;
+    out.gated = gated_;
+    out.uncorrectable_pending = uncorrectable_pending_;
+}
+
+void MemoryBank::restore(const BankSnapshot& s) {
+    ULPMC_EXPECTS(s.cells.size() == cells_.size());
+    ULPMC_EXPECTS(s.check.size() == check_.size());
+    cells_ = s.cells;
+    check_ = s.check;
+    stats_ = s.stats;
+    gated_ = s.gated;
+    uncorrectable_pending_ = s.uncorrectable_pending;
+}
+
 std::uint32_t MemoryBank::read(std::size_t offset) {
     ULPMC_EXPECTS(offset < cells_.size());
     ULPMC_EXPECTS(!gated_);

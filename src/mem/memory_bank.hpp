@@ -49,12 +49,41 @@ struct Decode {
 Decode check(std::uint32_t data, std::uint8_t stored_check, unsigned data_bits);
 } // namespace ecc
 
+/// Saved state of one bank (Cluster snapshots, DESIGN.md §10): contents,
+/// check bits, statistics and status flags. Opaque to everything but
+/// MemoryBank; reused buffers keep their capacity across save() calls so a
+/// snapshot ladder allocates only on first use.
+struct BankSnapshot {
+    std::vector<std::uint32_t> cells;
+    std::vector<std::uint8_t> check;
+    BankStats stats;
+    bool gated = false;
+    bool uncorrectable_pending = false;
+};
+
 /// A single SRAM bank.
 class MemoryBank {
 public:
+    /// An unconfigured bank (zero cells); reset() before use. Exists so
+    /// pooled clusters can resize their bank arrays without constructing
+    /// throwaway storage.
+    MemoryBank() = default;
+
     /// Creates a bank of `size` cells of `cell_bits` each (bookkeeping for
     /// area/energy; storage is uint32 regardless).
     MemoryBank(std::size_t size, unsigned cell_bits);
+
+    /// Reconfigures the bank in place to the freshly-constructed state of
+    /// MemoryBank(size, cell_bits) with ECC set to `ecc`: cells zeroed,
+    /// statistics cleared, gating off. Reuses the existing buffers, so a
+    /// same-geometry reset performs no heap allocation.
+    void reset(std::size_t size, unsigned cell_bits, bool ecc);
+
+    /// Copies the bank's full mutable state into `out` / back. The
+    /// configuration (size, cell bits, ECC) must match between save and
+    /// restore; restore() contract-checks it.
+    void save(BankSnapshot& out) const;
+    void restore(const BankSnapshot& s);
 
     std::size_t size() const { return cells_.size(); }
     unsigned cell_bits() const { return cell_bits_; }
@@ -108,7 +137,7 @@ public:
 private:
     std::vector<std::uint32_t> cells_;
     std::vector<std::uint8_t> check_; ///< SEC-DED check bits, sized when ECC on
-    unsigned cell_bits_;
+    unsigned cell_bits_ = 0;
     bool gated_ = false;
     bool ecc_ = false;
     bool uncorrectable_pending_ = false;

@@ -1,5 +1,6 @@
 #include "sweep/sweep.hpp"
 
+#include "cluster/pool.hpp"
 #include "common/assert.hpp"
 
 namespace ulpmc::sweep {
@@ -86,20 +87,25 @@ void SweepRunner::for_each_index(std::size_t n, const std::function<void(std::si
 std::vector<SweepOutcome> SweepRunner::run(const isa::Program& prog,
                                            std::span<const SweepPoint> points) {
     std::vector<SweepOutcome> out(points.size());
+    // Per-point result storage is laid out up front, so the parallel inner
+    // loop below is free of heap allocation (pooled clusters + preallocated
+    // outcome slots) once each worker's pooled instance is warm.
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        out[i].label = points[i].label;
+        out[i].cfg = points[i].cfg;
+        out[i].final_states.resize(points[i].cfg.cores);
+    }
     for_each_index(points.size(), [&](std::size_t i) {
         const SweepPoint& p = points[i];
-        cluster::Cluster cl(p.cfg, prog);
+        cluster::Cluster& cl = cluster::pooled_cluster(p.cfg, prog);
         const Cycle cycles = cl.run(p.max_cycles);
 
         SweepOutcome& o = out[i];
-        o.label = p.label;
-        o.cfg = p.cfg;
         o.stats = cl.stats();
         o.cycles = cycles;
-        o.final_states.reserve(p.cfg.cores);
         bool all = true;
         for (unsigned c = 0; c < p.cfg.cores; ++c) {
-            o.final_states.push_back(cl.core_state(static_cast<CoreId>(c)));
+            o.final_states[c] = cl.core_state(static_cast<CoreId>(c));
             all = all && cl.core_halted(static_cast<CoreId>(c));
         }
         o.all_halted = all;

@@ -14,6 +14,21 @@ Crossbar::Crossbar(unsigned masters, unsigned banks, bool broadcast)
     if (std::has_single_bit(masters_)) master_mask_ = masters_ - 1;
 }
 
+void Crossbar::reset(unsigned masters, unsigned banks, bool broadcast) {
+    ULPMC_EXPECTS(masters > 0);
+    ULPMC_EXPECTS(banks > 0);
+    masters_ = masters;
+    banks_ = banks;
+    broadcast_ = broadcast;
+    bank_taken_.assign(banks, 0);
+    winner_.assign(banks, 0);
+    master_mask_ = std::has_single_bit(masters_) ? masters_ - 1 : 0;
+    fast_path_ = true;
+    last_denied_ = false;
+    glitch_armed_ = false;
+    stats_ = {};
+}
+
 std::vector<Grant> Crossbar::arbitrate(std::span<const Request> reqs, Cycle cycle) {
     std::vector<Grant> out(masters_);
     arbitrate_into(reqs, cycle, out);

@@ -66,12 +66,42 @@ struct Glitch {
     unsigned master = 0;
 };
 
+/// Saved mutable state of one crossbar (Cluster snapshots): statistics,
+/// the denial-hysteresis bit, and any armed one-shot glitch.
+struct XbarSnapshot {
+    XbarStats stats;
+    bool last_denied = false;
+    bool glitch_armed = false;
+    Glitch glitch;
+};
+
 /// One crossbar instance (I-Xbar: 8x8, D-Xbar: 8x16 in the paper).
 class Crossbar {
 public:
     /// `broadcast` enables same-address read merging (the proposed
     /// architecture); the mc-ref baseline interconnect disables it.
     Crossbar(unsigned masters, unsigned banks, bool broadcast);
+
+    /// Reconfigures in place to the freshly-constructed state of
+    /// Crossbar(masters, banks, broadcast): statistics cleared, hysteresis
+    /// and glitch disarmed, fast path back to its default. Scratch buffers
+    /// are reused, so a same-geometry reset performs no heap allocation.
+    void reset(unsigned masters, unsigned banks, bool broadcast);
+
+    /// Copies the mutable state (stats, hysteresis, armed glitch) out /
+    /// back; the geometry is configuration and is not part of a snapshot.
+    void save(XbarSnapshot& out) const {
+        out.stats = stats_;
+        out.last_denied = last_denied_;
+        out.glitch_armed = glitch_armed_;
+        out.glitch = glitch_;
+    }
+    void restore(const XbarSnapshot& s) {
+        stats_ = s.stats;
+        last_denied_ = s.last_denied;
+        glitch_armed_ = s.glitch_armed;
+        glitch_ = s.glitch;
+    }
 
     unsigned masters() const { return masters_; }
     unsigned banks() const { return static_cast<unsigned>(banks_); }
@@ -100,6 +130,21 @@ public:
     /// every cycle (differential testing).
     void set_fast_path(bool on) { fast_path_ = on; }
     bool fast_path() const { return fast_path_; }
+
+    /// Batched accounting for `n` arbitration cycles in which exactly one
+    /// master raised a request (the trace engine's single-active-core
+    /// burst, DESIGN.md §10). A sole requester is always granted its bank
+    /// port — no conflict, no denial, no broadcast ride is possible — so
+    /// each such cycle contributes requests+1, grants+1, bank_accesses+1,
+    /// identically to running either arbiter tier. Must not be used while
+    /// a glitch is armed (the burst checks glitch_pending() first).
+    void account_uncontended(std::uint64_t n) {
+        if (n == 0) return;
+        stats_.requests += n;
+        stats_.grants += n;
+        stats_.bank_accesses += n;
+        last_denied_ = false;
+    }
 
     /// Arms a one-shot arbitration glitch for the next cycle. If the
     /// targeted master raises no request that cycle the glitch dissipates

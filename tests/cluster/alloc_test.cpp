@@ -1,0 +1,128 @@
+// Zero-allocation guarantees for the reuse layer (own binary: it replaces
+// the global allocator with a counting one). After warm-up, steady-state
+// Cluster::step()/run() must not touch the heap, and neither must the
+// shapes the sweep runner and fault campaigns execute per point: reset()
+// with unchanged geometry, save() into a warm snapshot, and restore().
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "isa/assembler.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_news{0};
+std::uint64_t alloc_count() { return g_news.load(std::memory_order_relaxed); }
+} // namespace
+
+void* operator new(std::size_t sz) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(sz ? sz : 1)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz) { return ::operator new(sz); }
+void* operator new(std::size_t sz, const std::nothrow_t&) noexcept {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    return std::malloc(sz ? sz : 1);
+}
+void* operator new[](std::size_t sz, const std::nothrow_t& t) noexcept {
+    return ::operator new(sz, t);
+}
+void* operator new(std::size_t sz, std::align_val_t al) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    const auto a = static_cast<std::size_t>(al);
+    if (void* p = std::aligned_alloc(a, (sz + a - 1) / a * a)) return p;
+    throw std::bad_alloc();
+}
+void* operator new[](std::size_t sz, std::align_val_t al) { return ::operator new(sz, al); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace ulpmc {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 512, .private_words_per_core = 2048};
+
+isa::Program loop_program() {
+    return isa::assemble(R"(
+            movi r1, 700
+            movi r2, 2000
+    loop:   add  r3, r3, #1
+            mov  @r1, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+}
+
+cluster::ClusterConfig make_cfg(unsigned cores) {
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, kLayout);
+    cfg.cores = cores;
+    return cfg;
+}
+
+TEST(ZeroAlloc, SteadyStateStepIsHeapFree) {
+    const auto prog = loop_program();
+    const auto cfg = make_cfg(8);
+    cluster::Cluster cl(cfg, prog);
+    cl.run(200); // warm-up: scratch buffers and decode caches settle
+
+    const std::uint64_t before = alloc_count();
+    for (int i = 0; i < 2'000; ++i) cl.step();
+    EXPECT_EQ(alloc_count(), before) << "Cluster::step() allocated on the heap";
+}
+
+TEST(ZeroAlloc, SteadyStateRunBurstIsHeapFree) {
+    const auto prog = loop_program();
+    const auto cfg = make_cfg(1); // single active core: the memo-lane path
+    cluster::Cluster cl(cfg, prog);
+    cl.run(100);
+
+    const std::uint64_t before = alloc_count();
+    cl.run(6'000); // trace bursts + memoized lanes
+    EXPECT_EQ(alloc_count(), before) << "Cluster::run() burst allocated on the heap";
+}
+
+TEST(ZeroAlloc, SweepAndCampaignInnerLoopIsHeapFree) {
+    const auto prog = loop_program();
+    const auto cfg = make_cfg(4);
+
+    // Warm-up: one full pass through every reuse shape so each buffer and
+    // snapshot reaches its steady-state capacity.
+    cluster::Cluster cl(cfg, prog);
+    cluster::Cluster::Snapshot snap;
+    cl.run(60);
+    cl.save(snap);
+    cl.restore(snap);
+    cl.run(100'000);
+    cl.reset(cfg, prog);
+    cl.run(60);
+    cl.save(snap);
+
+    const std::uint64_t before = alloc_count();
+    // Campaign shape: restore a ladder rung, run the injection to the end.
+    for (int i = 0; i < 4; ++i) {
+        cl.restore(snap);
+        cl.run(100'000);
+    }
+    // Sweep shape: re-launch the same geometry from scratch.
+    for (int i = 0; i < 4; ++i) {
+        cl.reset(cfg, prog);
+        cl.run(100'000);
+        cl.save(snap); // campaigns re-snapshot per ladder rebuild
+    }
+    EXPECT_EQ(alloc_count(), before) << "reuse inner loop allocated on the heap";
+}
+
+} // namespace
+} // namespace ulpmc

@@ -1,10 +1,11 @@
-// Differential test of the simulation fast path. The optimized engine
-// (pre-decoded IM, PC-indexed fetch table, claim-bitmask crossbar
-// arbitration, in-place execute) must be cycle-for-cycle identical to the
-// reference slow path: same ClusterStats, same architectural core state,
-// same data-memory contents — for every IM policy and core count, on
-// randomized SPMD programs that mix private/shared loads and stores (so
-// broadcast rides, bank conflicts, stalls, and denials all occur).
+// Differential test of the simulation engine tiers. The optimized engines
+// (fast: pre-decoded IM, PC-indexed fetch table, claim-bitmask crossbar
+// arbitration, in-place execute; trace: superblock dispatch with memoized
+// timing) must be cycle-for-cycle identical to the reference engine: same
+// ClusterStats, same architectural core state, same data-memory contents —
+// for every IM policy and core count, on randomized SPMD programs that mix
+// private/shared loads and stores (so broadcast rides, bank conflicts,
+// stalls, and denials all occur).
 #include <gtest/gtest.h>
 
 #include <string>
@@ -18,6 +19,9 @@ namespace ulpmc {
 namespace {
 
 constexpr mmu::DmLayout kLayout{.shared_words = 512, .private_words_per_core = 2048};
+
+constexpr cluster::SimEngine kAllEngines[] = {
+    cluster::SimEngine::Reference, cluster::SimEngine::Fast, cluster::SimEngine::Trace};
 
 /// A random but well-formed SPMD kernel: pointer setup, a loop of
 /// ALU/load/store work, and a branch-to-self halt. Addresses stay inside
@@ -67,29 +71,37 @@ std::string random_program(Rng& rng) {
     return s;
 }
 
-/// Runs `prog` under `cfg` with the fast path on and off and asserts the
-/// two engines are observably identical.
-void expect_engines_identical(cluster::ClusterConfig cfg, const isa::Program& prog,
-                              Cycle max_cycles, const std::string& context) {
-    cfg.sim_fast_path = true;
-    cluster::Cluster fast(cfg, prog);
-    cfg.sim_fast_path = false;
-    cluster::Cluster slow(cfg, prog);
-
-    const Cycle cycles_fast = fast.run(max_cycles);
-    const Cycle cycles_slow = slow.run(max_cycles);
-    ASSERT_EQ(cycles_fast, cycles_slow) << context;
-    ASSERT_EQ(fast.stats(), slow.stats()) << context;
-
-    for (unsigned p = 0; p < cfg.cores; ++p) {
+/// Asserts `got` (an optimized engine) is observably identical to `ref`
+/// (the reference engine) after both ran to completion.
+void expect_same_observable_state(cluster::Cluster& got, cluster::Cluster& ref,
+                                  unsigned cores, const std::string& context) {
+    ASSERT_EQ(got.stats(), ref.stats()) << context;
+    for (unsigned p = 0; p < cores; ++p) {
         const auto pid = static_cast<CoreId>(p);
-        ASSERT_EQ(fast.core_state(pid), slow.core_state(pid)) << context << " core " << p;
-        ASSERT_EQ(fast.core_halted(pid), slow.core_halted(pid)) << context << " core " << p;
-        ASSERT_EQ(fast.core_trap(pid), slow.core_trap(pid)) << context << " core " << p;
+        ASSERT_EQ(got.core_state(pid), ref.core_state(pid)) << context << " core " << p;
+        ASSERT_EQ(got.core_halted(pid), ref.core_halted(pid)) << context << " core " << p;
+        ASSERT_EQ(got.core_trap(pid), ref.core_trap(pid)) << context << " core " << p;
         for (Addr v = 0; v < kLayout.limit(); ++v) {
-            ASSERT_EQ(fast.dm_peek(pid, v), slow.dm_peek(pid, v))
+            ASSERT_EQ(got.dm_peek(pid, v), ref.dm_peek(pid, v))
                 << context << " core " << p << " vaddr " << v;
         }
+    }
+}
+
+/// Runs `prog` under `cfg` on all three engine tiers and asserts they are
+/// observably identical (the reference engine is the golden model).
+void expect_engines_identical(cluster::ClusterConfig cfg, const isa::Program& prog,
+                              Cycle max_cycles, const std::string& context) {
+    cfg.engine = cluster::SimEngine::Reference;
+    cluster::Cluster ref(cfg, prog);
+    const Cycle cycles_ref = ref.run(max_cycles);
+
+    for (const auto engine : {cluster::SimEngine::Fast, cluster::SimEngine::Trace}) {
+        cfg.engine = engine;
+        cluster::Cluster opt(cfg, prog);
+        const std::string ctx = context + " engine=" + cluster::engine_name(engine);
+        ASSERT_EQ(opt.run(max_cycles), cycles_ref) << ctx;
+        expect_same_observable_state(opt, ref, cfg.cores, ctx);
     }
 }
 
@@ -115,7 +127,7 @@ TEST(FastpathDiff, RandomProgramsAllPoliciesAllCoreCounts) {
 
 TEST(FastpathDiff, MaxCyclesTimeoutReportsIdenticalLiveCycleCount) {
     // A program that never halts: the run is bounded by max_cycles while
-    // every core still executes, and both engines must report the bound
+    // every core still executes, and every engine must report the bound
     // (the cycle counter stays live, not stuck at the last halt/trap).
     const auto prog = isa::assemble(R"(
             movi r1, 512
@@ -126,57 +138,65 @@ TEST(FastpathDiff, MaxCyclesTimeoutReportsIdenticalLiveCycleCount) {
     for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt}) {
         auto cfg = cluster::make_config(arch, kLayout);
         cfg.stagger_start = true;
-        cfg.sim_fast_path = true;
-        cluster::Cluster fast(cfg, prog);
-        cfg.sim_fast_path = false;
-        cluster::Cluster slow(cfg, prog);
-        EXPECT_EQ(fast.run(5'000), 5'000u);
-        EXPECT_EQ(slow.run(5'000), 5'000u);
-        EXPECT_EQ(fast.stats(), slow.stats()) << cluster::arch_name(arch);
+        cfg.engine = cluster::SimEngine::Reference;
+        cluster::Cluster ref(cfg, prog);
+        EXPECT_EQ(ref.run(5'000), 5'000u);
+        for (const auto engine : {cluster::SimEngine::Fast, cluster::SimEngine::Trace}) {
+            cfg.engine = engine;
+            cluster::Cluster opt(cfg, prog);
+            EXPECT_EQ(opt.run(5'000), 5'000u);
+            EXPECT_EQ(opt.stats(), ref.stats())
+                << cluster::arch_name(arch) << " engine=" << cluster::engine_name(engine);
+        }
     }
 }
 
 TEST(FastpathDiff, ImPokeRefreshesPredecodedEntry) {
     // Patching IM must re-decode exactly the patched word, so the next
-    // fetch executes the new instruction on the fast path too.
+    // fetch executes the new instruction on the optimized engines too.
     const auto prog = isa::assemble("        movi r1, 5\ndone:   bra al, done\n");
     const auto patched = isa::assemble("        movi r1, 7\ndone:   bra al, done\n");
     for (const auto arch : {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
                             cluster::ArchKind::UlpmcBank}) {
-        auto cfg = cluster::make_config(arch, kLayout);
-        cluster::Cluster cl(cfg, prog);
-        cl.im_poke(0, patched.text[0]);
-        cl.run(1'000);
-        for (unsigned p = 0; p < cfg.cores; ++p) {
-            const auto pid = static_cast<CoreId>(p);
-            EXPECT_EQ(cl.im_peek(0, pid), patched.text[0]) << cluster::arch_name(arch);
-            EXPECT_EQ(cl.core_state(pid).regs[1], 7) << cluster::arch_name(arch);
+        for (const auto engine : kAllEngines) {
+            auto cfg = cluster::make_config(arch, kLayout);
+            cfg.engine = engine;
+            cluster::Cluster cl(cfg, prog);
+            cl.im_poke(0, patched.text[0]);
+            cl.run(1'000);
+            for (unsigned p = 0; p < cfg.cores; ++p) {
+                const auto pid = static_cast<CoreId>(p);
+                EXPECT_EQ(cl.im_peek(0, pid), patched.text[0])
+                    << cluster::arch_name(arch) << " " << cluster::engine_name(engine);
+                EXPECT_EQ(cl.core_state(pid).regs[1], 7)
+                    << cluster::arch_name(arch) << " " << cluster::engine_name(engine);
+            }
         }
     }
 }
 
 TEST(FastpathDiff, ImPokeAfterFetchExecutesLatchedInstruction) {
     // A word already fetched into EX executes as latched, even if IM is
-    // patched between the fetch and the commit — on both engines (the
-    // hardware latches the fetched word; the fast path must not observe
-    // the patch through its pre-decode pointer).
+    // patched between the fetch and the commit — on every engine (the
+    // hardware latches the fetched word; the optimized engines must not
+    // observe the patch through their pre-decode pointers).
     const auto prog = isa::assemble("        movi r1, 5\ndone:   bra al, done\n");
     const auto patched = isa::assemble("        movi r1, 7\ndone:   bra al, done\n");
-    for (const bool fast : {true, false}) {
+    for (const auto engine : kAllEngines) {
         auto cfg = cluster::make_config(cluster::ArchKind::UlpmcInt, kLayout);
         cfg.cores = 1;
-        cfg.sim_fast_path = fast;
+        cfg.engine = engine;
         cluster::Cluster cl(cfg, prog);
         ASSERT_TRUE(cl.step()); // cycle 1: the movi is fetched into EX
         cl.im_poke(0, patched.text[0]);
         cl.run(1'000);
-        EXPECT_EQ(cl.core_state(0).regs[1], 5) << (fast ? "fast" : "slow");
+        EXPECT_EQ(cl.core_state(0).regs[1], 5) << cluster::engine_name(engine);
     }
 }
 
 TEST(FastpathDiff, InjectedFaultsKeepEnginesCycleIdentical) {
     // Mid-run SEU injections (IM/DM bit flips, register upsets) go through
-    // the same coherence path as im_poke; both engines must stay
+    // the same coherence path as im_poke; every engine must stay
     // cycle-for-cycle identical afterwards — with and without SEC-DED, on
     // every IM policy.
     Rng rng(0xFA17u);
@@ -187,38 +207,31 @@ TEST(FastpathDiff, InjectedFaultsKeepEnginesCycleIdentical) {
             const auto prog = isa::assemble(random_program(rng));
             auto cfg = cluster::make_config(arch, kLayout);
             cfg.ecc_enabled = ecc;
-            cfg.sim_fast_path = true;
+            cfg.engine = cluster::SimEngine::Reference;
+            cluster::Cluster ref(cfg, prog);
+            cfg.engine = cluster::SimEngine::Fast;
             cluster::Cluster fast(cfg, prog);
-            cfg.sim_fast_path = false;
-            cluster::Cluster slow(cfg, prog);
+            cfg.engine = cluster::SimEngine::Trace;
+            cluster::Cluster trace(cfg, prog);
             const std::string context =
                 cluster::arch_name(arch) + std::string(ecc ? " ecc" : " raw");
 
-            // Park both engines mid-flight, deposit identical upsets.
-            fast.run(40);
-            slow.run(40);
+            // Park all engines mid-flight, deposit identical upsets.
             const PAddr pc = rng.below(static_cast<std::uint32_t>(prog.text.size()));
             const InstrWord im_flip = 1u << rng.below(24);
             const Addr vaddr = rng.below(kLayout.limit());
             const Word dm_flip = static_cast<Word>(1u << rng.below(16));
-            for (auto* cl : {&fast, &slow}) {
+            for (auto* cl : {&ref, &fast, &trace}) {
+                cl->run(40);
                 cl->inject_im_fault(pc, im_flip);
                 cl->inject_dm_fault(1, vaddr, dm_flip);
                 cl->inject_reg_fault(0, 3, 0x0010);
             }
-            const Cycle cycles_fast = fast.run(200'000);
-            const Cycle cycles_slow = slow.run(200'000);
-            ASSERT_EQ(cycles_fast, cycles_slow) << context;
-            ASSERT_EQ(fast.stats(), slow.stats()) << context;
-            for (unsigned p = 0; p < cfg.cores; ++p) {
-                const auto pid = static_cast<CoreId>(p);
-                ASSERT_EQ(fast.core_state(pid), slow.core_state(pid)) << context << " core " << p;
-                ASSERT_EQ(fast.core_trap(pid), slow.core_trap(pid)) << context << " core " << p;
-                for (Addr v = 0; v < kLayout.limit(); ++v) {
-                    ASSERT_EQ(fast.dm_peek(pid, v), slow.dm_peek(pid, v))
-                        << context << " core " << p << " vaddr " << v;
-                }
-            }
+            const Cycle cycles_ref = ref.run(200'000);
+            ASSERT_EQ(fast.run(200'000), cycles_ref) << context;
+            ASSERT_EQ(trace.run(200'000), cycles_ref) << context;
+            expect_same_observable_state(fast, ref, cfg.cores, context + " fast");
+            expect_same_observable_state(trace, ref, cfg.cores, context + " trace");
         }
     }
 }

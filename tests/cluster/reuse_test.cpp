@@ -1,0 +1,166 @@
+// Equivalence tests for the zero-allocation reuse layer: Cluster::reset()
+// must be indistinguishable from fresh construction (across geometry and
+// engine changes, and after fault injection), Cluster save()/restore()
+// must replay runs bit-exactly (including undoing faults and patches),
+// and cluster::pooled_cluster() must hand back the same re-initialized
+// instance per thread.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "cluster/pool.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 512, .private_words_per_core = 2048};
+
+isa::Program loop_program() {
+    return isa::assemble(R"(
+            movi r1, 700
+            movi r2, 30
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+}
+
+cluster::ClusterConfig cfg_of(cluster::ArchKind arch, unsigned cores,
+                              cluster::SimEngine engine = cluster::SimEngine::Trace) {
+    auto cfg = cluster::make_config(arch, kLayout);
+    cfg.cores = cores;
+    cfg.engine = engine;
+    return cfg;
+}
+
+void expect_identical(cluster::Cluster& a, cluster::Cluster& b, unsigned cores,
+                      const std::string& ctx) {
+    ASSERT_EQ(a.stats(), b.stats()) << ctx;
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        ASSERT_EQ(a.core_state(pid), b.core_state(pid)) << ctx << " core " << p;
+        ASSERT_EQ(a.core_halted(pid), b.core_halted(pid)) << ctx << " core " << p;
+        ASSERT_EQ(a.core_trap(pid), b.core_trap(pid)) << ctx << " core " << p;
+        for (Addr v = 0; v < kLayout.limit(); ++v)
+            ASSERT_EQ(a.dm_peek(pid, v), b.dm_peek(pid, v))
+                << ctx << " core " << p << " vaddr " << v;
+    }
+}
+
+TEST(ClusterReuse, ResetMatchesFreshConstruction) {
+    const auto prog = loop_program();
+    // Exercise a full geometry + engine change: the reused instance was
+    // built as a 4-core banked trace cluster, the target is a 2-core
+    // dedicated-IM reference cluster with ECC.
+    const auto first = cfg_of(cluster::ArchKind::UlpmcBank, 4);
+    auto target = cfg_of(cluster::ArchKind::McRef, 2, cluster::SimEngine::Reference);
+    target.ecc_enabled = true;
+
+    cluster::Cluster reused(first, prog);
+    reused.run(100); // park mid-run so reset() has real state to erase
+    reused.reset(target, prog);
+
+    cluster::Cluster fresh(target, prog);
+    ASSERT_EQ(reused.run(100'000), fresh.run(100'000));
+    expect_identical(reused, fresh, target.cores, "reset vs fresh");
+}
+
+TEST(ClusterReuse, ResetErasesFaultsAndPatches) {
+    const auto prog = loop_program();
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcBank, 2);
+
+    cluster::Cluster reused(cfg, prog);
+    reused.run(20);
+    reused.inject_im_fault(2, 0x1); // corrupt a loop-body word
+    reused.dm_poke(0, 700, 0xBEEF);
+    reused.run(500);
+    reused.reset(cfg, prog);
+
+    cluster::Cluster fresh(cfg, prog);
+    ASSERT_EQ(reused.run(100'000), fresh.run(100'000));
+    expect_identical(reused, fresh, cfg.cores, "reset after faults");
+}
+
+TEST(ClusterReuse, SnapshotRoundTripReplaysIdentically) {
+    const auto prog = loop_program();
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcBank, 2);
+
+    cluster::Cluster cl(cfg, prog);
+    cl.run(60); // mid-block, mid-run
+    cluster::Cluster::Snapshot snap;
+    cl.save(snap);
+
+    const Cycle end1 = cl.run(100'000);
+    const auto stats1 = cl.stats();
+    std::vector<core::CoreState> states1;
+    std::vector<Word> dm1;
+    for (unsigned p = 0; p < cfg.cores; ++p) {
+        states1.push_back(cl.core_state(static_cast<CoreId>(p)));
+        for (Addr v = 0; v < kLayout.limit(); ++v)
+            dm1.push_back(cl.dm_peek(static_cast<CoreId>(p), v));
+    }
+
+    cl.restore(snap);
+    ASSERT_EQ(cl.run(100'000), end1);
+    ASSERT_EQ(cl.stats(), stats1);
+    std::size_t di = 0;
+    for (unsigned p = 0; p < cfg.cores; ++p) {
+        ASSERT_EQ(cl.core_state(static_cast<CoreId>(p)), states1[p]) << "core " << p;
+        for (Addr v = 0; v < kLayout.limit(); ++v)
+            ASSERT_EQ(cl.dm_peek(static_cast<CoreId>(p), v), dm1[di++]) << "vaddr " << v;
+    }
+}
+
+TEST(ClusterReuse, SnapshotRestoreUndoesFaultAndTextPatch) {
+    const auto prog = loop_program();
+    const auto patched = isa::assemble(R"(
+            movi r1, 700
+            movi r2, 30
+    loop:   add  r3, r3, #7
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcBank, 1);
+
+    cluster::Cluster ref(cfg, prog);
+    const Cycle clean = ref.run(100'000);
+
+    cluster::Cluster cl(cfg, prog);
+    cl.run(40);
+    cluster::Cluster::Snapshot snap;
+    cl.save(snap);
+    cl.im_poke(2, patched.text[2]); // text patch invalidates the memo
+    cl.inject_im_fault(3, 0x3);     // plus a raw double-bit upset
+    cl.dm_poke(0, 710, 0xDEAD);
+    cl.run(300);
+
+    cl.restore(snap); // must undo the faults, the patch, and the run
+    ASSERT_EQ(cl.run(100'000), clean);
+    expect_identical(cl, ref, cfg.cores, "restore undoes faults");
+}
+
+TEST(ClusterReuse, PooledClusterReinitializesSameInstance) {
+    const auto prog = loop_program();
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcBank, 2);
+
+    cluster::Cluster& a = cluster::pooled_cluster(cfg, prog);
+    const Cycle cy = a.run(100'000);
+    const auto stats = a.stats();
+
+    cluster::Cluster& b = cluster::pooled_cluster(cfg, prog);
+    ASSERT_EQ(&a, &b) << "one instance per thread";
+    ASSERT_EQ(b.stats().cycles, 0u) << "handed back re-initialized";
+    ASSERT_EQ(b.run(100'000), cy);
+    ASSERT_EQ(b.stats(), stats);
+}
+
+} // namespace
+} // namespace ulpmc

@@ -1,0 +1,183 @@
+// Directed edge-case tests for the trace-compiled engine (DESIGN.md §10),
+// complementing the randomized differential coverage in
+// fastpath_diff_test.cpp: self-loop blocks, register-indirect branches
+// into the middle of a block (served by the suffix run, not a static
+// split), poke-invalidation of a memoized block, the text-boundary
+// FetchFault inside a superblock, and a double-bit ECC upset consumed by
+// the memo lane. Every test pins the trace engine cycle- and stat-exact
+// against the reference engine on the same inputs.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "cluster/config.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 512, .private_words_per_core = 2048};
+
+cluster::ClusterConfig single_core_cfg(cluster::SimEngine engine) {
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, kLayout);
+    cfg.cores = 1;
+    cfg.engine = engine;
+    return cfg;
+}
+
+void expect_identical(cluster::Cluster& trace, cluster::Cluster& ref, const std::string& ctx) {
+    ASSERT_EQ(trace.stats(), ref.stats()) << ctx;
+    ASSERT_EQ(trace.core_state(0), ref.core_state(0)) << ctx;
+    ASSERT_EQ(trace.core_halted(0), ref.core_halted(0)) << ctx;
+    ASSERT_EQ(trace.core_trap(0), ref.core_trap(0)) << ctx;
+    for (Addr v = 0; v < kLayout.limit(); ++v)
+        ASSERT_EQ(trace.dm_peek(0, v), ref.dm_peek(0, v)) << ctx << " vaddr " << v;
+}
+
+TEST(TraceEngine, SelfLoopBlockHaltsAtIdenticalCycle) {
+    const auto prog = isa::assemble(R"(
+            movi r1, 600
+            add  r3, r3, #1
+            mov  @r1+, r3
+    done:   bra  al, done
+    )");
+    cluster::Cluster ref(single_core_cfg(cluster::SimEngine::Reference), prog);
+    cluster::Cluster trace(single_core_cfg(cluster::SimEngine::Trace), prog);
+    const Cycle cy = ref.run(1'000);
+    ASSERT_EQ(trace.run(1'000), cy);
+    EXPECT_TRUE(trace.core_halted(0));
+    expect_identical(trace, ref, "self-loop halt");
+}
+
+TEST(TraceEngine, RegIndBranchIntoMidBlockUsesSuffixRun) {
+    // `bra ne, @r5` re-enters at pc 5, the middle of the straight-line
+    // block [2..8]: no static leader exists there, so the trace engine
+    // must run the block suffix — and produce the exact architectural
+    // state and cycle count of the reference engine.
+    const auto prog = isa::assemble(R"(
+            movi r1, 3
+            movi r5, 5
+            add  r2, r2, #1
+            add  r3, r3, #1
+            add  r3, r3, #2
+            add  r3, r3, #3
+            add  r4, r4, #1
+            sub  r1, r1, #1
+            bra  ne, @r5
+    done:   bra  al, done
+    )");
+    cluster::Cluster ref(single_core_cfg(cluster::SimEngine::Reference), prog);
+    cluster::Cluster trace(single_core_cfg(cluster::SimEngine::Trace), prog);
+    const Cycle cy = ref.run(1'000);
+    ASSERT_EQ(trace.run(1'000), cy);
+    EXPECT_EQ(trace.core_state(0).regs[2], 1) << "prefix executed once";
+    EXPECT_EQ(trace.core_state(0).regs[4], 3) << "suffix executed every pass";
+    expect_identical(trace, ref, "reg-indirect mid-block entry");
+}
+
+TEST(TraceEngine, ImPokeInvalidatesMemoizedBlock) {
+    // Patch a word inside a memoized (mem-free) loop body mid-run: the
+    // block map must be rebuilt and the new instruction must take effect
+    // on the next fetch, exactly as on the reference engine.
+    const auto prog = isa::assemble(R"(
+            movi r1, 40
+    loop:   add  r3, r3, #1
+            add  r4, r4, #2
+            sub  r1, r1, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    const auto patched = isa::assemble(R"(
+            movi r1, 40
+    loop:   add  r3, r3, #5
+            add  r4, r4, #2
+            sub  r1, r1, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    cluster::Cluster ref(single_core_cfg(cluster::SimEngine::Reference), prog);
+    cluster::Cluster trace(single_core_cfg(cluster::SimEngine::Trace), prog);
+    for (auto* cl : {&ref, &trace}) {
+        cl->run(10); // park mid-lane, inside the memoized loop
+        cl->im_poke(1, patched.text[1]);
+        cl->run(1'000);
+    }
+    EXPECT_TRUE(trace.core_halted(0));
+    EXPECT_GT(trace.core_state(0).regs[3], 40) << "patched add #5 took effect";
+    expect_identical(trace, ref, "poke-invalidated memoized block");
+}
+
+TEST(TraceEngine, TextBoundaryFetchFaultInsideSuperblock) {
+    // The final block has no terminator: the memo lane runs to the last
+    // instruction and the next fetch crosses text_size — FetchFault, at
+    // the same cycle and with the same commit count as the reference.
+    const auto prog = isa::assemble(R"(
+            movi r1, 1
+            add  r3, r3, #1
+            add  r3, r3, #2
+            add  r3, r3, #3
+            add  r3, r3, #4
+    )");
+    cluster::Cluster ref(single_core_cfg(cluster::SimEngine::Reference), prog);
+    cluster::Cluster trace(single_core_cfg(cluster::SimEngine::Trace), prog);
+    const Cycle cy = ref.run(1'000);
+    ASSERT_EQ(trace.run(1'000), cy);
+    EXPECT_EQ(trace.core_trap(0), core::Trap::FetchFault);
+    EXPECT_EQ(trace.stats().core[0].instret, 5u) << "all real instructions commit first";
+    expect_identical(trace, ref, "text-boundary fault in superblock");
+}
+
+TEST(TraceEngine, EccUncorrectableInsideMemoizedLane) {
+    // A double-bit upset in a loop-body word that still decodes legally:
+    // the block stays memoized, so the lane's own fetch consumes the
+    // sticky uncorrectable flag and must trap at the reference's cycle.
+    const auto prog = isa::assemble(R"(
+            movi r1, 30
+    loop:   add  r3, r3, #1
+            add  r4, r4, #2
+            sub  r1, r1, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    auto make = [&](cluster::SimEngine e) {
+        auto cfg = single_core_cfg(e);
+        cfg.ecc_enabled = true;
+        return cluster::Cluster(cfg, prog);
+    };
+    cluster::Cluster ref = make(cluster::SimEngine::Reference);
+    cluster::Cluster trace = make(cluster::SimEngine::Trace);
+    for (auto* cl : {&ref, &trace}) {
+        cl->run(10);
+        cl->inject_im_fault(1, 0x6); // two bits inside the imm4 field
+        cl->run(1'000);
+    }
+    EXPECT_EQ(trace.core_trap(0), core::Trap::EccFault);
+    expect_identical(trace, ref, "double-bit upset in memo lane");
+}
+
+TEST(TraceEngine, StepAndRunInterleavingStaysExact) {
+    // Mixing generic step() cycles with run() bursts must land on the
+    // same states as pure per-cycle stepping: the burst resumes from any
+    // cycle boundary (including mid-block).
+    const auto prog = isa::assemble(R"(
+            movi r1, 700
+            movi r2, 25
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            sub  r2, r2, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    cluster::Cluster ref(single_core_cfg(cluster::SimEngine::Reference), prog);
+    cluster::Cluster trace(single_core_cfg(cluster::SimEngine::Trace), prog);
+    ref.run(1'000);
+    for (int i = 0; i < 7; ++i) trace.step(); // generic cycles mid-block
+    trace.run(53);                            // burst up to an odd boundary
+    for (int i = 0; i < 3; ++i) trace.step();
+    trace.run(1'000);
+    expect_identical(trace, ref, "step/run interleaving");
+}
+
+} // namespace
+} // namespace ulpmc

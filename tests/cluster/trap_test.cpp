@@ -37,16 +37,16 @@ TEST(Traps, IllegalEncodingTraps) {
         nop
         hlt
     )");
-    for (const bool fast : {true, false}) {
+    for (const auto engine : {SimEngine::Reference, SimEngine::Fast, SimEngine::Trace}) {
         auto cfg = make_config(ArchKind::UlpmcBank, kLayout);
         cfg.cores = 1;
-        cfg.sim_fast_path = fast;
+        cfg.engine = engine;
         Cluster cl(cfg, prog);
         cl.im_poke(1, 0x00FFFFFFu); // overwrite the nop with a reserved encoding
         cl.run(1'000);
-        EXPECT_EQ(cl.core_trap(0), core::Trap::IllegalInstruction) << "fast=" << fast;
+        EXPECT_EQ(cl.core_trap(0), core::Trap::IllegalInstruction) << engine_name(engine);
         EXPECT_STREQ(core::trap_name(cl.core_trap(0)), "illegal-instruction");
-        EXPECT_EQ(cl.stats().core[0].instret, 1u) << "fast=" << fast;
+        EXPECT_EQ(cl.stats().core[0].instret, 1u) << engine_name(engine);
     }
 }
 

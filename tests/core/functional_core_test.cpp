@@ -163,6 +163,56 @@ TEST(FunctionalCore, EntryPointRespected) {
     EXPECT_EQ(r.state.regs[1], 222);
 }
 
+TEST(FunctionalCore, BlockDispatchMatchesStepLoop) {
+    // Mixed workload — loops, memory traffic, a register-indirect branch
+    // re-entering mid-block — run through run()'s block dispatcher (in two
+    // chunks, so a block is split by the step budget) and through a pure
+    // step() loop. State, trap, instret and memory must be identical.
+    const auto p = isa::assemble(R"(
+            movi r1, 3
+            movi r5, 5
+            add  r2, r2, #1
+            add  r3, r3, #1
+            movi r6, 100
+            mov  @r6+, r3
+            add  r4, r4, #1
+            sub  r1, r1, #1
+            bra  ne, @r5
+            hlt
+    )");
+    FlatMemory m1, m2;
+    FunctionalCore a(p.text, m1);
+    FunctionalCore b(p.text, m2);
+    a.run(7); // stop mid-block: the dispatcher must resume exactly there
+    a.run();
+    while (!b.halted() && b.trap() == Trap::None) b.step();
+    EXPECT_EQ(a.state(), b.state());
+    EXPECT_EQ(a.trap(), b.trap());
+    EXPECT_EQ(a.instret(), b.instret());
+    for (Addr i = 95; i < 110; ++i) EXPECT_EQ(m1.peek(i), m2.peek(i)) << "addr " << i;
+}
+
+TEST(FunctionalCore, BlockDispatchStoreFaultLeavesStateIntact) {
+    // A store past the end of memory inside a memo-legal block: the block
+    // dispatcher must raise MemoryFault with the faulting instruction NOT
+    // committed, exactly like step().
+    const auto p = isa::assemble(R"(
+            movi r1, 100
+            add  r3, r3, #1
+            mov  @r1, r3
+            hlt
+    )");
+    FlatMemory m1(16);
+    FlatMemory m2(16);
+    FunctionalCore a(p.text, m1);
+    FunctionalCore b(p.text, m2);
+    EXPECT_EQ(a.run(), Trap::MemoryFault);
+    while (!b.halted() && b.trap() == Trap::None) b.step();
+    EXPECT_EQ(b.trap(), Trap::MemoryFault);
+    EXPECT_EQ(a.state(), b.state());
+    EXPECT_EQ(a.instret(), b.instret());
+}
+
 TEST(FlatMemoryTest, ReadWriteAndBounds) {
     FlatMemory m(16);
     EXPECT_TRUE(m.write(3, 99));

@@ -1,0 +1,147 @@
+// Unit tests for the basic-block map feeding the trace engine: leader
+// placement, memo aggregates, and the discovery edge cases named in
+// DESIGN.md §10 — self-loop blocks, branches into the middle of a block
+// (register-indirect, resolved by the suffix query), and rebuild-on-patch.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.hpp"
+#include "isa/blockmap.hpp"
+#include "isa/encoding.hpp"
+
+namespace ulpmc::isa {
+namespace {
+
+TEST(BlockMap, StraightLineProgramIsOneBlockPerBranch) {
+    const auto prog = assemble(R"(
+            movi r1, 512
+            add  r3, r3, #1
+            mov  @r1+, r3
+    done:   bra  al, done
+    )");
+    BlockMap bm(prog.text);
+    // Instructions 0..2 fall through into the halt, but `done` is the
+    // target of the self-branch, so it leads its own block.
+    ASSERT_EQ(bm.block_count(), 2u);
+    const BlockInfo& body = bm.block_at(0);
+    EXPECT_EQ(body.start, 0u);
+    EXPECT_EQ(body.len, 3u);
+    EXPECT_EQ(body.loads, 0u);
+    EXPECT_EQ(body.stores, 1u);
+    EXPECT_FALSE(body.mem_free);
+    EXPECT_TRUE(body.memo_ok);
+}
+
+TEST(BlockMap, SelfLoopIsItsOwnSingleInstructionBlock) {
+    const auto prog = assemble(R"(
+            movi r1, 5
+    done:   bra  al, done
+    )");
+    BlockMap bm(prog.text);
+    ASSERT_EQ(bm.block_count(), 2u);
+    const BlockInfo& halt = bm.block_at(1);
+    EXPECT_EQ(halt.start, 1u);
+    EXPECT_EQ(halt.len, 1u);
+    EXPECT_TRUE(halt.mem_free);
+    EXPECT_TRUE(halt.memo_ok);
+    EXPECT_EQ(bm.run_from(1), 1u);
+}
+
+TEST(BlockMap, LoopBodyBoundariesAndAggregates) {
+    const auto prog = assemble(R"(
+            movi r1, 512
+            movi r2, 10
+    loop:   add  r3, r3, #1
+            mov  @r1+, r3
+            mov  r5, @r1
+            sub  r2, r2, #1
+            bra  ne, loop
+    done:   bra  al, done
+    )");
+    BlockMap bm(prog.text);
+    ASSERT_EQ(bm.block_count(), 3u);
+    const BlockInfo& head = bm.block_at(0);
+    EXPECT_EQ(head.len, 2u);
+    EXPECT_TRUE(head.mem_free);
+    const BlockInfo& loop = bm.block_at(2);
+    EXPECT_EQ(loop.start, 2u);
+    EXPECT_EQ(loop.len, 5u); // add, store, load, sub, bra — branch inclusive
+    EXPECT_EQ(loop.loads, 1u);
+    EXPECT_EQ(loop.stores, 1u);
+    EXPECT_FALSE(loop.mem_free);
+    EXPECT_TRUE(loop.memo_ok);
+    // Mid-block suffix run (what a register-indirect branch into the loop
+    // body would see): from the load (pc 4) to the branch inclusive.
+    EXPECT_EQ(bm.run_from(4), 3u);
+    EXPECT_EQ(&bm.block_at(4), &loop);
+}
+
+TEST(BlockMap, IllegalWordPoisonsOnlyItsBlock) {
+    auto prog = assemble(R"(
+            movi r1, 5
+            add  r3, r3, #1
+    done:   bra  al, done
+    )");
+    prog.text[1] = 0x00FFFFFFu; // reserved encoding
+    BlockMap bm(prog.text);
+    ASSERT_EQ(bm.block_count(), 2u);
+    EXPECT_FALSE(bm.block_at(0).memo_ok);
+    EXPECT_EQ(bm.run_from(0), 0u);
+    EXPECT_TRUE(bm.block_at(2).memo_ok) << "halt block unaffected";
+}
+
+TEST(BlockMap, DualPortMovBlocksMemoButNotDiscovery) {
+    // `mov @r2, @r1` claims both DM ports in one cycle: its block cannot be
+    // memoized (the trace engine's conflict-free proof assumes <= 1 port),
+    // but block boundaries are unaffected.
+    const auto prog = assemble(R"(
+            movi r1, 512
+            mov  @r2, @r1
+    done:   bra  al, done
+    )");
+    BlockMap bm(prog.text);
+    const BlockInfo& body = bm.block_at(0);
+    EXPECT_EQ(body.len, 2u);
+    EXPECT_EQ(body.loads, 1u);
+    EXPECT_EQ(body.stores, 1u);
+    EXPECT_FALSE(body.memo_ok);
+    EXPECT_EQ(bm.run_from(0), 0u);
+}
+
+TEST(BlockMap, RebuildTracksPatchedText) {
+    auto prog = assemble(R"(
+            movi r1, 5
+            add  r3, r3, #1
+            add  r3, r3, #2
+    done:   bra  al, done
+    )");
+    BlockMap bm(prog.text);
+    ASSERT_EQ(bm.block_count(), 2u);
+    EXPECT_EQ(bm.run_from(0), 3u);
+
+    // Patch the middle add into a branch: the map must re-partition (new
+    // terminator at 1, new leader at 2).
+    const auto patched = assemble(R"(
+            movi r1, 5
+    self:   bra  al, self
+            add  r3, r3, #2
+    done:   bra  al, done
+    )");
+    prog.text[1] = patched.text[1];
+    bm.rebuild(prog.text);
+    // New terminator at 1 AND new leader at 1 (the self-branch targets
+    // itself): movi | self-loop | add | halt.
+    ASSERT_EQ(bm.block_count(), 4u);
+    EXPECT_EQ(bm.block_at(0).len, 1u);
+    EXPECT_EQ(bm.block_at(1).len, 1u);
+    EXPECT_EQ(bm.block_at(2).start, 2u);
+    EXPECT_EQ(bm.run_from(0), 1u);
+}
+
+TEST(BlockMap, EmptyTextYieldsNoBlocks) {
+    BlockMap bm;
+    EXPECT_EQ(bm.block_count(), 0u);
+    EXPECT_EQ(bm.text_size(), 0u);
+}
+
+} // namespace
+} // namespace ulpmc::isa

@@ -6,6 +6,9 @@
 //     --cores N                            (default 8)
 //     --shared W --private W               DM layout in words
 //                                          (default 64 / 1024)
+//     --engine reference|fast|trace        simulator tier (default trace;
+//                                          results are identical, see
+//                                          DESIGN.md §10)
 //     --ecc                                SEC-DED on every memory bank
 //     --watchdog N                         stuck-core trap after N idle cycles
 //     --trace N                            print the last N trace events
@@ -33,8 +36,9 @@ namespace {
 
 int usage() {
     std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
-                 "                 [--shared W] [--private W] [--ecc] [--watchdog N]\n"
-                 "                 [--trace N] [--dump ADDR LEN] [--max-cycles N]\n";
+                 "                 [--shared W] [--private W] [--engine E] [--ecc]\n"
+                 "                 [--watchdog N] [--trace N] [--dump ADDR LEN]\n"
+                 "                 [--max-cycles N]\n";
     return 2;
 }
 
@@ -64,6 +68,7 @@ int main(int argc, char** argv) {
     Addr shared_words = 64;
     Addr private_words = 1024;
     bool ecc = false;
+    cluster::SimEngine engine = cluster::SimEngine::Trace;
     Cycle watchdog = 0;
     std::size_t trace_n = 0;
     long dump_addr = -1;
@@ -91,6 +96,13 @@ int main(int argc, char** argv) {
                 static_cast<Addr>(parse_num(arg, next("words"), 1, kDmWordsTotal));
         } else if (arg == "--ecc") {
             ecc = true;
+        } else if (arg == "--engine") {
+            const std::string name = next("reference|fast|trace");
+            if (!cluster::parse_engine(name, engine)) {
+                std::cerr << "unknown engine '" << name
+                          << "' (expected reference, fast or trace)\n";
+                return 2;
+            }
         } else if (arg == "--watchdog") {
             watchdog = parse_num(arg, next("a cycle count"), 1, 1'000'000'000);
         } else if (arg == "--trace") {
@@ -170,6 +182,7 @@ int main(int argc, char** argv) {
     cfg.cores = cores;
     cfg.barrier_enabled = true; // harmless if unused
     cfg.ecc_enabled = ecc;
+    cfg.engine = engine;
     cfg.watchdog_cycles = watchdog;
     if (prog.data.size() > cfg.dm_layout.limit()) {
         std::cerr << input << ": data image (" << prog.data.size()
