@@ -1,13 +1,25 @@
-// Extension: seeded fault-injection campaigns (DESIGN.md §9). For every
-// architecture the same deterministic set of particle strikes is replayed
-// twice — SEC-DED off and on — and classified. The headline table is
-// coverage (fraction of strikes that did not end in silent data
-// corruption) against the ECC energy overhead the calibrated power model
-// charges, i.e. the dependability/energy trade the paper's near-threshold
-// operating point forces.
+// Extension: seeded fault-injection campaigns (DESIGN.md §9). Four
+// experiments share one deterministic strike set per seed:
+//
+//   1. per-architecture SEU campaigns, SEC-DED off/on — the baseline
+//      dependability/energy trade;
+//   2. the protection-tier ladder under multi-bit bursts (adjacent-bit
+//      memory MBUs + multi-register upsets) on ulpmc-bank: none -> ECC ->
+//      ECC+parity -> ECC+TMR -> ECC+parity+checkpoint. Bursts defeat
+//      SEC-DED by construction, so this is where the register-file
+//      protection and the generalized checkpoint service earn their keep;
+//   3. the resilient streaming monitor under SEUs (block rollback +
+//      lead-drop, as in PR 2);
+//   4. the streaming monitor under MBU bursts across recovery tiers —
+//      the acceptance row: ECC + parity + generalized checkpointing
+//      reports ZERO silent corruptions.
+//
+// Campaigns shard across machines: --shard K/N runs the global injection
+// indices congruent to K mod N; tools/merge_campaign.py folds the shard
+// JSONs back into the byte-identical unsharded artifact.
 //
 // Usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]
-//                           [--engine reference|fast|trace]
+//                           [--engine reference|fast|trace] [--shard K/N]
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -29,6 +41,35 @@ namespace {
 constexpr cluster::ArchKind kArchs[] = {cluster::ArchKind::McRef, cluster::ArchKind::UlpmcInt,
                                         cluster::ArchKind::UlpmcBank};
 
+/// One row of the protection ladder (applied on top of a base config).
+struct Tier {
+    const char* name;
+    bool ecc;
+    core::RegProtection prot;
+    bool checkpoint;
+};
+
+constexpr Tier kOneShotTiers[] = {
+    {"none", false, core::RegProtection::None, false},
+    {"ecc", true, core::RegProtection::None, false},
+    {"ecc+parity", true, core::RegProtection::Parity, false},
+    {"ecc+tmr", true, core::RegProtection::Tmr, false},
+    {"ecc+parity+ckpt", true, core::RegProtection::Parity, true},
+};
+
+constexpr Tier kStreamTiers[] = {
+    {"ecc", true, core::RegProtection::None, false},
+    {"ecc+parity", true, core::RegProtection::Parity, false},
+    {"ecc+parity+ckpt", true, core::RegProtection::Parity, true},
+    {"ecc+tmr+ckpt", true, core::RegProtection::Tmr, true},
+};
+
+/// Adjacent-bit burst length / registers per spatial upset used by the
+/// MBU experiments (2 & 4). 3 adjacent flips have odd parity, so the
+/// SEC-DED decoder mis-corrects them silently.
+constexpr unsigned kBurstLen = 3;
+constexpr unsigned kRegBurst = 2;
+
 bool parse_u64(const char* s, std::uint64_t& out) {
     char* end = nullptr;
     const unsigned long long v = std::strtoull(s, &end, 10);
@@ -37,14 +78,39 @@ bool parse_u64(const char* s, std::uint64_t& out) {
     return true;
 }
 
-void write_json(std::ostream& os, const std::vector<fault::CampaignResult>& results) {
-    os << "{\n  \"campaigns\": [\n";
+bool parse_shard(const std::string& s, unsigned& index, unsigned& count) {
+    const auto slash = s.find('/');
+    if (slash == std::string::npos) return false;
+    std::uint64_t k = 0, n = 0;
+    if (!parse_u64(s.substr(0, slash).c_str(), k)) return false;
+    if (!parse_u64(s.substr(slash + 1).c_str(), n)) return false;
+    if (n < 1 || k >= n) return false;
+    index = static_cast<unsigned>(k);
+    count = static_cast<unsigned>(n);
+    return true;
+}
+
+/// A campaign result tagged with the workload that produced it.
+struct TaggedResult {
+    const char* workload; ///< "oneshot" | "streaming"
+    fault::CampaignResult r;
+};
+
+void write_json(std::ostream& os, const std::vector<TaggedResult>& results, unsigned shard_index,
+                unsigned shard_count) {
+    os << "{\n";
+    if (shard_count > 1) os << "  \"shard\": \"" << shard_index << "/" << shard_count << "\",\n";
+    os << "  \"campaigns\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
-        const auto& r = results[i];
-        os << "    {\"arch\": \"" << cluster::arch_name(r.arch) << "\", \"ecc\": "
-           << (r.cfg.ecc ? "true" : "false") << ", \"seed\": " << r.cfg.seed
-           << ", \"injections\": " << r.runs.size() << ", \"clean_cycles\": " << r.clean_cycles
-           << ", \"energy_per_op\": " << r.energy_per_op << ",\n     \"outcomes\": {";
+        const auto& r = results[i].r;
+        os << "    {\"workload\": \"" << results[i].workload << "\", \"arch\": \""
+           << cluster::arch_name(r.arch) << "\", \"ecc\": " << (r.cfg.ecc ? "true" : "false")
+           << ", \"protection\": \"" << core::reg_protection_name(r.cfg.reg_protection)
+           << "\", \"checkpoint\": " << (r.cfg.checkpoint ? "true" : "false")
+           << ", \"burst_len\": " << r.cfg.burst_len << ", \"reg_burst\": " << r.cfg.reg_burst
+           << ", \"seed\": " << r.cfg.seed << ", \"injections\": " << r.runs.size()
+           << ", \"clean_cycles\": " << r.clean_cycles << ", \"energy_per_op\": " << r.energy_per_op
+           << ",\n     \"outcomes\": {";
         for (unsigned o = 0; o < fault::kOutcomeCount; ++o) {
             os << (o ? ", " : "") << '"' << fault::outcome_name(static_cast<fault::Outcome>(o))
                << "\": " << r.counts[o];
@@ -77,24 +143,31 @@ int main(int argc, char** argv) {
                           << "' (expected reference, fast or trace)\n";
                 return 2;
             }
+        } else if (arg == "--shard" && i + 1 < argc &&
+                   parse_shard(argv[++i], cfg.shard_index, cfg.shard_count)) {
+            // parsed in place
         } else {
             std::cerr << "usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]\n"
-                         "                          [--engine reference|fast|trace]\n";
+                         "                          [--engine reference|fast|trace] [--shard K/N]\n";
             return 2;
         }
     }
 
-    exp::print_experiment_header("Extension: SEU fault-injection campaigns",
+    exp::print_experiment_header("Extension: fault-injection campaigns",
                                  "beyond the paper (dependability axis, DESIGN.md §9)");
-    std::cout << cfg.injections << " seeded strikes per architecture, replayed with SEC-DED "
-                 "off/on (seed "
-              << cfg.seed << ").\n\n";
+    std::cout << cfg.injections << " seeded strikes per campaign (seed " << cfg.seed << ")";
+    if (cfg.shard_count > 1) {
+        std::cout << ", shard " << cfg.shard_index << "/" << cfg.shard_count
+                  << " (tables show this shard's strikes only)";
+    }
+    std::cout << ".\n\n";
 
     const app::EcgBenchmark bench{};
     sweep::SweepRunner pool;
-    std::vector<fault::CampaignResult> results;
+    std::vector<TaggedResult> results;
 
-    Table t({"arch", "ECC", "masked", "corrected", "trapped", "hang", "SDC", "coverage",
+    // -- 1: per-architecture SEU campaigns, SEC-DED off/on ------------------
+    Table t({"arch", "ECC", "masked", "latent", "corrected", "trapped", "hang", "SDC", "coverage",
              "energy/op", "ECC overhead"});
     for (const auto arch : kArchs) {
         double epo_off = 0;
@@ -105,44 +178,108 @@ int main(int argc, char** argv) {
             if (!ecc) epo_off = r.energy_per_op;
             t.add_row({cluster::arch_name(arch), ecc ? "on" : "off",
                        std::to_string(r.count(fault::Outcome::Masked)),
+                       std::to_string(r.count(fault::Outcome::Latent)),
                        std::to_string(r.count(fault::Outcome::Corrected)),
                        std::to_string(r.count(fault::Outcome::Trapped)),
                        std::to_string(r.count(fault::Outcome::Hang)),
                        std::to_string(r.count(fault::Outcome::Sdc)),
                        format_percent(r.coverage(), 1), format_si(r.energy_per_op, "J"),
                        ecc ? format_percent(r.energy_per_op / epo_off - 1.0, 1) : "-"});
-            results.push_back(r);
+            results.push_back({"oneshot", r});
         }
         if (arch != cluster::ArchKind::UlpmcBank) t.add_separator();
     }
     t.print(std::cout);
-    std::cout << "\nCoverage = 1 - SDC/injections. The ECC overhead is the clean-run\n"
-                 "energy/op delta charged by the calibrated model (access-energy factors\n"
-                 "22/16 for DM, 30/24 for IM, plus 45 pJ per correction scrub).\n\n";
+    std::cout << "\nCoverage = 1 - SDC/injections. Latent = a struck register was never\n"
+                 "read: the output is clean but corrupted state is still live.\n\n";
 
-    // Streaming monitor under fire: checkpoint/rollback + lead-drop.
+    // -- 2: multi-bit bursts vs the protection ladder (ulpmc-bank) ----------
+    std::cout << "-- Multi-bit bursts (" << kBurstLen << " adjacent bits, " << kRegBurst
+              << "-register upsets) vs protection tiers, ulpmc-bank --\n";
+    Table bt({"tier", "masked", "latent", "corrected", "rolled-back", "trapped", "hang", "SDC",
+              "coverage", "energy/op"});
+    for (const auto& tier : kOneShotTiers) {
+        fault::CampaignConfig c = cfg;
+        c.ecc = tier.ecc;
+        c.reg_protection = tier.prot;
+        c.checkpoint = tier.checkpoint;
+        c.burst_len = kBurstLen;
+        c.reg_burst = kRegBurst;
+        const auto r = fault::run_campaign(bench, cluster::ArchKind::UlpmcBank, c, pool);
+        bt.add_row({tier.name, std::to_string(r.count(fault::Outcome::Masked)),
+                    std::to_string(r.count(fault::Outcome::Latent)),
+                    std::to_string(r.count(fault::Outcome::Corrected)),
+                    std::to_string(r.count(fault::Outcome::RolledBack)),
+                    std::to_string(r.count(fault::Outcome::Trapped)),
+                    std::to_string(r.count(fault::Outcome::Hang)),
+                    std::to_string(r.count(fault::Outcome::Sdc)), format_percent(r.coverage(), 1),
+                    format_si(r.energy_per_op, "J")});
+        results.push_back({"oneshot", r});
+    }
+    bt.print(std::cout);
+    std::cout << "\nAn odd-length adjacent burst aliases to a valid SEC-DED syndrome, so\n"
+                 "the decoder mis-corrects it silently: ECC alone loses coverage here.\n"
+                 "Parity catches the register strikes it covers; the checkpoint tier\n"
+                 "re-executes from the last snapshot on any unrecoverable trap.\n\n";
+
+    // -- 3: resilient streaming monitor under SEUs --------------------------
     const unsigned stream_injections = std::max(1u, cfg.injections / 4);
     std::cout << "-- Resilient streaming monitor (" << stream_injections
               << " strikes, 4 blocks, ulpmc-bank) --\n";
     const app::StreamingBenchmark stream({.use_barrier = true}, 4);
     fault::CampaignConfig sc = cfg;
     sc.injections = stream_injections;
-    Table st({"ECC", "masked", "corrected", "rolled-back", "lead-dropped", "SDC", "coverage"});
+    Table st({"ECC", "masked", "latent", "corrected", "rolled-back", "lead-dropped", "SDC",
+              "coverage"});
     for (const bool ecc : {false, true}) {
         fault::CampaignConfig c = sc;
         c.ecc = ecc;
         const auto r = fault::run_streaming_campaign(stream, cluster::ArchKind::UlpmcBank, c, pool);
         st.add_row({ecc ? "on" : "off", std::to_string(r.count(fault::Outcome::Masked)),
+                    std::to_string(r.count(fault::Outcome::Latent)),
                     std::to_string(r.count(fault::Outcome::Corrected)),
                     std::to_string(r.count(fault::Outcome::RolledBack)),
                     std::to_string(r.count(fault::Outcome::LeadDropped)),
-                    std::to_string(r.count(fault::Outcome::Sdc)),
-                    format_percent(r.coverage(), 1)});
-        results.push_back(r);
+                    std::to_string(r.count(fault::Outcome::Sdc)), format_percent(r.coverage(), 1)});
+        results.push_back({"streaming", r});
     }
     st.print(std::cout);
     std::cout << "\nEvery block is a checkpoint: a corrupted lead rolls the block back;\n"
-                 "a persistently-broken lead is dropped while the others keep streaming.\n";
+                 "a persistently-broken lead is dropped while the others keep streaming.\n\n";
+
+    // -- 4: streaming monitor under MBU bursts, recovery tiers --------------
+    std::cout << "-- Streaming monitor under bursts (" << stream_injections
+              << " strikes, recovery tiers, ulpmc-bank) --\n";
+    Table mt({"tier", "masked", "latent", "corrected", "rolled-back", "lead-dropped", "SDC",
+              "coverage", "re-exec", "energy/op"});
+    for (const auto& tier : kStreamTiers) {
+        fault::CampaignConfig c = sc;
+        c.ecc = tier.ecc;
+        c.reg_protection = tier.prot;
+        c.checkpoint = tier.checkpoint;
+        c.burst_len = kBurstLen;
+        c.reg_burst = kRegBurst;
+        const auto r = fault::run_streaming_campaign(stream, cluster::ArchKind::UlpmcBank, c, pool);
+        const double reexec =
+            r.runs.empty() ? 0.0
+                           : static_cast<double>(r.reexec_cycles) /
+                                 (static_cast<double>(r.clean_cycles) *
+                                  static_cast<double>(r.runs.size()));
+        mt.add_row({tier.name, std::to_string(r.count(fault::Outcome::Masked)),
+                    std::to_string(r.count(fault::Outcome::Latent)),
+                    std::to_string(r.count(fault::Outcome::Corrected)),
+                    std::to_string(r.count(fault::Outcome::RolledBack)),
+                    std::to_string(r.count(fault::Outcome::LeadDropped)),
+                    std::to_string(r.count(fault::Outcome::Sdc)), format_percent(r.coverage(), 1),
+                    format_percent(reexec, 2), format_si(r.energy_per_op, "J")});
+        results.push_back({"streaming", r});
+    }
+    mt.print(std::cout);
+    std::cout << "\nThe checkpointed tiers run ONE continuous cluster with full-state\n"
+                 "snapshots at block boundaries (cross-block state survives rollback).\n"
+                 "Re-exec is the rollback cost: discarded cycles / fault-free cycles.\n"
+                 "With ECC + parity + checkpointing every burst is detected and either\n"
+                 "replayed or fail-stopped: the SDC column must read zero.\n";
 
     if (!json_path.empty()) {
         std::ofstream os(json_path);
@@ -150,7 +287,7 @@ int main(int argc, char** argv) {
             std::cerr << "cannot write " << json_path << "\n";
             return 1;
         }
-        write_json(os, results);
+        write_json(os, results, cfg.shard_index, cfg.shard_count);
         std::cout << "\nwrote " << json_path << "\n";
     }
     return 0;

@@ -1,5 +1,8 @@
 #include "app/streaming.hpp"
 
+#include <algorithm>
+
+#include "cluster/checkpoint.hpp"
 #include "cluster/pool.hpp"
 #include "common/assert.hpp"
 
@@ -147,6 +150,158 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
     // re-verify via the last attempt's semantics: any lead still alive had
     // lead_ok() true when its block committed, so corruption can only show
     // as zero survivors.
+    bool any_alive = false;
+    for (const auto a : out.lead_alive) any_alive = any_alive || a != 0;
+    out.all_surviving_verified = any_alive;
+    return out;
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_checkpointed(cluster::ArchKind arch, const BlockFaultHook& hook) const {
+    return run_checkpointed(cluster::make_config(arch, base_.layout().dm_layout()), hook);
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
+                                     const BlockFaultHook& hook) const {
+    cluster::ClusterConfig cfg = cfg_in;
+    cfg.barrier_enabled = base_.layout().use_barrier;
+    const auto& lay = base_.layout();
+
+    ResilientOutcome out;
+    out.lead_alive.assign(cfg.cores, 1);
+
+    { // fault-free single-block reference: calibrates the attempt budget
+        cluster::Cluster& ref = cluster::pooled_cluster(cfg, base_.program());
+        base_.load_inputs(ref, cfg.cores);
+        out.clean_block_cycles = ref.run();
+    }
+    const Cycle budget = 4 * out.clean_block_cycles + cfg.watchdog_cycles + 1000;
+    // Completion is polled at slice granularity. The slice must be much
+    // shorter than the CS kernel: after the last lead finishes block b the
+    // cluster overshoots by at most one slice into block b+1, and block
+    // b's outputs are only safe to verify while b+1 is still inside CS
+    // (Huffman is what rewrites the output window). The first slice also
+    // guarantees the firmware has initialized its block counter before
+    // the counter is ever consulted.
+    const Cycle slice = std::max<Cycle>(out.clean_block_cycles / 64, 64);
+    const auto counter_addr = static_cast<Addr>(lay.frame_base() + 2);
+
+    // ONE cluster instance runs the whole multi-block program; the
+    // checkpoint service snapshots it at every block boundary.
+    cluster::Cluster cl(cfg, program_);
+    base_.load_inputs(cl, cfg.cores);
+    cluster::CheckpointRunner runner(cl);
+    // Explicit block-boundary checkpoints; per-lead verification and the
+    // drop policy live here, so the runner's global parity guard is off
+    // (a latent parity upset is attributed to its lead below instead).
+    runner.reset({.interval = 0, .max_retries = 2, .parity_guard = false});
+
+    // Block `block` is finished on lead p once its countdown dropped to
+    // n_blocks - (block+1) (or the core halted after the last block).
+    const auto block_remaining = [&](unsigned block) {
+        return static_cast<Word>(n_blocks_ - (block + 1));
+    };
+    const auto lead_failed = [&](unsigned p, unsigned block) {
+        const auto pid = static_cast<CoreId>(p);
+        if (cl.core_trap(pid) != core::Trap::None) return true;
+        if (cl.reg_parity_pending(pid)) return true; // latched detectable upset
+        const bool last = block + 1 == n_blocks_;
+        if (cl.core_halted(pid)) {
+            if (!last) return true; // halted early: control flow corrupted
+        } else if (cl.dm_peek(pid, counter_addr) > block_remaining(block)) {
+            return true; // never finished the block inside the budget
+        }
+        const auto& golden = base_.golden_bitstream(p);
+        if (cl.dm_peek(pid, lay.out_count()) != golden.words.size()) return true;
+        for (std::size_t i = 0; i < golden.words.size(); ++i) {
+            if (cl.dm_peek(pid, static_cast<Addr>(lay.out_base() + i)) != golden.words[i])
+                return true;
+        }
+        return false;
+    };
+    const auto settled = [&](unsigned block) {
+        for (unsigned p = 0; p < cfg.cores; ++p) {
+            if (!out.lead_alive[p]) continue;
+            const auto pid = static_cast<CoreId>(p);
+            if (cl.core_trap(pid) != core::Trap::None || cl.core_halted(pid)) continue;
+            if (cl.dm_peek(pid, counter_addr) > block_remaining(block)) return false;
+        }
+        return true;
+    };
+    const auto any_active = [&] {
+        for (unsigned p = 0; p < cfg.cores; ++p) {
+            const auto pid = static_cast<CoreId>(p);
+            if (cl.core_trap(pid) == core::Trap::None && !cl.core_halted(pid)) return true;
+        }
+        return false;
+    };
+
+    // Resilience counters accumulate across attempts, but restore() rolls
+    // the cluster's own statistics back with everything else — so each
+    // attempt's delta is banked against a baseline sampled at its start.
+    std::uint64_t base_ecc = 0, base_parity = 0, base_tmr = 0, base_wd = 0;
+    const auto sample_base = [&] {
+        const auto& st = cl.stats();
+        base_ecc = st.ecc_corrected();
+        base_parity = st.reg_parity_traps;
+        base_tmr = st.reg_tmr_votes;
+        base_wd = st.watchdog_trips;
+    };
+    const auto bank_deltas = [&] {
+        const auto& st = cl.stats();
+        out.ecc_corrected += st.ecc_corrected() - base_ecc;
+        out.reg_parity_traps += st.reg_parity_traps - base_parity;
+        out.reg_tmr_votes += st.reg_tmr_votes - base_tmr;
+        out.watchdog_trips += st.watchdog_trips - base_wd;
+    };
+
+    std::vector<unsigned> corrupted;
+    for (unsigned block = 0; block < n_blocks_; ++block) {
+        runner.checkpoint(); // block boundary = recovery point (TMR scrub inside)
+        for (unsigned attempt = 0; attempt < 2; ++attempt) {
+            sample_base();
+            if (hook) hook(cl, block, attempt);
+            const Cycle limit = runner.checkpoint_cycle() + budget;
+            do {
+                cl.run(std::min(limit, cl.stats().cycles + slice));
+            } while (cl.stats().cycles < limit && any_active() && !settled(block));
+
+            cl.scrub_registers(); // TMR: repair before the verdict (and save)
+            bank_deltas();
+            corrupted.clear();
+            for (unsigned p = 0; p < cfg.cores; ++p) {
+                if (out.lead_alive[p] && lead_failed(p, block)) corrupted.push_back(p);
+            }
+            if (corrupted.empty()) break; // block verified: commit
+            if (attempt == 0) {
+                runner.rollback(); // re-execute the block from its checkpoint
+                continue;
+            }
+            // Retry failed too: persistent corruption — degrade by dropping
+            // the broken leads, keep monitoring the rest.
+            for (const unsigned p : corrupted) {
+                out.lead_alive[p] = 0;
+                ++out.leads_dropped;
+            }
+        }
+        ++out.blocks;
+    }
+
+    // Drain: let the last block's stragglers reach their hlt (a dropped
+    // lead that diverged is reined in by the watchdog).
+    const Cycle drain_limit = cl.stats().cycles + cfg.watchdog_cycles + 1000;
+    sample_base();
+    while (any_active() && cl.stats().cycles < drain_limit)
+        cl.run(std::min(drain_limit, cl.stats().cycles + slice));
+    bank_deltas();
+
+    out.rollbacks = static_cast<unsigned>(runner.stats().rollbacks);
+    out.checkpoints = runner.stats().checkpoints;
+    out.reexec_cycles = runner.stats().reexec_cycles;
+    out.total_cycles = cl.stats().cycles + runner.stats().reexec_cycles;
+    out.latent_reg_faults = cl.pending_reg_faults();
+
     bool any_alive = false;
     for (const auto a : out.lead_alive) any_alive = any_alive || a != 0;
     out.all_surviving_verified = any_alive;

@@ -65,6 +65,14 @@ public:
         Cycle clean_block_cycles = 0; ///< fault-free reference block
         std::uint64_t ecc_corrected = 0;
         std::uint64_t watchdog_trips = 0;
+
+        // Filled by run_checkpointed() only (generalized checkpoint
+        // service; zero in run_resilient()).
+        std::uint64_t checkpoints = 0;     ///< snapshots taken by the service
+        Cycle reexec_cycles = 0;           ///< cycles discarded by rollbacks
+        std::uint64_t reg_parity_traps = 0;
+        std::uint64_t reg_tmr_votes = 0;
+        unsigned latent_reg_faults = 0;    ///< struck registers never observed
     };
 
     /// Runs all blocks in resilient mode under `cfg`, invoking `hook` (if
@@ -72,6 +80,27 @@ public:
     ResilientOutcome run_resilient(const cluster::ClusterConfig& cfg,
                                    const BlockFaultHook& hook = {}) const;
     ResilientOutcome run_resilient(cluster::ArchKind arch, const BlockFaultHook& hook = {}) const;
+
+    // ---- generalized checkpoint mode (DESIGN.md §9) ------------------------
+    // Unlike run_resilient() — which re-initializes the cluster per block
+    // and therefore only works because that firmware is block-stateless —
+    // this mode runs ONE continuous cluster over the whole multi-block
+    // program and recovers through the CheckpointRunner service: a
+    // Cluster::save at every block boundary, Cluster::restore on a failed
+    // verification. Cross-block architectural state (the firmware's block
+    // counter, register files, arbitration state) survives every rollback.
+    //
+    // The hook contract differs in one way from run_resilient: cycles are
+    // continuous, so a hook that wants to strike N cycles into the attempt
+    // must advance relative to the current cycle
+    // (cl.run(cl.stats().cycles + N)).
+
+    /// Runs all blocks under the checkpoint service. Verification,
+    /// rollback and drop-one-lead policy are as in run_resilient.
+    ResilientOutcome run_checkpointed(const cluster::ClusterConfig& cfg,
+                                      const BlockFaultHook& hook = {}) const;
+    ResilientOutcome run_checkpointed(cluster::ArchKind arch,
+                                      const BlockFaultHook& hook = {}) const;
 
 private:
     EcgBenchmark base_;

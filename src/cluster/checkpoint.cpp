@@ -1,0 +1,86 @@
+#include "cluster/checkpoint.hpp"
+
+#include "common/assert.hpp"
+
+namespace ulpmc::cluster {
+
+void CheckpointRunner::reset(const CheckpointConfig& cfg) {
+    cfg_ = cfg;
+    stats_ = {};
+    has_ckpt_ = false;
+    snap_cycle_ = 0;
+    retries_ = 0;
+}
+
+bool CheckpointRunner::checkpoint() {
+    cl_.scrub_registers();
+    if (cfg_.parity_guard && cl_.reg_parity_pending() && has_ckpt_) {
+        // The parity sweep found a latched (detectable) upset: the state
+        // about to be saved is corrupt. Recover from the previous good
+        // checkpoint rather than immortalizing the corruption.
+        rollback();
+        return false;
+    }
+    cl_.save(snap_);
+    snap_cycle_ = cl_.stats().cycles;
+    has_ckpt_ = true;
+    retries_ = 0;
+    ++stats_.checkpoints;
+    return true;
+}
+
+void CheckpointRunner::rollback() {
+    ULPMC_EXPECTS(has_ckpt_);
+    const Cycle now = cl_.stats().cycles;
+    if (now > snap_cycle_) stats_.reexec_cycles += now - snap_cycle_;
+    ++stats_.rollbacks;
+    ++retries_;
+    cl_.restore(snap_);
+}
+
+bool CheckpointRunner::any_trap() const {
+    for (unsigned p = 0; p < cl_.config().cores; ++p)
+        if (cl_.core_trap(static_cast<CoreId>(p)) != core::Trap::None) return true;
+    return false;
+}
+
+bool CheckpointRunner::any_running() const {
+    for (unsigned p = 0; p < cl_.config().cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        if (cl_.core_trap(pid) == core::Trap::None && !cl_.core_halted(pid)) return true;
+    }
+    return false;
+}
+
+Cycle CheckpointRunner::run(Cycle bound) {
+    if (!has_ckpt_) checkpoint();
+    for (;;) {
+        const Cycle now = cl_.stats().cycles;
+        if (now >= bound) break;
+        Cycle target = bound;
+        if (cfg_.interval > 0) {
+            const Cycle next = snap_cycle_ + cfg_.interval;
+            if (next > now && next < target) target = next;
+        }
+        cl_.run(target);
+        if (any_trap()) {
+            if (retries_ >= cfg_.max_retries) {
+                // Deterministic fault (it re-trapped through every retry):
+                // leave the cluster in its trapped state for the caller.
+                stats_.gave_up = true;
+                break;
+            }
+            rollback();
+            continue;
+        }
+        const Cycle after = cl_.stats().cycles;
+        if (!any_running()) break;     // quiescent: every core halted cleanly
+        if (after <= now) break;       // no forward progress (all parked)
+        if (cfg_.interval > 0 && after >= snap_cycle_ + cfg_.interval) {
+            if (!checkpoint()) continue; // detect-before-save rolled back
+        }
+    }
+    return cl_.stats().cycles;
+}
+
+} // namespace ulpmc::cluster

@@ -1,0 +1,93 @@
+// Generalized checkpoint/rollback service (DESIGN.md §9).
+//
+// PR 2's rollback was streaming-specific: the block boundary was the
+// checkpoint and "rollback" was a cluster reset plus input replay, which
+// only works because that workload keeps no state across blocks. This
+// service generalizes it on top of Cluster::save/restore: checkpoints can
+// be taken on a cycle interval or at explicit program points (the caller
+// decides), they capture the FULL cluster state — register files, PC,
+// flags, memories, arbitration state — so cross-checkpoint state (e.g.
+// the streaming firmware's block counter) survives a rollback, and any
+// detected-but-unhealable trap (ECC double-bit, register parity,
+// watchdog) re-executes from the last checkpoint instead of fail-stopping
+// the whole run. Re-execution cost is accounted (reexec_cycles) so the
+// energy model can bound it.
+#pragma once
+
+#include "cluster/cluster.hpp"
+#include "common/types.hpp"
+
+namespace ulpmc::cluster {
+
+struct CheckpointConfig {
+    /// Cycles between automatic checkpoints inside run(). 0 = explicit
+    /// checkpoints only (the caller marks recovery points itself).
+    Cycle interval = 0;
+    /// Rollbacks attempted since the last successful checkpoint before
+    /// the runner gives up (a deterministic fault re-traps forever; the
+    /// bound turns that into a detected, reported failure).
+    unsigned max_retries = 2;
+    /// Detect-before-save: checkpoint() rolls back instead of saving when
+    /// the parity sweep finds a latched upset. Drivers that verify and
+    /// recover per-core themselves (the streaming monitor, which must not
+    /// sacrifice a whole checkpoint to a lead it already dropped) turn
+    /// this off and query reg_parity_pending(pid) directly.
+    bool parity_guard = true;
+};
+
+struct CheckpointStats {
+    std::uint64_t checkpoints = 0;   ///< snapshots taken
+    std::uint64_t rollbacks = 0;     ///< restores after a detected error
+    Cycle reexec_cycles = 0;         ///< simulated cycles thrown away by rollbacks
+    bool gave_up = false;            ///< retry budget exhausted on one checkpoint
+};
+
+/// Drives one Cluster with checkpoint/rollback semantics. The runner owns
+/// the snapshot buffer (reused across checkpoints — steady state
+/// allocates nothing) but not the cluster.
+class CheckpointRunner {
+public:
+    explicit CheckpointRunner(Cluster& cl) : cl_(cl) {}
+
+    /// Re-arms the runner for a fresh run of the (possibly reset) cluster:
+    /// statistics cleared, no checkpoint held. Snapshot buffers are kept.
+    void reset(const CheckpointConfig& cfg);
+
+    /// Takes a checkpoint at the current cycle. First scrubs the register
+    /// files through the protection layer: under TMR every pending upset
+    /// is vote-repaired so the snapshot is clean; under parity a pending
+    /// (detectable) upset means the CURRENT state is corrupt — saving it
+    /// would poison the recovery point, so the runner rolls back to the
+    /// previous checkpoint instead (detect-before-save) and returns false.
+    bool checkpoint();
+
+    /// Restores the last checkpoint, charging the discarded cycles to
+    /// reexec_cycles. Requires a prior successful checkpoint().
+    void rollback();
+
+    /// Runs the cluster until it quiesces or reaches `bound`, taking
+    /// interval checkpoints (cfg.interval > 0) and rolling back on any
+    /// trap. A trap that survives cfg.max_retries rollbacks sets gave_up
+    /// and stops (the caller classifies the failure). Returns the final
+    /// cycle count (monotonic simulated time, rollbacks included in
+    /// stats().reexec_cycles, not in the cluster's own cycle counter).
+    Cycle run(Cycle bound);
+
+    const CheckpointStats& stats() const { return stats_; }
+    bool has_checkpoint() const { return has_ckpt_; }
+    Cycle checkpoint_cycle() const { return snap_cycle_; }
+
+private:
+    bool any_trap() const;
+    bool any_running() const;
+
+    Cluster& cl_;
+    CheckpointConfig cfg_;
+    CheckpointStats stats_;
+    Cluster::Snapshot snap_;
+    bool has_ckpt_ = false;
+    Cycle snap_cycle_ = 0;
+    unsigned retries_ = 0;
+};
+
+} // namespace ulpmc::cluster

@@ -1,6 +1,7 @@
 #include "cluster/cluster.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "common/assert.hpp"
 #include "isa/encoding.hpp"
@@ -49,6 +50,7 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
         stats_.core = std::move(keep);
         stats_.core.assign(cfg.cores, {});
         stats_.ecc_enabled = cfg.ecc_enabled;
+        stats_.reg_protection = cfg.reg_protection;
     }
 
     // --- (re)construct cores ------------------------------------------------
@@ -321,8 +323,86 @@ void Cluster::inject_im_fault(PAddr pc, InstrWord flip_mask) {
 void Cluster::inject_reg_fault(CoreId pid, unsigned reg, Word flip_mask) {
     ULPMC_EXPECTS(pid < cores_.size());
     ULPMC_EXPECTS(reg < kNumRegisters);
-    cores_[pid].state.regs[reg] ^= flip_mask;
+    CoreCtx& c = cores_[pid];
+    const Word bit = static_cast<Word>(Word{1} << reg);
+    if (cfg_.reg_protection == core::RegProtection::Tmr) {
+        // The strike lands in one of the three TMR copies: the voted
+        // (architectural) value stays correct, and the next read's
+        // majority vote repairs the struck copy (counted in the guard).
+        c.reg_bad |= bit;
+    } else {
+        c.state.regs[reg] ^= flip_mask;
+        c.reg_bad |= bit;
+        // The parity checker only sees an odd number of flipped bits;
+        // repeated strikes on the same register toggle the mismatch.
+        if (std::popcount(static_cast<unsigned>(flip_mask)) % 2 != 0) c.reg_parity_bad ^= bit;
+    }
     ++direct_faults_;
+}
+
+bool Cluster::reg_fault_guard(CoreCtx& c, const isa::Instruction& in) {
+    const core::RegAccess a = core::reg_access(in);
+    const Word touched = static_cast<Word>(a.read & c.reg_bad);
+    if (touched != 0) {
+        switch (cfg_.reg_protection) {
+        case core::RegProtection::Tmr:
+            // Every read port votes 2-of-3 and writes the repaired value
+            // back into the struck copy: the upset is masked in place.
+            stats_.reg_tmr_votes += static_cast<unsigned>(std::popcount(touched));
+            break;
+        case core::RegProtection::Parity:
+            if ((touched & c.reg_parity_bad) != 0) {
+                ++stats_.reg_parity_traps;
+                c.reg_bad &= static_cast<Word>(~touched);
+                c.reg_parity_bad &= static_cast<Word>(~touched);
+                raise_trap(c, core::Trap::RegParityFault);
+                return false;
+            }
+            break; // even-parity corruption slips past the checker
+        case core::RegProtection::None:
+            break; // the corrupted value flows into the datapath
+        }
+        c.reg_bad &= static_cast<Word>(~touched);
+        c.reg_parity_bad &= static_cast<Word>(~touched);
+    }
+    // A write overwrites the upset before anything could observe it.
+    c.reg_bad &= static_cast<Word>(~a.write);
+    c.reg_parity_bad &= static_cast<Word>(~a.write);
+    return true;
+}
+
+unsigned Cluster::pending_reg_faults() const {
+    unsigned n = 0;
+    for (const auto& c : cores_) n += static_cast<unsigned>(std::popcount(c.reg_bad));
+    return n;
+}
+
+Word Cluster::pending_reg_faults(CoreId pid) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    return cores_[pid].reg_bad;
+}
+
+bool Cluster::reg_parity_pending() const {
+    if (cfg_.reg_protection != core::RegProtection::Parity) return false;
+    for (const auto& c : cores_)
+        if (c.reg_parity_bad != 0) return true;
+    return false;
+}
+
+bool Cluster::reg_parity_pending(CoreId pid) const {
+    ULPMC_EXPECTS(pid < cores_.size());
+    return cfg_.reg_protection == core::RegProtection::Parity &&
+           cores_[pid].reg_parity_bad != 0;
+}
+
+void Cluster::scrub_registers() {
+    if (cfg_.reg_protection != core::RegProtection::Tmr) return;
+    for (auto& c : cores_) {
+        if (c.reg_bad == 0) continue;
+        stats_.reg_tmr_votes += static_cast<unsigned>(std::popcount(c.reg_bad));
+        c.reg_bad = 0;
+        c.reg_parity_bad = 0;
+    }
 }
 
 void Cluster::inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g) {
@@ -418,6 +498,10 @@ bool Cluster::trace_burst(Cycle max_cycles) {
     const CoreId p = active_cores_[0];
     CoreCtx& c = cores_[p];
     if (c.in_barrier) return false;
+    // A pending register upset needs the per-cycle protection guard
+    // (vote/trap on the first consuming read); the generic engine takes
+    // over until the tracking mask clears.
+    if (c.reg_bad != 0) return false;
     if (cycle_ < c.start_cycle) return false; // staggered warm-up: generic
     // A dual-port instruction (load + store in one cycle) can conflict
     // with itself on the D-Xbar; its timing belongs to the full arbiter.
@@ -713,6 +797,10 @@ void Cluster::execute_phase() {
 }
 
 void Cluster::commit(CoreCtx& c, CoreId pid) {
+    // A register struck while this instruction sat in EX is consumed by
+    // its operand reads right here (fetched-then-struck ordering; the
+    // fetch-time guard covers struck-then-fetched).
+    if (c.reg_bad != 0 && !reg_fault_guard(c, *c.ex)) return;
     const PAddr pc_before = c.state.pc;
     std::optional<Word> store_value;
     bool halt = false;
@@ -877,6 +965,12 @@ void Cluster::fetch_phase() {
             c.ex_buf = *decoded;
             c.ex = &c.ex_buf;
         }
+
+        // Protection guard before the plan: a corrupted address register
+        // must be voted/trapped here, not used to compute data addresses
+        // (a parity trap takes precedence over the MemoryFault the bad
+        // address might raise below).
+        if (c.reg_bad != 0 && !reg_fault_guard(c, *c.ex)) continue;
 
         // Pre-compute the data-access plan; architectural state cannot
         // change between this fetch and the execute phase (in-order,

@@ -121,6 +121,36 @@ public:
     /// or D-Xbar for the next arbitration cycle.
     void inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g);
 
+    // ---- register-file protection (DESIGN.md §9) ---------------------------
+
+    /// Registers struck by inject_reg_fault that no instruction has read
+    /// or overwritten yet, summed over all cores. A nonzero count after a
+    /// run means the upsets are still *latent* — classifying them as
+    /// "masked" would overstate the architecture's inherent masking.
+    unsigned pending_reg_faults() const;
+
+    /// Per-core variant: bitmask of core `pid`'s registers with a pending
+    /// (unobserved) upset.
+    Word pending_reg_faults(CoreId pid) const;
+
+    /// Per-core variant of reg_parity_pending().
+    bool reg_parity_pending(CoreId pid) const;
+
+    /// True when the parity checker would flag a register on its next
+    /// read: an odd-parity upset is latched in some core's register file
+    /// and has not been consumed. Only meaningful under
+    /// RegProtection::Parity (always false otherwise). The checkpoint
+    /// service uses this as its pre-save scrub: saving now would
+    /// checkpoint corrupted state.
+    bool reg_parity_pending() const;
+
+    /// Checkpoint-time sweep of every register file through the
+    /// protection layer. Under TMR this majority-votes (and repairs) every
+    /// struck copy so the checkpoint is clean; a no-op in other modes
+    /// (parity detection is reported by reg_parity_pending() instead —
+    /// parity can detect but not heal).
+    void scrub_registers();
+
 private:
     // CoreCtx precedes the public Snapshot class so snapshots can store
     // core contexts by value.
@@ -148,6 +178,14 @@ private:
         bool in_barrier = false;
         core::Trap trap = core::Trap::None;
         Cycle last_commit = 0; ///< watchdog progress marker
+
+        // Register-protection tracking (DESIGN.md §9): bit r set in
+        // reg_bad = register r holds an unobserved upset; reg_parity_bad
+        // additionally marks the upsets the parity checker can see (odd
+        // number of flipped bits). Cleared by the first read (vote/trap/
+        // silent consumption) or overwrite of the register.
+        Word reg_bad = 0;
+        Word reg_parity_bad = 0;
     };
 
 public:
@@ -199,6 +237,13 @@ private:
     /// at `pc` now returns. No-op unless the trace engine is active.
     void refresh_blockmap(PAddr pc, InstrWord readback);
     void commit(CoreCtx& c, CoreId pid);
+    /// Register-protection check on the instruction about to enter EX /
+    /// commit: applies the configured scheme to the registers it reads
+    /// (TMR vote, parity trap, or silent consumption) and clears the
+    /// tracking bits its writes overwrite. Returns false when a parity
+    /// mismatch fail-stopped the core (the instruction must not execute).
+    /// Call only while c.reg_bad != 0 — the common case costs one test.
+    bool reg_fault_guard(CoreCtx& c, const isa::Instruction& in);
     void raise_trap(CoreCtx& c, core::Trap t);
     void sync_resilience_stats() const;
     bool core_done(const CoreCtx& c) const { return c.halted || c.trap != core::Trap::None; }

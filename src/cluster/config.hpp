@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/types.hpp"
+#include "core/state.hpp"
 #include "mmu/mmu.hpp"
 
 namespace ulpmc::cluster {
@@ -74,6 +75,13 @@ struct ClusterConfig {
     /// encode/check energy is charged by the power model (calibration.hpp
     /// ECC constants).
     bool ecc_enabled = false;
+
+    /// Resilience extension (DESIGN.md §9): register-file protection.
+    /// Parity fail-stops the striken core with Trap::RegParityFault on
+    /// the first read of a corrupted register; TMR majority-votes three
+    /// shadow copies on every read and silently repairs it. Both are
+    /// charged by the power model (calibration.hpp protection constants).
+    core::RegProtection reg_protection = core::RegProtection::None;
 
     /// Resilience extension: watchdog window in cycles. A core that
     /// commits no instruction for this many consecutive cycles (barrier

@@ -28,6 +28,10 @@ void print_run_summary(std::ostream& os, const ClusterStats& s) {
            << " corrected (" << format_count(s.ecc_im_corrected) << " IM / "
            << format_count(s.ecc_dm_corrected) << " DM), "
            << format_count(s.ecc_uncorrectable) << " uncorrectable\n";
+    if (s.reg_protection != core::RegProtection::None)
+        os << "reg protection: " << core::reg_protection_name(s.reg_protection) << ", "
+           << format_count(s.reg_parity_traps) << " parity trap(s), "
+           << format_count(s.reg_tmr_votes) << " TMR repair(s)\n";
 }
 
 } // namespace ulpmc::cluster

@@ -55,6 +55,12 @@ struct ClusterStats {
     std::uint64_t faults_injected = 0;    ///< SEU/glitch injections applied
     std::uint64_t watchdog_trips = 0;     ///< cores stopped by the watchdog
 
+    // Register-file protection counters (DESIGN.md §9). Like the ECC
+    // counters these stay zero on unprotected fault-free runs.
+    core::RegProtection reg_protection = core::RegProtection::None;
+    std::uint64_t reg_parity_traps = 0; ///< parity mismatches -> RegParityFault
+    std::uint64_t reg_tmr_votes = 0;    ///< upset registers repaired by majority vote
+
     /// Total committed instructions over all cores (the paper's "Ops").
     std::uint64_t total_ops() const {
         std::uint64_t n = 0;

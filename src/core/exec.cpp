@@ -201,6 +201,66 @@ InplaceEffects execute_inplace(const Instruction& in, CoreState& s, std::optiona
     ULPMC_ASSERT(false);
 }
 
+RegAccess reg_access(const Instruction& in) {
+    RegAccess a;
+    const auto bit = [](unsigned r) { return std::uint32_t{1} << r; };
+    const auto src = [&](const SrcOperand& o) {
+        switch (o.mode) {
+        case SrcMode::Imm4:
+            return;
+        case SrcMode::Reg:
+        case SrcMode::Ind:
+        case SrcMode::IndOff:
+            a.read |= bit(o.reg);
+            return;
+        case SrcMode::IndPostInc:
+        case SrcMode::IndPostDec:
+        case SrcMode::IndPreInc:
+        case SrcMode::IndPreDec:
+            a.read |= bit(o.reg);
+            a.write |= bit(o.reg);
+            return;
+        }
+    };
+    const auto dst = [&](const isa::DstOperand& o) {
+        switch (o.mode) {
+        case DstMode::Reg:
+            a.write |= bit(o.reg);
+            return;
+        case DstMode::Ind:
+        case DstMode::IndOff:
+            a.read |= bit(o.reg);
+            return;
+        case DstMode::IndPostInc:
+            a.read |= bit(o.reg);
+            a.write |= bit(o.reg);
+            return;
+        }
+    };
+
+    switch (in.op) {
+    case Opcode::MOVI:
+        a.write |= bit(in.dst.reg);
+        return a;
+    case Opcode::BRA:
+        if (in.bmode == isa::BraMode::RegInd) a.read |= bit(in.treg);
+        return a;
+    case Opcode::JAL:
+        if (in.bmode == isa::BraMode::RegInd) a.read |= bit(in.treg);
+        a.write |= bit(in.link);
+        return a;
+    case Opcode::MOV:
+        src(in.srca);
+        dst(in.dst);
+        return a;
+    default: // ALU
+        src(in.srca);
+        src(in.srcb);
+        dst(in.dst);
+        return a;
+    }
+}
+
 StepEffects execute(const Instruction& in, const CoreState& s, std::optional<Word> loaded) {
     StepEffects fx;
     fx.next = s;

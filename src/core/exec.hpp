@@ -56,4 +56,18 @@ struct InplaceEffects {
 InplaceEffects execute_inplace(const isa::Instruction& in, CoreState& s,
                                std::optional<Word> loaded);
 
+/// Which registers an instruction reads/writes, as bitmasks over the
+/// register indices. This is the register-file port activity the
+/// protection layer (parity check / TMR vote) keys on: a corrupted
+/// register is only observable on a read port, and a write overwrites
+/// the upset before anything saw it. Pre/post increment/decrement
+/// addressing modes both read and write the address register.
+struct RegAccess {
+    std::uint32_t read = 0;
+    std::uint32_t write = 0;
+};
+
+/// Computes the read/write register masks of an instruction.
+RegAccess reg_access(const isa::Instruction& in);
+
 } // namespace ulpmc::core

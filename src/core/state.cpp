@@ -1,5 +1,7 @@
 #include "core/state.hpp"
 
+#include <string_view>
+
 namespace ulpmc::core {
 
 const char* trap_name(Trap t) {
@@ -16,8 +18,36 @@ const char* trap_name(Trap t) {
         return "ecc-fault";
     case Trap::Watchdog:
         return "watchdog";
+    case Trap::RegParityFault:
+        return "reg-parity-fault";
     }
     return "?";
+}
+
+const char* reg_protection_name(RegProtection p) {
+    switch (p) {
+    case RegProtection::None:
+        return "none";
+    case RegProtection::Parity:
+        return "parity";
+    case RegProtection::Tmr:
+        return "tmr";
+    }
+    return "?";
+}
+
+bool parse_reg_protection(const char* s, RegProtection& out) {
+    const std::string_view v(s);
+    if (v == "none") {
+        out = RegProtection::None;
+    } else if (v == "parity") {
+        out = RegProtection::Parity;
+    } else if (v == "tmr") {
+        out = RegProtection::Tmr;
+    } else {
+        return false;
+    }
+    return true;
 }
 
 } // namespace ulpmc::core

@@ -28,10 +28,22 @@ enum class Trap : std::uint8_t {
     MemoryFault,        ///< data access outside the mapped address space
     FetchFault,         ///< PC outside the loaded program
     EccFault,           ///< uncorrectable (double-bit) memory upset detected
-    Watchdog            ///< no forward progress for the watchdog window
+    Watchdog,           ///< no forward progress for the watchdog window
+    RegParityFault      ///< register-file parity mismatch on operand read
 };
 
 /// Human-readable trap name (for diagnostics and tests).
 const char* trap_name(Trap t);
+
+/// Register-file protection scheme (DESIGN.md §9). Parity fail-stops on
+/// the first read of a corrupted register; TMR majority-votes three
+/// shadow copies on every read and masks the upset silently.
+enum class RegProtection : std::uint8_t { None = 0, Parity, Tmr };
+
+/// Human-readable protection-mode name (CLI, tables, JSON).
+const char* reg_protection_name(RegProtection p);
+
+/// Parses "none" / "parity" / "tmr"; returns false on anything else.
+bool parse_reg_protection(const char* s, RegProtection& out);
 
 } // namespace ulpmc::core

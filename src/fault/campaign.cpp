@@ -4,8 +4,10 @@
 #include <atomic>
 #include <memory>
 
+#include "cluster/checkpoint.hpp"
 #include "cluster/pool.hpp"
 #include "common/assert.hpp"
+#include "power/calibration.hpp"
 #include "power/power_model.hpp"
 
 namespace ulpmc::fault {
@@ -13,6 +15,7 @@ namespace ulpmc::fault {
 const char* outcome_name(Outcome o) {
     switch (o) {
     case Outcome::Masked: return "masked";
+    case Outcome::Latent: return "latent";
     case Outcome::Corrected: return "corrected";
     case Outcome::RolledBack: return "rolled-back";
     case Outcome::LeadDropped: return "lead-dropped";
@@ -35,9 +38,19 @@ cluster::ClusterConfig resilient_config(const app::EcgBenchmark& bench, cluster:
     cluster::ClusterConfig c = cluster::make_config(arch, bench.layout().dm_layout());
     c.barrier_enabled = bench.layout().use_barrier;
     c.ecc_enabled = cfg.ecc;
+    c.reg_protection = cfg.reg_protection;
     c.watchdog_cycles = cfg.watchdog_cycles;
     c.engine = cfg.engine;
     return c;
+}
+
+/// The global injection indices this shard owns, in global order.
+std::vector<std::uint64_t> shard_indices(const CampaignConfig& cfg) {
+    ULPMC_EXPECTS(cfg.shard_count >= 1 && cfg.shard_index < cfg.shard_count);
+    std::vector<std::uint64_t> idx;
+    for (std::uint64_t g = cfg.shard_index; g < cfg.injections; g += cfg.shard_count)
+        idx.push_back(g);
+    return idx;
 }
 
 /// Per-thread campaign workspace: one reusable cluster plus a snapshot
@@ -50,6 +63,7 @@ cluster::ClusterConfig resilient_config(const app::EcgBenchmark& bench, cluster:
 struct Workspace {
     std::uint64_t key = 0; ///< nonce of the campaign the ladder belongs to
     std::unique_ptr<cluster::Cluster> cl;
+    std::unique_ptr<cluster::CheckpointRunner> runner; ///< bound to *cl
     std::vector<cluster::Cluster::Snapshot> ladder;
     std::vector<Cycle> rung_cycle;
 };
@@ -89,9 +103,20 @@ bool outputs_verified(const cluster::Cluster& cl, const app::EcgBenchmark& bench
     return true;
 }
 
-double clean_energy_per_op(cluster::ArchKind arch, const cluster::ClusterStats& stats) {
+double clean_energy_per_op(cluster::ArchKind arch, const cluster::ClusterStats& stats,
+                           double checkpoint_words_per_op = 0.0) {
     const power::PowerModel model(arch);
-    return model.energy_per_op(power::EventRates::from_run(stats)).total();
+    auto rates = power::EventRates::from_run(stats);
+    rates.checkpoint_words_per_op = checkpoint_words_per_op;
+    return model.energy_per_op(rates).total();
+}
+
+/// Analytic checkpoint traffic per op: `checkpoints` full-cluster saves of
+/// `cores` x kCheckpointWordsPerCore state words amortized over the run.
+double checkpoint_words_per_op(double checkpoints, unsigned cores, std::uint64_t ops) {
+    if (ops == 0) return 0.0;
+    return checkpoints * static_cast<double>(cores) *
+           static_cast<double>(power::cal::kCheckpointWordsPerCore) / static_cast<double>(ops);
 }
 
 } // namespace
@@ -105,12 +130,19 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
 
     const cluster::ClusterConfig ccfg = resilient_config(bench, arch, cfg);
 
+    Cycle interval = cfg.checkpoint_interval;
     { // fault-free reference: cycle count, energy, and injection window
         cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.program());
         bench.load_inputs(cl, ccfg.cores);
         res.clean_cycles = cl.run();
         ULPMC_EXPECTS(outputs_verified(cl, bench, ccfg.cores));
-        res.energy_per_op = clean_energy_per_op(arch, cl.stats());
+        if (interval == 0) interval = std::max<Cycle>(1, res.clean_cycles / 8);
+        const double ckpts_per_run =
+            cfg.checkpoint ? static_cast<double>(res.clean_cycles) / static_cast<double>(interval)
+                           : 0.0;
+        res.energy_per_op = clean_energy_per_op(
+            arch, cl.stats(),
+            checkpoint_words_per_op(ckpts_per_run, ccfg.cores, cl.stats().total_ops()));
     }
 
     FaultUniverse universe;
@@ -120,6 +152,8 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
     universe.window = res.clean_cycles;
     universe.kinds = cfg.kinds;
     universe.flip_bits = cfg.flip_bits;
+    universe.burst_len = cfg.burst_len;
+    universe.reg_burst = cfg.reg_burst;
 
     const auto bound =
         static_cast<Cycle>(cfg.max_cycles_factor * static_cast<double>(res.clean_cycles)) +
@@ -128,8 +162,9 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
     const std::uint64_t nonce = next_campaign_nonce();
     const Cycle ladder_stride = std::max<Cycle>(1, res.clean_cycles / kLadderRungs);
 
-    res.runs.resize(cfg.injections);
-    pool.for_each_index(cfg.injections, [&](std::size_t i) {
+    const std::vector<std::uint64_t> globals = shard_indices(cfg);
+    res.runs.resize(globals.size());
+    pool.for_each_index(globals.size(), [&](std::size_t i) {
         Workspace& ws = workspace();
         if (ws.key != nonce) {
             // First injection this thread sees: replay the fault-free run
@@ -144,10 +179,11 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
                 ws.rung_cycle[r] = ws.cl->stats().cycles;
                 ws.cl->save(ws.ladder[r]);
             }
+            if (!ws.runner) ws.runner = std::make_unique<cluster::CheckpointRunner>(*ws.cl);
             ws.key = nonce;
         }
 
-        FaultInjector inj(mix_seed(cfg.seed, i));
+        FaultInjector inj(mix_seed(cfg.seed, globals[i]));
         InjectionRecord rec;
         rec.fault = inj.draw(universe);
 
@@ -158,7 +194,23 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
         for (unsigned r = 1; r < kLadderRungs; ++r)
             if (ws.rung_cycle[r] <= rec.fault.cycle) rung = r;
         cl.restore(ws.ladder[rung]);
-        rec.cycles = FaultInjector::run_with_fault(cl, rec.fault, bound);
+        if (cfg.checkpoint) {
+            // Generalized recovery: interval checkpoints, and any trap
+            // (ECC double-bit, register parity, watchdog) re-executes from
+            // the last one. Deterministic: the restored rung state and the
+            // strike cycle fully determine every checkpoint.
+            cluster::CheckpointRunner& runner = *ws.runner;
+            runner.reset({.interval = interval, .max_retries = 2, .parity_guard = true});
+            runner.checkpoint(); // recovery point at the rung (pre-fault)
+            runner.run(rec.fault.cycle);
+            FaultInjector::apply(cl, rec.fault);
+            rec.cycles = runner.run(bound);
+            rec.rollbacks = runner.stats().rollbacks;
+            rec.checkpoints = runner.stats().checkpoints;
+            rec.reexec_cycles = runner.stats().reexec_cycles;
+        } else {
+            rec.cycles = FaultInjector::run_with_fault(cl, rec.fault, bound);
+        }
 
         const auto& st = cl.stats();
         rec.ecc_corrected = st.ecc_corrected();
@@ -175,14 +227,26 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
         } else if (rec.trap != core::Trap::None) {
             rec.outcome = Outcome::Trapped;
         } else if (outputs_verified(cl, bench, ccfg.cores)) {
-            rec.outcome = rec.ecc_corrected > 0 ? Outcome::Corrected : Outcome::Masked;
+            if (rec.rollbacks > 0) {
+                rec.outcome = Outcome::RolledBack;
+            } else if (rec.ecc_corrected > 0 || st.reg_tmr_votes > 0) {
+                rec.outcome = Outcome::Corrected;
+            } else if (cl.pending_reg_faults() > 0) {
+                rec.outcome = Outcome::Latent; // struck register never consumed
+            } else {
+                rec.outcome = Outcome::Masked;
+            }
         } else {
             rec.outcome = Outcome::Sdc;
         }
         res.runs[i] = std::move(rec);
     });
 
-    for (const auto& r : res.runs) ++res.counts[static_cast<unsigned>(r.outcome)];
+    for (const auto& r : res.runs) {
+        ++res.counts[static_cast<unsigned>(r.outcome)];
+        res.checkpoints += r.checkpoints;
+        res.reexec_cycles += r.reexec_cycles;
+    }
     return res;
 }
 
@@ -197,17 +261,26 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
     const cluster::ClusterConfig ccfg = resilient_config(bench.base(), arch, cfg);
 
     Cycle clean_block = 0;
+    std::uint64_t clean_checkpoints = 0;
     { // fault-free resilient reference
-        const auto clean = bench.run_resilient(ccfg);
+        const auto clean =
+            cfg.checkpoint ? bench.run_checkpointed(ccfg) : bench.run_resilient(ccfg);
         ULPMC_EXPECTS(clean.rollbacks == 0 && clean.leads_dropped == 0);
         res.clean_cycles = clean.total_cycles;
         clean_block = clean.clean_block_cycles;
+        clean_checkpoints = clean.checkpoints;
     }
     { // energy from the one-shot benchmark (same firmware inner loop)
         cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.base().program());
         bench.base().load_inputs(cl, ccfg.cores);
         cl.run();
-        res.energy_per_op = clean_energy_per_op(arch, cl.stats());
+        // Block-boundary checkpoints amortize over the whole stream: the
+        // one-shot run stands in for one block's worth of ops.
+        const double ckpts_per_block =
+            static_cast<double>(clean_checkpoints) / static_cast<double>(bench.n_blocks());
+        res.energy_per_op = clean_energy_per_op(
+            arch, cl.stats(),
+            checkpoint_words_per_op(ckpts_per_block, ccfg.cores, cl.stats().total_ops()));
     }
 
     FaultUniverse universe;
@@ -217,10 +290,13 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
     universe.window = clean_block; // within-block strike cycle
     universe.kinds = cfg.kinds;
     universe.flip_bits = cfg.flip_bits;
+    universe.burst_len = cfg.burst_len;
+    universe.reg_burst = cfg.reg_burst;
 
-    res.runs.resize(cfg.injections);
-    pool.for_each_index(cfg.injections, [&](std::size_t i) {
-        FaultInjector inj(mix_seed(cfg.seed, i));
+    const std::vector<std::uint64_t> globals = shard_indices(cfg);
+    res.runs.resize(globals.size());
+    pool.for_each_index(globals.size(), [&](std::size_t i) {
+        FaultInjector inj(mix_seed(cfg.seed, globals[i]));
         InjectionRecord rec;
         rec.fault = inj.draw(universe);
         const unsigned target_block = inj.rng().below(bench.n_blocks());
@@ -233,28 +309,44 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
         const auto hook = [&](cluster::Cluster& cl, unsigned block, unsigned attempt) {
             const bool struck_block = block == target_block;
             if (!(struck_block && attempt == 0) && !(persistent && block >= target_block)) return;
-            cl.run(rec.fault.cycle);
+            // run_resilient resets the cluster per attempt (cycle restarts
+            // at 0); run_checkpointed's clock is continuous, so the strike
+            // cycle is applied relative to the attempt's start.
+            cl.run(cfg.checkpoint ? cl.stats().cycles + rec.fault.cycle : rec.fault.cycle);
             FaultInjector::apply(cl, rec.fault);
         };
-        const auto ro = bench.run_resilient(ccfg, hook);
+        const auto ro =
+            cfg.checkpoint ? bench.run_checkpointed(ccfg, hook) : bench.run_resilient(ccfg, hook);
 
         rec.cycles = ro.total_cycles;
         rec.ecc_corrected = ro.ecc_corrected;
-        if (!ro.all_surviving_verified) {
-            rec.outcome = Outcome::Sdc;
-        } else if (ro.leads_dropped > 0) {
+        rec.rollbacks = ro.rollbacks;
+        rec.checkpoints = ro.checkpoints;
+        rec.reexec_cycles = ro.reexec_cycles;
+        // LeadDropped before Sdc: a zero-survivor outage is a DETECTED
+        // fail-stop (the monitor dropped every lead after failed retries),
+        // not a silent corruption.
+        if (ro.leads_dropped > 0) {
             rec.outcome = Outcome::LeadDropped;
+        } else if (!ro.all_surviving_verified) {
+            rec.outcome = Outcome::Sdc;
         } else if (ro.rollbacks > 0) {
             rec.outcome = Outcome::RolledBack;
-        } else if (rec.ecc_corrected > 0) {
+        } else if (rec.ecc_corrected > 0 || ro.reg_tmr_votes > 0) {
             rec.outcome = Outcome::Corrected;
+        } else if (ro.latent_reg_faults > 0) {
+            rec.outcome = Outcome::Latent;
         } else {
             rec.outcome = Outcome::Masked;
         }
         res.runs[i] = std::move(rec);
     });
 
-    for (const auto& r : res.runs) ++res.counts[static_cast<unsigned>(r.outcome)];
+    for (const auto& r : res.runs) {
+        ++res.counts[static_cast<unsigned>(r.outcome)];
+        res.checkpoints += r.checkpoints;
+        res.reexec_cycles += r.reexec_cycles;
+    }
     return res;
 }
 

@@ -5,8 +5,15 @@
 // by how the architecture absorbed the upset. The classification follows
 // the standard dependability taxonomy:
 //
-//   Masked      — outputs bit-exact, no protection mechanism fired;
-//   Corrected   — outputs bit-exact, SEC-DED corrected >= 1 single-bit upset;
+//   Masked      — outputs bit-exact, no protection mechanism fired, no
+//                 corrupted state left behind;
+//   Latent      — outputs bit-exact but a struck register was never read
+//                 or overwritten: the upset is still architecturally live
+//                 and would corrupt whatever reads it next. Counting these
+//                 as Masked would overstate the architecture's intrinsic
+//                 masking, so they get their own bucket;
+//   Corrected   — outputs bit-exact, SEC-DED corrected >= 1 single-bit
+//                 upset or register TMR out-voted >= 1 read;
 //   RolledBack  — streaming monitor re-executed the struck block from its
 //                 checkpoint and the retry verified (streaming campaigns);
 //   LeadDropped — a persistently-corrupted lead was dropped; the surviving
@@ -17,9 +24,11 @@
 //   Sdc         — silent data corruption: run completed, outputs wrong.
 //
 // Reproducibility contract: the per-injection RNG seed is
-// mix_seed(cfg.seed, i), so the i-th injection of a campaign is the same
-// fault with the same classification on every run, every thread count,
-// every platform.
+// mix_seed(cfg.seed, i) with i the GLOBAL injection index, so the i-th
+// injection of a campaign is the same fault with the same classification
+// on every run, every thread count, every platform — and a campaign
+// sharded over N machines (shard k runs the indices congruent to k mod N)
+// aggregates to exactly the unsharded result (tools/merge_campaign.py).
 #pragma once
 
 #include <array>
@@ -35,8 +44,10 @@
 
 namespace ulpmc::fault {
 
-enum class Outcome : std::uint8_t { Masked, Corrected, RolledBack, LeadDropped, Trapped, Hang, Sdc };
-inline constexpr unsigned kOutcomeCount = 7;
+enum class Outcome : std::uint8_t {
+    Masked, Latent, Corrected, RolledBack, LeadDropped, Trapped, Hang, Sdc
+};
+inline constexpr unsigned kOutcomeCount = 8;
 
 const char* outcome_name(Outcome o);
 
@@ -47,10 +58,25 @@ struct CampaignConfig {
     Cycle watchdog_cycles = 20'000; ///< 0 disables stuck-core detection
     unsigned kinds = kAllFaultKinds;
     unsigned flip_bits = 1;         ///< 1 = SEU; 2 exercises double-bit detection
+    unsigned burst_len = 1;         ///< >1: adjacent-bit memory MBU bursts
+    unsigned reg_burst = 1;         ///< >1: multi-register spatial upsets
+    /// Register-file protection mode of every injected cluster.
+    core::RegProtection reg_protection = core::RegProtection::None;
+    /// One-shot campaigns: drive every injection through the generalized
+    /// CheckpointRunner (interval checkpoints + trap-driven rollback).
+    /// Streaming campaigns: recover via run_checkpointed() (one continuous
+    /// cluster, block-boundary checkpoints) instead of run_resilient().
+    bool checkpoint = false;
+    /// Interval between one-shot checkpoints; 0 = clean_cycles / 8.
+    Cycle checkpoint_interval = 0;
     /// Hang bound as a multiple of the fault-free run's cycle count.
     double max_cycles_factor = 4.0;
     /// Simulator tier (no effect on outcomes — differential-tested).
     cluster::SimEngine engine = cluster::SimEngine::Trace;
+    /// Shard selector: this invocation runs the global injection indices
+    /// congruent to shard_index mod shard_count. (1, 0) = everything.
+    unsigned shard_count = 1;
+    unsigned shard_index = 0;
 };
 
 /// One injection, fully described and classified.
@@ -60,15 +86,20 @@ struct InjectionRecord {
     core::Trap trap = core::Trap::None; ///< first trap observed when Trapped
     Cycle cycles = 0;
     std::uint64_t ecc_corrected = 0;
+    std::uint64_t rollbacks = 0;     ///< checkpoint restores in this run
+    std::uint64_t checkpoints = 0;   ///< snapshots taken in this run
+    Cycle reexec_cycles = 0;         ///< cycles re-executed after rollbacks
 };
 
 struct CampaignResult {
     cluster::ArchKind arch{};
     CampaignConfig cfg;
     Cycle clean_cycles = 0;   ///< fault-free reference run
-    double energy_per_op = 0; ///< clean-run J/op under this ECC setting
+    double energy_per_op = 0; ///< clean-run J/op under this protection tier
     std::vector<InjectionRecord> runs;
     std::array<unsigned, kOutcomeCount> counts{};
+    std::uint64_t checkpoints = 0;   ///< total snapshots over all injections
+    Cycle reexec_cycles = 0;         ///< total re-executed cycles (rollback cost)
 
     unsigned count(Outcome o) const { return counts[static_cast<unsigned>(o)]; }
     /// Fraction of injections that did NOT end in silent data corruption —
@@ -77,8 +108,11 @@ struct CampaignResult {
 };
 
 /// Runs cfg.injections seeded strikes of the single-block ECG benchmark
-/// on `arch`, parallelized over `pool`. Outcomes here are Masked /
-/// Corrected / Trapped / Hang / Sdc (no checkpointing in one-shot mode).
+/// on `arch`, parallelized over `pool`. Without cfg.checkpoint the
+/// outcomes are Masked / Latent / Corrected / Trapped / Hang / Sdc; with
+/// it, a trap inside one checkpoint interval of the strike rolls back and
+/// re-executes (RolledBack). When sharded, only this shard's injections
+/// are in `runs`/`counts`.
 CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind arch,
                             const CampaignConfig& cfg, sweep::SweepRunner& pool);
 

@@ -38,6 +38,7 @@ std::string FaultSpec::describe() const {
         break;
     case FaultKind::RegUpset:
         os << " core" << static_cast<unsigned>(core) << " r" << reg;
+        if (burst > 1) os << "x" << burst;
         break;
     case FaultKind::IXbarGlitch:
     case FaultKind::DXbarGlitch:
@@ -68,12 +69,23 @@ std::uint32_t draw_mask(Rng& rng, unsigned width, unsigned bits) {
     return mask;
 }
 
+/// `len` ADJACENT flipped bits inside a `width`-bit word (burst MBU).
+/// Kept on a separate RNG path so burst_len == 1 universes reproduce the
+/// exact draw sequence of earlier campaigns.
+std::uint32_t draw_burst_mask(Rng& rng, unsigned width, unsigned len) {
+    if (len >= width) return (width >= 32) ? ~0u : ((1u << width) - 1);
+    const unsigned start = rng.below(width - len + 1);
+    return ((1u << len) - 1) << start;
+}
+
 } // namespace
 
 FaultSpec FaultInjector::draw(const FaultUniverse& u) {
     ULPMC_EXPECTS(u.kinds != 0);
     ULPMC_EXPECTS(u.cores >= 1);
     ULPMC_EXPECTS(u.flip_bits >= 1 && u.flip_bits <= 16);
+    ULPMC_EXPECTS(u.burst_len >= 1 && u.burst_len <= 16);
+    ULPMC_EXPECTS(u.reg_burst >= 1 && u.reg_burst <= kNumRegisters);
 
     FaultKind enabled[5];
     unsigned n = 0;
@@ -88,18 +100,21 @@ FaultSpec FaultInjector::draw(const FaultUniverse& u) {
     case FaultKind::ImBitFlip:
         ULPMC_EXPECTS(u.text_words > 0);
         f.pc = static_cast<PAddr>(rng_.below(static_cast<std::uint32_t>(u.text_words)));
-        f.flip_mask = draw_mask(rng_, 24, u.flip_bits);
+        f.flip_mask = u.burst_len > 1 ? draw_burst_mask(rng_, 24, u.burst_len)
+                                      : draw_mask(rng_, 24, u.flip_bits);
         break;
     case FaultKind::DmBitFlip:
         ULPMC_EXPECTS(u.dm_words > 0);
         f.core = static_cast<CoreId>(rng_.below(u.cores));
         f.vaddr = static_cast<Addr>(rng_.below(u.dm_words));
-        f.flip_mask = draw_mask(rng_, 16, u.flip_bits);
+        f.flip_mask = u.burst_len > 1 ? draw_burst_mask(rng_, 16, u.burst_len)
+                                      : draw_mask(rng_, 16, u.flip_bits);
         break;
     case FaultKind::RegUpset:
         f.core = static_cast<CoreId>(rng_.below(u.cores));
         f.reg = rng_.below(kNumRegisters);
         f.flip_mask = draw_mask(rng_, 16, u.flip_bits);
+        f.burst = u.reg_burst; // same column across adjacent registers: no extra draw
         break;
     case FaultKind::IXbarGlitch:
     case FaultKind::DXbarGlitch:
@@ -120,7 +135,10 @@ void FaultInjector::apply(cluster::Cluster& cl, const FaultSpec& f) {
         cl.inject_dm_fault(f.core, f.vaddr, static_cast<Word>(f.flip_mask));
         break;
     case FaultKind::RegUpset:
-        cl.inject_reg_fault(f.core, f.reg, static_cast<Word>(f.flip_mask));
+        for (unsigned r = 0; r < f.burst; ++r) {
+            cl.inject_reg_fault(f.core, (f.reg + r) % kNumRegisters,
+                                static_cast<Word>(f.flip_mask));
+        }
         break;
     case FaultKind::IXbarGlitch:
         cl.inject_xbar_glitch(true, xbar::Glitch{f.glitch, f.core});

@@ -51,6 +51,7 @@ struct FaultSpec {
     Addr vaddr = 0;                ///< DmBitFlip target (virtual, core's view)
     unsigned reg = 0;              ///< RegUpset target
     std::uint32_t flip_mask = 1;   ///< XORed into the target
+    unsigned burst = 1;            ///< RegUpset: registers struck (spatial MBU)
     xbar::Glitch::Kind glitch = xbar::Glitch::Kind::DroppedGrant;
 
     /// One-line rendering, e.g. "dm-bit-flip core3 @0x12a bit5 cycle 4711".
@@ -65,6 +66,19 @@ struct FaultUniverse {
     Cycle window = 100'000;      ///< strike cycle drawn uniform in [1, window]
     unsigned kinds = kAllFaultKinds; ///< bitmask of fault_bit(FaultKind)
     unsigned flip_bits = 1;      ///< bits flipped per strike (1 = SEU, 2 = MBU)
+
+    // ---- multi-bit / burst models (DESIGN.md §9) ----------------------
+    // Scaled-down SRAM cells are small enough that one particle track
+    // spans neighbours, so realistic MBUs are SPATIALLY CORRELATED — and
+    // correlation is exactly what interleaving-free SEC-DED assumes away:
+    // an adjacent-bit burst of odd length has odd overall parity, so the
+    // (31,26) decoder "corrects" it into a different wrong codeword.
+    /// >1: memory strikes flip `burst_len` ADJACENT bits (replaces the
+    /// independent flip_bits draw for ImBitFlip/DmBitFlip).
+    unsigned burst_len = 1;
+    /// >1: a register strike hits this many consecutive registers of the
+    /// same core with the same bit column (one track across the file).
+    unsigned reg_burst = 1;
 };
 
 /// Derives the per-stream seed of injection `stream` from a campaign seed

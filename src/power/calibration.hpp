@@ -97,6 +97,22 @@ inline constexpr double kEccImAccessFactor = 30.0 / 24.0;  ///< 1.25
 /// Energy of one single-bit correction (syndrome decode + scrub write).
 inline constexpr double kEccCorrectionEnergy = 45.0e-12;
 
+// ---- register-file protection (robustness extension, DESIGN.md §9) ----------
+// Parity: one parity flip-flop per 16-bit register (+6.25% file storage)
+// plus a 16-input XOR folded into the read path — a ~2% adder on the core
+// datapath energy: 22.5 pJ x 0.02 = 0.45 pJ/op.
+inline constexpr double kRegParityEnergyPerOp = 0.45e-12;
+/// TMR triplicates the register file (two extra writes per register write,
+/// ~1/3 of instructions write a register -> ~2/3 extra write's worth) and
+/// majority-votes every operand read: ~20% of the core datapath energy.
+inline constexpr double kRegTmrEnergyPerOp = 4.5e-12;
+/// Checkpointing streams one core's architectural state (16 registers +
+/// PC + status = kCheckpointWordsPerCore words) into a protected DM
+/// region: per word one register read + one ECC-widened DM write + the
+/// routing toggles, ~= 32 pJ (compare kDmAccessEnergy = 23.2 pJ/access).
+inline constexpr double kCheckpointWordEnergy = 32.0e-12;
+inline constexpr unsigned kCheckpointWordsPerCore = 18;
+
 // ---- areas (Table I), kGE ---------------------------------------------------
 
 inline constexpr double kAreaCorePerCore = 81.5 / 8.0;         ///< TamaRISC core

@@ -65,6 +65,7 @@ EventRates EventRates::from_run(const cluster::ClusterStats& s) {
     r.im_banks_total = s.im_banks_total;
     r.ecc = s.ecc_enabled;
     r.ecc_corrections = static_cast<double>(s.ecc_corrected()) / ops;
+    r.reg_protection = s.reg_protection;
     return r;
 }
 
@@ -85,7 +86,10 @@ EnergyConstants EnergyConstants::calibrated() {
             cal::kLeakDmDensityRatio,
             cal::kEccImAccessFactor,
             cal::kEccDmAccessFactor,
-            cal::kEccCorrectionEnergy};
+            cal::kEccCorrectionEnergy,
+            cal::kRegParityEnergyPerOp,
+            cal::kRegTmrEnergyPerOp,
+            cal::kCheckpointWordEnergy};
 }
 
 PowerModel::PowerModel(cluster::ArchKind arch, double clock_ns)
@@ -109,6 +113,14 @@ PowerBreakdown PowerModel::energy_per_op(const EventRates& r) const {
         e.dm *= c_.ecc_dm_factor;
         e.dm += c_.ecc_correction * r.ecc_corrections;
     }
+    // Register-file protection rides on the core datapath row; checkpoint
+    // traffic is DM writes to the protected state region.
+    if (r.reg_protection == core::RegProtection::Parity) {
+        e.cores += c_.reg_parity_per_op;
+    } else if (r.reg_protection == core::RegProtection::Tmr) {
+        e.cores += c_.reg_tmr_per_op;
+    }
+    e.dm += c_.checkpoint_word * r.checkpoint_words_per_op;
     e.dxbar = c_.dxbar_per_req * r.dxbar_requests *
               (is_proposed(arch_) ? c_.dxbar_broadcast_mult : 1.0);
     e.ixbar = ixbar_energy_per_req(arch_, c_) * r.ixbar_requests;

@@ -30,6 +30,13 @@ struct EventRates {
     unsigned im_banks_total = kImBanks;
     bool ecc = false;                 ///< SEC-DED banks: access-energy factors apply
     double ecc_corrections = 0;       ///< single-bit scrub events per op
+    /// Register-file protection mode (parity / TMR adders on the core row).
+    core::RegProtection reg_protection = core::RegProtection::None;
+    /// Checkpoint traffic per op (words streamed to the protected DM
+    /// region). from_run() cannot know the checkpoint policy, so the
+    /// caller sets this analytically: checkpoints x cores x
+    /// cal::kCheckpointWordsPerCore / total ops.
+    double checkpoint_words_per_op = 0;
 
     /// Condenses a finished run. Precondition: at least one op committed.
     static EventRates from_run(const cluster::ClusterStats& s);
@@ -77,6 +84,9 @@ struct EnergyConstants {
     double ecc_im_factor;        ///< IM access-energy multiplier with ECC on
     double ecc_dm_factor;        ///< DM access-energy multiplier with ECC on
     double ecc_correction;       ///< J per single-bit correction (scrub)
+    double reg_parity_per_op;    ///< extra J/op with register parity on
+    double reg_tmr_per_op;       ///< extra J/op with register TMR on
+    double checkpoint_word;      ///< J per checkpointed state word
 
     /// The calibrated defaults (DESIGN.md §4).
     static EnergyConstants calibrated();

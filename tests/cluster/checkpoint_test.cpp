@@ -1,0 +1,156 @@
+// CheckpointRunner unit coverage (DESIGN.md §9): interval checkpoints on
+// a clean run are invisible, a transient trap re-executes from the last
+// snapshot, a deterministic trap exhausts the retry budget and reports
+// gave_up, and the parity detect-before-save guard refuses to immortalize
+// a latched register upset in a recovery point.
+#include <gtest/gtest.h>
+
+#include "cluster/checkpoint.hpp"
+#include "cluster/cluster.hpp"
+#include "isa/assembler.hpp"
+
+namespace ulpmc::cluster {
+namespace {
+
+constexpr mmu::DmLayout kLayout{.shared_words = 64, .private_words_per_core = 256};
+
+ClusterConfig single_core(ArchKind arch = ArchKind::UlpmcBank) {
+    auto cfg = make_config(arch, kLayout);
+    cfg.cores = 1;
+    return cfg;
+}
+
+// ~200-iteration countdown reading @70 every iteration, then hlt.
+const char* kLoadLoop = R"(
+    movi r1, 70
+    movi r2, 200
+loop:
+    mov  r3, @r1
+    sub  r2, r2, #1
+    bra  ne, loop
+    hlt
+)";
+
+TEST(Checkpoint, IntervalCheckpointsDoNotPerturbACleanRun) {
+    const auto prog = isa::assemble(kLoadLoop);
+    const auto cfg = single_core();
+
+    Cluster plain(cfg, prog);
+    const Cycle plain_cycles = plain.run(100'000);
+
+    Cluster cl(cfg, prog);
+    CheckpointRunner runner(cl);
+    runner.reset({.interval = 100, .max_retries = 2, .parity_guard = true});
+    const Cycle cycles = runner.run(100'000);
+
+    EXPECT_EQ(cycles, plain_cycles);
+    EXPECT_TRUE(cl.core_halted(0));
+    EXPECT_EQ(cl.core_state(0).regs[3], plain.core_state(0).regs[3]);
+    EXPECT_GE(runner.stats().checkpoints, plain_cycles / 100);
+    EXPECT_EQ(runner.stats().rollbacks, 0u);
+    EXPECT_EQ(runner.stats().reexec_cycles, 0u);
+    EXPECT_FALSE(runner.stats().gave_up);
+}
+
+TEST(Checkpoint, TransientEccTrapRollsBackAndReexecutes) {
+    // A double-bit DM upset traps on the next read; restoring the pre-fault
+    // snapshot erases the deposited corruption, so the replay verifies.
+    const auto prog = isa::assemble(kLoadLoop);
+    auto cfg = single_core();
+    cfg.ecc_enabled = true;
+
+    Cluster cl(cfg, prog);
+    cl.dm_poke(0, 70, 5);
+    CheckpointRunner runner(cl);
+    runner.reset({.interval = 0, .max_retries = 2, .parity_guard = true});
+    ASSERT_TRUE(runner.checkpoint());
+
+    runner.run(50); // mid-loop, past the recovery point
+    cl.inject_dm_fault(0, 70, 0b11); // double-bit: detectable, uncorrectable
+    const Cycle cycles = runner.run(100'000);
+
+    EXPECT_TRUE(cl.core_halted(0));
+    EXPECT_EQ(cl.core_trap(0), core::Trap::None);
+    EXPECT_EQ(cl.core_state(0).regs[3], 5u) << "replayed read sees the clean value";
+    EXPECT_EQ(runner.stats().rollbacks, 1u);
+    EXPECT_GT(runner.stats().reexec_cycles, 0u);
+    EXPECT_FALSE(runner.stats().gave_up);
+    EXPECT_GT(cycles, 0u);
+}
+
+TEST(Checkpoint, DeterministicTrapExhaustsRetriesAndGivesUp) {
+    // The program itself faults (store far outside the mapped space): every
+    // replay re-traps, so the runner must stop after max_retries rollbacks
+    // and leave the trapped state for the caller to classify.
+    const auto prog = isa::assemble(R"(
+        movi r1, 40000
+        mov  @r1, r1
+        hlt
+    )");
+    Cluster cl(single_core(), prog);
+    CheckpointRunner runner(cl);
+    runner.reset({.interval = 0, .max_retries = 2, .parity_guard = true});
+    ASSERT_TRUE(runner.checkpoint());
+
+    runner.run(100'000);
+
+    EXPECT_TRUE(runner.stats().gave_up);
+    EXPECT_EQ(runner.stats().rollbacks, 2u);
+    EXPECT_EQ(cl.core_trap(0), core::Trap::MemoryFault);
+}
+
+TEST(Checkpoint, ParityGuardRefusesToSaveCorruptState) {
+    // A latched (parity-detectable) register upset at checkpoint time
+    // means the CURRENT state is corrupt: checkpoint() must roll back to
+    // the previous good snapshot instead of saving, clearing the upset.
+    const auto prog = isa::assemble(R"(
+        movi r2, 50
+    loop:
+        sub  r2, r2, #1
+        bra  ne, loop
+        hlt
+    )");
+    auto cfg = single_core();
+    cfg.reg_protection = core::RegProtection::Parity;
+    Cluster cl(cfg, prog);
+    CheckpointRunner runner(cl);
+    runner.reset({.interval = 0, .max_retries = 2, .parity_guard = true});
+    ASSERT_TRUE(runner.checkpoint());
+
+    cl.run(10);
+    cl.inject_reg_fault(0, 7, 0x4); // r7 is never read: stays latched
+    ASSERT_TRUE(cl.reg_parity_pending());
+
+    EXPECT_FALSE(runner.checkpoint()) << "detect-before-save must reject corrupt state";
+    EXPECT_FALSE(cl.reg_parity_pending()) << "rollback restored the clean snapshot";
+    EXPECT_EQ(runner.stats().rollbacks, 1u);
+    EXPECT_TRUE(runner.checkpoint()) << "clean state checkpoints normally";
+}
+
+TEST(Checkpoint, TmrScrubRepairsAtCheckpointTime) {
+    const auto prog = isa::assemble(R"(
+        movi r2, 50
+    loop:
+        sub  r2, r2, #1
+        bra  ne, loop
+        hlt
+    )");
+    auto cfg = single_core();
+    cfg.reg_protection = core::RegProtection::Tmr;
+    Cluster cl(cfg, prog);
+    CheckpointRunner runner(cl);
+    runner.reset({.interval = 0, .max_retries = 2, .parity_guard = true});
+    ASSERT_TRUE(runner.checkpoint());
+
+    cl.run(10);
+    cl.inject_reg_fault(0, 7, 0x4);
+    EXPECT_EQ(cl.pending_reg_faults(), 1u);
+
+    EXPECT_TRUE(runner.checkpoint()) << "TMR vote-repairs, nothing to reject";
+    EXPECT_EQ(cl.pending_reg_faults(), 0u);
+    EXPECT_EQ(cl.stats().reg_tmr_votes, 1u);
+    EXPECT_EQ(runner.stats().rollbacks, 0u);
+}
+
+} // namespace
+} // namespace ulpmc::cluster

@@ -85,6 +85,54 @@ TEST(ResilientStreaming, EccHealsUpsetWithoutRollback) {
     EXPECT_TRUE(out.all_surviving_verified);
 }
 
+TEST(CheckpointedStreaming, FaultFreeRunTakesOneCheckpointPerBlock) {
+    // The generalized service replaces per-block cluster rebuilds with one
+    // continuous cluster: cross-block state survives, and the only cost in
+    // a clean run is the checkpoints themselves.
+    const StreamingBenchmark s({.use_barrier = true}, 3);
+    const auto out = s.run_checkpointed(stream_config(s));
+    EXPECT_EQ(out.blocks, 3u);
+    EXPECT_EQ(out.checkpoints, 3u);
+    EXPECT_EQ(out.rollbacks, 0u);
+    EXPECT_EQ(out.reexec_cycles, 0u);
+    EXPECT_EQ(out.leads_dropped, 0u);
+    EXPECT_TRUE(out.all_surviving_verified);
+}
+
+TEST(CheckpointedStreaming, TransientUpsetReplaysFromCheckpoint) {
+    const StreamingBenchmark s({.use_barrier = true}, 2);
+    const Addr strike = static_cast<Addr>(s.base().layout().x_base() + 40);
+    const auto out = s.run_checkpointed(
+        stream_config(s), [&](cluster::Cluster& cl, unsigned block, unsigned attempt) {
+            if (block == 0 && attempt == 0) {
+                cl.run(cl.stats().cycles + 300);
+                cl.inject_dm_fault(3, strike, 0x2000);
+            }
+        });
+    EXPECT_EQ(out.blocks, 2u);
+    EXPECT_EQ(out.rollbacks, 1u) << "block 0 replays from its checkpoint";
+    EXPECT_GT(out.reexec_cycles, 0u) << "the replay is priced, not free";
+    EXPECT_EQ(out.leads_dropped, 0u);
+    EXPECT_TRUE(out.all_surviving_verified);
+}
+
+TEST(CheckpointedStreaming, PersistentUpsetStillDegradesToDropOneLead) {
+    const StreamingBenchmark s({.use_barrier = true}, 2);
+    const Addr strike = static_cast<Addr>(s.base().layout().x_base() + 11);
+    const auto out = s.run_checkpointed(
+        stream_config(s), [&](cluster::Cluster& cl, unsigned block, unsigned) {
+            if (block >= 1) {
+                cl.run(cl.stats().cycles + 300);
+                cl.inject_dm_fault(5, strike, 0x4000);
+            }
+        });
+    EXPECT_EQ(out.rollbacks, 1u);
+    EXPECT_EQ(out.leads_dropped, 1u);
+    ASSERT_EQ(out.lead_alive.size(), 8u);
+    for (unsigned p = 0; p < 8; ++p) EXPECT_EQ(out.lead_alive[p], p == 5 ? 0 : 1) << p;
+    EXPECT_TRUE(out.all_surviving_verified);
+}
+
 TEST(ResilientStreaming, StreamingCampaignIsReproducible) {
     const StreamingBenchmark s({.use_barrier = true}, 2);
     fault::CampaignConfig cfg;

@@ -10,6 +10,7 @@
 //                                          results are identical, see
 //                                          DESIGN.md §10)
 //     --ecc                                SEC-DED on every memory bank
+//     --regprot none|parity|tmr            register-file protection mode
 //     --watchdog N                         stuck-core trap after N idle cycles
 //     --trace N                            print the last N trace events
 //     --dump ADDR LEN                      dump core 0's memory after run
@@ -37,8 +38,8 @@ namespace {
 int usage() {
     std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
                  "                 [--shared W] [--private W] [--engine E] [--ecc]\n"
-                 "                 [--watchdog N] [--trace N] [--dump ADDR LEN]\n"
-                 "                 [--max-cycles N]\n";
+                 "                 [--regprot none|parity|tmr] [--watchdog N]\n"
+                 "                 [--trace N] [--dump ADDR LEN] [--max-cycles N]\n";
     return 2;
 }
 
@@ -68,6 +69,7 @@ int main(int argc, char** argv) {
     Addr shared_words = 64;
     Addr private_words = 1024;
     bool ecc = false;
+    core::RegProtection regprot = core::RegProtection::None;
     cluster::SimEngine engine = cluster::SimEngine::Trace;
     Cycle watchdog = 0;
     std::size_t trace_n = 0;
@@ -96,6 +98,13 @@ int main(int argc, char** argv) {
                 static_cast<Addr>(parse_num(arg, next("words"), 1, kDmWordsTotal));
         } else if (arg == "--ecc") {
             ecc = true;
+        } else if (arg == "--regprot") {
+            const std::string name = next("none|parity|tmr");
+            if (!core::parse_reg_protection(name.c_str(), regprot)) {
+                std::cerr << "unknown protection mode '" << name
+                          << "' (expected none, parity or tmr)\n";
+                return 2;
+            }
         } else if (arg == "--engine") {
             const std::string name = next("reference|fast|trace");
             if (!cluster::parse_engine(name, engine)) {
@@ -182,6 +191,7 @@ int main(int argc, char** argv) {
     cfg.cores = cores;
     cfg.barrier_enabled = true; // harmless if unused
     cfg.ecc_enabled = ecc;
+    cfg.reg_protection = regprot;
     cfg.engine = engine;
     cfg.watchdog_cycles = watchdog;
     if (prog.data.size() > cfg.dm_layout.limit()) {
