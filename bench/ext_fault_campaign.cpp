@@ -47,14 +47,28 @@ struct Tier {
     bool ecc;
     core::RegProtection prot;
     bool checkpoint;
+    bool im_scrub = false;    ///< idle-cycle IM scrub walker
+    bool self_check = false;  ///< self-checking crossbar arbiters
+    /// Distinguishes campaigns that would otherwise share the identity key
+    /// (tools/check_coverage.py) — legacy rows stay untagged so the
+    /// committed baseline keeps matching.
+    const char* policy = nullptr;
 };
 
 constexpr Tier kOneShotTiers[] = {
     {"none", false, core::RegProtection::None, false},
     {"ecc", true, core::RegProtection::None, false},
+    {"ecc+scrub", true, core::RegProtection::None, false, true, false, "scrub"},
     {"ecc+parity", true, core::RegProtection::Parity, false},
     {"ecc+tmr", true, core::RegProtection::Tmr, false},
     {"ecc+parity+ckpt", true, core::RegProtection::Parity, true},
+};
+
+/// Arbiter sequential-state upsets (kArbiterFaultKinds): the self-checking
+/// arbiter converts both failure modes into counted repairs.
+constexpr Tier kArbiterTiers[] = {
+    {"ecc", true, core::RegProtection::None, false, false, false, "arb"},
+    {"ecc+selfcheck", true, core::RegProtection::None, false, false, true, "arb+selfcheck"},
 };
 
 constexpr Tier kStreamTiers[] = {
@@ -94,6 +108,7 @@ bool parse_shard(const std::string& s, unsigned& index, unsigned& count) {
 struct TaggedResult {
     const char* workload; ///< "oneshot" | "streaming"
     fault::CampaignResult r;
+    const char* policy = nullptr; ///< extra identity tag (omitted when null)
 };
 
 void write_json(std::ostream& os, const std::vector<TaggedResult>& results, unsigned shard_index,
@@ -103,9 +118,11 @@ void write_json(std::ostream& os, const std::vector<TaggedResult>& results, unsi
     os << "  \"campaigns\": [\n";
     for (std::size_t i = 0; i < results.size(); ++i) {
         const auto& r = results[i].r;
-        os << "    {\"workload\": \"" << results[i].workload << "\", \"arch\": \""
-           << cluster::arch_name(r.arch) << "\", \"ecc\": " << (r.cfg.ecc ? "true" : "false")
-           << ", \"protection\": \"" << core::reg_protection_name(r.cfg.reg_protection)
+        os << "    {\"workload\": \"" << results[i].workload << "\", ";
+        if (results[i].policy) os << "\"policy\": \"" << results[i].policy << "\", ";
+        os << "\"arch\": \"" << cluster::arch_name(r.arch)
+           << "\", \"ecc\": " << (r.cfg.ecc ? "true" : "false") << ", \"protection\": \""
+           << core::reg_protection_name(r.cfg.reg_protection)
            << "\", \"checkpoint\": " << (r.cfg.checkpoint ? "true" : "false")
            << ", \"burst_len\": " << r.cfg.burst_len << ", \"reg_burst\": " << r.cfg.reg_burst
            << ", \"seed\": " << r.cfg.seed << ", \"injections\": " << r.runs.size()
@@ -203,6 +220,8 @@ int main(int argc, char** argv) {
         c.ecc = tier.ecc;
         c.reg_protection = tier.prot;
         c.checkpoint = tier.checkpoint;
+        c.im_scrub = tier.im_scrub;
+        c.xbar_self_check = tier.self_check;
         c.burst_len = kBurstLen;
         c.reg_burst = kRegBurst;
         const auto r = fault::run_campaign(bench, cluster::ArchKind::UlpmcBank, c, pool);
@@ -214,7 +233,7 @@ int main(int argc, char** argv) {
                     std::to_string(r.count(fault::Outcome::Hang)),
                     std::to_string(r.count(fault::Outcome::Sdc)), format_percent(r.coverage(), 1),
                     format_si(r.energy_per_op, "J")});
-        results.push_back({"oneshot", r});
+        results.push_back({"oneshot", r, tier.policy});
     }
     bt.print(std::cout);
     std::cout << "\nAn odd-length adjacent burst aliases to a valid SEC-DED syndrome, so\n"
@@ -279,7 +298,34 @@ int main(int argc, char** argv) {
                  "snapshots at block boundaries (cross-block state survives rollback).\n"
                  "Re-exec is the rollback cost: discarded cycles / fault-free cycles.\n"
                  "With ECC + parity + checkpointing every burst is detected and either\n"
-                 "replayed or fail-stopped: the SDC column must read zero.\n";
+                 "replayed or fail-stopped: the SDC column must read zero.\n\n";
+
+    // -- 5: arbiter sequential-state upsets vs the self-checking arbiter ----
+    std::cout << "-- Arbiter-state upsets (stuck RR pointer / grant-register flip, "
+              << stream_injections << " strikes, ulpmc-bank) --\n";
+    Table at({"tier", "masked", "corrected", "trapped", "hang", "SDC", "coverage", "energy/op"});
+    for (const auto& tier : kArbiterTiers) {
+        fault::CampaignConfig c = cfg;
+        c.injections = stream_injections;
+        c.ecc = tier.ecc;
+        c.xbar_self_check = tier.self_check;
+        c.kinds = fault::kArbiterFaultKinds;
+        const auto r = fault::run_campaign(bench, cluster::ArchKind::UlpmcBank, c, pool);
+        at.add_row({tier.name, std::to_string(r.count(fault::Outcome::Masked)),
+                    std::to_string(r.count(fault::Outcome::Corrected)),
+                    std::to_string(r.count(fault::Outcome::Trapped)),
+                    std::to_string(r.count(fault::Outcome::Hang)),
+                    std::to_string(r.count(fault::Outcome::Sdc)), format_percent(r.coverage(), 1),
+                    format_si(r.energy_per_op, "J")});
+        results.push_back({"oneshot", r, tier.policy});
+    }
+    at.print(std::cout);
+    std::cout << "\nA flipped grant register double-grants one bank: the hijacked master\n"
+                 "latches the winner's word (a silent wrong-data channel ECC cannot\n"
+                 "see); a stuck round-robin pointer starves whoever it deprioritizes\n"
+                 "until the watchdog fires. The self-checking arbiter re-evaluates the\n"
+                 "grant matrix each cycle, suppresses the flip and resyncs the pointer\n"
+                 "(counted repairs), restoring coverage at a per-cycle checker cost.\n";
 
     if (!json_path.empty()) {
         std::ofstream os(json_path);

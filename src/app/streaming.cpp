@@ -126,6 +126,9 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
             out.total_cycles += st.cycles;
             out.ecc_corrected += st.ecc_corrected();
             out.watchdog_trips += st.watchdog_trips;
+            out.xbar_selfchecks += st.ixbar.selfcheck_fixes + st.ixbar.selfcheck_resyncs +
+                                   st.dxbar.selfcheck_fixes + st.dxbar.selfcheck_resyncs;
+            out.im_scrub_corrected += st.im_scrub_corrected;
 
             std::vector<unsigned> corrupted;
             for (unsigned p = 0; p < cfg.cores; ++p) {
@@ -241,12 +244,20 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
     // the cluster's own statistics back with everything else — so each
     // attempt's delta is banked against a baseline sampled at its start.
     std::uint64_t base_ecc = 0, base_parity = 0, base_tmr = 0, base_wd = 0;
+    std::uint64_t base_chk = 0, base_scrub = 0;
+    const auto selfchecks = [&] {
+        const auto& st = cl.stats();
+        return st.ixbar.selfcheck_fixes + st.ixbar.selfcheck_resyncs + st.dxbar.selfcheck_fixes +
+               st.dxbar.selfcheck_resyncs;
+    };
     const auto sample_base = [&] {
         const auto& st = cl.stats();
         base_ecc = st.ecc_corrected();
         base_parity = st.reg_parity_traps;
         base_tmr = st.reg_tmr_votes;
         base_wd = st.watchdog_trips;
+        base_chk = selfchecks();
+        base_scrub = st.im_scrub_corrected;
     };
     const auto bank_deltas = [&] {
         const auto& st = cl.stats();
@@ -254,20 +265,27 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
         out.reg_parity_traps += st.reg_parity_traps - base_parity;
         out.reg_tmr_votes += st.reg_tmr_votes - base_tmr;
         out.watchdog_trips += st.watchdog_trips - base_wd;
+        out.xbar_selfchecks += selfchecks() - base_chk;
+        out.im_scrub_corrected += st.im_scrub_corrected - base_scrub;
     };
 
     std::vector<unsigned> corrupted;
     for (unsigned block = 0; block < n_blocks_; ++block) {
-        runner.checkpoint(); // block boundary = recovery point (TMR scrub inside)
+        // Block boundary = recovery point. The runner owns the pre-save
+        // register scrub (checkpoint() sweeps the files through the
+        // protection layer before saving — DESIGN.md §9), so the base is
+        // sampled first: the scrub's TMR votes belong to this block's
+        // banked delta, exactly like the per-attempt repairs used to.
+        sample_base();
+        runner.checkpoint();
         for (unsigned attempt = 0; attempt < 2; ++attempt) {
-            sample_base();
+            if (attempt > 0) sample_base(); // rollback rewound the counters
             if (hook) hook(cl, block, attempt);
             const Cycle limit = runner.checkpoint_cycle() + budget;
             do {
                 cl.run(std::min(limit, cl.stats().cycles + slice));
             } while (cl.stats().cycles < limit && any_active() && !settled(block));
 
-            cl.scrub_registers(); // TMR: repair before the verdict (and save)
             bank_deltas();
             corrupted.clear();
             for (unsigned p = 0; p < cfg.cores; ++p) {
@@ -294,6 +312,11 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
     sample_base();
     while (any_active() && cl.stats().cycles < drain_limit)
         cl.run(std::min(drain_limit, cl.stats().cycles + slice));
+    // Stream commit point: one final checkpoint scrubs (and under TMR
+    // vote-repairs) upsets deposited during the last block, so the run
+    // ends with clean architectural state — previously the job of the
+    // now-removed per-attempt scrub call.
+    runner.checkpoint();
     bank_deltas();
 
     out.rollbacks = static_cast<unsigned>(runner.stats().rollbacks);

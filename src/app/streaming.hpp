@@ -65,6 +65,10 @@ public:
         Cycle clean_block_cycles = 0; ///< fault-free reference block
         std::uint64_t ecc_corrected = 0;
         std::uint64_t watchdog_trips = 0;
+        /// Arbiter self-check events (grant flips suppressed + stuck RR
+        /// pointers resynced) across both crossbars.
+        std::uint64_t xbar_selfchecks = 0;
+        std::uint64_t im_scrub_corrected = 0; ///< latent IM upsets drained by the walker
 
         // Filled by run_checkpointed() only (generalized checkpoint
         // service; zero in run_resilient()).

@@ -1,5 +1,7 @@
 #include "cluster/checkpoint.hpp"
 
+#include <cmath>
+
 #include "common/assert.hpp"
 
 namespace ulpmc::cluster {
@@ -10,14 +12,31 @@ void CheckpointRunner::reset(const CheckpointConfig& cfg) {
     has_ckpt_ = false;
     snap_cycle_ = 0;
     retries_ = 0;
+    est_.reset(cfg.alpha);
+    cur_interval_ = cfg.adaptive && cfg.interval == 0 ? cfg.max_interval : cfg.interval;
+    if (cfg.adaptive) stats_.current_interval = cur_interval_;
+    base_events_ = 0;
+    base_cycle_ = 0;
+    replay_debt_ = 0;
 }
 
 bool CheckpointRunner::checkpoint() {
+    // Anchor the next observation window BEFORE the scrub: the repairs the
+    // scrub itself performs (TMR vote-outs of latent upsets) are upset
+    // events, and anchoring after them would absorb them into the new base
+    // so the estimator never hears about that whole detection channel.
+    // Time does not advance inside checkpoint(), so the anchor cycle is
+    // the same either way.
+    rebase_window();
     cl_.scrub_registers();
     if (cfg_.parity_guard && cl_.reg_parity_pending() && has_ckpt_) {
         // The parity sweep found a latched (detectable) upset: the state
         // about to be saved is corrupt. Recover from the previous good
-        // checkpoint rather than immortalizing the corruption.
+        // checkpoint rather than immortalizing the corruption. No
+        // protection counter ever sees this upset (the trap would only
+        // fire on a read), yet it costs a full rollback — report it to
+        // the rate estimator as one event at the current silence.
+        if (cfg_.adaptive) est_.observe(1, 0);
         rollback();
         return false;
     }
@@ -32,10 +51,19 @@ bool CheckpointRunner::checkpoint() {
 void CheckpointRunner::rollback() {
     ULPMC_EXPECTS(has_ckpt_);
     const Cycle now = cl_.stats().cycles;
-    if (now > snap_cycle_) stats_.reexec_cycles += now - snap_cycle_;
+    if (now > snap_cycle_) {
+        stats_.reexec_cycles += now - snap_cycle_;
+        // The discarded span re-executes and would be measured twice by
+        // the observation windows; the debt discounts it as it replays.
+        replay_debt_ += now - snap_cycle_;
+    }
     ++stats_.rollbacks;
     ++retries_;
     cl_.restore(snap_);
+    // restore() rewound the counters the observation window differences;
+    // re-anchor it at the restored state (observe_and_retune() has already
+    // consumed the pre-rollback delta when the controller is adaptive).
+    rebase_window();
 }
 
 bool CheckpointRunner::any_trap() const {
@@ -52,18 +80,69 @@ bool CheckpointRunner::any_running() const {
     return false;
 }
 
+void CheckpointRunner::rebase_window() {
+    if (!cfg_.adaptive) return;
+    const ClusterStats& s = cl_.stats();
+    base_events_ = s.upset_events();
+    base_cycle_ = s.cycles;
+}
+
+Cycle CheckpointRunner::solve_interval(double lambda) const {
+    // DESIGN.md §9: the expected energy per checkpoint period is the save
+    // cost (cores * words_per_core words at e_word each) plus the expected
+    // re-execution loss (lambda * T * T/2 cycles at E_cycle each, for
+    // upsets uniform in the interval). d/dT = 0 gives
+    //   T* = sqrt(2 * cores * words_per_core * e_word / (lambda * E_cycle))
+    // with E_cycle = cores * e_cycle_per_core. lambda -> 0 pushes T* to
+    // infinity; the clamp keeps detection latency bounded.
+    if (lambda <= 0.0) return cfg_.max_interval;
+    const double cores = static_cast<double>(cl_.config().cores);
+    const double save_energy = 2.0 * cores * cfg_.words_per_core * cfg_.e_word;
+    const double e_cycle = cores * cfg_.e_cycle_per_core;
+    const double t = std::sqrt(save_energy / (lambda * e_cycle));
+    if (t <= static_cast<double>(cfg_.min_interval)) return cfg_.min_interval;
+    if (t >= static_cast<double>(cfg_.max_interval)) return cfg_.max_interval;
+    return static_cast<Cycle>(t);
+}
+
+void CheckpointRunner::observe_and_retune() {
+    if (!cfg_.adaptive) return;
+    const ClusterStats& s = cl_.stats();
+    const std::uint64_t events = s.upset_events() - base_events_;
+    Cycle elapsed = s.cycles - base_cycle_;
+    // Replayed cycles re-measure program time a previous window already
+    // consumed; lambda lives in program time, so discount them.
+    const Cycle discount = std::min(replay_debt_, elapsed);
+    elapsed -= discount;
+    replay_debt_ -= discount;
+    est_.observe(events, elapsed);
+    const Cycle solved = solve_interval(est_.lambda_hat());
+    const auto cur = static_cast<double>(cur_interval_);
+    if (std::abs(static_cast<double>(solved) - cur) > cfg_.hysteresis * cur) {
+        cur_interval_ = solved;
+        ++stats_.interval_updates;
+    }
+    stats_.current_interval = cur_interval_;
+    stats_.lambda_hat = est_.lambda_hat();
+}
+
 Cycle CheckpointRunner::run(Cycle bound) {
     if (!has_ckpt_) checkpoint();
     for (;;) {
         const Cycle now = cl_.stats().cycles;
         if (now >= bound) break;
         Cycle target = bound;
-        if (cfg_.interval > 0) {
-            const Cycle next = snap_cycle_ + cfg_.interval;
+        const Cycle interval = effective_interval();
+        if (interval > 0) {
+            const Cycle next = snap_cycle_ + interval;
             if (next > now && next < target) target = next;
         }
         cl_.run(target);
         if (any_trap()) {
+            // The trap and everything the protection layer counted on the
+            // way to it are this window's observation; consume it before
+            // restore rewinds the counters.
+            observe_and_retune();
             if (retries_ >= cfg_.max_retries) {
                 // Deterministic fault (it re-trapped through every retry):
                 // leave the cluster in its trapped state for the caller.
@@ -76,7 +155,8 @@ Cycle CheckpointRunner::run(Cycle bound) {
         const Cycle after = cl_.stats().cycles;
         if (!any_running()) break;     // quiescent: every core halted cleanly
         if (after <= now) break;       // no forward progress (all parked)
-        if (cfg_.interval > 0 && after >= snap_cycle_ + cfg_.interval) {
+        if (interval > 0 && after >= snap_cycle_ + interval) {
+            observe_and_retune();
             if (!checkpoint()) continue; // detect-before-save rolled back
         }
     }

@@ -16,12 +16,15 @@
 
 #include "cluster/cluster.hpp"
 #include "common/types.hpp"
+#include "fault/estimator.hpp"
 
 namespace ulpmc::cluster {
 
 struct CheckpointConfig {
     /// Cycles between automatic checkpoints inside run(). 0 = explicit
-    /// checkpoints only (the caller marks recovery points itself).
+    /// checkpoints only (the caller marks recovery points itself). Under
+    /// `adaptive` this is only the STARTING interval (0 = start at
+    /// max_interval); the controller re-solves it online.
     Cycle interval = 0;
     /// Rollbacks attempted since the last successful checkpoint before
     /// the runner gives up (a deterministic fault re-traps forever; the
@@ -33,6 +36,31 @@ struct CheckpointConfig {
     /// sacrifice a whole checkpoint to a lead it already dropped) turn
     /// this off and query reg_parity_pending(pid) directly.
     bool parity_guard = true;
+
+    // ---- adaptive interval control (DESIGN.md §9) ----------------------
+    /// Re-solve the optimal-interval formula
+    ///   T* = sqrt(2 * cores * words_per_core * e_word / (lambda * E_cycle))
+    /// at every window boundary, with lambda from an online
+    /// fault::UpsetRateEstimator over observed correction/trap events
+    /// (ClusterStats::upset_events()). E_cycle = cores * e_cycle_per_core.
+    bool adaptive = false;
+    /// Clamp for the solved interval: below min_interval checkpoint
+    /// traffic dominates, above max_interval detection latency does.
+    Cycle min_interval = 200;
+    Cycle max_interval = 100'000;
+    /// Relative-change threshold before a newly solved interval is
+    /// adopted — re-tuning on every estimator wiggle thrashes the
+    /// schedule for nothing.
+    double hysteresis = 0.25;
+    /// EWMA weight of the upset-rate estimator (per observation window).
+    double alpha = 0.3;
+    /// Energy constants for the solve. Defaults mirror power::cal
+    /// (kCheckpointWordEnergy, kCoreEnergyPerOp at 1.0 V); campaign
+    /// drivers may override to match a different operating point.
+    double e_word = 32e-12;
+    double e_cycle_per_core = 22.5e-12;
+    /// Architectural words saved per core (16 GPRs + PC + flags).
+    unsigned words_per_core = 18;
 };
 
 struct CheckpointStats {
@@ -40,6 +68,10 @@ struct CheckpointStats {
     std::uint64_t rollbacks = 0;     ///< restores after a detected error
     Cycle reexec_cycles = 0;         ///< simulated cycles thrown away by rollbacks
     bool gave_up = false;            ///< retry budget exhausted on one checkpoint
+    // Adaptive-control telemetry (stay zero for fixed-interval runs).
+    std::uint64_t interval_updates = 0; ///< re-solves that changed the interval
+    Cycle current_interval = 0;      ///< interval in force (adaptive runs)
+    double lambda_hat = 0.0;         ///< estimator rate at the last re-solve
 };
 
 /// Drives one Cluster with checkpoint/rollback semantics. The runner owns
@@ -77,9 +109,22 @@ public:
     bool has_checkpoint() const { return has_ckpt_; }
     Cycle checkpoint_cycle() const { return snap_cycle_; }
 
+    /// The interval currently in force: the adaptive controller's latest
+    /// solution, or cfg.interval on fixed-interval runs.
+    Cycle effective_interval() const { return cfg_.adaptive ? cur_interval_ : cfg_.interval; }
+
 private:
     bool any_trap() const;
     bool any_running() const;
+    /// Feeds the estimator the correction/trap events since the last
+    /// observation point and re-solves the interval (adaptive runs only).
+    /// Must run BEFORE a rollback: restore rewinds the statistics the
+    /// window delta is computed from.
+    void observe_and_retune();
+    /// Re-bases the observation window on the cluster's current counters
+    /// (after a save or a restore moved them).
+    void rebase_window();
+    Cycle solve_interval(double lambda) const;
 
     Cluster& cl_;
     CheckpointConfig cfg_;
@@ -88,6 +133,16 @@ private:
     bool has_ckpt_ = false;
     Cycle snap_cycle_ = 0;
     unsigned retries_ = 0;
+    // Adaptive-control state.
+    fault::UpsetRateEstimator est_;
+    Cycle cur_interval_ = 0;
+    std::uint64_t base_events_ = 0;
+    Cycle base_cycle_ = 0;
+    /// Cycles a rollback scheduled for re-execution. The strike process
+    /// (and hence lambda) lives in PROGRAM time; replayed cycles would
+    /// inflate the measured inter-event gaps, so observation windows
+    /// discount them as they are re-executed.
+    Cycle replay_debt_ = 0;
 };
 
 } // namespace ulpmc::cluster

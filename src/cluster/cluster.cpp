@@ -35,6 +35,9 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
     dxbar_.reset(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast);
     ixbar_.set_fast_path(cfg.fast_path());
     dxbar_.set_fast_path(cfg.fast_path());
+    ixbar_.set_self_check(cfg.xbar_self_check);
+    dxbar_.set_self_check(cfg.xbar_self_check);
+    im_scrub_ptr_.assign(cfg.im_banks, 0);
     predecoded_.reset(cfg.im_banks, cfg.im_bank_words);
 
     // --- (re)construct memories ---------------------------------------------
@@ -51,6 +54,8 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
         stats_.core.assign(cfg.cores, {});
         stats_.ecc_enabled = cfg.ecc_enabled;
         stats_.reg_protection = cfg.reg_protection;
+        stats_.im_scrub_enabled = cfg.im_scrub;
+        stats_.xbar_self_check = cfg.xbar_self_check;
     }
 
     // --- (re)construct cores ------------------------------------------------
@@ -235,6 +240,7 @@ void Cluster::save(Snapshot& out) const {
     for (std::size_t b = 0; b < dm_banks_.size(); ++b) dm_banks_[b].save(out.dm_banks[b]);
     ixbar_.save(out.ixbar);
     dxbar_.save(out.dxbar);
+    out.im_scrub_ptr = im_scrub_ptr_;
 }
 
 void Cluster::restore(const Snapshot& s) {
@@ -254,6 +260,7 @@ void Cluster::restore(const Snapshot& s) {
     for (std::size_t b = 0; b < dm_banks_.size(); ++b) dm_banks_[b].restore(s.dm_banks[b]);
     ixbar_.restore(s.ixbar);
     dxbar_.restore(s.dxbar);
+    im_scrub_ptr_ = s.im_scrub_ptr;
 
     // Decode caches: rolling the cells back can strand the cache entries of
     // words mutated since reset(); re-derive exactly those from the
@@ -410,6 +417,18 @@ void Cluster::inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g) {
     ++direct_faults_;
 }
 
+void Cluster::inject_xbar_state(bool instruction_side, const xbar::ArbiterUpset& u) {
+    (instruction_side ? ixbar_ : dxbar_).inject_arbiter_upset(u);
+    ++direct_faults_;
+}
+
+std::size_t Cluster::im_latent_upsets() const {
+    std::size_t n = 0;
+    for (const auto& b : im_banks_)
+        if (!b.power_gated()) n += b.latent_upsets();
+    return n;
+}
+
 void Cluster::sync_resilience_stats() const {
     std::uint64_t im_corr = 0, dm_corr = 0, uncorr = 0, injected = direct_faults_;
     for (const auto& b : im_banks_) {
@@ -455,7 +474,8 @@ bool Cluster::step() {
 
     ++cycle_;
     execute_phase();
-    fetch_phase();
+    const std::uint32_t fetched_banks = fetch_phase();
+    if (cfg_.im_scrub) scrub_im_phase(fetched_banks);
     if (cfg_.watchdog_cycles > 0) watchdog_phase();
 
     // Keep the cycle counter live every cycle, so a run that hits its
@@ -509,6 +529,13 @@ bool Cluster::trace_burst(Cycle max_cycles) {
     if (c.ex && ((c.has_load && c.has_store) || c.load_done)) return false;
     // An armed one-shot glitch must be consumed by a real arbitration.
     if (ixbar_.glitch_pending() || dxbar_.glitch_pending()) return false;
+    // A pending arbiter-state upset (stuck RR pointer / flipped grant
+    // register) changes per-cycle arbitration outcomes: the generic
+    // engine's full arbiter must run until it is consumed or repaired.
+    if (ixbar_.arbiter_upset_pending() || dxbar_.arbiter_upset_pending()) return false;
+    // The scrub walker advances one word per idle bank per cycle — state
+    // the burst cannot replay in batch.
+    if (cfg_.im_scrub) return false;
 
     // ---- batched statistics ------------------------------------------------
     // Bank reads/writes and per-commit counters go through the same calls
@@ -750,8 +777,12 @@ void Cluster::execute_phase() {
     // With no request raised, arbitration is a no-op on stats and every
     // grant slot is guarded by its request's `active` flag, so the fast
     // path skips the crossbar entirely. The mask of raised ports lets the
-    // arbiter visit only them.
-    if (req_mask || !cfg_.fast_path())
+    // arbiter visit only them. A pending one-shot glitch or arbiter-state
+    // upset must still reach the arbiter on request-free cycles (the
+    // reference engine arbitrates every cycle, so a strike it would
+    // consume harmlessly must be consumed here too).
+    if (req_mask || !cfg_.fast_path() || dxbar_.glitch_pending() ||
+        dxbar_.arbiter_upset_pending())
         dxbar_.arbitrate_into(dm_req_, cycle_, dm_grant_, req_mask);
 
     for (const CoreId p : active_cores_) {
@@ -760,11 +791,16 @@ void Cluster::execute_phase() {
 
         if (dm_req_[read_port(p)].active && dm_grant_[read_port(p)].granted) {
             const auto& rq = dm_req_[read_port(p)];
+            const auto& gr = dm_grant_[read_port(p)];
             auto& bank = dm_banks_[rq.bank];
-            c.loaded = dm_grant_[read_port(p)].broadcast
-                           ? static_cast<Word>(bank.peek(rq.offset))
-                           : static_cast<Word>(bank.read(rq.offset));
-            if (!dm_grant_[read_port(p)].broadcast) {
+            // A hijacked grant (flipped grant register, DESIGN.md §9)
+            // latches whatever is on the bank port — the winner's word at
+            // the wrong offset. No port activation of its own, no ECC
+            // consultation: the corruption is silent by construction.
+            c.loaded = gr.hijacked ? static_cast<Word>(bank.peek(gr.hijack_offset))
+                       : gr.broadcast ? static_cast<Word>(bank.peek(rq.offset))
+                                      : static_cast<Word>(bank.read(rq.offset));
+            if (!gr.broadcast && !gr.hijacked) {
                 ++stats_.dm_bank_reads;
                 // A double-bit upset is detected by the bank's SEC-DED
                 // check but cannot be healed: escalate to a trap instead
@@ -775,6 +811,14 @@ void Cluster::execute_phase() {
                 }
             }
             c.load_done = true;
+        }
+
+        // A hijacked WRITE grant: the grant register reads as granted but
+        // the winner holds the port, so the store never reaches the bank —
+        // the instruction commits believing it stored (a lost update).
+        if (c.has_store && dm_req_[write_port(p)].active &&
+            dm_grant_[write_port(p)].granted && dm_grant_[write_port(p)].hijacked) {
+            c.has_store = false;
         }
 
         const bool load_ok = !c.has_load || c.load_done;
@@ -867,8 +911,9 @@ void Cluster::release_barrier_if_complete() {
     emit(0xFF, EventKind::BarrierRelease);
 }
 
-void Cluster::fetch_phase() {
+std::uint32_t Cluster::fetch_phase() {
     const bool use_table = !fetch_table_.empty();
+    std::uint32_t fetched_banks = 0; ///< banks with a demand port activation
     std::uint32_t req_mask = 0; ///< bit per core with a fetch request
     for (const CoreId p : active_cores_) {
         CoreCtx& c = cores_[p];
@@ -904,7 +949,8 @@ void Cluster::fetch_phase() {
         req_mask |= std::uint32_t{1} << p;
     }
 
-    if (req_mask || !cfg_.fast_path())
+    if (req_mask || !cfg_.fast_path() || ixbar_.glitch_pending() ||
+        ixbar_.arbiter_upset_pending())
         ixbar_.arbitrate_into(im_req_, cycle_, im_grant_, req_mask);
 
     for (const CoreId p : active_cores_) {
@@ -925,11 +971,17 @@ void Cluster::fetch_phase() {
             raise_trap(c, core::Trap::FetchFault);
             continue;
         }
-        const InstrWord w = im_grant_[p].broadcast
-                                ? static_cast<InstrWord>(bank.peek(im_req_[p].offset))
-                                : static_cast<InstrWord>(bank.read(im_req_[p].offset));
-        if (!im_grant_[p].broadcast) {
+        // A hijacked fetch grant latches the winner's word off the bank
+        // port — the broken-read-broadcast corruption channel: the core
+        // decodes and executes an instruction from the WRONG address.
+        const InstrWord w =
+            im_grant_[p].hijacked
+                ? static_cast<InstrWord>(bank.peek(im_grant_[p].hijack_offset))
+            : im_grant_[p].broadcast ? static_cast<InstrWord>(bank.peek(im_req_[p].offset))
+                                     : static_cast<InstrWord>(bank.read(im_req_[p].offset));
+        if (!im_grant_[p].broadcast && !im_grant_[p].hijacked) {
             ++stats_.im_bank_accesses;
+            if (im_req_[p].bank < 32) fetched_banks |= std::uint32_t{1} << im_req_[p].bank;
             if (cfg_.ecc_enabled && bank.take_uncorrectable()) {
                 raise_trap(c, core::Trap::EccFault);
                 continue;
@@ -944,9 +996,12 @@ void Cluster::fetch_phase() {
         // with no memory operand the plan below is the empty plan, so the
         // address computation and MMU translations can be skipped outright.
         bool needs_plan = true;
-        if (cfg_.fast_path()) {
+        if (cfg_.fast_path() && !im_grant_[p].hijacked) {
             // Fast path: the decode happened once at load; `w` was still
             // read above so the bank/crossbar statistics stay identical.
+            // (A hijacked grant latched a different word than the request
+            // addressed, so it must take the decode-what-you-latched slow
+            // branch below — same as the reference engine.)
             const isa::DecodedInstr* pre =
                 use_table ? fetch_table_[fetch_pc_[p]].pre
                           : predecoded_.lookup(im_req_[p].bank, im_req_[p].offset);
@@ -1007,6 +1062,24 @@ void Cluster::fetch_phase() {
                 c.has_store = true;
             }
         }
+    }
+    return fetched_banks;
+}
+
+void Cluster::scrub_im_phase(std::uint32_t fetched_banks) {
+    // One word per idle bank per cycle: a bank whose port served a demand
+    // fetch is busy (single-ported SRAM); everyone else donates the idle
+    // cycle to background scrubbing. Gated banks hold no live content.
+    for (std::size_t b = 0; b < im_banks_.size(); ++b) {
+        auto& bank = im_banks_[b];
+        if (bank.power_gated()) continue;
+        if (b < 32 && (fetched_banks & (std::uint32_t{1} << b))) continue;
+        std::uint32_t& ptr = im_scrub_ptr_[b];
+        const mem::MemoryBank::ScrubResult r = bank.scrub_step(ptr);
+        ptr = ptr + 1 == bank.size() ? 0 : ptr + 1;
+        ++stats_.im_scrub_reads;
+        stats_.im_scrub_corrected += r.corrected;
+        stats_.im_scrub_uncorrectable += r.uncorrectable;
     }
 }
 

@@ -121,6 +121,20 @@ public:
     /// or D-Xbar for the next arbitration cycle.
     void inject_xbar_glitch(bool instruction_side, const xbar::Glitch& g);
 
+    /// Upsets the arbiter's sequential state (stuck round-robin pointer /
+    /// flipped grant register) in the I-Xbar or D-Xbar. Unlike a glitch
+    /// these are NOT absorbed by stall/retry: a stuck pointer can starve
+    /// masters, a flipped grant register silently corrupts data
+    /// (DESIGN.md §9). ClusterConfig::xbar_self_check hardens against both.
+    void inject_xbar_state(bool instruction_side, const xbar::ArbiterUpset& u);
+
+    /// Latent-upset population across the ungated IM banks: cells whose
+    /// stored bits currently disagree with their ECC check bits. The drain
+    /// metric for idle-cycle IM scrubbing (ClusterConfig::im_scrub) — a
+    /// population held near zero cannot accumulate into double-bit
+    /// uncorrectables. Non-counting; 0 without ECC.
+    std::size_t im_latent_upsets() const;
+
     // ---- register-file protection (DESIGN.md §9) ---------------------------
 
     /// Registers struck by inject_reg_fault that no instruction has read
@@ -210,6 +224,7 @@ public:
         std::vector<mem::BankSnapshot> dm_banks;
         xbar::XbarSnapshot ixbar;
         xbar::XbarSnapshot dxbar;
+        std::vector<std::uint32_t> im_scrub_ptr;
     };
 
     /// Copies the full mutable execution state into `out` / back. restore()
@@ -221,8 +236,17 @@ public:
 
 private:
     void execute_phase();
-    void fetch_phase();
+    /// Returns the bitmask of IM banks that served a demand fetch (a
+    /// physical port activation, not a broadcast ride) this cycle — the
+    /// input to scrub_im_phase's idle-bank selection.
+    std::uint32_t fetch_phase();
     void watchdog_phase();
+    /// Idle-cycle IM scrubbing (DESIGN.md §9): every ungated IM bank whose
+    /// port served no demand fetch this cycle (`fetched_banks` bit clear)
+    /// advances its scrub walker by one word, correcting a latent
+    /// single-bit upset in place. Runs after fetch_phase when
+    /// cfg_.im_scrub; each step is priced by the power model.
+    void scrub_im_phase(std::uint32_t fetched_banks);
     /// Trace-engine burst (DESIGN.md §10): with a single active core the
     /// cluster's timing is conflict-free by construction, so run() advances
     /// through whole superblocks here — committing and fetching in a fused
@@ -289,6 +313,9 @@ private:
     /// these words from the restored bank cells — the only words whose
     /// cache entries can disagree after rolling the cells back.
     std::vector<PAddr> im_dirty_;
+    /// Per-IM-bank scrub-walker position (next word to check); advances on
+    /// every idle cycle of its bank when cfg_.im_scrub is on.
+    std::vector<std::uint32_t> im_scrub_ptr_;
     mutable ClusterStats stats_;   ///< mutable: stats() syncs xbar aggregates
     /// Loaded program length: fetching at or beyond it is a FetchFault
     /// (same boundary as the functional ISS), not a walk through the

@@ -83,6 +83,22 @@ struct ClusterConfig {
     /// charged by the power model (calibration.hpp protection constants).
     core::RegProtection reg_protection = core::RegProtection::None;
 
+    /// Resilience extension (DESIGN.md §9): idle-cycle IM scrubbing. On
+    /// every cycle in which an ungated IM bank serves no fetch, a per-bank
+    /// scrub walker reads-and-corrects one word (wrapping through the
+    /// bank), draining latent single-bit upsets before a second strike
+    /// makes them uncorrectable. Requires ecc_enabled to actually repair;
+    /// each scrub read is priced by the power model.
+    bool im_scrub = false;
+
+    /// Resilience extension (DESIGN.md §9): self-checking crossbar
+    /// arbiters (both I- and D-side). Duplicate-and-compare on the grant
+    /// vector and the rotating-priority head: a flipped grant register is
+    /// suppressed (the master stalls and retries) and a stuck head is
+    /// resynchronized from the cycle counter. Charged per cycle by the
+    /// power model.
+    bool xbar_self_check = false;
+
     /// Resilience extension: watchdog window in cycles. A core that
     /// commits no instruction for this many consecutive cycles (barrier
     /// parking included — legitimate waits are orders of magnitude

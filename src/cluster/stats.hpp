@@ -61,6 +61,27 @@ struct ClusterStats {
     std::uint64_t reg_parity_traps = 0; ///< parity mismatches -> RegParityFault
     std::uint64_t reg_tmr_votes = 0;    ///< upset registers repaired by majority vote
 
+    // Idle-cycle IM scrubbing counters (DESIGN.md §9). Zero unless
+    // ClusterConfig::im_scrub is on.
+    bool im_scrub_enabled = false;            ///< walker armed (from config)
+    bool xbar_self_check = false;             ///< self-checking arbiters armed
+    std::uint64_t im_scrub_reads = 0;         ///< scrub-walker bank reads
+    std::uint64_t im_scrub_corrected = 0;     ///< latent upsets repaired by the walker
+    std::uint64_t im_scrub_uncorrectable = 0; ///< double-bit words the walker found
+
+    /// Observable correction/trap events — everything the hardware can
+    /// count that indicates a particle actually struck (hijacked grants
+    /// are deliberately absent: those are the SILENT corruption channel).
+    /// The online upset-rate estimator (fault::UpsetRateEstimator)
+    /// differences this across windows to track lambda without ground
+    /// truth.
+    std::uint64_t upset_events() const {
+        return ecc_im_corrected + ecc_dm_corrected + ecc_uncorrectable + reg_parity_traps +
+               reg_tmr_votes + im_scrub_corrected + im_scrub_uncorrectable + watchdog_trips +
+               ixbar.selfcheck_fixes + ixbar.selfcheck_resyncs + dxbar.selfcheck_fixes +
+               dxbar.selfcheck_resyncs;
+    }
+
     /// Total committed instructions over all cores (the paper's "Ops").
     std::uint64_t total_ops() const {
         std::uint64_t n = 0;

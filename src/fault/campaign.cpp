@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <memory>
 
 #include "cluster/checkpoint.hpp"
@@ -41,6 +42,8 @@ cluster::ClusterConfig resilient_config(const app::EcgBenchmark& bench, cluster:
     c.reg_protection = cfg.reg_protection;
     c.watchdog_cycles = cfg.watchdog_cycles;
     c.engine = cfg.engine;
+    c.im_scrub = cfg.im_scrub;
+    c.xbar_self_check = cfg.xbar_self_check;
     return c;
 }
 
@@ -222,6 +225,8 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
             if (t == core::Trap::None && !cl.core_halted(pid)) any_running = true;
         }
 
+        const std::uint64_t selfchecks = st.ixbar.selfcheck_fixes + st.ixbar.selfcheck_resyncs +
+                                         st.dxbar.selfcheck_fixes + st.dxbar.selfcheck_resyncs;
         if (any_running) {
             rec.outcome = Outcome::Hang;
         } else if (rec.trap != core::Trap::None) {
@@ -229,7 +234,8 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
         } else if (outputs_verified(cl, bench, ccfg.cores)) {
             if (rec.rollbacks > 0) {
                 rec.outcome = Outcome::RolledBack;
-            } else if (rec.ecc_corrected > 0 || st.reg_tmr_votes > 0) {
+            } else if (rec.ecc_corrected > 0 || st.reg_tmr_votes > 0 ||
+                       st.im_scrub_corrected > 0 || selfchecks > 0) {
                 rec.outcome = Outcome::Corrected;
             } else if (cl.pending_reg_faults() > 0) {
                 rec.outcome = Outcome::Latent; // struck register never consumed
@@ -332,7 +338,8 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
             rec.outcome = Outcome::Sdc;
         } else if (ro.rollbacks > 0) {
             rec.outcome = Outcome::RolledBack;
-        } else if (rec.ecc_corrected > 0 || ro.reg_tmr_votes > 0) {
+        } else if (rec.ecc_corrected > 0 || ro.reg_tmr_votes > 0 || ro.xbar_selfchecks > 0 ||
+                   ro.im_scrub_corrected > 0) {
             rec.outcome = Outcome::Corrected;
         } else if (ro.latent_reg_faults > 0) {
             rec.outcome = Outcome::Latent;
@@ -347,6 +354,191 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
         res.checkpoints += r.checkpoints;
         res.reexec_cycles += r.reexec_cycles;
     }
+    return res;
+}
+
+namespace {
+
+/// End-of-stream verification, mirroring StreamingBenchmark::run(): every
+/// block recomputes the same outputs, so the final committed state must
+/// match the single-block golden bitstream on every core.
+bool stream_verified(const cluster::Cluster& cl, const app::StreamingBenchmark& bench,
+                     unsigned cores) {
+    const auto& lay = bench.base().layout();
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        if (cl.core_trap(pid) != core::Trap::None || !cl.core_halted(pid)) return false;
+        const auto& golden = bench.base().golden_bitstream(p);
+        if (cl.dm_peek(pid, lay.out_count()) != golden.words.size()) return false;
+        for (std::size_t i = 0; i < golden.words.size(); ++i) {
+            if (cl.dm_peek(pid, static_cast<Addr>(lay.out_base() + i)) != golden.words[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+CampaignResult run_adaptive_campaign(const app::StreamingBenchmark& bench,
+                                     cluster::ArchKind arch, const CampaignConfig& cfg,
+                                     sweep::SweepRunner& pool) {
+    ULPMC_EXPECTS(cfg.injections >= 1);
+    ULPMC_EXPECTS(cfg.lambda_low >= 0.0 && cfg.lambda_high >= 0.0);
+    CampaignResult res;
+    res.arch = arch;
+    res.cfg = cfg;
+
+    const cluster::ClusterConfig ccfg = resilient_config(bench.base(), arch, cfg);
+
+    { // fault-free continuous reference: cycle count and energy
+        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.program());
+        bench.base().load_inputs(cl, ccfg.cores);
+        res.clean_cycles = cl.run(static_cast<Cycle>(bench.n_blocks()) * 400'000);
+        ULPMC_EXPECTS(stream_verified(cl, bench, ccfg.cores));
+        res.energy_per_op = clean_energy_per_op(arch, cl.stats());
+    }
+
+    FaultUniverse universe;
+    universe.text_words = bench.program().text.size();
+    universe.dm_words = bench.base().layout().dm_layout().limit();
+    universe.cores = ccfg.cores;
+    universe.window = res.clean_cycles;
+    universe.kinds = cfg.kinds;
+    universe.flip_bits = cfg.flip_bits;
+    universe.burst_len = cfg.burst_len;
+    universe.reg_burst = cfg.reg_burst;
+
+    const auto bound =
+        static_cast<Cycle>(cfg.max_cycles_factor * static_cast<double>(res.clean_cycles)) +
+        cfg.watchdog_cycles + 1000;
+    ULPMC_EXPECTS(cfg.lambda_split >= 0.0 && cfg.lambda_split <= 1.0);
+    const auto phase_split =
+        static_cast<Cycle>(cfg.lambda_split * static_cast<double>(res.clean_cycles));
+
+    const cluster::CheckpointConfig rcfg{
+        .interval = cfg.checkpoint_interval,
+        // A high-rate phase can land several detectable strikes inside one
+        // (long) interval; each rolls back individually, so the retry
+        // budget must cover the burst rather than flag it deterministic.
+        .max_retries = 8,
+        .parity_guard = true,
+        .adaptive = cfg.adaptive_checkpoint,
+        // A rollback can never discard more than one interval; the default
+        // 100k-cycle ceiling is longer than a whole burst phase of this
+        // stream, so bound detection latency (and the interval the
+        // controller parks at while the environment is quiet) to ~1% of
+        // the run instead.
+        .max_interval = std::min<Cycle>(4000, std::max<Cycle>(1000, res.clean_cycles / 32)),
+    };
+
+    const std::vector<std::uint64_t> globals = shard_indices(cfg);
+    res.runs.resize(globals.size());
+    std::vector<std::uint64_t> updates(globals.size(), 0);
+    pool.for_each_index(globals.size(), [&](std::size_t i) {
+        FaultInjector inj(mix_seed(cfg.seed, globals[i]));
+        InjectionRecord rec;
+        rec.strikes = 0;
+
+        cluster::Cluster cl(ccfg, bench.program());
+        bench.base().load_inputs(cl, ccfg.cores);
+        cluster::CheckpointRunner runner(cl);
+        runner.reset(rcfg);
+
+        // Piecewise-constant Poisson process on the strike schedule (not
+        // the rollback-rewound clock). A draw that crosses the phase
+        // boundary is redrawn FROM the boundary at the new rate —
+        // memorylessness makes that exact; carrying a quiet-phase gap
+        // (mean 1/lambda_low) into the burst would thin its strikes.
+        const auto draw_gap = [&](double lam) -> Cycle {
+            if (lam <= 0.0) return bound; // pushes the next strike past the end
+            const double u = 1.0 - inj.rng().uniform(); // (0, 1]
+            return std::max<Cycle>(1, static_cast<Cycle>(-std::log(u) / lam));
+        };
+        const auto next_strike = [&](Cycle now) -> Cycle {
+            if (now < phase_split) {
+                const Cycle t = now + draw_gap(cfg.lambda_low);
+                if (t < phase_split) return t;
+                now = phase_split; // crossed into the burst: redraw there
+            }
+            return now + draw_gap(cfg.lambda_high);
+        };
+
+        bool first = true;
+        for (Cycle next = next_strike(0); next < bound; next = next_strike(next)) {
+            runner.run(next);
+            if (runner.stats().gave_up) break;
+            if (cl.stats().cycles < next) break; // stream quiesced early
+            // Strikes are TRANSIENT: deposited once at their scheduled
+            // cycle; a rollback that rewinds past one does not re-apply it
+            // (the re-execution is the clean, particle-free replay).
+            FaultSpec f = inj.draw(universe);
+            f.cycle = next;
+            FaultInjector::apply(cl, f);
+            if (first) rec.fault = f;
+            first = false;
+            ++rec.strikes;
+        }
+        if (!runner.stats().gave_up) runner.run(bound);
+
+        const auto& st = cl.stats();
+        rec.cycles = st.cycles;
+        rec.ecc_corrected = st.ecc_corrected();
+        rec.rollbacks = runner.stats().rollbacks;
+        rec.checkpoints = runner.stats().checkpoints;
+        rec.reexec_cycles = runner.stats().reexec_cycles;
+        updates[i] = runner.stats().interval_updates;
+
+        bool any_running = false;
+        for (unsigned p = 0; p < ccfg.cores; ++p) {
+            const auto pid = static_cast<CoreId>(p);
+            const core::Trap t = cl.core_trap(pid);
+            if (t != core::Trap::None && rec.trap == core::Trap::None) rec.trap = t;
+            if (t == core::Trap::None && !cl.core_halted(pid)) any_running = true;
+        }
+        const std::uint64_t selfchecks = st.ixbar.selfcheck_fixes + st.ixbar.selfcheck_resyncs +
+                                         st.dxbar.selfcheck_fixes + st.dxbar.selfcheck_resyncs;
+        if (runner.stats().gave_up || rec.trap != core::Trap::None) {
+            rec.outcome = Outcome::Trapped;
+        } else if (any_running) {
+            rec.outcome = Outcome::Hang;
+        } else if (stream_verified(cl, bench, ccfg.cores)) {
+            if (rec.rollbacks > 0) {
+                rec.outcome = Outcome::RolledBack;
+            } else if (rec.ecc_corrected > 0 || st.reg_tmr_votes > 0 ||
+                       st.im_scrub_corrected > 0 || selfchecks > 0) {
+                rec.outcome = Outcome::Corrected;
+            } else if (cl.pending_reg_faults() > 0) {
+                rec.outcome = Outcome::Latent;
+            } else {
+                rec.outcome = Outcome::Masked;
+            }
+        } else {
+            rec.outcome = Outcome::Sdc;
+        }
+        res.runs[i] = std::move(rec);
+    });
+
+    for (std::size_t i = 0; i < res.runs.size(); ++i) {
+        const auto& r = res.runs[i];
+        ++res.counts[static_cast<unsigned>(r.outcome)];
+        res.checkpoints += r.checkpoints;
+        res.reexec_cycles += r.reexec_cycles;
+        res.strikes += r.strikes;
+        res.interval_updates += updates[i];
+    }
+    // The policy's overhead in the calibrated energy model: every save
+    // streams cores x kCheckpointWordsPerCore words at kCheckpointWordEnergy
+    // each, every re-executed cycle burns the cluster's core energy — the
+    // exact two cost terms the adaptive controller optimizes (DESIGN.md
+    // §9), evaluated on what actually happened.
+    const double save_energy = ccfg.cores *
+                               static_cast<double>(power::cal::kCheckpointWordsPerCore) *
+                               power::cal::kCheckpointWordEnergy;
+    const double cycle_energy =
+        static_cast<double>(ccfg.cores) * power::cal::kCoreEnergyPerOp;
+    res.overhead_energy = static_cast<double>(res.checkpoints) * save_energy +
+                          static_cast<double>(res.reexec_cycles) * cycle_energy;
     return res;
 }
 

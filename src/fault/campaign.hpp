@@ -69,6 +69,22 @@ struct CampaignConfig {
     bool checkpoint = false;
     /// Interval between one-shot checkpoints; 0 = clean_cycles / 8.
     Cycle checkpoint_interval = 0;
+    /// Idle-cycle IM scrub walker on every injected cluster.
+    bool im_scrub = false;
+    /// Self-checking crossbar arbiters (suppress grant flips, resync a
+    /// stuck round-robin pointer) on every injected cluster.
+    bool xbar_self_check = false;
+    // ---- run_adaptive_campaign only -----------------------------------
+    /// Self-tuning checkpoint interval (DESIGN.md §9) instead of the fixed
+    /// checkpoint_interval above (which then only seeds the start).
+    bool adaptive_checkpoint = false;
+    /// Two-phase strike environment: expected upsets per cycle over the
+    /// quiet lead (the first lambda_split of the fault-free schedule) and
+    /// the burst tail (the rest) — a mostly-benign wearable that walks
+    /// into a high-flux episode.
+    double lambda_low = 0.0;
+    double lambda_high = 0.0;
+    double lambda_split = 0.75;
     /// Hang bound as a multiple of the fault-free run's cycle count.
     double max_cycles_factor = 4.0;
     /// Simulator tier (no effect on outcomes — differential-tested).
@@ -89,6 +105,7 @@ struct InjectionRecord {
     std::uint64_t rollbacks = 0;     ///< checkpoint restores in this run
     std::uint64_t checkpoints = 0;   ///< snapshots taken in this run
     Cycle reexec_cycles = 0;         ///< cycles re-executed after rollbacks
+    std::uint64_t strikes = 1;       ///< upsets deposited (adaptive runs: many)
 };
 
 struct CampaignResult {
@@ -100,6 +117,10 @@ struct CampaignResult {
     std::array<unsigned, kOutcomeCount> counts{};
     std::uint64_t checkpoints = 0;   ///< total snapshots over all injections
     Cycle reexec_cycles = 0;         ///< total re-executed cycles (rollback cost)
+    // Adaptive-campaign aggregates (zero elsewhere).
+    std::uint64_t strikes = 0;          ///< total upsets deposited
+    std::uint64_t interval_updates = 0; ///< controller re-solves that changed the interval
+    double overhead_energy = 0;         ///< checkpoint-save + re-execution energy [J]
 
     unsigned count(Outcome o) const { return counts[static_cast<unsigned>(o)]; }
     /// Fraction of injections that did NOT end in silent data corruption —
@@ -124,5 +145,22 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
 CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
                                       cluster::ArchKind arch, const CampaignConfig& cfg,
                                       sweep::SweepRunner& pool);
+
+/// Adaptive-vs-fixed checkpoint study (DESIGN.md §9). Every "injection" is
+/// one full multi-block streaming run on ONE continuous cluster driven by
+/// the CheckpointRunner; seeded strikes arrive at rate cfg.lambda_low over
+/// the first cfg.lambda_split of the fault-free schedule and
+/// cfg.lambda_high over the rest (exponential inter-arrival times).
+/// cfg.adaptive_checkpoint
+/// selects the self-tuning controller (starting from
+/// cfg.checkpoint_interval; 0 = max_interval), otherwise
+/// cfg.checkpoint_interval is the fixed interval under test. Strikes are
+/// transient: a rollback re-executes WITHOUT re-depositing them, so the
+/// interesting outputs are the policy's overhead — checkpoints taken,
+/// cycles re-executed, and their combined energy (overhead_energy) — at
+/// equal (ideally zero-SDC) coverage.
+CampaignResult run_adaptive_campaign(const app::StreamingBenchmark& bench,
+                                     cluster::ArchKind arch, const CampaignConfig& cfg,
+                                     sweep::SweepRunner& pool);
 
 } // namespace ulpmc::fault

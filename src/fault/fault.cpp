@@ -13,6 +13,8 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::RegUpset: return "reg-upset";
     case FaultKind::IXbarGlitch: return "ixbar-glitch";
     case FaultKind::DXbarGlitch: return "dxbar-glitch";
+    case FaultKind::IXbarStateUpset: return "ixbar-state-upset";
+    case FaultKind::DXbarStateUpset: return "dxbar-state-upset";
     }
     return "?";
 }
@@ -44,6 +46,15 @@ std::string FaultSpec::describe() const {
     case FaultKind::DXbarGlitch:
         os << " master" << static_cast<unsigned>(core)
            << (glitch == xbar::Glitch::Kind::DroppedGrant ? " dropped-grant" : " spurious-denial");
+        break;
+    case FaultKind::IXbarStateUpset:
+    case FaultKind::DXbarStateUpset:
+        if (arb_kind == xbar::ArbiterUpset::Kind::RrStuck) {
+            os << " rr-stuck head=" << arb_head;
+        } else {
+            os << " grant-flip core" << static_cast<unsigned>(core);
+            if (kind == FaultKind::DXbarStateUpset) os << (arb_write_port ? " wport" : " rport");
+        }
         break;
     }
     if (kind == FaultKind::ImBitFlip || kind == FaultKind::DmBitFlip ||
@@ -87,9 +98,9 @@ FaultSpec FaultInjector::draw(const FaultUniverse& u) {
     ULPMC_EXPECTS(u.burst_len >= 1 && u.burst_len <= 16);
     ULPMC_EXPECTS(u.reg_burst >= 1 && u.reg_burst <= kNumRegisters);
 
-    FaultKind enabled[5];
+    FaultKind enabled[7];
     unsigned n = 0;
-    for (unsigned k = 0; k < 5; ++k) {
+    for (unsigned k = 0; k < 7; ++k) {
         if (u.kinds & (1u << k)) enabled[n++] = static_cast<FaultKind>(k);
     }
 
@@ -122,6 +133,14 @@ FaultSpec FaultInjector::draw(const FaultUniverse& u) {
         f.glitch = rng_.below(2) == 0 ? xbar::Glitch::Kind::DroppedGrant
                                       : xbar::Glitch::Kind::SpuriousDenial;
         break;
+    case FaultKind::IXbarStateUpset:
+    case FaultKind::DXbarStateUpset:
+        f.arb_kind = rng_.below(2) == 0 ? xbar::ArbiterUpset::Kind::RrStuck
+                                        : xbar::ArbiterUpset::Kind::GrantFlip;
+        f.core = static_cast<CoreId>(rng_.below(u.cores));
+        f.arb_head = rng_.below(u.cores);
+        f.arb_write_port = rng_.below(2) != 0;
+        break;
     }
     return f;
 }
@@ -145,6 +164,19 @@ void FaultInjector::apply(cluster::Cluster& cl, const FaultSpec& f) {
         break;
     case FaultKind::DXbarGlitch:
         cl.inject_xbar_glitch(false, xbar::Glitch{f.glitch, f.core});
+        break;
+    case FaultKind::IXbarStateUpset:
+        cl.inject_xbar_state(true, xbar::ArbiterUpset{.kind = f.arb_kind,
+                                                      .master = f.core,
+                                                      .head = f.arb_head});
+        break;
+    case FaultKind::DXbarStateUpset:
+        // D-Xbar masters are port-numbered: core c owns read port 2c and
+        // write port 2c+1 (cluster::Cluster port mapping).
+        cl.inject_xbar_state(
+            false, xbar::ArbiterUpset{.kind = f.arb_kind,
+                                      .master = 2u * f.core + (f.arb_write_port ? 1u : 0u),
+                                      .head = f.arb_head});
         break;
     }
 }

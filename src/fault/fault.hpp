@@ -30,17 +30,27 @@ enum class FaultKind : std::uint8_t {
     DmBitFlip,  ///< data-memory bank cell
     RegUpset,   ///< architectural register of one core
     IXbarGlitch, ///< I-Xbar arbitration upset (dropped grant / spurious denial)
-    DXbarGlitch  ///< D-Xbar arbitration upset
+    DXbarGlitch, ///< D-Xbar arbitration upset
+    IXbarStateUpset, ///< I-Xbar arbiter STATE upset (stuck RR pointer / grant-register flip)
+    DXbarStateUpset  ///< D-Xbar arbiter state upset
 };
 
 const char* fault_kind_name(FaultKind k);
 
 /// Bitmask helpers for FaultUniverse::kinds.
 inline constexpr unsigned fault_bit(FaultKind k) { return 1u << static_cast<unsigned>(k); }
+/// The legacy universe. Deliberately EXCLUDES the arbiter-state kinds so
+/// that every committed campaign baseline (bench/BENCH_fault_coverage.json)
+/// reproduces its draw sequence bit-exactly; opt in via kArbiterFaultKinds.
 inline constexpr unsigned kAllFaultKinds =
     fault_bit(FaultKind::ImBitFlip) | fault_bit(FaultKind::DmBitFlip) |
     fault_bit(FaultKind::RegUpset) | fault_bit(FaultKind::IXbarGlitch) |
     fault_bit(FaultKind::DXbarGlitch);
+/// Arbiter sequential-state upsets (DESIGN.md §9): starvation via a stuck
+/// round-robin pointer, double-grant corruption via a flipped grant
+/// register, in either crossbar.
+inline constexpr unsigned kArbiterFaultKinds =
+    fault_bit(FaultKind::IXbarStateUpset) | fault_bit(FaultKind::DXbarStateUpset);
 
 /// One fully-resolved injection: kind, strike cycle, target, flipped bits.
 struct FaultSpec {
@@ -53,6 +63,10 @@ struct FaultSpec {
     std::uint32_t flip_mask = 1;   ///< XORed into the target
     unsigned burst = 1;            ///< RegUpset: registers struck (spatial MBU)
     xbar::Glitch::Kind glitch = xbar::Glitch::Kind::DroppedGrant;
+    // ---- arbiter-state upsets (XbarStateUpset kinds) ------------------
+    xbar::ArbiterUpset::Kind arb_kind = xbar::ArbiterUpset::Kind::GrantFlip;
+    unsigned arb_head = 0;         ///< RrStuck frozen priority head
+    bool arb_write_port = false;   ///< D-Xbar: strike the core's write port
 
     /// One-line rendering, e.g. "dm-bit-flip core3 @0x12a bit5 cycle 4711".
     std::string describe() const;

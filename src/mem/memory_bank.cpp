@@ -187,6 +187,28 @@ void MemoryBank::corrupt(std::size_t offset, std::uint32_t flip_mask) {
     ++stats_.faults_injected;
 }
 
+MemoryBank::ScrubResult MemoryBank::scrub_step(std::size_t offset) {
+    ULPMC_EXPECTS(offset < cells_.size());
+    ULPMC_EXPECTS(!gated_);
+    if (!ecc_) return {};
+    const ecc::Decode d = ecc::check(cells_[offset], check_[offset], cell_bits_);
+    if (d.uncorrectable) return {.corrected = false, .uncorrectable = true};
+    if (d.had_error) {
+        cells_[offset] = d.corrected;
+        check_[offset] = ecc::encode(d.corrected, cell_bits_);
+        return {.corrected = true, .uncorrectable = false};
+    }
+    return {};
+}
+
+std::size_t MemoryBank::latent_upsets() const {
+    if (!ecc_) return 0;
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < cells_.size(); ++i)
+        n += ecc::check(cells_[i], check_[i], cell_bits_).had_error;
+    return n;
+}
+
 void MemoryBank::set_power_gated(bool gated) {
     if (gated && !gated_) {
         // Gating drops state: make any stale-data bug loud, not silent.

@@ -117,6 +117,26 @@ public:
     /// Counted in stats().faults_injected.
     void corrupt(std::size_t offset, std::uint32_t flip_mask);
 
+    /// Outcome of one idle-cycle scrub step (DESIGN.md §9).
+    struct ScrubResult {
+        bool corrected = false;     ///< a latent single-bit upset was repaired
+        bool uncorrectable = false; ///< the word is already past SEC-DED's reach
+    };
+
+    /// Idle-cycle scrub: syndrome-checks the cell at `offset` and repairs
+    /// a single-bit upset in place. Unlike read() it does NOT touch the
+    /// demand-access statistics or the sticky uncorrectable flag — a scrub
+    /// engine walking the array is background maintenance, not a consuming
+    /// access (the cluster counts scrub reads separately and prices them
+    /// in power::cal). No-op without ECC (nothing to check against).
+    ScrubResult scrub_step(std::size_t offset);
+
+    /// Latent-upset population: cells whose stored bits disagree with
+    /// their check bits right now (upsets deposited but not yet read or
+    /// scrubbed). The drain metric for the IM scrub walker. Non-counting;
+    /// 0 without ECC.
+    std::size_t latent_upsets() const;
+
     /// Returns and clears the uncorrectable-error flag raised by the most
     /// recent read()s. The caller (the cluster) turns it into a trap.
     bool take_uncorrectable() {

@@ -112,6 +112,16 @@ inline constexpr double kRegTmrEnergyPerOp = 4.5e-12;
 /// routing toggles, ~= 32 pJ (compare kDmAccessEnergy = 23.2 pJ/access).
 inline constexpr double kCheckpointWordEnergy = 32.0e-12;
 inline constexpr unsigned kCheckpointWordsPerCore = 18;
+/// Idle-cycle IM scrub (DESIGN.md §9): the walker performs one background
+/// bank read per idle, ungated IM bank per cycle — priced like any other
+/// bank activation at the data width (the ECC codeword widening factor
+/// applies on top, exactly as for demand fetches).
+inline constexpr double kImScrubReadEnergy = 45.0e-12;
+/// Self-checking crossbar arbiter: a shadow grant computation plus a
+/// comparator per crossbar, toggling every cycle the checker is armed.
+/// Sized at ~20% of the interleaved I-Xbar's per-request routing energy
+/// (the checker re-evaluates the grant matrix but drives no output nets).
+inline constexpr double kXbarSelfCheckEnergyPerCycle = 0.75e-12;
 
 // ---- areas (Table I), kGE ---------------------------------------------------
 

@@ -66,6 +66,8 @@ EventRates EventRates::from_run(const cluster::ClusterStats& s) {
     r.ecc = s.ecc_enabled;
     r.ecc_corrections = static_cast<double>(s.ecc_corrected()) / ops;
     r.reg_protection = s.reg_protection;
+    r.im_scrub_reads = static_cast<double>(s.im_scrub_reads) / ops;
+    r.xbar_self_check = s.xbar_self_check;
     return r;
 }
 
@@ -89,7 +91,9 @@ EnergyConstants EnergyConstants::calibrated() {
             cal::kEccCorrectionEnergy,
             cal::kRegParityEnergyPerOp,
             cal::kRegTmrEnergyPerOp,
-            cal::kCheckpointWordEnergy};
+            cal::kCheckpointWordEnergy,
+            cal::kImScrubReadEnergy,
+            cal::kXbarSelfCheckEnergyPerCycle};
 }
 
 PowerModel::PowerModel(cluster::ArchKind arch, double clock_ns)
@@ -104,7 +108,9 @@ PowerModel::PowerModel(cluster::ArchKind arch, const EnergyConstants& consts, do
 PowerBreakdown PowerModel::energy_per_op(const EventRates& r) const {
     PowerBreakdown e;
     e.cores = c_.core_per_op + ipath_extra(arch_, c_);
-    e.im = c_.im_access * r.im_bank_accesses;
+    // Scrub-walker reads are background IM bank activations: same row,
+    // same ECC widening as demand fetches.
+    e.im = c_.im_access * r.im_bank_accesses + c_.im_scrub_read * r.im_scrub_reads;
     e.dm = c_.dm_access * r.dm_bank_accesses;
     if (r.ecc) {
         // SEC-DED widens every bank access to the codeword width and
@@ -124,6 +130,12 @@ PowerBreakdown PowerModel::energy_per_op(const EventRates& r) const {
     e.dxbar = c_.dxbar_per_req * r.dxbar_requests *
               (is_proposed(arch_) ? c_.dxbar_broadcast_mult : 1.0);
     e.ixbar = ixbar_energy_per_req(arch_, c_) * r.ixbar_requests;
+    if (r.xbar_self_check && r.ops_per_cycle > 0.0) {
+        // The checker toggles every cycle it is armed, not per request.
+        const double per_op = c_.xbar_selfcheck_cycle / r.ops_per_cycle;
+        e.dxbar += per_op;
+        if (is_proposed(arch_)) e.ixbar += per_op; // mc-ref has no I-Xbar
+    }
     e.clock = is_proposed(arch_) ? c_.clock_proposed : c_.clock_ref;
     return e;
 }

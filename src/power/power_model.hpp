@@ -37,6 +37,12 @@ struct EventRates {
     /// caller sets this analytically: checkpoints x cores x
     /// cal::kCheckpointWordsPerCore / total ops.
     double checkpoint_words_per_op = 0;
+    /// Idle-cycle IM scrub reads per op (background bank activations;
+    /// the ECC widening factor applies like on demand fetches).
+    double im_scrub_reads = 0;
+    /// Self-checking crossbar arbiters armed: charges a per-cycle checker
+    /// adder on both interconnect rows.
+    bool xbar_self_check = false;
 
     /// Condenses a finished run. Precondition: at least one op committed.
     static EventRates from_run(const cluster::ClusterStats& s);
@@ -87,6 +93,8 @@ struct EnergyConstants {
     double reg_parity_per_op;    ///< extra J/op with register parity on
     double reg_tmr_per_op;       ///< extra J/op with register TMR on
     double checkpoint_word;      ///< J per checkpointed state word
+    double im_scrub_read;        ///< J per IM scrub-walker bank read
+    double xbar_selfcheck_cycle; ///< J per armed-checker cycle (per crossbar)
 
     /// The calibrated defaults (DESIGN.md §4).
     static EnergyConstants calibrated();

@@ -26,6 +26,11 @@ void Crossbar::reset(unsigned masters, unsigned banks, bool broadcast) {
     fast_path_ = true;
     last_denied_ = false;
     glitch_armed_ = false;
+    self_check_ = false;
+    rr_stuck_ = false;
+    rr_head_ = 0;
+    flip_armed_ = false;
+    flip_master_ = 0;
     stats_ = {};
 }
 
@@ -55,7 +60,8 @@ void Crossbar::arbitrate_into(std::span<const Request> reqs, Cycle cycle, std::s
     // arbiter, which alone updates denied/conflict_cycles. The bitmasks
     // bound it to 32 banks/masters; larger geometries (not used by any
     // configuration here) always take the full path.
-    if (fast_path_ && !last_denied_ && !glitch_armed_ && banks_ <= 32 && masters_ <= 32) {
+    if (fast_path_ && !last_denied_ && !glitch_armed_ && !rr_stuck_ && !flip_armed_ &&
+        banks_ <= 32 && masters_ <= 32) {
         std::uint32_t pending = active_hint;
         if (masters_ < 32) pending &= (std::uint32_t{1} << masters_) - 1;
         std::uint32_t claimed = 0;
@@ -119,6 +125,17 @@ void Crossbar::inject_glitch(const Glitch& g) {
     glitch_armed_ = true;
 }
 
+void Crossbar::inject_arbiter_upset(const ArbiterUpset& u) {
+    if (u.kind == ArbiterUpset::Kind::RrStuck) {
+        rr_stuck_ = true;
+        rr_head_ = u.head % masters_;
+    } else {
+        ULPMC_EXPECTS(u.master < masters_);
+        flip_armed_ = true;
+        flip_master_ = u.master;
+    }
+}
+
 bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::span<Grant> out) {
     for (unsigned m = 0; m < masters_; ++m) out[m] = Grant{};
     for (auto& t : bank_taken_) t = 0;
@@ -129,6 +146,12 @@ bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::s
     glitch_armed_ = false;
     const bool suppress = glitched && g.kind == Glitch::Kind::SpuriousDenial;
 
+    // Consume a pending grant-register flip (one-shot, even when it finds
+    // no denied transfer to hijack — strikes don't wait for traffic).
+    const bool flip = flip_armed_;
+    const unsigned flip_m = flip_master_;
+    flip_armed_ = false;
+
     bool any_denied = false;
 
     // Pass 1: pick one winner per bank, scanning masters from the rotating
@@ -136,7 +159,19 @@ bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::s
     // round-robin fairness over time and — because one master is globally
     // top priority each cycle — guarantees that multi-port instructions
     // eventually receive all their grants in a single cycle.
-    const unsigned head = static_cast<unsigned>(cycle % masters_);
+    // A stuck priority-head register breaks exactly that guarantee: the
+    // same master stays top priority forever, so under persistent conflict
+    // the others starve. The self-checking arbiter compares the head
+    // register against the cycle counter and resynchronizes on mismatch.
+    unsigned head = static_cast<unsigned>(cycle % masters_);
+    if (rr_stuck_) {
+        if (self_check_) {
+            rr_stuck_ = false;
+            ++stats_.selfcheck_resyncs;
+        } else {
+            head = rr_head_ % masters_;
+        }
+    }
     for (unsigned i = 0; i < masters_; ++i) {
         const unsigned m = (head + i) % masters_;
         const Request& r = reqs[m];
@@ -166,6 +201,25 @@ bool Crossbar::arbitrate_full(std::span<const Request> reqs, Cycle cycle, std::s
             out[m].broadcast = true;
             ++stats_.grants;
             ++stats_.broadcast_riders;
+        } else if (flip && m == flip_m && bank_taken_[r.bank]) {
+            // The denied master's grant register flipped high while the
+            // bank port carries the winner's transfer. A self-checking
+            // arbiter re-votes, spots the inconsistent grant vector and
+            // suppresses the spurious grant — the master just stalls and
+            // retries like any denial. Without it the master latches the
+            // winner's word (wrong offset) on a read, or silently loses
+            // its store on a write: the double-grant corruption channel.
+            if (self_check_) {
+                ++stats_.selfcheck_fixes;
+                ++stats_.denied;
+                any_denied = true;
+            } else {
+                out[m].granted = true;
+                out[m].hijacked = true;
+                out[m].hijack_offset = w.offset;
+                ++stats_.grants;
+                ++stats_.hijacked_grants;
+            }
         } else {
             ++stats_.denied;
             any_denied = true;

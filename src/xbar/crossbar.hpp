@@ -34,6 +34,13 @@ struct Grant {
     /// True when this grant rode along on another master's bank access
     /// (read broadcast) instead of occupying the bank port itself.
     bool broadcast = false;
+    /// Fault model only (DESIGN.md §9): the grant register flipped high for
+    /// a master the arbiter actually denied. The master latches whatever is
+    /// on the bank port — the WINNER's word at `hijack_offset` — for a
+    /// read, and a hijacked write is silently lost (the winner holds the
+    /// port). Never set in fault-free operation.
+    bool hijacked = false;
+    std::uint32_t hijack_offset = 0;
 };
 
 /// Aggregate statistics over the run (inputs to the energy model and the
@@ -45,6 +52,9 @@ struct XbarStats {
     std::uint64_t broadcast_riders = 0; ///< grants served without a bank access
     std::uint64_t denied = 0;         ///< master-cycles stalled by a conflict
     std::uint64_t conflict_cycles = 0; ///< cycles in which >=1 master was denied
+    std::uint64_t hijacked_grants = 0; ///< grant-register upsets that corrupted a master
+    std::uint64_t selfcheck_fixes = 0; ///< spurious grants suppressed by the self-check
+    std::uint64_t selfcheck_resyncs = 0; ///< stuck RR pointers repaired by the self-check
 
     friend bool operator==(const XbarStats&, const XbarStats&) = default;
 };
@@ -66,6 +76,25 @@ struct Glitch {
     unsigned master = 0;
 };
 
+/// An upset of the arbiter's own sequential state (DESIGN.md §9). Unlike a
+/// Glitch — which the stall/retry protocol absorbs — arbiter-state upsets
+/// can corrupt data or starve masters:
+///   RrStuck: the rotating-priority head register freezes at `head`; under
+///     persistent conflict the low-priority masters starve (watchdog/hang).
+///     Persists until repaired (self-checking arbiter) or rolled back.
+///   GrantFlip: the grant register of `master` flips high on the next
+///     conflict cycle that actually denies it. The master latches the bank
+///     port mid-transfer — the winner's word, wrong offset — i.e. a broken
+///     read-broadcast / double-grant, a silent-corruption channel. A
+///     hijacked write grant loses the store (the winner holds the port).
+///     One-shot: consumed at the next full arbitration round.
+struct ArbiterUpset {
+    enum class Kind : std::uint8_t { RrStuck, GrantFlip };
+    Kind kind = Kind::GrantFlip;
+    unsigned master = 0; ///< GrantFlip target (ignored for RrStuck)
+    unsigned head = 0;   ///< RrStuck frozen priority head (ignored for GrantFlip)
+};
+
 /// Saved mutable state of one crossbar (Cluster snapshots): statistics,
 /// the denial-hysteresis bit, and any armed one-shot glitch.
 struct XbarSnapshot {
@@ -73,6 +102,10 @@ struct XbarSnapshot {
     bool last_denied = false;
     bool glitch_armed = false;
     Glitch glitch;
+    bool rr_stuck = false;
+    unsigned rr_head = 0;
+    bool flip_armed = false;
+    unsigned flip_master = 0;
 };
 
 /// One crossbar instance (I-Xbar: 8x8, D-Xbar: 8x16 in the paper).
@@ -95,12 +128,20 @@ public:
         out.last_denied = last_denied_;
         out.glitch_armed = glitch_armed_;
         out.glitch = glitch_;
+        out.rr_stuck = rr_stuck_;
+        out.rr_head = rr_head_;
+        out.flip_armed = flip_armed_;
+        out.flip_master = flip_master_;
     }
     void restore(const XbarSnapshot& s) {
         stats_ = s.stats;
         last_denied_ = s.last_denied;
         glitch_armed_ = s.glitch_armed;
         glitch_ = s.glitch;
+        rr_stuck_ = s.rr_stuck;
+        rr_head_ = s.rr_head;
+        flip_armed_ = s.flip_armed;
+        flip_master_ = s.flip_master;
     }
 
     unsigned masters() const { return masters_; }
@@ -152,6 +193,20 @@ public:
     void inject_glitch(const Glitch& g);
     bool glitch_pending() const { return glitch_armed_; }
 
+    /// Upsets the arbiter's sequential state (RR pointer / grant register).
+    /// RrStuck persists until the self-check repairs it or a snapshot is
+    /// restored; GrantFlip is one-shot, consumed at the next full round.
+    void inject_arbiter_upset(const ArbiterUpset& u);
+    bool arbiter_upset_pending() const { return rr_stuck_ || flip_armed_; }
+
+    /// Self-checking arbiter (DESIGN.md §9): duplicate-and-compare on the
+    /// grant vector and priority head. A spurious grant is suppressed
+    /// (the master stalls and retries, selfcheck_fixes); a stuck priority
+    /// head is resynchronized from the cycle counter (selfcheck_resyncs).
+    /// Configuration, not snapshot state — priced per-cycle in power::cal.
+    void set_self_check(bool on) { self_check_ = on; }
+    bool self_check() const { return self_check_; }
+
     const XbarStats& stats() const { return stats_; }
     void reset_stats() { stats_ = {}; }
 
@@ -172,6 +227,11 @@ private:
     bool last_denied_ = false;
     Glitch glitch_;              ///< one-shot upset, valid while armed
     bool glitch_armed_ = false;
+    bool self_check_ = false;    ///< configuration: self-checking arbiter
+    bool rr_stuck_ = false;      ///< priority head frozen at rr_head_
+    unsigned rr_head_ = 0;
+    bool flip_armed_ = false;    ///< grant register of flip_master_ upset
+    unsigned flip_master_ = 0;
     std::uint32_t master_mask_ = 0; ///< masters_-1 when a power of two, else 0
     XbarStats stats_;
     std::vector<std::uint8_t> bank_taken_; // scratch, sized banks_

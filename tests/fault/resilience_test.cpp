@@ -88,11 +88,12 @@ TEST(ResilientStreaming, EccHealsUpsetWithoutRollback) {
 TEST(CheckpointedStreaming, FaultFreeRunTakesOneCheckpointPerBlock) {
     // The generalized service replaces per-block cluster rebuilds with one
     // continuous cluster: cross-block state survives, and the only cost in
-    // a clean run is the checkpoints themselves.
+    // a clean run is the checkpoints themselves — one per block boundary
+    // plus the final commit point after the drain.
     const StreamingBenchmark s({.use_barrier = true}, 3);
     const auto out = s.run_checkpointed(stream_config(s));
     EXPECT_EQ(out.blocks, 3u);
-    EXPECT_EQ(out.checkpoints, 3u);
+    EXPECT_EQ(out.checkpoints, 4u);
     EXPECT_EQ(out.rollbacks, 0u);
     EXPECT_EQ(out.reexec_cycles, 0u);
     EXPECT_EQ(out.leads_dropped, 0u);

@@ -97,6 +97,44 @@ TEST(Governor, TinyGapsDoNotSleep) {
     EXPECT_DOUBLE_EQ(race.sleep_s, 0.0);
 }
 
+TEST(Governor, SleepRequiresTheGapToStrictlyExceedMinSleep) {
+    // The boundary is exact: a gap equal to min_sleep_s stays in active
+    // idle (entering sleep for a gap that merely ties the minimum buys
+    // nothing once the transition is paid), a hair under it sleeps.
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    SleepModel s;
+    const double gap = DutyCycleGovernor(m, bank_rates(), s).race_to_idle(kOps, kPeriod).sleep_s;
+    ASSERT_GT(gap, 0.0);
+
+    s.min_sleep_s = gap; // exactly at the boundary
+    const auto at = DutyCycleGovernor(m, bank_rates(), s).race_to_idle(kOps, kPeriod);
+    EXPECT_DOUBLE_EQ(at.sleep_s, 0.0);
+    EXPECT_NEAR(at.busy_s + gap, kPeriod, 1e-9) << "the gap itself must not change";
+
+    s.min_sleep_s = gap * (1.0 - 1e-9); // just under: the gap qualifies
+    const auto under = DutyCycleGovernor(m, bank_rates(), s).race_to_idle(kOps, kPeriod);
+    EXPECT_DOUBLE_EQ(under.sleep_s, gap);
+}
+
+TEST(Governor, ActiveIdleGapIsPricedAtFullLeakage) {
+    // A gap too short to sleep still leaks at the full active rate for its
+    // whole duration — exactly what a retention fraction of 1 with free
+    // transitions charges. The two schedules must agree bit-for-bit: that
+    // is the break-even identity between active idle and useless sleep.
+    const PowerModel m(cluster::ArchKind::UlpmcBank);
+    SleepModel no_sleep;
+    no_sleep.min_sleep_s = 1e9;
+    SleepModel full_leak;
+    full_leak.retention_leakage_fraction = 1.0;
+    full_leak.transition_energy = 0.0;
+    const auto active = DutyCycleGovernor(m, bank_rates(), no_sleep).race_to_idle(kOps, kPeriod);
+    const auto retention =
+        DutyCycleGovernor(m, bank_rates(), full_leak).race_to_idle(kOps, kPeriod);
+    EXPECT_DOUBLE_EQ(active.energy_per_period, retention.energy_per_period);
+    EXPECT_DOUBLE_EQ(active.sleep_s, 0.0);
+    EXPECT_GT(retention.sleep_s, 0.0);
+}
+
 TEST(Governor, InvalidInputsAreContractViolations) {
     const PowerModel m(cluster::ArchKind::UlpmcBank);
     const DutyCycleGovernor gov(m, bank_rates());

@@ -21,6 +21,7 @@ import sys
 
 ID_KEYS = (
     "workload",
+    "policy",
     "arch",
     "ecc",
     "protection",
@@ -33,12 +34,25 @@ ID_KEYS = (
 
 
 def load(path):
-    with open(path) as f:
-        doc = json.load(f)
-    if "campaigns" not in doc:
-        sys.exit(f"{path}: not a campaign artifact (no 'campaigns' key)")
+    # A missing, truncated or hand-mangled artifact must fail the gate
+    # with a diagnosis, not a traceback (CI wires stderr to the check).
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: malformed JSON: {e}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("campaigns"), list):
+        sys.exit(f"{path}: not a campaign artifact (no 'campaigns' list)")
     index = {}
-    for c in doc["campaigns"]:
+    for i, c in enumerate(doc["campaigns"]):
+        if (
+            not isinstance(c, dict)
+            or not isinstance(c.get("outcomes"), dict)
+            or not isinstance(c.get("coverage"), (int, float))
+        ):
+            sys.exit(f"{path}: campaign #{i} lacks 'outcomes'/'coverage'")
         key = tuple(c.get(k) for k in ID_KEYS)
         if key in index:
             sys.exit(f"{path}: duplicate campaign identity {key}")
@@ -47,7 +61,7 @@ def load(path):
 
 
 def describe(key):
-    return ", ".join(f"{k}={v}" for k, v in zip(ID_KEYS, key))
+    return ", ".join(f"{k}={v}" for k, v in zip(ID_KEYS, key) if v is not None)
 
 
 def main():

@@ -19,6 +19,7 @@ import sys
 # Keys that must be identical across shards for a campaign to be mergeable.
 META_KEYS = (
     "workload",
+    "policy",
     "arch",
     "ecc",
     "protection",
@@ -28,14 +29,31 @@ META_KEYS = (
     "seed",
     "clean_cycles",
     "energy_per_op",
+    "cores",
 )
+
+# Per-shard totals that sum across shards (adaptive-campaign artifacts).
+SUM_KEYS = ("strikes", "checkpoints", "reexec_cycles", "interval_updates")
+
+# Mirrors power::cal — overhead_energy is recomputed from the merged
+# integer totals with the bench's own constants and expression, which is
+# what keeps the merged artifact byte-identical to an unsharded run.
+CHECKPOINT_WORDS_PER_CORE = 18.0
+CHECKPOINT_WORD_ENERGY = 32.0e-12
+CORE_ENERGY_PER_OP = 22.5e-12
 
 
 def load(path):
     # parse_float=str keeps energy_per_op exactly as the C++ bench printed
-    # it, so the merged file reproduces those bytes verbatim.
-    with open(path) as f:
-        return json.load(f, parse_float=str)
+    # it, so the merged file reproduces those bytes verbatim. A missing or
+    # mangled shard must fail with a diagnosis, not a traceback.
+    try:
+        with open(path) as f:
+            return json.load(f, parse_float=str)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read: {e.strerror or e}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: malformed JSON: {e}")
 
 
 def fmt_number(v):
@@ -54,8 +72,15 @@ def fmt_number(v):
 def merge(shards):
     campaigns = None
     for path, doc in shards:
-        if "campaigns" not in doc:
-            sys.exit(f"{path}: not a campaign artifact (no 'campaigns' key)")
+        if not isinstance(doc, dict) or not isinstance(doc.get("campaigns"), list):
+            sys.exit(f"{path}: not a campaign artifact (no 'campaigns' list)")
+        for i, c in enumerate(doc["campaigns"]):
+            if (
+                not isinstance(c, dict)
+                or not isinstance(c.get("outcomes"), dict)
+                or not isinstance(c.get("injections"), int)
+            ):
+                sys.exit(f"{path}: campaign #{i} lacks 'outcomes'/'injections'")
         if campaigns is None:
             campaigns = [dict(c) for c in doc["campaigns"]]
             continue
@@ -69,6 +94,9 @@ def merge(shards):
                         f"({merged.get(k)!r} vs {c.get(k)!r})"
                     )
             merged["injections"] += c["injections"]
+            for k in SUM_KEYS:
+                if k in merged:
+                    merged[k] += c[k]
             for name, n in c["outcomes"].items():
                 merged["outcomes"][name] += n
     for c in campaigns:
@@ -78,25 +106,43 @@ def merge(shards):
         c["coverage"] = (
             1.0 if c["injections"] == 0 else 1.0 - sdc / c["injections"]
         )
+        if "overhead_energy" in c:
+            cores = float(c["cores"])
+            save = cores * CHECKPOINT_WORDS_PER_CORE * CHECKPOINT_WORD_ENERGY
+            cycle = cores * CORE_ENERGY_PER_OP
+            c["overhead_energy"] = (
+                float(c["checkpoints"]) * save + float(c["reexec_cycles"]) * cycle
+            )
     return campaigns
 
 
 def render(campaigns):
-    # Mirrors ext_fault_campaign's write_json (no shard key) byte for byte.
+    # Mirrors ext_fault_campaign's / ext_fault_adaptive's write_json (no
+    # shard key) byte for byte.
     out = ["{", '  "campaigns": [']
     for i, c in enumerate(campaigns):
         outcomes = ", ".join(
             f'"{name}": {n}' for name, n in c["outcomes"].items()
         )
+        policy = f'"policy": "{c["policy"]}", ' if "policy" in c else ""
+        extra = ""
+        if "overhead_energy" in c:
+            extra = (
+                f'\n     "cores": {c["cores"]}, "strikes": {c["strikes"]}, '
+                f'"checkpoints": {c["checkpoints"]}, '
+                f'"reexec_cycles": {c["reexec_cycles"]}, '
+                f'"interval_updates": {c["interval_updates"]}, '
+                f'"overhead_energy": {fmt_number(c["overhead_energy"])},'
+            )
         line = (
-            f'    {{"workload": "{c["workload"]}", "arch": "{c["arch"]}", '
+            f'    {{"workload": "{c["workload"]}", {policy}"arch": "{c["arch"]}", '
             f'"ecc": {fmt_number(c["ecc"])}, '
             f'"protection": "{c["protection"]}", '
             f'"checkpoint": {fmt_number(c["checkpoint"])}, '
             f'"burst_len": {c["burst_len"]}, "reg_burst": {c["reg_burst"]}, '
             f'"seed": {c["seed"]}, "injections": {c["injections"]}, '
             f'"clean_cycles": {c["clean_cycles"]}, '
-            f'"energy_per_op": {fmt_number(c["energy_per_op"])},\n'
+            f'"energy_per_op": {fmt_number(c["energy_per_op"])},{extra}\n'
             f'     "outcomes": {{{outcomes}}}, '
             f'"coverage": {fmt_number(c["coverage"])}}}'
             + ("," if i + 1 < len(campaigns) else "")

@@ -11,6 +11,8 @@
 //                                          DESIGN.md §10)
 //     --ecc                                SEC-DED on every memory bank
 //     --regprot none|parity|tmr            register-file protection mode
+//     --im-scrub                           idle-cycle IM scrub walker
+//     --xbar-selfcheck                     self-checking crossbar arbiters
 //     --watchdog N                         stuck-core trap after N idle cycles
 //     --trace N                            print the last N trace events
 //     --dump ADDR LEN                      dump core 0's memory after run
@@ -38,7 +40,8 @@ namespace {
 int usage() {
     std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
                  "                 [--shared W] [--private W] [--engine E] [--ecc]\n"
-                 "                 [--regprot none|parity|tmr] [--watchdog N]\n"
+                 "                 [--regprot none|parity|tmr] [--im-scrub]\n"
+                 "                 [--xbar-selfcheck] [--watchdog N]\n"
                  "                 [--trace N] [--dump ADDR LEN] [--max-cycles N]\n";
     return 2;
 }
@@ -69,6 +72,8 @@ int main(int argc, char** argv) {
     Addr shared_words = 64;
     Addr private_words = 1024;
     bool ecc = false;
+    bool im_scrub = false;
+    bool xbar_self_check = false;
     core::RegProtection regprot = core::RegProtection::None;
     cluster::SimEngine engine = cluster::SimEngine::Trace;
     Cycle watchdog = 0;
@@ -98,6 +103,10 @@ int main(int argc, char** argv) {
                 static_cast<Addr>(parse_num(arg, next("words"), 1, kDmWordsTotal));
         } else if (arg == "--ecc") {
             ecc = true;
+        } else if (arg == "--im-scrub") {
+            im_scrub = true;
+        } else if (arg == "--xbar-selfcheck") {
+            xbar_self_check = true;
         } else if (arg == "--regprot") {
             const std::string name = next("none|parity|tmr");
             if (!core::parse_reg_protection(name.c_str(), regprot)) {
@@ -191,6 +200,8 @@ int main(int argc, char** argv) {
     cfg.cores = cores;
     cfg.barrier_enabled = true; // harmless if unused
     cfg.ecc_enabled = ecc;
+    cfg.im_scrub = im_scrub;
+    cfg.xbar_self_check = xbar_self_check;
     cfg.reg_protection = regprot;
     cfg.engine = engine;
     cfg.watchdog_cycles = watchdog;
