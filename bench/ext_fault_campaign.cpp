@@ -19,7 +19,13 @@
 // JSONs back into the byte-identical unsharded artifact.
 //
 // Usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]
-//                           [--engine reference|fast|trace] [--shard K/N]
+//                           [--engine reference|fast|trace|batched]
+//                           [--batch B] [--shard K/N]
+//
+// --engine batched runs every campaign through the lockstep-sharing tier
+// (DESIGN.md §11): outcome/energy tables stay byte-identical to trace,
+// only wall-clock changes, and the JSON artifact gains per-campaign
+// batch_lockstep_cycles / batch_lane_peels / batch_peel_reasons fields.
 #include <algorithm>
 #include <cstdint>
 #include <cstdlib>
@@ -29,6 +35,7 @@
 
 #include "app/benchmark.hpp"
 #include "app/streaming.hpp"
+#include "cluster/stats.hpp"
 #include "common/table.hpp"
 #include "exp/experiments.hpp"
 #include "fault/campaign.hpp"
@@ -132,8 +139,21 @@ void write_json(std::ostream& os, const std::vector<TaggedResult>& results, unsi
             os << (o ? ", " : "") << '"' << fault::outcome_name(static_cast<fault::Outcome>(o))
                << "\": " << r.counts[o];
         }
-        os << "}, \"coverage\": " << r.coverage() << "}" << (i + 1 < results.size() ? "," : "")
-           << "\n";
+        os << "}, \"coverage\": " << r.coverage();
+        // Batched-engine observability only: the trace/reference artifact
+        // stays byte-for-byte what the committed baselines expect.
+        if (r.cfg.engine == cluster::SimEngine::Batched) {
+            os << ",\n     \"batch_lockstep_cycles\": " << r.batch_lockstep_cycles
+               << ", \"batch_lane_peels\": " << r.batch_lane_peels
+               << ", \"batch_peel_reasons\": {";
+            for (unsigned p = 0; p < cluster::kPeelReasonCount; ++p) {
+                os << (p ? ", " : "") << '"'
+                   << cluster::peel_reason_name(static_cast<cluster::PeelReason>(p))
+                   << "\": " << r.batch_peel_reasons[p];
+            }
+            os << "}";
+        }
+        os << "}" << (i + 1 < results.size() ? "," : "") << "\n";
     }
     os << "  ]\n}\n";
 }
@@ -157,15 +177,19 @@ int main(int argc, char** argv) {
         } else if (arg == "--engine" && i + 1 < argc) {
             if (!cluster::parse_engine(argv[++i], cfg.engine)) {
                 std::cerr << "unknown engine '" << argv[i]
-                          << "' (expected reference, fast or trace)\n";
+                          << "' (expected reference, fast, trace or batched)\n";
                 return 2;
             }
+        } else if (arg == "--batch" && i + 1 < argc && parse_u64(argv[++i], v) && v >= 1 &&
+                   v <= 4096) {
+            cfg.batch = static_cast<unsigned>(v);
         } else if (arg == "--shard" && i + 1 < argc &&
                    parse_shard(argv[++i], cfg.shard_index, cfg.shard_count)) {
             // parsed in place
         } else {
             std::cerr << "usage: ext_fault_campaign [--injections N] [--seed S] [--json FILE]\n"
-                         "                          [--engine reference|fast|trace] [--shard K/N]\n";
+                         "                          [--engine reference|fast|trace|batched]\n"
+                         "                          [--batch B] [--shard K/N]\n";
             return 2;
         }
     }

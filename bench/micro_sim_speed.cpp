@@ -14,9 +14,11 @@
 #include <vector>
 
 #include "app/benchmark.hpp"
+#include "app/streaming.hpp"
 #include "cluster/cluster.hpp"
 #include "core/alu.hpp"
 #include "core/functional_core.hpp"
+#include "fault/campaign.hpp"
 #include "isa/assembler.hpp"
 #include "isa/encoding.hpp"
 #include "sweep/sweep.hpp"
@@ -280,6 +282,61 @@ void BM_Sweep(benchmark::State& state, unsigned threads) {
 }
 BENCHMARK_CAPTURE(BM_Sweep, pool1, 1u);
 BENCHMARK_CAPTURE(BM_Sweep, pool_hw, 0u);
+
+// Campaign throughput (DESIGN.md §11): the batched engine vs the trace
+// tier on identical fault campaigns — byte-identical outcome tables,
+// wall-clock is the only difference, so the pair ratio IS the engine
+// speedup. `streaming_*` is the fleet shape the batched tier targets
+// (sparse strikes over a long stream, clean prefix/tail memoized):
+// one resilient SEU row plus one checkpointed burst row. `oneshot_*`
+// is the run-to-completion shape where every injection diverges for
+// good — the ratio there hovers near 1 and guards against the batched
+// bookkeeping ever making campaigns slower than trace.
+void BM_CampaignThroughput(benchmark::State& state, cluster::SimEngine engine, bool streaming) {
+    sweep::SweepRunner pool(1);
+    fault::CampaignConfig seu;
+    seu.injections = 20;
+    seu.seed = 42;
+    seu.ecc = true;
+    seu.engine = engine;
+    seu.batch = 8;
+    unsigned injections = 0;
+    if (streaming) {
+        const app::StreamingBenchmark stream({.use_barrier = true}, 4);
+        auto burst = seu;
+        burst.reg_protection = core::RegProtection::Parity;
+        burst.checkpoint = true;
+        burst.burst_len = 3;
+        burst.reg_burst = 2;
+        for (auto _ : state) {
+            const auto a =
+                fault::run_streaming_campaign(stream, cluster::ArchKind::UlpmcBank, seu, pool);
+            const auto b =
+                fault::run_streaming_campaign(stream, cluster::ArchKind::UlpmcBank, burst, pool);
+            injections += a.cfg.injections + b.cfg.injections;
+            benchmark::DoNotOptimize(a.runs.data());
+            benchmark::DoNotOptimize(b.runs.data());
+        }
+    } else {
+        const app::EcgBenchmark bench{};
+        seu.injections = 40;
+        for (auto _ : state) {
+            const auto a = fault::run_campaign(bench, cluster::ArchKind::UlpmcBank, seu, pool);
+            injections += a.cfg.injections;
+            benchmark::DoNotOptimize(a.runs.data());
+        }
+    }
+    state.counters["inj/s"] =
+        benchmark::Counter(static_cast<double>(injections), benchmark::Counter::kIsRate);
+}
+BENCHMARK_CAPTURE(BM_CampaignThroughput, streaming_trace, cluster::SimEngine::Trace, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignThroughput, streaming_batched, cluster::SimEngine::Batched, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignThroughput, oneshot_trace, cluster::SimEngine::Trace, false)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_CampaignThroughput, oneshot_batched, cluster::SimEngine::Batched, false)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FullBenchmarkRun(benchmark::State& state) {
     const app::EcgBenchmark bench{};

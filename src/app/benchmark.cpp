@@ -59,7 +59,8 @@ EcgBenchmark::EcgBenchmark(const BenchmarkOptions& opt)
       matrix_(opt.seed), leads_(make_leads(opt.seed)), golden_y_(compress_all(matrix_, leads_)),
       golden_sym_(quantize_all(golden_y_)), table_(train_table(golden_sym_)),
       golden_bits_(encode_all(table_, golden_sym_)),
-      program_(build_ecg_program(matrix_, table_, layout_)) {}
+      program_(build_ecg_program(matrix_, table_, layout_)),
+      image_(isa::ProgramImage::build(program_)) {}
 
 const std::vector<std::int16_t>& EcgBenchmark::lead_samples(unsigned lead) const {
     ULPMC_EXPECTS(lead < leads_.size());
@@ -99,7 +100,7 @@ EcgBenchmark::Outcome EcgBenchmark::run(const cluster::ClusterConfig& cfg_in) co
     cluster::ClusterConfig cfg = cfg_in;
     cfg.barrier_enabled = layout_.use_barrier; // program and hardware agree
 
-    cluster::Cluster& cl = cluster::pooled_cluster(cfg, program_);
+    cluster::Cluster& cl = cluster::pooled_cluster(cfg, image_);
     load_inputs(cl, cfg.cores);
     cl.run();
 

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "app/cs.hpp"
@@ -15,6 +16,7 @@
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
 #include "isa/program.hpp"
+#include "isa/program_image.hpp"
 
 namespace ulpmc::app {
 
@@ -33,6 +35,9 @@ public:
 
     const BenchmarkOptions& options() const { return opt_; }
     const isa::Program& program() const { return program_; }
+    /// Shared decoded image of program(): built once at construction so
+    /// campaigns and sweeps load clusters without re-decoding (DESIGN.md §11).
+    const std::shared_ptr<const isa::ProgramImage>& image() const { return image_; }
     const BenchmarkLayout& layout() const { return layout_; }
     const CsMatrix& matrix() const { return matrix_; }
     const HuffmanTable& table() const { return table_; }
@@ -76,6 +81,7 @@ private:
     HuffmanTable table_;
     std::vector<BitStream> golden_bits_;
     isa::Program program_;
+    std::shared_ptr<const isa::ProgramImage> image_;
 };
 
 } // namespace ulpmc::app

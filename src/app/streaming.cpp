@@ -10,7 +10,8 @@ namespace ulpmc::app {
 
 StreamingBenchmark::StreamingBenchmark(const BenchmarkOptions& opt, unsigned n_blocks)
     : base_(opt), n_blocks_(n_blocks),
-      program_(build_streaming_program(base_.matrix(), base_.table(), base_.layout(), n_blocks)) {
+      program_(build_streaming_program(base_.matrix(), base_.table(), base_.layout(), n_blocks)),
+      image_(isa::ProgramImage::build(program_)) {
     ULPMC_EXPECTS(n_blocks >= 1);
 }
 
@@ -22,7 +23,7 @@ StreamingBenchmark::Outcome StreamingBenchmark::run(const cluster::ClusterConfig
     cluster::ClusterConfig cfg = cfg_in;
     cfg.barrier_enabled = base_.layout().use_barrier;
 
-    cluster::Cluster& cl = cluster::pooled_cluster(cfg, program_);
+    cluster::Cluster& cl = cluster::pooled_cluster(cfg, image_);
     const auto& lay = base_.layout();
     base_.load_inputs(cl, cfg.cores);
 
@@ -70,6 +71,13 @@ StreamingBenchmark::run_resilient(cluster::ArchKind arch, const BlockFaultHook& 
 StreamingBenchmark::ResilientOutcome
 StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
                                   const BlockFaultHook& hook) const {
+    return run_resilient(cfg_in, hook, {});
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in, const BlockFaultHook& hook,
+                                  const BlockPerturbed& perturbed,
+                                  Cycle known_clean_block) const {
     cluster::ClusterConfig cfg = cfg_in;
     cfg.barrier_enabled = base_.layout().use_barrier;
     const auto& lay = base_.layout();
@@ -79,10 +87,10 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
     // rollback (block inputs are replayed from the sensor FIFO). One
     // cluster instance serves every attempt of every block: reset() reuses
     // its buffers, so the monitor's steady state allocates nothing.
-    cluster::Cluster cl(cfg, base_.program());
+    cluster::Cluster cl(cfg, base_.image());
     bool first_launch = true;
     const auto launch_block = [&]() -> cluster::Cluster& {
-        if (!first_launch) cl.reset(cfg, base_.program());
+        if (!first_launch) cl.reset(cfg, base_.image());
         first_launch = false;
         base_.load_inputs(cl, cfg.cores);
         return cl;
@@ -107,7 +115,11 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
     ResilientOutcome out;
     out.lead_alive.assign(cfg.cores, 1);
 
-    { // fault-free reference block: calibrates the per-attempt cycle budget
+    if (known_clean_block != 0) {
+        // Caller has already calibrated (and validated) the reference
+        // block — the batched campaign path, once per campaign.
+        out.clean_block_cycles = known_clean_block;
+    } else { // fault-free reference block: calibrates the per-attempt cycle budget
         cluster::Cluster& ref = launch_block();
         out.clean_block_cycles = ref.run();
         for (unsigned p = 0; p < cfg.cores; ++p) ULPMC_EXPECTS(lead_ok(ref, p));
@@ -117,6 +129,18 @@ StreamingBenchmark::run_resilient(const cluster::ClusterConfig& cfg_in,
     const Cycle budget = 4 * out.clean_block_cycles + cfg.watchdog_cycles + 1000;
 
     for (unsigned block = 0; block < n_blocks_; ++block) {
+        if (perturbed && !perturbed(block, 0)) {
+            // Unperturbed first attempt: the cluster is re-initialized per
+            // block, so this attempt is bit-identical to the fault-free
+            // reference block — it verifies on every live lead and commits.
+            // Credit it instead of simulating it (exact by determinism;
+            // the clean block fires no protection events, so the
+            // resilience counters gain nothing either).
+            out.total_cycles += out.clean_block_cycles;
+            out.memoized_cycles += out.clean_block_cycles;
+            ++out.blocks;
+            continue;
+        }
         for (unsigned attempt = 0; attempt < 2; ++attempt) {
             cluster::Cluster& att = launch_block();
             if (hook) hook(att, block, attempt);
@@ -167,6 +191,32 @@ StreamingBenchmark::run_checkpointed(cluster::ArchKind arch, const BlockFaultHoo
 StreamingBenchmark::ResilientOutcome
 StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
                                      const BlockFaultHook& hook) const {
+    return run_checkpointed_impl(cfg_in, hook, nullptr, nullptr, false);
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
+                                     const BlockFaultHook& hook, const BlockPerturbed& perturbed,
+                                     CheckpointedStreamMemo& memo) const {
+    if (!memo.valid_) {
+        // Capture pass: one fault-free continuous run, snapshotted at
+        // every block boundary. Amortized over the whole campaign shard
+        // this thread processes.
+        memo.boundary_.resize(n_blocks_);
+        memo.cum_.resize(n_blocks_);
+        const ResilientOutcome clean = run_checkpointed_impl(cfg_in, {}, nullptr, &memo, true);
+        ULPMC_EXPECTS(clean.rollbacks == 0 && clean.leads_dropped == 0);
+        memo.clean_block_cycles_ = clean.clean_block_cycles;
+        memo.valid_ = true;
+    }
+    return run_checkpointed_impl(cfg_in, hook, &perturbed, &memo, false);
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
+                                          const BlockFaultHook& hook,
+                                          const BlockPerturbed* perturbed,
+                                          CheckpointedStreamMemo* memo, bool capture) const {
     cluster::ClusterConfig cfg = cfg_in;
     cfg.barrier_enabled = base_.layout().use_barrier;
     const auto& lay = base_.layout();
@@ -174,8 +224,10 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
     ResilientOutcome out;
     out.lead_alive.assign(cfg.cores, 1);
 
-    { // fault-free single-block reference: calibrates the attempt budget
-        cluster::Cluster& ref = cluster::pooled_cluster(cfg, base_.program());
+    if (memo && memo->valid_) {
+        out.clean_block_cycles = memo->clean_block_cycles_;
+    } else { // fault-free single-block reference: calibrates the attempt budget
+        cluster::Cluster& ref = cluster::pooled_cluster(cfg, base_.image());
         base_.load_inputs(ref, cfg.cores);
         out.clean_block_cycles = ref.run();
     }
@@ -192,7 +244,7 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
 
     // ONE cluster instance runs the whole multi-block program; the
     // checkpoint service snapshots it at every block boundary.
-    cluster::Cluster cl(cfg, program_);
+    cluster::Cluster cl(cfg, image_);
     base_.load_inputs(cl, cfg.cores);
     cluster::CheckpointRunner runner(cl);
     // Explicit block-boundary checkpoints; per-lead verification and the
@@ -269,8 +321,50 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
         out.im_scrub_corrected += st.im_scrub_corrected - base_scrub;
     };
 
+    // Memoized replay: the injection's clean prefix — every block before
+    // the first perturbed one — IS the fault-free stream, so restore that
+    // block's boundary snapshot (stats and all) instead of simulating the
+    // prefix. Exact: the restored state, the committed-block count and the
+    // later lead_failed() block arithmetic all line up by determinism.
+    const bool memoized = !capture && memo && memo->valid_ && perturbed && *perturbed;
+    unsigned start_block = 0;
+    if (memoized) {
+        while (start_block + 1 < n_blocks_ && !(*perturbed)(start_block, 0)) ++start_block;
+        if (start_block > 0) {
+            cl.restore(memo->boundary_[start_block]);
+            out.memoized_cycles = cl.stats().cycles;
+            out.blocks = start_block;
+        }
+    }
+
+    // Tail rejoin (DESIGN.md §11): after the last perturbed block commits,
+    // the remaining attempts are by contract a no-op for the hook — so if
+    // the continuous state has converged back onto the fault-free stream
+    // (a rollback restored the clean checkpoint, or the upset was ECC-
+    // corrected / overwritten in place), the tail IS the memoized clean
+    // run. state_equals() at the next boundary is the proof; divergent
+    // state (latent upsets, dropped leads) simulates the tail as before.
+    unsigned last_perturbed = 0;
+    if (memoized) {
+        for (unsigned b = 0; b < n_blocks_; ++b)
+            if ((*perturbed)(b, 0) || (*perturbed)(b, 1)) last_perturbed = b;
+    }
+    const auto clean_cum_now = [&] {
+        return CheckpointedStreamMemo::CleanCum{
+            cl.stats().cycles,        out.ecc_corrected,   out.reg_parity_traps,
+            out.reg_tmr_votes,        out.watchdog_trips,  out.xbar_selfchecks,
+            out.im_scrub_corrected};
+    };
+    Cycle tail_cycles = 0;
+    std::uint64_t tail_checkpoints = 0;
+    bool tail_skipped = false;
+
     std::vector<unsigned> corrupted;
-    for (unsigned block = 0; block < n_blocks_; ++block) {
+    for (unsigned block = start_block; block < n_blocks_; ++block) {
+        if (capture) {
+            cl.save(memo->boundary_[block]);
+            memo->cum_[block] = clean_cum_now();
+        }
         // Block boundary = recovery point. The runner owns the pre-save
         // register scrub (checkpoint() sweeps the files through the
         // protection layer before saving — DESIGN.md §9), so the base is
@@ -278,6 +372,30 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
         // banked delta, exactly like the per-attempt repairs used to.
         sample_base();
         runner.checkpoint();
+        // Tail rejoin is tested AFTER the checkpoint: the service's sweep
+        // is what repairs a protected register (TMR vote, parity scrub),
+        // so a corrected strike converges exactly here — and on clean
+        // state the sweep is architecturally a no-op, which is what makes
+        // the pre-checkpoint boundary snapshot the right reference.
+        if (memoized && block > last_perturbed && cl.state_equals(memo->boundary_[block])) {
+            bank_deltas(); // the sweep's own repairs belong to this injection
+            const auto& at = memo->cum_[block];
+            const auto& end = memo->final_;
+            tail_cycles = end.cycles - at.cycles;
+            out.memoized_cycles += tail_cycles;
+            out.ecc_corrected += end.ecc - at.ecc;
+            out.reg_parity_traps += end.parity - at.parity;
+            out.reg_tmr_votes += end.tmr - at.tmr;
+            out.watchdog_trips += end.wd - at.wd;
+            out.xbar_selfchecks += end.chk - at.chk;
+            out.im_scrub_corrected += end.scrub - at.scrub;
+            // Clean tail: one checkpoint per remaining block plus the
+            // final stream-commit checkpoint; no rollbacks, no drops.
+            tail_checkpoints = n_blocks_ - block;
+            out.blocks = n_blocks_;
+            tail_skipped = true;
+            break;
+        }
         for (unsigned attempt = 0; attempt < 2; ++attempt) {
             if (attempt > 0) sample_base(); // rollback rewound the counters
             if (hook) hook(cl, block, attempt);
@@ -306,24 +424,35 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
         ++out.blocks;
     }
 
-    // Drain: let the last block's stragglers reach their hlt (a dropped
-    // lead that diverged is reined in by the watchdog).
-    const Cycle drain_limit = cl.stats().cycles + cfg.watchdog_cycles + 1000;
-    sample_base();
-    while (any_active() && cl.stats().cycles < drain_limit)
-        cl.run(std::min(drain_limit, cl.stats().cycles + slice));
-    // Stream commit point: one final checkpoint scrubs (and under TMR
-    // vote-repairs) upsets deposited during the last block, so the run
-    // ends with clean architectural state — previously the job of the
-    // now-removed per-attempt scrub call.
-    runner.checkpoint();
-    bank_deltas();
+    if (!tail_skipped) {
+        // Drain: let the last block's stragglers reach their hlt (a dropped
+        // lead that diverged is reined in by the watchdog).
+        const Cycle drain_limit = cl.stats().cycles + cfg.watchdog_cycles + 1000;
+        sample_base();
+        while (any_active() && cl.stats().cycles < drain_limit)
+            cl.run(std::min(drain_limit, cl.stats().cycles + slice));
+        // Stream commit point: one final checkpoint scrubs (and under TMR
+        // vote-repairs) upsets deposited during the last block, so the run
+        // ends with clean architectural state — previously the job of the
+        // now-removed per-attempt scrub call.
+        runner.checkpoint();
+        bank_deltas();
+    }
 
     out.rollbacks = static_cast<unsigned>(runner.stats().rollbacks);
-    out.checkpoints = runner.stats().checkpoints;
+    // The skipped prefix took one (clean) checkpoint per block boundary,
+    // the credited tail one per remaining block plus the commit point.
+    out.checkpoints = runner.stats().checkpoints + start_block + tail_checkpoints;
     out.reexec_cycles = runner.stats().reexec_cycles;
-    out.total_cycles = cl.stats().cycles + runner.stats().reexec_cycles;
-    out.latent_reg_faults = cl.pending_reg_faults();
+    // restore() brought the prefix's cycle counter along, so the total
+    // already includes the memoized prefix; the credited tail is added.
+    out.total_cycles = cl.stats().cycles + runner.stats().reexec_cycles + tail_cycles;
+    out.latent_reg_faults = tail_skipped ? memo->final_latent_ : cl.pending_reg_faults();
+
+    if (capture) {
+        memo->final_ = clean_cum_now();
+        memo->final_latent_ = cl.pending_reg_faults();
+    }
 
     bool any_alive = false;
     for (const auto a : out.lead_alive) any_alive = any_alive || a != 0;

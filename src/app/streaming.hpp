@@ -24,6 +24,8 @@ public:
     unsigned n_blocks() const { return n_blocks_; }
     const EcgBenchmark& base() const { return base_; }
     const isa::Program& program() const { return program_; }
+    /// Shared decoded image of the multi-block program() (DESIGN.md §11).
+    const std::shared_ptr<const isa::ProgramImage>& image() const { return image_; }
 
     struct Outcome {
         cluster::ClusterStats stats;
@@ -77,13 +79,36 @@ public:
         std::uint64_t reg_parity_traps = 0;
         std::uint64_t reg_tmr_votes = 0;
         unsigned latent_reg_faults = 0;    ///< struck registers never observed
+
+        /// Cycles credited from the memoized clean stream instead of being
+        /// simulated (batched-engine campaigns; zero otherwise). Included
+        /// in total_cycles — the outcome is exactly that of a full run.
+        Cycle memoized_cycles = 0;
     };
+
+    /// Tells the monitor which block attempts the fault hook perturbs.
+    /// Contract: when it returns false for (block, attempt), `hook` is a
+    /// no-op for that attempt — the attempt is then bit-identical to the
+    /// fault-free reference (determinism) and may be credited instead of
+    /// simulated. Strikes under the batched engine are sparse, so this is
+    /// where campaign throughput comes from.
+    using BlockPerturbed = std::function<bool(unsigned block, unsigned attempt)>;
 
     /// Runs all blocks in resilient mode under `cfg`, invoking `hook` (if
     /// set) on every block attempt.
     ResilientOutcome run_resilient(const cluster::ClusterConfig& cfg,
                                    const BlockFaultHook& hook = {}) const;
     ResilientOutcome run_resilient(cluster::ArchKind arch, const BlockFaultHook& hook = {}) const;
+
+    /// Memoizing variant (batched engine): blocks whose first attempt is
+    /// unperturbed are credited from the fault-free reference instead of
+    /// simulated (run_resilient resets the cluster per block, so every
+    /// unperturbed attempt IS the reference block). `known_clean_block`,
+    /// when nonzero, replaces the calibration run of the reference block
+    /// too (the caller has already validated it).
+    ResilientOutcome run_resilient(const cluster::ClusterConfig& cfg, const BlockFaultHook& hook,
+                                   const BlockPerturbed& perturbed,
+                                   Cycle known_clean_block = 0) const;
 
     // ---- generalized checkpoint mode (DESIGN.md §9) ------------------------
     // Unlike run_resilient() — which re-initializes the cluster per block
@@ -106,10 +131,62 @@ public:
     ResilientOutcome run_checkpointed(cluster::ArchKind arch,
                                       const BlockFaultHook& hook = {}) const;
 
+    /// Memoized clean stream for run_checkpointed (batched engine): one
+    /// portable snapshot per block boundary of the fault-free continuous
+    /// run, captured once per (campaign, thread) and then used to skip the
+    /// clean prefix of every injection — and, when the injection's state
+    /// converges back onto the fault-free stream (a successful rollback
+    /// restores the clean checkpoint bit-exactly), its clean tail too.
+    /// Opaque to callers; reusable across injections under the SAME
+    /// configuration.
+    class CheckpointedStreamMemo {
+    public:
+        CheckpointedStreamMemo() = default;
+        bool valid() const { return valid_; }
+        void invalidate() { valid_ = false; }
+
+    private:
+        friend class StreamingBenchmark;
+        /// Cumulative clean-run outcome counters, sampled at each block's
+        /// top and at the stream end — the tail credit for a rejoined
+        /// injection is the difference of two of these.
+        struct CleanCum {
+            Cycle cycles = 0;
+            std::uint64_t ecc = 0, parity = 0, tmr = 0, wd = 0, chk = 0, scrub = 0;
+        };
+        bool valid_ = false;
+        std::vector<cluster::Cluster::Snapshot> boundary_; ///< per block, at its top
+        std::vector<CleanCum> cum_;                        ///< per block, at its top
+        CleanCum final_;                                   ///< after drain + commit
+        unsigned final_latent_ = 0;                        ///< pending_reg_faults at end
+        Cycle clean_block_cycles_ = 0;
+    };
+
+    /// Memoizing variant (batched engine): the first call under `memo`
+    /// captures the fault-free stream's block-boundary snapshots; later
+    /// calls restore the snapshot of the first perturbed block and only
+    /// simulate from there — the skipped clean prefix is credited to
+    /// memoized_cycles and the prefix's blocks/checkpoints to their
+    /// counters. Exact by determinism: the clean prefix of every injection
+    /// IS the fault-free stream. Symmetrically, once the last perturbed
+    /// block commits and state_equals() proves the continuous state is
+    /// back on the fault-free stream (rollback restored the clean
+    /// checkpoint, or the upset was corrected/overwritten in place), the
+    /// clean tail is credited the same way instead of being simulated.
+    ResilientOutcome run_checkpointed(const cluster::ClusterConfig& cfg,
+                                      const BlockFaultHook& hook, const BlockPerturbed& perturbed,
+                                      CheckpointedStreamMemo& memo) const;
+
 private:
+    ResilientOutcome run_checkpointed_impl(const cluster::ClusterConfig& cfg,
+                                           const BlockFaultHook& hook,
+                                           const BlockPerturbed* perturbed,
+                                           CheckpointedStreamMemo* memo, bool capture) const;
+
     EcgBenchmark base_;
     unsigned n_blocks_;
     isa::Program program_;
+    std::shared_ptr<const isa::ProgramImage> image_;
 };
 
 } // namespace ulpmc::app

@@ -21,12 +21,40 @@ Cluster::Cluster(const ClusterConfig& cfg, const isa::Program& prog)
     reset(cfg, prog);
 }
 
+Cluster::Cluster(const ClusterConfig& cfg, std::shared_ptr<const isa::ProgramImage> image)
+    : cfg_(cfg), im_map_(cfg.im_policy, cfg.im_banks, cfg.im_bank_words),
+      ixbar_(cfg.cores, cfg.im_banks, cfg.im_broadcast),
+      dxbar_(2 * cfg.cores, cfg.dm_banks, cfg.dm_broadcast) {
+    reset(cfg, std::move(image));
+}
+
 void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
-    ULPMC_EXPECTS(cfg.cores > 0 && cfg.cores <= kNumCores);
     ULPMC_EXPECTS(!prog.text.empty());
+    // Legacy single-instance path: derive the image in place (buffers are
+    // reused, so a same-program reset stays allocation-free). Campaign and
+    // sweep loops pass a shared image instead and skip this entirely.
+    own_image_.rebuild(prog);
+    shared_image_.reset();
+    image_ptr_ = &own_image_;
     cfg_ = cfg;
+    reset_from_image();
+}
+
+void Cluster::reset(const ClusterConfig& cfg, std::shared_ptr<const isa::ProgramImage> image) {
+    ULPMC_EXPECTS(image != nullptr);
+    ULPMC_EXPECTS(!image->text().empty());
+    shared_image_ = std::move(image);
+    image_ptr_ = shared_image_.get();
+    cfg_ = cfg;
+    reset_from_image();
+}
+
+void Cluster::reset_from_image() {
+    const ClusterConfig& cfg = cfg_;
+    const isa::ProgramImage& img = *image_ptr_;
+    ULPMC_EXPECTS(cfg.cores > 0 && cfg.cores <= kNumCores);
     im_map_ = mmu::ImMap(cfg.im_policy, cfg.im_banks, cfg.im_bank_words);
-    text_size_ = static_cast<std::uint32_t>(prog.text.size());
+    text_size_ = img.text_size();
     cycle_ = 0;
     trace_ = nullptr;
     direct_faults_ = 0;
@@ -65,7 +93,7 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
         CoreCtx c{.state = {}, .mmu = mmu::DataMmu(cfg.dm_layout, static_cast<CoreId>(p),
                                                     cfg.dm_banks, cfg.dm_bank_words)};
         c.start_cycle = cfg.stagger_start ? static_cast<Cycle>(p) : 0;
-        c.state.pc = prog.entry;
+        c.state.pc = img.entry();
         cores_.push_back(std::move(c));
     }
     active_cores_.clear();
@@ -81,23 +109,26 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
     fetch_pc_.assign(cfg.cores, 0);
 
     // --- load text ----------------------------------------------------------
-    // Every loaded word is also decoded once into the pre-decoded side
-    // array; fetches then pull ready-made instructions instead of decoding
-    // every cycle.
+    // The decode was done once when the ProgramImage was built; each
+    // instance only pokes the words into its banks and copies the
+    // pre-derived entries into its side array (DESIGN.md §11). Under the
+    // Dedicated policy that turns N-replica re-decoding into N copies.
+    const auto& text = img.text();
     if (cfg.im_policy == mmu::ImPolicy::Dedicated) {
-        ULPMC_EXPECTS(prog.text.size() <= cfg.im_bank_words);
+        ULPMC_EXPECTS(text.size() <= cfg.im_bank_words);
         for (unsigned b = 0; b < cfg.im_banks; ++b) {
-            for (std::size_t i = 0; i < prog.text.size(); ++i)
-                im_banks_[b].poke(i, prog.text[i]);
-            predecoded_.refresh_bank(static_cast<BankId>(b),
-                                     im_banks_[b].cells().first(prog.text.size()));
+            for (std::size_t i = 0; i < text.size(); ++i) {
+                im_banks_[b].poke(i, text[i]);
+                predecoded_.set_entry(static_cast<BankId>(b), static_cast<std::uint32_t>(i),
+                                      img.decoded(static_cast<PAddr>(i)));
+            }
         }
     } else {
-        for (std::size_t i = 0; i < prog.text.size(); ++i) {
+        for (std::size_t i = 0; i < text.size(); ++i) {
             const auto pa = im_map_.translate(static_cast<PAddr>(i), 0);
             ULPMC_EXPECTS(pa.has_value());
-            im_banks_[pa->bank].poke(pa->offset, prog.text[i]);
-            predecoded_.refresh(pa->bank, pa->offset, prog.text[i]);
+            im_banks_[pa->bank].poke(pa->offset, text[i]);
+            predecoded_.set_entry(pa->bank, pa->offset, img.decoded(static_cast<PAddr>(i)));
         }
     }
 
@@ -107,9 +138,11 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
     // the per-cycle fetch path. Built via the ImMap itself, so the mapping
     // (and the set of faulting PCs) is identical by construction.
     if (cfg_.fast_path() && cfg_.im_policy != mmu::ImPolicy::Dedicated) {
+        // Sized to the loaded text, not the full IM capacity: every fetch
+        // beyond text_size_ traps before the table is consulted, so the
+        // out-of-text entries were dead weight (32k slots per reset).
         const std::size_t words = std::min<std::size_t>(
-            static_cast<std::size_t>(cfg_.im_banks) * cfg_.im_bank_words,
-            std::size_t{1} << (8 * sizeof(PAddr)));
+            text_size_, static_cast<std::size_t>(cfg_.im_banks) * cfg_.im_bank_words);
         fetch_table_.resize(words);
         for (std::size_t pc = 0; pc < words; ++pc) {
             const auto pa = im_map_.translate(static_cast<PAddr>(pc), 0);
@@ -122,15 +155,18 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
         fetch_table_.clear();
     }
 
-    // --- superblock map (trace engine) --------------------------------------
-    if (cfg_.engine == SimEngine::Trace) {
-        text_image_.assign(prog.text.begin(), prog.text.end());
+    // --- superblock map (trace/batched engines) ------------------------------
+    if (cfg_.trace_path()) {
+        // Copy the image's pre-built map instead of re-deriving it; the
+        // copy-assignments reuse this instance's buffer capacity.
+        text_image_.assign(text.begin(), text.end());
+        blockmap_ = img.blockmap();
     } else {
         text_image_.clear();
+        blockmap_.rebuild(text_image_);
     }
-    blockmap_.rebuild(text_image_);
 
-    stats_.im_banks_used = im_map_.banks_used(prog.text.size());
+    stats_.im_banks_used = im_map_.banks_used(text.size());
     if (cfg.gate_unused_im_banks) {
         for (unsigned b = stats_.im_banks_used; b < cfg.im_banks; ++b)
             im_banks_[b].set_power_gated(true);
@@ -139,19 +175,19 @@ void Cluster::reset(const ClusterConfig& cfg, const isa::Program& prog) {
     stats_.im_banks_total = cfg.im_banks;
 
     // --- load data image ----------------------------------------------------
-    ULPMC_EXPECTS(prog.data.size() <= cfg.dm_layout.limit());
-    const std::size_t shared_end =
-        std::min<std::size_t>(prog.data.size(), cfg.dm_layout.shared_words);
+    const auto& data = img.data();
+    ULPMC_EXPECTS(data.size() <= cfg.dm_layout.limit());
+    const std::size_t shared_end = std::min<std::size_t>(data.size(), cfg.dm_layout.shared_words);
     for (std::size_t v = 0; v < shared_end; ++v) {
         const auto pa = cores_[0].mmu.translate(static_cast<Addr>(v));
         ULPMC_ASSERT(pa.has_value());
-        dm_banks_[pa->bank].poke(pa->offset, prog.data[v]);
+        dm_banks_[pa->bank].poke(pa->offset, data[v]);
     }
-    for (std::size_t v = cfg.dm_layout.shared_words; v < prog.data.size(); ++v) {
+    for (std::size_t v = cfg.dm_layout.shared_words; v < data.size(); ++v) {
         for (auto& c : cores_) {
             const auto pa = c.mmu.translate(static_cast<Addr>(v));
             ULPMC_ASSERT(pa.has_value());
-            dm_banks_[pa->bank].poke(pa->offset, prog.data[v]);
+            dm_banks_[pa->bank].poke(pa->offset, data[v]);
         }
     }
 }
@@ -221,21 +257,50 @@ void Cluster::im_poke(PAddr pc, InstrWord word) {
 void Cluster::refresh_blockmap(PAddr pc, InstrWord readback) {
     if (std::find(im_dirty_.begin(), im_dirty_.end(), pc) == im_dirty_.end())
         im_dirty_.push_back(pc);
-    if (cfg_.engine != SimEngine::Trace || pc >= text_image_.size()) return;
+    if (!cfg_.trace_path() || pc >= text_image_.size()) return;
     text_image_[pc] = readback & kInstrWordMask;
     blockmap_.rebuild(text_image_);
 }
 
 void Cluster::save(Snapshot& out) const {
     out.cycle = cycle_;
-    out.stats = stats_;
+    // Through the accessor: the crossbar / resilience aggregates sync
+    // lazily, and saved_stats() consumers (rejoin-tail materialization)
+    // need the fully materialized view.
+    out.stats = stats();
     out.direct_faults = direct_faults_;
     out.cores = cores_;
+    // Materialize every live EX slot into its ex_buf so the snapshot is
+    // self-contained: a slot aliasing this instance's predecoded_ array
+    // would otherwise pin the snapshot to this instance (the batched tier
+    // restores a representative's rung into per-lane clusters). Content is
+    // identical either way — the re-latch in im_poke/inject_im_fault just
+    // becomes a no-op for restored cores.
     out.ex_in_buf.assign(cores_.size(), 0);
-    for (std::size_t p = 0; p < cores_.size(); ++p)
-        out.ex_in_buf[p] = cores_[p].ex == &cores_[p].ex_buf ? 1 : 0;
-    out.im_banks.resize(im_banks_.size());
-    for (std::size_t b = 0; b < im_banks_.size(); ++b) im_banks_[b].save(out.im_banks[b]);
+    for (std::size_t p = 0; p < cores_.size(); ++p) {
+        const CoreCtx& c = cores_[p];
+        out.ex_in_buf[p] = c.ex != nullptr ? 1 : 0;
+        if (c.ex != nullptr && c.ex != &c.ex_buf) out.cores[p].ex_buf = *c.ex;
+    }
+    // Deduplicated IM capture: per-bank stats/flags plus the raw state of
+    // exactly the dirty cells (see the Snapshot class comment).
+    out.im_dirty = im_dirty_;
+    out.im_cells.clear();
+    const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+    for (const PAddr pc : im_dirty_) {
+        for (unsigned p = 0; p < replicas; ++p) {
+            const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
+            ULPMC_EXPECTS(pa.has_value());
+            out.im_cells.push_back(
+                {pc, pa->bank, pa->offset, im_banks_[pa->bank].cell_state(pa->offset)});
+        }
+    }
+    out.im_stats.resize(im_banks_.size());
+    out.im_uncorrectable.resize(im_banks_.size());
+    for (std::size_t b = 0; b < im_banks_.size(); ++b) {
+        out.im_stats[b] = im_banks_[b].stats();
+        out.im_uncorrectable[b] = im_banks_[b].uncorrectable_pending() ? 1 : 0;
+    }
     out.dm_banks.resize(dm_banks_.size());
     for (std::size_t b = 0; b < dm_banks_.size(); ++b) dm_banks_[b].save(out.dm_banks[b]);
     ixbar_.save(out.ixbar);
@@ -245,29 +310,53 @@ void Cluster::save(Snapshot& out) const {
 
 void Cluster::restore(const Snapshot& s) {
     ULPMC_EXPECTS(s.cores.size() == cores_.size());
-    ULPMC_EXPECTS(s.im_banks.size() == im_banks_.size());
+    ULPMC_EXPECTS(s.im_stats.size() == im_banks_.size());
     ULPMC_EXPECTS(s.dm_banks.size() == dm_banks_.size());
     cycle_ = s.cycle;
     stats_ = s.stats;
     direct_faults_ = s.direct_faults;
     cores_ = s.cores;
-    // An EX slot that aliased its own ex_buf at save time must alias the
-    // restored copy (a slot pointing into predecoded_ stays valid as-is:
-    // entry addresses are stable for the lifetime of this instance).
+    // save() materialized every live EX slot into its ex_buf; re-aim the
+    // pointers at THIS instance's copies (the copied pointer values may
+    // reference the source instance).
     for (std::size_t p = 0; p < cores_.size(); ++p)
-        if (s.ex_in_buf[p]) cores_[p].ex = &cores_[p].ex_buf;
-    for (std::size_t b = 0; b < im_banks_.size(); ++b) im_banks_[b].restore(s.im_banks[b]);
+        cores_[p].ex = s.ex_in_buf[p] ? &cores_[p].ex_buf : nullptr;
+
+    // IM roll-back from the deduplicated capture: cells can disagree with
+    // the snapshot only at PCs dirty now or dirty at save time. Return the
+    // union to pristine (poke re-encodes check bits exactly as the loader
+    // did), then lay the saved raw cells back down.
+    im_dirty_union_.assign(im_dirty_.begin(), im_dirty_.end());
+    for (const PAddr pc : s.im_dirty)
+        if (std::find(im_dirty_union_.begin(), im_dirty_union_.end(), pc) ==
+            im_dirty_union_.end())
+            im_dirty_union_.push_back(pc);
+    const auto& text = image_ptr_->text();
+    const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+    for (const PAddr pc : im_dirty_union_) {
+        const InstrWord pristine = pc < text.size() ? text[pc] : 0;
+        for (unsigned p = 0; p < replicas; ++p) {
+            const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
+            ULPMC_EXPECTS(pa.has_value());
+            im_banks_[pa->bank].poke(pa->offset, pristine);
+        }
+    }
+    for (const Snapshot::ImCell& c : s.im_cells) im_banks_[c.bank].set_cell_state(c.offset, c.cell);
+    for (std::size_t b = 0; b < im_banks_.size(); ++b) {
+        im_banks_[b].set_stats(s.im_stats[b]);
+        im_banks_[b].set_uncorrectable_pending(s.im_uncorrectable[b] != 0);
+    }
+    im_dirty_ = s.im_dirty;
     for (std::size_t b = 0; b < dm_banks_.size(); ++b) dm_banks_[b].restore(s.dm_banks[b]);
     ixbar_.restore(s.ixbar);
     dxbar_.restore(s.dxbar);
     im_scrub_ptr_ = s.im_scrub_ptr;
 
     // Decode caches: rolling the cells back can strand the cache entries of
-    // words mutated since reset(); re-derive exactly those from the
-    // restored cells (the readback view, as inject_im_fault would).
-    if (!im_dirty_.empty()) {
-        const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
-        for (const PAddr pc : im_dirty_) {
+    // any word that was dirty on either side; re-derive exactly those from
+    // the restored cells (the readback view, as inject_im_fault would).
+    if (!im_dirty_union_.empty()) {
+        for (const PAddr pc : im_dirty_union_) {
             InstrWord readback = 0;
             for (unsigned p = 0; p < replicas; ++p) {
                 const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
@@ -278,10 +367,9 @@ void Cluster::restore(const Snapshot& s) {
                 if (pc < fetch_table_.size())
                     fetch_table_[pc].pre = predecoded_.lookup(pa->bank, pa->offset);
             }
-            if (cfg_.engine == SimEngine::Trace && pc < text_image_.size())
-                text_image_[pc] = readback;
+            if (cfg_.trace_path() && pc < text_image_.size()) text_image_[pc] = readback;
         }
-        if (cfg_.engine == SimEngine::Trace) blockmap_.rebuild(text_image_);
+        if (cfg_.trace_path()) blockmap_.rebuild(text_image_);
     }
 
     // Arbitration scratch and the active-core list are derived state.
@@ -291,6 +379,69 @@ void Cluster::restore(const Snapshot& s) {
     for (unsigned p = 0; p < cores_.size(); ++p)
         if (!core_done(cores_[p])) active_cores_.push_back(static_cast<CoreId>(p));
     active_dirty_ = false;
+}
+
+bool Cluster::state_equals(const Snapshot& s) const {
+    if (cycle_ != s.cycle || cores_.size() != s.cores.size()) return false;
+    for (std::size_t p = 0; p < cores_.size(); ++p) {
+        const CoreCtx& a = cores_[p];
+        const CoreCtx& b = s.cores[p];
+        if (!(a.state == b.state)) return false;
+        if (a.halted != b.halted || a.in_barrier != b.in_barrier || a.trap != b.trap ||
+            a.last_commit != b.last_commit || a.reg_bad != b.reg_bad ||
+            a.reg_parity_bad != b.reg_parity_bad)
+            return false;
+        // EX slot by content (the snapshot materialized it into ex_buf).
+        if ((a.ex != nullptr) != (s.ex_in_buf[p] != 0)) return false;
+        if (a.ex != nullptr && !(*a.ex == b.ex_buf)) return false;
+        if (a.plan.load != b.plan.load || a.plan.store != b.plan.store) return false;
+        if (a.has_load != b.has_load || a.has_store != b.has_store ||
+            a.load_done != b.load_done || a.loaded != b.loaded)
+            return false;
+        if (a.has_load && !(a.load_pa == b.load_pa)) return false;
+        if (a.has_store && !(a.store_pa == b.store_pa)) return false;
+    }
+    // IM cells: both sides are pristine off their dirty lists, so only the
+    // union needs comparing. Expected state of a PC on the snapshot's
+    // dirty list is its saved raw cell; off it, the pristine image word.
+    const auto& text = image_ptr_->text();
+    const unsigned replicas = cfg_.im_policy == mmu::ImPolicy::Dedicated ? cfg_.cores : 1;
+    const auto pc_matches = [&](PAddr pc) {
+        for (unsigned p = 0; p < replicas; ++p) {
+            const auto pa = im_map_.translate(pc, static_cast<CoreId>(p));
+            ULPMC_EXPECTS(pa.has_value());
+            const auto actual = im_banks_[pa->bank].cell_state(pa->offset);
+            mem::MemoryBank::CellState expected;
+            bool saved = false;
+            for (const Snapshot::ImCell& c : s.im_cells) {
+                if (c.pc == pc && c.bank == pa->bank && c.offset == pa->offset) {
+                    expected = c.cell;
+                    saved = true;
+                    break;
+                }
+            }
+            if (!saved) {
+                const InstrWord pristine = pc < text.size() ? text[pc] : 0;
+                expected.cell = pristine;
+                expected.check =
+                    cfg_.ecc_enabled ? mem::ecc::encode(pristine, 24) : std::uint8_t{0};
+            }
+            if (!(actual == expected)) return false;
+        }
+        return true;
+    };
+    for (const PAddr pc : im_dirty_)
+        if (!pc_matches(pc)) return false;
+    for (const PAddr pc : s.im_dirty) {
+        if (std::find(im_dirty_.begin(), im_dirty_.end(), pc) != im_dirty_.end()) continue;
+        if (!pc_matches(pc)) return false;
+    }
+    for (std::size_t b = 0; b < im_banks_.size(); ++b)
+        if (im_banks_[b].uncorrectable_pending() != (s.im_uncorrectable[b] != 0)) return false;
+    for (std::size_t b = 0; b < dm_banks_.size(); ++b)
+        if (!dm_banks_[b].state_equals(s.dm_banks[b])) return false;
+    if (!ixbar_.state_equals(s.ixbar) || !dxbar_.state_equals(s.dxbar)) return false;
+    return im_scrub_ptr_ == s.im_scrub_ptr;
 }
 
 void Cluster::inject_dm_fault(CoreId pid, Addr vaddr, Word flip_mask) {
@@ -488,7 +639,7 @@ bool Cluster::step() {
 }
 
 Cycle Cluster::run(Cycle max_cycles) {
-    if (cfg_.engine == SimEngine::Trace) {
+    if (cfg_.trace_path()) {
         // Alternate between superblock bursts (whenever the state is
         // burst-eligible) and generic cycles (multi-core phases, dual-port
         // instructions, armed glitches, staggered warm-up).

@@ -23,6 +23,7 @@
 // granularity are not modeled.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <span>
 #include <vector>
@@ -36,6 +37,7 @@
 #include "isa/blockmap.hpp"
 #include "isa/predecode.hpp"
 #include "isa/program.hpp"
+#include "isa/program_image.hpp"
 #include "mem/memory_bank.hpp"
 #include "mmu/mmu.hpp"
 #include "xbar/crossbar.hpp"
@@ -51,6 +53,13 @@ public:
     /// into every core's private banks.
     Cluster(const ClusterConfig& cfg, const isa::Program& prog);
 
+    /// Shared-image flavor (DESIGN.md §11): the campaign/sweep pattern
+    /// builds one isa::ProgramImage up front and hands the same shared_ptr
+    /// to every instance, so the program is decoded once per campaign
+    /// instead of once per reset. Semantically identical to the Program
+    /// overload.
+    Cluster(const ClusterConfig& cfg, std::shared_ptr<const isa::ProgramImage> image);
+
     /// Re-initializes this instance to the state a freshly constructed
     /// Cluster(cfg, prog) would have — memories reloaded, statistics and
     /// cycle counter cleared, any trace sink detached. All internal
@@ -58,6 +67,11 @@ public:
     /// heap allocations, which is what lets sweep and fault-campaign inner
     /// loops run allocation-free on pooled instances (DESIGN.md §10).
     void reset(const ClusterConfig& cfg, const isa::Program& prog);
+    void reset(const ClusterConfig& cfg, std::shared_ptr<const isa::ProgramImage> image);
+
+    /// The program image this instance was loaded from (the shared one, or
+    /// the internally owned rebuild for the Program overloads).
+    const isa::ProgramImage& image() const { return *image_ptr_; }
 
     /// Advances one clock cycle. Returns false once every core has halted
     /// or trapped (the cluster is then quiescent).
@@ -203,28 +217,58 @@ private:
     };
 
 public:
-    /// A saved execution state of THIS cluster instance (fault campaigns
-    /// replay the clean-run prefix from a snapshot ladder instead of
-    /// re-simulating it per injection). Opaque; buffers keep their
-    /// capacity across save() calls, so re-saving into the same snapshot
-    /// allocates nothing.
+    /// A saved execution state (fault campaigns replay the clean-run
+    /// prefix from a snapshot ladder instead of re-simulating it per
+    /// injection). Opaque; buffers keep their capacity across save()
+    /// calls, so re-saving into the same snapshot allocates nothing.
     ///
-    /// Contract: a snapshot binds to the Cluster it was saved from, with
-    /// no reset() in between (restore into a different or reset instance
-    /// is undefined). Restoring undoes everything after the save point,
-    /// including injected faults and IM patches.
+    /// The IM is captured deduplicated (DESIGN.md §11): the text is
+    /// immutable per campaign and IM cells can differ from the pristine
+    /// program image only at the PCs on the cluster's dirty list (pokes
+    /// and injected faults record themselves there; ECC scrubbing only
+    /// repairs already-dirty cells back toward pristine), so a snapshot
+    /// stores per-bank statistics/flags plus the raw cell state of the
+    /// dirty PCs — not kImWordsTotal cells per ladder rung. DM banks,
+    /// whose contents are genuinely per-instance, are captured in full.
+    ///
+    /// Contract: a snapshot is portable across instances sharing the same
+    /// configuration and program image (batched-tier lane peeling restores
+    /// the representative's rung into a private lane cluster). Restore
+    /// into a different geometry or program is undefined. Restoring undoes
+    /// everything after the save point, including injected faults and IM
+    /// patches.
     class Snapshot {
         friend class Cluster;
+
+        /// Raw stored state of one dirty IM cell (one bank replica).
+        struct ImCell {
+            PAddr pc = 0;
+            BankId bank = 0;
+            std::uint32_t offset = 0;
+            mem::MemoryBank::CellState cell;
+        };
+
         Cycle cycle = 0;
         ClusterStats stats;
         std::uint64_t direct_faults = 0;
         std::vector<CoreCtx> cores;
         std::vector<std::uint8_t> ex_in_buf; ///< per core: EX aliased its own ex_buf
-        std::vector<mem::BankSnapshot> im_banks;
+        std::vector<PAddr> im_dirty;         ///< dirty-PC list at save time
+        std::vector<ImCell> im_cells;        ///< raw cells of every dirty PC
+        std::vector<mem::BankStats> im_stats;
+        std::vector<std::uint8_t> im_uncorrectable; ///< per-bank sticky flag
         std::vector<mem::BankSnapshot> dm_banks;
         xbar::XbarSnapshot ixbar;
         xbar::XbarSnapshot dxbar;
         std::vector<std::uint32_t> im_scrub_ptr;
+
+    public:
+        /// Read-only views for the batched tier's rejoin bookkeeping.
+        Cycle saved_cycle() const { return cycle; }
+        const ClusterStats& saved_stats() const { return stats; }
+        /// Raw IM cells captured — one per dirty-PC bank replica, NOT
+        /// kImWordsTotal (the dedup contract above, pinned by reuse_test).
+        std::size_t saved_im_cells() const { return im_cells.size(); }
     };
 
     /// Copies the full mutable execution state into `out` / back. restore()
@@ -233,6 +277,16 @@ public:
     /// so continuing the run reproduces the original execution bit-exactly.
     void save(Snapshot& out) const;
     void restore(const Snapshot& s);
+
+    /// True when this cluster's future-determining state — architectural
+    /// and microarchitectural state, memories, arbitration and pending
+    /// fault machinery, but NOT statistics or event counters — is
+    /// bit-identical to the state captured in `s` (same config + image).
+    /// The batched tier's lane-rejoin test: the simulator is deterministic,
+    /// so two executions in this relation produce identical futures, and a
+    /// peeled lane whose divergence has washed out can ride the shared
+    /// representative again (DESIGN.md §11).
+    bool state_equals(const Snapshot& s) const;
 
 private:
     void execute_phase();
@@ -287,7 +341,18 @@ private:
         std::uint32_t offset = 0;
     };
 
+    /// Loads banks/caches from *image_ptr_ under the current cfg_ — the
+    /// single body behind both reset() overloads.
+    void reset_from_image();
+
     ClusterConfig cfg_;
+    /// The immutable program half (DESIGN.md §11): either the campaign's
+    /// shared image (shared_image_ set, image_ptr_ aliases it) or the
+    /// instance-owned rebuild of a raw Program (own_image_, rebuilt in
+    /// place per reset so the legacy path stays zero-alloc).
+    std::shared_ptr<const isa::ProgramImage> shared_image_;
+    isa::ProgramImage own_image_;
+    const isa::ProgramImage* image_ptr_ = nullptr;
     mmu::ImMap im_map_;
     std::vector<CoreCtx> cores_;
     std::vector<mem::MemoryBank> im_banks_;
@@ -311,8 +376,11 @@ private:
     /// Every PC whose IM word was mutated (im_poke / inject_im_fault) since
     /// the last reset(). restore() re-derives the decode caches for exactly
     /// these words from the restored bank cells — the only words whose
-    /// cache entries can disagree after rolling the cells back.
+    /// cache entries can disagree after rolling the cells back. Also the
+    /// basis of the deduplicated IM snapshot: cells off this list are
+    /// provably pristine.
     std::vector<PAddr> im_dirty_;
+    std::vector<PAddr> im_dirty_union_; ///< restore()/state_equals() scratch
     /// Per-IM-bank scrub-walker position (next word to check); advances on
     /// every idle cycle of its bank when cfg_.im_scrub is on.
     std::vector<std::uint32_t> im_scrub_ptr_;

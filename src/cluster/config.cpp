@@ -24,6 +24,8 @@ std::string engine_name(SimEngine e) {
         return "fast";
     case SimEngine::Trace:
         return "trace";
+    case SimEngine::Batched:
+        return "batched";
     }
     ULPMC_ASSERT(false);
 }
@@ -35,6 +37,8 @@ bool parse_engine(const std::string& s, SimEngine& out) {
         out = SimEngine::Fast;
     } else if (s == "trace") {
         out = SimEngine::Trace;
+    } else if (s == "batched") {
+        out = SimEngine::Batched;
     } else {
         return false;
     }

@@ -27,10 +27,12 @@ std::string arch_name(ArchKind k);
 enum class SimEngine : std::uint8_t {
     Reference, ///< decode-every-fetch, full round-robin arbitration
     Fast,      ///< PR 1: pre-decoded IM + conflict-free crossbar fast path
-    Trace      ///< PR 3: Fast + superblock dispatch with memoized timing
+    Trace,     ///< PR 3: Fast + superblock dispatch with memoized timing
+    Batched    ///< PR 6: Trace inside one instance, plus campaign-level
+               ///< lockstep sharing across instances (DESIGN.md §11)
 };
 
-/// Display / CLI name: "reference", "fast", "trace".
+/// Display / CLI name: "reference", "fast", "trace", "batched".
 std::string engine_name(SimEngine e);
 
 /// Parse a --engine value. Returns false on unknown names.
@@ -109,12 +111,21 @@ struct ClusterConfig {
     /// Simulator engine tier (no architectural meaning). Results and
     /// statistics are cycle-for-cycle identical across all tiers — the
     /// lower tiers exist so any discrepancy can be bisected from the CLI
-    /// (--engine=reference|fast|trace) and pinned by differential tests.
+    /// (--engine=reference|fast|trace|batched) and pinned by differential
+    /// tests.
     SimEngine engine = SimEngine::Trace;
 
     /// True for every tier above Reference: pre-decoded IM and the
     /// crossbars' conflict-free fast path are enabled.
     bool fast_path() const { return engine != SimEngine::Reference; }
+
+    /// True for the trace-compiled tiers (Trace and Batched): superblock
+    /// dispatch, memo lanes and the text-image/blockmap caches are active.
+    /// A Batched cluster behaves exactly like a Trace cluster inside one
+    /// instance; the batching itself lives above Cluster (DESIGN.md §11).
+    bool trace_path() const {
+        return engine == SimEngine::Trace || engine == SimEngine::Batched;
+    }
 };
 
 /// Virtual data address of the barrier register (extension).

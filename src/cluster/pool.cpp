@@ -4,14 +4,27 @@
 
 namespace ulpmc::cluster {
 
+namespace {
+thread_local std::unique_ptr<Cluster> t_instance;
+} // namespace
+
 Cluster& pooled_cluster(const ClusterConfig& cfg, const isa::Program& prog) {
-    thread_local std::unique_ptr<Cluster> instance;
-    if (!instance) {
-        instance = std::make_unique<Cluster>(cfg, prog);
+    if (!t_instance) {
+        t_instance = std::make_unique<Cluster>(cfg, prog);
     } else {
-        instance->reset(cfg, prog);
+        t_instance->reset(cfg, prog);
     }
-    return *instance;
+    return *t_instance;
+}
+
+Cluster& pooled_cluster(const ClusterConfig& cfg,
+                        std::shared_ptr<const isa::ProgramImage> image) {
+    if (!t_instance) {
+        t_instance = std::make_unique<Cluster>(cfg, std::move(image));
+    } else {
+        t_instance->reset(cfg, std::move(image));
+    }
+    return *t_instance;
 }
 
 } // namespace ulpmc::cluster

@@ -9,9 +9,12 @@
 // steady-state heap allocation.
 #pragma once
 
+#include <memory>
+
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
 #include "isa/program.hpp"
+#include "isa/program_image.hpp"
 
 namespace ulpmc::cluster {
 
@@ -26,5 +29,11 @@ namespace ulpmc::cluster {
 /// pooled uses on one thread. Callers needing two live clusters at once
 /// (differential tests) must construct their own.
 Cluster& pooled_cluster(const ClusterConfig& cfg, const isa::Program& prog);
+
+/// Shared-image flavor (DESIGN.md §11): the campaign/sweep pattern decodes
+/// the program once into an isa::ProgramImage and re-initializes the
+/// pooled instance from it, skipping the per-reset decode entirely.
+Cluster& pooled_cluster(const ClusterConfig& cfg,
+                        std::shared_ptr<const isa::ProgramImage> image);
 
 } // namespace ulpmc::cluster

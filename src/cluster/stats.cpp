@@ -6,6 +6,22 @@
 
 namespace ulpmc::cluster {
 
+const char* peel_reason_name(PeelReason r) {
+    switch (r) {
+    case PeelReason::FaultStrike:
+        return "fault_strike";
+    case PeelReason::CrossbarUpset:
+        return "crossbar_upset";
+    case PeelReason::Trap:
+        return "trap";
+    case PeelReason::Watchdog:
+        return "watchdog";
+    case PeelReason::MemoBail:
+        return "memo_bail";
+    }
+    return "?";
+}
+
 std::string core_status(const CoreRunStats& c) {
     if (c.trap != core::Trap::None) return std::string("TRAP:") + core::trap_name(c.trap);
     return c.halted_at > 0 ? "halted" : "running";

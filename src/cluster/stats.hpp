@@ -16,6 +16,21 @@
 
 namespace ulpmc::cluster {
 
+/// Why a batched-tier lane left lockstep (DESIGN.md §11). Lives here, not
+/// in batched.hpp, because the per-reason counters are part of
+/// ClusterStats.
+enum class PeelReason : std::uint8_t {
+    FaultStrike,   ///< a memory/register fault was injected into the lane
+    CrossbarUpset, ///< an arbiter glitch/state upset was injected
+    Trap,          ///< the lane trapped while its siblings kept running
+    Watchdog,      ///< the lane's watchdog fired off-lockstep
+    MemoBail       ///< rejoin comparison failed; lane ran out privately
+};
+inline constexpr unsigned kPeelReasonCount = 5;
+
+/// Display name ("fault_strike", ...): JSON artifact keys.
+const char* peel_reason_name(PeelReason r);
+
 /// Per-core counters.
 struct CoreRunStats {
     std::uint64_t instret = 0;       ///< committed instructions ("ops")
@@ -68,6 +83,15 @@ struct ClusterStats {
     std::uint64_t im_scrub_reads = 0;         ///< scrub-walker bank reads
     std::uint64_t im_scrub_corrected = 0;     ///< latent upsets repaired by the walker
     std::uint64_t im_scrub_uncorrectable = 0; ///< double-bit words the walker found
+
+    // Batched-tier lane-divergence counters (DESIGN.md §11). A plain
+    // Cluster never touches these; BatchedCluster::lane_stats() fills them
+    // in so batched-tier efficiency is observable per lane: how many cycles
+    // the lane rode the shared lockstep representative instead of being
+    // simulated privately, how often it peeled off, and why.
+    std::uint64_t batch_lockstep_cycles = 0;
+    std::uint64_t batch_lane_peels = 0;
+    std::array<std::uint64_t, kPeelReasonCount> batch_peel_reasons{};
 
     /// Observable correction/trap events — everything the hardware can
     /// count that indicates a particle actually struck (hijacked grants

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 
+#include "cluster/batched.hpp"
 #include "cluster/checkpoint.hpp"
 #include "cluster/pool.hpp"
 #include "common/assert.hpp"
@@ -69,6 +70,12 @@ struct Workspace {
     std::unique_ptr<cluster::CheckpointRunner> runner; ///< bound to *cl
     std::vector<cluster::Cluster::Snapshot> ladder;
     std::vector<Cycle> rung_cycle;
+    // ---- batched engine ----------------------------------------------
+    std::unique_ptr<cluster::BatchedCluster> bc; ///< lanes + clean representative
+    cluster::ClusterStats stats_buf;             ///< lane_stats_into scratch
+    /// Memoized clean stream of the checkpointed streaming campaign.
+    std::uint64_t stream_key = 0;
+    app::StreamingBenchmark::CheckpointedStreamMemo stream_memo;
 };
 
 Workspace& workspace() {
@@ -106,6 +113,55 @@ bool outputs_verified(const cluster::Cluster& cl, const app::EcgBenchmark& bench
     return true;
 }
 
+/// One-shot outcome classification, shared by the Trace and Batched paths
+/// so their tables are byte-identical by construction. `view` is the
+/// cluster embodying the injection's final state; `st` its (materialized)
+/// statistics — the same object for a plain run, base+tail for a rejoined
+/// batch lane.
+void classify_oneshot(const cluster::Cluster& view, const cluster::ClusterStats& st,
+                      const app::EcgBenchmark& bench, unsigned cores, InjectionRecord& rec) {
+    rec.ecc_corrected = st.ecc_corrected();
+    bool any_running = false;
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        const core::Trap t = view.core_trap(pid);
+        if (t != core::Trap::None && rec.trap == core::Trap::None) rec.trap = t;
+        if (t == core::Trap::None && !view.core_halted(pid)) any_running = true;
+    }
+
+    const std::uint64_t selfchecks = st.ixbar.selfcheck_fixes + st.ixbar.selfcheck_resyncs +
+                                     st.dxbar.selfcheck_fixes + st.dxbar.selfcheck_resyncs;
+    if (any_running) {
+        rec.outcome = Outcome::Hang;
+    } else if (rec.trap != core::Trap::None) {
+        rec.outcome = Outcome::Trapped;
+    } else if (outputs_verified(view, bench, cores)) {
+        if (rec.rollbacks > 0) {
+            rec.outcome = Outcome::RolledBack;
+        } else if (rec.ecc_corrected > 0 || st.reg_tmr_votes > 0 || st.im_scrub_corrected > 0 ||
+                   selfchecks > 0) {
+            rec.outcome = Outcome::Corrected;
+        } else if (view.pending_reg_faults() > 0) {
+            rec.outcome = Outcome::Latent; // struck register never consumed
+        } else {
+            rec.outcome = Outcome::Masked;
+        }
+    } else {
+        rec.outcome = Outcome::Sdc;
+    }
+}
+
+/// The divergence bucket a fault kind peels a batch lane into.
+cluster::PeelReason peel_reason_of(FaultKind k) {
+    switch (k) {
+    case FaultKind::IXbarGlitch:
+    case FaultKind::DXbarGlitch:
+    case FaultKind::IXbarStateUpset:
+    case FaultKind::DXbarStateUpset: return cluster::PeelReason::CrossbarUpset;
+    default: return cluster::PeelReason::FaultStrike;
+    }
+}
+
 double clean_energy_per_op(cluster::ArchKind arch, const cluster::ClusterStats& stats,
                            double checkpoint_words_per_op = 0.0) {
     const power::PowerModel model(arch);
@@ -135,7 +191,7 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
 
     Cycle interval = cfg.checkpoint_interval;
     { // fault-free reference: cycle count, energy, and injection window
-        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.program());
+        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.image());
         bench.load_inputs(cl, ccfg.cores);
         res.clean_cycles = cl.run();
         ULPMC_EXPECTS(outputs_verified(cl, bench, ccfg.cores));
@@ -167,91 +223,154 @@ CampaignResult run_campaign(const app::EcgBenchmark& bench, cluster::ArchKind ar
 
     const std::vector<std::uint64_t> globals = shard_indices(cfg);
     res.runs.resize(globals.size());
-    pool.for_each_index(globals.size(), [&](std::size_t i) {
-        Workspace& ws = workspace();
-        if (ws.key != nonce) {
-            // First injection this thread sees: replay the fault-free run
-            // once, snapshotting it at kLadderRungs evenly spaced cycles.
-            if (!ws.cl) ws.cl = std::make_unique<cluster::Cluster>(ccfg, bench.program());
-            else ws.cl->reset(ccfg, bench.program());
-            bench.load_inputs(*ws.cl, ccfg.cores);
-            ws.ladder.resize(kLadderRungs);
-            ws.rung_cycle.resize(kLadderRungs);
-            for (unsigned r = 0; r < kLadderRungs; ++r) {
-                ws.cl->run(static_cast<Cycle>(r) * ladder_stride);
-                ws.rung_cycle[r] = ws.cl->stats().cycles;
-                ws.cl->save(ws.ladder[r]);
+
+    // Batched engine, one-shot recovery: lanes share the clean
+    // representative (DESIGN.md §11). Each injection peels off the ladder
+    // rung below its strike, simulates privately only while divergent, and
+    // rejoins the clean run at the first boundary where its state matches
+    // — the entire remaining tail is then credited, not simulated. The
+    // checkpointed one-shot mode keeps the per-lane path below (rollback
+    // re-execution makes lanes diverge from the clean schedule for good).
+    const bool lockstep = cfg.engine == cluster::SimEngine::Batched && !cfg.checkpoint;
+    const unsigned B = std::max(1u, cfg.batch);
+    const std::size_t groups = lockstep ? (globals.size() + B - 1) / B : 0;
+
+    if (lockstep) {
+        pool.for_each_index(groups, [&](std::size_t g) {
+            Workspace& ws = workspace();
+            if (ws.key != nonce) {
+                // Replay the fault-free run once per thread: ladder rungs
+                // are both peel seeds and rejoin boundaries, and the
+                // representative parks at the verified final state.
+                if (!ws.bc) {
+                    ws.bc = std::make_unique<cluster::BatchedCluster>(ccfg, bench.image(), B);
+                } else {
+                    ws.bc->reset(ccfg, bench.image(), B);
+                }
+                cluster::Cluster& rep = ws.bc->rep();
+                bench.load_inputs(rep, ccfg.cores);
+                ws.ladder.resize(kLadderRungs + 1);
+                ws.rung_cycle.resize(kLadderRungs + 1);
+                for (unsigned r = 0; r < kLadderRungs; ++r) {
+                    rep.run(static_cast<Cycle>(r) * ladder_stride);
+                    ws.rung_cycle[r] = rep.stats().cycles;
+                    rep.save(ws.ladder[r]);
+                }
+                rep.run(); // clean completion = the shared tail every rejoined lane rides
+                ws.rung_cycle[kLadderRungs] = rep.stats().cycles;
+                rep.save(ws.ladder[kLadderRungs]);
+                ws.key = nonce;
             }
-            if (!ws.runner) ws.runner = std::make_unique<cluster::CheckpointRunner>(*ws.cl);
-            ws.key = nonce;
-        }
 
-        FaultInjector inj(mix_seed(cfg.seed, globals[i]));
-        InjectionRecord rec;
-        rec.fault = inj.draw(universe);
+            cluster::BatchedCluster& bc = *ws.bc;
+            bc.reset_lanes();
+            const std::size_t lane0 = g * B;
+            const auto nlanes =
+                static_cast<unsigned>(std::min<std::size_t>(B, globals.size() - lane0));
+            for (unsigned j = 0; j < nlanes; ++j) {
+                const std::size_t i = lane0 + j;
+                FaultInjector inj(mix_seed(cfg.seed, globals[i]));
+                InjectionRecord rec;
+                rec.fault = inj.draw(universe);
 
-        // Resume the deterministic clean run from the highest rung at or
-        // below the strike cycle instead of re-simulating its prefix.
-        cluster::Cluster& cl = *ws.cl;
-        unsigned rung = 0;
-        for (unsigned r = 1; r < kLadderRungs; ++r)
-            if (ws.rung_cycle[r] <= rec.fault.cycle) rung = r;
-        cl.restore(ws.ladder[rung]);
-        if (cfg.checkpoint) {
-            // Generalized recovery: interval checkpoints, and any trap
-            // (ECC double-bit, register parity, watchdog) re-executes from
-            // the last one. Deterministic: the restored rung state and the
-            // strike cycle fully determine every checkpoint.
-            cluster::CheckpointRunner& runner = *ws.runner;
-            runner.reset({.interval = interval, .max_retries = 2, .parity_guard = true});
-            runner.checkpoint(); // recovery point at the rung (pre-fault)
-            runner.run(rec.fault.cycle);
-            FaultInjector::apply(cl, rec.fault);
-            rec.cycles = runner.run(bound);
-            rec.rollbacks = runner.stats().rollbacks;
-            rec.checkpoints = runner.stats().checkpoints;
-            rec.reexec_cycles = runner.stats().reexec_cycles;
-        } else {
-            rec.cycles = FaultInjector::run_with_fault(cl, rec.fault, bound);
-        }
+                unsigned rung = 0;
+                for (unsigned r = 1; r < kLadderRungs; ++r)
+                    if (ws.rung_cycle[r] <= rec.fault.cycle) rung = r;
+                cluster::Cluster& lane =
+                    bc.peel_at(j, ws.ladder[rung], peel_reason_of(rec.fault.kind));
+                lane.run(rec.fault.cycle);
+                FaultInjector::apply(lane, rec.fault);
 
-        const auto& st = cl.stats();
-        rec.ecc_corrected = st.ecc_corrected();
-        bool any_running = false;
-        for (unsigned p = 0; p < ccfg.cores; ++p) {
-            const auto pid = static_cast<CoreId>(p);
-            const core::Trap t = cl.core_trap(pid);
-            if (t != core::Trap::None && rec.trap == core::Trap::None) rec.trap = t;
-            if (t == core::Trap::None && !cl.core_halted(pid)) any_running = true;
-        }
+                // Ladder walk: advance to each later clean boundary and try
+                // to prove the divergence has washed out.
+                bool joined = false;
+                for (unsigned r = rung + 1; r <= kLadderRungs && !joined; ++r) {
+                    lane.run(ws.rung_cycle[r]);
+                    joined = bc.try_rejoin(j, ws.ladder[r]);
+                }
+                if (!joined) {
+                    lane.run(bound); // divergent to the end: pay full simulation
+                    if (lane.stats().watchdog_trips > 0) {
+                        bc.add_peel_reason(j, cluster::PeelReason::Watchdog);
+                    } else {
+                        bc.add_peel_reason(j, cluster::PeelReason::MemoBail);
+                    }
+                }
 
-        const std::uint64_t selfchecks = st.ixbar.selfcheck_fixes + st.ixbar.selfcheck_resyncs +
-                                         st.dxbar.selfcheck_fixes + st.dxbar.selfcheck_resyncs;
-        if (any_running) {
-            rec.outcome = Outcome::Hang;
-        } else if (rec.trap != core::Trap::None) {
-            rec.outcome = Outcome::Trapped;
-        } else if (outputs_verified(cl, bench, ccfg.cores)) {
-            if (rec.rollbacks > 0) {
-                rec.outcome = Outcome::RolledBack;
-            } else if (rec.ecc_corrected > 0 || st.reg_tmr_votes > 0 ||
-                       st.im_scrub_corrected > 0 || selfchecks > 0) {
-                rec.outcome = Outcome::Corrected;
-            } else if (cl.pending_reg_faults() > 0) {
-                rec.outcome = Outcome::Latent; // struck register never consumed
+                bc.lane_stats_into(j, ws.stats_buf);
+                rec.cycles = ws.stats_buf.cycles;
+                rec.batch_lockstep_cycles = ws.stats_buf.batch_lockstep_cycles;
+                rec.batch_lane_peels = ws.stats_buf.batch_lane_peels;
+                rec.batch_peel_reasons = ws.stats_buf.batch_peel_reasons;
+                // A rejoined lane's view is the representative at the
+                // verified clean end — classification sees exactly the
+                // final state a standalone run would have reached.
+                classify_oneshot(bc.lane_view(j), ws.stats_buf, bench, ccfg.cores, rec);
+                res.runs[i] = std::move(rec);
+            }
+        });
+    } else {
+        pool.for_each_index(globals.size(), [&](std::size_t i) {
+            Workspace& ws = workspace();
+            if (ws.key != nonce) {
+                // First injection this thread sees: replay the fault-free run
+                // once, snapshotting it at kLadderRungs evenly spaced cycles.
+                if (!ws.cl) ws.cl = std::make_unique<cluster::Cluster>(ccfg, bench.image());
+                else ws.cl->reset(ccfg, bench.image());
+                bench.load_inputs(*ws.cl, ccfg.cores);
+                ws.ladder.resize(kLadderRungs);
+                ws.rung_cycle.resize(kLadderRungs);
+                for (unsigned r = 0; r < kLadderRungs; ++r) {
+                    ws.cl->run(static_cast<Cycle>(r) * ladder_stride);
+                    ws.rung_cycle[r] = ws.cl->stats().cycles;
+                    ws.cl->save(ws.ladder[r]);
+                }
+                if (!ws.runner) ws.runner = std::make_unique<cluster::CheckpointRunner>(*ws.cl);
+                ws.key = nonce;
+            }
+
+            FaultInjector inj(mix_seed(cfg.seed, globals[i]));
+            InjectionRecord rec;
+            rec.fault = inj.draw(universe);
+
+            // Resume the deterministic clean run from the highest rung at or
+            // below the strike cycle instead of re-simulating its prefix.
+            cluster::Cluster& cl = *ws.cl;
+            unsigned rung = 0;
+            for (unsigned r = 1; r < kLadderRungs; ++r)
+                if (ws.rung_cycle[r] <= rec.fault.cycle) rung = r;
+            cl.restore(ws.ladder[rung]);
+            if (cfg.checkpoint) {
+                // Generalized recovery: interval checkpoints, and any trap
+                // (ECC double-bit, register parity, watchdog) re-executes from
+                // the last one. Deterministic: the restored rung state and the
+                // strike cycle fully determine every checkpoint.
+                cluster::CheckpointRunner& runner = *ws.runner;
+                runner.reset({.interval = interval, .max_retries = 2, .parity_guard = true});
+                runner.checkpoint(); // recovery point at the rung (pre-fault)
+                runner.run(rec.fault.cycle);
+                FaultInjector::apply(cl, rec.fault);
+                rec.cycles = runner.run(bound);
+                rec.rollbacks = runner.stats().rollbacks;
+                rec.checkpoints = runner.stats().checkpoints;
+                rec.reexec_cycles = runner.stats().reexec_cycles;
             } else {
-                rec.outcome = Outcome::Masked;
+                rec.cycles = FaultInjector::run_with_fault(cl, rec.fault, bound);
             }
-        } else {
-            rec.outcome = Outcome::Sdc;
-        }
-        res.runs[i] = std::move(rec);
-    });
+
+            classify_oneshot(cl, cl.stats(), bench, ccfg.cores, rec);
+            res.runs[i] = std::move(rec);
+        });
+    }
 
     for (const auto& r : res.runs) {
         ++res.counts[static_cast<unsigned>(r.outcome)];
         res.checkpoints += r.checkpoints;
         res.reexec_cycles += r.reexec_cycles;
+        res.batch_lockstep_cycles += r.batch_lockstep_cycles;
+        res.batch_lane_peels += r.batch_lane_peels;
+        for (unsigned b = 0; b < cluster::kPeelReasonCount; ++b)
+            res.batch_peel_reasons[b] += r.batch_peel_reasons[b];
     }
     return res;
 }
@@ -277,7 +396,7 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
         clean_checkpoints = clean.checkpoints;
     }
     { // energy from the one-shot benchmark (same firmware inner loop)
-        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.base().program());
+        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.base().image());
         bench.base().load_inputs(cl, ccfg.cores);
         cl.run();
         // Block-boundary checkpoints amortize over the whole stream: the
@@ -299,6 +418,13 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
     universe.burst_len = cfg.burst_len;
     universe.reg_burst = cfg.reg_burst;
 
+    const std::uint64_t nonce = next_campaign_nonce();
+    // Batched engine: the fault-free stream is memoized (DESIGN.md §11) —
+    // unperturbed blocks are credited from it instead of re-simulated. The
+    // perturbed() predicate below mirrors the hook's early-return exactly,
+    // which is what makes the credit sound.
+    const bool batched = cfg.engine == cluster::SimEngine::Batched;
+
     const std::vector<std::uint64_t> globals = shard_indices(cfg);
     res.runs.resize(globals.size());
     pool.for_each_index(globals.size(), [&](std::size_t i) {
@@ -312,19 +438,40 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
                                   rec.fault.kind == FaultKind::DmBitFlip;
         const bool persistent = memory_fault && inj.rng().below(4) == 0;
 
+        const auto perturbs = [&](unsigned block, unsigned attempt) {
+            return (block == target_block && attempt == 0) ||
+                   (persistent && block >= target_block);
+        };
         const auto hook = [&](cluster::Cluster& cl, unsigned block, unsigned attempt) {
-            const bool struck_block = block == target_block;
-            if (!(struck_block && attempt == 0) && !(persistent && block >= target_block)) return;
+            if (!perturbs(block, attempt)) return;
             // run_resilient resets the cluster per attempt (cycle restarts
             // at 0); run_checkpointed's clock is continuous, so the strike
             // cycle is applied relative to the attempt's start.
             cl.run(cfg.checkpoint ? cl.stats().cycles + rec.fault.cycle : rec.fault.cycle);
             FaultInjector::apply(cl, rec.fault);
         };
-        const auto ro =
-            cfg.checkpoint ? bench.run_checkpointed(ccfg, hook) : bench.run_resilient(ccfg, hook);
+        app::StreamingBenchmark::ResilientOutcome ro;
+        if (batched && cfg.checkpoint) {
+            Workspace& ws = workspace();
+            if (ws.stream_key != nonce) { // new campaign: recapture lazily
+                ws.stream_memo.invalidate();
+                ws.stream_key = nonce;
+            }
+            ro = bench.run_checkpointed(ccfg, hook, perturbs, ws.stream_memo);
+        } else if (batched) {
+            ro = bench.run_resilient(ccfg, hook, perturbs, clean_block);
+        } else if (cfg.checkpoint) {
+            ro = bench.run_checkpointed(ccfg, hook);
+        } else {
+            ro = bench.run_resilient(ccfg, hook);
+        }
 
         rec.cycles = ro.total_cycles;
+        rec.batch_lockstep_cycles = ro.memoized_cycles;
+        if (batched) { // one "peel" = the struck block actually simulated
+            rec.batch_lane_peels = 1;
+            rec.batch_peel_reasons[static_cast<unsigned>(peel_reason_of(rec.fault.kind))] = 1;
+        }
         rec.ecc_corrected = ro.ecc_corrected;
         rec.rollbacks = ro.rollbacks;
         rec.checkpoints = ro.checkpoints;
@@ -353,6 +500,10 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
         ++res.counts[static_cast<unsigned>(r.outcome)];
         res.checkpoints += r.checkpoints;
         res.reexec_cycles += r.reexec_cycles;
+        res.batch_lockstep_cycles += r.batch_lockstep_cycles;
+        res.batch_lane_peels += r.batch_lane_peels;
+        for (unsigned b = 0; b < cluster::kPeelReasonCount; ++b)
+            res.batch_peel_reasons[b] += r.batch_peel_reasons[b];
     }
     return res;
 }
@@ -392,7 +543,7 @@ CampaignResult run_adaptive_campaign(const app::StreamingBenchmark& bench,
     const cluster::ClusterConfig ccfg = resilient_config(bench.base(), arch, cfg);
 
     { // fault-free continuous reference: cycle count and energy
-        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.program());
+        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.image());
         bench.base().load_inputs(cl, ccfg.cores);
         res.clean_cycles = cl.run(static_cast<Cycle>(bench.n_blocks()) * 400'000);
         ULPMC_EXPECTS(stream_verified(cl, bench, ccfg.cores));
@@ -440,7 +591,7 @@ CampaignResult run_adaptive_campaign(const app::StreamingBenchmark& bench,
         InjectionRecord rec;
         rec.strikes = 0;
 
-        cluster::Cluster cl(ccfg, bench.program());
+        cluster::Cluster cl(ccfg, bench.image());
         bench.base().load_inputs(cl, ccfg.cores);
         cluster::CheckpointRunner runner(cl);
         runner.reset(rcfg);

@@ -88,7 +88,14 @@ struct CampaignConfig {
     /// Hang bound as a multiple of the fault-free run's cycle count.
     double max_cycles_factor = 4.0;
     /// Simulator tier (no effect on outcomes — differential-tested).
+    /// SimEngine::Batched additionally turns on campaign-level lockstep
+    /// sharing: one-shot injections run as batches of `batch` lanes over a
+    /// shared representative (peel on strike, rejoin on convergence), and
+    /// streaming injections memoize the fault-free stream. Outcome tables
+    /// stay byte-identical to Trace; only wall-clock changes.
     cluster::SimEngine engine = cluster::SimEngine::Trace;
+    /// Lanes per batch group under the batched engine (ignored otherwise).
+    unsigned batch = 8;
     /// Shard selector: this invocation runs the global injection indices
     /// congruent to shard_index mod shard_count. (1, 0) = everything.
     unsigned shard_count = 1;
@@ -106,6 +113,14 @@ struct InjectionRecord {
     std::uint64_t checkpoints = 0;   ///< snapshots taken in this run
     Cycle reexec_cycles = 0;         ///< cycles re-executed after rollbacks
     std::uint64_t strikes = 1;       ///< upsets deposited (adaptive runs: many)
+    // ---- batched-engine observability (zero under other engines) ------
+    /// Cycles this injection rode on shared/memoized execution instead of
+    /// simulating privately (lockstep prefix + rejoined tail, or the
+    /// memoized clean stream).
+    std::uint64_t batch_lockstep_cycles = 0;
+    std::uint64_t batch_lane_peels = 0; ///< divergences from the representative
+    /// Per-PeelReason divergence breakdown of this injection's lane.
+    std::array<std::uint64_t, cluster::kPeelReasonCount> batch_peel_reasons{};
 };
 
 struct CampaignResult {
@@ -121,6 +136,10 @@ struct CampaignResult {
     std::uint64_t strikes = 0;          ///< total upsets deposited
     std::uint64_t interval_updates = 0; ///< controller re-solves that changed the interval
     double overhead_energy = 0;         ///< checkpoint-save + re-execution energy [J]
+    // Batched-engine aggregates (zero elsewhere).
+    std::uint64_t batch_lockstep_cycles = 0; ///< total shared/memoized cycles
+    std::uint64_t batch_lane_peels = 0;      ///< total lane divergences
+    std::array<std::uint64_t, cluster::kPeelReasonCount> batch_peel_reasons{};
 
     unsigned count(Outcome o) const { return counts[static_cast<unsigned>(o)]; }
     /// Fraction of injections that did NOT end in silent data corruption —

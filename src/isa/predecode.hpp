@@ -59,6 +59,13 @@ public:
     /// Re-decodes a whole bank image in one pass (loader use).
     void refresh_bank(BankId bank, std::span<const std::uint32_t> cells);
 
+    /// Installs an already-decoded entry at (bank, offset) — the
+    /// ProgramImage load path, where the decode was done once per campaign
+    /// and each cluster instance only copies it.
+    void set_entry(BankId bank, std::uint32_t offset, const DecodedInstr& e) {
+        entries_[bank * words_per_bank_ + offset] = e;
+    }
+
     /// The decoded entry at (bank, offset), or nullptr when the stored
     /// word is illegal (the core then traps, exactly as a decode at fetch
     /// would).

@@ -1,0 +1,15 @@
+#include "isa/program_image.hpp"
+
+namespace ulpmc::isa {
+
+void ProgramImage::rebuild(const Program& prog) {
+    text_.assign(prog.text.begin(), prog.text.end());
+    data_.assign(prog.data.begin(), prog.data.end());
+    entry_ = prog.entry;
+    decoded_.resize(text_.size());
+    for (std::size_t pc = 0; pc < text_.size(); ++pc)
+        fill_entry(decoded_[pc], text_[pc]);
+    blockmap_.rebuild(text_);
+}
+
+} // namespace ulpmc::isa

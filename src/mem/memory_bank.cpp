@@ -123,6 +123,23 @@ void MemoryBank::restore(const BankSnapshot& s) {
     uncorrectable_pending_ = s.uncorrectable_pending;
 }
 
+MemoryBank::CellState MemoryBank::cell_state(std::size_t offset) const {
+    ULPMC_EXPECTS(offset < cells_.size());
+    return {cells_[offset], ecc_ ? check_[offset] : std::uint8_t{0}};
+}
+
+void MemoryBank::set_cell_state(std::size_t offset, CellState s) {
+    ULPMC_EXPECTS(offset < cells_.size());
+    ULPMC_EXPECTS(!gated_);
+    cells_[offset] = s.cell;
+    if (ecc_) check_[offset] = s.check;
+}
+
+bool MemoryBank::state_equals(const BankSnapshot& s) const {
+    return cells_ == s.cells && check_ == s.check && gated_ == s.gated &&
+           uncorrectable_pending_ == s.uncorrectable_pending;
+}
+
 std::uint32_t MemoryBank::read(std::size_t offset) {
     ULPMC_EXPECTS(offset < cells_.size());
     ULPMC_EXPECTS(!gated_);

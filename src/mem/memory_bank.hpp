@@ -107,6 +107,31 @@ public:
     /// count as an access. Raw cells: no ECC correction applied.
     std::span<const std::uint32_t> cells() const { return cells_; }
 
+    /// Raw stored state of one cell: bits as deposited (no ECC correction)
+    /// plus the stored check byte (0 without ECC). This is the unit of the
+    /// deduplicated IM snapshot (DESIGN.md §11): only cells on a cluster's
+    /// dirty list are captured/replayed, everything else is provably still
+    /// the pristine program image.
+    struct CellState {
+        std::uint32_t cell = 0;
+        std::uint8_t check = 0;
+        friend bool operator==(const CellState&, const CellState&) = default;
+    };
+    CellState cell_state(std::size_t offset) const;
+    void set_cell_state(std::size_t offset, CellState s);
+
+    /// True when the bank's future-determining state — cells, check bits,
+    /// gating and the sticky uncorrectable flag, but NOT statistics —
+    /// matches the snapshot. The batched tier's lane-rejoin comparator.
+    bool state_equals(const BankSnapshot& s) const;
+
+    /// Statistics restore for deduplicated snapshots (full restores go
+    /// through restore()).
+    void set_stats(const BankStats& s) { stats_ = s; }
+
+    bool uncorrectable_pending() const { return uncorrectable_pending_; }
+    void set_uncorrectable_pending(bool u) { uncorrectable_pending_ = u; }
+
     /// SEC-DED protection. Enabling (re)encodes check bits for the whole
     /// array; disabling keeps the data but stops checking.
     void set_ecc(bool enabled);

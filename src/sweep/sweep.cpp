@@ -86,6 +86,10 @@ void SweepRunner::for_each_index(std::size_t n, const std::function<void(std::si
 
 std::vector<SweepOutcome> SweepRunner::run(const isa::Program& prog,
                                            std::span<const SweepPoint> points) {
+    // Decode once per sweep: every point (on every worker) loads from the
+    // same shared image instead of re-deriving decode caches per reset
+    // (DESIGN.md §11).
+    const auto image = isa::ProgramImage::build(prog);
     std::vector<SweepOutcome> out(points.size());
     // Per-point result storage is laid out up front, so the parallel inner
     // loop below is free of heap allocation (pooled clusters + preallocated
@@ -97,7 +101,7 @@ std::vector<SweepOutcome> SweepRunner::run(const isa::Program& prog,
     }
     for_each_index(points.size(), [&](std::size_t i) {
         const SweepPoint& p = points[i];
-        cluster::Cluster& cl = cluster::pooled_cluster(p.cfg, prog);
+        cluster::Cluster& cl = cluster::pooled_cluster(p.cfg, image);
         const Cycle cycles = cl.run(p.max_cycles);
 
         SweepOutcome& o = out[i];

@@ -144,6 +144,17 @@ public:
         flip_master_ = s.flip_master;
     }
 
+    /// True when the future-determining state (everything save() captures
+    /// EXCEPT the statistics) matches the snapshot. The batched tier's
+    /// lane-rejoin comparator: two crossbars in this relation arbitrate
+    /// identically forever given identical request streams.
+    bool state_equals(const XbarSnapshot& s) const {
+        return last_denied_ == s.last_denied && glitch_armed_ == s.glitch_armed &&
+               glitch_.kind == s.glitch.kind && glitch_.master == s.glitch.master &&
+               rr_stuck_ == s.rr_stuck && rr_head_ == s.rr_head &&
+               flip_armed_ == s.flip_armed && flip_master_ == s.flip_master;
+    }
+
     unsigned masters() const { return masters_; }
     unsigned banks() const { return static_cast<unsigned>(banks_); }
     bool broadcast_enabled() const { return broadcast_; }

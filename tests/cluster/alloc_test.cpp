@@ -9,9 +9,11 @@
 #include <cstdlib>
 #include <new>
 
+#include "cluster/batched.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
 #include "isa/assembler.hpp"
+#include "isa/program_image.hpp"
 
 namespace {
 std::atomic<std::uint64_t> g_news{0};
@@ -122,6 +124,51 @@ TEST(ZeroAlloc, SweepAndCampaignInnerLoopIsHeapFree) {
         cl.save(snap); // campaigns re-snapshot per ladder rebuild
     }
     EXPECT_EQ(alloc_count(), before) << "reuse inner loop allocated on the heap";
+}
+
+TEST(ZeroAlloc, BatchedCampaignInnerLoopIsHeapFree) {
+    const auto prog = loop_program();
+    const auto image = isa::ProgramImage::build(prog);
+    auto cfg = make_cfg(4);
+    cfg.engine = cluster::SimEngine::Batched;
+
+    // Campaign shape: the representative runs the clean schedule once and
+    // snapshots a rung; every injection group then resets the lanes, peels
+    // one lane from the rung, runs it, attempts a rejoin and materializes
+    // its statistics. DM faults only, so the snapshot's IM dirt list stays
+    // at its warm capacity.
+    cluster::BatchedCluster bc(cfg, image, 4);
+    cluster::Cluster::Snapshot rung, final_snap;
+    bc.rep().run(60);
+    bc.rep().save(rung);
+    bc.rep().run(100'000);
+    bc.rep().save(final_snap);
+    cluster::ClusterStats stats_buf;
+
+    // Warm-up pass: every lane's private cluster gets built once.
+    for (unsigned l = 0; l < bc.lanes(); ++l) {
+        bc.reset_lanes();
+        cluster::Cluster& lane = bc.peel_at(l, rung, cluster::PeelReason::FaultStrike);
+        lane.inject_dm_fault(0, 700, 0xFF);
+        lane.run(100'000);
+        if (!bc.try_rejoin(l, final_snap)) bc.add_peel_reason(l, cluster::PeelReason::MemoBail);
+        bc.lane_stats_into(l, stats_buf);
+    }
+
+    const std::uint64_t before = alloc_count();
+    for (int i = 0; i < 4; ++i) {
+        bc.reset_lanes();
+        for (unsigned l = 0; l < bc.lanes(); ++l) {
+            cluster::Cluster& lane = bc.peel_at(l, rung, cluster::PeelReason::FaultStrike);
+            lane.run(80);
+            lane.inject_dm_fault(0, 700, 0x0F);
+            lane.run(100'000);
+            if (!bc.try_rejoin(l, final_snap))
+                bc.add_peel_reason(l, cluster::PeelReason::MemoBail);
+            bc.lane_stats_into(l, stats_buf);
+        }
+    }
+    EXPECT_EQ(alloc_count(), before) << "batched campaign inner loop allocated on the heap";
 }
 
 } // namespace

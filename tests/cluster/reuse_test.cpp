@@ -13,6 +13,7 @@
 #include "cluster/config.hpp"
 #include "cluster/pool.hpp"
 #include "isa/assembler.hpp"
+#include "isa/program_image.hpp"
 
 namespace ulpmc {
 namespace {
@@ -145,6 +146,81 @@ TEST(ClusterReuse, SnapshotRestoreUndoesFaultAndTextPatch) {
     cl.restore(snap); // must undo the faults, the patch, and the run
     ASSERT_EQ(cl.run(100'000), clean);
     expect_identical(cl, ref, cfg.cores, "restore undoes faults");
+}
+
+TEST(ClusterReuse, SnapshotPortableAcrossInstances) {
+    // The batched tier's peel restores a snapshot of the REPRESENTATIVE
+    // into a DIFFERENT cluster instance — one that may carry its own IM
+    // dirt from a previous injection. The restore must erase the target's
+    // dirt (dirt-union repair), apply the source's, and land bit-exactly.
+    const auto prog = loop_program();
+    const auto image = isa::ProgramImage::build(prog);
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcBank, 2);
+
+    cluster::Cluster a(cfg, image);
+    a.run(60);
+    cluster::Cluster::Snapshot snap;
+    a.save(snap);
+
+    cluster::Cluster b(cfg, image);
+    b.run(33);
+    b.inject_im_fault(4, 0x1); // dirt at a PC clean in a's snapshot
+    b.inject_dm_fault(0, 700, 0xFF);
+    b.run(100);
+
+    b.restore(snap);
+    ASSERT_TRUE(b.state_equals(snap));
+    ASSERT_EQ(b.run(100'000), a.run(100'000));
+    expect_identical(a, b, cfg.cores, "cross-instance restore");
+}
+
+TEST(ClusterReuse, SnapshotStoresOnlyDirtyImCells) {
+    // Memory-dedup contract: the IM is captured as (per-bank stats +
+    // raw cells of the dirty PCs), never the full kImWordsTotal image —
+    // what keeps a 12-rung campaign ladder affordable per thread.
+    const auto prog = loop_program();
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcBank, 2);
+
+    cluster::Cluster cl(cfg, prog);
+    cl.run(50);
+    cluster::Cluster::Snapshot clean;
+    cl.save(clean);
+    ASSERT_EQ(clean.saved_im_cells(), 0u) << "clean IM captures zero cells";
+
+    cl.inject_im_fault(2, 0x1);
+    cl.inject_im_fault(5, 0x3);
+    cluster::Cluster::Snapshot dirty;
+    cl.save(dirty);
+    ASSERT_GE(dirty.saved_im_cells(), 2u) << "both dirty PCs captured";
+    ASSERT_LE(dirty.saved_im_cells(), std::size_t{2} * cfg.cores)
+        << "only dirty-PC replicas, not the whole IM";
+
+    // Restore-identity: the dirty snapshot replays the faulted execution,
+    // the clean one undoes the dirt entirely.
+    cluster::Cluster ref(cfg, prog);
+    const Cycle clean_cycles = ref.run(100'000);
+    cl.restore(clean);
+    ASSERT_EQ(cl.run(100'000), clean_cycles);
+    expect_identical(cl, ref, cfg.cores, "clean snapshot undoes IM dirt");
+}
+
+TEST(ClusterReuse, StateEqualsTracksDivergence) {
+    const auto prog = loop_program();
+    const auto cfg = cfg_of(cluster::ArchKind::UlpmcInt, 2);
+
+    cluster::Cluster cl(cfg, prog);
+    cl.run(60);
+    cluster::Cluster::Snapshot snap;
+    cl.save(snap);
+    ASSERT_TRUE(cl.state_equals(snap)) << "reflexive at the save point";
+
+    cl.run(65);
+    ASSERT_FALSE(cl.state_equals(snap)) << "mid-loop progress diverges";
+
+    cl.restore(snap);
+    ASSERT_TRUE(cl.state_equals(snap));
+    cl.inject_dm_fault(0, 705, 0xF0);
+    ASSERT_FALSE(cl.state_equals(snap)) << "DM upset is future-determining";
 }
 
 TEST(ClusterReuse, PooledClusterReinitializesSameInstance) {

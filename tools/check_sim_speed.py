@@ -29,6 +29,15 @@ PAIRS = [
     # run() executes 1024 instructions per benchmark iteration, step() one.
     ("functional-ISS block dispatch/step",
      "BM_FunctionalCoreRunBlocks", "BM_FunctionalCoreStep", 1024),
+    # Batched engine (DESIGN.md §11): identical campaigns, byte-identical
+    # outcome tables, so the pair ratio is pure engine speedup. Streaming
+    # campaigns are the fleet-throughput case the tier targets (>=2x);
+    # one-shot injections diverge for good, the pair there only guards
+    # that the batched bookkeeping never costs throughput (~1.1x).
+    ("campaign throughput streaming batched/trace",
+     "BM_CampaignThroughput/streaming_batched", "BM_CampaignThroughput/streaming_trace", 1),
+    ("campaign throughput one-shot batched/trace",
+     "BM_CampaignThroughput/oneshot_batched", "BM_CampaignThroughput/oneshot_trace", 1),
 ]
 
 

@@ -6,9 +6,11 @@
 //     --cores N                            (default 8)
 //     --shared W --private W               DM layout in words
 //                                          (default 64 / 1024)
-//     --engine reference|fast|trace        simulator tier (default trace;
+//     --engine reference|fast|trace|batched  simulator tier (default trace;
 //                                          results are identical, see
-//                                          DESIGN.md §10)
+//                                          DESIGN.md §10-11)
+//     --batch B                            lanes under --engine batched
+//                                          (default 8)
 //     --ecc                                SEC-DED on every memory bank
 //     --regprot none|parity|tmr            register-file protection mode
 //     --im-scrub                           idle-cycle IM scrub walker
@@ -25,13 +27,16 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 
+#include "cluster/batched.hpp"
 #include "cluster/cluster.hpp"
 #include "common/table.hpp"
 #include "isa/assembler.hpp"
 #include "isa/binfmt.hpp"
+#include "isa/program_image.hpp"
 
 using namespace ulpmc;
 
@@ -39,7 +44,8 @@ namespace {
 
 int usage() {
     std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
-                 "                 [--shared W] [--private W] [--engine E] [--ecc]\n"
+                 "                 [--shared W] [--private W] [--engine E] [--batch B]\n"
+                 "                 [--ecc]\n"
                  "                 [--regprot none|parity|tmr] [--im-scrub]\n"
                  "                 [--xbar-selfcheck] [--watchdog N]\n"
                  "                 [--trace N] [--dump ADDR LEN] [--max-cycles N]\n";
@@ -76,6 +82,7 @@ int main(int argc, char** argv) {
     bool xbar_self_check = false;
     core::RegProtection regprot = core::RegProtection::None;
     cluster::SimEngine engine = cluster::SimEngine::Trace;
+    unsigned batch = 8;
     Cycle watchdog = 0;
     std::size_t trace_n = 0;
     long dump_addr = -1;
@@ -115,12 +122,14 @@ int main(int argc, char** argv) {
                 return 2;
             }
         } else if (arg == "--engine") {
-            const std::string name = next("reference|fast|trace");
+            const std::string name = next("reference|fast|trace|batched");
             if (!cluster::parse_engine(name, engine)) {
                 std::cerr << "unknown engine '" << name
-                          << "' (expected reference, fast or trace)\n";
+                          << "' (expected reference, fast, trace or batched)\n";
                 return 2;
             }
+        } else if (arg == "--batch") {
+            batch = static_cast<unsigned>(parse_num(arg, next("a lane count"), 1, 4096));
         } else if (arg == "--watchdog") {
             watchdog = parse_num(arg, next("a cycle count"), 1, 1'000'000'000);
         } else if (arg == "--trace") {
@@ -217,11 +226,24 @@ int main(int argc, char** argv) {
         return 2;
     }
 
-    cluster::Cluster cl(cfg, prog);
+    // Under --engine batched, B identical lanes run over one shared
+    // representative (all stay in lockstep without fault injection); the
+    // report below reads the representative, which embodies every lane.
+    const auto image = isa::ProgramImage::build(prog);
+    std::unique_ptr<cluster::BatchedCluster> bc;
+    std::unique_ptr<cluster::Cluster> solo;
+    if (engine == cluster::SimEngine::Batched)
+        bc = std::make_unique<cluster::BatchedCluster>(cfg, image, batch);
+    else
+        solo = std::make_unique<cluster::Cluster>(cfg, image);
+    cluster::Cluster& cl = bc ? bc->rep() : *solo;
     cluster::RingTrace ring(trace_n ? trace_n : 1);
     if (trace_n) cl.set_trace(&ring);
 
-    cl.run(max_cycles);
+    if (bc)
+        bc->run_lockstep(max_cycles);
+    else
+        cl.run(max_cycles);
 
     // --- report --------------------------------------------------------------
     const auto& s = cl.stats();
@@ -234,6 +256,12 @@ int main(int argc, char** argv) {
               << format_count(s.ixbar.denied + s.dxbar.denied) << '\n';
 
     cluster::print_run_summary(std::cout, s);
+    if (bc) {
+        const auto ls = bc->lane_stats(0);
+        std::cout << "batched: " << bc->lanes() << " lanes, " << ls.batch_lane_peels
+                  << " peels, " << format_count(ls.batch_lockstep_cycles)
+                  << " lockstep cycles/lane\n";
+    }
 
     int rc = 0;
     std::cout << "registers (r0..r3):\n";
