@@ -62,6 +62,9 @@ void add_tail(ClusterStats& dst, const ClusterStats& now, const ClusterStats& ba
     dst.im_scrub_reads += now.im_scrub_reads - base.im_scrub_reads;
     dst.im_scrub_corrected += now.im_scrub_corrected - base.im_scrub_corrected;
     dst.im_scrub_uncorrectable += now.im_scrub_uncorrectable - base.im_scrub_uncorrectable;
+    dst.dm_scrub_reads += now.dm_scrub_reads - base.dm_scrub_reads;
+    dst.dm_scrub_corrected += now.dm_scrub_corrected - base.dm_scrub_corrected;
+    dst.dm_scrub_uncorrectable += now.dm_scrub_uncorrectable - base.dm_scrub_uncorrectable;
 }
 
 } // namespace

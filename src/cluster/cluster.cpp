@@ -66,6 +66,8 @@ void Cluster::reset_from_image() {
     ixbar_.set_self_check(cfg.xbar_self_check);
     dxbar_.set_self_check(cfg.xbar_self_check);
     im_scrub_ptr_.assign(cfg.im_banks, 0);
+    dm_scrub_ptr_.assign(cfg.dm_banks, 0);
+    dm_busy_banks_ = 0;
     predecoded_.reset(cfg.im_banks, cfg.im_bank_words);
 
     // --- (re)construct memories ---------------------------------------------
@@ -83,6 +85,7 @@ void Cluster::reset_from_image() {
         stats_.ecc_enabled = cfg.ecc_enabled;
         stats_.reg_protection = cfg.reg_protection;
         stats_.im_scrub_enabled = cfg.im_scrub;
+        stats_.dm_scrub_enabled = cfg.dm_scrub;
         stats_.xbar_self_check = cfg.xbar_self_check;
     }
 
@@ -306,6 +309,7 @@ void Cluster::save(Snapshot& out) const {
     ixbar_.save(out.ixbar);
     dxbar_.save(out.dxbar);
     out.im_scrub_ptr = im_scrub_ptr_;
+    out.dm_scrub_ptr = dm_scrub_ptr_;
 }
 
 void Cluster::restore(const Snapshot& s) {
@@ -351,6 +355,7 @@ void Cluster::restore(const Snapshot& s) {
     ixbar_.restore(s.ixbar);
     dxbar_.restore(s.dxbar);
     im_scrub_ptr_ = s.im_scrub_ptr;
+    dm_scrub_ptr_ = s.dm_scrub_ptr;
 
     // Decode caches: rolling the cells back can strand the cache entries of
     // any word that was dirty on either side; re-derive exactly those from
@@ -441,7 +446,7 @@ bool Cluster::state_equals(const Snapshot& s) const {
     for (std::size_t b = 0; b < dm_banks_.size(); ++b)
         if (!dm_banks_[b].state_equals(s.dm_banks[b])) return false;
     if (!ixbar_.state_equals(s.ixbar) || !dxbar_.state_equals(s.dxbar)) return false;
-    return im_scrub_ptr_ == s.im_scrub_ptr;
+    return im_scrub_ptr_ == s.im_scrub_ptr && dm_scrub_ptr_ == s.dm_scrub_ptr;
 }
 
 void Cluster::inject_dm_fault(CoreId pid, Addr vaddr, Word flip_mask) {
@@ -573,6 +578,12 @@ void Cluster::inject_xbar_state(bool instruction_side, const xbar::ArbiterUpset&
     ++direct_faults_;
 }
 
+std::size_t Cluster::dm_latent_upsets() const {
+    std::size_t n = 0;
+    for (const auto& b : dm_banks_) n += b.latent_upsets();
+    return n;
+}
+
 std::size_t Cluster::im_latent_upsets() const {
     std::size_t n = 0;
     for (const auto& b : im_banks_)
@@ -625,6 +636,7 @@ bool Cluster::step() {
 
     ++cycle_;
     execute_phase();
+    if (cfg_.dm_scrub) scrub_dm_phase(dm_busy_banks_);
     const std::uint32_t fetched_banks = fetch_phase();
     if (cfg_.im_scrub) scrub_im_phase(fetched_banks);
     if (cfg_.watchdog_cycles > 0) watchdog_phase();
@@ -684,9 +696,9 @@ bool Cluster::trace_burst(Cycle max_cycles) {
     // register) changes per-cycle arbitration outcomes: the generic
     // engine's full arbiter must run until it is consumed or repaired.
     if (ixbar_.arbiter_upset_pending() || dxbar_.arbiter_upset_pending()) return false;
-    // The scrub walker advances one word per idle bank per cycle — state
+    // The scrub walkers advance one word per idle bank per cycle — state
     // the burst cannot replay in batch.
-    if (cfg_.im_scrub) return false;
+    if (cfg_.im_scrub || cfg_.dm_scrub) return false;
 
     // ---- batched statistics ------------------------------------------------
     // Bank reads/writes and per-commit counters go through the same calls
@@ -901,6 +913,7 @@ void Cluster::execute_phase() {
     // value feeds the ALU and the write happens with the result), but both
     // ports arbitrate in the same cycle, as in the hardware.
     std::uint32_t req_mask = 0; ///< bit per D-Xbar master port with a request
+    dm_busy_banks_ = 0;
     for (const CoreId p : active_cores_) {
         CoreCtx& c = cores_[p];
         // Deactivating the slots is enough: arbitration and the grant
@@ -944,6 +957,7 @@ void Cluster::execute_phase() {
             const auto& rq = dm_req_[read_port(p)];
             const auto& gr = dm_grant_[read_port(p)];
             auto& bank = dm_banks_[rq.bank];
+            if (rq.bank < 32) dm_busy_banks_ |= std::uint32_t{1} << rq.bank;
             // A hijacked grant (flipped grant register, DESIGN.md §9)
             // latches whatever is on the bank port — the winner's word at
             // the wrong offset. No port activation of its own, no ECC
@@ -970,6 +984,13 @@ void Cluster::execute_phase() {
         if (c.has_store && dm_req_[write_port(p)].active &&
             dm_grant_[write_port(p)].granted && dm_grant_[write_port(p)].hijacked) {
             c.has_store = false;
+        }
+
+        // A granted write port holds its bank this cycle whether or not the
+        // store lands (a wasted grant still drives the port).
+        if (dm_req_[write_port(p)].active && dm_grant_[write_port(p)].granted) {
+            const BankId wb = dm_req_[write_port(p)].bank;
+            if (wb < 32) dm_busy_banks_ |= std::uint32_t{1} << wb;
         }
 
         const bool load_ok = !c.has_load || c.load_done;
@@ -1215,6 +1236,23 @@ std::uint32_t Cluster::fetch_phase() {
         }
     }
     return fetched_banks;
+}
+
+void Cluster::scrub_dm_phase(std::uint32_t busy_banks) {
+    // One word per idle bank per cycle, exactly like the IM walker: a bank
+    // that served a granted request this cycle is busy (single-ported
+    // SRAM); everyone else donates the idle cycle to background scrubbing.
+    for (std::size_t b = 0; b < dm_banks_.size(); ++b) {
+        auto& bank = dm_banks_[b];
+        if (bank.power_gated()) continue;
+        if (b < 32 && (busy_banks & (std::uint32_t{1} << b))) continue;
+        std::uint32_t& ptr = dm_scrub_ptr_[b];
+        const mem::MemoryBank::ScrubResult r = bank.scrub_step(ptr);
+        ptr = ptr + 1 == bank.size() ? 0 : ptr + 1;
+        ++stats_.dm_scrub_reads;
+        stats_.dm_scrub_corrected += r.corrected;
+        stats_.dm_scrub_uncorrectable += r.uncorrectable;
+    }
 }
 
 void Cluster::scrub_im_phase(std::uint32_t fetched_banks) {

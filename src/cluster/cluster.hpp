@@ -149,6 +149,10 @@ public:
     /// uncorrectables. Non-counting; 0 without ECC.
     std::size_t im_latent_upsets() const;
 
+    /// Same population across the DM banks: the drain metric for the DM
+    /// scrub walker (ClusterConfig::dm_scrub). Non-counting; 0 without ECC.
+    std::size_t dm_latent_upsets() const;
+
     // ---- register-file protection (DESIGN.md §9) ---------------------------
 
     /// Registers struck by inject_reg_fault that no instruction has read
@@ -261,6 +265,7 @@ public:
         xbar::XbarSnapshot ixbar;
         xbar::XbarSnapshot dxbar;
         std::vector<std::uint32_t> im_scrub_ptr;
+        std::vector<std::uint32_t> dm_scrub_ptr;
 
     public:
         /// Read-only views for the batched tier's rejoin bookkeeping.
@@ -301,6 +306,11 @@ private:
     /// single-bit upset in place. Runs after fetch_phase when
     /// cfg_.im_scrub; each step is priced by the power model.
     void scrub_im_phase(std::uint32_t fetched_banks);
+    /// Idle-cycle DM scrubbing (DESIGN.md §9): every DM bank that served no
+    /// granted request this cycle (`busy_banks` bit clear) advances its
+    /// scrub walker by one word. Runs after execute_phase when
+    /// cfg_.dm_scrub; each step is priced by the power model.
+    void scrub_dm_phase(std::uint32_t busy_banks);
     /// Trace-engine burst (DESIGN.md §10): with a single active core the
     /// cluster's timing is conflict-free by construction, so run() advances
     /// through whole superblocks here — committing and fetching in a fused
@@ -384,6 +394,12 @@ private:
     /// Per-IM-bank scrub-walker position (next word to check); advances on
     /// every idle cycle of its bank when cfg_.im_scrub is on.
     std::vector<std::uint32_t> im_scrub_ptr_;
+    /// Per-DM-bank scrub-walker position; advances on every idle cycle of
+    /// its bank when cfg_.dm_scrub is on.
+    std::vector<std::uint32_t> dm_scrub_ptr_;
+    /// DM banks that served a granted request this cycle (set during
+    /// execute_phase, consumed by scrub_dm_phase).
+    std::uint32_t dm_busy_banks_ = 0;
     mutable ClusterStats stats_;   ///< mutable: stats() syncs xbar aggregates
     /// Loaded program length: fetching at or beyond it is a FetchFault
     /// (same boundary as the functional ISS), not a walk through the

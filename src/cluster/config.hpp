@@ -93,6 +93,15 @@ struct ClusterConfig {
     /// each scrub read is priced by the power model.
     bool im_scrub = false;
 
+    /// Resilience extension (DESIGN.md §9): idle-cycle DM scrubbing — the
+    /// IM walker generalized to the data banks. On every cycle in which a
+    /// DM bank serves no granted request, its walker reads-and-corrects
+    /// one word. Long-lifetime runs need this: a latent DM upset that sits
+    /// unread for hours is one more strike away from an uncorrectable
+    /// double-bit word. Requires ecc_enabled to actually repair; each
+    /// scrub read is priced by the power model (cal::kDmScrubReadEnergy).
+    bool dm_scrub = false;
+
     /// Resilience extension (DESIGN.md §9): self-checking crossbar
     /// arbiters (both I- and D-side). Duplicate-and-compare on the grant
     /// vector and the rotating-priority head: a flipped grant register is

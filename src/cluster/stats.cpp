@@ -48,6 +48,12 @@ void print_run_summary(std::ostream& os, const ClusterStats& s) {
         os << "reg protection: " << core::reg_protection_name(s.reg_protection) << ", "
            << format_count(s.reg_parity_traps) << " parity trap(s), "
            << format_count(s.reg_tmr_votes) << " TMR repair(s)\n";
+    if (s.im_scrub_enabled || s.dm_scrub_enabled)
+        os << "scrub: IM " << (s.im_scrub_enabled ? "on" : "off") << " ("
+           << format_count(s.im_scrub_reads) << " reads, "
+           << format_count(s.im_scrub_corrected) << " repaired), DM "
+           << (s.dm_scrub_enabled ? "on" : "off") << " (" << format_count(s.dm_scrub_reads)
+           << " reads, " << format_count(s.dm_scrub_corrected) << " repaired)\n";
 }
 
 } // namespace ulpmc::cluster

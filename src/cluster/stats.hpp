@@ -84,6 +84,13 @@ struct ClusterStats {
     std::uint64_t im_scrub_corrected = 0;     ///< latent upsets repaired by the walker
     std::uint64_t im_scrub_uncorrectable = 0; ///< double-bit words the walker found
 
+    // Idle-cycle DM scrubbing counters (DESIGN.md §9). Zero unless
+    // ClusterConfig::dm_scrub is on.
+    bool dm_scrub_enabled = false;            ///< DM walker armed (from config)
+    std::uint64_t dm_scrub_reads = 0;         ///< DM scrub-walker bank reads
+    std::uint64_t dm_scrub_corrected = 0;     ///< latent DM upsets repaired by the walker
+    std::uint64_t dm_scrub_uncorrectable = 0; ///< double-bit DM words the walker found
+
     // Batched-tier lane-divergence counters (DESIGN.md §11). A plain
     // Cluster never touches these; BatchedCluster::lane_stats() fills them
     // in so batched-tier efficiency is observable per lane: how many cycles
@@ -101,7 +108,8 @@ struct ClusterStats {
     /// truth.
     std::uint64_t upset_events() const {
         return ecc_im_corrected + ecc_dm_corrected + ecc_uncorrectable + reg_parity_traps +
-               reg_tmr_votes + im_scrub_corrected + im_scrub_uncorrectable + watchdog_trips +
+               reg_tmr_votes + im_scrub_corrected + im_scrub_uncorrectable +
+               dm_scrub_corrected + dm_scrub_uncorrectable + watchdog_trips +
                ixbar.selfcheck_fixes + ixbar.selfcheck_resyncs + dxbar.selfcheck_fixes +
                dxbar.selfcheck_resyncs;
     }

@@ -117,6 +117,10 @@ inline constexpr unsigned kCheckpointWordsPerCore = 18;
 /// bank activation at the data width (the ECC codeword widening factor
 /// applies on top, exactly as for demand fetches).
 inline constexpr double kImScrubReadEnergy = 45.0e-12;
+/// Idle-cycle DM scrub: the same background walker over the data banks,
+/// priced like a demand DM bank activation at the data width (the ECC
+/// codeword widening factor applies on top, exactly as for demand reads).
+inline constexpr double kDmScrubReadEnergy = 8.75e-12 / 0.3772;
 /// Self-checking crossbar arbiter: a shadow grant computation plus a
 /// comparator per crossbar, toggling every cycle the checker is armed.
 /// Sized at ~20% of the interleaved I-Xbar's per-request routing energy

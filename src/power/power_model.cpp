@@ -67,6 +67,7 @@ EventRates EventRates::from_run(const cluster::ClusterStats& s) {
     r.ecc_corrections = static_cast<double>(s.ecc_corrected()) / ops;
     r.reg_protection = s.reg_protection;
     r.im_scrub_reads = static_cast<double>(s.im_scrub_reads) / ops;
+    r.dm_scrub_reads = static_cast<double>(s.dm_scrub_reads) / ops;
     r.xbar_self_check = s.xbar_self_check;
     return r;
 }
@@ -93,6 +94,7 @@ EnergyConstants EnergyConstants::calibrated() {
             cal::kRegTmrEnergyPerOp,
             cal::kCheckpointWordEnergy,
             cal::kImScrubReadEnergy,
+            cal::kDmScrubReadEnergy,
             cal::kXbarSelfCheckEnergyPerCycle};
 }
 
@@ -111,7 +113,7 @@ PowerBreakdown PowerModel::energy_per_op(const EventRates& r) const {
     // Scrub-walker reads are background IM bank activations: same row,
     // same ECC widening as demand fetches.
     e.im = c_.im_access * r.im_bank_accesses + c_.im_scrub_read * r.im_scrub_reads;
-    e.dm = c_.dm_access * r.dm_bank_accesses;
+    e.dm = c_.dm_access * r.dm_bank_accesses + c_.dm_scrub_read * r.dm_scrub_reads;
     if (r.ecc) {
         // SEC-DED widens every bank access to the codeword width and
         // charges correction events their scrub energy (calibration.hpp).

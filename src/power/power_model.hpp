@@ -40,6 +40,8 @@ struct EventRates {
     /// Idle-cycle IM scrub reads per op (background bank activations;
     /// the ECC widening factor applies like on demand fetches).
     double im_scrub_reads = 0;
+    /// Idle-cycle DM scrub reads per op (background DM bank activations).
+    double dm_scrub_reads = 0;
     /// Self-checking crossbar arbiters armed: charges a per-cycle checker
     /// adder on both interconnect rows.
     bool xbar_self_check = false;
@@ -94,6 +96,7 @@ struct EnergyConstants {
     double reg_tmr_per_op;       ///< extra J/op with register TMR on
     double checkpoint_word;      ///< J per checkpointed state word
     double im_scrub_read;        ///< J per IM scrub-walker bank read
+    double dm_scrub_read;        ///< J per DM scrub-walker bank read
     double xbar_selfcheck_cycle; ///< J per armed-checker cycle (per crossbar)
 
     /// The calibrated defaults (DESIGN.md §4).

@@ -1,0 +1,52 @@
+#include "scenario/battery.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::scenario {
+
+Battery::Battery(const BatteryConfig& cfg)
+    : cfg_(cfg), charge_j_(cfg.capacity_j * cfg.initial_fraction) {
+    ULPMC_EXPECTS(cfg_.capacity_j > 0);
+    ULPMC_EXPECTS(cfg_.initial_fraction >= 0 && cfg_.initial_fraction <= 1);
+    ULPMC_EXPECTS(cfg_.brownout_fraction >= 0 && cfg_.restart_fraction >= cfg_.brownout_fraction);
+}
+
+void Battery::drain(double j) {
+    ULPMC_EXPECTS(j >= 0);
+    charge_j_ = std::max(0.0, charge_j_ - j);
+    if (charge_fraction() < cfg_.brownout_fraction) browned_out_ = true;
+}
+
+void Battery::harvest(double w, double dt_s) {
+    ULPMC_EXPECTS(w >= 0 && dt_s >= 0);
+    charge_j_ = std::min(cfg_.capacity_j, charge_j_ + w * dt_s);
+    if (browned_out_ && charge_fraction() >= cfg_.restart_fraction) browned_out_ = false;
+}
+
+const char* level_name(DegradeLevel l) {
+    switch (l) {
+    case DegradeLevel::Full:
+        return "full";
+    case DegradeLevel::ShedLeads:
+        return "shed-leads";
+    case DegradeLevel::CoarseTx:
+        return "coarse-tx";
+    case DegradeLevel::TightProtect:
+        return "tight-protect";
+    case DegradeLevel::RadioSilence:
+        return "radio-silence";
+    }
+    return "?";
+}
+
+DegradeLevel level_for_charge(double charge_fraction) {
+    if (charge_fraction > 0.60) return DegradeLevel::Full;
+    if (charge_fraction > 0.40) return DegradeLevel::ShedLeads;
+    if (charge_fraction > 0.25) return DegradeLevel::CoarseTx;
+    if (charge_fraction > 0.10) return DegradeLevel::TightProtect;
+    return DegradeLevel::RadioSilence;
+}
+
+} // namespace ulpmc::scenario

@@ -1,0 +1,65 @@
+// Battery and brownout model (DESIGN.md §12), plus the graceful-
+// degradation ladder it drives. The battery is a simple charge reservoir
+// (ULP wearables draw far below the rate where coin-cell efficiency
+// curves matter) with a brownout/restart hysteresis: below the brownout
+// threshold the regulator drops out and the device is off until harvest
+// refills it past the restart threshold — monitoring gaps, not crashes.
+//
+// The ladder maps state-of-charge to a degradation level; the lifetime
+// engine translates levels into device configuration (leads, transmit
+// fidelity, protection tier, radio policy). Thresholds deliberately have
+// no hysteresis of their own: the engine only evaluates the ladder at
+// chunk boundaries (its governor tick), which bounds oscillation.
+#pragma once
+
+#include <cstdint>
+
+namespace ulpmc::scenario {
+
+struct BatteryConfig {
+    double capacity_j = 4.0;
+    double initial_fraction = 1.0;
+    /// Below this fraction the regulator browns out (device off).
+    double brownout_fraction = 0.02;
+    /// Charge fraction required to restart after a brownout (hysteresis).
+    double restart_fraction = 0.05;
+};
+
+class Battery {
+public:
+    explicit Battery(const BatteryConfig& cfg);
+
+    /// Removes `j` joules (clamped at empty); may enter brownout.
+    void drain(double j);
+    /// Adds `w` watts for `dt_s` seconds (clamped at capacity); may clear
+    /// a brownout once the restart threshold is reached.
+    void harvest(double w, double dt_s);
+
+    double charge_j() const { return charge_j_; }
+    double charge_fraction() const { return charge_j_ / cfg_.capacity_j; }
+    bool browned_out() const { return browned_out_; }
+
+private:
+    BatteryConfig cfg_;
+    double charge_j_;
+    bool browned_out_ = false;
+};
+
+/// The graceful-degradation ladder, shallowest to deepest. Each level
+/// includes every shallower level's measures.
+enum class DegradeLevel : std::uint8_t {
+    Full = 0,     ///< > 60% charge: 8 leads, full fidelity
+    ShedLeads,    ///< <= 60%: shed half the ECG leads (8 -> 4 cores)
+    CoarseTx,     ///< <= 40%: halve the transmitted bit budget per block
+    TightProtect, ///< <= 25%: TMR + DM scrub + lambda-tuned checkpoints
+    RadioSilence  ///< <= 10%: buffer-and-hold, radio off until recovery
+};
+inline constexpr unsigned kDegradeLevelCount = 5;
+
+/// Display name ("full", "shed-leads", ...): JSON/report keys.
+const char* level_name(DegradeLevel l);
+
+/// Level the ladder prescribes at `charge_fraction` state-of-charge.
+DegradeLevel level_for_charge(double charge_fraction);
+
+} // namespace ulpmc::scenario

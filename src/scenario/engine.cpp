@@ -1,0 +1,388 @@
+#include "scenario/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <unordered_map>
+
+#include "cluster/pool.hpp"
+#include "common/assert.hpp"
+#include "fault/estimator.hpp"
+#include "fault/fault.hpp"
+#include "power/calibration.hpp"
+#include "power/governor.hpp"
+#include "power/power_model.hpp"
+
+namespace ulpmc::scenario {
+
+const char* policy_name(Policy p) {
+    return p == Policy::Ladder ? "ladder" : "baseline";
+}
+
+namespace {
+
+/// Mirrors the campaign layer's end-of-run verification (campaign.cpp):
+/// golden CS measurements and the golden bitstream, bit-exact, from every
+/// active core, which must have halted untrapped.
+bool verified_against_golden(const cluster::Cluster& cl, const app::EcgBenchmark& bench,
+                             unsigned cores) {
+    const auto& lay = bench.layout();
+    for (unsigned p = 0; p < cores; ++p) {
+        const auto pid = static_cast<CoreId>(p);
+        if (cl.core_trap(pid) != core::Trap::None || !cl.core_halted(pid)) return false;
+        const auto& y = bench.golden_measurements(p);
+        for (std::size_t i = 0; i < y.size(); ++i) {
+            if (cl.dm_peek(pid, static_cast<Addr>(lay.y_base() + i)) != y[i]) return false;
+        }
+        const auto& bits = bench.golden_bitstream(p);
+        if (cl.dm_peek(pid, lay.out_count()) != bits.words.size()) return false;
+        for (std::size_t i = 0; i < bits.words.size(); ++i) {
+            if (cl.dm_peek(pid, static_cast<Addr>(lay.out_base() + i)) != bits.words[i])
+                return false;
+        }
+    }
+    return true;
+}
+
+/// RNG stream allocation per global block index `gbi`: stream 2*gbi draws
+/// the strike decision, stream 2*gbi+1 seeds the injection. The link owns
+/// one further stream (kLinkStream). Keeping every draw keyed by gbi —
+/// never by execution order — is what makes the run independent of the
+/// SweepRunner thread count.
+constexpr std::uint64_t kLinkStream = 0xB1E00000u;
+
+} // namespace
+
+/// Everything the engine needs to credit an unstruck block at one
+/// degradation level, measured from a single verified cluster run.
+struct LifetimeEngine::Calibration {
+    bool ready = false;
+    cluster::ClusterConfig cfg;
+    Cycle clean_cycles = 0;
+    std::uint64_t ops = 0;
+    /// Governor-scheduled energy for one block period (compute + sleep,
+    /// leakage included; checkpoints and radio are charged separately).
+    double energy_block_j = 0;
+    double v_op = 0;           ///< supply while computing (derating base)
+    double energy_cycle_j = 0; ///< compute energy per cluster cycle (T* input)
+    std::size_t tx_bits = 0;   ///< compressed payload bits per block
+};
+
+LifetimeEngine::LifetimeEngine(const Timeline& tl, const DeviceConfig& dc)
+    : tl_(tl), dc_(dc), bench_(app::BenchmarkOptions{.seed = dc.seed}) {
+    ULPMC_EXPECTS(dc_.chunk_blocks >= 1);
+    ULPMC_EXPECTS(dc_.derate_lambda_on > dc_.derate_lambda_off);
+    ULPMC_EXPECTS(dc_.derate_margin_v >= 0 && dc_.derate_ser_factor > 0 &&
+                  dc_.derate_ser_factor <= 1);
+    calib_.resize(kDegradeLevelCount);
+}
+
+LifetimeEngine::~LifetimeEngine() = default;
+
+cluster::ClusterConfig LifetimeEngine::config_for(DegradeLevel level) const {
+    cluster::ClusterConfig c = cluster::make_config(dc_.arch, bench_.layout().dm_layout());
+    c.barrier_enabled = bench_.layout().use_barrier;
+    c.engine = dc_.engine;
+    c.watchdog_cycles = dc_.watchdog_cycles;
+    if (dc_.policy == Policy::Baseline) return c; // no-resilience device
+    // Ladder protection floor: SEC-DED + IM scrub + register parity; the
+    // TightProtect rung escalates to TMR, DM scrub and self-checking
+    // arbiters on top.
+    c.ecc_enabled = true;
+    c.im_scrub = true;
+    c.reg_protection = core::RegProtection::Parity;
+    if (level >= DegradeLevel::ShedLeads) c.cores = kNumCores / 2;
+    if (level >= DegradeLevel::TightProtect) {
+        c.reg_protection = core::RegProtection::Tmr;
+        c.dm_scrub = true;
+        c.xbar_self_check = true;
+    }
+    return c;
+}
+
+const LifetimeEngine::Calibration& LifetimeEngine::calibrate(DegradeLevel level) {
+    Calibration& c = calib_[static_cast<unsigned>(level)];
+    if (c.ready) return c;
+    c.cfg = config_for(level);
+
+    cluster::Cluster& cl = cluster::pooled_cluster(c.cfg, bench_.image());
+    bench_.load_inputs(cl, c.cfg.cores);
+    c.clean_cycles = cl.run();
+    ULPMC_EXPECTS(verified_against_golden(cl, bench_, c.cfg.cores));
+    c.ops = cl.stats().total_ops();
+
+    const power::PowerModel model(dc_.arch);
+    const auto rates = power::EventRates::from_run(cl.stats());
+    c.energy_cycle_j = model.energy_per_op(rates).total() * cl.stats().ops_per_cycle();
+
+    const power::DutyCycleGovernor governor(model, rates);
+    const power::Schedule sched =
+        governor.best(static_cast<double>(c.ops), tl_.block_period_s);
+    c.energy_block_j = sched.energy_per_period;
+    c.v_op = sched.op.v;
+
+    c.tx_bits = 0;
+    for (unsigned p = 0; p < c.cfg.cores; ++p) c.tx_bits += bench_.golden_bitstream(p).bits;
+
+    c.ready = true;
+    return c;
+}
+
+LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
+    const double period = tl_.block_period_s;
+    const double sim_s = dc_.max_days > 0 ? dc_.max_days * 86400.0 : tl_.total_s();
+    const auto total_blocks =
+        static_cast<std::uint64_t>(std::floor(sim_s / period + 1e-9));
+    ULPMC_EXPECTS(total_blocks >= 1);
+
+    LifetimeReport rep;
+    rep.policy = dc_.policy;
+    rep.seed = dc_.seed;
+    rep.arch = cluster::arch_name(dc_.arch);
+    rep.simulated_s = static_cast<double>(total_blocks) * period;
+    rep.block_period_s = period;
+    rep.battery_capacity_j = tl_.battery_j;
+    rep.total_blocks = total_blocks;
+    rep.samples_total = total_blocks * kNumCores * app::kEcgBlockSamples;
+    rep.phases.resize(tl_.phases.size());
+    for (std::size_t i = 0; i < tl_.phases.size(); ++i) rep.phases[i].name = tl_.phases[i].name;
+
+    BatteryConfig bat_cfg = dc_.battery;
+    bat_cfg.capacity_j = tl_.battery_j;
+    Battery battery(bat_cfg);
+    BleLink link(dc_.link, fault::mix_seed(dc_.seed, kLinkStream));
+    fault::UpsetRateEstimator estimator;
+    bool derated = false;
+
+    rep.battery_trace.push_back({0.0, battery.charge_fraction()});
+    std::size_t prev_phase = tl_.phase_index_at(0.0);
+
+    struct Plan {
+        std::size_t phase;
+        DegradeLevel level;
+        bool struck;
+    };
+    struct StruckJob {
+        std::uint64_t gbi;
+        DegradeLevel level;
+    };
+    struct StruckOutcome {
+        std::uint64_t events = 0;
+        bool ok = false;
+        bool trapped = false;
+    };
+
+    for (std::uint64_t chunk_start = 0; chunk_start < total_blocks;
+         chunk_start += dc_.chunk_blocks) {
+        const std::uint64_t chunk_end =
+            std::min<std::uint64_t>(chunk_start + dc_.chunk_blocks, total_blocks);
+
+        // ---- governor tick: freeze the ladder level and the derating
+        // decision for this chunk ---------------------------------------
+        const DegradeLevel base_level = dc_.policy == Policy::Ladder
+                                            ? level_for_charge(battery.charge_fraction())
+                                            : DegradeLevel::Full;
+        if (dc_.policy == Policy::Ladder) {
+            const double lam = estimator.lambda_hat();
+            if (!derated && lam > dc_.derate_lambda_on) derated = true;
+            if (derated && lam < dc_.derate_lambda_off) derated = false;
+        }
+        const double ser = derated ? dc_.derate_ser_factor : 1.0;
+
+        // ---- plan the chunk: per-block phase, effective level, and the
+        // seeded strike decision (independent of device state, so it can
+        // be drawn up front) ---------------------------------------------
+        std::vector<Plan> plan(chunk_end - chunk_start);
+        std::vector<StruckJob> jobs;
+        for (std::uint64_t gbi = chunk_start; gbi < chunk_end; ++gbi) {
+            Plan& pl = plan[gbi - chunk_start];
+            const double t = static_cast<double>(gbi) * period;
+            pl.phase = tl_.phase_index_at(t);
+            const Phase& ph = tl_.phases[pl.phase];
+            // Clinical override: an arrhythmia episode is monitored at
+            // full fidelity no matter what the battery says.
+            pl.level = (dc_.policy == Policy::Ladder && ph.arrhythmia) ? DegradeLevel::Full
+                                                                       : base_level;
+            const Calibration& cal = calibrate(pl.level);
+            const double p_strike =
+                ph.lambda > 0
+                    ? 1.0 - std::exp(-ph.lambda * static_cast<double>(cal.clean_cycles) * ser)
+                    : 0.0;
+            pl.struck = p_strike > 0 &&
+                        Rng(fault::mix_seed(dc_.seed, 2 * gbi)).uniform() < p_strike;
+            if (pl.struck) jobs.push_back({gbi, pl.level});
+        }
+
+        // ---- simulate the struck blocks in parallel (each is seeded by
+        // its global block index, so the outcome set is order-free) ------
+        const auto outcomes =
+            pool.map(std::span<const StruckJob>(jobs), [&](const StruckJob& job) {
+                const Calibration& cal = calib_[static_cast<unsigned>(job.level)];
+                cluster::Cluster& cl = cluster::pooled_cluster(cal.cfg, bench_.image());
+                bench_.load_inputs(cl, cal.cfg.cores);
+
+                fault::FaultInjector inj(fault::mix_seed(dc_.seed, 2 * job.gbi + 1));
+                fault::FaultUniverse u;
+                u.text_words = bench_.program().text.size();
+                u.dm_words = bench_.layout().dm_layout().limit();
+                u.cores = cal.cfg.cores;
+                u.window = cal.clean_cycles;
+                const fault::FaultSpec spec = inj.draw(u);
+                const Cycle bound = 4 * cal.clean_cycles + dc_.watchdog_cycles + 1000;
+                fault::FaultInjector::run_with_fault(cl, spec, bound);
+
+                StruckOutcome out;
+                out.events = cl.stats().upset_events();
+                bool any_running = false, any_trap = false;
+                for (unsigned p = 0; p < cal.cfg.cores; ++p) {
+                    const auto pid = static_cast<CoreId>(p);
+                    if (cl.core_trap(pid) != core::Trap::None) any_trap = true;
+                    else if (!cl.core_halted(pid)) any_running = true;
+                }
+                out.trapped = any_trap || any_running;
+                out.ok = !out.trapped && verified_against_golden(cl, bench_, cal.cfg.cores);
+                return out;
+            });
+        std::unordered_map<std::uint64_t, const StruckOutcome*> by_gbi;
+        for (std::size_t i = 0; i < jobs.size(); ++i) by_gbi[jobs[i].gbi] = &outcomes[i];
+
+        // ---- apply the chunk in strict block order ---------------------
+        for (std::uint64_t gbi = chunk_start; gbi < chunk_end; ++gbi) {
+            const Plan& pl = plan[gbi - chunk_start];
+            const Phase& ph = tl_.phases[pl.phase];
+            PhaseReport& pr = rep.phases[pl.phase];
+            const double t = static_cast<double>(gbi) * period;
+
+            if (pl.phase != prev_phase) {
+                rep.battery_trace.push_back({t, battery.charge_fraction()});
+                prev_phase = pl.phase;
+            }
+            ++pr.blocks;
+
+            if (battery.browned_out()) {
+                // Regulator out: the device is dark. All samples of the
+                // period are lost at the sensor; only harvest runs.
+                ++pr.brownout_blocks;
+                pr.samples_shed += kNumCores * app::kEcgBlockSamples;
+                battery.harvest(ph.harvest_uw * 1e-6, period);
+                pr.harvest_j += ph.harvest_uw * 1e-6 * period;
+                pr.battery_end = battery.charge_fraction();
+                continue;
+            }
+
+            const Calibration& cal = calib_[static_cast<unsigned>(pl.level)];
+            pr.deepest_level = std::max(pr.deepest_level, static_cast<unsigned>(pl.level));
+
+            // Compute energy, with the quadratic cost of the derating
+            // margin when it is engaged.
+            double derate_factor = 1.0;
+            if (derated) {
+                const double v = cal.v_op;
+                derate_factor = ((v + dc_.derate_margin_v) / v) * ((v + dc_.derate_margin_v) / v);
+                ++pr.derated_blocks;
+            }
+            double e_compute = cal.energy_block_j * derate_factor;
+
+            // Checkpoint traffic: one end-of-block commit normally; at
+            // TightProtect and deeper the interval follows the first-order
+            // optimum T* = sqrt(2 C e_w / (lambda E_cycle)) from the
+            // estimator's current rate.
+            double e_ckpt = 0;
+            if (dc_.policy == Policy::Ladder) {
+                const double c_words = static_cast<double>(cal.cfg.cores) *
+                                       power::cal::kCheckpointWordsPerCore;
+                double n_ckpt = 1.0;
+                const double lam = estimator.lambda_hat();
+                if (pl.level >= DegradeLevel::TightProtect && lam > 0) {
+                    const double t_star =
+                        std::sqrt(2.0 * c_words * power::cal::kCheckpointWordEnergy /
+                                  (lam * cal.energy_cycle_j));
+                    n_ckpt = std::max(1.0, static_cast<double>(cal.clean_cycles) / t_star);
+                }
+                e_ckpt = n_ckpt * c_words * power::cal::kCheckpointWordEnergy;
+            }
+
+            // Struck-block outcome.
+            double e_reexec = 0;
+            bool ship = true;
+            TxQuality quality =
+                pl.level >= DegradeLevel::CoarseTx ? TxQuality::Degraded : TxQuality::Full;
+            std::uint64_t events = 0;
+            Cycle observed_cycles = cal.clean_cycles;
+            if (pl.struck) {
+                ++pr.struck_blocks;
+                const StruckOutcome& out = *by_gbi.at(gbi);
+                events = out.events;
+                if (dc_.policy == Policy::Ladder) {
+                    if (!out.ok) {
+                        // Verification failed (or the block fail-stopped):
+                        // roll back and re-execute; the retry is clean by
+                        // construction (the strike already happened).
+                        ++pr.rollbacks;
+                        e_reexec = cal.energy_block_j * derate_factor;
+                        observed_cycles += cal.clean_cycles;
+                    }
+                } else {
+                    if (out.trapped) {
+                        // Fail-stop with nobody to roll back: the block is
+                        // lost and the device reboots into the next one.
+                        ++pr.trapped_blocks;
+                        ship = false;
+                    } else if (!out.ok) {
+                        // Corrupted outputs shipped as if they were good —
+                        // the silent-data-corruption channel.
+                        ++pr.sdc_blocks;
+                        quality = TxQuality::Corrupt;
+                    }
+                }
+            }
+            estimator.observe(events, observed_cycles);
+
+            // Sense + enqueue. Shed leads never sample; RadioSilence still
+            // enqueues (buffer-and-hold) but keeps the modem off.
+            const std::uint64_t sensed =
+                static_cast<std::uint64_t>(cal.cfg.cores) * app::kEcgBlockSamples;
+            pr.samples_sensed += sensed;
+            pr.samples_shed +=
+                static_cast<std::uint64_t>(kNumCores - cal.cfg.cores) * app::kEcgBlockSamples;
+            if (ship) {
+                std::size_t bits = cal.tx_bits;
+                if (pl.level >= DegradeLevel::CoarseTx) bits /= 2;
+                link.enqueue(bits, sensed, quality);
+            } else {
+                pr.samples_shed += sensed;
+            }
+
+            const double radio_before = link.stats().tx_energy_j;
+            const bool radio_up = ph.ble_up && pl.level != DegradeLevel::RadioSilence;
+            link.step(period, radio_up, ph.ble_loss);
+            const double e_radio = link.stats().tx_energy_j - radio_before;
+
+            battery.drain(e_compute + e_ckpt + e_reexec + e_radio);
+            battery.harvest(ph.harvest_uw * 1e-6, period);
+
+            pr.energy_compute_j += e_compute;
+            pr.energy_checkpoint_j += e_ckpt;
+            pr.energy_reexec_j += e_reexec;
+            pr.energy_radio_j += e_radio;
+            pr.harvest_j += ph.harvest_uw * 1e-6 * period;
+            pr.battery_end = battery.charge_fraction();
+            pr.lambda_hat_end = estimator.lambda_hat();
+
+            if (battery.browned_out() && rep.first_brownout_s < 0)
+                rep.first_brownout_s = t + period;
+        }
+    }
+
+    rep.battery_trace.push_back({rep.simulated_s, battery.charge_fraction()});
+    rep.link = link.stats();
+    for (const PhaseReport& pr : rep.phases) rep.sdc_blocks += pr.sdc_blocks;
+    const auto st = static_cast<double>(rep.samples_total);
+    rep.delivered_fraction =
+        static_cast<double>(rep.link.samples_delivered + rep.link.samples_delivered_degraded) /
+        st;
+    rep.full_fidelity_fraction = static_cast<double>(rep.link.samples_delivered) / st;
+    return rep;
+}
+
+} // namespace ulpmc::scenario

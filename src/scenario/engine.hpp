@@ -1,0 +1,162 @@
+// Device lifetime scenario engine (DESIGN.md §12).
+//
+// Composes the pieces every earlier extension built — the streaming ECG
+// benchmark (workload), the duty-cycle governor (energy per block
+// period), the BLE link (scenario/link), the battery/brownout model
+// (scenario/battery), the fault injector (struck blocks) and the online
+// upset-rate estimator (lambda-aware adaptation) — into one continuously
+// running device walking a scripted timeline (scenario/timeline).
+//
+// Two policies are compared:
+//  * Ladder   — the graceful-degradation device: every block is verified
+//               against the golden pipeline (rollback on corruption), and
+//               the battery level drives the degradation ladder (shed
+//               leads -> coarsen transmission -> tighten protection with
+//               lambda-tuned checkpoints + DVFS derating -> radio
+//               silence). Arrhythmia phases override the ladder: clinical
+//               episodes are monitored at full fidelity regardless of
+//               charge.
+//  * Baseline — the no-resilience, no-degradation device (watchdog only,
+//               so hangs still end): nothing is verified, corrupted
+//               blocks ship silently (the SDC channel) and the device
+//               burns full power until it browns out.
+//
+// Affordability and determinism: simulating days of wall time cycle-by-
+// cycle is impossible, so the engine simulates the CLUSTER only where it
+// matters — once per degradation level to calibrate (cycles, event rates,
+// verified outputs), and once per struck block (seeded injection,
+// classification against the golden outputs). Unstruck blocks are
+// credited from the calibration, which is exact: the firmware is
+// block-stateless, so every unperturbed block IS the calibration run
+// (the same crediting argument as the campaign layer's memoization).
+// Device time advances in fixed chunks of `chunk_blocks` block periods;
+// the ladder level and derating decision freeze at each chunk boundary
+// (the governor's control tick), struck blocks within a chunk simulate in
+// parallel (seeded per block index), and all device state (battery, link,
+// estimator) applies strictly in block order. Results are therefore
+// bit-identical across engine tiers AND SweepRunner thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/benchmark.hpp"
+#include "cluster/config.hpp"
+#include "common/types.hpp"
+#include "scenario/battery.hpp"
+#include "scenario/link.hpp"
+#include "scenario/timeline.hpp"
+#include "sweep/sweep.hpp"
+
+namespace ulpmc::scenario {
+
+enum class Policy : std::uint8_t { Ladder, Baseline };
+const char* policy_name(Policy p);
+
+struct DeviceConfig {
+    cluster::ArchKind arch = cluster::ArchKind::UlpmcBank;
+    /// Simulator tier for calibration and struck-block runs. No effect on
+    /// any reported number (the tiers are stat-identical; pinned by test).
+    cluster::SimEngine engine = cluster::SimEngine::Trace;
+    std::uint64_t seed = 1;
+    Policy policy = Policy::Ladder;
+    /// Governor tick: ladder level and derating freeze for this many
+    /// block periods; struck blocks inside a chunk simulate in parallel.
+    unsigned chunk_blocks = 32;
+    /// Simulated lifetime in days; 0 = one pass of the timeline.
+    double max_days = 0;
+    LinkConfig link{};
+    /// Battery thresholds; capacity_j is overridden by the timeline.
+    BatteryConfig battery{};
+    /// Lambda-aware DVFS derating (ladder only): when the estimated upset
+    /// rate crosses `derate_lambda_on` [events/cycle], the device adds
+    /// `derate_margin_v` of supply margin — near-threshold SER falls
+    /// steeply with voltage, modeled as a `derate_ser_factor` multiplier
+    /// on the strike probability — at the quadratic dynamic-energy cost
+    /// the V/f model prescribes. Hysteresis via `derate_lambda_off`.
+    double derate_lambda_on = 2e-7;
+    double derate_lambda_off = 5e-8;
+    double derate_margin_v = 0.05;
+    double derate_ser_factor = 0.3;
+    /// Watchdog window for every simulated cluster (hangs become traps).
+    Cycle watchdog_cycles = 20'000;
+};
+
+/// Accumulated over every block a timeline phase governed (cycled passes
+/// of the script merge into the same entry).
+struct PhaseReport {
+    std::string name;
+    std::uint64_t blocks = 0;          ///< block periods under this phase
+    std::uint64_t brownout_blocks = 0; ///< device was off (regulator out)
+    std::uint64_t struck_blocks = 0;   ///< blocks that drew >= 1 upset
+    std::uint64_t rollbacks = 0;       ///< verified-and-retried blocks (ladder)
+    std::uint64_t sdc_blocks = 0;      ///< corrupted blocks shipped (baseline)
+    std::uint64_t trapped_blocks = 0;  ///< blocks lost to a fail-stop (baseline)
+    std::uint64_t derated_blocks = 0;  ///< blocks run with SER-derating margin
+    std::uint64_t samples_sensed = 0;  ///< samples acquired by live leads
+    std::uint64_t samples_shed = 0;    ///< samples not acquired (leads shed / device off)
+    double energy_compute_j = 0;    ///< governor-scheduled compute (+ sleep)
+    double energy_checkpoint_j = 0; ///< checkpoint traffic
+    double energy_reexec_j = 0;     ///< rollback re-execution
+    double energy_radio_j = 0;      ///< transmit energy (losses included)
+    double harvest_j = 0;           ///< energy harvested during the phase
+    double battery_end = 0;         ///< charge fraction after the phase's last block
+    double lambda_hat_end = 0;      ///< estimator state after the last block
+    unsigned deepest_level = 0;     ///< deepest DegradeLevel entered
+};
+
+/// One point of the battery state-of-charge trace.
+struct BatterySample {
+    double t_s = 0;
+    double fraction = 0;
+};
+
+struct LifetimeReport {
+    Policy policy = Policy::Ladder;
+    std::uint64_t seed = 0;
+    std::string arch;
+    double simulated_s = 0;
+    double block_period_s = 0;
+    double battery_capacity_j = 0;
+    /// Time of the first brownout, -1 if the battery never gave out.
+    double first_brownout_s = -1;
+    std::uint64_t total_blocks = 0;
+    /// Every sample the sensor COULD have acquired (8 leads, all blocks).
+    std::uint64_t samples_total = 0;
+    /// Good samples at the peer (full + degraded fidelity) / samples_total.
+    double delivered_fraction = 0;
+    /// Full-fidelity samples only.
+    double full_fidelity_fraction = 0;
+    std::uint64_t sdc_blocks = 0;
+    LinkStats link;
+    std::vector<PhaseReport> phases;        ///< one per timeline phase
+    std::vector<BatterySample> battery_trace; ///< sampled at phase transitions
+};
+
+/// Runs one device lifetime. The per-level calibrations are cached inside
+/// the engine, so running both policies through one instance shares them.
+class LifetimeEngine {
+public:
+    LifetimeEngine(const Timeline& tl, const DeviceConfig& dc);
+    ~LifetimeEngine();
+
+    const Timeline& timeline() const { return tl_; }
+    const DeviceConfig& device() const { return dc_; }
+
+    /// Simulates the lifetime. Deterministic for a fixed (timeline, seed):
+    /// bit-identical across engine tiers and `pool` thread counts.
+    LifetimeReport run(sweep::SweepRunner& pool);
+
+private:
+    struct Calibration;
+    const Calibration& calibrate(DegradeLevel level);
+    cluster::ClusterConfig config_for(DegradeLevel level) const;
+
+    Timeline tl_;
+    DeviceConfig dc_;
+    app::EcgBenchmark bench_;
+    std::vector<Calibration> calib_; ///< indexed by DegradeLevel, lazily filled
+};
+
+} // namespace ulpmc::scenario

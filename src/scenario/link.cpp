@@ -1,0 +1,93 @@
+#include "scenario/link.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::scenario {
+
+BleLink::BleLink(const LinkConfig& cfg, std::uint64_t seed) : cfg_(cfg), rng_(seed) {
+    ULPMC_EXPECTS(cfg_.radio.packet_payload_bits > 0);
+    ULPMC_EXPECTS(cfg_.buffer_bits > 0);
+    ULPMC_EXPECTS(cfg_.backoff_base_s > 0 && cfg_.backoff_max_s >= cfg_.backoff_base_s);
+}
+
+void BleLink::deliver_credit(const Pending& p) {
+    switch (p.quality) {
+    case TxQuality::Full:
+        stats_.samples_delivered += p.samples;
+        break;
+    case TxQuality::Degraded:
+        stats_.samples_delivered_degraded += p.samples;
+        break;
+    case TxQuality::Corrupt:
+        stats_.samples_delivered_corrupt += p.samples;
+        break;
+    }
+}
+
+void BleLink::enqueue(std::size_t bits, std::uint64_t samples, TxQuality quality) {
+    if (bits == 0) return;
+    queue_.push_back({bits, 0, samples, quality});
+    buffered_bits_ += bits;
+    // Freshest-data-wins eviction: during a drought the clinically useful
+    // samples are the most recent ones, so saturation sheds the oldest
+    // blocks whole (partial blocks are useless to the decoder anyway).
+    while (buffered_bits_ > cfg_.buffer_bits && queue_.size() > 1) {
+        const Pending& victim = queue_.front();
+        stats_.bits_dropped += victim.bits - victim.sent_bits;
+        stats_.samples_dropped += victim.samples;
+        buffered_bits_ -= victim.bits - victim.sent_bits;
+        queue_.pop_front();
+    }
+}
+
+void BleLink::enter_backoff() {
+    ++consecutive_losses_;
+    ++stats_.backoffs;
+    const unsigned exp = std::min(consecutive_losses_ - 1, 16u);
+    const double nominal =
+        std::min(cfg_.backoff_max_s, cfg_.backoff_base_s * static_cast<double>(1u << exp));
+    // +-25% seeded jitter, the standard desynchronizer for contending
+    // transmitters; capped AFTER jitter so backoff_max_s is a hard bound.
+    const double jittered = nominal * (0.75 + 0.5 * rng_.uniform());
+    backoff_remaining_s_ = std::min(jittered, cfg_.backoff_max_s);
+    stats_.max_backoff_s = std::max(stats_.max_backoff_s, backoff_remaining_s_);
+}
+
+void BleLink::step(double dt_s, bool up, double loss) {
+    if (!up) {
+        // Drought: the peer is out of range. Pending backoff does not
+        // tick down either — the modem is not even listening for acks.
+        return;
+    }
+    if (backoff_remaining_s_ > 0) {
+        backoff_remaining_s_ -= dt_s;
+        if (backoff_remaining_s_ > 0) return;
+        backoff_remaining_s_ = 0;
+    }
+    for (unsigned n = 0; n < cfg_.max_packets_per_step && !queue_.empty(); ++n) {
+        Pending& head = queue_.front();
+        const std::size_t chunk =
+            std::min(head.bits - head.sent_bits, cfg_.radio.packet_payload_bits);
+        // One packet on air: payload energy plus the per-packet overhead,
+        // spent whether or not the packet survives.
+        stats_.tx_energy_j += cfg_.radio.tx_energy(chunk);
+        ++stats_.packets_sent;
+        if (rng_.uniform() < loss) {
+            ++stats_.packets_lost;
+            enter_backoff();
+            return; // ack timeout consumed the rest of this tick
+        }
+        consecutive_losses_ = 0;
+        head.sent_bits += chunk;
+        buffered_bits_ -= chunk;
+        stats_.bits_delivered += chunk;
+        if (head.sent_bits == head.bits) {
+            deliver_credit(head);
+            queue_.pop_front();
+        }
+    }
+}
+
+} // namespace ulpmc::scenario

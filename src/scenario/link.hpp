@@ -1,0 +1,103 @@
+// Stateful BLE link (DESIGN.md §12): power::RadioModel prices a transfer,
+// but a device lifetime needs the protocol around it — a bounded transmit
+// buffer fed block by block, per-packet loss, ack timeouts, exponential
+// backoff with seeded jitter, and a drop policy when the buffer saturates
+// during a drought. The link tracks WHAT the buffered bits represent
+// (sample counts and their fidelity), so the lifetime report can state
+// exactly which samples reached the peer, which arrived degraded and
+// which were lost — the delivered-sample fraction the degradation ladder
+// is judged on.
+//
+// Determinism: all randomness flows through one seeded xoshiro stream
+// owned by the link, consumed in strict block order by step(). Two links
+// built with the same seed and stepped with the same schedule are
+// bit-identical.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "power/radio.hpp"
+
+namespace ulpmc::scenario {
+
+/// Fidelity of a buffered block's samples, decided by the producer.
+enum class TxQuality : std::uint8_t {
+    Full,     ///< full-fidelity compressed block
+    Degraded, ///< ladder-coarsened block (reduced bit budget)
+    Corrupt   ///< SDC block shipped by an unverified device
+};
+
+struct LinkConfig {
+    power::RadioModel radio{};
+    /// Transmit-buffer bound in bits. Enqueues past it evict the OLDEST
+    /// buffered blocks (freshest-data-wins: during a drought the clinical
+    /// value is in the most recent samples).
+    std::size_t buffer_bits = 256 * 1024;
+    /// First retry delay after a lost packet; doubles per consecutive
+    /// loss up to backoff_max_s, with +-25% seeded jitter.
+    double backoff_base_s = 0.25;
+    double backoff_max_s = 8.0;
+    /// Packets attempted per step() at most (modem drain-rate bound).
+    unsigned max_packets_per_step = 64;
+};
+
+/// Cumulative link counters (monotonic; the engine reads deltas).
+struct LinkStats {
+    std::uint64_t packets_sent = 0;  ///< on-air attempts (losses included)
+    std::uint64_t packets_lost = 0;  ///< attempts that drew a loss
+    std::uint64_t bits_delivered = 0;
+    std::uint64_t bits_dropped = 0;  ///< evicted by the buffer bound
+    std::uint64_t backoffs = 0;      ///< backoff windows entered
+    double max_backoff_s = 0;        ///< longest window entered
+    double tx_energy_j = 0;          ///< radio energy, losses included
+    std::uint64_t samples_delivered = 0;          ///< TxQuality::Full
+    std::uint64_t samples_delivered_degraded = 0; ///< TxQuality::Degraded
+    std::uint64_t samples_delivered_corrupt = 0;  ///< TxQuality::Corrupt
+    std::uint64_t samples_dropped = 0;            ///< evicted, any quality
+};
+
+class BleLink {
+public:
+    BleLink(const LinkConfig& cfg, std::uint64_t seed);
+
+    /// Buffers one block's compressed payload. Evicts oldest blocks when
+    /// the bound is exceeded (counted in bits_dropped/samples_dropped).
+    void enqueue(std::size_t bits, std::uint64_t samples, TxQuality quality);
+
+    /// One control tick of `dt_s` seconds. While the link is `up` and not
+    /// backing off, drains buffered blocks packet by packet; each packet
+    /// is lost with probability `loss` (energy still spent), and a loss
+    /// enters an exponential backoff window. While down, the buffer holds
+    /// (a drought is not a loss — no backoff, no retries).
+    void step(double dt_s, bool up, double loss);
+
+    std::size_t buffered_bits() const { return buffered_bits_; }
+    double backoff_remaining_s() const { return backoff_remaining_s_; }
+    unsigned consecutive_losses() const { return consecutive_losses_; }
+    const LinkStats& stats() const { return stats_; }
+
+private:
+    /// One buffered block with partial-transmission progress.
+    struct Pending {
+        std::size_t bits;
+        std::size_t sent_bits = 0;
+        std::uint64_t samples;
+        TxQuality quality;
+    };
+
+    void deliver_credit(const Pending& p);
+    void enter_backoff();
+
+    LinkConfig cfg_;
+    Rng rng_;
+    std::deque<Pending> queue_;
+    std::size_t buffered_bits_ = 0;
+    double backoff_remaining_s_ = 0;
+    unsigned consecutive_losses_ = 0;
+    LinkStats stats_;
+};
+
+} // namespace ulpmc::scenario

@@ -1,0 +1,128 @@
+#include "scenario/report.hpp"
+
+#include <iomanip>
+#include <ostream>
+
+namespace ulpmc::scenario {
+
+namespace {
+
+void write_link(std::ostream& os, const LinkStats& l, const char* indent) {
+    os << indent << "\"packets_sent\": " << l.packets_sent << ",\n";
+    os << indent << "\"packets_lost\": " << l.packets_lost << ",\n";
+    os << indent << "\"bits_delivered\": " << l.bits_delivered << ",\n";
+    os << indent << "\"bits_dropped\": " << l.bits_dropped << ",\n";
+    os << indent << "\"backoffs\": " << l.backoffs << ",\n";
+    os << indent << "\"max_backoff_s\": " << l.max_backoff_s << ",\n";
+    os << indent << "\"tx_energy_j\": " << l.tx_energy_j << ",\n";
+    os << indent << "\"samples_delivered\": " << l.samples_delivered << ",\n";
+    os << indent << "\"samples_delivered_degraded\": " << l.samples_delivered_degraded << ",\n";
+    os << indent << "\"samples_delivered_corrupt\": " << l.samples_delivered_corrupt << ",\n";
+    os << indent << "\"samples_dropped\": " << l.samples_dropped << "\n";
+}
+
+void write_run(std::ostream& os, const LifetimeReport& r) {
+    os << "    {\n";
+    os << "      \"policy\": \"" << policy_name(r.policy) << "\",\n";
+    os << "      \"seed\": " << r.seed << ",\n";
+    os << "      \"arch\": \"" << r.arch << "\",\n";
+    os << "      \"simulated_s\": " << r.simulated_s << ",\n";
+    os << "      \"block_period_s\": " << r.block_period_s << ",\n";
+    os << "      \"battery_j\": " << r.battery_capacity_j << ",\n";
+    os << "      \"first_brownout_s\": " << r.first_brownout_s << ",\n";
+    os << "      \"total_blocks\": " << r.total_blocks << ",\n";
+    os << "      \"samples_total\": " << r.samples_total << ",\n";
+    os << "      \"delivered_fraction\": " << r.delivered_fraction << ",\n";
+    os << "      \"full_fidelity_fraction\": " << r.full_fidelity_fraction << ",\n";
+    os << "      \"sdc_blocks\": " << r.sdc_blocks << ",\n";
+    os << "      \"link\": {\n";
+    write_link(os, r.link, "        ");
+    os << "      },\n";
+    os << "      \"phases\": [\n";
+    for (std::size_t i = 0; i < r.phases.size(); ++i) {
+        const PhaseReport& p = r.phases[i];
+        os << "        {\n";
+        os << "          \"name\": \"" << p.name << "\",\n";
+        os << "          \"blocks\": " << p.blocks << ",\n";
+        os << "          \"brownout_blocks\": " << p.brownout_blocks << ",\n";
+        os << "          \"struck_blocks\": " << p.struck_blocks << ",\n";
+        os << "          \"rollbacks\": " << p.rollbacks << ",\n";
+        os << "          \"sdc_blocks\": " << p.sdc_blocks << ",\n";
+        os << "          \"trapped_blocks\": " << p.trapped_blocks << ",\n";
+        os << "          \"derated_blocks\": " << p.derated_blocks << ",\n";
+        os << "          \"samples_sensed\": " << p.samples_sensed << ",\n";
+        os << "          \"samples_shed\": " << p.samples_shed << ",\n";
+        os << "          \"energy_compute_j\": " << p.energy_compute_j << ",\n";
+        os << "          \"energy_checkpoint_j\": " << p.energy_checkpoint_j << ",\n";
+        os << "          \"energy_reexec_j\": " << p.energy_reexec_j << ",\n";
+        os << "          \"energy_radio_j\": " << p.energy_radio_j << ",\n";
+        os << "          \"harvest_j\": " << p.harvest_j << ",\n";
+        os << "          \"battery_end\": " << p.battery_end << ",\n";
+        os << "          \"lambda_hat_end\": " << p.lambda_hat_end << ",\n";
+        os << "          \"deepest_level\": \""
+           << level_name(static_cast<DegradeLevel>(p.deepest_level)) << "\"\n";
+        os << "        }" << (i + 1 < r.phases.size() ? "," : "") << "\n";
+    }
+    os << "      ],\n";
+    os << "      \"battery_trace\": [\n";
+    for (std::size_t i = 0; i < r.battery_trace.size(); ++i) {
+        const BatterySample& b = r.battery_trace[i];
+        os << "        {\"t_s\": " << b.t_s << ", \"fraction\": " << b.fraction << "}"
+           << (i + 1 < r.battery_trace.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n";
+    os << "    }";
+}
+
+} // namespace
+
+void write_json(std::ostream& os, const std::string& timeline_name,
+                const std::vector<LifetimeReport>& runs) {
+    os << "{\n";
+    os << "  \"timeline\": \"" << timeline_name << "\",\n";
+    os << "  \"runs\": [\n";
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        write_run(os, runs[i]);
+        os << (i + 1 < runs.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n";
+    os << "}\n";
+}
+
+void print_summary(std::ostream& os, const LifetimeReport& rep) {
+    os << "policy " << policy_name(rep.policy) << "  seed " << rep.seed << "  arch " << rep.arch
+       << "  " << rep.simulated_s << " s simulated (" << rep.total_blocks << " blocks of "
+       << rep.block_period_s << " s)\n";
+    os << "battery " << rep.battery_capacity_j << " J";
+    if (rep.first_brownout_s >= 0)
+        os << ", first brownout at " << rep.first_brownout_s << " s";
+    else
+        os << ", never browned out";
+    os << "\n";
+    os << "delivered " << std::fixed << std::setprecision(2) << 100.0 * rep.delivered_fraction
+       << "% of samples (" << 100.0 * rep.full_fidelity_fraction << "% full fidelity), "
+       << rep.sdc_blocks << " SDC blocks\n";
+    os.unsetf(std::ios::fixed);
+    os << std::setprecision(6);
+    os << "link: " << rep.link.packets_sent << " packets (" << rep.link.packets_lost
+       << " lost, " << rep.link.backoffs << " backoffs, max backoff " << rep.link.max_backoff_s
+       << " s), " << rep.link.samples_dropped << " samples evicted\n\n";
+
+    os << std::left << std::setw(14) << "phase" << std::right << std::setw(8) << "blocks"
+       << std::setw(8) << "struck" << std::setw(8) << "rollbk" << std::setw(6) << "sdc"
+       << std::setw(8) << "brown" << std::setw(10) << "E_cmp[J]" << std::setw(10) << "E_rad[J]"
+       << std::setw(9) << "batt%" << std::setw(15) << "deepest\n";
+    for (const PhaseReport& p : rep.phases) {
+        if (p.blocks == 0) continue;
+        os << std::left << std::setw(14) << p.name << std::right << std::setw(8) << p.blocks
+           << std::setw(8) << p.struck_blocks << std::setw(8) << p.rollbacks << std::setw(6)
+           << p.sdc_blocks << std::setw(8) << p.brownout_blocks << std::setw(10)
+           << std::setprecision(3) << p.energy_compute_j << std::setw(10) << p.energy_radio_j
+           << std::setw(9) << std::setprecision(1) << std::fixed << 100.0 * p.battery_end;
+        os.unsetf(std::ios::fixed);
+        os << std::setprecision(6) << std::setw(14)
+           << level_name(static_cast<DegradeLevel>(p.deepest_level)) << "\n";
+    }
+}
+
+} // namespace ulpmc::scenario

@@ -1,0 +1,29 @@
+// Lifetime report emission: the JSON consumed by tools/check_lifetime.py
+// and the determinism test, plus the human-readable phase table the
+// ulpmc-life driver prints.
+//
+// The JSON is hand-written with default ostream float formatting (the
+// BENCH_fault_coverage.json idiom): identical reports serialize to
+// byte-identical text, which is exactly what the cross-engine/cross-
+// thread-count determinism test pins. Deliberately ABSENT from the JSON:
+// the simulator engine tier and the thread count — they must not be able
+// to leak into the bytes.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+
+namespace ulpmc::scenario {
+
+/// Writes `{"timeline": ..., "runs": [...]}` for a set of lifetime runs
+/// (typically the ladder/baseline pair over one timeline).
+void write_json(std::ostream& os, const std::string& timeline_name,
+                const std::vector<LifetimeReport>& runs);
+
+/// Human-readable summary: headline numbers plus the per-phase table.
+void print_summary(std::ostream& os, const LifetimeReport& rep);
+
+} // namespace ulpmc::scenario

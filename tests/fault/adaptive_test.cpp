@@ -215,6 +215,90 @@ TEST(ImScrub, WalkerDrainsLatentUpsetsOnlyItCanReach) {
     }
 }
 
+TEST(DmScrub, WalkerDrainsLatentDmUpsetsOnlyItCanReach) {
+    // Single-bit upsets seeded in DM words outside the working set: no
+    // demand access ever touches them, so only the background DM walker
+    // can repair them. After the initial counter load the countdown loop
+    // performs no DM traffic, so every bank donates every cycle and the
+    // per-bank walkers sweep their full word range well inside the run.
+    const auto prog = isa::assemble(R"(
+        movi r1, 70
+        mov  r2, @r1
+    lp: sub  r2, r2, #1
+        bra  ne, lp
+        hlt
+    )");
+    constexpr mmu::DmLayout layout{.shared_words = 64, .private_words_per_core = 256};
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, layout);
+    cfg.cores = 2;
+    cfg.ecc_enabled = true;
+
+    for (const bool scrub : {false, true}) {
+        auto c = cfg;
+        c.dm_scrub = scrub;
+        cluster::Cluster cl(c, prog);
+        cl.dm_poke(0, 70, 3000);
+        cl.dm_poke(1, 70, 3000);
+        cl.inject_dm_fault(0, 100, 0x1);
+        cl.inject_dm_fault(1, 120, 0x2);
+        const auto seeded = cl.dm_latent_upsets();
+        ASSERT_EQ(seeded, 2u);
+
+        cl.run(100'000);
+        ASSERT_TRUE(cl.core_halted(0));
+        ASSERT_TRUE(cl.core_halted(1));
+        if (scrub) {
+            EXPECT_EQ(cl.dm_latent_upsets(), 0u) << "the walker must drain the population";
+            EXPECT_GE(cl.stats().dm_scrub_corrected, seeded);
+            EXPECT_GT(cl.stats().dm_scrub_reads, 0u) << "walker reads are counted (and priced)";
+        } else {
+            EXPECT_EQ(cl.dm_latent_upsets(), seeded) << "no walker, no repair";
+            EXPECT_EQ(cl.stats().dm_scrub_reads, 0u);
+        }
+    }
+}
+
+TEST(DmScrub, WalkerPointerRidesSnapshotRollback) {
+    // The per-bank walker pointers are architectural state for replay:
+    // a rollback that did not restore them would scrub different words on
+    // re-execution and diverge from the straight-through run. Save
+    // mid-flight, run on, roll back, and the replay must land on stats
+    // bit-identical to an undisturbed run.
+    const auto prog = isa::assemble(R"(
+        movi r1, 70
+        mov  r2, @r1
+    lp: sub  r2, r2, #1
+        bra  ne, lp
+        hlt
+    )");
+    constexpr mmu::DmLayout layout{.shared_words = 64, .private_words_per_core = 256};
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank, layout);
+    cfg.cores = 1;
+    cfg.ecc_enabled = true;
+    cfg.dm_scrub = true;
+
+    const auto seed = [&](cluster::Cluster& cl) {
+        cl.dm_poke(0, 70, 3000);
+        cl.inject_dm_fault(0, 100, 0x1);
+    };
+    cluster::Cluster straight(cfg, prog);
+    seed(straight);
+    straight.run(100'000);
+    ASSERT_TRUE(straight.core_halted(0));
+
+    cluster::Cluster cl(cfg, prog);
+    seed(cl);
+    cl.run(500);
+    cluster::Cluster::Snapshot snap;
+    cl.save(snap);
+    cl.run(4'000);
+    cl.restore(snap);
+    EXPECT_TRUE(cl.state_equals(snap)) << "restore must bring the walker pointers back";
+    cl.run(100'000);
+    EXPECT_EQ(cl.stats(), straight.stats());
+    EXPECT_EQ(cl.dm_latent_upsets(), 0u);
+}
+
 TEST(PowerModel, ScrubAndSelfCheckAddersMatchCalibration) {
     // Both new layers are priced, not free: scrub-walker reads are IM bank
     // activations, the arbiter checker toggles every armed cycle on each
@@ -234,6 +318,12 @@ TEST(PowerModel, ScrubAndSelfCheckAddersMatchCalibration) {
     EXPECT_DOUBLE_EQ(scrub.dm, base.dm);
 
     r.im_scrub_reads = 0;
+    r.dm_scrub_reads = 0.25;
+    const auto dm_scrub = model.energy_per_op(r);
+    EXPECT_DOUBLE_EQ(dm_scrub.dm, base.dm + 0.25 * power::cal::kDmScrubReadEnergy);
+    EXPECT_DOUBLE_EQ(dm_scrub.im, base.im);
+
+    r.dm_scrub_reads = 0;
     r.xbar_self_check = true;
     const auto checked = model.energy_per_op(r);
     const double per_op = power::cal::kXbarSelfCheckEnergyPerCycle / r.ops_per_cycle;

@@ -43,6 +43,42 @@ TEST(Radio, DefaultsAreBleClass) {
     EXPECT_LT(e, 3e-3);
 }
 
+TEST(Radio, ZeroBitPayloadCostsNothing) {
+    // The lifetime link calls tx_energy for whatever the compressor
+    // produced; an empty block must be free (no phantom packet).
+    const RadioModel r;
+    EXPECT_EQ(r.packets(0), 0u);
+    EXPECT_EQ(r.tx_energy(0), 0.0);
+}
+
+TEST(Radio, ExactPacketPayloadMultipleAddsNoPartialPacket) {
+    const RadioModel r; // payload 216 * 8 = 1728 bits
+    const std::size_t p = r.packet_payload_bits;
+    for (std::size_t k : {std::size_t{1}, std::size_t{2}, std::size_t{37}}) {
+        EXPECT_EQ(r.packets(k * p), k);
+        EXPECT_NEAR(r.tx_energy(k * p),
+                    r.energy_per_bit * static_cast<double>(k * p) +
+                        r.packet_overhead * static_cast<double>(k),
+                    1e-15);
+        // One bit past the boundary opens packet k+1.
+        EXPECT_EQ(r.packets(k * p + 1), k + 1);
+    }
+}
+
+TEST(Radio, TinyPacketsAreOverheadDominated) {
+    const RadioModel r;
+    // A 1-bit send still pays the full per-packet overhead: with the BLE
+    // defaults (20 nJ/bit, 4 uJ/packet) overhead is >99% of the energy.
+    const double e1 = r.tx_energy(1);
+    EXPECT_NEAR(e1, r.packet_overhead + r.energy_per_bit, 1e-15);
+    EXPECT_GT(r.packet_overhead / e1, 0.99);
+    // Shipping n bits as n separate 1-bit packets costs ~n x the packet
+    // overhead of shipping them together — why the link coalesces blocks.
+    const std::size_t n = 100;
+    EXPECT_NEAR(static_cast<double>(n) * r.tx_energy(1),
+                r.tx_energy(n) + static_cast<double>(n - 1) * r.packet_overhead, 1e-12);
+}
+
 TEST(Radio, ZeroPayloadCapIsContractViolation) {
     RadioModel r;
     r.packet_payload_bits = 0;

@@ -1,0 +1,65 @@
+#include "scenario/battery.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/assert.hpp"
+
+namespace ulpmc::scenario {
+namespace {
+
+TEST(Battery, DrainAndHarvestClampAtBounds) {
+    Battery b(BatteryConfig{.capacity_j = 2.0});
+    EXPECT_DOUBLE_EQ(b.charge_j(), 2.0);
+    b.drain(0.5);
+    EXPECT_DOUBLE_EQ(b.charge_j(), 1.5);
+    b.harvest(1.0, 10.0); // 10 J of input into a 2 J battery
+    EXPECT_DOUBLE_EQ(b.charge_j(), 2.0);
+    b.drain(5.0);
+    EXPECT_DOUBLE_EQ(b.charge_j(), 0.0);
+}
+
+TEST(Battery, BrownoutHasRestartHysteresis) {
+    Battery b(BatteryConfig{
+        .capacity_j = 1.0, .brownout_fraction = 0.02, .restart_fraction = 0.05});
+    b.drain(0.99); // 1% < 2%: regulator out
+    EXPECT_TRUE(b.browned_out());
+    // Climbing back above the brownout threshold is NOT enough...
+    b.harvest(1.0, 0.02); // -> 3%
+    EXPECT_TRUE(b.browned_out());
+    // ...the restart threshold is.
+    b.harvest(1.0, 0.03); // -> 6%
+    EXPECT_FALSE(b.browned_out());
+}
+
+TEST(Battery, RejectsNonsenseConfigAndInput) {
+    EXPECT_THROW(Battery(BatteryConfig{.capacity_j = 0}), contract_violation);
+    EXPECT_THROW(Battery(BatteryConfig{.brownout_fraction = 0.5, .restart_fraction = 0.1}),
+                 contract_violation);
+    Battery b(BatteryConfig{});
+    EXPECT_THROW(b.drain(-1.0), contract_violation);
+    EXPECT_THROW(b.harvest(-1.0, 1.0), contract_violation);
+}
+
+TEST(DegradeLadder, LevelsFollowChargeThresholds) {
+    EXPECT_EQ(level_for_charge(1.00), DegradeLevel::Full);
+    EXPECT_EQ(level_for_charge(0.61), DegradeLevel::Full);
+    EXPECT_EQ(level_for_charge(0.60), DegradeLevel::ShedLeads);
+    EXPECT_EQ(level_for_charge(0.41), DegradeLevel::ShedLeads);
+    EXPECT_EQ(level_for_charge(0.40), DegradeLevel::CoarseTx);
+    EXPECT_EQ(level_for_charge(0.26), DegradeLevel::CoarseTx);
+    EXPECT_EQ(level_for_charge(0.25), DegradeLevel::TightProtect);
+    EXPECT_EQ(level_for_charge(0.11), DegradeLevel::TightProtect);
+    EXPECT_EQ(level_for_charge(0.10), DegradeLevel::RadioSilence);
+    EXPECT_EQ(level_for_charge(0.00), DegradeLevel::RadioSilence);
+}
+
+TEST(DegradeLadder, NamesAreStableJsonKeys) {
+    EXPECT_STREQ(level_name(DegradeLevel::Full), "full");
+    EXPECT_STREQ(level_name(DegradeLevel::ShedLeads), "shed-leads");
+    EXPECT_STREQ(level_name(DegradeLevel::CoarseTx), "coarse-tx");
+    EXPECT_STREQ(level_name(DegradeLevel::TightProtect), "tight-protect");
+    EXPECT_STREQ(level_name(DegradeLevel::RadioSilence), "radio-silence");
+}
+
+} // namespace
+} // namespace ulpmc::scenario

@@ -1,0 +1,149 @@
+#include "scenario/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ulpmc::scenario {
+namespace {
+
+LinkConfig tiny_config() {
+    LinkConfig cfg;
+    cfg.radio.energy_per_bit = 1e-9;
+    cfg.radio.packet_overhead = 1e-6;
+    cfg.radio.packet_payload_bits = 100;
+    cfg.buffer_bits = 1000;
+    cfg.backoff_base_s = 0.25;
+    cfg.backoff_max_s = 8.0;
+    cfg.max_packets_per_step = 4;
+    return cfg;
+}
+
+TEST(BleLink, DeliversWholeBlocksAndCreditsSamples) {
+    BleLink link(tiny_config(), 1);
+    link.enqueue(250, 512, TxQuality::Full); // 3 packets
+    link.step(1.0, true, 0.0);
+    EXPECT_EQ(link.buffered_bits(), 0u);
+    EXPECT_EQ(link.stats().packets_sent, 3u);
+    EXPECT_EQ(link.stats().bits_delivered, 250u);
+    EXPECT_EQ(link.stats().samples_delivered, 512u);
+    EXPECT_EQ(link.stats().packets_lost, 0u);
+    EXPECT_NEAR(link.stats().tx_energy_j, 250e-9 + 3e-6, 1e-12);
+}
+
+TEST(BleLink, QualityBucketsAreSeparated) {
+    BleLink link(tiny_config(), 1);
+    link.enqueue(100, 10, TxQuality::Full);
+    link.enqueue(100, 20, TxQuality::Degraded);
+    link.enqueue(100, 30, TxQuality::Corrupt);
+    link.step(1.0, true, 0.0);
+    EXPECT_EQ(link.stats().samples_delivered, 10u);
+    EXPECT_EQ(link.stats().samples_delivered_degraded, 20u);
+    EXPECT_EQ(link.stats().samples_delivered_corrupt, 30u);
+}
+
+TEST(BleLink, SaturationEvictsOldestBlocksWhole) {
+    BleLink link(tiny_config(), 1); // bound: 1000 bits
+    link.enqueue(400, 100, TxQuality::Full);
+    link.enqueue(400, 200, TxQuality::Full);
+    EXPECT_EQ(link.stats().samples_dropped, 0u);
+    link.enqueue(400, 300, TxQuality::Full); // 1200 > 1000: oldest goes
+    EXPECT_EQ(link.buffered_bits(), 800u);
+    EXPECT_EQ(link.stats().bits_dropped, 400u);
+    EXPECT_EQ(link.stats().samples_dropped, 100u);
+    // Freshest-data-wins: what remains is the two NEWEST blocks (800 bits
+    // = 8 packets, two steps at 4 packets per step).
+    link.step(1.0, true, 0.0);
+    link.step(1.0, true, 0.0);
+    EXPECT_EQ(link.stats().samples_delivered, 500u);
+}
+
+TEST(BleLink, DroughtHoldsWithoutLossOrBackoff) {
+    BleLink link(tiny_config(), 1);
+    link.enqueue(100, 10, TxQuality::Full);
+    for (int i = 0; i < 50; ++i) link.step(1.0, false, 1.0);
+    // Down is not lossy: nothing sent, nothing lost, buffer intact.
+    EXPECT_EQ(link.stats().packets_sent, 0u);
+    EXPECT_EQ(link.stats().backoffs, 0u);
+    EXPECT_EQ(link.buffered_bits(), 100u);
+    link.step(1.0, true, 0.0);
+    EXPECT_EQ(link.stats().samples_delivered, 10u);
+}
+
+TEST(BleLink, BackoffSequenceIsExponentialWithCap) {
+    LinkConfig cfg = tiny_config();
+    BleLink link(cfg, 99);
+    // Saturate the buffer so there is always something to send, then step
+    // with loss = 1: every attempt is lost, each loss enters backoff.
+    link.enqueue(1000, 100, TxQuality::Full);
+    double prev_remaining = 0;
+    unsigned losses = 0;
+    // Drive with dt = 0: backoff never expires between our observations,
+    // so each new window must come from one more consecutive loss.
+    for (int i = 0; i < 12; ++i) {
+        const double before = link.backoff_remaining_s();
+        link.step(before + 1e-9, true, 1.0); // expire the window, lose again
+        ++losses;
+        EXPECT_EQ(link.consecutive_losses(), losses);
+        const double window = link.backoff_remaining_s();
+        ASSERT_GT(window, 0.0);
+        // Jitter is +-25% of the nominal base * 2^(n-1), capped at max.
+        const double nominal =
+            std::min(cfg.backoff_max_s, cfg.backoff_base_s * std::pow(2.0, losses - 1));
+        EXPECT_GE(window, 0.75 * nominal - 1e-12);
+        EXPECT_LE(window, cfg.backoff_max_s + 1e-12);
+        if (nominal < cfg.backoff_max_s) EXPECT_LE(window, 1.25 * nominal + 1e-12);
+        prev_remaining = window;
+    }
+    (void)prev_remaining;
+    // After 12 consecutive losses the nominal is far past the cap: the
+    // window must sit inside [0.75 * max, max].
+    EXPECT_GE(link.backoff_remaining_s(), 0.75 * cfg.backoff_max_s - 1e-12);
+    EXPECT_LE(link.backoff_remaining_s(), cfg.backoff_max_s + 1e-12);
+    EXPECT_LE(link.stats().max_backoff_s, cfg.backoff_max_s + 1e-12);
+    EXPECT_EQ(link.stats().backoffs, 12u);
+    EXPECT_EQ(link.stats().bits_delivered, 0u);
+    // Energy was still burned on every lost attempt.
+    EXPECT_NEAR(link.stats().tx_energy_j, 12 * (100e-9 + 1e-6), 1e-12);
+
+    // A success resets the ladder to the base window.
+    link.step(link.backoff_remaining_s() + 1e-9, true, 0.0);
+    EXPECT_EQ(link.consecutive_losses(), 0u);
+}
+
+TEST(BleLink, BackoffBlocksTransmissionUntilExpiry) {
+    BleLink link(tiny_config(), 7);
+    link.enqueue(1000, 100, TxQuality::Full);
+    link.step(0.001, true, 1.0); // one loss -> backoff
+    const auto sent_after_loss = link.stats().packets_sent;
+    link.step(0.01, true, 0.0); // well inside the window: must not send
+    EXPECT_EQ(link.stats().packets_sent, sent_after_loss);
+    link.step(link.backoff_remaining_s() + 1e-9, true, 0.0);
+    EXPECT_GT(link.stats().packets_sent, sent_after_loss);
+}
+
+TEST(BleLink, SeededDeterminism) {
+    auto drive = [](std::uint64_t seed) {
+        BleLink link(tiny_config(), seed);
+        for (int i = 0; i < 200; ++i) {
+            link.enqueue(150, 15, TxQuality::Full);
+            link.step(0.5, i % 7 != 0, 0.3);
+        }
+        return link.stats();
+    };
+    const LinkStats a = drive(42);
+    const LinkStats b = drive(42);
+    EXPECT_EQ(a.packets_sent, b.packets_sent);
+    EXPECT_EQ(a.packets_lost, b.packets_lost);
+    EXPECT_EQ(a.backoffs, b.backoffs);
+    EXPECT_EQ(a.bits_delivered, b.bits_delivered);
+    EXPECT_EQ(a.samples_delivered, b.samples_delivered);
+    EXPECT_DOUBLE_EQ(a.max_backoff_s, b.max_backoff_s);
+    EXPECT_DOUBLE_EQ(a.tx_energy_j, b.tx_energy_j);
+    // A different seed draws a different loss/jitter path.
+    const LinkStats c = drive(43);
+    EXPECT_NE(a.packets_lost, c.packets_lost);
+}
+
+} // namespace
+} // namespace ulpmc::scenario

@@ -1,0 +1,177 @@
+// ulpmc-life: device lifetime scenario driver (DESIGN.md §12).
+//
+// Walks a scripted timeline (scenario/timeline.hpp) with the lifetime
+// engine and reports what the device lived through: per-phase energy by
+// subsystem, samples delivered/degraded/lost, SDC count and the battery
+// trace. One timeline plus one seed fully determines the run — the JSON
+// is byte-identical across simulator engine tiers and thread counts.
+//
+// Usage:
+//   ulpmc-life --timeline FILE [options]
+//     --timeline FILE   phase script (required)
+//     --seed N          campaign seed (default 1)
+//     --engine E        reference|fast|trace|batched (default trace)
+//     --days D          simulate D days, cycling the script (default: one pass)
+//     --policy P        ladder|baseline|both (default both)
+//     --threads N       worker threads, 0 = hardware (default 0)
+//     --json FILE       write the report JSON to FILE ('-' = stdout)
+//
+// Exit codes: 0 success, 2 bad usage (malformed, duplicate or
+// inconsistent options, unreadable or corrupt timeline).
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+#include "scenario/report.hpp"
+#include "scenario/timeline.hpp"
+#include "sweep/sweep.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: ulpmc-life --timeline FILE [--seed N] [--engine E] [--days D]\n"
+          "                  [--policy ladder|baseline|both] [--threads N] [--json FILE]\n";
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(s, &pos);
+        return pos == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool parse_double(const std::string& s, double& out) {
+    try {
+        std::size_t pos = 0;
+        out = std::stod(s, &pos);
+        return pos == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    using ulpmc::scenario::Policy;
+
+    std::string timeline_path;
+    std::string json_path;
+    std::uint64_t seed = 1;
+    std::uint64_t threads = 0;
+    double days = 0;
+    ulpmc::cluster::SimEngine engine = ulpmc::cluster::SimEngine::Trace;
+    bool ladder = true, baseline = true;
+
+    std::set<std::string> seen;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] == '-' && !seen.insert(arg).second) {
+            std::cerr << arg << ": duplicate option\n";
+            return 2;
+        }
+        auto value = [&](const char* name) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << name << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--timeline") {
+            timeline_path = value("--timeline");
+        } else if (arg == "--seed") {
+            if (!parse_u64(value("--seed"), seed)) {
+                std::cerr << "--seed: not a number\n";
+                return 2;
+            }
+        } else if (arg == "--threads") {
+            if (!parse_u64(value("--threads"), threads)) {
+                std::cerr << "--threads: not a number\n";
+                return 2;
+            }
+        } else if (arg == "--days") {
+            if (!parse_double(value("--days"), days) || days <= 0) {
+                std::cerr << "--days: expected a positive number\n";
+                return 2;
+            }
+        } else if (arg == "--engine") {
+            if (!ulpmc::cluster::parse_engine(value("--engine"), engine)) {
+                std::cerr << "--engine: unknown engine (reference|fast|trace|batched)\n";
+                return 2;
+            }
+        } else if (arg == "--policy") {
+            const std::string p = value("--policy");
+            if (p == "ladder") {
+                baseline = false;
+            } else if (p == "baseline") {
+                ladder = false;
+            } else if (p != "both") {
+                std::cerr << "--policy: expected ladder, baseline or both\n";
+                return 2;
+            }
+        } else if (arg == "--json") {
+            json_path = value("--json");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << arg << ": unknown option\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (timeline_path.empty()) {
+        std::cerr << "--timeline is required\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    ulpmc::scenario::Timeline tl;
+    try {
+        tl = ulpmc::scenario::load_timeline(timeline_path);
+    } catch (const ulpmc::scenario::TimelineError& e) {
+        std::cerr << timeline_path << ": " << e.what() << "\n";
+        return 2;
+    }
+
+    ulpmc::sweep::SweepRunner pool(static_cast<unsigned>(threads));
+    std::vector<ulpmc::scenario::LifetimeReport> runs;
+    for (const Policy policy : {Policy::Ladder, Policy::Baseline}) {
+        if (policy == Policy::Ladder && !ladder) continue;
+        if (policy == Policy::Baseline && !baseline) continue;
+        ulpmc::scenario::DeviceConfig dc;
+        dc.seed = seed;
+        dc.engine = engine;
+        dc.policy = policy;
+        dc.max_days = days;
+        ulpmc::scenario::LifetimeEngine eng(tl, dc);
+        runs.push_back(eng.run(pool));
+        ulpmc::scenario::print_summary(std::cout, runs.back());
+        std::cout << "\n";
+    }
+
+    if (!json_path.empty()) {
+        // The timeline's basename identifies the script in the JSON.
+        std::string name = timeline_path;
+        if (const auto slash = name.find_last_of('/'); slash != std::string::npos)
+            name = name.substr(slash + 1);
+        if (json_path == "-") {
+            ulpmc::scenario::write_json(std::cout, name, runs);
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::cerr << json_path << ": cannot open for writing\n";
+                return 2;
+            }
+            ulpmc::scenario::write_json(out, name, runs);
+        }
+    }
+    return 0;
+}

@@ -14,6 +14,7 @@
 //     --ecc                                SEC-DED on every memory bank
 //     --regprot none|parity|tmr            register-file protection mode
 //     --im-scrub                           idle-cycle IM scrub walker
+//     --dm-scrub                           idle-cycle DM scrub walker
 //     --xbar-selfcheck                     self-checking crossbar arbiters
 //     --watchdog N                         stuck-core trap after N idle cycles
 //     --trace N                            print the last N trace events
@@ -21,13 +22,17 @@
 //     --max-cycles N                       safety limit (default 10M)
 //
 // Assembly sources are also accepted directly (detected by extension).
-// Exit codes: 0 all cores halted, 1 load error, 2 bad usage, 3 a core
-// trapped (name printed), 4 the max-cycles limit was hit.
+// Every option may be given at most once, and --batch is only meaningful
+// under --engine batched — violations are rejected with a one-line error.
+// Exit codes: 0 all cores halted, 1 load error, 2 bad usage (malformed,
+// duplicate or inconsistent options), 3 a core trapped (name printed),
+// 4 the max-cycles limit was hit.
 #include <charconv>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -46,7 +51,7 @@ int usage() {
     std::cerr << "usage: ulpmc-run <prog.upmc|prog.asm> [--arch A] [--cores N]\n"
                  "                 [--shared W] [--private W] [--engine E] [--batch B]\n"
                  "                 [--ecc]\n"
-                 "                 [--regprot none|parity|tmr] [--im-scrub]\n"
+                 "                 [--regprot none|parity|tmr] [--im-scrub] [--dm-scrub]\n"
                  "                 [--xbar-selfcheck] [--watchdog N]\n"
                  "                 [--trace N] [--dump ADDR LEN] [--max-cycles N]\n";
     return 2;
@@ -79,18 +84,27 @@ int main(int argc, char** argv) {
     Addr private_words = 1024;
     bool ecc = false;
     bool im_scrub = false;
+    bool dm_scrub = false;
     bool xbar_self_check = false;
     core::RegProtection regprot = core::RegProtection::None;
     cluster::SimEngine engine = cluster::SimEngine::Trace;
     unsigned batch = 8;
+    bool batch_given = false;
     Cycle watchdog = 0;
     std::size_t trace_n = 0;
     long dump_addr = -1;
     unsigned dump_len = 0;
     Cycle max_cycles = 10'000'000;
 
+    std::set<std::string> seen;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        // Repeating an option is always a mistake (the second occurrence
+        // would silently win) — reject it instead of guessing intent.
+        if (!arg.empty() && arg[0] == '-' && !seen.insert(arg).second) {
+            std::cerr << arg << ": duplicate option\n";
+            return 2;
+        }
         const auto next = [&](const char* what) -> std::string {
             if (i + 1 >= argc) {
                 std::cerr << arg << " needs " << what << '\n';
@@ -112,6 +126,8 @@ int main(int argc, char** argv) {
             ecc = true;
         } else if (arg == "--im-scrub") {
             im_scrub = true;
+        } else if (arg == "--dm-scrub") {
+            dm_scrub = true;
         } else if (arg == "--xbar-selfcheck") {
             xbar_self_check = true;
         } else if (arg == "--regprot") {
@@ -130,6 +146,7 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--batch") {
             batch = static_cast<unsigned>(parse_num(arg, next("a lane count"), 1, 4096));
+            batch_given = true;
         } else if (arg == "--watchdog") {
             watchdog = parse_num(arg, next("a cycle count"), 1, 1'000'000'000);
         } else if (arg == "--trace") {
@@ -142,10 +159,19 @@ int main(int argc, char** argv) {
         } else if (!arg.empty() && arg[0] == '-') {
             return usage();
         } else {
+            if (!input.empty()) {
+                std::cerr << "more than one program file given ('" << input << "' and '" << arg
+                          << "')\n";
+                return 2;
+            }
             input = arg;
         }
     }
     if (input.empty()) return usage();
+    if (batch_given && engine != cluster::SimEngine::Batched) {
+        std::cerr << "--batch requires --engine batched (lanes only exist in the batched tier)\n";
+        return 2;
+    }
 
     // --- load the program ----------------------------------------------------
     isa::Program prog;
@@ -210,6 +236,7 @@ int main(int argc, char** argv) {
     cfg.barrier_enabled = true; // harmless if unused
     cfg.ecc_enabled = ecc;
     cfg.im_scrub = im_scrub;
+    cfg.dm_scrub = dm_scrub;
     cfg.xbar_self_check = xbar_self_check;
     cfg.reg_protection = regprot;
     cfg.engine = engine;
