@@ -1,0 +1,53 @@
+// Work-stealing device scheduler (DESIGN.md §13).
+//
+// A fleet run is index-parallel like a sweep, but the per-index cost is
+// wildly non-uniform: a device that browns out early finishes in
+// microseconds while a high-lambda full-lifetime device simulates
+// thousands of struck blocks. The sweep runner's single shared cursor
+// serializes every claim through one cache line; at fleet scale (a
+// thousand-plus claims per second per worker, with the caller also
+// touching shared calibration state) the contended cursor and the
+// convoying behind long devices both show up. This pool instead deals
+// each worker a contiguous range of the index space up front — preserving
+// cohort locality, since neighboring devices share benchmarks — and lets
+// idle workers steal HALF of a victim's remaining ranges, so load
+// balances without any shared cursor in the common path.
+//
+// Determinism: the scheduler never influences results. Workers claim
+// single indices (one device) at a time from their own deque, every
+// device's work is a pure function of its global index, and callers
+// aggregate by index order afterwards — so which worker ran a device, and
+// in what order, can never leak into an artifact. Stats are
+// instrumentation only (printed to stderr/summary, never JSON).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace ulpmc::fleet {
+
+class WorkStealingPool {
+public:
+    struct Stats {
+        std::uint64_t executed = 0;     ///< indices run (== n on success)
+        std::uint64_t steals = 0;       ///< successful steal operations
+        std::uint64_t stolen_tasks = 0; ///< indices moved by those steals
+        unsigned workers = 0;
+    };
+
+    /// `threads == 0` uses the hardware concurrency.
+    explicit WorkStealingPool(unsigned threads = 0);
+
+    unsigned threads() const { return threads_; }
+
+    /// Invokes `fn(i, worker)` for every i in [0, n) across `threads()`
+    /// workers (the calling thread is worker 0). Blocks until all indices
+    /// ran; the first exception thrown by any call is rethrown (remaining
+    /// work is abandoned, already-claimed calls finish).
+    Stats run(std::uint64_t n, const std::function<void(std::uint64_t, unsigned)>& fn);
+
+private:
+    unsigned threads_;
+};
+
+} // namespace ulpmc::fleet

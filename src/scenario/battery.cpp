@@ -41,11 +41,12 @@ const char* level_name(DegradeLevel l) {
     return "?";
 }
 
-DegradeLevel level_for_charge(double charge_fraction) {
-    if (charge_fraction > 0.60) return DegradeLevel::Full;
-    if (charge_fraction > 0.40) return DegradeLevel::ShedLeads;
-    if (charge_fraction > 0.25) return DegradeLevel::CoarseTx;
-    if (charge_fraction > 0.10) return DegradeLevel::TightProtect;
+DegradeLevel level_for_charge(double charge_fraction, const LadderThresholds& t) {
+    ULPMC_EXPECTS(t.shed >= t.coarse && t.coarse >= t.tight && t.tight >= t.silence);
+    if (charge_fraction > t.shed) return DegradeLevel::Full;
+    if (charge_fraction > t.coarse) return DegradeLevel::ShedLeads;
+    if (charge_fraction > t.tight) return DegradeLevel::CoarseTx;
+    if (charge_fraction > t.silence) return DegradeLevel::TightProtect;
     return DegradeLevel::RadioSilence;
 }
 

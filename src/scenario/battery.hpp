@@ -59,7 +59,20 @@ inline constexpr unsigned kDegradeLevelCount = 5;
 /// Display name ("full", "shed-leads", ...): JSON/report keys.
 const char* level_name(DegradeLevel l);
 
+/// State-of-charge thresholds driving the ladder: the device degrades to a
+/// level once the charge fraction drops to (or below) its threshold. Must
+/// be non-increasing shallow-to-deep. The defaults are the hand-set rungs
+/// every earlier experiment used; the fleet threshold-sweep bench
+/// (bench/ext_fleet_ladder) explores the space around them.
+struct LadderThresholds {
+    double shed = 0.60;    ///< <= shed: ShedLeads
+    double coarse = 0.40;  ///< <= coarse: CoarseTx
+    double tight = 0.25;   ///< <= tight: TightProtect
+    double silence = 0.10; ///< <= silence: RadioSilence
+};
+
 /// Level the ladder prescribes at `charge_fraction` state-of-charge.
-DegradeLevel level_for_charge(double charge_fraction);
+DegradeLevel level_for_charge(double charge_fraction,
+                              const LadderThresholds& t = LadderThresholds{});
 
 } // namespace ulpmc::scenario

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <span>
+#include <sstream>
 #include <unordered_map>
 
 #include "cluster/pool.hpp"
@@ -53,35 +54,45 @@ constexpr std::uint64_t kLinkStream = 0xB1E00000u;
 
 } // namespace
 
-/// Everything the engine needs to credit an unstruck block at one
-/// degradation level, measured from a single verified cluster run.
-struct LifetimeEngine::Calibration {
-    bool ready = false;
-    cluster::ClusterConfig cfg;
-    Cycle clean_cycles = 0;
-    std::uint64_t ops = 0;
-    /// Governor-scheduled energy for one block period (compute + sleep,
-    /// leakage included; checkpoints and radio are charged separately).
-    double energy_block_j = 0;
-    double v_op = 0;           ///< supply while computing (derating base)
-    double energy_cycle_j = 0; ///< compute energy per cluster cycle (T* input)
-    std::size_t tx_bits = 0;   ///< compressed payload bits per block
-};
+const LevelCalibration& CalibrationCache::get(
+    const std::string& key, const std::function<LevelCalibration()>& compute) {
+    Entry* e;
+    {
+        std::lock_guard lock(m_);
+        auto& slot = map_[key];
+        if (!slot) slot = std::make_unique<Entry>();
+        e = slot.get();
+    }
+    std::call_once(e->once, [&] { e->cal = compute(); });
+    return e->cal;
+}
+
+std::size_t CalibrationCache::size() const {
+    std::lock_guard lock(m_);
+    return map_.size();
+}
 
 LifetimeEngine::LifetimeEngine(const Timeline& tl, const DeviceConfig& dc)
-    : tl_(tl), dc_(dc), bench_(app::BenchmarkOptions{.seed = dc.seed}) {
+    : LifetimeEngine(tl, dc,
+                     std::make_shared<const app::EcgBenchmark>(
+                         app::BenchmarkOptions{.seed = dc.seed})) {}
+
+LifetimeEngine::LifetimeEngine(const Timeline& tl, const DeviceConfig& dc,
+                               std::shared_ptr<const app::EcgBenchmark> bench,
+                               CalibrationCache* cache)
+    : tl_(tl), dc_(dc), bench_(std::move(bench)), cache_(cache) {
+    ULPMC_EXPECTS(bench_ != nullptr);
     ULPMC_EXPECTS(dc_.chunk_blocks >= 1);
     ULPMC_EXPECTS(dc_.derate_lambda_on > dc_.derate_lambda_off);
     ULPMC_EXPECTS(dc_.derate_margin_v >= 0 && dc_.derate_ser_factor > 0 &&
                   dc_.derate_ser_factor <= 1);
-    calib_.resize(kDegradeLevelCount);
 }
 
 LifetimeEngine::~LifetimeEngine() = default;
 
 cluster::ClusterConfig LifetimeEngine::config_for(DegradeLevel level) const {
-    cluster::ClusterConfig c = cluster::make_config(dc_.arch, bench_.layout().dm_layout());
-    c.barrier_enabled = bench_.layout().use_barrier;
+    cluster::ClusterConfig c = cluster::make_config(dc_.arch, bench_->layout().dm_layout());
+    c.barrier_enabled = bench_->layout().use_barrier;
     c.engine = dc_.engine;
     c.watchdog_cycles = dc_.watchdog_cycles;
     if (dc_.policy == Policy::Baseline) return c; // no-resilience device
@@ -100,15 +111,14 @@ cluster::ClusterConfig LifetimeEngine::config_for(DegradeLevel level) const {
     return c;
 }
 
-const LifetimeEngine::Calibration& LifetimeEngine::calibrate(DegradeLevel level) {
-    Calibration& c = calib_[static_cast<unsigned>(level)];
-    if (c.ready) return c;
+LevelCalibration LifetimeEngine::compute_calibration(DegradeLevel level) const {
+    LevelCalibration c;
     c.cfg = config_for(level);
 
-    cluster::Cluster& cl = cluster::pooled_cluster(c.cfg, bench_.image());
-    bench_.load_inputs(cl, c.cfg.cores);
+    cluster::Cluster& cl = cluster::pooled_cluster(c.cfg, bench_->image());
+    bench_->load_inputs(cl, c.cfg.cores);
     c.clean_cycles = cl.run();
-    ULPMC_EXPECTS(verified_against_golden(cl, bench_, c.cfg.cores));
+    ULPMC_EXPECTS(verified_against_golden(cl, *bench_, c.cfg.cores));
     c.ops = cl.stats().total_ops();
 
     const power::PowerModel model(dc_.arch);
@@ -122,10 +132,32 @@ const LifetimeEngine::Calibration& LifetimeEngine::calibrate(DegradeLevel level)
     c.v_op = sched.op.v;
 
     c.tx_bits = 0;
-    for (unsigned p = 0; p < c.cfg.cores; ++p) c.tx_bits += bench_.golden_bitstream(p).bits;
+    for (unsigned p = 0; p < c.cfg.cores; ++p) c.tx_bits += bench_->golden_bitstream(p).bits;
 
-    c.ready = true;
     return c;
+}
+
+const LevelCalibration& LifetimeEngine::calibrate(DegradeLevel level) {
+    const auto idx = static_cast<unsigned>(level);
+    if (calib_[idx]) return *calib_[idx];
+    if (cache_) {
+        // Key: everything a calibration is a function of — the workload
+        // cohort (benchmark seed + layout knobs), the level's cluster
+        // configuration (arch/policy/level/watchdog) and the governor's
+        // scheduling period. The engine tier is deliberately absent: the
+        // tiers are stat-identical, so it must not split the cache.
+        std::ostringstream key;
+        const app::BenchmarkOptions& bo = bench_->options();
+        key << "seed=" << bo.seed << "|luts=" << bo.luts_shared << "|bar=" << bo.use_barrier
+            << "|spill=" << bo.compiler_spills << "|arch=" << static_cast<int>(dc_.arch)
+            << "|policy=" << static_cast<int>(dc_.policy) << "|level=" << idx
+            << "|wd=" << dc_.watchdog_cycles << "|period=" << tl_.block_period_s;
+        calib_[idx] = &cache_->get(key.str(), [&] { return compute_calibration(level); });
+    } else {
+        own_calib_[idx] = std::make_unique<LevelCalibration>(compute_calibration(level));
+        calib_[idx] = own_calib_[idx].get();
+    }
+    return *calib_[idx];
 }
 
 LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
@@ -180,7 +212,7 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
         // ---- governor tick: freeze the ladder level and the derating
         // decision for this chunk ---------------------------------------
         const DegradeLevel base_level = dc_.policy == Policy::Ladder
-                                            ? level_for_charge(battery.charge_fraction())
+                                            ? level_for_charge(battery.charge_fraction(), dc_.thresholds)
                                             : DegradeLevel::Full;
         if (dc_.policy == Policy::Ladder) {
             const double lam = estimator.lambda_hat();
@@ -203,7 +235,7 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
             // full fidelity no matter what the battery says.
             pl.level = (dc_.policy == Policy::Ladder && ph.arrhythmia) ? DegradeLevel::Full
                                                                        : base_level;
-            const Calibration& cal = calibrate(pl.level);
+            const LevelCalibration& cal = calibrate(pl.level);
             const double p_strike =
                 ph.lambda > 0
                     ? 1.0 - std::exp(-ph.lambda * static_cast<double>(cal.clean_cycles) * ser)
@@ -217,14 +249,14 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
         // its global block index, so the outcome set is order-free) ------
         const auto outcomes =
             pool.map(std::span<const StruckJob>(jobs), [&](const StruckJob& job) {
-                const Calibration& cal = calib_[static_cast<unsigned>(job.level)];
-                cluster::Cluster& cl = cluster::pooled_cluster(cal.cfg, bench_.image());
-                bench_.load_inputs(cl, cal.cfg.cores);
+                const LevelCalibration& cal = *calib_[static_cast<unsigned>(job.level)];
+                cluster::Cluster& cl = cluster::pooled_cluster(cal.cfg, bench_->image());
+                bench_->load_inputs(cl, cal.cfg.cores);
 
                 fault::FaultInjector inj(fault::mix_seed(dc_.seed, 2 * job.gbi + 1));
                 fault::FaultUniverse u;
-                u.text_words = bench_.program().text.size();
-                u.dm_words = bench_.layout().dm_layout().limit();
+                u.text_words = bench_->program().text.size();
+                u.dm_words = bench_->layout().dm_layout().limit();
                 u.cores = cal.cfg.cores;
                 u.window = cal.clean_cycles;
                 const fault::FaultSpec spec = inj.draw(u);
@@ -240,7 +272,7 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
                     else if (!cl.core_halted(pid)) any_running = true;
                 }
                 out.trapped = any_trap || any_running;
-                out.ok = !out.trapped && verified_against_golden(cl, bench_, cal.cfg.cores);
+                out.ok = !out.trapped && verified_against_golden(cl, *bench_, cal.cfg.cores);
                 return out;
             });
         std::unordered_map<std::uint64_t, const StruckOutcome*> by_gbi;
@@ -270,7 +302,7 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
                 continue;
             }
 
-            const Calibration& cal = calib_[static_cast<unsigned>(pl.level)];
+            const LevelCalibration& cal = *calib_[static_cast<unsigned>(pl.level)];
             pr.deepest_level = std::max(pr.deepest_level, static_cast<unsigned>(pl.level));
 
             // Compute energy, with the quadratic cost of the derating

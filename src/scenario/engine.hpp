@@ -37,8 +37,13 @@
 // bit-identical across engine tiers AND SweepRunner thread counts.
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "app/benchmark.hpp"
@@ -79,6 +84,10 @@ struct DeviceConfig {
     double derate_lambda_off = 5e-8;
     double derate_margin_v = 0.05;
     double derate_ser_factor = 0.3;
+    /// State-of-charge rungs of the degradation ladder (ladder policy
+    /// only). Defaults are the hand-set thresholds every pre-fleet
+    /// experiment used; bench/ext_fleet_ladder sweeps them.
+    LadderThresholds thresholds{};
     /// Watchdog window for every simulated cluster (hangs become traps).
     Cycle watchdog_cycles = 20'000;
 };
@@ -134,29 +143,84 @@ struct LifetimeReport {
     std::vector<BatterySample> battery_trace; ///< sampled at phase transitions
 };
 
+/// Everything the engine needs to credit an unstruck block at one
+/// degradation level, measured from a single verified cluster run.
+/// Deterministic for a fixed (benchmark, config, block period) — which is
+/// what makes the fleet-wide CalibrationCache sound.
+struct LevelCalibration {
+    cluster::ClusterConfig cfg;
+    Cycle clean_cycles = 0;
+    std::uint64_t ops = 0;
+    /// Governor-scheduled energy for one block period (compute + sleep,
+    /// leakage included; checkpoints and radio are charged separately).
+    double energy_block_j = 0;
+    double v_op = 0;           ///< supply while computing (derating base)
+    double energy_cycle_j = 0; ///< compute energy per cluster cycle (T* input)
+    std::size_t tx_bits = 0;   ///< compressed payload bits per block
+};
+
+/// Thread-safe, shared store of LevelCalibrations for a whole device
+/// fleet. Devices sharing a workload cohort and an architecture pay the
+/// per-level calibration run exactly once per process; concurrent fleet
+/// workers hitting the same key dedupe on a per-key once_flag (distinct
+/// keys calibrate in parallel). Cached values are pure functions of their
+/// key, so WHICH worker computes one can never leak into any result.
+class CalibrationCache {
+public:
+    /// Returns the calibration stored under `key`, invoking `compute`
+    /// exactly once per key across all threads. The reference stays valid
+    /// for the cache's lifetime.
+    const LevelCalibration& get(const std::string& key,
+                                const std::function<LevelCalibration()>& compute);
+
+    std::size_t size() const;
+
+private:
+    struct Entry {
+        std::once_flag once;
+        LevelCalibration cal;
+    };
+    mutable std::mutex m_;
+    std::unordered_map<std::string, std::unique_ptr<Entry>> map_;
+};
+
 /// Runs one device lifetime. The per-level calibrations are cached inside
-/// the engine, so running both policies through one instance shares them.
+/// the engine, so running both policies through one instance shares them;
+/// the fleet layer shares one benchmark and one CalibrationCache across
+/// thousands of engine instances instead.
 class LifetimeEngine {
 public:
     LifetimeEngine(const Timeline& tl, const DeviceConfig& dc);
+    /// Fleet flavor: share a prebuilt benchmark (decode-once ProgramImage
+    /// included) and optionally a cross-device calibration cache. The
+    /// benchmark's own seed governs the patient/workload data; `dc.seed`
+    /// governs only strikes and the link — decoupled so one cohort's
+    /// benchmark serves many devices.
+    LifetimeEngine(const Timeline& tl, const DeviceConfig& dc,
+                   std::shared_ptr<const app::EcgBenchmark> bench,
+                   CalibrationCache* cache = nullptr);
     ~LifetimeEngine();
 
     const Timeline& timeline() const { return tl_; }
     const DeviceConfig& device() const { return dc_; }
+    const app::EcgBenchmark& benchmark() const { return *bench_; }
 
     /// Simulates the lifetime. Deterministic for a fixed (timeline, seed):
     /// bit-identical across engine tiers and `pool` thread counts.
     LifetimeReport run(sweep::SweepRunner& pool);
 
 private:
-    struct Calibration;
-    const Calibration& calibrate(DegradeLevel level);
+    const LevelCalibration& calibrate(DegradeLevel level);
+    LevelCalibration compute_calibration(DegradeLevel level) const;
     cluster::ClusterConfig config_for(DegradeLevel level) const;
 
     Timeline tl_;
     DeviceConfig dc_;
-    app::EcgBenchmark bench_;
-    std::vector<Calibration> calib_; ///< indexed by DegradeLevel, lazily filled
+    std::shared_ptr<const app::EcgBenchmark> bench_;
+    CalibrationCache* cache_ = nullptr; ///< nullptr: own_calib_ only
+    /// Resolved per-level calibrations (own or cache-backed), lazily filled.
+    std::array<const LevelCalibration*, kDegradeLevelCount> calib_{};
+    std::array<std::unique_ptr<LevelCalibration>, kDegradeLevelCount> own_calib_;
 };
 
 } // namespace ulpmc::scenario

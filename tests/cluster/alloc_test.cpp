@@ -12,6 +12,7 @@
 #include "cluster/batched.hpp"
 #include "cluster/cluster.hpp"
 #include "cluster/config.hpp"
+#include "cluster/pool.hpp"
 #include "isa/assembler.hpp"
 #include "isa/program_image.hpp"
 
@@ -169,6 +170,41 @@ TEST(ZeroAlloc, BatchedCampaignInnerLoopIsHeapFree) {
         }
     }
     EXPECT_EQ(alloc_count(), before) << "batched campaign inner loop allocated on the heap";
+}
+
+TEST(ZeroAlloc, FleetHeterogeneousPoolLoopIsHeapFree) {
+    // Fleet shape (DESIGN.md §13): one worker interleaves devices of
+    // DIFFERENT shapes — e.g. an 8-core banked device's calibration run
+    // followed by a 2-core reference one — through pooled_cluster(). The
+    // per-shape buckets must make the alternating loop heap-free once
+    // every shape in the working set has been constructed.
+    const auto prog = loop_program();
+    const auto image = isa::ProgramImage::build(prog);
+    auto cfg_a = make_cfg(8);
+    auto cfg_b = cluster::make_config(cluster::ArchKind::McRef, kLayout);
+    cfg_b.cores = 2;
+    cfg_b.ecc_enabled = true;
+
+    cluster::pooled_cluster_clear();
+    // Warm-up: construct both shape buckets and let their buffers settle.
+    cluster::pooled_cluster(cfg_a, image).run(100'000);
+    cluster::pooled_cluster(cfg_b, image).run(100'000);
+    const auto warm = cluster::pooled_cluster_stats();
+
+    const std::uint64_t before = alloc_count();
+    for (int i = 0; i < 4; ++i) {
+        cluster::pooled_cluster(cfg_a, image).run(100'000);
+        // Ladder rung on the same shape: protection flags flip in place.
+        auto rung = cfg_a;
+        rung.reg_protection = core::RegProtection::Parity;
+        cluster::pooled_cluster(rung, image).run(100'000);
+        cluster::pooled_cluster(cfg_b, image).run(100'000);
+    }
+    EXPECT_EQ(alloc_count(), before) << "heterogeneous pool loop allocated on the heap";
+    const auto after = cluster::pooled_cluster_stats();
+    EXPECT_EQ(after.misses, warm.misses) << "warm shapes must never re-construct";
+    EXPECT_EQ(after.evictions, 0u);
+    cluster::pooled_cluster_clear();
 }
 
 } // namespace

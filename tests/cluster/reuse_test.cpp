@@ -238,5 +238,57 @@ TEST(ClusterReuse, PooledClusterReinitializesSameInstance) {
     ASSERT_EQ(b.stats(), stats);
 }
 
+TEST(ClusterReuse, PooledClusterKeepsOneBucketPerShape) {
+    const auto prog = loop_program();
+    cluster::pooled_cluster_clear();
+    const auto before = cluster::pooled_cluster_stats();
+
+    // Two distinct shapes (core count differs): each gets its own bucket,
+    // and alternating between them re-uses both instances.
+    const auto cfg2 = cfg_of(cluster::ArchKind::UlpmcBank, 2);
+    const auto cfg4 = cfg_of(cluster::ArchKind::UlpmcBank, 4);
+    cluster::Cluster* c2 = &cluster::pooled_cluster(cfg2, prog);
+    cluster::Cluster* c4 = &cluster::pooled_cluster(cfg4, prog);
+    ASSERT_NE(c2, c4) << "distinct shapes must not share a bucket";
+    for (int i = 0; i < 3; ++i) {
+        ASSERT_EQ(&cluster::pooled_cluster(cfg2, prog), c2);
+        ASSERT_EQ(&cluster::pooled_cluster(cfg4, prog), c4);
+    }
+
+    const auto after = cluster::pooled_cluster_stats();
+    EXPECT_EQ(after.buckets, 2u);
+    EXPECT_EQ(after.misses - before.misses, 2u) << "one construction per shape";
+    EXPECT_EQ(after.hits - before.hits, 6u) << "every revisit is a bucket hit";
+    EXPECT_EQ(after.evictions - before.evictions, 0u);
+
+    // Protection-flag changes share the shape bucket: reset() handles them
+    // without re-construction (the fleet ladder path).
+    auto prot = cfg2;
+    prot.ecc_enabled = true;
+    prot.reg_protection = core::RegProtection::Tmr;
+    ASSERT_EQ(&cluster::pooled_cluster(prot, prog), c2);
+    EXPECT_EQ(cluster::pooled_cluster_stats().hits - before.hits, 7u);
+}
+
+TEST(ClusterReuse, PooledClusterEvictsColdestShape) {
+    const auto prog = loop_program();
+    cluster::pooled_cluster_clear();
+    const auto before = cluster::pooled_cluster_stats();
+
+    // Walk more shapes than the pool can hold (vary core count): the live
+    // bucket count stays bounded and the overflow evicts.
+    for (unsigned n = 0; n < cluster::kPoolMaxBuckets + 2; ++n) {
+        const auto cfg = cfg_of(n < 8 ? cluster::ArchKind::UlpmcBank : cluster::ArchKind::McRef,
+                                1 + (n % 8));
+        cluster::pooled_cluster(cfg, prog);
+    }
+    const auto after = cluster::pooled_cluster_stats();
+    EXPECT_EQ(after.buckets, cluster::kPoolMaxBuckets);
+    EXPECT_EQ(after.misses - before.misses, cluster::kPoolMaxBuckets + 2);
+    EXPECT_EQ(after.evictions - before.evictions, 2u) << "overflow evicts the coldest";
+    cluster::pooled_cluster_clear();
+    EXPECT_EQ(cluster::pooled_cluster_stats().buckets, 0u);
+}
+
 } // namespace
 } // namespace ulpmc

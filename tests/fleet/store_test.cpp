@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fleet/fleet.hpp"
+#include "fleet/store.hpp"
+
+namespace ulpmc::fleet {
+namespace {
+
+class StoreTest : public ::testing::Test {
+protected:
+    std::string path_;
+
+    void SetUp() override {
+        path_ = ::testing::TempDir() + "fleet_store_test.ulpf";
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    static StoreHeader header(std::uint64_t devices, unsigned k, unsigned n) {
+        StoreHeader h;
+        h.cohorts = 4;
+        h.seed = 42;
+        h.devices = devices;
+        h.shard_k = k;
+        h.shard_n = n;
+        return h;
+    }
+
+    static std::vector<DeviceRecord> records(std::uint64_t devices, unsigned k, unsigned n) {
+        std::vector<DeviceRecord> rs;
+        for (std::uint64_t gdi = k; gdi < devices; gdi += n) {
+            DeviceRecord r;
+            r.gdi = gdi;
+            r.energy_nj = 1000 + gdi;
+            r.samples_total = 4096;
+            r.samples_delivered = 4000 - gdi;
+            r.total_blocks = 8;
+            r.cohort = static_cast<std::uint32_t>(gdi % 4);
+            rs.push_back(r);
+        }
+        return rs;
+    }
+};
+
+TEST_F(StoreTest, RoundTripsHeaderAndRecords) {
+    const auto rs = records(10, 1, 3);
+    write_store(path_, header(10, 1, 3), rs);
+    const LoadedStore ls = read_store(path_);
+    EXPECT_EQ(ls.header.seed, 42u);
+    EXPECT_EQ(ls.header.devices, 10u);
+    EXPECT_EQ(ls.header.shard_k, 1u);
+    EXPECT_EQ(ls.header.shard_n, 3u);
+    ASSERT_EQ(ls.records.size(), rs.size());
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+        EXPECT_EQ(ls.records[i].gdi, rs[i].gdi);
+        EXPECT_EQ(ls.records[i].energy_nj, rs[i].energy_nj);
+        EXPECT_EQ(ls.records[i].samples_delivered, rs[i].samples_delivered);
+    }
+}
+
+TEST_F(StoreTest, RejectsBadMagic) {
+    write_store(path_, header(4, 0, 1), records(4, 0, 1));
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.write("NOPE", 4);
+    f.close();
+    EXPECT_THROW(read_store(path_), FleetStoreError);
+}
+
+TEST_F(StoreTest, RejectsTruncatedTail) {
+    write_store(path_, header(4, 0, 1), records(4, 0, 1));
+    std::ifstream in(path_, std::ios::binary);
+    std::string all((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+    in.close();
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(all.data(), static_cast<std::streamsize>(all.size() - 13));
+    out.close();
+    EXPECT_THROW(read_store(path_), FleetStoreError);
+}
+
+TEST_F(StoreTest, RejectsRecordCountContradictingHeader) {
+    // Header says 8 devices unsharded, payload holds only 4 records: a
+    // partial shard must never aggregate as if it were whole.
+    write_store(path_, header(8, 0, 1), records(4, 0, 1));
+    EXPECT_THROW(read_store(path_), FleetStoreError);
+}
+
+TEST_F(StoreTest, RejectsWrongGdiSequence) {
+    // Records from shard 1/3 presented under a shard-0/3 header.
+    write_store(path_, header(9, 0, 3), records(9, 1, 3));
+    EXPECT_THROW(read_store(path_), FleetStoreError);
+}
+
+TEST_F(StoreTest, RejectsMissingFile) {
+    EXPECT_THROW(read_store(path_ + ".nope"), FleetStoreError);
+}
+
+TEST_F(StoreTest, RejectsEmptyFile) {
+    std::ofstream(path_, std::ios::binary | std::ios::trunc).close();
+    EXPECT_THROW(read_store(path_), FleetStoreError);
+}
+
+} // namespace
+} // namespace ulpmc::fleet

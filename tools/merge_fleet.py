@@ -1,0 +1,334 @@
+#!/usr/bin/env python3
+"""Merge ulpmc-fleet shard artifacts into one fleet JSON.
+
+Each shard runs `ulpmc-fleet --shard K/N --json shard_K.json`; this tool
+merges the complete set {0..N-1} into output byte-identical to what an
+unsharded `ulpmc-fleet` run over the same options would have written.
+
+Byte-identity holds because the C++ side keeps every cross-device
+reduction in integers (energy quantised to nanojoules, backoff to
+microseconds, sketch bins to integer counts) and derives every float in
+the artifact from those integers with arithmetic this script mirrors
+exactly:
+
+  * delivered_fraction = samples_delivered / samples_total (one IEEE
+    divide of two exactly-representable integers);
+  * sketch quantiles are a pure function of the integer bins (nearest
+    rank, bin midpoint via frexp/ldexp) — never of the float extrema;
+  * min/max are selected verbatim from the shard strings (C++ %g
+    formatting is monotone, so ordering the printed strings by parsed
+    value matches ordering the exact doubles).
+
+Floats that are copied through (timeline metadata, extrema) are loaded
+with parse_float=str and re-emitted verbatim; recomputed floats use
+"%g", which matches the default C++ ostream formatting.
+
+Exits non-zero with a one-line diagnosis on malformed input: a missing
+or duplicate shard, mixed shard counts, disagreeing fleet metadata, or
+an artifact whose record count contradicts its own header.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SLICE_INT_KEYS = (
+    "devices",
+    "energy_nj",
+    "samples_total",
+    "samples_delivered",
+    "sdc_blocks",
+    "brownouts",
+    "total_blocks",
+)
+SLICE_KEYS = (
+    "devices",
+    "energy_nj",
+    "samples_total",
+    "samples_delivered",
+    "delivered_fraction",
+    "sdc_blocks",
+    "brownouts",
+    "total_blocks",
+)
+POLICIES = ("ladder", "baseline")
+ARCHES = ("mc-ref", "ulpmc-int", "ulpmc-bank")
+METRICS = ("energy_j", "delivered_fraction", "sdc_blocks", "max_backoff_s")
+META_KEYS = (
+    "timeline",
+    "seed",
+    "devices",
+    "cohorts",
+    "days",
+    "baseline_fraction",
+    "block_period_s",
+    "thresholds",
+)
+THRESHOLD_KEYS = ("shed", "coarse", "tight", "silence")
+
+BINS_PER_OCTAVE = 32
+
+
+def fmt(v):
+    """Render a scalar exactly as the C++ writer would."""
+    if isinstance(v, str):
+        return v  # float loaded verbatim via parse_float=str
+    if isinstance(v, bool):
+        raise TypeError("no booleans in fleet artifacts")
+    if isinstance(v, int):
+        return str(v)
+    return "%g" % v  # mirrors default std::ostream formatting
+
+
+def bin_lo(b):
+    """Lower edge of log bin b; mirrors QuantileSketch::bin_lo exactly."""
+    e, sub = divmod(b, BINS_PER_OCTAVE)  # floor division, as in C++
+    return math.ldexp(0.5 + sub * (0.5 / BINS_PER_OCTAVE), e)
+
+
+def quantile(total, zero, bins, q):
+    """Mirror QuantileSketch::quantile: nearest rank, bin midpoint."""
+    if total == 0:
+        return 0.0
+    rank = int(q * float(total - 1))  # uint64 cast truncates, as does int()
+    cum = zero
+    if rank < cum:
+        return 0.0
+    for b, c in bins:
+        cum += c
+        if rank < cum:
+            return (bin_lo(b) + bin_lo(b + 1)) * 0.5
+    return 0.0
+
+
+def load_shard(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f, parse_float=str)
+    except OSError as e:
+        sys.exit(f"merge_fleet: cannot read {path}: {e.strerror}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"merge_fleet: {path} is not valid JSON: {e.msg} (line {e.lineno})")
+    for key in ("fleet", "aggregate"):
+        if key not in doc:
+            sys.exit(f"merge_fleet: {path} has no \"{key}\" section; not a fleet artifact")
+    return doc
+
+
+def parse_shard_key(path, fleet):
+    if "shard" not in fleet:
+        sys.exit(
+            f"merge_fleet: {path} carries no \"shard\" key; it is an unsharded "
+            "artifact and must not be merged"
+        )
+    text = fleet["shard"]
+    parts = str(text).split("/")
+    if len(parts) != 2:
+        sys.exit(f"merge_fleet: {path} has malformed shard key {text!r} (want K/N)")
+    try:
+        k, n = int(parts[0]), int(parts[1])
+    except ValueError:
+        sys.exit(f"merge_fleet: {path} has malformed shard key {text!r} (want K/N)")
+    if n < 1 or not 0 <= k < n:
+        sys.exit(f"merge_fleet: {path} has impossible shard key {text!r}")
+    return k, n
+
+
+def check_meta(paths, docs):
+    ref = docs[0]["fleet"]
+    for path, doc in zip(paths[1:], docs[1:]):
+        fleet = doc["fleet"]
+        for key in META_KEYS:
+            if fleet.get(key) != ref.get(key):
+                sys.exit(
+                    f"merge_fleet: shards disagree on fleet.{key}: "
+                    f"{paths[0]} has {ref.get(key)!r}, {path} has {fleet.get(key)!r}"
+                )
+    for key in META_KEYS:
+        if key not in ref:
+            sys.exit(f"merge_fleet: {paths[0]} fleet section lacks \"{key}\"")
+    thresholds = ref["thresholds"]
+    if not isinstance(thresholds, dict) or tuple(thresholds) != THRESHOLD_KEYS:
+        sys.exit(f"merge_fleet: {paths[0]} has malformed thresholds {thresholds!r}")
+    return ref
+
+
+def shard_device_count(devices, k, n):
+    """Devices with gdi % n == k; mirrors fleet::shard_device_count."""
+    return (devices - k - 1) // n + 1 if devices > k else 0
+
+
+def merge_slices(paths, docs, picker):
+    out = {key: 0 for key in SLICE_INT_KEYS}
+    for path, doc in zip(paths, docs):
+        sl = picker(doc["aggregate"])
+        if sl is None or tuple(sl) != SLICE_KEYS:
+            sys.exit(f"merge_fleet: {path} has a malformed aggregate slice")
+        for key in SLICE_INT_KEYS:
+            if not isinstance(sl[key], int):
+                sys.exit(f"merge_fleet: {path} slice field {key} is not an integer")
+            out[key] += sl[key]
+    if out["samples_total"] > 0:
+        out["delivered_fraction"] = out["samples_delivered"] / out["samples_total"]
+    else:
+        out["delivered_fraction"] = 0.0
+    return out
+
+
+def merge_metric(paths, docs, name):
+    count = zero = 0
+    min_s = max_s = None
+    bins = {}
+    for path, doc in zip(paths, docs):
+        sk = doc["aggregate"].get("metrics", {}).get(name)
+        if sk is None:
+            sys.exit(f"merge_fleet: {path} lacks metric \"{name}\"")
+        try:
+            shard_count = sk["count"]
+            count += shard_count
+            zero += sk["zero"]
+            for b, c in sk["bins"]:
+                bins[b] = bins.get(b, 0) + c
+            if shard_count > 0:
+                if min_s is None or float(sk["min"]) < float(min_s):
+                    min_s = sk["min"]
+                if max_s is None or float(sk["max"]) > float(max_s):
+                    max_s = sk["max"]
+        except (KeyError, TypeError, ValueError):
+            sys.exit(f"merge_fleet: {path} has a malformed \"{name}\" sketch")
+    sorted_bins = sorted(bins.items())
+    return {
+        "count": count,
+        "zero": zero,
+        "min": min_s if min_s is not None else 0.0,
+        "max": max_s if max_s is not None else 0.0,
+        "p50": quantile(count, zero, sorted_bins, 0.50),
+        "p90": quantile(count, zero, sorted_bins, 0.90),
+        "p99": quantile(count, zero, sorted_bins, 0.99),
+        "bins": sorted_bins,
+    }
+
+
+def render_slice(out, sl, indent, more):
+    for i, key in enumerate(SLICE_KEYS):
+        tail = "," if (more or i + 1 < len(SLICE_KEYS)) else ""
+        out.append(f"{indent}\"{key}\": {fmt(sl[key])}{tail}\n")
+
+
+def render(meta, records, total, by_policy, by_arch, metrics):
+    out = []
+    out.append("{\n")
+    out.append("  \"fleet\": {\n")
+    out.append(f"    \"timeline\": \"{meta['timeline']}\",\n")
+    for key in ("seed", "devices", "cohorts", "days", "baseline_fraction", "block_period_s"):
+        out.append(f"    \"{key}\": {fmt(meta[key])},\n")
+    th = meta["thresholds"]
+    out.append(
+        "    \"thresholds\": {"
+        + ", ".join(f"\"{k}\": {fmt(th[k])}" for k in THRESHOLD_KEYS)
+        + "},\n"
+    )
+    out.append(f"    \"records\": {records}\n")
+    out.append("  },\n")
+    out.append("  \"aggregate\": {\n")
+    render_slice(out, total, "    ", more=True)
+    out.append("    \"by_policy\": {\n")
+    for i, name in enumerate(POLICIES):
+        out.append(f"      \"{name}\": {{\n")
+        render_slice(out, by_policy[name], "        ", more=False)
+        out.append("      }" + ("," if i + 1 < len(POLICIES) else "") + "\n")
+    out.append("    },\n")
+    out.append("    \"by_arch\": {\n")
+    for i, name in enumerate(ARCHES):
+        out.append(f"      \"{name}\": {{\n")
+        render_slice(out, by_arch[name], "        ", more=False)
+        out.append("      }" + ("," if i + 1 < len(ARCHES) else "") + "\n")
+    out.append("    },\n")
+    out.append("    \"metrics\": {\n")
+    for i, name in enumerate(METRICS):
+        sk = metrics[name]
+        out.append(f"      \"{name}\": {{\n")
+        for key in ("count", "zero", "min", "max", "p50", "p90", "p99"):
+            out.append(f"        \"{key}\": {fmt(sk[key])},\n")
+        body = ", ".join(f"[{b}, {c}]" for b, c in sk["bins"])
+        out.append(f"        \"bins\": [{body}]\n")
+        out.append("      }" + ("," if i + 1 < len(METRICS) else "") + "\n")
+    out.append("    }\n")
+    out.append("  }\n")
+    out.append("}\n")
+    return "".join(out)
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Merge ulpmc-fleet shard JSON artifacts into one fleet artifact."
+    )
+    ap.add_argument("shards", nargs="+", help="shard JSON files (the complete 0..N-1 set)")
+    ap.add_argument("-o", "--output", required=True, help="merged JSON path ('-' for stdout)")
+    args = ap.parse_args()
+
+    docs = [load_shard(p) for p in args.shards]
+    keys = [parse_shard_key(p, d["fleet"]) for p, d in zip(args.shards, docs)]
+
+    n = keys[0][1]
+    for path, (_, kn) in zip(args.shards, keys):
+        if kn != n:
+            sys.exit(
+                f"merge_fleet: mixed shard counts: {args.shards[0]} is of {n}, "
+                f"{path} is of {kn}"
+            )
+    seen = {}
+    for path, (k, _) in zip(args.shards, keys):
+        if k in seen:
+            sys.exit(f"merge_fleet: duplicate shard {k}/{n}: {seen[k]} and {path}")
+        seen[k] = path
+    missing = sorted(set(range(n)) - set(seen))
+    if missing:
+        sys.exit(
+            f"merge_fleet: incomplete shard set: missing "
+            + ", ".join(f"{k}/{n}" for k in missing)
+        )
+
+    meta = check_meta(args.shards, docs)
+    devices = meta["devices"]
+    records = 0
+    for path, doc, (k, _) in zip(args.shards, docs, keys):
+        rec = doc["fleet"].get("records")
+        want = shard_device_count(devices, k, n)
+        if rec != want:
+            sys.exit(
+                f"merge_fleet: {path} claims {rec} records but shard {k}/{n} of "
+                f"{devices} devices must hold {want}"
+            )
+        records += rec
+    if records != devices:
+        sys.exit(f"merge_fleet: merged record count {records} != fleet devices {devices}")
+
+    total = merge_slices(args.shards, docs, lambda a: {k: a[k] for k in SLICE_KEYS if k in a})
+    by_policy = {
+        name: merge_slices(args.shards, docs, lambda a, p=name: a.get("by_policy", {}).get(p))
+        for name in POLICIES
+    }
+    by_arch = {
+        name: merge_slices(args.shards, docs, lambda a, ar=name: a.get("by_arch", {}).get(ar))
+        for name in ARCHES
+    }
+    metrics = {name: merge_metric(args.shards, docs, name) for name in METRICS}
+
+    if total["devices"] != devices:
+        sys.exit(
+            f"merge_fleet: merged slice totals cover {total['devices']} devices, "
+            f"fleet header says {devices}"
+        )
+
+    text = render(meta, records, total, by_policy, by_arch, metrics)
+    if args.output == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+if __name__ == "__main__":
+    main()

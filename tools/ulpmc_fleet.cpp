@@ -1,0 +1,207 @@
+// ulpmc-fleet: fleet simulation driver (DESIGN.md §13).
+//
+// Runs a fleet of heterogeneous device lifetimes — per-device
+// architecture, resilience policy, workload cohort, initial charge and
+// seed all derived from the global device index — over a work-stealing
+// pool, with shared cohort benchmarks and a shared calibration cache.
+// The JSON artifact is deterministic: byte-identical across thread
+// counts, simulator engine tiers, and shard splits (K shard artifacts
+// merged by tools/merge_fleet.py reproduce the unsharded bytes).
+//
+// Usage:
+//   ulpmc-fleet --timeline FILE [options]
+//     --timeline FILE   phase script (required)
+//     --devices N       GLOBAL fleet size across all shards (default 1000)
+//     --seed N          fleet master seed (default 1)
+//     --cohorts N       workload cohorts / patients (default 8)
+//     --days D          per-device lifetime in days (default: one pass)
+//     --baseline F      fraction of devices on the baseline policy (default 0.25)
+//     --engine E        reference|fast|trace|batched (default trace)
+//     --threads N       worker threads, 0 = hardware (default 0)
+//     --shard K/N       run shard K of N (devices with gdi % N == K)
+//     --json FILE       write the deterministic artifact to FILE ('-' = stdout)
+//     --store FILE      write the per-device binary record store to FILE
+//
+// Exit codes: 0 success, 2 bad usage (malformed, duplicate or
+// inconsistent options, unreadable or corrupt timeline).
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "fleet/fleet.hpp"
+#include "fleet/report.hpp"
+#include "fleet/store.hpp"
+#include "scenario/timeline.hpp"
+
+namespace {
+
+void usage(std::ostream& os) {
+    os << "usage: ulpmc-fleet --timeline FILE [--devices N] [--seed N] [--cohorts N]\n"
+          "                   [--days D] [--baseline F] [--engine E] [--threads N]\n"
+          "                   [--shard K/N] [--json FILE] [--store FILE]\n";
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+    try {
+        std::size_t pos = 0;
+        out = std::stoull(s, &pos);
+        return pos == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool parse_double(const std::string& s, double& out) {
+    try {
+        std::size_t pos = 0;
+        out = std::stod(s, &pos);
+        return pos == s.size();
+    } catch (...) {
+        return false;
+    }
+}
+
+bool parse_shard(const std::string& s, unsigned& k, unsigned& n) {
+    const auto slash = s.find('/');
+    if (slash == std::string::npos) return false;
+    std::uint64_t uk = 0, un = 0;
+    if (!parse_u64(s.substr(0, slash), uk) || !parse_u64(s.substr(slash + 1), un)) return false;
+    if (un < 1 || uk >= un) return false;
+    k = static_cast<unsigned>(uk);
+    n = static_cast<unsigned>(un);
+    return true;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+    std::string timeline_path, json_path, store_path;
+    ulpmc::fleet::FleetOptions opt;
+
+    std::set<std::string> seen;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (!arg.empty() && arg[0] == '-' && !seen.insert(arg).second) {
+            std::cerr << arg << ": duplicate option\n";
+            return 2;
+        }
+        auto value = [&](const char* name) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << name << " requires a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--timeline") {
+            timeline_path = value("--timeline");
+        } else if (arg == "--devices") {
+            if (!parse_u64(value("--devices"), opt.devices) || opt.devices < 1) {
+                std::cerr << "--devices: expected a positive count\n";
+                return 2;
+            }
+        } else if (arg == "--seed") {
+            if (!parse_u64(value("--seed"), opt.seed)) {
+                std::cerr << "--seed: not a number\n";
+                return 2;
+            }
+        } else if (arg == "--cohorts") {
+            std::uint64_t c = 0;
+            if (!parse_u64(value("--cohorts"), c) || c < 1 || c > 4096) {
+                std::cerr << "--cohorts: expected a count in [1, 4096]\n";
+                return 2;
+            }
+            opt.cohorts = static_cast<unsigned>(c);
+        } else if (arg == "--days") {
+            if (!parse_double(value("--days"), opt.days) || opt.days <= 0) {
+                std::cerr << "--days: expected a positive number\n";
+                return 2;
+            }
+        } else if (arg == "--baseline") {
+            if (!parse_double(value("--baseline"), opt.baseline_fraction) ||
+                opt.baseline_fraction < 0 || opt.baseline_fraction > 1) {
+                std::cerr << "--baseline: expected a fraction in [0, 1]\n";
+                return 2;
+            }
+        } else if (arg == "--engine") {
+            if (!ulpmc::cluster::parse_engine(value("--engine"), opt.engine)) {
+                std::cerr << "--engine: unknown engine (reference|fast|trace|batched)\n";
+                return 2;
+            }
+        } else if (arg == "--threads") {
+            std::uint64_t t = 0;
+            if (!parse_u64(value("--threads"), t) || t > 1024) {
+                std::cerr << "--threads: expected a count in [0, 1024]\n";
+                return 2;
+            }
+            opt.threads = static_cast<unsigned>(t);
+        } else if (arg == "--shard") {
+            if (!parse_shard(value("--shard"), opt.shard_k, opt.shard_n)) {
+                std::cerr << "--shard: expected K/N with 0 <= K < N\n";
+                return 2;
+            }
+        } else if (arg == "--json") {
+            json_path = value("--json");
+        } else if (arg == "--store") {
+            store_path = value("--store");
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return 0;
+        } else {
+            std::cerr << arg << ": unknown option\n";
+            usage(std::cerr);
+            return 2;
+        }
+    }
+    if (timeline_path.empty()) {
+        std::cerr << "--timeline is required\n";
+        usage(std::cerr);
+        return 2;
+    }
+
+    ulpmc::scenario::Timeline tl;
+    try {
+        tl = ulpmc::scenario::load_timeline(timeline_path);
+    } catch (const ulpmc::scenario::TimelineError& e) {
+        std::cerr << timeline_path << ": " << e.what() << "\n";
+        return 2;
+    }
+
+    ulpmc::fleet::FleetEngine engine(tl, opt);
+    const ulpmc::fleet::FleetResult res = engine.run();
+    ulpmc::fleet::print_summary(std::cout, opt, res);
+
+    if (!store_path.empty()) {
+        ulpmc::fleet::StoreHeader hdr;
+        hdr.cohorts = opt.cohorts;
+        hdr.seed = opt.seed;
+        hdr.devices = opt.devices;
+        hdr.shard_k = opt.shard_k;
+        hdr.shard_n = opt.shard_n;
+        try {
+            ulpmc::fleet::write_store(store_path, hdr, res.records);
+        } catch (const ulpmc::fleet::FleetStoreError& e) {
+            std::cerr << e.what() << "\n";
+            return 1;
+        }
+    }
+
+    if (!json_path.empty()) {
+        std::string name = timeline_path;
+        if (const auto slash = name.find_last_of('/'); slash != std::string::npos)
+            name = name.substr(slash + 1);
+        if (json_path == "-") {
+            ulpmc::fleet::write_json(std::cout, name, opt, tl.block_period_s, res.aggregate,
+                                     res.records.size());
+        } else {
+            std::ofstream out(json_path);
+            if (!out) {
+                std::cerr << json_path << ": cannot open for writing\n";
+                return 2;
+            }
+            ulpmc::fleet::write_json(out, name, opt, tl.block_period_s, res.aggregate,
+                                     res.records.size());
+        }
+    }
+    return 0;
+}
