@@ -196,6 +196,13 @@ StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
 
 StreamingBenchmark::ResilientOutcome
 StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
+                                     const BlockFaultHook& hook,
+                                     const DurableOptions& durable) const {
+    return run_checkpointed_impl(cfg_in, hook, nullptr, nullptr, false, &durable);
+}
+
+StreamingBenchmark::ResilientOutcome
+StreamingBenchmark::run_checkpointed(const cluster::ClusterConfig& cfg_in,
                                      const BlockFaultHook& hook, const BlockPerturbed& perturbed,
                                      CheckpointedStreamMemo& memo) const {
     if (!memo.valid_) {
@@ -216,7 +223,13 @@ StreamingBenchmark::ResilientOutcome
 StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
                                           const BlockFaultHook& hook,
                                           const BlockPerturbed* perturbed,
-                                          CheckpointedStreamMemo* memo, bool capture) const {
+                                          CheckpointedStreamMemo* memo, bool capture,
+                                          const DurableOptions* durable) const {
+    const bool durable_on = durable != nullptr && durable->enabled;
+    // The memoized clean stream assumes every rollback restores the block
+    // being retried; keyframe fallback breaks that, so durable storage is
+    // a trace-path feature.
+    ULPMC_EXPECTS(!(durable_on && (memo != nullptr || capture)));
     cluster::ClusterConfig cfg = cfg_in;
     cfg.barrier_enabled = base_.layout().use_barrier;
     const auto& lay = base_.layout();
@@ -250,7 +263,15 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
     // Explicit block-boundary checkpoints; per-lead verification and the
     // drop policy live here, so the runner's global parity guard is off
     // (a latent parity upset is attributed to its lead below instead).
-    runner.reset({.interval = 0, .max_retries = 2, .parity_guard = false});
+    runner.reset({.interval = 0,
+                  .max_retries = 2,
+                  .parity_guard = false,
+                  .delta_store = durable_on,
+                  .storage = durable_on ? durable->storage : cluster::CkptStorageConfig{}});
+    // Maps each block boundary to its checkpoint cycle, so a keyframe
+    // fallback (which restores an OLDER boundary) can be translated back
+    // into the block index to rewind to.
+    std::vector<Cycle> boundary_cycle(durable_on ? n_blocks_ : 0, 0);
 
     // Block `block` is finished on lead p once its countdown dropped to
     // n_blocks - (block+1) (or the core halted after the last block).
@@ -360,7 +381,7 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
     bool tail_skipped = false;
 
     std::vector<unsigned> corrupted;
-    for (unsigned block = start_block; block < n_blocks_; ++block) {
+    for (unsigned block = start_block; block < n_blocks_;) {
         if (capture) {
             cl.save(memo->boundary_[block]);
             memo->cum_[block] = clean_cum_now();
@@ -372,6 +393,10 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
         // banked delta, exactly like the per-attempt repairs used to.
         sample_base();
         runner.checkpoint();
+        if (durable_on) {
+            boundary_cycle[block] = runner.checkpoint_cycle();
+            if (durable->strike) durable->strike(runner.storage(), block);
+        }
         // Tail rejoin is tested AFTER the checkpoint: the service's sweep
         // is what repairs a protected register (TMR vote, parity scrub),
         // so a corrected strike converges exactly here — and on clean
@@ -396,6 +421,7 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
             tail_skipped = true;
             break;
         }
+        bool rewound = false;
         for (unsigned attempt = 0; attempt < 2; ++attempt) {
             if (attempt > 0) sample_base(); // rollback rewound the counters
             if (hook) hook(cl, block, attempt);
@@ -411,7 +437,27 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
             }
             if (corrupted.empty()) break; // block verified: commit
             if (attempt == 0) {
+                const std::uint64_t fb0 =
+                    durable_on ? runner.storage().stats().keyframe_fallbacks : 0;
                 runner.rollback(); // re-execute the block from its checkpoint
+                if (durable_on && runner.stats().gave_up) {
+                    // Every stored record failed verification: a detected,
+                    // unrecoverable storage loss. Fail stop.
+                    out.storage_exhausted = true;
+                    break;
+                }
+                if (durable_on && runner.storage().stats().keyframe_fallbacks > fb0) {
+                    // CRC rejected the newest record(s): the restore landed
+                    // on an OLDER boundary. Rewind the block loop there and
+                    // re-execute — the discarded commits come off the count
+                    // and are re-earned.
+                    unsigned b = block;
+                    while (b > 0 && boundary_cycle[b] != runner.checkpoint_cycle()) --b;
+                    out.blocks -= block - b;
+                    block = b;
+                    rewound = true;
+                    break;
+                }
                 continue;
             }
             // Retry failed too: persistent corruption — degrade by dropping
@@ -421,10 +467,13 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
                 ++out.leads_dropped;
             }
         }
+        if (out.storage_exhausted) break;
+        if (rewound) continue; // loop top re-checkpoints the restored state
         ++out.blocks;
+        ++block;
     }
 
-    if (!tail_skipped) {
+    if (!tail_skipped && !out.storage_exhausted) {
         // Drain: let the last block's stragglers reach their hlt (a dropped
         // lead that diverged is reined in by the watchdog).
         const Cycle drain_limit = cl.stats().cycles + cfg.watchdog_cycles + 1000;
@@ -448,6 +497,13 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
     // already includes the memoized prefix; the credited tail is added.
     out.total_cycles = cl.stats().cycles + runner.stats().reexec_cycles + tail_cycles;
     out.latent_reg_faults = tail_skipped ? memo->final_latent_ : cl.pending_reg_faults();
+    if (durable_on) {
+        const cluster::CkptStorageStats& ss = runner.storage().stats();
+        out.ckpt_stored_bytes = ss.stored_bytes;
+        out.ckpt_full_bytes = ss.full_equiv_bytes;
+        out.ckpt_crc_failures = ss.crc_failures;
+        out.ckpt_fallbacks = ss.keyframe_fallbacks;
+    }
 
     if (capture) {
         memo->final_ = clean_cum_now();
@@ -456,7 +512,7 @@ StreamingBenchmark::run_checkpointed_impl(const cluster::ClusterConfig& cfg_in,
 
     bool any_alive = false;
     for (const auto a : out.lead_alive) any_alive = any_alive || a != 0;
-    out.all_surviving_verified = any_alive;
+    out.all_surviving_verified = any_alive && !out.storage_exhausted;
     return out;
 }
 

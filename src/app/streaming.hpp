@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "app/benchmark.hpp"
+#include "cluster/ckpt_store.hpp"
 
 namespace ulpmc::app {
 
@@ -84,6 +85,14 @@ public:
         /// simulated (batched-engine campaigns; zero otherwise). Included
         /// in total_cycles — the outcome is exactly that of a full run.
         Cycle memoized_cycles = 0;
+
+        // Filled when a durable record store backs the checkpoints
+        // (run_checkpointed with DurableOptions; zero otherwise).
+        std::uint64_t ckpt_stored_bytes = 0; ///< bytes the store actually wrote
+        std::uint64_t ckpt_full_bytes = 0;   ///< full-snapshot-equivalent bytes
+        std::uint64_t ckpt_crc_failures = 0; ///< stored records rejected on load
+        std::uint64_t ckpt_fallbacks = 0;    ///< restores served by an older record
+        bool storage_exhausted = false;      ///< every record failed: run fail-stopped
     };
 
     /// Tells the monitor which block attempts the fault hook perturbs.
@@ -130,6 +139,28 @@ public:
                                       const BlockFaultHook& hook = {}) const;
     ResilientOutcome run_checkpointed(cluster::ArchKind arch,
                                       const BlockFaultHook& hook = {}) const;
+
+    /// Durable checkpoint storage (DESIGN.md §9.6): route every boundary
+    /// snapshot through a cluster::CheckpointStorage (CRC-verified
+    /// keyframe+delta records) so rollbacks restore DECODED payload bytes
+    /// and storage corruption becomes a real fault channel.
+    struct DurableOptions {
+        bool enabled = false;
+        cluster::CkptStorageConfig storage{};
+        /// Called after every committed checkpoint with the record store —
+        /// the storage-fault campaign's strike surface.
+        std::function<void(cluster::CheckpointStorage&, unsigned block)> strike;
+    };
+
+    /// run_checkpointed with a durable record store behind the service.
+    /// A CRC-rejected newest record makes the rollback restore an OLDER
+    /// block boundary (keyframe fallback); the monitor then rewinds its
+    /// block loop and re-executes the discarded blocks — so storage loss
+    /// costs re-execution, never correctness. When every stored record is
+    /// corrupt, the run fail-stops (storage_exhausted).
+    ResilientOutcome run_checkpointed(const cluster::ClusterConfig& cfg,
+                                      const BlockFaultHook& hook,
+                                      const DurableOptions& durable) const;
 
     /// Memoized clean stream for run_checkpointed (batched engine): one
     /// portable snapshot per block boundary of the fault-free continuous
@@ -181,7 +212,8 @@ private:
     ResilientOutcome run_checkpointed_impl(const cluster::ClusterConfig& cfg,
                                            const BlockFaultHook& hook,
                                            const BlockPerturbed* perturbed,
-                                           CheckpointedStreamMemo* memo, bool capture) const;
+                                           CheckpointedStreamMemo* memo, bool capture,
+                                           const DurableOptions* durable = nullptr) const;
 
     EcgBenchmark base_;
     unsigned n_blocks_;

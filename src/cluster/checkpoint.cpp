@@ -15,6 +15,7 @@ void CheckpointRunner::reset(const CheckpointConfig& cfg) {
     est_.reset(cfg.alpha);
     cur_interval_ = cfg.adaptive && cfg.interval == 0 ? cfg.max_interval : cfg.interval;
     if (cfg.adaptive) stats_.current_interval = cur_interval_;
+    if (cfg.delta_store) storage_.reset(cfg.storage);
     base_events_ = 0;
     base_cycle_ = 0;
     replay_debt_ = 0;
@@ -41,6 +42,7 @@ bool CheckpointRunner::checkpoint() {
         return false;
     }
     cl_.save(snap_);
+    if (cfg_.delta_store) storage_.store(snap_);
     snap_cycle_ = cl_.stats().cycles;
     has_ckpt_ = true;
     retries_ = 0;
@@ -50,6 +52,23 @@ bool CheckpointRunner::checkpoint() {
 
 void CheckpointRunner::rollback() {
     ULPMC_EXPECTS(has_ckpt_);
+    if (cfg_.delta_store) {
+        // Restore what the STORE holds, not the in-memory snapshot: the
+        // newest intact record, decoded from its payload bytes, possibly
+        // an older keyframe when CRC verification rejected the newest.
+        if (!storage_.load(snap_)) {
+            // Every record failed verification — a detected, unrecoverable
+            // storage loss. Fail stop: leave the cluster for the caller to
+            // classify rather than restore known-corrupt state.
+            stats_.storage_exhausted = true;
+            stats_.gave_up = true;
+            ++retries_;
+            return;
+        }
+        // A fallback restore lands at an OLDER cycle than the in-memory
+        // snapshot; charge the re-execution from there.
+        snap_cycle_ = snap_.saved_cycle();
+    }
     const Cycle now = cl_.stats().cycles;
     if (now > snap_cycle_) {
         stats_.reexec_cycles += now - snap_cycle_;
@@ -97,7 +116,19 @@ Cycle CheckpointRunner::solve_interval(double lambda) const {
     // infinity; the clamp keeps detection latency bounded.
     if (lambda <= 0.0) return cfg_.max_interval;
     const double cores = static_cast<double>(cl_.config().cores);
-    const double save_energy = 2.0 * cores * cfg_.words_per_core * cfg_.e_word;
+    double save_words = cores * cfg_.words_per_core;
+    double e_word = cfg_.e_word;
+    if (cfg_.delta_store) {
+        // Deltas store only the dirty words; scale the save cost by the
+        // observed stored/full byte ratio so the solve sees the cheaper
+        // saves (DESIGN.md §9.6 revised T* math).
+        const CkptStorageStats& ss = storage_.stats();
+        if (ss.full_equiv_bytes > 0)
+            save_words *= static_cast<double>(ss.stored_bytes) /
+                          static_cast<double>(ss.full_equiv_bytes);
+        e_word = cfg_.e_word_delta;
+    }
+    const double save_energy = 2.0 * save_words * e_word;
     const double e_cycle = cores * cfg_.e_cycle_per_core;
     const double t = std::sqrt(save_energy / (lambda * e_cycle));
     if (t <= static_cast<double>(cfg_.min_interval)) return cfg_.min_interval;
@@ -150,6 +181,7 @@ Cycle CheckpointRunner::run(Cycle bound) {
                 break;
             }
             rollback();
+            if (stats_.gave_up) break; // storage exhausted: fail stop
             continue;
         }
         const Cycle after = cl_.stats().cycles;

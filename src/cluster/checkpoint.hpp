@@ -14,6 +14,7 @@
 // energy model can bound it.
 #pragma once
 
+#include "cluster/ckpt_store.hpp"
 #include "cluster/cluster.hpp"
 #include "common/types.hpp"
 #include "fault/estimator.hpp"
@@ -61,6 +62,22 @@ struct CheckpointConfig {
     double e_cycle_per_core = 22.5e-12;
     /// Architectural words saved per core (16 GPRs + PC + flags).
     unsigned words_per_core = 18;
+
+    // ---- durable delta storage (DESIGN.md §9.6) ------------------------
+    /// Route every snapshot through the delta CheckpointStorage (keyframe
+    /// + dirty-word delta records with CRC32). rollback() then restores
+    /// by DECODING stored payload bytes — storage corruption becomes a
+    /// real fault channel, detected by the CRC and absorbed by the
+    /// keyframe fallback chain (or flowing into SDC when verification is
+    /// off, which is what the storage-fault campaigns measure).
+    bool delta_store = false;
+    CkptStorageConfig storage{};
+    /// Per-stored-word save energy under delta_store: slightly above
+    /// e_word (power::cal::kCheckpointDeltaWordEnergy) for the dirty
+    /// tracking, but paid only on the words a delta actually stores —
+    /// the adaptive T* solve scales its save cost by the observed
+    /// stored/full byte ratio, so cheap deltas buy shorter intervals.
+    double e_word_delta = 36e-12;
 };
 
 struct CheckpointStats {
@@ -68,6 +85,9 @@ struct CheckpointStats {
     std::uint64_t rollbacks = 0;     ///< restores after a detected error
     Cycle reexec_cycles = 0;         ///< simulated cycles thrown away by rollbacks
     bool gave_up = false;            ///< retry budget exhausted on one checkpoint
+    /// delta_store only: every stored record failed verification on a
+    /// rollback — a detected, unrecoverable storage loss (sets gave_up).
+    bool storage_exhausted = false;
     // Adaptive-control telemetry (stay zero for fixed-interval runs).
     std::uint64_t interval_updates = 0; ///< re-solves that changed the interval
     Cycle current_interval = 0;      ///< interval in force (adaptive runs)
@@ -113,6 +133,11 @@ public:
     /// solution, or cfg.interval on fixed-interval runs.
     Cycle effective_interval() const { return cfg_.adaptive ? cur_interval_ : cfg_.interval; }
 
+    /// The durable record store (cfg.delta_store runs). Mutable access is
+    /// the checkpoint-storage fault injector's strike surface.
+    CheckpointStorage& storage() { return storage_; }
+    const CheckpointStorage& storage() const { return storage_; }
+
 private:
     bool any_trap() const;
     bool any_running() const;
@@ -130,6 +155,7 @@ private:
     CheckpointConfig cfg_;
     CheckpointStats stats_;
     Cluster::Snapshot snap_;
+    CheckpointStorage storage_;
     bool has_ckpt_ = false;
     Cycle snap_cycle_ = 0;
     unsigned retries_ = 0;

@@ -44,6 +44,8 @@
 
 namespace ulpmc::cluster {
 
+class CheckpointStorage;
+
 /// The cluster simulator.
 class Cluster {
 public:
@@ -184,6 +186,10 @@ public:
     void scrub_registers();
 
 private:
+    // The checkpoint-storage codec (cluster/ckpt_store) serializes
+    // snapshot internals into durable delta records.
+    friend class CheckpointStorage;
+
     // CoreCtx precedes the public Snapshot class so snapshots can store
     // core contexts by value.
     struct CoreCtx {
@@ -243,6 +249,7 @@ public:
     /// patches.
     class Snapshot {
         friend class Cluster;
+        friend class CheckpointStorage;
 
         /// Raw stored state of one dirty IM cell (one bank replica).
         struct ImCell {

@@ -1,0 +1,17 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+// check behind durable execution (DESIGN.md §9.6): every stored
+// checkpoint payload and every journal frame carries a CRC so a torn
+// write or a storage upset is *detected* rather than silently restored.
+// Incremental: crc32(b, crc32(a)) == crc32(a ++ b), which is how the
+// frame writer covers header + payload in one pass.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ulpmc {
+
+/// Extends `seed` (the running CRC, 0 to start) over `len` bytes.
+std::uint32_t crc32(const void* data, std::size_t len, std::uint32_t seed = 0);
+
+} // namespace ulpmc

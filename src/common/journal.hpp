@@ -1,0 +1,71 @@
+// CRC-framed append-only run journal (DESIGN.md §9.6).
+//
+// A long fleet or lifetime run appends one frame per completed unit of
+// work (device, chunk, policy); after a crash, --resume replays the
+// intact frames and the run continues from where durable progress ends.
+// Frame format, all little-endian host order:
+//
+//   [u32 kind][u32 len][len payload bytes][u32 crc]
+//
+// with crc = crc32(kind ++ len ++ payload). The writer flushes and
+// fsyncs after every frame, so a frame is either durably complete or
+// absent. The reader stops at the first torn or CRC-failing frame and
+// reports how many clean bytes precede it — a killed writer leaves at
+// most one torn frame at the tail, which resume simply truncates away
+// by re-opening the journal at the clean prefix.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ulpmc {
+
+class JournalError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// One decoded frame.
+struct JournalFrame {
+    std::uint32_t kind = 0;
+    std::vector<std::uint8_t> payload;
+};
+
+/// Everything intact in a journal file.
+struct JournalContents {
+    std::vector<JournalFrame> frames;
+    std::uint64_t clean_bytes = 0; ///< file prefix covered by intact frames
+    bool torn_tail = false;        ///< a truncated/corrupt frame follows the prefix
+};
+
+/// Reads the intact prefix of `path`. Throws JournalError only when the
+/// file cannot be opened at all; torn tails are reported, not thrown.
+JournalContents read_journal(const std::string& path);
+
+/// Appends frames to a journal file, one durable (flushed + fsynced)
+/// frame per append() call.
+class JournalWriter {
+public:
+    /// Opens `path` for appending after truncating it to `keep_bytes`
+    /// (the intact prefix a resume decided to keep; 0 starts fresh,
+    /// pass JournalContents::clean_bytes to drop a torn tail). Throws
+    /// JournalError when the file cannot be opened.
+    JournalWriter(const std::string& path, std::uint64_t keep_bytes = 0);
+    ~JournalWriter();
+
+    JournalWriter(const JournalWriter&) = delete;
+    JournalWriter& operator=(const JournalWriter&) = delete;
+
+    /// Appends one frame and makes it durable. Throws JournalError on
+    /// any I/O failure.
+    void append(std::uint32_t kind, const std::vector<std::uint8_t>& payload);
+
+private:
+    std::FILE* f_ = nullptr;
+    std::string path_;
+};
+
+} // namespace ulpmc

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/assert.hpp"
+#include "common/serial.hpp"
 
 namespace ulpmc {
 
@@ -77,6 +78,24 @@ double Rng::gaussian() {
     spare_ = v * mul;
     have_spare_ = true;
     return u * mul;
+}
+
+void Rng::encode(std::vector<std::uint8_t>& out) const {
+    for (const std::uint32_t lane : s_) put_raw(out, lane);
+    put_raw(out, static_cast<std::uint8_t>(have_spare_ ? 1 : 0));
+    put_f64(out, spare_);
+}
+
+bool Rng::decode(ByteReader& in) {
+    std::uint32_t lanes[4];
+    for (auto& lane : lanes) lane = in.get<std::uint32_t>();
+    const auto have_spare = in.get<std::uint8_t>();
+    const double spare = in.get_f64();
+    if (in.fail() || (lanes[0] | lanes[1] | lanes[2] | lanes[3]) == 0) return false;
+    for (int i = 0; i < 4; ++i) s_[i] = lanes[i];
+    have_spare_ = have_spare != 0;
+    spare_ = spare;
+    return true;
 }
 
 } // namespace ulpmc

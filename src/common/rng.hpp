@@ -7,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 namespace ulpmc {
+
+class ByteReader;
 
 /// Small, fast, seedable PRNG (xoshiro128**).
 class Rng {
@@ -30,6 +33,13 @@ public:
 
     /// Standard normal variate (Box-Muller, deterministic).
     double gaussian();
+
+    /// Appends the complete generator state (four xoshiro lanes plus the
+    /// Box-Muller spare) to `out`; decode() restores it bit-exactly, so a
+    /// resumed run continues the same draw sequence. Returns false (state
+    /// untouched) on a short buffer.
+    void encode(std::vector<std::uint8_t>& out) const;
+    bool decode(ByteReader& in);
 
 private:
     std::uint32_t s_[4];

@@ -1,0 +1,68 @@
+// Tiny byte-exact serialization helpers (DESIGN.md §9.6).
+//
+// Durable-execution records (checkpoint payloads, journal frames) are
+// memcpy-composed from trivially copyable scalars: integers verbatim,
+// doubles as their IEEE-754 bit patterns (std::bit_cast), never through
+// text — resume must reconstruct *bit-identical* state, and a decimal
+// round-trip of a double is not the identity. Host-endian on purpose: a
+// journal resumes the run that wrote it, on the same machine.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace ulpmc {
+
+/// Appends the object representation of `v` to `out`.
+template <typename T>
+void put_raw(std::vector<std::uint8_t>& out, const T& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    out.insert(out.end(), p, p + sizeof(T));
+}
+
+inline void put_f64(std::vector<std::uint8_t>& out, double v) {
+    put_raw(out, std::bit_cast<std::uint64_t>(v));
+}
+
+/// Sequential reader over a byte buffer. Reads past the end set fail()
+/// and return zero-initialized values instead of touching out-of-range
+/// memory — the caller checks fail() once at the end (a short buffer is
+/// a corrupt record, not a programming error).
+class ByteReader {
+public:
+    ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+    explicit ByteReader(const std::vector<std::uint8_t>& buf)
+        : ByteReader(buf.data(), buf.size()) {}
+
+    template <typename T>
+    T get() {
+        static_assert(std::is_trivially_copyable_v<T>);
+        T v{};
+        if (pos_ + sizeof(T) > size_) {
+            fail_ = true;
+            pos_ = size_;
+            return v;
+        }
+        std::memcpy(&v, data_ + pos_, sizeof(T));
+        pos_ += sizeof(T);
+        return v;
+    }
+
+    double get_f64() { return std::bit_cast<double>(get<std::uint64_t>()); }
+
+    bool fail() const { return fail_; }
+    std::size_t remaining() const { return size_ - pos_; }
+
+private:
+    const std::uint8_t* data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+    bool fail_ = false;
+};
+
+} // namespace ulpmc

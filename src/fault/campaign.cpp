@@ -7,6 +7,7 @@
 
 #include "cluster/batched.hpp"
 #include "cluster/checkpoint.hpp"
+#include "cluster/ckpt_store.hpp"
 #include "cluster/pool.hpp"
 #include "common/assert.hpp"
 #include "power/calibration.hpp"
@@ -690,6 +691,161 @@ CampaignResult run_adaptive_campaign(const app::StreamingBenchmark& bench,
         static_cast<double>(ccfg.cores) * power::cal::kCoreEnergyPerOp;
     res.overhead_energy = static_cast<double>(res.checkpoints) * save_energy +
                           static_cast<double>(res.reexec_cycles) * cycle_energy;
+    return res;
+}
+
+CampaignResult run_storage_campaign(const app::StreamingBenchmark& bench,
+                                    cluster::ArchKind arch, const CampaignConfig& cfg,
+                                    const StorageCampaignOptions& opts,
+                                    sweep::SweepRunner& pool) {
+    ULPMC_EXPECTS(cfg.injections >= 1);
+    ULPMC_EXPECTS(cfg.checkpoint);
+    CampaignResult res;
+    res.arch = arch;
+    res.cfg = cfg;
+
+    const cluster::ClusterConfig ccfg = resilient_config(bench.base(), arch, cfg);
+
+    app::StreamingBenchmark::DurableOptions clean_durable;
+    clean_durable.enabled = true;
+    clean_durable.storage = opts.storage;
+
+    Cycle clean_block = 0;
+    double stored_ratio = 1.0;
+    { // fault-free durable reference: cycles, byte ratio, injection window
+        const auto clean = bench.run_checkpointed(ccfg, {}, clean_durable);
+        ULPMC_EXPECTS(clean.rollbacks == 0 && clean.leads_dropped == 0);
+        res.clean_cycles = clean.total_cycles;
+        clean_block = clean.clean_block_cycles;
+        if (clean.ckpt_full_bytes > 0) {
+            stored_ratio = static_cast<double>(clean.ckpt_stored_bytes) /
+                           static_cast<double>(clean.ckpt_full_bytes);
+        }
+        // Energy from the one-shot benchmark (same firmware inner loop);
+        // the checkpoint traffic term is scaled by the bytes the store
+        // ACTUALLY persists, which is where delta encoding pays off.
+        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.base().image());
+        bench.base().load_inputs(cl, ccfg.cores);
+        cl.run();
+        const double ckpts_per_block =
+            static_cast<double>(clean.checkpoints) / static_cast<double>(bench.n_blocks());
+        res.energy_per_op = clean_energy_per_op(
+            arch, cl.stats(),
+            checkpoint_words_per_op(ckpts_per_block, ccfg.cores, cl.stats().total_ops()) *
+                stored_ratio);
+    }
+
+    // The storage fault target: payload words of one full keyframe record
+    // of this exact cluster geometry (delta records are smaller; draws are
+    // wrapped into the struck record's extent by corrupt()).
+    std::uint64_t keyframe_words = 0;
+    {
+        cluster::Cluster& cl = cluster::pooled_cluster(ccfg, bench.base().image());
+        bench.base().load_inputs(cl, ccfg.cores);
+        cluster::Cluster::Snapshot snap;
+        cl.save(snap);
+        cluster::CheckpointStorage probe;
+        probe.reset({.delta = false, .keyframe_interval = 1});
+        probe.store(snap);
+        keyframe_words = probe.payload_words(0);
+    }
+
+    FaultUniverse universe;
+    universe.text_words = bench.base().program().text.size();
+    universe.dm_words = bench.base().layout().dm_layout().limit();
+    universe.cores = ccfg.cores;
+    universe.window = clean_block; // within-block strike cycle
+    universe.kinds = cfg.kinds;
+    universe.flip_bits = cfg.flip_bits;
+    universe.burst_len = cfg.burst_len;
+    universe.reg_burst = cfg.reg_burst;
+
+    FaultUniverse storage_universe;
+    storage_universe.cores = 1;
+    storage_universe.window = 1; // strike lands at the boundary, not a cycle
+    storage_universe.kinds = kCkptFaultKinds;
+    storage_universe.ckpt_words = keyframe_words;
+    storage_universe.flip_bits = cfg.flip_bits;
+    storage_universe.burst_len = cfg.burst_len;
+
+    const std::vector<std::uint64_t> globals = shard_indices(cfg);
+    res.runs.resize(globals.size());
+    struct StoreAgg {
+        std::uint64_t stored = 0, full = 0, crc = 0, fallbacks = 0;
+    };
+    std::vector<StoreAgg> aggs(globals.size());
+    pool.for_each_index(globals.size(), [&](std::size_t i) {
+        FaultInjector inj(mix_seed(cfg.seed, globals[i]));
+        InjectionRecord rec;
+        rec.fault = inj.draw(universe);
+        const unsigned target_block = inj.rng().below(bench.n_blocks());
+        FaultSpec storage_fault{};
+        if (opts.storage_strikes) storage_fault = inj.draw(storage_universe);
+
+        // Both strikes are single particles: deposited exactly once, even
+        // when a keyframe fallback rewinds the stream back over the
+        // struck block (the rewound re-execution is the clean replay).
+        bool exec_struck = false;
+        bool storage_struck = false;
+        const auto hook = [&](cluster::Cluster& cl, unsigned block, unsigned attempt) {
+            if (block != target_block || attempt != 0 || exec_struck) return;
+            exec_struck = true;
+            cl.run(cl.stats().cycles + rec.fault.cycle);
+            FaultInjector::apply(cl, rec.fault);
+        };
+        app::StreamingBenchmark::DurableOptions durable;
+        durable.enabled = true;
+        durable.storage = opts.storage;
+        if (opts.storage_strikes) {
+            durable.strike = [&](cluster::CheckpointStorage& store, unsigned block) {
+                // The record strike lands the moment the struck block's
+                // boundary checkpoint is persisted — the very record the
+                // execution strike's rollback then tries to consume.
+                if (block != target_block || storage_struck) return;
+                storage_struck = true;
+                FaultInjector::apply(store, storage_fault);
+            };
+        }
+        const auto ro = bench.run_checkpointed(ccfg, hook, durable);
+
+        rec.cycles = ro.total_cycles;
+        rec.ecc_corrected = ro.ecc_corrected;
+        rec.rollbacks = ro.rollbacks;
+        rec.checkpoints = ro.checkpoints;
+        rec.reexec_cycles = ro.reexec_cycles;
+        aggs[i] = {ro.ckpt_stored_bytes, ro.ckpt_full_bytes, ro.ckpt_crc_failures,
+                   ro.ckpt_fallbacks};
+        if (ro.storage_exhausted) {
+            // Every stored record rejected: a DETECTED, fail-stop loss
+            // (the run refuses to restore garbage), not silent corruption.
+            rec.outcome = Outcome::Trapped;
+        } else if (ro.leads_dropped > 0) {
+            rec.outcome = Outcome::LeadDropped;
+        } else if (!ro.all_surviving_verified) {
+            rec.outcome = Outcome::Sdc;
+        } else if (ro.rollbacks > 0 || ro.ckpt_fallbacks > 0) {
+            rec.outcome = Outcome::RolledBack;
+        } else if (rec.ecc_corrected > 0 || ro.reg_tmr_votes > 0 || ro.xbar_selfchecks > 0 ||
+                   ro.im_scrub_corrected > 0) {
+            rec.outcome = Outcome::Corrected;
+        } else if (ro.latent_reg_faults > 0) {
+            rec.outcome = Outcome::Latent;
+        } else {
+            rec.outcome = Outcome::Masked;
+        }
+        res.runs[i] = std::move(rec);
+    });
+
+    for (std::size_t i = 0; i < res.runs.size(); ++i) {
+        const auto& r = res.runs[i];
+        ++res.counts[static_cast<unsigned>(r.outcome)];
+        res.checkpoints += r.checkpoints;
+        res.reexec_cycles += r.reexec_cycles;
+        res.ckpt_stored_bytes += aggs[i].stored;
+        res.ckpt_full_bytes += aggs[i].full;
+        res.ckpt_crc_failures += aggs[i].crc;
+        res.ckpt_fallbacks += aggs[i].fallbacks;
+    }
     return res;
 }
 

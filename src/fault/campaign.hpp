@@ -140,6 +140,11 @@ struct CampaignResult {
     std::uint64_t batch_lockstep_cycles = 0; ///< total shared/memoized cycles
     std::uint64_t batch_lane_peels = 0;      ///< total lane divergences
     std::array<std::uint64_t, cluster::kPeelReasonCount> batch_peel_reasons{};
+    // Storage-campaign aggregates (run_storage_campaign only, zero elsewhere).
+    std::uint64_t ckpt_stored_bytes = 0;  ///< checkpoint bytes actually persisted
+    std::uint64_t ckpt_full_bytes = 0;    ///< full-keyframe-equivalent bytes
+    std::uint64_t ckpt_crc_failures = 0;  ///< stored records rejected by CRC
+    std::uint64_t ckpt_fallbacks = 0;     ///< restores served by an older keyframe
 
     unsigned count(Outcome o) const { return counts[static_cast<unsigned>(o)]; }
     /// Fraction of injections that did NOT end in silent data corruption —
@@ -181,5 +186,31 @@ CampaignResult run_streaming_campaign(const app::StreamingBenchmark& bench,
 CampaignResult run_adaptive_campaign(const app::StreamingBenchmark& bench,
                                      cluster::ArchKind arch, const CampaignConfig& cfg,
                                      sweep::SweepRunner& pool);
+
+/// Checkpoint-STORAGE campaign knobs (DESIGN.md §9.6): the record-store
+/// layout under test and whether the stored records themselves are a
+/// fault target on top of the execution strikes.
+struct StorageCampaignOptions {
+    cluster::CkptStorageConfig storage{};
+    /// Pair every execution strike with one CkptBitFlip deposited into
+    /// the record store at the struck block's boundary checkpoint — the
+    /// very record the rollback then tries to consume.
+    bool storage_strikes = false;
+};
+
+/// Durable-storage variant of the streaming campaign: every injection is
+/// one run_checkpointed() stream whose block-boundary snapshots persist
+/// through a CheckpointStorage (cfg.checkpoint must be set). Each
+/// injection deposits one execution strike inside one block; with
+/// opts.storage_strikes it ALSO corrupts a stored record at that block's
+/// checkpoint, so the rollback exercises CRC verification and the
+/// keyframe fallback chain. Outcomes: a fallback-assisted recovery is
+/// RolledBack, an unrecoverable record loss fail-stops as Trapped, and
+/// corruption that flows through an unverified restore shows up as
+/// LeadDropped / Hang / Sdc — never silently with crc_verify on.
+CampaignResult run_storage_campaign(const app::StreamingBenchmark& bench,
+                                    cluster::ArchKind arch, const CampaignConfig& cfg,
+                                    const StorageCampaignOptions& opts,
+                                    sweep::SweepRunner& pool);
 
 } // namespace ulpmc::fault

@@ -66,9 +66,21 @@ public:
     /// Smoothed inter-event gap in cycles (0 until the first event).
     double gap_hat() const { return primed_ ? gap_hat_ : 0.0; }
     bool primed() const { return primed_; }
+    /// Cycles accumulated since the last event-bearing window.
+    Cycle silence() const { return silence_; }
     /// EWMA updates absorbed so far (= observation windows with events).
     std::uint64_t updates() const { return updates_; }
     double alpha() const { return alpha_; }
+
+    /// Durable-execution state round-trip (DESIGN.md §9.6): reinstates a
+    /// previously observed trajectory bit-exactly (alpha comes from the
+    /// resuming run's own config, not the snapshot).
+    void restore(double gap_hat, Cycle silence, bool primed, std::uint64_t updates) {
+        gap_hat_ = gap_hat;
+        silence_ = silence;
+        primed_ = primed;
+        updates_ = updates;
+    }
 
     void reset(double alpha) {
         alpha_ = alpha;

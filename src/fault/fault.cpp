@@ -15,6 +15,7 @@ const char* fault_kind_name(FaultKind k) {
     case FaultKind::DXbarGlitch: return "dxbar-glitch";
     case FaultKind::IXbarStateUpset: return "ixbar-state-upset";
     case FaultKind::DXbarStateUpset: return "dxbar-state-upset";
+    case FaultKind::CkptBitFlip: return "ckpt-bit-flip";
     }
     return "?";
 }
@@ -55,6 +56,10 @@ std::string FaultSpec::describe() const {
             os << " grant-flip core" << static_cast<unsigned>(core);
             if (kind == FaultKind::DXbarStateUpset) os << (arb_write_port ? " wport" : " rport");
         }
+        break;
+    case FaultKind::CkptBitFlip:
+        os << " rec" << ckpt_record << " word=" << ckpt_word << " mask=0x" << std::hex
+           << flip_mask << std::dec;
         break;
     }
     if (kind == FaultKind::ImBitFlip || kind == FaultKind::DmBitFlip ||
@@ -98,9 +103,9 @@ FaultSpec FaultInjector::draw(const FaultUniverse& u) {
     ULPMC_EXPECTS(u.burst_len >= 1 && u.burst_len <= 16);
     ULPMC_EXPECTS(u.reg_burst >= 1 && u.reg_burst <= kNumRegisters);
 
-    FaultKind enabled[7];
+    FaultKind enabled[8];
     unsigned n = 0;
-    for (unsigned k = 0; k < 7; ++k) {
+    for (unsigned k = 0; k < 8; ++k) {
         if (u.kinds & (1u << k)) enabled[n++] = static_cast<FaultKind>(k);
     }
 
@@ -141,6 +146,16 @@ FaultSpec FaultInjector::draw(const FaultUniverse& u) {
         f.arb_head = rng_.below(u.cores);
         f.arb_write_port = rng_.below(2) != 0;
         break;
+    case FaultKind::CkptBitFlip:
+        ULPMC_EXPECTS(u.ckpt_words > 0);
+        // The store holds at most 3 records (delta + two keyframes); the
+        // applier wraps both draws into whatever actually exists when the
+        // strike lands.
+        f.ckpt_record = rng_.below(3);
+        f.ckpt_word = rng_.below(static_cast<std::uint32_t>(u.ckpt_words));
+        f.flip_mask = u.burst_len > 1 ? draw_burst_mask(rng_, 32, u.burst_len)
+                                      : draw_mask(rng_, 32, u.flip_bits);
+        break;
     }
     return f;
 }
@@ -178,7 +193,19 @@ void FaultInjector::apply(cluster::Cluster& cl, const FaultSpec& f) {
                                       .master = 2u * f.core + (f.arb_write_port ? 1u : 0u),
                                       .head = f.arb_head});
         break;
+    case FaultKind::CkptBitFlip:
+        // Strikes storage, not the cluster: see the CheckpointStorage
+        // overload. Deliberately silent here so mixed-kind campaigns can
+        // route every spec through both appliers.
+        break;
     }
+}
+
+void FaultInjector::apply(cluster::CheckpointStorage& store, const FaultSpec& f) {
+    if (f.kind != FaultKind::CkptBitFlip) return;
+    const unsigned records = store.record_count();
+    if (records == 0) return;
+    store.corrupt(f.ckpt_record % records, f.ckpt_word, f.flip_mask);
 }
 
 Cycle FaultInjector::run_with_fault(cluster::Cluster& cl, const FaultSpec& f, Cycle max_cycles) {

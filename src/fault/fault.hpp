@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/ckpt_store.hpp"
 #include "cluster/cluster.hpp"
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -32,7 +33,8 @@ enum class FaultKind : std::uint8_t {
     IXbarGlitch, ///< I-Xbar arbitration upset (dropped grant / spurious denial)
     DXbarGlitch, ///< D-Xbar arbitration upset
     IXbarStateUpset, ///< I-Xbar arbiter STATE upset (stuck RR pointer / grant-register flip)
-    DXbarStateUpset  ///< D-Xbar arbiter state upset
+    DXbarStateUpset, ///< D-Xbar arbiter state upset
+    CkptBitFlip      ///< stored checkpoint payload word (DESIGN.md §9.6)
 };
 
 const char* fault_kind_name(FaultKind k);
@@ -51,6 +53,11 @@ inline constexpr unsigned kAllFaultKinds =
 /// register, in either crossbar.
 inline constexpr unsigned kArbiterFaultKinds =
     fault_bit(FaultKind::IXbarStateUpset) | fault_bit(FaultKind::DXbarStateUpset);
+/// Checkpoint-STORAGE upsets (DESIGN.md §9.6): bits flip inside a stored
+/// snapshot record, so the strike surfaces only when a rollback decodes
+/// it — the recovery path itself is under test. Opt-in for the same
+/// draw-sequence-stability reason as the arbiter kinds.
+inline constexpr unsigned kCkptFaultKinds = fault_bit(FaultKind::CkptBitFlip);
 
 /// One fully-resolved injection: kind, strike cycle, target, flipped bits.
 struct FaultSpec {
@@ -67,6 +74,9 @@ struct FaultSpec {
     xbar::ArbiterUpset::Kind arb_kind = xbar::ArbiterUpset::Kind::GrantFlip;
     unsigned arb_head = 0;         ///< RrStuck frozen priority head
     bool arb_write_port = false;   ///< D-Xbar: strike the core's write port
+    // ---- checkpoint-storage upsets (CkptBitFlip) ----------------------
+    unsigned ckpt_record = 0;      ///< stored record, newest-first (mod record count)
+    std::uint64_t ckpt_word = 0;   ///< 32-bit payload word (mod payload words)
 
     /// One-line rendering, e.g. "dm-bit-flip core3 @0x12a bit5 cycle 4711".
     std::string describe() const;
@@ -93,6 +103,11 @@ struct FaultUniverse {
     /// >1: a register strike hits this many consecutive registers of the
     /// same core with the same bit column (one track across the file).
     unsigned reg_burst = 1;
+
+    /// CkptBitFlip: payload-word index drawn uniform in [0, ckpt_words)
+    /// (the applier wraps it into the struck record's actual size, which
+    /// is not known at draw time). Must be > 0 when the kind is enabled.
+    std::uint64_t ckpt_words = 0;
 };
 
 /// Derives the per-stream seed of injection `stream` from a campaign seed
@@ -109,7 +124,16 @@ public:
     FaultSpec draw(const FaultUniverse& u);
 
     /// Applies `f` to the cluster through its injection hooks.
+    /// CkptBitFlip does not strike the cluster; route it through the
+    /// storage overload below (a no-op here).
     static void apply(cluster::Cluster& cl, const FaultSpec& f);
+
+    /// Applies a CkptBitFlip to a durable checkpoint store: flips
+    /// f.flip_mask bits of payload word f.ckpt_word (wrapped into the
+    /// record's size) of stored record f.ckpt_record (wrapped into the
+    /// record count, newest first). No-op while the store is empty or
+    /// for other fault kinds.
+    static void apply(cluster::CheckpointStorage& store, const FaultSpec& f);
 
     /// Runs `cl` until `f.cycle`, applies `f`, then runs to completion
     /// (bounded by `max_cycles`). Returns the final cycle count.

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <mutex>
 
 #include "common/assert.hpp"
 #include "common/rng.hpp"
@@ -134,7 +135,9 @@ FleetEngine::FleetEngine(const scenario::Timeline& tl, const FleetOptions& opt)
 
 FleetEngine::~FleetEngine() = default;
 
-FleetResult FleetEngine::run() {
+FleetResult FleetEngine::run() { return run(FleetResume{}); }
+
+FleetResult FleetEngine::run(const FleetResume& resume) {
     const std::uint64_t count = shard_device_count(opt_.devices, opt_.shard_k, opt_.shard_n);
     FleetResult res;
     res.records.resize(count);
@@ -149,8 +152,19 @@ FleetResult FleetEngine::run() {
         runners.push_back(std::make_unique<sweep::SweepRunner>(1));
 
     const auto t0 = std::chrono::steady_clock::now();
+    std::mutex complete_m;
     res.sched = pool.run(count, [&](std::uint64_t i, unsigned worker) {
         const std::uint64_t gdi = opt_.shard_k + i * opt_.shard_n;
+        if (resume.lookup) {
+            DeviceRecord replayed;
+            if (resume.lookup(gdi, replayed)) {
+                // Journal replay: the record was persisted by a previous
+                // attempt of this exact run — adopt it, simulate nothing.
+                ULPMC_EXPECTS(replayed.gdi == gdi);
+                res.records[i] = replayed;
+                return;
+            }
+        }
         const DeviceSpec spec = device_spec(opt_, gdi);
         scenario::DeviceConfig dc;
         dc.arch = spec.arch;
@@ -162,6 +176,10 @@ FleetResult FleetEngine::run() {
         dc.battery.initial_fraction = spec.initial_charge;
         scenario::LifetimeEngine eng(tl_, dc, benches_[spec.cohort], &cache_);
         res.records[i] = make_record(spec, eng.run(*runners[worker]));
+        if (resume.on_complete) {
+            std::lock_guard lock(complete_m);
+            resume.on_complete(res.records[i]);
+        }
     });
     res.wall_s = std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
 

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -124,6 +125,19 @@ struct FleetAggregate {
 /// Collapses one lifetime report into the store record for device `spec`.
 DeviceRecord make_record(const DeviceSpec& spec, const scenario::LifetimeReport& rep);
 
+/// Durable-execution hooks for a fleet shard (DESIGN.md §9.6). Devices
+/// are independent, so the unit of progress is one finished DeviceRecord:
+/// `lookup` short-circuits a device whose record a journal already holds
+/// (its simulation is skipped entirely), and `on_complete` hands over each
+/// freshly computed record for persistence — invoked in COMPLETION order,
+/// serialized under an internal mutex. Artifacts stay deterministic
+/// because they are built from the gdi-ordered result vector, never from
+/// the journal's arrival order.
+struct FleetResume {
+    std::function<bool(std::uint64_t gdi, DeviceRecord& out)> lookup;
+    std::function<void(const DeviceRecord&)> on_complete;
+};
+
 struct FleetResult {
     /// This shard's records, ascending gdi (the store payload).
     std::vector<DeviceRecord> records;
@@ -145,6 +159,11 @@ public:
     const FleetOptions& options() const { return opt_; }
 
     FleetResult run();
+    /// Durable flavor: replays journaled devices through resume.lookup and
+    /// reports fresh completions through resume.on_complete (FleetResume
+    /// above). A shard whose devices all replay re-simulates nothing and
+    /// still returns the complete, byte-identical result.
+    FleetResult run(const FleetResume& resume);
 
 private:
     scenario::Timeline tl_;

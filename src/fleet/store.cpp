@@ -3,17 +3,25 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.hpp"
+
 namespace ulpmc::fleet {
 
 void write_store(const std::string& path, const StoreHeader& hdr,
                  const std::vector<DeviceRecord>& records) {
-    std::ofstream out(path, std::ios::binary | std::ios::trunc);
-    if (!out) throw FleetStoreError("fleet store: cannot open for writing: " + path);
-    out.write(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
-    out.write(reinterpret_cast<const char*>(records.data()),
-              static_cast<std::streamsize>(records.size() * sizeof(DeviceRecord)));
-    out.flush();
-    if (!out) throw FleetStoreError("fleet store: write failed: " + path);
+    // Composed in memory and published with a fsync+rename so a killed
+    // writer leaves the old store (or none), never a truncated one — the
+    // same durability contract as the JSON artifacts (DESIGN.md §9.6).
+    std::string content;
+    content.reserve(sizeof(hdr) + records.size() * sizeof(DeviceRecord));
+    content.append(reinterpret_cast<const char*>(&hdr), sizeof(hdr));
+    content.append(reinterpret_cast<const char*>(records.data()),
+                   records.size() * sizeof(DeviceRecord));
+    try {
+        write_file_atomic(path, content);
+    } catch (const AtomicFileError& e) {
+        throw FleetStoreError(std::string("fleet store: ") + e.what());
+    }
 }
 
 LoadedStore read_store(const std::string& path) {

@@ -112,6 +112,12 @@ inline constexpr double kRegTmrEnergyPerOp = 4.5e-12;
 /// routing toggles, ~= 32 pJ (compare kDmAccessEnergy = 23.2 pJ/access).
 inline constexpr double kCheckpointWordEnergy = 32.0e-12;
 inline constexpr unsigned kCheckpointWordsPerCore = 18;
+/// Delta checkpointing (DESIGN.md §9.6) adds per-word dirty tracking (a
+/// comparator against the base keyframe plus address bookkeeping) on top
+/// of the plain save path, ~+12% per STORED word — but deltas store only
+/// the dirty words, so total save energy drops whenever under ~89% of the
+/// state changed between checkpoints.
+inline constexpr double kCheckpointDeltaWordEnergy = 36.0e-12;
 /// Idle-cycle IM scrub (DESIGN.md §9): the walker performs one background
 /// bank read per idle, ungated IM bank per cycle — priced like any other
 /// bank activation at the data width (the ECC codeword widening factor

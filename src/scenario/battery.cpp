@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/serial.hpp"
 
 namespace ulpmc::scenario {
 
@@ -23,6 +24,20 @@ void Battery::harvest(double w, double dt_s) {
     ULPMC_EXPECTS(w >= 0 && dt_s >= 0);
     charge_j_ = std::min(cfg_.capacity_j, charge_j_ + w * dt_s);
     if (browned_out_ && charge_fraction() >= cfg_.restart_fraction) browned_out_ = false;
+}
+
+void Battery::encode(std::vector<std::uint8_t>& out) const {
+    put_f64(out, charge_j_);
+    put_raw(out, static_cast<std::uint8_t>(browned_out_ ? 1 : 0));
+}
+
+bool Battery::decode(ByteReader& in) {
+    const double charge = in.get_f64();
+    const auto browned = in.get<std::uint8_t>();
+    if (in.fail() || charge < 0 || charge > cfg_.capacity_j) return false;
+    charge_j_ = charge;
+    browned_out_ = browned != 0;
+    return true;
 }
 
 const char* level_name(DegradeLevel l) {

@@ -13,6 +13,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+namespace ulpmc {
+class ByteReader;
+}
 
 namespace ulpmc::scenario {
 
@@ -38,6 +43,12 @@ public:
     double charge_j() const { return charge_j_; }
     double charge_fraction() const { return charge_j_ / cfg_.capacity_j; }
     bool browned_out() const { return browned_out_; }
+
+    /// Durable-execution state round-trip (DESIGN.md §9.6): charge and
+    /// brownout latch, bit-exact. The config is NOT serialized — a resume
+    /// reconstructs it from the run's own options and must match.
+    void encode(std::vector<std::uint8_t>& out) const;
+    bool decode(ByteReader& in);
 
 private:
     BatteryConfig cfg_;

@@ -8,6 +8,7 @@
 
 #include "cluster/pool.hpp"
 #include "common/assert.hpp"
+#include "common/serial.hpp"
 #include "fault/estimator.hpp"
 #include "fault/fault.hpp"
 #include "power/calibration.hpp"
@@ -161,6 +162,10 @@ const LevelCalibration& LifetimeEngine::calibrate(DegradeLevel level) {
 }
 
 LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
+    return run(pool, LifeResume{});
+}
+
+LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool, const LifeResume& resume) {
     const double period = tl_.block_period_s;
     const double sim_s = dc_.max_days > 0 ? dc_.max_days * 86400.0 : tl_.total_s();
     const auto total_blocks =
@@ -189,6 +194,110 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
     rep.battery_trace.push_back({0.0, battery.charge_fraction()});
     std::size_t prev_phase = tl_.phase_index_at(0.0);
 
+    // ---- durable-execution snapshot codec (DESIGN.md §9.6) -------------
+    // Everything mutated across chunks, encoded at a chunk boundary. The
+    // field order below IS the wire format; decode mirrors it exactly.
+    const auto encode_state = [&](std::uint64_t next_chunk, std::vector<std::uint8_t>& out) {
+        out.clear();
+        put_raw(out, next_chunk);
+        battery.encode(out);
+        link.encode(out);
+        put_f64(out, estimator.gap_hat());
+        put_raw(out, estimator.silence());
+        put_raw(out, static_cast<std::uint8_t>(estimator.primed() ? 1 : 0));
+        put_raw(out, estimator.updates());
+        put_raw(out, static_cast<std::uint8_t>(derated ? 1 : 0));
+        put_raw(out, static_cast<std::uint64_t>(prev_phase));
+        put_f64(out, rep.first_brownout_s);
+        put_raw(out, static_cast<std::uint64_t>(rep.battery_trace.size()));
+        for (const BatterySample& s : rep.battery_trace) {
+            put_f64(out, s.t_s);
+            put_f64(out, s.fraction);
+        }
+        put_raw(out, static_cast<std::uint64_t>(rep.phases.size()));
+        for (const PhaseReport& pr : rep.phases) {
+            put_raw(out, pr.blocks);
+            put_raw(out, pr.brownout_blocks);
+            put_raw(out, pr.struck_blocks);
+            put_raw(out, pr.rollbacks);
+            put_raw(out, pr.sdc_blocks);
+            put_raw(out, pr.trapped_blocks);
+            put_raw(out, pr.derated_blocks);
+            put_raw(out, pr.samples_sensed);
+            put_raw(out, pr.samples_shed);
+            put_f64(out, pr.energy_compute_j);
+            put_f64(out, pr.energy_checkpoint_j);
+            put_f64(out, pr.energy_reexec_j);
+            put_f64(out, pr.energy_radio_j);
+            put_f64(out, pr.harvest_j);
+            put_f64(out, pr.battery_end);
+            put_f64(out, pr.lambda_hat_end);
+            put_raw(out, static_cast<std::uint32_t>(pr.deepest_level));
+        }
+    };
+
+    std::uint64_t start_chunk = 0;
+    if (!resume.state.empty()) {
+        // The journal layer already CRC-verified these bytes and bound
+        // them to this run's options, so anything structurally wrong here
+        // is a caller bug, not bad input: assert, don't limp.
+        ByteReader in(resume.state);
+        const auto next = in.get<std::uint64_t>();
+        bool ok = battery.decode(in);
+        ok = link.decode(in) && ok;
+        const double gap = in.get_f64();
+        const auto silence = in.get<Cycle>();
+        const auto primed = in.get<std::uint8_t>();
+        const auto updates = in.get<std::uint64_t>();
+        const auto der = in.get<std::uint8_t>();
+        const auto prev = in.get<std::uint64_t>();
+        const double first_bo = in.get_f64();
+        const auto n_trace = in.get<std::uint64_t>();
+        ok = ok && !in.fail() && n_trace >= 1 && n_trace <= total_blocks + 2;
+        std::vector<BatterySample> trace;
+        if (ok) {
+            trace.resize(n_trace);
+            for (BatterySample& s : trace) {
+                s.t_s = in.get_f64();
+                s.fraction = in.get_f64();
+            }
+        }
+        const auto n_phases = in.get<std::uint64_t>();
+        ok = ok && n_phases == rep.phases.size();
+        if (ok) {
+            for (PhaseReport& pr : rep.phases) {
+                pr.blocks = in.get<std::uint64_t>();
+                pr.brownout_blocks = in.get<std::uint64_t>();
+                pr.struck_blocks = in.get<std::uint64_t>();
+                pr.rollbacks = in.get<std::uint64_t>();
+                pr.sdc_blocks = in.get<std::uint64_t>();
+                pr.trapped_blocks = in.get<std::uint64_t>();
+                pr.derated_blocks = in.get<std::uint64_t>();
+                pr.samples_sensed = in.get<std::uint64_t>();
+                pr.samples_shed = in.get<std::uint64_t>();
+                pr.energy_compute_j = in.get_f64();
+                pr.energy_checkpoint_j = in.get_f64();
+                pr.energy_reexec_j = in.get_f64();
+                pr.energy_radio_j = in.get_f64();
+                pr.harvest_j = in.get_f64();
+                pr.battery_end = in.get_f64();
+                pr.lambda_hat_end = in.get_f64();
+                pr.deepest_level = in.get<std::uint32_t>();
+            }
+        }
+        ok = ok && !in.fail() && in.remaining() == 0 && next <= total_blocks &&
+             (next % dc_.chunk_blocks == 0 || next == total_blocks) &&
+             prev < tl_.phases.size();
+        ULPMC_EXPECTS(ok);
+        start_chunk = next;
+        estimator.restore(gap, silence, primed != 0, updates);
+        derated = der != 0;
+        prev_phase = static_cast<std::size_t>(prev);
+        rep.first_brownout_s = first_bo;
+        rep.battery_trace = std::move(trace);
+    }
+    std::vector<std::uint8_t> state_buf;
+
     struct Plan {
         std::size_t phase;
         DegradeLevel level;
@@ -204,7 +313,7 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
         bool trapped = false;
     };
 
-    for (std::uint64_t chunk_start = 0; chunk_start < total_blocks;
+    for (std::uint64_t chunk_start = start_chunk; chunk_start < total_blocks;
          chunk_start += dc_.chunk_blocks) {
         const std::uint64_t chunk_end =
             std::min<std::uint64_t>(chunk_start + dc_.chunk_blocks, total_blocks);
@@ -403,6 +512,11 @@ LifetimeReport LifetimeEngine::run(sweep::SweepRunner& pool) {
 
             if (battery.browned_out() && rep.first_brownout_s < 0)
                 rep.first_brownout_s = t + period;
+        }
+
+        if (resume.on_chunk) {
+            encode_state(chunk_end, state_buf);
+            resume.on_chunk(state_buf);
         }
     }
 

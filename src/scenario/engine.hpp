@@ -143,6 +143,22 @@ struct LifetimeReport {
     std::vector<BatterySample> battery_trace; ///< sampled at phase transitions
 };
 
+/// Durable-execution hooks for a lifetime run (DESIGN.md §9.6). The
+/// engine's complete mutable state — battery, link, estimator, derating
+/// latch, phase reports and battery trace — is encoded at every chunk
+/// boundary (the governor tick, the only point where nothing is in
+/// flight); a run restarted from such a snapshot replays zero blocks and
+/// finishes bit-identical to the uninterrupted run. Integrity (CRC) and
+/// config binding are the journal layer's job: the engine only checks
+/// structural sanity and asserts on a state that cannot be its own.
+struct LifeResume {
+    /// Encoded chunk-boundary state to restart from; empty = fresh run.
+    std::vector<std::uint8_t> state;
+    /// Called after every applied chunk with the state encoded at that
+    /// boundary — the bytes a journal should persist. May be empty.
+    std::function<void(const std::vector<std::uint8_t>&)> on_chunk;
+};
+
 /// Everything the engine needs to credit an unstruck block at one
 /// degradation level, measured from a single verified cluster run.
 /// Deterministic for a fixed (benchmark, config, block period) — which is
@@ -208,6 +224,11 @@ public:
     /// Simulates the lifetime. Deterministic for a fixed (timeline, seed):
     /// bit-identical across engine tiers and `pool` thread counts.
     LifetimeReport run(sweep::SweepRunner& pool);
+    /// Durable flavor: optionally restarts from an encoded chunk-boundary
+    /// snapshot and/or emits one after every chunk (LifeResume above).
+    /// Resuming from the final boundary re-runs zero blocks and still
+    /// returns the complete report.
+    LifetimeReport run(sweep::SweepRunner& pool, const LifeResume& resume);
 
 private:
     const LevelCalibration& calibrate(DegradeLevel level);

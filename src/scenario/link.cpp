@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/assert.hpp"
+#include "common/serial.hpp"
 
 namespace ulpmc::scenario {
 
@@ -88,6 +89,76 @@ void BleLink::step(double dt_s, bool up, double loss) {
             queue_.pop_front();
         }
     }
+}
+
+void BleLink::encode(std::vector<std::uint8_t>& out) const {
+    rng_.encode(out);
+    put_raw(out, static_cast<std::uint64_t>(queue_.size()));
+    for (const Pending& p : queue_) {
+        put_raw(out, static_cast<std::uint64_t>(p.bits));
+        put_raw(out, static_cast<std::uint64_t>(p.sent_bits));
+        put_raw(out, p.samples);
+        put_raw(out, static_cast<std::uint8_t>(p.quality));
+    }
+    put_f64(out, backoff_remaining_s_);
+    put_raw(out, static_cast<std::uint32_t>(consecutive_losses_));
+    put_raw(out, stats_.packets_sent);
+    put_raw(out, stats_.packets_lost);
+    put_raw(out, stats_.bits_delivered);
+    put_raw(out, stats_.bits_dropped);
+    put_raw(out, stats_.backoffs);
+    put_f64(out, stats_.max_backoff_s);
+    put_f64(out, stats_.tx_energy_j);
+    put_raw(out, stats_.samples_delivered);
+    put_raw(out, stats_.samples_delivered_degraded);
+    put_raw(out, stats_.samples_delivered_corrupt);
+    put_raw(out, stats_.samples_dropped);
+}
+
+bool BleLink::decode(ByteReader& in) {
+    Rng rng = rng_;
+    if (!rng.decode(in)) return false;
+    const auto count = in.get<std::uint64_t>();
+    // Sanity bound: a genuine queue never holds more blocks than the
+    // buffer bound admits one-bit blocks (plus the freshest overflow one).
+    if (in.fail() || count > cfg_.buffer_bits + 1) return false;
+    std::deque<Pending> queue;
+    std::size_t buffered = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        Pending p{};
+        p.bits = static_cast<std::size_t>(in.get<std::uint64_t>());
+        p.sent_bits = static_cast<std::size_t>(in.get<std::uint64_t>());
+        p.samples = in.get<std::uint64_t>();
+        const auto q = in.get<std::uint8_t>();
+        if (in.fail() || p.bits == 0 || p.sent_bits >= p.bits ||
+            q > static_cast<std::uint8_t>(TxQuality::Corrupt))
+            return false;
+        p.quality = static_cast<TxQuality>(q);
+        buffered += p.bits - p.sent_bits;
+        queue.push_back(p);
+    }
+    const double backoff = in.get_f64();
+    const auto losses = in.get<std::uint32_t>();
+    LinkStats stats;
+    stats.packets_sent = in.get<std::uint64_t>();
+    stats.packets_lost = in.get<std::uint64_t>();
+    stats.bits_delivered = in.get<std::uint64_t>();
+    stats.bits_dropped = in.get<std::uint64_t>();
+    stats.backoffs = in.get<std::uint64_t>();
+    stats.max_backoff_s = in.get_f64();
+    stats.tx_energy_j = in.get_f64();
+    stats.samples_delivered = in.get<std::uint64_t>();
+    stats.samples_delivered_degraded = in.get<std::uint64_t>();
+    stats.samples_delivered_corrupt = in.get<std::uint64_t>();
+    stats.samples_dropped = in.get<std::uint64_t>();
+    if (in.fail() || backoff < 0) return false;
+    rng_ = rng;
+    queue_ = std::move(queue);
+    buffered_bits_ = buffered;
+    backoff_remaining_s_ = backoff;
+    consecutive_losses_ = losses;
+    stats_ = stats;
+    return true;
 }
 
 } // namespace ulpmc::scenario

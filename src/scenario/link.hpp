@@ -79,6 +79,13 @@ public:
     unsigned consecutive_losses() const { return consecutive_losses_; }
     const LinkStats& stats() const { return stats_; }
 
+    /// Durable-execution state round-trip (DESIGN.md §9.6): RNG stream,
+    /// transmit queue with partial-packet progress, backoff window and the
+    /// cumulative counters — everything step() mutates, bit-exact. The
+    /// config is reconstructed by the resuming run, not serialized.
+    void encode(std::vector<std::uint8_t>& out) const;
+    bool decode(ByteReader& in);
+
 private:
     /// One buffered block with partial-transmission progress.
     struct Pending {

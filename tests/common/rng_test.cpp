@@ -4,8 +4,11 @@
 
 #include <array>
 #include <cmath>
+#include <cstdint>
+#include <vector>
 
 #include "common/assert.hpp"
+#include "common/serial.hpp"
 
 namespace ulpmc {
 namespace {
@@ -84,6 +87,41 @@ TEST(Rng, GaussianMoments) {
 TEST(Rng, BelowZeroBoundIsContractViolation) {
     Rng r(1);
     EXPECT_THROW(r.below(0), contract_violation);
+}
+
+TEST(Rng, EncodeDecodeResumesTheExactDrawSequence) {
+    // Durable-execution contract (DESIGN.md §9.6): a decoded generator
+    // continues the same sequence, including the Box-Muller spare the
+    // gaussian path banks between calls.
+    Rng a(99);
+    for (int i = 0; i < 17; ++i) a.next_u32();
+    a.gaussian(); // leaves a spare pending
+    std::vector<std::uint8_t> state;
+    a.encode(state);
+
+    Rng b(1); // different seed: decode must overwrite everything
+    ByteReader in(state);
+    ASSERT_TRUE(b.decode(in));
+    EXPECT_FALSE(in.fail());
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(a.next_u32(), b.next_u32());
+        EXPECT_EQ(a.gaussian(), b.gaussian());
+    }
+}
+
+TEST(Rng, DecodeRejectsShortAndAllZeroState) {
+    std::vector<std::uint8_t> state;
+    Rng(5).encode(state);
+
+    Rng victim(2);
+    const std::uint32_t before = Rng(victim).next_u32();
+    ByteReader short_in(state.data(), state.size() - 1);
+    EXPECT_FALSE(victim.decode(short_in));
+    EXPECT_EQ(Rng(victim).next_u32(), before) << "a failed decode must not touch state";
+
+    std::vector<std::uint8_t> zeros(state.size(), 0);
+    ByteReader zero_in(zeros);
+    EXPECT_FALSE(victim.decode(zero_in)) << "all-zero lanes would wedge xoshiro";
 }
 
 } // namespace

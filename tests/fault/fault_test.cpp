@@ -180,5 +180,63 @@ TEST(Campaign, EccFaultTrapIsRaisedOnDoubleBitUpset) {
     EXPECT_GE(ecc_traps, 1u);
 }
 
+TEST(FaultInjector, CkptBitFlipIsOptInAndDrawsInsideTheUniverse) {
+    // The legacy universe must not draw the storage kind (committed
+    // campaign baselines reproduce their draw sequences bit-exactly).
+    FaultInjector legacy(11);
+    for (int i = 0; i < 64; ++i)
+        EXPECT_NE(legacy.draw(test_universe()).kind, FaultKind::CkptBitFlip);
+
+    FaultInjector inj(11);
+    auto u = test_universe();
+    u.kinds = kCkptFaultKinds;
+    u.ckpt_words = 96;
+    for (int i = 0; i < 64; ++i) {
+        const auto f = inj.draw(u);
+        EXPECT_EQ(f.kind, FaultKind::CkptBitFlip);
+        EXPECT_LT(f.ckpt_record, 3u);
+        EXPECT_LT(f.ckpt_word, 96u);
+        EXPECT_NE(f.flip_mask, 0u);
+        EXPECT_NE(f.describe().find("ckpt-bit-flip"), std::string::npos);
+    }
+}
+
+TEST(FaultInjector, CkptBitFlipStrikesStoredRecordsOnly) {
+    const auto prog = isa::assemble(R"(
+        movi r1, 70
+        movi r2, 200
+    loop:
+        mov  r3, @r1
+        sub  r2, r2, #1
+        bra  ne, loop
+        hlt
+    )");
+    auto cfg = cluster::make_config(cluster::ArchKind::UlpmcBank,
+                                    {.shared_words = 64, .private_words_per_core = 256});
+    cfg.cores = 1;
+    cluster::Cluster cl(cfg, prog);
+    cl.run(57);
+    cluster::Cluster::Snapshot snap;
+    cl.save(snap);
+
+    cluster::CheckpointStorage store;
+    store.reset({});
+
+    FaultSpec f;
+    f.kind = FaultKind::CkptBitFlip;
+    f.ckpt_record = 7; // wraps into whatever exists at strike time
+    f.ckpt_word = 12345;
+    f.flip_mask = 0x20;
+    FaultInjector::apply(store, f); // empty store: must be a harmless no-op
+    FaultInjector::apply(cl, f);    // cluster overload: no-op for this kind
+    EXPECT_TRUE(cl.state_equals(snap));
+
+    store.store(snap);
+    FaultInjector::apply(store, f);
+    cluster::Cluster::Snapshot out;
+    EXPECT_FALSE(store.load(out)) << "the strike must land in the record and trip the CRC";
+    EXPECT_EQ(store.stats().crc_failures, 1u);
+}
+
 } // namespace
 } // namespace ulpmc::fault

@@ -4,9 +4,12 @@
 // same pins CI re-checks end-to-end through the ulpmc-fleet binary.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <set>
 #include <sstream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "fleet/fleet.hpp"
 #include "fleet/report.hpp"
@@ -141,6 +144,68 @@ TEST(Fleet, MergedShardsReproduceUnshardedBytes) {
     m10.merge(r0.aggregate);
     EXPECT_EQ(render(opt, m01, opt.devices), whole);
     EXPECT_EQ(render(opt, m10, opt.devices), whole);
+}
+
+TEST(Fleet, ResumeReplaysJournaledDevicesByteIdentical) {
+    // Simulated crash-and-resume (DESIGN.md §9.6): the first run's journal
+    // holds a prefix of completions; the resumed run must adopt them
+    // without re-simulating, report only the fresh devices through
+    // on_complete, and produce byte-identical records and artifact.
+    const FleetOptions opt = base_options();
+    const scenario::Timeline tl = timeline();
+
+    std::vector<DeviceRecord> completion_order;
+    FleetResume capture;
+    capture.on_complete = [&](const DeviceRecord& r) { completion_order.push_back(r); };
+    FleetEngine ref_eng(tl, opt);
+    const FleetResult ref = ref_eng.run(capture);
+    ASSERT_EQ(completion_order.size(), opt.devices);
+    const std::string reference = render(opt, ref.aggregate, ref.records.size());
+
+    // A journal killed mid-run holds some completion-order prefix.
+    std::unordered_map<std::uint64_t, DeviceRecord> journaled;
+    for (std::size_t i = 0; i < 7; ++i)
+        journaled[completion_order[i].gdi] = completion_order[i];
+
+    FleetResume hooks;
+    hooks.lookup = [&](std::uint64_t gdi, DeviceRecord& out) {
+        const auto it = journaled.find(gdi);
+        if (it == journaled.end()) return false;
+        out = it->second;
+        return true;
+    };
+    std::size_t fresh = 0;
+    hooks.on_complete = [&](const DeviceRecord& r) {
+        ++fresh;
+        EXPECT_EQ(journaled.count(r.gdi), 0u) << "replayed device re-reported";
+    };
+    FleetEngine eng(tl, opt);
+    const FleetResult res = eng.run(hooks);
+    EXPECT_EQ(fresh, opt.devices - journaled.size());
+    ASSERT_EQ(res.records.size(), ref.records.size());
+    EXPECT_EQ(std::memcmp(res.records.data(), ref.records.data(),
+                          res.records.size() * sizeof(DeviceRecord)),
+              0);
+    EXPECT_EQ(render(opt, res.aggregate, res.records.size()), reference);
+}
+
+TEST(Fleet, FullyJournaledShardSimulatesNothing) {
+    const FleetOptions opt = base_options();
+    const scenario::Timeline tl = timeline();
+    const FleetResult ref = run_fleet(opt);
+
+    FleetResume hooks;
+    hooks.lookup = [&](std::uint64_t gdi, DeviceRecord& out) {
+        out = ref.records[gdi / 1]; // unsharded: records[i].gdi == i
+        return true;
+    };
+    hooks.on_complete = [](const DeviceRecord&) {
+        FAIL() << "a fully journaled shard must not simulate any device";
+    };
+    FleetEngine eng(tl, opt);
+    const FleetResult res = eng.run(hooks);
+    EXPECT_EQ(render(opt, res.aggregate, res.records.size()),
+              render(opt, ref.aggregate, ref.records.size()));
 }
 
 TEST(Fleet, ShardArtifactCarriesShardKey) {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "common/assert.hpp"
+#include "common/serial.hpp"
 
 namespace ulpmc::scenario {
 namespace {
@@ -51,6 +55,36 @@ TEST(DegradeLadder, LevelsFollowChargeThresholds) {
     EXPECT_EQ(level_for_charge(0.11), DegradeLevel::TightProtect);
     EXPECT_EQ(level_for_charge(0.10), DegradeLevel::RadioSilence);
     EXPECT_EQ(level_for_charge(0.00), DegradeLevel::RadioSilence);
+}
+
+TEST(Battery, EncodeDecodeRoundTripsChargeAndBrownoutLatch) {
+    BatteryConfig cfg;
+    cfg.capacity_j = 2.0;
+    Battery a(cfg);
+    a.drain(1.99); // browns out below 2%
+    ASSERT_TRUE(a.browned_out());
+    std::vector<std::uint8_t> state;
+    a.encode(state);
+
+    Battery b(cfg); // fresh and full: decode must overwrite both fields
+    ByteReader in(state);
+    ASSERT_TRUE(b.decode(in));
+    EXPECT_EQ(b.charge_j(), a.charge_j()) << "bit-exact, not approximate";
+    EXPECT_TRUE(b.browned_out());
+
+    // Truncated or out-of-range states are rejected without touching state.
+    Battery c(cfg);
+    ByteReader short_in(state.data(), 4);
+    EXPECT_FALSE(c.decode(short_in));
+    EXPECT_EQ(c.charge_j(), cfg.capacity_j);
+    std::vector<std::uint8_t> over;
+    Battery d(cfg);
+    d.harvest(1.0, 1.0);
+    over.clear();
+    put_f64(over, 5.0); // above capacity
+    put_raw(over, std::uint8_t{0});
+    ByteReader over_in(over);
+    EXPECT_FALSE(d.decode(over_in));
 }
 
 TEST(DegradeLadder, NamesAreStableJsonKeys) {

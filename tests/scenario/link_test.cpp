@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/serial.hpp"
 
 namespace ulpmc::scenario {
 namespace {
@@ -143,6 +147,60 @@ TEST(BleLink, SeededDeterminism) {
     // A different seed draws a different loss/jitter path.
     const LinkStats c = drive(43);
     EXPECT_NE(a.packets_lost, c.packets_lost);
+}
+
+TEST(BleLink, EncodeDecodeResumesMidStreamBitIdentical) {
+    // Durable-execution contract (DESIGN.md §9.6): snapshot a link mid-
+    // stream — partially transmitted head block, pending backoff, banked
+    // RNG state — decode into a fresh link, and both must walk the exact
+    // same future (counters AND energy, bit for bit).
+    BleLink a(tiny_config(), 42);
+    for (int i = 0; i < 57; ++i) {
+        a.enqueue(150, 15, i % 3 ? TxQuality::Full : TxQuality::Degraded);
+        a.step(0.5, i % 7 != 0, 0.3);
+    }
+    std::vector<std::uint8_t> state;
+    a.encode(state);
+
+    BleLink b(tiny_config(), 9); // different seed: decode must overwrite it
+    ByteReader in(state);
+    ASSERT_TRUE(b.decode(in));
+    EXPECT_EQ(b.buffered_bits(), a.buffered_bits());
+    for (int i = 0; i < 100; ++i) {
+        a.enqueue(150, 15, TxQuality::Full);
+        b.enqueue(150, 15, TxQuality::Full);
+        a.step(0.5, i % 5 != 0, 0.25);
+        b.step(0.5, i % 5 != 0, 0.25);
+    }
+    EXPECT_EQ(a.stats().packets_sent, b.stats().packets_sent);
+    EXPECT_EQ(a.stats().packets_lost, b.stats().packets_lost);
+    EXPECT_EQ(a.stats().bits_delivered, b.stats().bits_delivered);
+    EXPECT_EQ(a.stats().bits_dropped, b.stats().bits_dropped);
+    EXPECT_EQ(a.stats().samples_delivered, b.stats().samples_delivered);
+    EXPECT_EQ(a.stats().samples_dropped, b.stats().samples_dropped);
+    EXPECT_EQ(a.stats().tx_energy_j, b.stats().tx_energy_j) << "must be bit-exact";
+    EXPECT_EQ(a.stats().max_backoff_s, b.stats().max_backoff_s);
+    EXPECT_EQ(a.backoff_remaining_s(), b.backoff_remaining_s());
+}
+
+TEST(BleLink, DecodeRejectsTruncatedAndCorruptState) {
+    BleLink a(tiny_config(), 42);
+    a.enqueue(150, 15, TxQuality::Full);
+    a.step(0.5, true, 0.3);
+    std::vector<std::uint8_t> state;
+    a.encode(state);
+
+    BleLink b(tiny_config(), 7);
+    const std::uint64_t before = b.stats().packets_sent;
+    ByteReader short_in(state.data(), state.size() / 2);
+    EXPECT_FALSE(b.decode(short_in));
+    EXPECT_EQ(b.stats().packets_sent, before) << "a failed decode must not touch state";
+
+    // An impossible queue count must be rejected before it allocates.
+    std::vector<std::uint8_t> corrupt = state;
+    for (std::size_t i = 21; i < 29 && i < corrupt.size(); ++i) corrupt[i] = 0xFF;
+    ByteReader corrupt_in(corrupt);
+    EXPECT_FALSE(b.decode(corrupt_in));
 }
 
 } // namespace

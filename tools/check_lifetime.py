@@ -33,6 +33,8 @@ def load(path):
             doc = json.load(f)
     except OSError as e:
         sys.exit(f"{path}: cannot read: {e.strerror or e}")
+    except UnicodeDecodeError:
+        sys.exit(f"{path}: not UTF-8 text (binary file?)")
     except json.JSONDecodeError as e:
         sys.exit(f"{path}: malformed JSON: {e}")
     if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):

@@ -42,8 +42,19 @@ PAIRS = [
 
 
 def load_times(path):
-    with open(path) as f:
-        report = json.load(f)
+    # A missing, truncated or binary artifact must fail the gate with a
+    # diagnosis, not a traceback (CI wires stderr to the check).
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except OSError as e:
+        sys.exit(f"{path}: cannot read: {e.strerror or e}")
+    except UnicodeDecodeError:
+        sys.exit(f"{path}: not UTF-8 text (binary file?)")
+    except json.JSONDecodeError as e:
+        sys.exit(f"{path}: malformed JSON: {e}")
+    if not isinstance(report, dict):
+        sys.exit(f"{path}: not a benchmark report object")
     times = {}
     for b in report.get("benchmarks", []):
         if b.get("run_type", "iteration") != "iteration":

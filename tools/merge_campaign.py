@@ -52,6 +52,8 @@ def load(path):
             return json.load(f, parse_float=str)
     except OSError as e:
         sys.exit(f"{path}: cannot read: {e.strerror or e}")
+    except UnicodeDecodeError:
+        sys.exit(f"{path}: not UTF-8 text (binary file?)")
     except json.JSONDecodeError as e:
         sys.exit(f"{path}: malformed JSON: {e}")
 

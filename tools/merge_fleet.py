@@ -108,6 +108,8 @@ def load_shard(path):
             doc = json.load(f, parse_float=str)
     except OSError as e:
         sys.exit(f"merge_fleet: cannot read {path}: {e.strerror}")
+    except UnicodeDecodeError:
+        sys.exit(f"merge_fleet: {path} is not UTF-8 text (a binary store is not a shard JSON)")
     except json.JSONDecodeError as e:
         sys.exit(f"merge_fleet: {path} is not valid JSON: {e.msg} (line {e.lineno})")
     for key in ("fleet", "aggregate"):

@@ -21,14 +21,28 @@
 //     --shard K/N       run shard K of N (devices with gdi % N == K)
 //     --json FILE       write the deterministic artifact to FILE ('-' = stdout)
 //     --store FILE      write the per-device binary record store to FILE
+//     --journal FILE    append one durable frame per finished device to FILE
+//     --resume FILE     replay FILE's intact frames, then continue journaling
+//                       to it (missing file: fresh run). The journal binds to
+//                       the run's options and timeline bytes; a mismatch is a
+//                       usage error, never a silent partial replay.
 //
 // Exit codes: 0 success, 2 bad usage (malformed, duplicate or
-// inconsistent options, unreadable or corrupt timeline).
+// inconsistent options, unreadable or corrupt timeline/journal).
+#include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
+#include <sstream>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
+#include "common/atomic_file.hpp"
+#include "common/crc32.hpp"
+#include "common/journal.hpp"
+#include "common/serial.hpp"
 #include "fleet/fleet.hpp"
 #include "fleet/report.hpp"
 #include "fleet/store.hpp"
@@ -36,10 +50,45 @@
 
 namespace {
 
+/// Journal frame kinds ("META" / "RECD" in ASCII).
+constexpr std::uint32_t kMetaFrame = 0x4154454Du;
+constexpr std::uint32_t kRecordFrame = 0x44434552u;
+
 void usage(std::ostream& os) {
     os << "usage: ulpmc-fleet --timeline FILE [--devices N] [--seed N] [--cohorts N]\n"
           "                   [--days D] [--baseline F] [--engine E] [--threads N]\n"
-          "                   [--shard K/N] [--json FILE] [--store FILE]\n";
+          "                   [--shard K/N] [--json FILE] [--store FILE]\n"
+          "                   [--journal FILE | --resume FILE]\n";
+}
+
+/// CRC over the timeline's raw bytes: the journal must not resume against
+/// an edited script (same path, different phases -> different devices).
+bool file_crc32(const std::string& path, std::uint32_t& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+    out = ulpmc::crc32(bytes.data(), bytes.size());
+    return true;
+}
+
+/// Everything a journaled record depends on. `threads` is deliberately
+/// absent: results are thread-count-independent, so a resume may use a
+/// different worker count than the run it continues.
+std::vector<std::uint8_t> meta_payload(const ulpmc::fleet::FleetOptions& opt,
+                                       std::uint32_t timeline_crc) {
+    std::vector<std::uint8_t> m;
+    ulpmc::put_raw(m, opt.seed);
+    ulpmc::put_raw(m, opt.devices);
+    ulpmc::put_raw(m, static_cast<std::uint32_t>(opt.cohorts));
+    ulpmc::put_raw(m, static_cast<std::uint32_t>(opt.shard_k));
+    ulpmc::put_raw(m, static_cast<std::uint32_t>(opt.shard_n));
+    ulpmc::put_f64(m, opt.days);
+    ulpmc::put_f64(m, opt.baseline_fraction);
+    ulpmc::put_raw(m, static_cast<std::uint8_t>(opt.engine));
+    ulpmc::put_raw(m, timeline_crc);
+    return m;
 }
 
 bool parse_u64(const std::string& s, std::uint64_t& out) {
@@ -76,7 +125,8 @@ bool parse_shard(const std::string& s, unsigned& k, unsigned& n) {
 } // namespace
 
 int main(int argc, char** argv) {
-    std::string timeline_path, json_path, store_path;
+    std::string timeline_path, json_path, store_path, journal_path;
+    bool resume = false;
     ulpmc::fleet::FleetOptions opt;
 
     std::set<std::string> seen;
@@ -144,6 +194,11 @@ int main(int argc, char** argv) {
             json_path = value("--json");
         } else if (arg == "--store") {
             store_path = value("--store");
+        } else if (arg == "--journal") {
+            journal_path = value("--journal");
+        } else if (arg == "--resume") {
+            journal_path = value("--resume");
+            resume = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
@@ -158,6 +213,11 @@ int main(int argc, char** argv) {
         usage(std::cerr);
         return 2;
     }
+    if (seen.count("--journal") && seen.count("--resume")) {
+        std::cerr << "--journal and --resume are mutually exclusive "
+                     "(--resume already journals to its file)\n";
+        return 2;
+    }
 
     ulpmc::scenario::Timeline tl;
     try {
@@ -167,8 +227,84 @@ int main(int argc, char** argv) {
         return 2;
     }
 
+    // ---- durable progress journal (DESIGN.md §9.6) ---------------------
+    std::unique_ptr<ulpmc::JournalWriter> journal;
+    std::unordered_map<std::uint64_t, ulpmc::fleet::DeviceRecord> replay;
+    if (!journal_path.empty()) {
+        std::uint32_t tl_crc = 0;
+        if (!file_crc32(timeline_path, tl_crc)) {
+            std::cerr << timeline_path << ": cannot re-read for journal binding\n";
+            return 2;
+        }
+        const std::vector<std::uint8_t> meta = meta_payload(opt, tl_crc);
+        std::uint64_t keep = 0;
+        bool have_meta = false;
+        if (resume) {
+            ulpmc::JournalContents jc;
+            bool exists = true;
+            try {
+                jc = ulpmc::read_journal(journal_path);
+            } catch (const ulpmc::JournalError&) {
+                exists = false;
+                std::cerr << "note: " << journal_path << ": no journal yet, starting fresh\n";
+            }
+            if (exists && !jc.frames.empty()) {
+                if (jc.frames[0].kind != kMetaFrame || jc.frames[0].payload != meta) {
+                    std::cerr << journal_path
+                              << ": journal was written by a different run "
+                                 "(options or timeline changed); refusing to resume\n";
+                    return 2;
+                }
+                have_meta = true;
+                for (std::size_t f = 1; f < jc.frames.size(); ++f) {
+                    const ulpmc::JournalFrame& fr = jc.frames[f];
+                    ulpmc::fleet::DeviceRecord r;
+                    if (fr.kind != kRecordFrame || fr.payload.size() != sizeof(r)) {
+                        std::cerr << journal_path << ": unrecognized journal frame "
+                                  << f << "; refusing to resume\n";
+                        return 2;
+                    }
+                    std::memcpy(&r, fr.payload.data(), sizeof(r));
+                    if (r.gdi >= opt.devices || r.gdi % opt.shard_n != opt.shard_k) {
+                        std::cerr << journal_path << ": journaled device " << r.gdi
+                                  << " is outside this shard; refusing to resume\n";
+                        return 2;
+                    }
+                    replay[r.gdi] = r;
+                }
+                keep = jc.clean_bytes;
+                if (jc.torn_tail)
+                    std::cerr << "note: " << journal_path
+                              << ": dropping torn frame after " << keep << " bytes\n";
+                std::cerr << "note: resuming with " << replay.size()
+                          << " journaled device(s)\n";
+            }
+        }
+        try {
+            journal = std::make_unique<ulpmc::JournalWriter>(journal_path, keep);
+            if (!have_meta) journal->append(kMetaFrame, meta);
+        } catch (const ulpmc::JournalError& e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
+    }
+
     ulpmc::fleet::FleetEngine engine(tl, opt);
-    const ulpmc::fleet::FleetResult res = engine.run();
+    ulpmc::fleet::FleetResume hooks;
+    if (journal) {
+        hooks.lookup = [&](std::uint64_t gdi, ulpmc::fleet::DeviceRecord& out) {
+            const auto it = replay.find(gdi);
+            if (it == replay.end()) return false;
+            out = it->second;
+            return true;
+        };
+        hooks.on_complete = [&](const ulpmc::fleet::DeviceRecord& r) {
+            std::vector<std::uint8_t> p(sizeof(r));
+            std::memcpy(p.data(), &r, sizeof(r));
+            journal->append(kRecordFrame, p);
+        };
+    }
+    const ulpmc::fleet::FleetResult res = engine.run(hooks);
     ulpmc::fleet::print_summary(std::cout, opt, res);
 
     if (!store_path.empty()) {
@@ -194,13 +330,17 @@ int main(int argc, char** argv) {
             ulpmc::fleet::write_json(std::cout, name, opt, tl.block_period_s, res.aggregate,
                                      res.records.size());
         } else {
-            std::ofstream out(json_path);
-            if (!out) {
-                std::cerr << json_path << ": cannot open for writing\n";
-                return 2;
-            }
+            // Rendered in memory, published via fsync+rename: a killed run
+            // never leaves a truncated artifact for a CI gate to misread.
+            std::ostringstream out;
             ulpmc::fleet::write_json(out, name, opt, tl.block_period_s, res.aggregate,
                                      res.records.size());
+            try {
+                ulpmc::write_file_atomic(json_path, out.str());
+            } catch (const ulpmc::AtomicFileError& e) {
+                std::cerr << e.what() << "\n";
+                return 2;
+            }
         }
     }
     return 0;

@@ -15,16 +15,27 @@
 //     --policy P        ladder|baseline|both (default both)
 //     --threads N       worker threads, 0 = hardware (default 0)
 //     --json FILE       write the report JSON to FILE ('-' = stdout)
+//     --journal FILE    append one durable frame per simulated chunk to FILE
+//     --resume FILE     replay FILE's intact frames (restarting each policy
+//                       from its last journaled chunk boundary), then continue
+//                       journaling to it (missing file: fresh run). The
+//                       journal binds to the run's options and timeline
+//                       bytes; a mismatch is a usage error.
 //
 // Exit codes: 0 success, 2 bad usage (malformed, duplicate or
-// inconsistent options, unreadable or corrupt timeline).
+// inconsistent options, unreadable or corrupt timeline/journal).
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <set>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "common/atomic_file.hpp"
+#include "common/crc32.hpp"
+#include "common/journal.hpp"
+#include "common/serial.hpp"
 #include "scenario/engine.hpp"
 #include "scenario/report.hpp"
 #include "scenario/timeline.hpp"
@@ -32,9 +43,39 @@
 
 namespace {
 
+/// Journal frame kinds ("META" / "CHNK" in ASCII).
+constexpr std::uint32_t kMetaFrame = 0x4154454Du;
+constexpr std::uint32_t kChunkFrame = 0x4B4E4843u;
+
 void usage(std::ostream& os) {
     os << "usage: ulpmc-life --timeline FILE [--seed N] [--engine E] [--days D]\n"
-          "                  [--policy ladder|baseline|both] [--threads N] [--json FILE]\n";
+          "                  [--policy ladder|baseline|both] [--threads N] [--json FILE]\n"
+          "                  [--journal FILE | --resume FILE]\n";
+}
+
+bool file_crc32(const std::string& path, std::uint32_t& out) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const std::string bytes = ss.str();
+    out = ulpmc::crc32(bytes.data(), bytes.size());
+    return true;
+}
+
+/// Everything a journaled chunk state depends on (`threads` deliberately
+/// absent: results are thread-count-independent by construction).
+std::vector<std::uint8_t> meta_payload(std::uint64_t seed, double days,
+                                       ulpmc::cluster::SimEngine engine, bool ladder,
+                                       bool baseline, std::uint32_t timeline_crc) {
+    std::vector<std::uint8_t> m;
+    ulpmc::put_raw(m, seed);
+    ulpmc::put_f64(m, days);
+    ulpmc::put_raw(m, static_cast<std::uint8_t>(engine));
+    ulpmc::put_raw(m, static_cast<std::uint8_t>(ladder ? 1 : 0));
+    ulpmc::put_raw(m, static_cast<std::uint8_t>(baseline ? 1 : 0));
+    ulpmc::put_raw(m, timeline_crc);
+    return m;
 }
 
 bool parse_u64(const std::string& s, std::uint64_t& out) {
@@ -64,6 +105,8 @@ int main(int argc, char** argv) {
 
     std::string timeline_path;
     std::string json_path;
+    std::string journal_path;
+    bool resume = false;
     std::uint64_t seed = 1;
     std::uint64_t threads = 0;
     double days = 0;
@@ -118,6 +161,11 @@ int main(int argc, char** argv) {
             }
         } else if (arg == "--json") {
             json_path = value("--json");
+        } else if (arg == "--journal") {
+            journal_path = value("--journal");
+        } else if (arg == "--resume") {
+            journal_path = value("--resume");
+            resume = true;
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
@@ -132,6 +180,11 @@ int main(int argc, char** argv) {
         usage(std::cerr);
         return 2;
     }
+    if (seen.count("--journal") && seen.count("--resume")) {
+        std::cerr << "--journal and --resume are mutually exclusive "
+                     "(--resume already journals to its file)\n";
+        return 2;
+    }
 
     ulpmc::scenario::Timeline tl;
     try {
@@ -139,6 +192,64 @@ int main(int argc, char** argv) {
     } catch (const ulpmc::scenario::TimelineError& e) {
         std::cerr << timeline_path << ": " << e.what() << "\n";
         return 2;
+    }
+
+    // ---- durable progress journal (DESIGN.md §9.6) ---------------------
+    // One frame per simulated chunk: [u8 policy][engine boundary state].
+    // Resume restarts each policy from its LAST intact chunk frame.
+    std::unique_ptr<ulpmc::JournalWriter> journal;
+    std::vector<std::uint8_t> replay_state[2]; // indexed by Policy
+    if (!journal_path.empty()) {
+        std::uint32_t tl_crc = 0;
+        if (!file_crc32(timeline_path, tl_crc)) {
+            std::cerr << timeline_path << ": cannot re-read for journal binding\n";
+            return 2;
+        }
+        const std::vector<std::uint8_t> meta =
+            meta_payload(seed, days, engine, ladder, baseline, tl_crc);
+        std::uint64_t keep = 0;
+        bool have_meta = false;
+        if (resume) {
+            ulpmc::JournalContents jc;
+            bool exists = true;
+            try {
+                jc = ulpmc::read_journal(journal_path);
+            } catch (const ulpmc::JournalError&) {
+                exists = false;
+                std::cerr << "note: " << journal_path << ": no journal yet, starting fresh\n";
+            }
+            if (exists && !jc.frames.empty()) {
+                if (jc.frames[0].kind != kMetaFrame || jc.frames[0].payload != meta) {
+                    std::cerr << journal_path
+                              << ": journal was written by a different run "
+                                 "(options or timeline changed); refusing to resume\n";
+                    return 2;
+                }
+                have_meta = true;
+                for (std::size_t f = 1; f < jc.frames.size(); ++f) {
+                    const ulpmc::JournalFrame& fr = jc.frames[f];
+                    if (fr.kind != kChunkFrame || fr.payload.size() < 2 ||
+                        fr.payload[0] > 1) {
+                        std::cerr << journal_path << ": unrecognized journal frame "
+                                  << f << "; refusing to resume\n";
+                        return 2;
+                    }
+                    replay_state[fr.payload[0]].assign(fr.payload.begin() + 1,
+                                                       fr.payload.end());
+                }
+                keep = jc.clean_bytes;
+                if (jc.torn_tail)
+                    std::cerr << "note: " << journal_path
+                              << ": dropping torn frame after " << keep << " bytes\n";
+            }
+        }
+        try {
+            journal = std::make_unique<ulpmc::JournalWriter>(journal_path, keep);
+            if (!have_meta) journal->append(kMetaFrame, meta);
+        } catch (const ulpmc::JournalError& e) {
+            std::cerr << e.what() << "\n";
+            return 2;
+        }
     }
 
     ulpmc::sweep::SweepRunner pool(static_cast<unsigned>(threads));
@@ -152,7 +263,19 @@ int main(int argc, char** argv) {
         dc.policy = policy;
         dc.max_days = days;
         ulpmc::scenario::LifetimeEngine eng(tl, dc);
-        runs.push_back(eng.run(pool));
+        ulpmc::scenario::LifeResume hooks;
+        if (journal) {
+            const auto pol = static_cast<std::uint8_t>(policy);
+            hooks.state = replay_state[pol];
+            hooks.on_chunk = [&journal, pol](const std::vector<std::uint8_t>& state) {
+                std::vector<std::uint8_t> p;
+                p.reserve(1 + state.size());
+                p.push_back(pol);
+                p.insert(p.end(), state.begin(), state.end());
+                journal->append(kChunkFrame, p);
+            };
+        }
+        runs.push_back(eng.run(pool, hooks));
         ulpmc::scenario::print_summary(std::cout, runs.back());
         std::cout << "\n";
     }
@@ -165,12 +288,16 @@ int main(int argc, char** argv) {
         if (json_path == "-") {
             ulpmc::scenario::write_json(std::cout, name, runs);
         } else {
-            std::ofstream out(json_path);
-            if (!out) {
-                std::cerr << json_path << ": cannot open for writing\n";
+            // Rendered in memory, published via fsync+rename: a killed run
+            // never leaves a truncated artifact for a CI gate to misread.
+            std::ostringstream out;
+            ulpmc::scenario::write_json(out, name, runs);
+            try {
+                ulpmc::write_file_atomic(json_path, out.str());
+            } catch (const ulpmc::AtomicFileError& e) {
+                std::cerr << e.what() << "\n";
                 return 2;
             }
-            ulpmc::scenario::write_json(out, name, runs);
         }
     }
     return 0;
