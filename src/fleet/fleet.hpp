@@ -37,6 +37,17 @@
 
 namespace ulpmc::fleet {
 
+/// Fleet run-journal frame kinds ("META"/"RECD"/"HRTB" in ASCII, read as
+/// little-endian u32). Shared by the ulpmc-fleet worker that writes them
+/// and the farm supervisor that scans them: META binds the journal to the
+/// run's options + timeline bytes, RECD carries one finished DeviceRecord,
+/// HRTB is a liveness heartbeat carrying [u64 seq][u64 devices-complete].
+/// Consumers skip kinds they do not recognize (forward compatibility), so
+/// a heartbeat-bearing journal still resumes under an older binary.
+inline constexpr std::uint32_t kFleetMetaFrame = 0x4154454Du;
+inline constexpr std::uint32_t kFleetRecordFrame = 0x44434552u;
+inline constexpr std::uint32_t kFleetHeartbeatFrame = 0x42545248u;
+
 struct FleetOptions {
     std::uint64_t seed = 1;      ///< fleet master seed (everything derives)
     std::uint64_t devices = 1000; ///< GLOBAL fleet size (all shards)

@@ -124,6 +124,49 @@ TEST_F(JournalTest, ReopenAtCleanBytesDropsTheTailAndContinuesTheChain) {
     EXPECT_EQ(after.frames[1].payload, bytes({0xDD}));
 }
 
+TEST_F(JournalTest, TruncationAtEveryByteOfTheFinalFrameKeepsTheSameCleanPrefix) {
+    // A crash can cut the in-flight frame at ANY byte — mid-header,
+    // mid-payload, mid-CRC. Whatever the cut point, the reader must
+    // report exactly the same clean prefix (never more, never less) and
+    // JournalWriter(path, clean_bytes) must round-trip: drop the stump,
+    // append, and leave a journal with no torn tail.
+    {
+        JournalWriter w(path_);
+        w.append(1, bytes({0xAA, 0xBB, 0xCC}));
+        w.append(2, bytes({0x10, 0x20}));
+        w.append(9, bytes({1, 2, 3, 4, 5, 6, 7}));
+    }
+    const std::uint64_t full = file_size(path_);
+    const std::uint64_t final_frame = 4 + 4 + 7 + 4;
+    const std::uint64_t prefix = full - final_frame;
+    // Keep the original bytes so every truncation starts from the same file.
+    std::vector<char> original(full);
+    {
+        std::ifstream f(path_, std::ios::binary);
+        f.read(original.data(), static_cast<std::streamsize>(full));
+    }
+    for (std::uint64_t cut = prefix; cut < full; ++cut) {
+        {
+            std::ofstream f(path_, std::ios::binary | std::ios::trunc);
+            f.write(original.data(), static_cast<std::streamsize>(cut));
+        }
+        const JournalContents c = read_journal(path_);
+        EXPECT_EQ(c.clean_bytes, prefix) << "cut at byte " << cut;
+        EXPECT_EQ(c.torn_tail, cut != prefix) << "cut at byte " << cut;
+        ASSERT_EQ(c.frames.size(), 2u) << "cut at byte " << cut;
+        // Round-trip: reopen at the clean prefix and append a new frame.
+        {
+            JournalWriter w(path_, c.clean_bytes);
+            w.append(5, bytes({0xEE}));
+        }
+        const JournalContents after = read_journal(path_);
+        EXPECT_FALSE(after.torn_tail) << "cut at byte " << cut;
+        ASSERT_EQ(after.frames.size(), 3u) << "cut at byte " << cut;
+        EXPECT_EQ(after.frames[2].kind, 5u) << "cut at byte " << cut;
+        EXPECT_EQ(after.frames[2].payload, bytes({0xEE})) << "cut at byte " << cut;
+    }
+}
+
 TEST_F(JournalTest, TrailingGarbageAfterIntactFramesIsATornTail) {
     {
         JournalWriter w(path_);

@@ -25,7 +25,16 @@ with parse_float=str and re-emitted verbatim; recomputed floats use
 
 Exits non-zero with a one-line diagnosis on malformed input: a missing
 or duplicate shard, mixed shard counts, disagreeing fleet metadata, or
-an artifact whose record count contradicts its own header.
+an artifact whose record count contradicts its own header. Shard
+artifacts left behind by restarted farm workers (crash + --resume, any
+number of attempts) are by construction byte-identical to a single-shot
+shard run and merge unchanged.
+
+--verify-against FILE byte-compares the merged output against an
+independently produced merge (normally ulpmc-farm's in-process C++
+merge) and fails with a one-line diagnostic locating the first
+difference — the cross-check that keeps this mirror and the C++
+implementation honest about each other.
 """
 
 import argparse
@@ -267,8 +276,16 @@ def main():
         description="Merge ulpmc-fleet shard JSON artifacts into one fleet artifact."
     )
     ap.add_argument("shards", nargs="+", help="shard JSON files (the complete 0..N-1 set)")
-    ap.add_argument("-o", "--output", required=True, help="merged JSON path ('-' for stdout)")
+    ap.add_argument("-o", "--output", help="merged JSON path ('-' for stdout)")
+    ap.add_argument(
+        "--verify-against",
+        metavar="FILE",
+        help="byte-compare the merged output against FILE (e.g. the ulpmc-farm "
+        "C++ merge) and exit non-zero on any difference",
+    )
     args = ap.parse_args()
+    if args.output is None and args.verify_against is None:
+        ap.error("need -o/--output, --verify-against, or both")
 
     docs = [load_shard(p) for p in args.shards]
     keys = [parse_shard_key(p, d["fleet"]) for p, d in zip(args.shards, docs)]
@@ -327,9 +344,33 @@ def main():
     text = render(meta, records, total, by_policy, by_arch, metrics)
     if args.output == "-":
         sys.stdout.write(text)
-    else:
+    elif args.output is not None:
         with open(args.output, "w", encoding="utf-8") as f:
             f.write(text)
+
+    if args.verify_against is not None:
+        try:
+            with open(args.verify_against, "rb") as f:
+                theirs = f.read()
+        except OSError as e:
+            sys.exit(f"merge_fleet: cannot read {args.verify_against}: {e.strerror}")
+        ours = text.encode("utf-8")
+        if ours != theirs:
+            i = next(
+                (j for j, (a, b) in enumerate(zip(ours, theirs)) if a != b),
+                min(len(ours), len(theirs)),
+            )
+            line = ours[:i].count(b"\n") + 1
+            sys.exit(
+                f"merge_fleet: cross-check FAILED: merged output differs from "
+                f"{args.verify_against} at byte {i} (line {line}; "
+                f"{len(ours)} vs {len(theirs)} bytes total)"
+            )
+        print(
+            f"merge_fleet: cross-check OK: merged output is byte-identical to "
+            f"{args.verify_against} ({len(ours)} bytes)",
+            file=sys.stderr,
+        )
 
 
 if __name__ == "__main__":

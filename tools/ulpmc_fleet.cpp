@@ -26,16 +26,31 @@
 //                       to it (missing file: fresh run). The journal binds to
 //                       the run's options and timeline bytes; a mismatch is a
 //                       usage error, never a silent partial replay.
+//     --heartbeat S     append a liveness heartbeat frame to the journal every
+//                       S seconds (requires --journal/--resume) so a farm
+//                       supervisor can tell "slow device" from "hung worker"
+//
+// SIGTERM/SIGINT preempt gracefully: in-flight devices finish and their
+// frames reach the journal, then the run exits 3 without writing the
+// (incomplete) artifacts — a later --resume continues where durable
+// progress ends.
 //
 // Exit codes: 0 success, 2 bad usage (malformed, duplicate or
-// inconsistent options, unreadable or corrupt timeline/journal).
+// inconsistent options, unreadable or corrupt timeline/journal),
+// 3 preempted by SIGTERM/SIGINT (journal flushed, artifacts unwritten).
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -50,15 +65,23 @@
 
 namespace {
 
-/// Journal frame kinds ("META" / "RECD" in ASCII).
-constexpr std::uint32_t kMetaFrame = 0x4154454Du;
-constexpr std::uint32_t kRecordFrame = 0x44434552u;
+using ulpmc::fleet::kFleetHeartbeatFrame;
+using ulpmc::fleet::kFleetMetaFrame;
+using ulpmc::fleet::kFleetRecordFrame;
+
+/// Set by the SIGTERM/SIGINT handler; the device hooks poll it and throw
+/// Preempted so the pool drains in-flight work and the run exits 3.
+volatile std::sig_atomic_t g_preempt = 0;
+
+struct Preempted {};
+
+void on_preempt_signal(int) { g_preempt = 1; }
 
 void usage(std::ostream& os) {
     os << "usage: ulpmc-fleet --timeline FILE [--devices N] [--seed N] [--cohorts N]\n"
           "                   [--days D] [--baseline F] [--engine E] [--threads N]\n"
           "                   [--shard K/N] [--json FILE] [--store FILE]\n"
-          "                   [--journal FILE | --resume FILE]\n";
+          "                   [--journal FILE | --resume FILE] [--heartbeat S]\n";
 }
 
 /// CRC over the timeline's raw bytes: the journal must not resume against
@@ -127,6 +150,7 @@ bool parse_shard(const std::string& s, unsigned& k, unsigned& n) {
 int main(int argc, char** argv) {
     std::string timeline_path, json_path, store_path, journal_path;
     bool resume = false;
+    double heartbeat_s = 0;
     ulpmc::fleet::FleetOptions opt;
 
     std::set<std::string> seen;
@@ -199,6 +223,11 @@ int main(int argc, char** argv) {
         } else if (arg == "--resume") {
             journal_path = value("--resume");
             resume = true;
+        } else if (arg == "--heartbeat") {
+            if (!parse_double(value("--heartbeat"), heartbeat_s) || heartbeat_s <= 0) {
+                std::cerr << "--heartbeat: expected a positive period in seconds\n";
+                return 2;
+            }
         } else if (arg == "--help" || arg == "-h") {
             usage(std::cout);
             return 0;
@@ -216,6 +245,11 @@ int main(int argc, char** argv) {
     if (seen.count("--journal") && seen.count("--resume")) {
         std::cerr << "--journal and --resume are mutually exclusive "
                      "(--resume already journals to its file)\n";
+        return 2;
+    }
+    if (heartbeat_s > 0 && journal_path.empty()) {
+        std::cerr << "--heartbeat requires --journal or --resume "
+                     "(heartbeats are journal frames)\n";
         return 2;
     }
 
@@ -249,19 +283,28 @@ int main(int argc, char** argv) {
                 std::cerr << "note: " << journal_path << ": no journal yet, starting fresh\n";
             }
             if (exists && !jc.frames.empty()) {
-                if (jc.frames[0].kind != kMetaFrame || jc.frames[0].payload != meta) {
+                if (jc.frames[0].kind != kFleetMetaFrame || jc.frames[0].payload != meta) {
                     std::cerr << journal_path
                               << ": journal was written by a different run "
                                  "(options or timeline changed); refusing to resume\n";
                     return 2;
                 }
                 have_meta = true;
+                std::uint64_t skipped = 0;
                 for (std::size_t f = 1; f < jc.frames.size(); ++f) {
                     const ulpmc::JournalFrame& fr = jc.frames[f];
                     ulpmc::fleet::DeviceRecord r;
-                    if (fr.kind != kRecordFrame || fr.payload.size() != sizeof(r)) {
-                        std::cerr << journal_path << ": unrecognized journal frame "
-                                  << f << "; refusing to resume\n";
+                    if (fr.kind != kFleetRecordFrame) {
+                        // Forward compatibility: a kind this binary does not
+                        // know (a heartbeat, or a frame from a newer writer)
+                        // carries no replay state — skip it, don't die on it.
+                        if (fr.kind != kFleetHeartbeatFrame) ++skipped;
+                        continue;
+                    }
+                    if (fr.payload.size() != sizeof(r)) {
+                        std::cerr << journal_path << ": frame " << f << ": record payload is "
+                                  << fr.payload.size() << " bytes, expected " << sizeof(r)
+                                  << "; refusing to resume\n";
                         return 2;
                     }
                     std::memcpy(&r, fr.payload.data(), sizeof(r));
@@ -276,35 +319,99 @@ int main(int argc, char** argv) {
                 if (jc.torn_tail)
                     std::cerr << "note: " << journal_path
                               << ": dropping torn frame after " << keep << " bytes\n";
+                if (skipped > 0)
+                    std::cerr << "note: " << journal_path << ": skipping " << skipped
+                              << " frame(s) of unknown kind (newer writer?)\n";
                 std::cerr << "note: resuming with " << replay.size()
                           << " journaled device(s)\n";
             }
         }
         try {
             journal = std::make_unique<ulpmc::JournalWriter>(journal_path, keep);
-            if (!have_meta) journal->append(kMetaFrame, meta);
+            if (!have_meta) journal->append(kFleetMetaFrame, meta);
         } catch (const ulpmc::JournalError& e) {
             std::cerr << e.what() << "\n";
             return 2;
         }
     }
 
+    // ---- graceful preemption + heartbeat -------------------------------
+    // The journal mutex serializes device-record appends (completion
+    // hook, any worker thread) against heartbeat appends (its own thread):
+    // JournalWriter is not concurrency-safe and interleaved fwrites would
+    // tear frames.
+    std::signal(SIGTERM, on_preempt_signal);
+    std::signal(SIGINT, on_preempt_signal);
+    std::mutex journal_m;
+    std::atomic<std::uint64_t> completed{replay.size()};
+    std::atomic<bool> hb_stop{false};
+    std::condition_variable hb_cv;
+    std::mutex hb_m;
+    std::thread hb;
+    if (journal && heartbeat_s > 0) {
+        hb = std::thread([&] {
+            std::uint64_t seq = 0;
+            std::unique_lock<std::mutex> lk(hb_m);
+            while (!hb_stop.load()) {
+                hb_cv.wait_for(lk, std::chrono::duration<double>(heartbeat_s));
+                if (hb_stop.load()) break;
+                std::vector<std::uint8_t> p;
+                p.reserve(16); // [u64 seq][u64 completed]
+                ulpmc::put_raw(p, seq++);
+                ulpmc::put_raw(p, completed.load());
+                std::lock_guard<std::mutex> jl(journal_m);
+                try {
+                    journal->append(kFleetHeartbeatFrame, p);
+                } catch (const ulpmc::JournalError&) {
+                    break; // record appends will surface the same failure
+                }
+            }
+        });
+    }
+    auto stop_heartbeat = [&] {
+        hb_stop.store(true);
+        hb_cv.notify_all();
+        if (hb.joinable()) hb.join();
+    };
+
     ulpmc::fleet::FleetEngine engine(tl, opt);
     ulpmc::fleet::FleetResume hooks;
+    hooks.lookup = [&](std::uint64_t gdi, ulpmc::fleet::DeviceRecord& out) {
+        if (g_preempt) throw Preempted{};
+        const auto it = replay.find(gdi);
+        if (it == replay.end()) return false;
+        out = it->second;
+        return true;
+    };
     if (journal) {
-        hooks.lookup = [&](std::uint64_t gdi, ulpmc::fleet::DeviceRecord& out) {
-            const auto it = replay.find(gdi);
-            if (it == replay.end()) return false;
-            out = it->second;
-            return true;
-        };
         hooks.on_complete = [&](const ulpmc::fleet::DeviceRecord& r) {
             std::vector<std::uint8_t> p(sizeof(r));
             std::memcpy(p.data(), &r, sizeof(r));
-            journal->append(kRecordFrame, p);
+            {
+                std::lock_guard<std::mutex> jl(journal_m);
+                journal->append(kFleetRecordFrame, p);
+            }
+            completed.fetch_add(1);
         };
     }
-    const ulpmc::fleet::FleetResult res = engine.run(hooks);
+    ulpmc::fleet::FleetResult res;
+    try {
+        res = engine.run(hooks);
+    } catch (const Preempted&) {
+        // In-flight devices finished and journaled before the pool
+        // drained; everything else resumes from the journal next run.
+        stop_heartbeat();
+        if (journal)
+            std::cerr << "preempted: " << completed.load()
+                      << " device(s) journaled; resume to continue\n";
+        else
+            std::cerr << "preempted (no journal: progress not retained)\n";
+        return 3;
+    } catch (...) {
+        stop_heartbeat();
+        throw;
+    }
+    stop_heartbeat();
     ulpmc::fleet::print_summary(std::cout, opt, res);
 
     if (!store_path.empty()) {

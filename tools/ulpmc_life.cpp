@@ -22,8 +22,15 @@
 //                       journal binds to the run's options and timeline
 //                       bytes; a mismatch is a usage error.
 //
+// SIGTERM/SIGINT preempt gracefully: the in-flight chunk finishes and its
+// frame reaches the journal, then the run exits 3 without writing the
+// (incomplete) JSON — a later --resume continues from the journaled
+// chunk boundary.
+//
 // Exit codes: 0 success, 2 bad usage (malformed, duplicate or
-// inconsistent options, unreadable or corrupt timeline/journal).
+// inconsistent options, unreadable or corrupt timeline/journal),
+// 3 preempted by SIGTERM/SIGINT (journal flushed, artifacts unwritten).
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -46,6 +53,14 @@ namespace {
 /// Journal frame kinds ("META" / "CHNK" in ASCII).
 constexpr std::uint32_t kMetaFrame = 0x4154454Du;
 constexpr std::uint32_t kChunkFrame = 0x4B4E4843u;
+
+/// Set by the SIGTERM/SIGINT handler; the chunk hook polls it and throws
+/// Preempted so the run stops at a journaled chunk boundary and exits 3.
+volatile std::sig_atomic_t g_preempt = 0;
+
+struct Preempted {};
+
+void on_preempt_signal(int) { g_preempt = 1; }
 
 void usage(std::ostream& os) {
     os << "usage: ulpmc-life --timeline FILE [--seed N] [--engine E] [--days D]\n"
@@ -226,12 +241,19 @@ int main(int argc, char** argv) {
                     return 2;
                 }
                 have_meta = true;
+                std::uint64_t skipped = 0;
                 for (std::size_t f = 1; f < jc.frames.size(); ++f) {
                     const ulpmc::JournalFrame& fr = jc.frames[f];
-                    if (fr.kind != kChunkFrame || fr.payload.size() < 2 ||
-                        fr.payload[0] > 1) {
-                        std::cerr << journal_path << ": unrecognized journal frame "
-                                  << f << "; refusing to resume\n";
+                    if (fr.kind != kChunkFrame) {
+                        // Forward compatibility: frames of a kind this
+                        // binary does not know carry no replay state for
+                        // it — skip them rather than refusing the journal.
+                        ++skipped;
+                        continue;
+                    }
+                    if (fr.payload.size() < 2 || fr.payload[0] > 1) {
+                        std::cerr << journal_path << ": frame " << f
+                                  << ": malformed chunk payload; refusing to resume\n";
                         return 2;
                     }
                     replay_state[fr.payload[0]].assign(fr.payload.begin() + 1,
@@ -241,6 +263,9 @@ int main(int argc, char** argv) {
                 if (jc.torn_tail)
                     std::cerr << "note: " << journal_path
                               << ": dropping torn frame after " << keep << " bytes\n";
+                if (skipped > 0)
+                    std::cerr << "note: " << journal_path << ": skipping " << skipped
+                              << " frame(s) of unknown kind (newer writer?)\n";
             }
         }
         try {
@@ -252,6 +277,8 @@ int main(int argc, char** argv) {
         }
     }
 
+    std::signal(SIGTERM, on_preempt_signal);
+    std::signal(SIGINT, on_preempt_signal);
     ulpmc::sweep::SweepRunner pool(static_cast<unsigned>(threads));
     std::vector<ulpmc::scenario::LifetimeReport> runs;
     for (const Policy policy : {Policy::Ladder, Policy::Baseline}) {
@@ -264,18 +291,31 @@ int main(int argc, char** argv) {
         dc.max_days = days;
         ulpmc::scenario::LifetimeEngine eng(tl, dc);
         ulpmc::scenario::LifeResume hooks;
-        if (journal) {
-            const auto pol = static_cast<std::uint8_t>(policy);
-            hooks.state = replay_state[pol];
-            hooks.on_chunk = [&journal, pol](const std::vector<std::uint8_t>& state) {
+        const auto pol = static_cast<std::uint8_t>(policy);
+        if (journal) hooks.state = replay_state[pol];
+        // The chunk hook is always set: it is both the journaling point
+        // and the graceful-preemption poll (after the in-flight chunk's
+        // frame is durable, never before).
+        hooks.on_chunk = [&journal, pol](const std::vector<std::uint8_t>& state) {
+            if (journal) {
                 std::vector<std::uint8_t> p;
                 p.reserve(1 + state.size());
                 p.push_back(pol);
                 p.insert(p.end(), state.begin(), state.end());
                 journal->append(kChunkFrame, p);
-            };
+            }
+            if (g_preempt) throw Preempted{};
+        };
+        try {
+            runs.push_back(eng.run(pool, hooks));
+        } catch (const Preempted&) {
+            if (journal)
+                std::cerr << "preempted at a journaled chunk boundary; "
+                             "resume to continue\n";
+            else
+                std::cerr << "preempted (no journal: progress not retained)\n";
+            return 3;
         }
-        runs.push_back(eng.run(pool, hooks));
         ulpmc::scenario::print_summary(std::cout, runs.back());
         std::cout << "\n";
     }
